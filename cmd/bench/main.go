@@ -1,0 +1,103 @@
+// Command bench regenerates the paper's tables and figures on the scaled
+// synthetic datasets.
+//
+// Usage:
+//
+//	bench -exp all            # everything (default)
+//	bench -exp table4 -nodes 3000
+//	bench -exp fig11 -seed 7
+//
+// Experiments: table1 table2 table3 table4 table5 table6 table7 fig7 fig8
+// fig10 fig11 fig12 fig13 resources opcounts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment to run (all, table1..table7, fig7, fig8, fig10..fig13, resources)")
+		nodes = flag.Int("nodes", 0, "scaled dataset node count (0 = default)")
+		seed  = flag.Int64("seed", 1, "dataset generator seed")
+		iters = flag.Int("iters", 0, "fixed iterations for PR/HITS/LP (0 = paper's 15)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+	cfg := exp.Config{Nodes: *nodes, Seed: *seed, Iters: *iters}
+	asCSV = *csv
+	if err := run(strings.ToLower(*which), cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// asCSV switches output format (set from the -csv flag; variable so tests
+// can exercise both).
+var asCSV bool
+
+func run(which string, cfg exp.Config) error {
+	show := func(t *exp.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			fmt.Println(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+		return nil
+	}
+	showAll := func(ts []*exp.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, t := range ts {
+			fmt.Println(t.String())
+		}
+		return nil
+	}
+	all := which == "all"
+	ran := false
+	step := func(name string, f func() error) error {
+		if !all && which != name {
+			return nil
+		}
+		ran = true
+		return f()
+	}
+	steps := []struct {
+		name string
+		f    func() error
+	}{
+		{"table1", func() error { return show(exp.Table1(), nil) }},
+		{"table2", func() error { return show(exp.Table2(), nil) }},
+		{"table3", func() error { return show(exp.Table3(cfg), nil) }},
+		{"table4", func() error { return show(exp.UnionByUpdateTable("WG", cfg)) }},
+		{"table5", func() error { return show(exp.UnionByUpdateTable("PC", cfg)) }},
+		{"table6", func() error { return show(exp.AntiJoinTable("WG", cfg)) }},
+		{"table7", func() error { return show(exp.AntiJoinTable("PC", cfg)) }},
+		{"fig7", func() error { return showAll(exp.GraphAlgosTable(true, cfg)) }},
+		{"fig8", func() error { return showAll(exp.GraphAlgosTable(false, cfg)) }},
+		{"fig10", func() error { return showAll(exp.IndexingTable(cfg)) }},
+		{"fig11", func() error { return showAll(exp.VsSystemsTable(cfg)) }},
+		{"fig12", func() error { return show(exp.WithVsWithPlusPR(cfg)) }},
+		{"fig13", func() error { return showAll(exp.TCAndAPSPTables(cfg)) }},
+		{"resources", func() error { return show(exp.ResourceTable(cfg)) }},
+		{"opcounts", func() error { return show(exp.OperatorCountTable(cfg)) }},
+	}
+	for _, s := range steps {
+		if err := step(s.name, s.f); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func tiny() exp.Config { return exp.Config{Nodes: 60, Seed: 1, Iters: 3} }
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, name := range []string{"table1", "table2", "table3", "table4", "table6", "fig12", "fig13", "resources"} {
+		if err := run(name, tiny()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", tiny()); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	asCSV = true
+	defer func() { asCSV = false }()
+	if err := run("table1", tiny()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Command gsql runs SQL and WITH+ statements against an embedded engine
+// with a graph preloaded as relations E(F,T,ew) and V(ID,vw).
+//
+// Usage:
+//
+//	gsql -profile oracle -dataset WV -nodes 1000 -query 'select count(*) from E'
+//	gsql -dataset WG -file query.sql
+//	gsql -edges graph.txt -explain -file tc.sql
+//	gsql -dataset WG                 # interactive REPL (submit with an empty line)
+//
+// Statements in a -file are separated by lines containing only "---"
+// (WITH+ bodies legitimately contain semicolons). With -explain, WITH+
+// statements are compiled and their SQL/PSM procedure printed instead of
+// executed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/graphsql"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "oracle", "engine profile: oracle, db2, postgres, postgres-noindex")
+		dsCode  = flag.String("dataset", "WV", "built-in dataset code (YT LJ OK WV TT WG WT GP PC)")
+		nodes   = flag.Int("nodes", 1000, "scaled dataset node count")
+		seed    = flag.Int64("seed", 1, "dataset generator seed")
+		edges   = flag.String("edges", "", "load a graph from an edge-list file instead of a dataset")
+		query   = flag.String("query", "", "statement to run")
+		file    = flag.String("file", "", "file of statements separated by --- lines")
+		explain = flag.Bool("explain", false, "print the compiled PSM procedure for WITH+ statements")
+		limit   = flag.Int("limit", 20, "maximum rows to print per result")
+	)
+	flag.Parse()
+	if err := run(*profile, *dsCode, *nodes, *seed, *edges, *query, *file, *explain, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "gsql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile, dsCode string, nodes int, seed int64, edgesFile, query, file string, explain bool, limit int) error {
+	db, err := graphsql.Open(profile)
+	if err != nil {
+		return err
+	}
+	var g *graphsql.Graph
+	if edgesFile != "" {
+		f, err := os.Open(edgesFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = graph.ParseEdgeList(f, true)
+		if err != nil {
+			return err
+		}
+	} else {
+		g, err = graphsql.Generate(dsCode, nodes, seed)
+		if err != nil {
+			return err
+		}
+	}
+	if err := db.LoadEdges("E", g); err != nil {
+		return err
+	}
+	if err := db.LoadNodes("V", g, nil); err != nil {
+		return err
+	}
+	fmt.Printf("-- loaded graph: %d nodes, %d edges (profile %s)\n", g.N, g.M(), profile)
+
+	var statements []string
+	if query != "" {
+		statements = append(statements, query)
+	}
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		for _, part := range strings.Split(string(data), "\n---") {
+			if s := strings.TrimSpace(part); s != "" {
+				statements = append(statements, s)
+			}
+		}
+	}
+	if len(statements) == 0 {
+		// No -query/-file: interactive mode over stdin.
+		return repl(os.Stdin, os.Stdout, db, limit)
+	}
+	for _, stmt := range statements {
+		if explain {
+			lower := strings.ToLower(strings.TrimSpace(stmt))
+			if strings.HasPrefix(lower, "with") || strings.HasPrefix(lower, "select") || strings.HasPrefix(lower, "(") {
+				plan, err := db.Explain(stmt)
+				if err != nil {
+					return err
+				}
+				fmt.Println(plan)
+				continue
+			}
+		}
+		out, err := db.Query(stmt)
+		if err != nil {
+			return err
+		}
+		if out == nil {
+			fmt.Println("OK") // DDL/DML statements return no rows
+			continue
+		}
+		printRelation(out, limit)
+	}
+	return nil
+}
+
+func printRelation(r *graphsql.Relation, limit int) {
+	printRelationTo(os.Stdout, r, limit)
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/graphsql"
+)
+
+func TestRunQuery(t *testing.T) {
+	if err := run("oracle", "WV", 100, 1, "", "select count(*) from E", "", false, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPlusAndExplain(t *testing.T) {
+	q := `
+with TC(F, T) as (
+  (select F, T from E)
+  union all
+  (select TC.F, E.T from TC, E where TC.T = E.F)
+  maxrecursion 2)
+select F, T from TC`
+	if err := run("postgres", "WV", 80, 1, "", q, "", false, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("postgres", "WV", 80, 1, "", q, "", true, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStatementFile(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "q.sql")
+	content := "select count(*) from E\n---\nselect count(*) c from V\n---\ncreate table t (a int)\n"
+	if err := os.WriteFile(file, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("db2", "WT", 80, 1, "", "", file, false, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEdgeListFile(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(file, []byte("# c\n0 1\n1 2 2.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("oracle", "", 0, 1, file, "select F, T, ew from E order by F", "", false, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("mysql", "WV", 10, 1, "", "select 1", "", false, 1); err == nil {
+		t.Error("unknown profile should fail")
+	}
+	if err := run("oracle", "XX", 10, 1, "", "select 1", "", false, 1); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	// No -query/-file enters the REPL, which exits cleanly at stdin EOF.
+	if err := run("oracle", "WV", 10, 1, "", "", "", false, 1); err != nil {
+		t.Errorf("REPL at EOF should exit cleanly: %v", err)
+	}
+	if err := run("oracle", "WV", 10, 1, "", "select bogus syntax from", "", false, 1); err == nil {
+		t.Error("bad statement should fail")
+	}
+	if err := run("oracle", "WV", 10, 1, "/no/such/file", "select 1", "", false, 1); err == nil {
+		t.Error("missing edges file should fail")
+	}
+	if err := run("oracle", "WV", 10, 1, "", "", "/no/such/file", false, 1); err == nil {
+		t.Error("missing statement file should fail")
+	}
+}
+
+func TestREPL(t *testing.T) {
+	db, err := graphsqlOpenForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(`select count(*) from E
+
+\tables
+\explain
+select F from E
+
+\badcmd
+create table zz (a int)
+
+\quit
+`)
+	var out strings.Builder
+	if err := repl(in, &out, db, 5); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"(1 rows)", "base E", "explain mode: true", "scan E", "unknown command"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestREPLTrailingStatementAndErrors(t *testing.T) {
+	db, err := graphsqlOpenForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	// Statement without trailing blank line; then an erroneous one.
+	if err := repl(strings.NewReader("select bogus from nowhere"), &out, db, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "error:") {
+		t.Errorf("error not reported:\n%s", out.String())
+	}
+}
+
+func graphsqlOpenForTest() (*graphsql.DB, error) {
+	db, err := graphsql.Open("oracle")
+	if err != nil {
+		return nil, err
+	}
+	g := graphsql.MustGenerate("WV", 50, 1)
+	if err := db.LoadEdges("E", g); err != nil {
+		return nil, err
+	}
+	return db, db.LoadNodes("V", g, nil)
+}

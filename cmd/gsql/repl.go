@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/graphsql"
+)
+
+// repl reads statements from r and executes them against db, writing
+// results to w. A statement is submitted on an empty line (WITH+ bodies
+// legitimately contain semicolons, so ';' cannot terminate). Meta commands:
+//
+//	\tables        list catalog tables
+//	\explain       toggle plan mode for subsequent statements
+//	\quit          exit
+func repl(r io.Reader, w io.Writer, db *graphsql.DB, limit int) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	explainMode := false
+	fmt.Fprintln(w, "gsql> enter statements, submit with an empty line; \\tables, \\explain, \\quit")
+	prompt := func() { fmt.Fprint(w, "gsql> ") }
+	prompt()
+	exec := func(text string) {
+		text = strings.TrimSpace(text)
+		if text == "" {
+			return
+		}
+		if explainMode {
+			lower := strings.ToLower(text)
+			if strings.HasPrefix(lower, "with") || strings.HasPrefix(lower, "select") || strings.HasPrefix(lower, "(") {
+				plan, err := db.Explain(text)
+				if err != nil {
+					fmt.Fprintln(w, "error:", err)
+					return
+				}
+				fmt.Fprintln(w, plan)
+				return
+			}
+		}
+		out, err := db.Query(text)
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return
+		}
+		if out == nil {
+			fmt.Fprintln(w, "OK")
+			return
+		}
+		printRelationTo(w, out, limit)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "\\"):
+			switch trimmed {
+			case "\\quit", "\\q":
+				return sc.Err()
+			case "\\tables":
+				for _, n := range db.Eng.Cat.Names() {
+					t, err := db.Eng.Cat.Get(n)
+					if err != nil {
+						continue
+					}
+					kind := "base"
+					if t.Temp {
+						kind = "temp"
+					}
+					fmt.Fprintf(w, "  %s %s (%d rows)\n", kind, n, t.Rows())
+				}
+			case "\\explain":
+				explainMode = !explainMode
+				fmt.Fprintf(w, "explain mode: %v\n", explainMode)
+			default:
+				fmt.Fprintf(w, "unknown command %q\n", trimmed)
+			}
+			prompt()
+		case trimmed == "":
+			exec(buf.String())
+			buf.Reset()
+			prompt()
+		default:
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+		}
+	}
+	// Flush a trailing statement at EOF.
+	exec(buf.String())
+	return sc.Err()
+}
+
+func printRelationTo(w io.Writer, r *graphsql.Relation, limit int) {
+	fmt.Fprintln(w, r.Sch.String())
+	n := r.Len()
+	shown := n
+	if limit > 0 && shown > limit {
+		shown = limit
+	}
+	for i := 0; i < shown; i++ {
+		fmt.Fprintln(w, r.At(i).String())
+	}
+	if shown < n {
+		fmt.Fprintf(w, "... (%d rows total)\n", n)
+	} else {
+		fmt.Fprintf(w, "(%d rows)\n", n)
+	}
+}

@@ -1,0 +1,260 @@
+// Package driver exposes the graphsql engine through Go's standard
+// database/sql interface, so the reproduction can be used the way a Go
+// service would actually consume an embedded RDBMS:
+//
+//	import (
+//	    "database/sql"
+//	    _ "repro/graphsql/driver"
+//	)
+//
+//	db, _ := sql.Open("graphsql", "oracle")
+//	rows, _ := db.Query("select F, T from E where ew > ?", 1.5)
+//
+// The DSN is a profile name ("oracle", "db2", "postgres",
+// "postgres-noindex"), optionally suffixed with "/<instance>" so several
+// sql.DB handles can address the same embedded engine (connections from
+// one pool always share one engine). Placeholders (?) are bound as
+// literals before parsing. WITH+ statements work through Query like any
+// SELECT.
+package driver
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/graphsql"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func init() {
+	sql.Register("graphsql", &Driver{})
+}
+
+// Driver implements driver.Driver.
+type Driver struct{}
+
+var (
+	mu        sync.Mutex
+	instances = map[string]*shared{}
+)
+
+type shared struct {
+	mu sync.Mutex
+	db *graphsql.DB
+}
+
+// Open implements driver.Driver: every connection with the same DSN shares
+// one embedded engine.
+func (d *Driver) Open(dsn string) (driver.Conn, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	s, ok := instances[dsn]
+	if !ok {
+		profile := dsn
+		if i := strings.IndexByte(dsn, '/'); i >= 0 {
+			profile = dsn[:i]
+		}
+		db, err := graphsql.Open(profile)
+		if err != nil {
+			return nil, err
+		}
+		s = &shared{db: db}
+		instances[dsn] = s
+	}
+	return &conn{s: s}, nil
+}
+
+// Reset drops all shared engine instances (test isolation).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	instances = map[string]*shared{}
+}
+
+// DB returns the embedded graphsql.DB behind a DSN (for loading graphs
+// before querying through database/sql), creating it if needed.
+func DB(dsn string) (*graphsql.DB, error) {
+	c, err := (&Driver{}).Open(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return c.(*conn).s.db, nil
+}
+
+type conn struct{ s *shared }
+
+// Prepare implements driver.Conn.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{c: c, query: query, numInput: strings.Count(stripStrings(query), "?")}, nil
+}
+
+// Close implements driver.Conn (the engine is shared; nothing to release).
+func (c *conn) Close() error { return nil }
+
+// Begin implements driver.Conn. The engine is auto-commit only, as the
+// paper's workloads are; transactions are not supported.
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("graphsql: transactions are not supported")
+}
+
+type stmt struct {
+	c        *conn
+	query    string
+	numInput int
+}
+
+// Close implements driver.Stmt.
+func (s *stmt) Close() error { return nil }
+
+// NumInput implements driver.Stmt.
+func (s *stmt) NumInput() int { return s.numInput }
+
+// Exec implements driver.Stmt (DDL/DML statements).
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	q, err := bind(s.query, args)
+	if err != nil {
+		return nil, err
+	}
+	s.c.s.mu.Lock()
+	defer s.c.s.mu.Unlock()
+	if _, err := s.c.s.db.Query(q); err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(0), nil
+}
+
+// Query implements driver.Stmt.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	q, err := bind(s.query, args)
+	if err != nil {
+		return nil, err
+	}
+	s.c.s.mu.Lock()
+	defer s.c.s.mu.Unlock()
+	out, err := s.c.s.db.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = relation.New(nil)
+	}
+	return &rows{rel: out}, nil
+}
+
+type rows struct {
+	rel *relation.Relation
+	pos int
+}
+
+// Columns implements driver.Rows.
+func (r *rows) Columns() []string {
+	cols := make([]string, r.rel.Sch.Arity())
+	for i, c := range r.rel.Sch {
+		cols[i] = c.Name
+	}
+	return cols
+}
+
+// Close implements driver.Rows.
+func (r *rows) Close() error { return nil }
+
+// Next implements driver.Rows.
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= r.rel.Len() {
+		return io.EOF
+	}
+	t := r.rel.At(r.pos)
+	r.pos++
+	for i, v := range t {
+		switch v.K {
+		case value.KindNull:
+			dest[i] = nil
+		case value.KindInt:
+			dest[i] = v.I
+		case value.KindFloat:
+			dest[i] = v.F
+		case value.KindString:
+			dest[i] = v.S
+		case value.KindBool:
+			dest[i] = v.I != 0
+		}
+	}
+	return nil
+}
+
+// bind substitutes ? placeholders with rendered literals. Placeholders
+// inside string literals are left alone.
+func bind(query string, args []driver.Value) (string, error) {
+	if len(args) == 0 {
+		return query, nil
+	}
+	var b strings.Builder
+	arg := 0
+	inString := false
+	for i := 0; i < len(query); i++ {
+		ch := query[i]
+		if ch == '\'' {
+			inString = !inString
+		}
+		if ch == '?' && !inString {
+			if arg >= len(args) {
+				return "", fmt.Errorf("graphsql: %d placeholders but %d arguments", arg+1, len(args))
+			}
+			lit, err := renderLiteral(args[arg])
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(lit)
+			arg++
+			continue
+		}
+		b.WriteByte(ch)
+	}
+	if arg != len(args) {
+		return "", fmt.Errorf("graphsql: %d placeholders but %d arguments", arg, len(args))
+	}
+	return b.String(), nil
+}
+
+func renderLiteral(v driver.Value) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "null", nil
+	case int64:
+		return fmt.Sprintf("%d", x), nil
+	case float64:
+		return fmt.Sprintf("%g", x), nil
+	case bool:
+		if x {
+			return "true", nil
+		}
+		return "false", nil
+	case string:
+		return "'" + strings.ReplaceAll(x, "'", "''") + "'", nil
+	case []byte:
+		return "'" + strings.ReplaceAll(string(x), "'", "''") + "'", nil
+	}
+	return "", fmt.Errorf("graphsql: unsupported argument type %T", v)
+}
+
+// stripStrings blanks out string literals so ? inside them don't count as
+// placeholders.
+func stripStrings(q string) string {
+	out := []byte(q)
+	inString := false
+	for i := range out {
+		if out[i] == '\'' {
+			inString = !inString
+			continue
+		}
+		if inString {
+			out[i] = ' '
+		}
+	}
+	return string(out)
+}

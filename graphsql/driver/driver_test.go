@@ -1,0 +1,186 @@
+package driver
+
+import (
+	"database/sql"
+	"testing"
+
+	"repro/graphsql"
+)
+
+func openTestDB(t *testing.T, dsn string) *sql.DB {
+	t.Helper()
+	Reset()
+	db, err := sql.Open("graphsql", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func loadGraph(t *testing.T, dsn string) {
+	t.Helper()
+	inner, err := DB(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphsql.MustGenerate("WV", 100, 1)
+	if err := inner.LoadEdges("E", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.LoadNodes("V", g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryThroughDatabaseSQL(t *testing.T) {
+	db := openTestDB(t, "oracle")
+	loadGraph(t, "oracle")
+	var n int
+	if err := db.QueryRow("select count(*) from E").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no edges visible through database/sql")
+	}
+	rows, err := db.Query("select F, T, ew from E order by F, T limit 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil || len(cols) != 3 || cols[2] != "ew" {
+		t.Fatalf("columns = %v (%v)", cols, err)
+	}
+	count := 0
+	for rows.Next() {
+		var f, to int64
+		var w float64
+		if err := rows.Scan(&f, &to, &w); err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("rows = %d", count)
+	}
+}
+
+func TestPlaceholders(t *testing.T) {
+	db := openTestDB(t, "db2")
+	loadGraph(t, "db2")
+	var n int
+	if err := db.QueryRow("select count(*) from E where F = ? and ew > ?", int64(0), 0.5).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	var want int
+	if err := db.QueryRow("select count(*) from E where F = 0 and ew > 0.5").Scan(&want); err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("placeholder query = %d, want %d", n, want)
+	}
+	// Strings with quotes and ? inside literals.
+	if _, err := db.Exec("create table s (a varchar, b varchar)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("insert into s values (?, 'what?')", "it's"); err != nil {
+		t.Fatal(err)
+	}
+	var a, b string
+	if err := db.QueryRow("select a, b from s").Scan(&a, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a != "it's" || b != "what?" {
+		t.Fatalf("round trip: %q %q", a, b)
+	}
+}
+
+func TestExecDDLAndNulls(t *testing.T) {
+	db := openTestDB(t, "postgres")
+	if _, err := db.Exec("create table t (a int, b float)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("insert into t values (?, ?)", nil, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	var a sql.NullInt64
+	var b float64
+	if err := db.QueryRow("select a, b from t").Scan(&a, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Valid || b != 2.5 {
+		t.Fatalf("null round trip: %+v %v", a, b)
+	}
+}
+
+func TestWithPlusThroughDatabaseSQL(t *testing.T) {
+	db := openTestDB(t, "oracle")
+	loadGraph(t, "oracle")
+	rows, err := db.Query(`
+with TC(F, T) as (
+  (select F, T from E)
+  union all
+  (select TC.F, E.T from TC, E where TC.T = E.F)
+  maxrecursion 2)
+select count(*) from TC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatal("no result row")
+	}
+	var n int
+	if err := rows.Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("empty closure")
+	}
+}
+
+func TestSharedInstanceAcrossConnections(t *testing.T) {
+	db := openTestDB(t, "oracle/shared-test")
+	db.SetMaxOpenConns(4)
+	if _, err := db.Exec("create table counterparty (a int)"); err != nil {
+		t.Fatal(err)
+	}
+	// A different pooled connection must see the table.
+	for i := 0; i < 8; i++ {
+		if _, err := db.Exec("insert into counterparty values (?)", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var n int
+	if err := db.QueryRow("select count(*) from counterparty").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestDriverErrors(t *testing.T) {
+	Reset()
+	if _, err := sql.Open("graphsql", "oracle"); err != nil {
+		t.Fatal(err) // Open is lazy; the error surfaces at first use
+	}
+	bad, _ := sql.Open("graphsql", "mysql")
+	if err := bad.Ping(); err == nil {
+		t.Error("unknown profile should fail at connect")
+	}
+	db := openTestDB(t, "oracle")
+	if _, err := db.Exec("select ? from nowhere", int64(1), int64(2)); err == nil {
+		t.Error("argument-count mismatch should fail")
+	}
+	if _, err := db.Begin(); err == nil {
+		t.Error("transactions should be unsupported")
+	}
+	if _, err := db.Query("select broken from"); err == nil {
+		t.Error("parse errors must propagate")
+	}
+}

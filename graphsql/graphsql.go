@@ -1,0 +1,190 @@
+// Package graphsql is the public API of the All-in-One reproduction: an
+// embedded relational engine (with Oracle-, DB2-, and PostgreSQL-like
+// profiles) that answers plain SQL and the paper's enhanced recursive WITH
+// (WITH+) over graphs stored as relations, plus the catalog of built-in
+// graph algorithms, datasets, and specialized-engine baselines.
+//
+// Quick start:
+//
+//	db, _ := graphsql.Open("oracle")
+//	g := graphsql.MustGenerate("WV", 1000, 42)
+//	db.LoadEdges("E", g)
+//	db.LoadNodes("V", g, nil)
+//	rows, _ := db.Query(`with TC(F, T) as (
+//	    (select F, T from E)
+//	    union all
+//	    (select TC.F, E.T from TC, E where TC.T = E.F)
+//	    maxrecursion 4)
+//	  select F, T from TC`)
+package graphsql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algos"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/withplus"
+)
+
+// Re-exported core types, so callers work with one package.
+type (
+	// Graph is a weighted directed graph (see Graph.EdgeRelation and
+	// Graph.NodeRelation for the relational views).
+	Graph = graph.Graph
+	// Relation is a materialized query result.
+	Relation = relation.Relation
+	// Params carries per-algorithm knobs (source node, damping factor,
+	// iteration counts, ...).
+	Params = algos.Params
+	// Result is an algorithm run with per-iteration traces.
+	Result = algos.Result
+	// Algorithm describes one built-in graph algorithm (a row of the
+	// paper's Table 2).
+	Algorithm = algos.Algorithm
+	// Dataset describes one of the paper's 9 SNAP datasets plus its
+	// scaled synthetic generator.
+	Dataset = dataset.Info
+)
+
+// DB is one embedded RDBMS instance.
+type DB struct {
+	// Eng exposes the underlying engine for advanced use (counters,
+	// catalog inspection, custom plans).
+	Eng *engine.Engine
+}
+
+// Open creates a database with the named profile: "oracle", "db2",
+// "postgres" (temp-table indexes built, as in the paper's main runs), or
+// "postgres-noindex".
+func Open(profile string) (*DB, error) {
+	switch strings.ToLower(profile) {
+	case "oracle":
+		return &DB{Eng: engine.New(engine.OracleLike())}, nil
+	case "db2":
+		return &DB{Eng: engine.New(engine.DB2Like())}, nil
+	case "postgres", "postgresql":
+		return &DB{Eng: engine.New(engine.PostgresLike(true))}, nil
+	case "postgres-noindex":
+		return &DB{Eng: engine.New(engine.PostgresLike(false))}, nil
+	}
+	return nil, fmt.Errorf("graphsql: unknown profile %q (want oracle, db2, postgres, postgres-noindex)", profile)
+}
+
+// Profiles lists the available profile names.
+func Profiles() []string {
+	return []string{"oracle", "db2", "postgres", "postgres-noindex"}
+}
+
+// LoadEdges stores g's edges as base table name(F, T, ew) and analyzes it.
+func (db *DB) LoadEdges(name string, g *Graph) error {
+	_, err := db.Eng.LoadBase(name, g.EdgeRelation())
+	return err
+}
+
+// LoadNodes stores g's nodes as base table name(ID, vw); weight may be nil
+// (all zeros) — pass a closure to seed per-node values.
+func (db *DB) LoadNodes(name string, g *Graph, weight func(i int) float64) error {
+	_, err := db.Eng.LoadBase(name, g.NodeRelation(weight))
+	return err
+}
+
+// LoadRelation stores an arbitrary relation as a base table, so graphs can
+// be queried together with ordinary application tables — the data
+// management motivation of the paper's introduction.
+func (db *DB) LoadRelation(name string, r *Relation) error {
+	_, err := db.Eng.LoadBase(name, r)
+	return err
+}
+
+// Query answers any supported statement: plain SELECT, enhanced recursive
+// WITH (WITH+), or DDL/DML (CREATE [TEMPORARY] TABLE, INSERT INTO ...
+// VALUES/SELECT, DROP TABLE, TRUNCATE). Non-query statements return a nil
+// relation.
+func (db *DB) Query(text string) (*Relation, error) {
+	if isWith(text) {
+		out, _, err := withplus.Run(db.Eng, text)
+		return out, err
+	}
+	stmt, err := sql.ParseStatement(text)
+	if err != nil {
+		return nil, err
+	}
+	return sql.NewExec(db.Eng).ExecStatement(stmt)
+}
+
+// QueryWithTrace answers a WITH+ statement and returns the per-iteration
+// trace (times and recursive-relation sizes).
+func (db *DB) QueryWithTrace(text string) (*Relation, *withplus.Trace, error) {
+	return withplus.Run(db.Eng, text)
+}
+
+// Explain renders the execution strategy without running the statement:
+// for a WITH+ statement, the compiled SQL/PSM procedure (the paper's
+// Algorithm 1 output); for a plain SELECT, the physical plan (scans, join
+// algorithms per the profile, filters, aggregation).
+func (db *DB) Explain(text string) (string, error) {
+	if isWith(text) {
+		p, err := withplus.Prepare(db.Eng, text)
+		if err != nil {
+			return "", err
+		}
+		defer p.Cleanup()
+		return p.Proc.String(), nil
+	}
+	stmt, err := sql.ParseSelect(text)
+	if err != nil {
+		return "", err
+	}
+	return sql.NewExec(db.Eng).ExplainSelect(stmt)
+}
+
+func isWith(text string) bool {
+	for _, line := range strings.Fields(strings.ToLower(text)) {
+		return line == "with"
+	}
+	return false
+}
+
+// Run executes a built-in algorithm (by its Table 2 code: "PR", "WCC",
+// "SSSP", "HITS", "TS", "KC", "MIS", "LP", "MNM", "KS", "TC", "BFS",
+// "APSP", "FW", "RWR", "SR", "DIAM") on the graph, inside this database.
+func (db *DB) Run(code string, g *Graph, p Params) (*Result, error) {
+	a, err := algos.ByCode(code)
+	if err != nil {
+		return nil, err
+	}
+	return a.Run(db.Eng, g, p)
+}
+
+// Algorithms lists the built-in algorithms in the paper's order.
+func Algorithms() []Algorithm { return algos.Registry() }
+
+// Datasets lists the paper's 9 datasets (Table 3).
+func Datasets() []Dataset { return dataset.All() }
+
+// Generate builds the scaled synthetic stand-in of a dataset by its code
+// ("YT", "LJ", "OK", "WV", "TT", "WG", "WT", "GP", "PC").
+func Generate(code string, nodes int, seed int64) (*Graph, error) {
+	d, err := dataset.ByCode(code)
+	if err != nil {
+		return nil, err
+	}
+	return d.Generate(nodes, seed), nil
+}
+
+// MustGenerate is Generate that panics on an unknown code.
+func MustGenerate(code string, nodes int, seed int64) *Graph {
+	g, err := Generate(code, nodes, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NewGraph returns an empty graph with n nodes, for building custom inputs.
+func NewGraph(n int, directed bool) *Graph { return graph.New(n, directed) }

@@ -1,0 +1,212 @@
+package graphsql
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/refimpl"
+)
+
+func TestOpenProfiles(t *testing.T) {
+	for _, p := range Profiles() {
+		db, err := Open(p)
+		if err != nil || db == nil {
+			t.Errorf("Open(%q): %v", p, err)
+		}
+	}
+	if _, err := Open("mysql"); err == nil {
+		t.Error("unknown profile should fail")
+	}
+}
+
+func TestLoadAndQuery(t *testing.T) {
+	db, _ := Open("oracle")
+	g := MustGenerate("WV", 200, 1)
+	if err := db.LoadEdges("E", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadNodes("V", g, nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Query("select count(*) from E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(r.At(0)[0].AsInt()) != g.M() {
+		t.Errorf("edge count = %v, want %d", r.At(0)[0], g.M())
+	}
+}
+
+func TestQueryDispatchesWithPlus(t *testing.T) {
+	db, _ := Open("postgres")
+	g := NewGraph(4, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	db.LoadEdges("E", g)
+	r, err := db.Query(`
+with TC(F, T) as (
+  (select F, T from E)
+  union all
+  (select TC.F, E.T from TC, E where TC.T = E.F))
+select F, T from TC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 6 {
+		t.Errorf("|TC| = %d, want 6", r.Len())
+	}
+	_, trace, err := db.QueryWithTrace(`
+with R(x) as ((select F from E) union all (select R.x + 0 from R, E where R.x = E.F) maxrecursion 2)
+select x from R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Iterations < 1 {
+		t.Error("trace missing")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db, _ := Open("oracle")
+	g := NewGraph(3, true)
+	g.AddEdge(0, 1, 1)
+	db.LoadEdges("E", g)
+	plan, err := db.Explain(`
+with TC(F, T) as (
+  (select F, T from E)
+  union all
+  (select TC.F, E.T from TC, E where TC.T = E.F)
+  maxrecursion 5)
+select F, T from TC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"create procedure", "loop", "exit when"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	// Explain must not leave temp tables behind.
+	if db.Eng.Cat.Has("TC") {
+		t.Error("Explain leaked the recursive temp table")
+	}
+}
+
+func TestRunAlgorithm(t *testing.T) {
+	db, _ := Open("db2")
+	g := MustGenerate("WV", 150, 2)
+	res, err := db.Run("PR", g, Params{Iters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refimpl.PageRank(g, 0.85, 10)
+	for _, tu := range res.Rel.Tuples {
+		if math.Abs(tu[1].AsFloat()-want[tu[0].AsInt()]) > 1e-9 {
+			t.Fatalf("PR mismatch at %v", tu[0])
+		}
+	}
+	if _, err := db.Run("NOPE", g, Params{}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestCatalogHelpers(t *testing.T) {
+	if len(Algorithms()) < 17 {
+		t.Errorf("algorithms = %d", len(Algorithms()))
+	}
+	if len(Datasets()) != 9 {
+		t.Errorf("datasets = %d", len(Datasets()))
+	}
+	if _, err := Generate("XX", 10, 0); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate should panic on unknown code")
+		}
+	}()
+	MustGenerate("XX", 10, 0)
+}
+
+func TestGraphWithApplicationTables(t *testing.T) {
+	// The paper's motivation: query the graph together with ordinary
+	// relations. Users(ID, vw=age) joined against PageRank results.
+	db, _ := Open("oracle")
+	g := NewGraph(3, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 1, 1)
+	db.LoadEdges("E", g)
+	db.LoadNodes("Users", g, func(i int) float64 { return float64(20 + i) })
+	r, err := db.Query("select Users.ID, Users.vw from Users, E where Users.ID = E.T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("join rows = %d", r.Len())
+	}
+}
+
+func TestExplainSelectPlan(t *testing.T) {
+	db, _ := Open("postgres-noindex")
+	g := NewGraph(3, true)
+	g.AddEdge(0, 1, 1)
+	db.LoadEdges("E", g)
+	db.LoadNodes("V", g, nil)
+	plan, err := db.Explain("select E.F from E, V where E.T = V.ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scan E", "scan V", "join on (E.T = V.ID)"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestQueryDDL(t *testing.T) {
+	db, _ := Open("oracle")
+	if out, err := db.Query("create table t (a int)"); err != nil || out != nil {
+		t.Fatalf("ddl: %v %v", out, err)
+	}
+	if _, err := db.Query("insert into t values (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Query("select sum(a) from t")
+	if err != nil || r.At(0)[0].AsInt() != 3 {
+		t.Fatalf("sum: %v %v", r, err)
+	}
+}
+
+// Example demonstrates the minimal load-and-query flow (also rendered in
+// godoc).
+func Example() {
+	db, _ := Open("oracle")
+	g := NewGraph(3, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	db.LoadEdges("E", g)
+	rows, _ := db.Query("select count(*) from E")
+	fmt.Println(rows.At(0)[0])
+	// Output: 2
+}
+
+// ExampleDB_Query shows a recursive WITH+ statement.
+func ExampleDB_Query() {
+	db, _ := Open("oracle")
+	g := NewGraph(4, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	db.LoadEdges("E", g)
+	tc, _ := db.Query(`
+with TC(F, T) as (
+  (select F, T from E)
+  union all
+  (select TC.F, E.T from TC, E where TC.T = E.F))
+select count(*) pairs from TC`)
+	fmt.Println(tc.At(0)[0])
+	// Output: 6
+}

@@ -1,0 +1,559 @@
+package algos
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ra"
+	"repro/internal/refimpl"
+	"repro/internal/relation"
+)
+
+func testGraph(seed int64) *graph.Graph {
+	return graph.Generate(graph.GenSpec{
+		N: 60, M: 220, Directed: true, Skew: 2.2, Seed: seed,
+		MaxNodeWeight: 20, NumLabels: 4,
+	})
+}
+
+func testProfiles() []engine.Profile {
+	return []engine.Profile{engine.OracleLike(), engine.DB2Like(), engine.PostgresLike(true)}
+}
+
+// vecMap converts a (ID, vw) relation into a map.
+func vecMap(r *relation.Relation) map[int64]float64 {
+	out := make(map[int64]float64, r.Len())
+	for _, t := range r.Tuples {
+		out[t[0].AsInt()] = t[1].AsFloat()
+	}
+	return out
+}
+
+func TestRegistry(t *testing.T) {
+	reg := Registry()
+	if len(Benchmarked()) != 10 {
+		t.Fatalf("paper benchmarks 10 algorithms, registry heads %d", len(Benchmarked()))
+	}
+	codes := map[string]bool{}
+	for _, a := range reg {
+		if codes[a.Code] {
+			t.Errorf("duplicate code %s", a.Code)
+		}
+		codes[a.Code] = true
+		if a.Run == nil {
+			t.Errorf("%s has no runner", a.Code)
+		}
+	}
+	for _, want := range []string{"SSSP", "WCC", "PR", "HITS", "TS", "KC", "MIS", "LP", "MNM", "KS"} {
+		if _, err := ByCode(want); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+	if _, err := ByCode("NOPE"); err == nil {
+		t.Error("unknown code should error")
+	}
+	// Table 2 metadata spot checks.
+	pr, _ := ByCode("PR")
+	if pr.Agg != "sum" || !pr.Linear {
+		t.Error("PR row of Table 2 wrong")
+	}
+	hits, _ := ByCode("HITS")
+	if !hits.Nonlinear {
+		t.Error("HITS needs nonlinear recursion")
+	}
+	ts, _ := ByCode("TS")
+	if !ts.DirectedOnly || ts.Agg != "-" {
+		t.Error("TS metadata wrong")
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	g := testGraph(1)
+	want := refimpl.BFS(g, 0)
+	for _, prof := range testProfiles() {
+		res, err := RunBFS(engine.New(prof), g, Params{Source: 0})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		got := vecMap(res.Rel)
+		if len(got) != g.N {
+			t.Fatalf("%s: vector has %d entries", prof.Name, len(got))
+		}
+		for v, w := range want {
+			if got[int64(v)] != w {
+				t.Fatalf("%s: BFS[%d]=%v, want %v", prof.Name, v, got[int64(v)], w)
+			}
+		}
+	}
+}
+
+func TestWCCMatchesReference(t *testing.T) {
+	g := testGraph(2)
+	want := refimpl.WCC(g)
+	for _, prof := range testProfiles() {
+		res, err := RunWCC(engine.New(prof), g, Params{})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		got := vecMap(res.Rel)
+		for v, lbl := range want {
+			if int64(got[int64(v)]) != lbl {
+				t.Fatalf("%s: WCC[%d]=%v, want %d", prof.Name, v, got[int64(v)], lbl)
+			}
+		}
+	}
+}
+
+func TestSSSPMatchesReference(t *testing.T) {
+	g := testGraph(3)
+	// Vary the edge weights so min-plus is non-trivial.
+	for i := range g.Edges {
+		g.Edges[i].W = float64(1 + (i*7)%5)
+	}
+	want := refimpl.BellmanFord(g, 0)
+	for _, prof := range testProfiles() {
+		res, err := RunSSSP(engine.New(prof), g, Params{Source: 0})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		got := vecMap(res.Rel)
+		for v, d := range want {
+			gv := got[int64(v)]
+			if gv != d && !(math.IsInf(gv, 1) && math.IsInf(d, 1)) {
+				t.Fatalf("%s: dist[%d]=%v, want %v", prof.Name, v, gv, d)
+			}
+		}
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g := testGraph(4)
+	want := refimpl.PageRank(g, 0.85, 15)
+	for _, prof := range testProfiles() {
+		res, err := RunPageRank(engine.New(prof), g, Params{})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		got := vecMap(res.Rel)
+		if res.Iterations != 15 {
+			t.Errorf("%s: iterations = %d", prof.Name, res.Iterations)
+		}
+		for v, w := range want {
+			if math.Abs(got[int64(v)]-w) > 1e-9 {
+				t.Fatalf("%s: PR[%d]=%v, want %v", prof.Name, v, got[int64(v)], w)
+			}
+		}
+	}
+}
+
+func TestRWRMatchesReference(t *testing.T) {
+	g := testGraph(5)
+	restart := make([]float64, g.N)
+	restart[3] = 1
+	want := refimpl.RWR(g, 0.85, restart, 15)
+	res, err := RunRWR(engine.New(engine.OracleLike()), g, Params{Source: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := vecMap(res.Rel)
+	for v, w := range want {
+		if math.Abs(got[int64(v)]-w) > 1e-9 {
+			t.Fatalf("RWR[%d]=%v, want %v", v, got[int64(v)], w)
+		}
+	}
+}
+
+func TestHITSMatchesReference(t *testing.T) {
+	g := testGraph(6)
+	wantHub, wantAuth := refimpl.HITS(g, 15)
+	for _, prof := range testProfiles() {
+		res, err := RunHITS(engine.New(prof), g, Params{})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if res.Rel.Len() != g.N {
+			t.Fatalf("%s: H has %d rows", prof.Name, res.Rel.Len())
+		}
+		for _, tu := range res.Rel.Tuples {
+			id := tu[0].AsInt()
+			if math.Abs(tu[1].AsFloat()-wantHub[id]) > 1e-9 {
+				t.Fatalf("%s: hub[%d]=%v, want %v", prof.Name, id, tu[1], wantHub[id])
+			}
+			if math.Abs(tu[2].AsFloat()-wantAuth[id]) > 1e-9 {
+				t.Fatalf("%s: auth[%d]=%v, want %v", prof.Name, id, tu[2], wantAuth[id])
+			}
+		}
+	}
+}
+
+func TestTopoSortMatchesReference(t *testing.T) {
+	g := graph.GenerateDAG(80, 240, 7)
+	want := refimpl.TopoSort(g)
+	for _, prof := range testProfiles() {
+		res, err := RunTopoSort(engine.New(prof), g, Params{})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		got := map[int64]int64{}
+		for _, tu := range res.Rel.Tuples {
+			got[tu[0].AsInt()] = tu[1].AsInt()
+		}
+		if len(got) != g.N {
+			t.Fatalf("%s: sorted %d of %d nodes", prof.Name, len(got), g.N)
+		}
+		for v, l := range want {
+			if got[int64(v)] != int64(l) {
+				t.Fatalf("%s: level[%d]=%d, want %d", prof.Name, v, got[int64(v)], l)
+			}
+		}
+	}
+}
+
+func TestTopoSortSkipsCycles(t *testing.T) {
+	g := graph.New(4, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 1) // cycle
+	g.AddEdge(2, 3, 1)
+	res, err := RunTopoSort(engine.New(engine.OracleLike()), g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]int64{}
+	for _, tu := range res.Rel.Tuples {
+		got[tu[0].AsInt()] = tu[1].AsInt()
+	}
+	if len(got) != 2 || got[2] != 0 || got[3] != 1 {
+		t.Errorf("cycle handling wrong: %v", got)
+	}
+}
+
+func TestKCoreMatchesReference(t *testing.T) {
+	g := testGraph(8)
+	want := refimpl.KCore(g, 5)
+	wantCount := 0
+	for _, a := range want {
+		if a {
+			wantCount++
+		}
+	}
+	for _, prof := range testProfiles() {
+		res, err := RunKCore(engine.New(prof), g, Params{K: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		got := map[int64]bool{}
+		for _, tu := range res.Rel.Tuples {
+			got[tu[0].AsInt()] = true
+		}
+		if len(got) != wantCount {
+			t.Fatalf("%s: %d core nodes, want %d", prof.Name, len(got), wantCount)
+		}
+		for v, alive := range want {
+			if got[int64(v)] != alive {
+				t.Fatalf("%s: core[%d]=%v, want %v", prof.Name, v, got[int64(v)], alive)
+			}
+		}
+	}
+}
+
+func TestMISMatchesReference(t *testing.T) {
+	g := testGraph(9)
+	want := refimpl.MIS(g, 42)
+	for _, prof := range testProfiles() {
+		res, err := RunMIS(engine.New(prof), g, Params{Seed: 42})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		got := map[int64]bool{}
+		for _, tu := range res.Rel.Tuples {
+			got[tu[0].AsInt()] = true
+		}
+		for v, in := range want {
+			if got[int64(v)] != in {
+				t.Fatalf("%s: MIS[%d]=%v, want %v", prof.Name, v, got[int64(v)], in)
+			}
+		}
+	}
+}
+
+func TestLPMatchesReference(t *testing.T) {
+	g := testGraph(10)
+	want := refimpl.LabelPropagation(g, 15)
+	for _, prof := range testProfiles() {
+		res, err := RunLP(engine.New(prof), g, Params{})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		got := map[int64]int64{}
+		for _, tu := range res.Rel.Tuples {
+			got[tu[0].AsInt()] = tu[1].AsInt()
+		}
+		for v, l := range want {
+			if got[int64(v)] != int64(l) {
+				t.Fatalf("%s: label[%d]=%d, want %d", prof.Name, v, got[int64(v)], l)
+			}
+		}
+	}
+}
+
+func TestMNMMatchesReference(t *testing.T) {
+	g := testGraph(11)
+	want := refimpl.MNM(g)
+	for _, prof := range testProfiles() {
+		res, err := RunMNM(engine.New(prof), g, Params{})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		got := map[int64]int64{}
+		for _, tu := range res.Rel.Tuples {
+			got[tu[0].AsInt()] = tu[1].AsInt()
+		}
+		for v, mate := range want {
+			gm, ok := got[int64(v)]
+			if mate < 0 {
+				if ok {
+					t.Fatalf("%s: node %d should be unmatched, got %d", prof.Name, v, gm)
+				}
+				continue
+			}
+			if gm != mate {
+				t.Fatalf("%s: match[%d]=%d, want %d", prof.Name, v, gm, mate)
+			}
+		}
+	}
+}
+
+func TestKSMatchesReference(t *testing.T) {
+	g := testGraph(12)
+	query := []int32{0, 1, 2}
+	want := refimpl.KeywordSearch(g, query, 4)
+	for _, prof := range testProfiles() {
+		res, err := RunKS(engine.New(prof), g, Params{Query: query, Depth: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		got := map[int64]bool{}
+		for _, tu := range res.Rel.Tuples {
+			full := true
+			for i := 1; i < len(tu); i++ {
+				if tu[i].AsInt() != 1 {
+					full = false
+					break
+				}
+			}
+			got[tu[0].AsInt()] = full
+		}
+		for v, root := range want {
+			if got[int64(v)] != root {
+				t.Fatalf("%s: root[%d]=%v, want %v", prof.Name, v, got[int64(v)], root)
+			}
+		}
+	}
+}
+
+func TestTCMatchesReference(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 30, M: 70, Directed: true, Skew: 2.0, Seed: 13})
+	for _, depth := range []int{0, 3} {
+		want := refimpl.TransitiveClosure(g, depth)
+		res, err := RunTC(engine.New(engine.OracleLike()), g, Params{Depth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[int64]bool{}
+		for _, tu := range res.Rel.Tuples {
+			got[tu[0].AsInt()<<32|tu[1].AsInt()] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("depth %d: |TC| = %d, want %d", depth, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("depth %d: missing pair %d→%d", depth, k>>32, k&0xffffffff)
+			}
+		}
+	}
+}
+
+func TestAPSPAndFloydWarshallMatchReference(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 25, M: 70, Directed: true, Skew: 2.0, Seed: 14})
+	for i := range g.Edges {
+		g.Edges[i].W = float64(1 + (i*3)%4)
+	}
+	want := refimpl.FloydWarshall(g)
+	// Unbounded APSP (depth = N) and Floyd-Warshall both converge to it.
+	resA, err := RunAPSP(engine.New(engine.OracleLike()), g, Params{Depth: g.N + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resF, err := RunFloydWarshall(engine.New(engine.DB2Like()), g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*Result{resA, resF} {
+		got := map[int64]float64{}
+		for _, tu := range res.Rel.Tuples {
+			got[tu[0].AsInt()<<32|tu[1].AsInt()] = tu[2].AsFloat()
+		}
+		for i := 0; i < g.N; i++ {
+			for j := 0; j < g.N; j++ {
+				if i == j || math.IsInf(want[i][j], 1) {
+					continue
+				}
+				key := int64(i)<<32 | int64(j)
+				if gv, ok := got[key]; !ok || gv != want[i][j] {
+					t.Fatalf("d(%d,%d)=%v, want %v", i, j, got[key], want[i][j])
+				}
+			}
+		}
+	}
+	// Floyd-Warshall (squaring) needs ~log2(n) iterations, far fewer than APSP.
+	if resF.Iterations >= resA.Iterations && resA.Iterations > 4 {
+		t.Errorf("nonlinear recursion should converge faster: FW %d vs APSP %d",
+			resF.Iterations, resA.Iterations)
+	}
+}
+
+func TestSimRankMatchesReference(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 15, M: 35, Directed: true, Skew: 2.0, Seed: 15})
+	want := refimpl.SimRank(g, 0.2, 5)
+	res, err := RunSimRank(engine.New(engine.OracleLike()), g, Params{Iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]float64{}
+	for _, tu := range res.Rel.Tuples {
+		got[tu[0].AsInt()<<32|tu[1].AsInt()] = tu[2].AsFloat()
+	}
+	for a := 0; a < g.N; a++ {
+		for b := 0; b < g.N; b++ {
+			w := want[a][b]
+			gv := got[int64(a)<<32|int64(b)]
+			if math.Abs(gv-w) > 1e-9 {
+				t.Fatalf("s(%d,%d)=%v, want %v", a, b, gv, w)
+			}
+		}
+	}
+}
+
+func TestDiameterEstimate(t *testing.T) {
+	g := graph.New(4, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	res, err := RunDiameter(engine.New(engine.OracleLike()), g, Params{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 3 {
+		t.Errorf("eccentricity estimate = %d, want 3", res.Iterations)
+	}
+}
+
+func TestAlgorithmsAgreeAcrossUBUAndAntiImpls(t *testing.T) {
+	g := testGraph(16)
+	e := engine.New(engine.OracleLike())
+	ref, err := RunPageRank(e, g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ubu := range []ra.UBUImpl{ra.UBUMerge, ra.UBUUpdateFrom, ra.UBUReplace} {
+		res, err := RunPageRank(engine.New(engine.OracleLike()), g, Params{UBU: ubu})
+		if err != nil {
+			t.Fatalf("%s: %v", ubu, err)
+		}
+		if !res.Rel.Equal(ref.Rel) {
+			t.Errorf("PR with %s differs", ubu)
+		}
+	}
+	dag := graph.GenerateDAG(60, 200, 17)
+	tsRef, err := RunTopoSort(engine.New(engine.OracleLike()), dag, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, anti := range []ra.AntiJoinImpl{ra.AntiNotExists, ra.AntiNotIn} {
+		res, err := RunTopoSort(engine.New(engine.OracleLike()), dag, Params{Anti: anti})
+		if err != nil {
+			t.Fatalf("%s: %v", anti, err)
+		}
+		if !res.Rel.Equal(tsRef.Rel) {
+			t.Errorf("TS with %s differs", anti)
+		}
+	}
+}
+
+func TestResultTraces(t *testing.T) {
+	g := testGraph(18)
+	res, err := RunPageRank(engine.New(engine.OracleLike()), g, Params{Iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterTimes) != 5 || len(res.IterRows) != 5 {
+		t.Fatalf("traces: %d times, %d rows", len(res.IterTimes), len(res.IterRows))
+	}
+	for i, rows := range res.IterRows {
+		if rows != g.N {
+			t.Errorf("iter %d: recursive relation has %d rows, want n=%d", i, rows, g.N)
+		}
+	}
+}
+
+func TestTCFromEarlySelection(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 40, M: 110, Directed: true, Skew: 2.0, Seed: 91})
+	full, err := RunTC(engine.New(engine.OracleLike()), g, Params{Depth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eFrom := engine.New(engine.OracleLike())
+	from, err := RunTCFrom(eFrom, g, 0, Params{Depth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Early selection = σ_{F=0} of the full closure.
+	want := map[int64]bool{}
+	for _, tu := range full.Rel.Tuples {
+		if tu[0].AsInt() == 0 {
+			want[tu[1].AsInt()] = true
+		}
+	}
+	got := map[int64]bool{}
+	for _, tu := range from.Rel.Tuples {
+		if tu[0].AsInt() != 0 {
+			t.Fatalf("early-selection result has foreign source: %v", tu)
+		}
+		got[tu[1].AsInt()] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reachable = %d, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if !got[v] {
+			t.Fatalf("missing reachable node %d", v)
+		}
+	}
+	// The optimization's point: vastly fewer tuples flow through the join.
+	if from.Rel.Len() >= full.Rel.Len() {
+		t.Errorf("early selection should shrink the closure: %d vs %d", from.Rel.Len(), full.Rel.Len())
+	}
+}
+
+func TestEngineWithTinyBufferPoolStillCorrect(t *testing.T) {
+	// A thrashing buffer pool must not change results, only cost.
+	g := testGraph(92)
+	want := refimpl.PageRank(g, 0.85, 8)
+	e := engine.NewWithFrames(engine.DB2Like(), 4)
+	res, err := RunPageRank(e, g, Params{Iters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := vecMap(res.Rel)
+	for v, w := range want {
+		if math.Abs(got[int64(v)]-w) > 1e-9 {
+			t.Fatalf("tiny pool changed results at %d", v)
+		}
+	}
+	if e.Disk().Reads == 0 {
+		t.Error("tiny pool should hit the disk")
+	}
+}

@@ -1,0 +1,409 @@
+package algos
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/value"
+)
+
+// This file implements the remaining Table 2 algorithms as relational
+// programs: Markov-Clustering (MM-join + sum), K-truss (count), and
+// Graph-Bisimulation (nonlinear partition refinement).
+
+// RunMarkovClustering runs MCL over the column-normalized undirected
+// adjacency matrix (with self-loops) stored as M(F,T,ew): expansion is an
+// MM-join under (+,·), inflation raises entries to p.C (default exponent
+// 2) and renormalizes columns, entries below 1e-6 are pruned. The result
+// relation maps (ID, cluster), where a cluster is named by its attractor
+// row.
+func RunMarkovClustering(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	r := 2.0 // the standard inflation exponent
+	const eps = 1e-6
+	mTab := tbl("mcl", "M")
+	// Build the symmetrized matrix with self loops, column normalized.
+	init := relation.New(graph.EdgeSchema())
+	type cell struct{ f, t int32 }
+	seen := map[cell]bool{}
+	add := func(f, t int32) {
+		if !seen[cell{f, t}] {
+			seen[cell{f, t}] = true
+			init.Append(relation.Tuple{value.Int(int64(f)), value.Int(int64(t)), value.Float(1)})
+		}
+	}
+	for i := int32(0); int(i) < g.N; i++ {
+		add(i, i)
+	}
+	for _, ed := range g.Edges {
+		if ed.F != ed.T {
+			add(ed.F, ed.T)
+			add(ed.T, ed.F)
+		}
+	}
+	norm, err := normalizeColumns(init)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(mTab, graph.EdgeSchema()); err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(mTab, norm); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for it := 0; it < p.MaxRecursion; it++ {
+		start := time.Now()
+		mt, err := e.Cat.Get(mTab)
+		if err != nil {
+			return nil, err
+		}
+		prev, err := mt.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		prev = prev.Clone()
+		// Expansion: M ← M·M (nonlinear MM-join).
+		sq, err := e.MMJoin(mt, mt, ra.EdgeMat(), ra.EdgeMat(), 1, 0, 0, 1, semiring.PlusTimes())
+		if err != nil {
+			return nil, err
+		}
+		// Inflation: entrywise power then column normalization + pruning.
+		inflated, err := ra.Project(sq, []ra.OutCol{
+			{Col: graph.EdgeSchema()[0], Expr: ra.ColExpr(0)},
+			{Col: graph.EdgeSchema()[1], Expr: ra.ColExpr(1)},
+			{Col: graph.EdgeSchema()[2], Expr: func(t relation.Tuple) (value.Value, error) {
+				return value.Float(math.Pow(t[2].AsFloat(), r)), nil
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		normed, err := normalizeColumns(inflated)
+		if err != nil {
+			return nil, err
+		}
+		pruned, err := ra.Select(normed, func(t relation.Tuple) (bool, error) {
+			return t[2].AsFloat() >= eps, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		final, err := normalizeColumns(pruned)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.UnionByUpdate(mTab, final, nil, ra.UBUReplace); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(mTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+		if matricesClose(prev, cur, 1e-9) {
+			break
+		}
+	}
+	m, err := e.Rel(mTab)
+	if err != nil {
+		return nil, err
+	}
+	// Cluster per column: the row with the column's maximum mass.
+	maxPer, err := ra.GroupBy(m, []int{1}, []ra.AggSpec{
+		ra.MaxAgg(schema.Column{Name: "mx", Type: value.KindFloat}, ra.ColExpr(2)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	jm := ra.EquiJoin(m, maxPer, ra.EquiJoinSpec{LeftCols: []int{1}, RightCols: []int{0}, Algo: ra.HashJoin})
+	top, err := ra.Select(jm, func(t relation.Tuple) (bool, error) {
+		return t[2].Equal(t[4]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := ra.GroupBy(top, []int{1}, []ra.AggSpec{
+		ra.MinAgg(schema.Column{Name: "cluster", Type: value.KindInt}, ra.ColExpr(0)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	clusters.Sch = schema.Schema{
+		{Name: "ID", Type: value.KindInt}, {Name: "cluster", Type: value.KindInt},
+	}
+	res.Rel = clusters
+	return res, nil
+}
+
+// normalizeColumns divides every entry by its column sum.
+func normalizeColumns(m *relation.Relation) (*relation.Relation, error) {
+	sums, err := ra.GroupBy(m, []int{1}, []ra.AggSpec{
+		ra.Sum(schema.Column{Name: "s", Type: value.KindFloat}, ra.ColExpr(2)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	j := ra.EquiJoin(m, sums, ra.EquiJoinSpec{LeftCols: []int{1}, RightCols: []int{0}, Algo: ra.HashJoin})
+	return ra.Project(j, []ra.OutCol{
+		{Col: graph.EdgeSchema()[0], Expr: ra.ColExpr(0)},
+		{Col: graph.EdgeSchema()[1], Expr: ra.ColExpr(1)},
+		{Col: graph.EdgeSchema()[2], Expr: func(t relation.Tuple) (value.Value, error) {
+			return value.Div(t[2], t[4])
+		}},
+	})
+}
+
+func matricesClose(a, b *relation.Relation, tol float64) bool {
+	am := map[int64]float64{}
+	for _, t := range a.Tuples {
+		am[t[0].AsInt()<<32|t[1].AsInt()] = t[2].AsFloat()
+	}
+	bm := map[int64]float64{}
+	for _, t := range b.Tuples {
+		bm[t[0].AsInt()<<32|t[1].AsInt()] = t[2].AsFloat()
+	}
+	for k, v := range am {
+		if math.Abs(bm[k]-v) > tol {
+			return false
+		}
+	}
+	for k, v := range bm {
+		if math.Abs(am[k]-v) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// RunKTruss iteratively removes edges with triangle support below k-2:
+// support is a count aggregation over the two-hop join E ⋈ E ⋈ E (the
+// paper's K-truss row). The result relation holds the surviving canonical
+// undirected edges (F < T).
+func RunKTruss(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab := tbl("ktruss", "E")
+	if err := loadEdges(e, g, eTab, true); err != nil {
+		return nil, err
+	}
+	cur, err := e.Rel(eTab)
+	if err != nil {
+		return nil, err
+	}
+	curTab := tbl("ktruss", "Ec")
+	if _, err := e.EnsureTemp(curTab, graph.EdgeSchema()); err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(curTab, ra.Distinct(cur)); err != nil {
+		return nil, err
+	}
+	need := int64(p.K - 2)
+	res := &Result{}
+	for it := 0; it < p.MaxRecursion; it++ {
+		start := time.Now()
+		ct, err := e.Cat.Get(curTab)
+		if err != nil {
+			return nil, err
+		}
+		before := ct.Rows()
+		// Two-hop paths a→b→c...
+		hop, err := e.Join(ct, ct, []int{1}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		// ...closed by an a→c edge: triangle per (a,b).
+		closedTab := tbl("ktruss", "Hop")
+		hopAC := ra.ProjectCols(hop, []int{0, 1, 4})
+		hopAC.Sch = schema.Schema{
+			{Name: "F", Type: value.KindInt}, {Name: "T", Type: value.KindInt},
+			{Name: "C", Type: value.KindInt},
+		}
+		if _, err := e.EnsureTemp(closedTab, hopAC.Sch); err != nil {
+			return nil, err
+		}
+		if err := e.StoreInto(closedTab, hopAC); err != nil {
+			return nil, err
+		}
+		hT, err := e.Cat.Get(closedTab)
+		if err != nil {
+			return nil, err
+		}
+		closed, err := e.Join(hT, ct, []int{0, 2}, []int{0, 1})
+		if err != nil {
+			return nil, err
+		}
+		support, err := ra.GroupBy(closed, []int{0, 1}, []ra.AggSpec{
+			ra.Count(schema.Column{Name: "sup", Type: value.KindInt}, nil),
+		})
+		if err != nil {
+			return nil, err
+		}
+		strong, err := ra.Select(support, func(t relation.Tuple) (bool, error) {
+			return t[2].AsInt() >= need, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Keep only edges whose support qualifies (semi-join); edges with
+		// zero triangles vanish from `support` entirely, so the semi-join
+		// against `strong` removes them too.
+		curRel, err := ct.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		kept := ra.SemiJoin(curRel, strong, []int{0, 1}, []int{0, 1})
+		if err := e.StoreInto(curTab, kept); err != nil {
+			return nil, err
+		}
+		res.trace(start, kept.Len())
+		if kept.Len() == before {
+			break
+		}
+	}
+	final, err := e.Rel(curTab)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := ra.Select(final, func(t relation.Tuple) (bool, error) {
+		return t[0].AsInt() < t[1].AsInt(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rel = ra.ProjectCols(canon, []int{0, 1})
+	return res, nil
+}
+
+// RunBisimulation refines the block partition until two nodes share a
+// block iff they agree on label and successor-block set. Successor sets
+// are summarized by an order-independent sum of block-id hashes over the
+// DISTINCT successor blocks — a count/sum aggregation formulation of the
+// paper's Graph-Bisimulation row. The result relation is (ID, block).
+func RunBisimulation(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab, bTab := tbl("bisim", "E"), tbl("bisim", "B")
+	if err := loadEdges(e, g, eTab, false); err != nil {
+		return nil, err
+	}
+	bSch := schema.Schema{
+		{Name: "ID", Type: value.KindInt}, {Name: "blk", Type: value.KindInt},
+	}
+	if _, err := e.EnsureTemp(bTab, bSch); err != nil {
+		return nil, err
+	}
+	init := relation.New(bSch)
+	for i := 0; i < g.N; i++ {
+		b := int64(0)
+		if g.Labels != nil {
+			b = int64(g.Labels[i])
+		}
+		init.Append(relation.Tuple{value.Int(int64(i)), value.Int(b)})
+	}
+	initCanon, err := canonicalBlocks(init)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(bTab, initCanon); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for it := 0; it < p.MaxRecursion; it++ {
+		start := time.Now()
+		bt, err := e.Cat.Get(bTab)
+		if err != nil {
+			return nil, err
+		}
+		prev, err := bt.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		prev = prev.Clone()
+		// Successor blocks per node: distinct (E.F, blk(E.T)).
+		j, err := e.Join(et, bt, []int{1}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		succ := ra.Distinct(ra.ProjectCols(j, []int{0, 4}))
+		// Signature: sum of hashes of distinct successor blocks.
+		sig, err := ra.GroupBy(succ, []int{0}, []ra.AggSpec{
+			// The golden-ratio offset keeps mix64 nonzero for block 0, so a
+			// successor set {0} differs from the empty set (signature 0).
+			ra.Sum(schema.Column{Name: "sig", Type: value.KindInt}, func(t relation.Tuple) (value.Value, error) {
+				return value.Int(int64(mix64(uint64(t[1].AsInt()) + 0x9e3779b97f4a7c15))), nil
+			}),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Complete nodes with no successors (signature 0).
+		zero, err := ra.Project(prev, []ra.OutCol{
+			{Col: schema.Column{Name: "ID", Type: value.KindInt}, Expr: ra.ColExpr(0)},
+			{Col: schema.Column{Name: "sig", Type: value.KindInt}, Expr: ra.ConstExpr(value.Int(0))},
+		})
+		if err != nil {
+			return nil, err
+		}
+		sigFull, err := ra.UnionByUpdate(zero, sig, []int{0}, ra.UBUFullOuter)
+		if err != nil {
+			return nil, err
+		}
+		// (ID, blk, sig) → new block = min ID per (blk, sig) group.
+		trip := ra.EquiJoin(prev, sigFull, ra.EquiJoinSpec{LeftCols: []int{0}, RightCols: []int{0}, Algo: ra.HashJoin})
+		groups, err := ra.GroupBy(trip, []int{1, 3}, []ra.AggSpec{
+			ra.MinAgg(schema.Column{Name: "nb", Type: value.KindInt}, ra.ColExpr(0)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		joined := ra.EquiJoin(trip, groups, ra.EquiJoinSpec{LeftCols: []int{1, 3}, RightCols: []int{0, 1}, Algo: ra.HashJoin})
+		next := ra.ProjectCols(joined, []int{0, 6})
+		next.Sch = bSch
+		if err := e.UnionByUpdate(bTab, next, []int{0}, ra.UBUFullOuter); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(bTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+		if cur.Equal(prev) {
+			break
+		}
+	}
+	res.Rel, err = e.Rel(bTab)
+	return res, err
+}
+
+// canonicalBlocks rewrites block labels to the smallest member ID.
+func canonicalBlocks(b *relation.Relation) (*relation.Relation, error) {
+	mins, err := ra.GroupBy(b, []int{1}, []ra.AggSpec{
+		ra.MinAgg(schema.Column{Name: "m", Type: value.KindInt}, ra.ColExpr(0)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	j := ra.EquiJoin(b, mins, ra.EquiJoinSpec{LeftCols: []int{1}, RightCols: []int{0}, Algo: ra.HashJoin})
+	out := ra.ProjectCols(j, []int{0, 3})
+	out.Sch = b.Sch
+	return out, nil
+}
+
+// mix64 is SplitMix64's finalizer: a strong 64-bit hash for block ids.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,188 @@
+package algos
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/refimpl"
+)
+
+// twoCliques builds two well-separated communities joined by one bridge.
+func twoCliques(k int) *graph.Graph {
+	g := graph.New(2*k, false)
+	for a := int32(0); a < int32(k); a++ {
+		for b := a + 1; b < int32(k); b++ {
+			g.AddUndirected(a, b, 1)
+			g.AddUndirected(a+int32(k), b+int32(k), 1)
+		}
+	}
+	g.AddUndirected(0, int32(k), 1) // bridge
+	return g
+}
+
+func TestMarkovClusteringFindsCommunities(t *testing.T) {
+	g := twoCliques(5)
+	want := refimpl.MarkovClustering(g, 2, 1e-6, 50)
+	for _, prof := range testProfiles() {
+		res, err := RunMarkovClustering(engine.New(prof), g, Params{MaxRecursion: 50})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		got := map[int64]int64{}
+		for _, tu := range res.Rel.Tuples {
+			got[tu[0].AsInt()] = tu[1].AsInt()
+		}
+		if len(got) != g.N {
+			t.Fatalf("%s: clustered %d of %d nodes", prof.Name, len(got), g.N)
+		}
+		// Communities must match the reference exactly up to relabeling:
+		// nodes in one clique share a cluster; the two cliques differ.
+		for a := 0; a < g.N; a++ {
+			for b := a + 1; b < g.N; b++ {
+				sameRef := want[a] == want[b]
+				sameGot := got[int64(a)] == got[int64(b)]
+				if sameRef != sameGot {
+					t.Fatalf("%s: pair (%d,%d) grouping differs from reference", prof.Name, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestMarkovClusteringReferenceSeparatesCliques(t *testing.T) {
+	g := twoCliques(5)
+	c := refimpl.MarkovClustering(g, 2, 1e-6, 50)
+	if c[0] == c[5] {
+		t.Error("bridged cliques should split into two clusters")
+	}
+	for i := 1; i < 5; i++ {
+		if c[i] != c[0] || c[i+5] != c[5] {
+			t.Errorf("clique members split: %v", c)
+		}
+	}
+}
+
+func TestKTrussMatchesReference(t *testing.T) {
+	// A 5-clique with a dangling path: the clique is a 4-truss (each edge
+	// in 3 triangles); the path survives no truss with k >= 3.
+	g := graph.New(8, false)
+	for a := int32(0); a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			g.AddUndirected(a, b, 1)
+		}
+	}
+	g.AddUndirected(4, 5, 1)
+	g.AddUndirected(5, 6, 1)
+	g.AddUndirected(6, 7, 1)
+	for _, k := range []int{3, 4, 5} {
+		want := refimpl.KTruss(g, k)
+		res, err := RunKTruss(engine.New(engine.OracleLike()), g, Params{K: k, MaxRecursion: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[int64]bool{}
+		for _, tu := range res.Rel.Tuples {
+			got[tu[0].AsInt()<<32|tu[1].AsInt()] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d edges, want %d", k, len(got), len(want))
+		}
+		for key := range want {
+			if !got[key] {
+				t.Fatalf("k=%d: missing edge %d-%d", k, key>>32, key&0xffffffff)
+			}
+		}
+	}
+	// k=6 empties a 5-clique.
+	res, err := RunKTruss(engine.New(engine.OracleLike()), g, Params{K: 6, MaxRecursion: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel.Len() != 0 {
+		t.Errorf("6-truss of a 5-clique should be empty, got %d edges", res.Rel.Len())
+	}
+}
+
+func TestKTrussOnRandomGraph(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 40, M: 200, Directed: false, Skew: 2.0, Seed: 31})
+	want := refimpl.KTruss(g, 4)
+	res, err := RunKTruss(engine.New(engine.DB2Like()), g, Params{K: 4, MaxRecursion: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]bool{}
+	for _, tu := range res.Rel.Tuples {
+		got[tu[0].AsInt()<<32|tu[1].AsInt()] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("edges = %d, want %d", len(got), len(want))
+	}
+}
+
+func TestBisimulationMatchesReference(t *testing.T) {
+	// A balanced binary tree: all leaves are bisimilar, all depth-1 nodes
+	// are bisimilar, and so on.
+	g := graph.New(7, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(1, 4, 1)
+	g.AddEdge(2, 5, 1)
+	g.AddEdge(2, 6, 1)
+	want, rounds := refimpl.Bisimulation(g)
+	if rounds < 2 {
+		t.Fatalf("refinement rounds = %d", rounds)
+	}
+	// Expected partition: {0}, {1,2}, {3,4,5,6}.
+	if want[1] != want[2] || want[3] != want[6] || want[0] == want[1] || want[1] == want[3] {
+		t.Fatalf("reference partition wrong: %v", want)
+	}
+	for _, prof := range testProfiles() {
+		res, err := RunBisimulation(engine.New(prof), g, Params{})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		got := map[int64]int64{}
+		for _, tu := range res.Rel.Tuples {
+			got[tu[0].AsInt()] = tu[1].AsInt()
+		}
+		for v := range want {
+			if got[int64(v)] != want[v] {
+				t.Fatalf("%s: block[%d] = %d, want %d", prof.Name, v, got[int64(v)], want[v])
+			}
+		}
+	}
+}
+
+func TestBisimulationWithLabelsAndRandomGraphs(t *testing.T) {
+	for seed := int64(40); seed < 43; seed++ {
+		g := graph.Generate(graph.GenSpec{N: 50, M: 150, Directed: true, Skew: 2.0, Seed: seed, NumLabels: 3})
+		want, _ := refimpl.Bisimulation(g)
+		res, err := RunBisimulation(engine.New(engine.OracleLike()), g, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[int64]int64{}
+		for _, tu := range res.Rel.Tuples {
+			got[tu[0].AsInt()] = tu[1].AsInt()
+		}
+		for v := range want {
+			if got[int64(v)] != want[v] {
+				t.Fatalf("seed %d: block[%d] = %d, want %d", seed, v, got[int64(v)], want[v])
+			}
+		}
+	}
+}
+
+func TestExtensionRegistryEntries(t *testing.T) {
+	for _, code := range []string{"MCL", "KT", "BSIM"} {
+		a, err := ByCode(code)
+		if err != nil {
+			t.Fatalf("%s missing: %v", code, err)
+		}
+		if !a.Nonlinear {
+			t.Errorf("%s should be nonlinear (Table 2)", code)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package algos
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// This file implements the *plain* SQL'99 recursive WITH formulations the
+// paper compares WITH+ against in Exp-C: the PostgreSQL-only PageRank of
+// Fig. 9 (PARTITION BY + DISTINCT, accumulating one generation of tuples
+// per iteration) and the Fig. 1 transitive closure under SQL'99
+// working-table semantics.
+
+func legacyPRSchema() schema.Schema {
+	return schema.Schema{
+		{Name: "ID", Type: value.KindInt},
+		{Name: "W", Type: value.KindFloat},
+		{Name: "L", Type: value.KindInt},
+	}
+}
+
+// RunLegacyPageRank executes Fig. 9: the recursive relation P(ID, W, L)
+// accumulates a full generation of n tuples per iteration because plain
+// WITH cannot update values — only PARTITION BY (keeping every joined row)
+// plus DISTINCT (collapsing each group to one row per node) is allowed.
+// Only the PostgreSQL-like profile supports this formulation (Table 1:
+// DB2 lacks analytical functions in the recursive step; Oracle lacks
+// DISTINCT). The result relation holds the L = p.Iters generation.
+func RunLegacyPageRank(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	if e.Prof.Features.PartitionBy != "yes" || e.Prof.Features.Distinct != "yes" {
+		return nil, &UnsupportedError{Profile: e.Prof.Name, Feature: "partition by + distinct in recursive WITH"}
+	}
+	eTab := tbl("lpr", "E")
+	if err := loadNormalizedEdges(e, g, eTab); err != nil {
+		return nil, err
+	}
+	accTab := tbl("lpr", "P")
+	if _, err := e.EnsureTemp(accTab, legacyPRSchema()); err != nil {
+		return nil, err
+	}
+	n := float64(g.N)
+	init := relation.New(legacyPRSchema())
+	for i := 0; i < g.N; i++ {
+		init.Append(relation.Tuple{value.Int(int64(i)), value.Float(1 / n), value.Int(0)})
+	}
+	if err := e.StoreInto(accTab, init); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	working := init
+	base := g.NodeRelation(func(int) float64 { return (1 - p.C) / n })
+	for it := 1; it <= p.Iters; it++ {
+		start := time.Now()
+		// Working-table join: P ⋈ E on P.ID = E.F (the rows added last
+		// iteration only, as SQL'99 prescribes).
+		eRel, err := et.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		joined := ra.EquiJoin(working, eRel, ra.EquiJoinSpec{
+			LeftCols: []int{0}, RightCols: []int{0}, Algo: e.Prof.TempJoin,
+		})
+		e.Cnt.Joins++
+		// PARTITION BY E.T: every joined row is kept, annotated with the
+		// partition sum — the mechanism that blows up the tuple count.
+		part, err := ra.PartitionBy(joined, []int{4}, ra.Sum(
+			schema.Column{Name: "s", Type: value.KindFloat},
+			func(t relation.Tuple) (value.Value, error) {
+				return value.Mul(t[1], t[5])
+			}))
+		if err != nil {
+			return nil, err
+		}
+		level := it
+		gen, err := ra.Project(part, []ra.OutCol{
+			{Col: legacyPRSchema()[0], Expr: ra.ColExpr(4)},
+			{Col: legacyPRSchema()[1], Expr: func(t relation.Tuple) (value.Value, error) {
+				return value.Float(p.C*t[6].AsFloat() + (1-p.C)/n), nil
+			}},
+			{Col: legacyPRSchema()[2], Expr: ra.ConstExpr(value.Int(int64(level)))},
+		})
+		if err != nil {
+			return nil, err
+		}
+		// DISTINCT collapses each partition back to one row per node.
+		gen = ra.Distinct(gen)
+		// Nodes with no in-edges still need their generation row; plain
+		// WITH handles this with an extra initial-style arm, modeled here
+		// by completing against the base vector.
+		completed, err := ra.UnionByUpdate(levelled(base, level), gen, []int{0}, ra.UBUFullOuter)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.AppendInto(accTab, completed); err != nil {
+			return nil, err
+		}
+		working = completed
+		cur, err := e.Rel(accTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+	}
+	acc, err := e.Rel(accTab)
+	if err != nil {
+		return nil, err
+	}
+	final, err := ra.Select(acc, func(t relation.Tuple) (bool, error) {
+		return t[2].AsInt() == int64(p.Iters), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rel = ra.ProjectCols(final, []int{0, 1})
+	return res, nil
+}
+
+// levelled widens a (ID, vw) vector to (ID, W, L) at the given level.
+func levelled(v *relation.Relation, level int) *relation.Relation {
+	out := relation.NewWithCap(legacyPRSchema(), v.Len())
+	for _, t := range v.Tuples {
+		out.Tuples = append(out.Tuples, relation.Tuple{t[0], t[1], value.Int(int64(level))})
+	}
+	return out
+}
+
+// RunLegacyTC executes Fig. 1 under SQL'99 semantics: the recursive
+// reference sees the working table (last iteration's new rows); UNION
+// (PostgreSQL) removes duplicates across iterations; UNION ALL (Oracle,
+// DB2) cannot, so on cyclic data it only terminates via the depth bound —
+// the reason the paper's Fig. 13 shows PostgreSQL only. dedup selects
+// which behaviour to model.
+func RunLegacyTC(e *engine.Engine, g *graph.Graph, p Params, dedup bool) (*Result, error) {
+	depth := p.Depth
+	p = p.Defaults(g)
+	if depth > p.MaxRecursion {
+		p.MaxRecursion = depth
+	}
+	eTab := tbl("ltc", "E")
+	if err := loadEdges(e, g, eTab, false); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	eRel, err := et.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	pairSch := schema.Schema{
+		{Name: "F", Type: value.KindInt}, {Name: "T", Type: value.KindInt},
+	}
+	pairs := ra.Distinct(ra.ProjectCols(eRel, []int{0, 1}))
+	pairs.Sch = pairSch
+	accTab := tbl("ltc", "TC")
+	if _, err := e.EnsureTemp(accTab, pairSch); err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(accTab, pairs); err != nil {
+		return nil, err
+	}
+	working := pairs
+	res := &Result{}
+	for it := 1; depth <= 0 || it < depth; it++ {
+		start := time.Now()
+		joined := ra.EquiJoin(working, eRel, ra.EquiJoinSpec{
+			LeftCols: []int{1}, RightCols: []int{0}, Algo: e.Prof.TempJoin,
+		})
+		e.Cnt.Joins++
+		next := ra.ProjectCols(joined, []int{0, 3})
+		next.Sch = pairSch
+		if dedup {
+			acc, err := e.Rel(accTab)
+			if err != nil {
+				return nil, err
+			}
+			next = ra.Difference(ra.Distinct(next), acc)
+		}
+		if next.Len() == 0 {
+			res.trace(start, mustLen(e, accTab))
+			break
+		}
+		if err := e.AppendInto(accTab, next); err != nil {
+			return nil, err
+		}
+		working = next
+		res.trace(start, mustLen(e, accTab))
+		if it >= p.MaxRecursion {
+			break
+		}
+	}
+	res.Rel, err = e.Rel(accTab)
+	return res, err
+}
+
+func mustLen(e *engine.Engine, name string) int {
+	r, err := e.Rel(name)
+	if err != nil {
+		return -1
+	}
+	return r.Len()
+}
+
+// UnsupportedError reports that an engine profile cannot express a query
+// form (Table 1's ✗ cells).
+type UnsupportedError struct {
+	Profile string
+	Feature string
+}
+
+func (e *UnsupportedError) Error() string {
+	return "algos: " + e.Profile + " does not support " + e.Feature
+}

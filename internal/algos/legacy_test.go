@@ -1,0 +1,115 @@
+package algos
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/refimpl"
+)
+
+func TestLegacyPageRankMatchesReference(t *testing.T) {
+	g := testGraph(21)
+	want := refimpl.PageRank(g, 0.85, 10)
+	e := engine.New(engine.PostgresLike(true))
+	res, err := RunLegacyPageRank(e, g, Params{Iters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := vecMap(res.Rel)
+	if len(got) != g.N {
+		t.Fatalf("final generation has %d rows", len(got))
+	}
+	for v, w := range want {
+		if math.Abs(got[int64(v)]-w) > 1e-9 {
+			t.Fatalf("legacy PR[%d] = %v, want %v", v, got[int64(v)], w)
+		}
+	}
+}
+
+func TestLegacyPageRankAccumulatesTuples(t *testing.T) {
+	// Fig. 12(b): plain WITH accumulates ~n tuples per iteration while
+	// WITH+ stays at n.
+	g := testGraph(22)
+	e := engine.New(engine.PostgresLike(false))
+	res, err := RunLegacyPageRank(e, g, Params{Iters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterRows) != 8 {
+		t.Fatalf("iterations = %d", len(res.IterRows))
+	}
+	for i := 1; i < len(res.IterRows); i++ {
+		if res.IterRows[i] != res.IterRows[i-1]+g.N {
+			t.Fatalf("iteration %d rows %d, want +n growth from %d", i, res.IterRows[i], res.IterRows[i-1])
+		}
+	}
+	plus, err := RunPageRank(engine.New(engine.PostgresLike(false)), g, Params{Iters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range plus.IterRows {
+		if rows != g.N {
+			t.Fatalf("WITH+ should stay at n rows, got %d", rows)
+		}
+	}
+	if last := res.IterRows[len(res.IterRows)-1]; last != 9*g.N {
+		t.Errorf("plain WITH accumulated %d rows, want %d", last, 9*g.N)
+	}
+}
+
+func TestLegacyPageRankUnsupportedProfiles(t *testing.T) {
+	g := testGraph(23)
+	for _, prof := range []engine.Profile{engine.OracleLike(), engine.DB2Like()} {
+		_, err := RunLegacyPageRank(engine.New(prof), g, Params{Iters: 3})
+		var ue *UnsupportedError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s should reject Fig. 9 (got %v)", prof.Name, err)
+		}
+	}
+}
+
+func TestLegacyTCMatchesReference(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 25, M: 60, Directed: true, Skew: 2.0, Seed: 24})
+	want := refimpl.TransitiveClosure(g, 0)
+	e := engine.New(engine.PostgresLike(false))
+	res, err := RunLegacyTC(e, g, Params{Depth: 0}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]bool{}
+	for _, tu := range res.Rel.Tuples {
+		got[tu[0].AsInt()<<32|tu[1].AsInt()] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("|TC| = %d, want %d", len(got), len(want))
+	}
+}
+
+func TestLegacyTCWithoutDedupNeedsDepthBound(t *testing.T) {
+	// A cycle: UNION ALL semantics never converge; only the depth bound
+	// stops the recursion — exactly why DB2/Oracle "take too long" in
+	// Exp-C.
+	g := graph.New(3, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	e := engine.New(engine.OracleLike())
+	res, err := RunLegacyTC(e, g, Params{Depth: 6}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 initial + 3 per iteration × 5 iterations = 18 accumulated rows.
+	if res.Rel.Len() != 18 {
+		t.Errorf("union all accumulation = %d rows, want 18", res.Rel.Len())
+	}
+	dedup, err := RunLegacyTC(engine.New(engine.PostgresLike(false)), g, Params{Depth: 6}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dedup.Rel.Len() != 9 {
+		t.Errorf("union dedup = %d rows, want 9", dedup.Rel.Len())
+	}
+}

@@ -1,0 +1,214 @@
+package algos
+
+import "fmt"
+
+// This file collects the paper's WITH+ statements as parameterized SQL
+// texts (Figs. 1, 3, 5, 6 and companions), runnable through the withplus
+// pipeline against base tables E(F,T,ew) / En(F,T,ew normalized) /
+// V(ID,vw). They are what cmd/gsql scripts and the examples use, and the
+// withplus tests verify them against the reference implementations.
+
+// TCSQL is the Fig. 1 transitive closure with the Exp-C depth bound
+// (depth 0 omits the bound). maxrecursion counts loop iterations, and each
+// iteration extends the closure by one join, so a bound of d covers paths
+// of up to d+1 edges.
+func TCSQL(depth int) string {
+	bound := ""
+	if depth > 0 {
+		bound = fmt.Sprintf("\n  maxrecursion %d", depth)
+	}
+	return fmt.Sprintf(`
+with TC(F, T) as (
+  (select F, T from E)
+  union all
+  (select TC.F, E.T from TC, E where TC.T = E.F)%s)
+select F, T from TC`, bound)
+}
+
+// PageRankSQL is Fig. 3 with the dangling-complete left-outer-join form
+// (nodes without in-edges take (1-c)/n instead of staying at their
+// initialization), over the out-degree-normalized edge table En.
+func PageRankSQL(n, iters int, c float64) string {
+	return fmt.Sprintf(`
+with
+P(ID, W) as (
+  (select V.ID, 1.0 / %[1]d from V)
+  union by update ID
+  (select V.ID, %[3]g * coalesce(s.w, 0.0) + %[4]g / %[1]d
+   from V left outer join
+     (select E.T tid, sum(W * ew) w from P, En E where P.ID = E.F group by E.T) s
+   on V.ID = s.tid)
+  maxrecursion %[2]d)
+select ID, W from P`, n, iters, c, 1-c)
+}
+
+// PageRankFig3SQL is Fig. 3 verbatim (zero-initialized; nodes without
+// in-edges stay at 0 — the paper's exact formulation).
+func PageRankFig3SQL(n, iters int, c float64) string {
+	return fmt.Sprintf(`
+with
+P(ID, W) as (
+  (select V.ID, 0.0 from V)
+  union by update ID
+  (select E.T, %[3]g * sum(W * ew) + %[4]g / %[1]d from P, En E
+   where P.ID = E.F group by E.T)
+  maxrecursion %[2]d)
+select ID, W from P`, n, iters, c, 1-c)
+}
+
+// TopoSortSQL is Fig. 5 verbatim.
+func TopoSortSQL() string {
+	return `
+with
+Topo(ID, L) as (
+  (select ID, 0 from V
+   where ID not in select E.T from E)
+  union all
+  (select ID, L from T_n
+   computed by
+     L_n(L) as select max(L) + 1 from Topo;
+     V_1 as
+       select V.ID from V
+       where ID not in select ID from Topo;
+     E_1 as
+       select E.F, E.T from V_1, E
+       where V_1.ID = E.F;
+     T_n as
+       select ID, L from V_1, L_n
+       where ID not in select T from E_1;))
+select ID, L from Topo`
+}
+
+// HITSSQL is Fig. 6 with dangling-complete authority/hub vectors (left
+// outer joins keep nodes with no in-/out-edges at value 0, matching the
+// matrix formulation of Eq. (12)).
+func HITSSQL(iters int) string {
+	return fmt.Sprintf(`
+with
+H(ID, h, a) as (
+  (select ID, 1.0, 1.0 from V)
+  union by update
+  (select R_ha.ID, h2 / sqrt(nh), a2 / sqrt(na)
+   from R_ha, R_n
+   computed by
+     H_h as select ID, h from H;
+     R_a as
+       select V.ID, coalesce(s.aa, 0.0) a2 from V left outer join
+         (select E.T tid, sum(h * ew) aa from H_h, E where H_h.ID = E.F group by E.T) s
+       on V.ID = s.tid;
+     R_h as
+       select V.ID, coalesce(s.hh, 0.0) h2 from V left outer join
+         (select E.F fid, sum(a2 * ew) hh from R_a, E where R_a.ID = E.T group by E.F) s
+       on V.ID = s.fid;
+     R_ha as select R_h.ID ID, h2, a2 from R_h, R_a where R_h.ID = R_a.ID;
+     R_n(nh, na) as select sum(h2 * h2), sum(a2 * a2) from R_ha;)
+  maxrecursion %d)
+select ID, h, a from H`, iters)
+}
+
+// SSSPSQL is the Eq. (7) Bellman-Ford with the min(old, new) relaxation
+// guard, from the given source. Unreached nodes keep the 1e18 sentinel.
+func SSSPSQL(source int) string {
+	return fmt.Sprintf(`
+with
+D(ID, dist) as (
+  (select ID, 0.0 from V where ID = %[1]d)
+  union all
+  (select ID, 1e18 from V where ID <> %[1]d)
+  union by update ID
+  (select D.ID, least(D.dist, s.nd) from D,
+     (select E.T tid, min(dist + ew) nd from D, E where D.ID = E.F group by E.T) s
+   where D.ID = s.tid))
+select ID, dist from D`, source)
+}
+
+// WCCSQL computes weakly-connected components (Eq. (6)) assuming the edge
+// table already holds both directions (load a symmetrized graph, or union
+// the transpose into E). Labels start as node IDs and the minimum floods.
+func WCCSQL() string {
+	return `
+with
+C(ID, lbl) as (
+  (select ID, ID from V)
+  union by update ID
+  (select C.ID, least(C.lbl, s.m) from C,
+     (select E.T tid, min(lbl * ew) m from C, E where C.ID = E.F group by E.T) s
+   where C.ID = s.tid))
+select ID, lbl from C`
+}
+
+// BFSSQL is Eq. (5): reachability flags from the source under (max, *).
+func BFSSQL(source int) string {
+	return fmt.Sprintf(`
+with
+R(ID, vw) as (
+  (select ID, 1.0 from V where ID = %[1]d)
+  union all
+  (select ID, 0.0 from V where ID <> %[1]d)
+  union by update ID
+  (select R.ID, greatest(R.vw, s.m) from R,
+     (select E.T tid, max(vw * ew) m from R, E where R.ID = E.F group by E.T) s
+   where R.ID = s.tid))
+select ID, vw from R`, source)
+}
+
+// LPSQL is Label-Propagation as a pure WITH+ statement over base tables E
+// and VL(ID, lbl): per iteration, computed-by tables build the
+// per-(node, label) counts, the per-node maximum count, and the smallest
+// label reaching it, which union-by-updates the label table — the paper's
+// count-aggregation row of Table 2.
+func LPSQL(iters int) string {
+	return fmt.Sprintf(`
+with
+L(ID, lbl) as (
+  (select ID, lbl from VL)
+  union by update ID
+  (select ID, lbl from Best
+   computed by
+     Cnt(ID, lbl, c) as
+       select E.T, L.lbl, count(*) from L, E
+       where L.ID = E.F group by E.T, L.lbl;
+     Mx(ID, mx) as select ID, max(c) from Cnt group by ID;
+     Best(ID, lbl) as
+       select Cnt.ID, min(Cnt.lbl) from Cnt, Mx
+       where Cnt.ID = Mx.ID and Cnt.c = Mx.mx group by Cnt.ID;)
+  maxrecursion %d)
+select ID, lbl from L`, iters)
+}
+
+// KCoreSQL is the paper's KC loop as a pure WITH+ statement over a
+// symmetrized edge table E: the recursive relation is the surviving edge
+// set, replaced wholesale each iteration (the attribute-less
+// union-by-update) after restricting both endpoints to nodes of degree > k.
+func KCoreSQL(k int) string {
+	return fmt.Sprintf(`
+with
+Ec(F, T) as (
+  (select F, T from E)
+  union by update
+  (select F, T from E2
+   computed by
+     Deg(ID, d) as select F, count(*) from Ec group by F;
+     Vk as select ID from Deg where d > %d;
+     E1 as select Ec.F, Ec.T from Ec, Vk where Ec.F = Vk.ID;
+     E2 as select E1.F, E1.T from E1, Vk where E1.T = Vk.ID;))
+select distinct F from Ec`, k)
+}
+
+// KSSQL is Keyword-Search as a WITH+ statement: per-keyword indicator
+// columns are ORed (via greatest/max) with out-neighbours' indicators for
+// `depth` rounds. The initial indicators come from a base table
+// KInit(ID, b0, b1, b2) the caller loads from the node labels.
+func KSSQL(depth int) string {
+	return fmt.Sprintf(`
+with
+K(ID, b0, b1, b2) as (
+  (select ID, b0, b1, b2 from KInit)
+  union by update ID
+  (select K.ID, greatest(K.b0, s.m0), greatest(K.b1, s.m1), greatest(K.b2, s.m2)
+   from K, (select E.F fid, max(b0) m0, max(b1) m1, max(b2) m2
+            from K, E where K.ID = E.T group by E.F) s
+   where K.ID = s.fid)
+  maxrecursion %d)
+select ID, b0, b1, b2 from K`, depth)
+}

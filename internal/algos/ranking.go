@@ -1,0 +1,411 @@
+package algos
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/value"
+)
+
+// loadNormalizedEdges loads E with ew = 1/outdeg(F) — the stochastic matrix
+// PageRank-family algorithms multiply by.
+func loadNormalizedEdges(e *engine.Engine, g *graph.Graph, name string) error {
+	if e.Cat.Has(name) {
+		return nil
+	}
+	deg := g.OutDegrees()
+	r := relation.NewWithCap(graph.EdgeSchema(), g.M())
+	for _, ed := range g.Edges {
+		r.Tuples = append(r.Tuples, relation.Tuple{
+			value.Int(int64(ed.F)), value.Int(int64(ed.T)),
+			value.Float(1.0 / float64(deg[ed.F])),
+		})
+	}
+	_, err := e.LoadBase(name, r)
+	return err
+}
+
+// RunPageRank runs Eq. (9) for p.Iters fixed iterations:
+// vw ← c·Σ_in(vw·ew) + (1−c)/n over the out-degree-normalized edges,
+// starting from the uniform vector. Nodes without in-edges take the base
+// value (1−c)/n (the dangling-free completion the f₁(·) formula implies;
+// Fig. 3's zero-initialized variant leaves them at 0, which we note in
+// EXPERIMENTS.md).
+func RunPageRank(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab, vTab := tbl("pr", "E"), tbl("pr", "V")
+	if err := loadNormalizedEdges(e, g, eTab); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(vTab, graph.NodeSchema()); err != nil {
+		return nil, err
+	}
+	n := float64(g.N)
+	init := g.NodeRelation(func(int) float64 { return 1 / n })
+	if err := e.StoreInto(vTab, init); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	base := g.NodeRelation(func(int) float64 { return (1 - p.C) / n })
+	for it := 0; it < p.Iters; it++ {
+		start := time.Now()
+		vt, err := e.Cat.Get(vTab)
+		if err != nil {
+			return nil, err
+		}
+		mv, err := e.MVJoin(et, vt, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes())
+		if err != nil {
+			return nil, err
+		}
+		scaled, err := ra.Project(mv, []ra.OutCol{
+			{Col: schema.Column{Name: "ID", Type: value.KindInt}, Expr: ra.ColExpr(0)},
+			{Col: schema.Column{Name: "vw", Type: value.KindFloat}, Expr: func(t relation.Tuple) (value.Value, error) {
+				return value.Float(p.C*t[1].AsFloat() + (1-p.C)/n), nil
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		merged, err := ra.UnionByUpdate(base, scaled, []int{0}, ra.UBUFullOuter)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.UnionByUpdate(vTab, merged, []int{0}, p.UBU); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(vTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+	}
+	res.Rel, err = e.Rel(vTab)
+	return res, err
+}
+
+// RunRWR runs Random-Walk-with-Restart (Eq. (10)):
+// vw ← c·Σ_in(vw·ew) + (1−c)·P.vw, where the restart distribution P is
+// concentrated on p.Source (the usual personalization) unless the caller
+// pre-loads a "rwr_P" base table.
+func RunRWR(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab, vTab, pTab := tbl("rwr", "E"), tbl("rwr", "V"), tbl("rwr", "P")
+	if err := loadNormalizedEdges(e, g, eTab); err != nil {
+		return nil, err
+	}
+	if !e.Cat.Has(pTab) {
+		restart := g.NodeRelation(func(i int) float64 {
+			if int32(i) == p.Source {
+				return 1
+			}
+			return 0
+		})
+		if _, err := e.LoadBase(pTab, restart); err != nil {
+			return nil, err
+		}
+	}
+	pRel, err := e.Rel(pTab)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(vTab, graph.NodeSchema()); err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(vTab, pRel); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	// base = (1-c) * P : what a node receives with no in-edges.
+	base, err := ra.Project(pRel, []ra.OutCol{
+		{Col: schema.Column{Name: "ID", Type: value.KindInt}, Expr: ra.ColExpr(0)},
+		{Col: schema.Column{Name: "vw", Type: value.KindFloat}, Expr: func(t relation.Tuple) (value.Value, error) {
+			return value.Float((1 - p.C) * t[1].AsFloat()), nil
+		}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pIdx := relation.BuildHashIndex(pRel, []int{0})
+	res := &Result{}
+	for it := 0; it < p.Iters; it++ {
+		start := time.Now()
+		vt, err := e.Cat.Get(vTab)
+		if err != nil {
+			return nil, err
+		}
+		mv, err := e.MVJoin(et, vt, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes())
+		if err != nil {
+			return nil, err
+		}
+		// f2 + (1-c)·P.vw for nodes with in-edges.
+		scaled, err := ra.Project(mv, []ra.OutCol{
+			{Col: schema.Column{Name: "ID", Type: value.KindInt}, Expr: ra.ColExpr(0)},
+			{Col: schema.Column{Name: "vw", Type: value.KindFloat}, Expr: func(t relation.Tuple) (value.Value, error) {
+				restart := 0.0
+				if rows := pIdx.Probe(t, []int{0}); len(rows) == 1 {
+					restart = pRel.Tuples[rows[0]][1].AsFloat()
+				}
+				return value.Float(p.C*t[1].AsFloat() + (1-p.C)*restart), nil
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		merged, err := ra.UnionByUpdate(base, scaled, []int{0}, ra.UBUFullOuter)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.UnionByUpdate(vTab, merged, []int{0}, p.UBU); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(vTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+	}
+	res.Rel, err = e.Rel(vTab)
+	return res, err
+}
+
+// safeNormalize returns x/sqrt(norm), or 0 when the norm vanishes (an
+// edgeless graph), matching the reference implementation's guard.
+func safeNormalize(x, norm value.Value) value.Value {
+	s := value.Sqrt(norm)
+	if s.IsNull() || s.AsFloat() == 0 {
+		return value.Float(0)
+	}
+	return value.Float(x.AsFloat() / s.AsFloat())
+}
+
+func hitsSchema() schema.Schema {
+	return schema.Schema{
+		{Name: "ID", Type: value.KindInt},
+		{Name: "h", Type: value.KindFloat},
+		{Name: "a", Type: value.KindFloat},
+	}
+}
+
+// RunHITS runs Eq. (12) for p.Iters iterations: authorities from previous
+// hubs, hubs from new authorities, then joint 2-norm normalization — the
+// paper's showcase of mutual recursion folded into one recursive relation
+// H(ID, h, a).
+func RunHITS(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab, hTab := tbl("hits", "E"), tbl("hits", "H")
+	if err := loadEdges(e, g, eTab, false); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(hTab, hitsSchema()); err != nil {
+		return nil, err
+	}
+	init := relation.New(hitsSchema())
+	for i := 0; i < g.N; i++ {
+		init.Append(relation.Tuple{value.Int(int64(i)), value.Float(1), value.Float(1)})
+	}
+	if err := e.StoreInto(hTab, init); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	zeros := g.NodeRelation(func(int) float64 { return 0 })
+	res := &Result{}
+	hhTab, raTab := tbl("hits", "Hh"), tbl("hits", "Ra")
+	if _, err := e.EnsureTemp(hhTab, graph.NodeSchema()); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(raTab, graph.NodeSchema()); err != nil {
+		return nil, err
+	}
+	for it := 0; it < p.Iters; it++ {
+		start := time.Now()
+		hRel, err := e.Rel(hTab)
+		if err != nil {
+			return nil, err
+		}
+		// H_h ← Π_{ID,h} H (the previous hubs).
+		hh := ra.ProjectCols(hRel, []int{0, 1})
+		hh.Sch = graph.NodeSchema()
+		if err := e.StoreInto(hhTab, hh); err != nil {
+			return nil, err
+		}
+		hhT, err := e.Cat.Get(hhTab)
+		if err != nil {
+			return nil, err
+		}
+		// R_a: a(v) = Σ_{u→v} h(u)·ew — MV-join on E.F, grouped by E.T,
+		// completed with zeros so every node has an authority value.
+		raRel, err := e.MVJoin(et, hhT, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes())
+		if err != nil {
+			return nil, err
+		}
+		raFull, err := ra.UnionByUpdate(zeros, raRel, []int{0}, ra.UBUFullOuter)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.StoreInto(raTab, raFull); err != nil {
+			return nil, err
+		}
+		raT, err := e.Cat.Get(raTab)
+		if err != nil {
+			return nil, err
+		}
+		// R_h: h(u) = Σ_{u→v} a(v)·ew — MV-join on E.T, grouped by E.F.
+		rhRel, err := e.MVJoin(et, raT, ra.EdgeMat(), ra.NodeVec(), 1, 0, semiring.PlusTimes())
+		if err != nil {
+			return nil, err
+		}
+		rhFull, err := ra.UnionByUpdate(zeros, rhRel, []int{0}, ra.UBUFullOuter)
+		if err != nil {
+			return nil, err
+		}
+		// R_ha ← R_h ⋈ R_a on ID.
+		rha := ra.EquiJoin(rhFull, raFull, ra.EquiJoinSpec{
+			LeftCols: []int{0}, RightCols: []int{0}, Algo: ra.HashJoin,
+		})
+		// R_n ← (sum(h·h), sum(a·a)) — a single normalization tuple.
+		rn, err := ra.GroupBy(rha, nil, []ra.AggSpec{
+			ra.Sum(schema.Column{Name: "nh", Type: value.KindFloat}, func(t relation.Tuple) (value.Value, error) {
+				return value.Float(t[1].AsFloat() * t[1].AsFloat()), nil
+			}),
+			ra.Sum(schema.Column{Name: "na", Type: value.KindFloat}, func(t relation.Tuple) (value.Value, error) {
+				return value.Float(t[3].AsFloat() * t[3].AsFloat()), nil
+			}),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// H ← Π_{ID, h/sqrt(nh), a/sqrt(na)} (R_ha × R_n).
+		prod := ra.Product(rha, rn)
+		newH, err := ra.Project(prod, []ra.OutCol{
+			{Col: hitsSchema()[0], Expr: ra.ColExpr(0)},
+			{Col: hitsSchema()[1], Expr: func(t relation.Tuple) (value.Value, error) {
+				return safeNormalize(t[1], t[4]), nil
+			}},
+			{Col: hitsSchema()[2], Expr: func(t relation.Tuple) (value.Value, error) {
+				return safeNormalize(t[3], t[5]), nil
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.UnionByUpdate(hTab, newH, []int{0}, p.UBU); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(hTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+	}
+	res.Rel, err = e.Rel(hTab)
+	return res, err
+}
+
+// RunSimRank runs Eq. (11) for p.Iters iterations over the in-degree
+// normalized edge matrix Ŵ: K ← max((1−c)·ŴᵀKŴ, I), with the similarity
+// matrix K as a sparse (F,T,ew) relation. Intended for small graphs (the
+// matrix densifies), as the paper's Table 2 entry.
+func RunSimRank(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	if p.C == 0.85 {
+		p.C = 0.2 // SimRank customarily uses a small decay toward I
+	}
+	eTab, kTab := tbl("sr", "E"), tbl("sr", "K")
+	if !e.Cat.Has(eTab) {
+		indeg := g.InDegrees()
+		r := relation.NewWithCap(graph.EdgeSchema(), g.M())
+		for _, ed := range g.Edges {
+			r.Tuples = append(r.Tuples, relation.Tuple{
+				value.Int(int64(ed.F)), value.Int(int64(ed.T)),
+				value.Float(1.0 / float64(indeg[ed.T])),
+			})
+		}
+		if _, err := e.LoadBase(eTab, r); err != nil {
+			return nil, err
+		}
+	}
+	ident := relation.New(graph.EdgeSchema())
+	for i := 0; i < g.N; i++ {
+		ident.Append(relation.Tuple{value.Int(int64(i)), value.Int(int64(i)), value.Float(1)})
+	}
+	if _, err := e.EnsureTemp(kTab, graph.EdgeSchema()); err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(kTab, ident); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	r1Tab := tbl("sr", "R1")
+	if _, err := e.EnsureTemp(r1Tab, graph.EdgeSchema()); err != nil {
+		return nil, err
+	}
+	sr := semiring.PlusTimes()
+	res := &Result{}
+	for it := 0; it < p.Iters; it++ {
+		start := time.Now()
+		kt, err := e.Cat.Get(kTab)
+		if err != nil {
+			return nil, err
+		}
+		// R1 ← K·Ŵ : join K.T = E.F, group by (K.F, E.T).
+		r1, err := e.MMJoin(kt, et, ra.EdgeMat(), ra.EdgeMat(), 1, 0, 0, 1, sr)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.StoreInto(r1Tab, r1); err != nil {
+			return nil, err
+		}
+		r1T, err := e.Cat.Get(r1Tab)
+		if err != nil {
+			return nil, err
+		}
+		// R2 ← Ŵᵀ·R1 : join E.F = R1.F, group by (E.T, R1.T).
+		r2, err := e.MMJoin(et, r1T, ra.EdgeMat(), ra.EdgeMat(), 0, 1, 0, 1, sr)
+		if err != nil {
+			return nil, err
+		}
+		scaled, err := ra.Project(r2, []ra.OutCol{
+			{Col: graph.EdgeSchema()[0], Expr: ra.ColExpr(0)},
+			{Col: graph.EdgeSchema()[1], Expr: ra.ColExpr(1)},
+			{Col: graph.EdgeSchema()[2], Expr: func(t relation.Tuple) (value.Value, error) {
+				return value.Float((1 - p.C) * t[2].AsFloat()), nil
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		// K ← max((1-c)·R2, I): the identity overrides the diagonal.
+		newK, err := ra.UnionByUpdate(scaled, ident, []int{0, 1}, ra.UBUFullOuter)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.UnionByUpdate(kTab, newK, nil, ra.UBUReplace); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(kTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+	}
+	res.Rel, err = e.Rel(kTab)
+	return res, err
+}

@@ -1,0 +1,759 @@
+package algos
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/value"
+)
+
+func topoSchema() schema.Schema {
+	return schema.Schema{
+		{Name: "ID", Type: value.KindInt},
+		{Name: "L", Type: value.KindInt},
+	}
+}
+
+// RunTopoSort runs Eq. (13): level 0 is the nodes with no incoming edges;
+// each round removes sorted nodes (anti-join), restricts the edges to
+// unsorted sources, and sorts the nodes that lost all their in-edges.
+// Nodes on or behind cycles are never sorted (their L is absent).
+func RunTopoSort(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab, vTab := tbl("ts", "E"), tbl("ts", "V")
+	if err := loadEdges(e, g, eTab, false); err != nil {
+		return nil, err
+	}
+	if !e.Cat.Has(vTab) {
+		if _, err := e.LoadBase(vTab, g.NodeRelation(nil)); err != nil {
+			return nil, err
+		}
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	vt, err := e.Cat.Get(vTab)
+	if err != nil {
+		return nil, err
+	}
+	topoTab, v1Tab, e1Tab := tbl("ts", "Topo"), tbl("ts", "V1"), tbl("ts", "E1")
+	if _, err := e.EnsureTemp(topoTab, topoSchema()); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(v1Tab, schema.Schema{{Name: "ID", Type: value.KindInt}}); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(e1Tab, graph.EdgeSchema()); err != nil {
+		return nil, err
+	}
+	// Topo ← Π_{ID,0}(V ▷_{ID=E.T} E).
+	roots, err := e.AntiJoin(vt, et, []int{0}, []int{1}, p.Anti)
+	if err != nil {
+		return nil, err
+	}
+	init, err := ra.Project(roots, []ra.OutCol{
+		{Col: topoSchema()[0], Expr: ra.ColExpr(0)},
+		{Col: topoSchema()[1], Expr: ra.ConstExpr(value.Int(0))},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(topoTab, init); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for level := int64(1); ; level++ {
+		start := time.Now()
+		topoT, err := e.Cat.Get(topoTab)
+		if err != nil {
+			return nil, err
+		}
+		// V₁ ← V ▷ Topo: the unsorted nodes.
+		v1Full, err := e.AntiJoin(vt, topoT, []int{0}, []int{0}, p.Anti)
+		if err != nil {
+			return nil, err
+		}
+		v1 := ra.ProjectCols(v1Full, []int{0})
+		if err := e.StoreInto(v1Tab, v1); err != nil {
+			return nil, err
+		}
+		v1T, err := e.Cat.Get(v1Tab)
+		if err != nil {
+			return nil, err
+		}
+		// E₁ ← Π_{F,T}(V₁ ⋈_{ID=E.F} E): edges out of unsorted nodes.
+		j, err := e.Join(v1T, et, []int{0}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		e1 := ra.ProjectCols(j, []int{1, 2, 3})
+		e1.Sch = graph.EdgeSchema()
+		if err := e.StoreInto(e1Tab, e1); err != nil {
+			return nil, err
+		}
+		e1T, err := e.Cat.Get(e1Tab)
+		if err != nil {
+			return nil, err
+		}
+		// T_n ← (V₁ ▷_{ID=E₁.T} E₁) × L_n.
+		tn, err := e.AntiJoin(v1T, e1T, []int{0}, []int{1}, p.Anti)
+		if err != nil {
+			return nil, err
+		}
+		if tn.Len() == 0 {
+			res.trace(start, topoT.Rows())
+			break
+		}
+		leveled, err := ra.Project(tn, []ra.OutCol{
+			{Col: topoSchema()[0], Expr: ra.ColExpr(0)},
+			{Col: topoSchema()[1], Expr: ra.ConstExpr(value.Int(level))},
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Topo ← Topo ∪ T_n.
+		if err := e.AppendInto(topoTab, leveled); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(topoTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+		if int(level) > p.MaxRecursion {
+			break
+		}
+	}
+	var errR error
+	res.Rel, errR = e.Rel(topoTab)
+	return res, errR
+}
+
+// RunKCore iterates the paper's KC loop: keep nodes with degree > k in the
+// current subgraph, restrict the edges to surviving endpoints, repeat until
+// the edge set stabilizes. The result relation is V'(ID, vw=degree).
+func RunKCore(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab := tbl("kc", "E")
+	if err := loadEdges(e, g, eTab, true); err != nil {
+		return nil, err
+	}
+	base, err := e.Rel(eTab)
+	if err != nil {
+		return nil, err
+	}
+	ecTab, vkTab := tbl("kc", "Ec"), tbl("kc", "Vk")
+	if _, err := e.EnsureTemp(ecTab, graph.EdgeSchema()); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(vkTab, graph.NodeSchema()); err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(ecTab, base); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	k := int64(p.K)
+	var alive *relation.Relation
+	for iter := 0; iter < p.MaxRecursion; iter++ {
+		start := time.Now()
+		ecT, err := e.Cat.Get(ecTab)
+		if err != nil {
+			return nil, err
+		}
+		prevEdges := ecT.Rows()
+		ecRel, err := ecT.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		// Degree per node (out-degree of the symmetrized edge set).
+		deg, err := ra.GroupBy(ecRel, []int{0}, []ra.AggSpec{
+			ra.Count(schema.Column{Name: "vw", Type: value.KindInt}, nil),
+		})
+		if err != nil {
+			return nil, err
+		}
+		alive, err = ra.Select(deg, func(t relation.Tuple) (bool, error) {
+			return t[1].AsInt() > k, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		alive.Sch = graph.NodeSchema()
+		if err := e.StoreInto(vkTab, alive); err != nil {
+			return nil, err
+		}
+		vkT, err := e.Cat.Get(vkTab)
+		if err != nil {
+			return nil, err
+		}
+		// E' ← edges with both endpoints alive.
+		j1, err := e.Join(ecT, vkT, []int{0}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		e1 := ra.ProjectCols(j1, []int{0, 1, 2})
+		e1.Sch = graph.EdgeSchema()
+		if err := e.StoreInto(ecTab, e1); err != nil {
+			return nil, err
+		}
+		ecT, err = e.Cat.Get(ecTab)
+		if err != nil {
+			return nil, err
+		}
+		j2, err := e.Join(ecT, vkT, []int{1}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		e2 := ra.ProjectCols(j2, []int{0, 1, 2})
+		e2.Sch = graph.EdgeSchema()
+		if err := e.StoreInto(ecTab, e2); err != nil {
+			return nil, err
+		}
+		res.trace(start, e2.Len())
+		if e2.Len() == prevEdges {
+			break
+		}
+	}
+	res.Rel = alive
+	return res, nil
+}
+
+// RunMIS runs the random-priority maximal-independent-set rounds: every
+// remaining node draws a priority; strict local minima join the set; they
+// and their neighbours are removed by anti-joins.
+func RunMIS(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab := tbl("mis", "E")
+	if err := loadEdges(e, g, eTab, true); err != nil {
+		return nil, err
+	}
+	aliveTab, rTab, e1Tab, winTab := tbl("mis", "A"), tbl("mis", "R"), tbl("mis", "E1"), tbl("mis", "W")
+	idSch := schema.Schema{{Name: "ID", Type: value.KindInt}}
+	if _, err := e.EnsureTemp(aliveTab, idSch); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(rTab, graph.NodeSchema()); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(e1Tab, graph.EdgeSchema()); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(winTab, idSch); err != nil {
+		return nil, err
+	}
+	allIDs := relation.New(idSch)
+	for i := 0; i < g.N; i++ {
+		allIDs.Append(relation.Tuple{value.Int(int64(i))})
+	}
+	if err := e.StoreInto(aliveTab, allIDs); err != nil {
+		return nil, err
+	}
+	result := relation.New(idSch)
+	res := &Result{}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	for iter := 0; ; iter++ {
+		start := time.Now()
+		aliveT, err := e.Cat.Get(aliveTab)
+		if err != nil {
+			return nil, err
+		}
+		if aliveT.Rows() == 0 {
+			break
+		}
+		aliveRel, err := aliveT.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		// R ← (ID, rand()) for remaining nodes.
+		it := iter
+		rRel, err := ra.Project(aliveRel, []ra.OutCol{
+			{Col: graph.NodeSchema()[0], Expr: ra.ColExpr(0)},
+			{Col: graph.NodeSchema()[1], Expr: func(t relation.Tuple) (value.Value, error) {
+				return value.Float(graph.Priority(p.Seed, it, int32(t[0].AsInt()))), nil
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.StoreInto(rTab, rRel); err != nil {
+			return nil, err
+		}
+		rT, err := e.Cat.Get(rTab)
+		if err != nil {
+			return nil, err
+		}
+		// E₁ ← edges with both endpoints alive.
+		j1, err := e.Join(et, aliveT, []int{0}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		e1 := ra.ProjectCols(j1, []int{0, 1, 2})
+		e1.Sch = graph.EdgeSchema()
+		if err := e.StoreInto(e1Tab, e1); err != nil {
+			return nil, err
+		}
+		e1T, err := e.Cat.Get(e1Tab)
+		if err != nil {
+			return nil, err
+		}
+		j2, err := e.Join(e1T, aliveT, []int{1}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		e2 := ra.ProjectCols(j2, []int{0, 1, 2})
+		e2.Sch = graph.EdgeSchema()
+		if err := e.StoreInto(e1Tab, e2); err != nil {
+			return nil, err
+		}
+		e1T, err = e.Cat.Get(e1Tab)
+		if err != nil {
+			return nil, err
+		}
+		// Minimum neighbour priority per node: MV-join under (min, ·1).
+		nmin, err := e.MVJoin(e1T, rT, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.MinTimes())
+		if err != nil {
+			return nil, err
+		}
+		// Winners: r(v) strictly below every live neighbour (or isolated).
+		nIdx := relation.BuildHashIndex(nmin, []int{0})
+		winners := relation.New(idSch)
+		rRelM, err := rT.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range rRelM.Tuples {
+			rows := nIdx.Probe(t, []int{0})
+			if len(rows) == 0 || t[1].AsFloat() < nmin.Tuples[rows[0]][1].AsFloat() {
+				winners.Append(relation.Tuple{t[0]})
+			}
+		}
+		if err := e.StoreInto(winTab, winners); err != nil {
+			return nil, err
+		}
+		winT, err := e.Cat.Get(winTab)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range winners.Tuples {
+			result.Append(t.Clone())
+		}
+		// Remove winners and their neighbours: two anti-joins.
+		survivors, err := e.AntiJoin(aliveT, winT, []int{0}, []int{0}, p.Anti)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.StoreInto(aliveTab, survivors); err != nil {
+			return nil, err
+		}
+		aliveT, err = e.Cat.Get(aliveTab)
+		if err != nil {
+			return nil, err
+		}
+		// Neighbours of winners: Π_T(E₁ ⋈_{F=ID} Winners).
+		nj, err := e.Join(e1T, winT, []int{0}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		neigh := ra.Distinct(ra.ProjectCols(nj, []int{1}))
+		neigh.Sch = idSch
+		if err := e.StoreInto(winTab, neigh); err != nil {
+			return nil, err
+		}
+		winT, err = e.Cat.Get(winTab)
+		if err != nil {
+			return nil, err
+		}
+		survivors, err = e.AntiJoin(aliveT, winT, []int{0}, []int{0}, p.Anti)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.StoreInto(aliveTab, survivors); err != nil {
+			return nil, err
+		}
+		res.trace(start, result.Len())
+	}
+	res.Rel = result
+	return res, nil
+}
+
+func labelSchema() schema.Schema {
+	return schema.Schema{
+		{Name: "ID", Type: value.KindInt},
+		{Name: "lbl", Type: value.KindInt},
+	}
+}
+
+// RunLP runs synchronous label propagation for p.Iters iterations: per
+// node, the most frequent in-neighbour label (count aggregation, smallest
+// label on ties) union-by-updates the label table.
+func RunLP(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab, lTab := tbl("lp", "E"), tbl("lp", "L")
+	if err := loadEdges(e, g, eTab, false); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(lTab, labelSchema()); err != nil {
+		return nil, err
+	}
+	init := relation.New(labelSchema())
+	for i := 0; i < g.N; i++ {
+		l := int64(i)
+		if g.Labels != nil {
+			l = int64(g.Labels[i])
+		}
+		init.Append(relation.Tuple{value.Int(int64(i)), value.Int(l)})
+	}
+	if err := e.StoreInto(lTab, init); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	cntTab := tbl("lp", "Cnt")
+	cntSch := schema.Schema{
+		{Name: "ID", Type: value.KindInt},
+		{Name: "lbl", Type: value.KindInt},
+		{Name: "cnt", Type: value.KindInt},
+	}
+	if _, err := e.EnsureTemp(cntTab, cntSch); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for it := 0; it < p.Iters; it++ {
+		start := time.Now()
+		lT, err := e.Cat.Get(lTab)
+		if err != nil {
+			return nil, err
+		}
+		// (v, label-of-in-neighbour) pairs: E ⋈_{E.F=L.ID} L.
+		j, err := e.Join(et, lT, []int{0}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		// count per (E.T, lbl).
+		cnt, err := ra.GroupBy(j, []int{1, 4}, []ra.AggSpec{
+			ra.Count(cntSch[2], nil),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cnt.Sch = cntSch
+		if err := e.StoreInto(cntTab, cnt); err != nil {
+			return nil, err
+		}
+		// max count per node.
+		mx, err := ra.GroupBy(cnt, []int{0}, []ra.AggSpec{
+			ra.MaxAgg(schema.Column{Name: "mx", Type: value.KindInt}, ra.ColExpr(2)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// pick the smallest label reaching the max count.
+		cm := ra.EquiJoin(cnt, mx, ra.EquiJoinSpec{LeftCols: []int{0}, RightCols: []int{0}, Algo: ra.HashJoin})
+		best, err := ra.Select(cm, func(t relation.Tuple) (bool, error) {
+			return t[2].Equal(t[4]), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		newL, err := ra.GroupBy(best, []int{0}, []ra.AggSpec{
+			ra.MinAgg(labelSchema()[1], ra.ColExpr(1)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		newL.Sch = labelSchema()
+		if err := e.UnionByUpdate(lTab, newL, []int{0}, p.UBU); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(lTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+	}
+	res.Rel, err = e.Rel(lTab)
+	return res, err
+}
+
+func matchSchema() schema.Schema {
+	return schema.Schema{
+		{Name: "ID", Type: value.KindInt},
+		{Name: "mate", Type: value.KindInt},
+	}
+}
+
+// RunMNM runs the handshake maximal-node-matching: every live node points
+// at its maximum-weight live neighbour (ties toward the smaller ID);
+// mutual pointers pair up and leave; rounds repeat until no pair forms.
+func RunMNM(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab, wTab := tbl("mnm", "E"), tbl("mnm", "W")
+	if err := loadEdges(e, g, eTab, true); err != nil {
+		return nil, err
+	}
+	if !e.Cat.Has(wTab) {
+		weights := g.NodeRelation(func(i int) float64 {
+			if g.NodeW != nil {
+				return g.NodeW[i]
+			}
+			return float64(i)
+		})
+		if _, err := e.LoadBase(wTab, weights); err != nil {
+			return nil, err
+		}
+	}
+	aliveTab, e1Tab, chTab := tbl("mnm", "A"), tbl("mnm", "E1"), tbl("mnm", "Ch")
+	idSch := schema.Schema{{Name: "ID", Type: value.KindInt}}
+	if _, err := e.EnsureTemp(aliveTab, idSch); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(e1Tab, graph.EdgeSchema()); err != nil {
+		return nil, err
+	}
+	chSch := schema.Schema{
+		{Name: "F", Type: value.KindInt}, {Name: "T", Type: value.KindInt},
+	}
+	if _, err := e.EnsureTemp(chTab, chSch); err != nil {
+		return nil, err
+	}
+	allIDs := relation.New(idSch)
+	for i := 0; i < g.N; i++ {
+		allIDs.Append(relation.Tuple{value.Int(int64(i))})
+	}
+	if err := e.StoreInto(aliveTab, allIDs); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	wT, err := e.Cat.Get(wTab)
+	if err != nil {
+		return nil, err
+	}
+	matches := relation.New(matchSchema())
+	res := &Result{}
+	for {
+		start := time.Now()
+		aliveT, err := e.Cat.Get(aliveTab)
+		if err != nil {
+			return nil, err
+		}
+		// E₁ ← live-live edges.
+		j1, err := e.Join(et, aliveT, []int{0}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		e1 := ra.ProjectCols(j1, []int{0, 1, 2})
+		e1.Sch = graph.EdgeSchema()
+		if err := e.StoreInto(e1Tab, e1); err != nil {
+			return nil, err
+		}
+		e1T, err := e.Cat.Get(e1Tab)
+		if err != nil {
+			return nil, err
+		}
+		j2, err := e.Join(e1T, aliveT, []int{1}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		e2 := ra.ProjectCols(j2, []int{0, 1, 2})
+		e2.Sch = graph.EdgeSchema()
+		if err := e.StoreInto(e1Tab, e2); err != nil {
+			return nil, err
+		}
+		e1T, err = e.Cat.Get(e1Tab)
+		if err != nil {
+			return nil, err
+		}
+		// Attach neighbour weights: E₁ ⋈_{T=W.ID} W → (F,T,ew,ID,w).
+		wj, err := e.Join(e1T, wT, []int{1}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		// max weight per source.
+		mw, err := ra.GroupBy(wj, []int{0}, []ra.AggSpec{
+			ra.MaxAgg(schema.Column{Name: "mw", Type: value.KindFloat}, ra.ColExpr(4)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// choice(F) = min T among neighbours achieving the max weight.
+		cmj := ra.EquiJoin(wj, mw, ra.EquiJoinSpec{LeftCols: []int{0}, RightCols: []int{0}, Algo: ra.HashJoin})
+		top, err := ra.Select(cmj, func(t relation.Tuple) (bool, error) {
+			return t[4].Equal(t[6]), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		choice, err := ra.GroupBy(top, []int{0}, []ra.AggSpec{
+			ra.MinAgg(chSch[1], ra.ColExpr(1)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		choice.Sch = chSch
+		if err := e.StoreInto(chTab, choice); err != nil {
+			return nil, err
+		}
+		chT, err := e.Cat.Get(chTab)
+		if err != nil {
+			return nil, err
+		}
+		// Mutual choices: c1 ⋈ c2 on (c1.F=c2.T ∧ c1.T=c2.F), F < T once.
+		pj, err := e.Join(chT, chT, []int{0, 1}, []int{1, 0})
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := ra.Select(pj, func(t relation.Tuple) (bool, error) {
+			return t[0].AsInt() < t[1].AsInt(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if pairs.Len() == 0 {
+			res.trace(start, matches.Len())
+			break
+		}
+		matched := relation.New(idSch)
+		for _, t := range pairs.Tuples {
+			matches.Append(relation.Tuple{t[0], t[1]})
+			matches.Append(relation.Tuple{t[1], t[0]})
+			matched.Append(relation.Tuple{t[0]})
+			matched.Append(relation.Tuple{t[1]})
+		}
+		if err := e.StoreInto(chTab, padPairs(matched)); err != nil {
+			return nil, err
+		}
+		chT, err = e.Cat.Get(chTab)
+		if err != nil {
+			return nil, err
+		}
+		survivors, err := e.AntiJoin(aliveT, chT, []int{0}, []int{0}, p.Anti)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.StoreInto(aliveTab, survivors); err != nil {
+			return nil, err
+		}
+		res.trace(start, matches.Len())
+	}
+	res.Rel = matches
+	return res, nil
+}
+
+// padPairs widens an (ID) relation to the (F,T) shape of the choice table
+// so matched nodes can be anti-joined away through it.
+func padPairs(ids *relation.Relation) *relation.Relation {
+	out := relation.New(schema.Schema{
+		{Name: "F", Type: value.KindInt}, {Name: "T", Type: value.KindInt},
+	})
+	for _, t := range ids.Tuples {
+		out.Append(relation.Tuple{t[0], t[0]})
+	}
+	return out
+}
+
+// RunKS runs the paper's keyword search: each node keeps one indicator
+// column per query label, ORed (max) with its out-neighbours' indicators
+// for p.Depth rounds; nodes whose indicators are all 1 are the Steiner-tree
+// roots. The result relation is (ID, b0..bq).
+func RunKS(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	q := len(p.Query)
+	eTab, kTab := tbl("ks", "E"), tbl("ks", "K")
+	if err := loadEdges(e, g, eTab, false); err != nil {
+		return nil, err
+	}
+	ksSch := schema.Schema{{Name: "ID", Type: value.KindInt}}
+	for i := 0; i < q; i++ {
+		ksSch = append(ksSch, schema.Column{Name: "b" + string(rune('0'+i)), Type: value.KindInt})
+	}
+	if _, err := e.EnsureTemp(kTab, ksSch); err != nil {
+		return nil, err
+	}
+	init := relation.New(ksSch)
+	for i := 0; i < g.N; i++ {
+		t := make(relation.Tuple, q+1)
+		t[0] = value.Int(int64(i))
+		for qi, lbl := range p.Query {
+			bit := int64(0)
+			if g.Labels != nil && g.Labels[i] == lbl {
+				bit = 1
+			}
+			t[qi+1] = value.Int(bit)
+		}
+		init.Append(t)
+	}
+	if err := e.StoreInto(kTab, init); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for it := 0; it < p.Depth; it++ {
+		start := time.Now()
+		kT, err := e.Cat.Get(kTab)
+		if err != nil {
+			return nil, err
+		}
+		// Collect out-neighbour indicators: E ⋈_{E.T=K.ID} K, group by E.F
+		// with max per bit (pairwise OR).
+		j, err := e.Join(et, kT, []int{1}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		aggs := make([]ra.AggSpec, q)
+		for qi := 0; qi < q; qi++ {
+			aggs[qi] = ra.MaxAgg(ksSch[qi+1], ra.ColExpr(4+qi))
+		}
+		nb, err := ra.GroupBy(j, []int{0}, aggs)
+		if err != nil {
+			return nil, err
+		}
+		nb.Sch = ksSch
+		// Merge with own indicators: max per bit over the full outer join.
+		kRel, err := kT.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		fo := ra.FullOuterJoin(kRel, nb, []int{0}, []int{0})
+		outs := []ra.OutCol{{Col: ksSch[0], Expr: func(t relation.Tuple) (value.Value, error) {
+			return value.Coalesce(t[0], t[q+1]), nil
+		}}}
+		for qi := 1; qi <= q; qi++ {
+			qi := qi
+			outs = append(outs, ra.OutCol{Col: ksSch[qi], Expr: func(t relation.Tuple) (value.Value, error) {
+				return value.Max(t[qi], t[q+1+qi]), nil
+			}})
+		}
+		merged, err := ra.Project(fo, outs)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.StoreInto(kTab, merged); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(kTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+	}
+	res.Rel, err = e.Rel(kTab)
+	return res, err
+}

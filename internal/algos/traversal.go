@@ -1,0 +1,458 @@
+package algos
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/value"
+)
+
+// guardedMVStep computes one "V ← guard(V, Eᵀ·V)" iteration: the MV-join of
+// Eq. (5)/(6)/(7) followed by an elementwise fold with the previous vector
+// (the relaxation that keeps min/max monotone), returning the relation to
+// union-by-update into V.
+func guardedMVStep(e *engine.Engine, eTab, vTab string, sr semiring.Semiring) (*relation.Relation, error) {
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	vt, err := e.Cat.Get(vTab)
+	if err != nil {
+		return nil, err
+	}
+	// Join E.F = V.ID, group by E.T: values flow along edge direction.
+	mv, err := e.MVJoin(et, vt, ra.EdgeMat(), ra.NodeVec(), 0, 1, sr)
+	if err != nil {
+		return nil, err
+	}
+	// Fold with the previous V on ID: guard = ⊕(new, old).
+	old, err := vt.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	joined := ra.EquiJoin(mv, old, ra.EquiJoinSpec{LeftCols: []int{0}, RightCols: []int{0}, Algo: ra.HashJoin})
+	return ra.Project(joined, []ra.OutCol{
+		{Col: schema.Column{Name: "ID", Type: value.KindInt}, Expr: ra.ColExpr(0)},
+		{Col: schema.Column{Name: "vw", Type: value.KindFloat}, Expr: func(t relation.Tuple) (value.Value, error) {
+			return sr.Plus(t[1], t[3]), nil
+		}},
+	})
+}
+
+// vectorFixpoint drives a guarded MV-join loop until V stops changing or
+// maxIter is hit, union-by-updating V each round.
+func vectorFixpoint(e *engine.Engine, eTab, vTab string, sr semiring.Semiring, p Params) (*Result, error) {
+	res := &Result{}
+	for iter := 0; iter < p.MaxRecursion; iter++ {
+		start := time.Now()
+		prev, err := e.Rel(vTab)
+		if err != nil {
+			return nil, err
+		}
+		prev = prev.Clone()
+		delta, err := guardedMVStep(e, eTab, vTab, sr)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.UnionByUpdate(vTab, delta, []int{0}, p.UBU); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(vTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+		if cur.Equal(prev) {
+			break
+		}
+	}
+	var err error
+	res.Rel, err = e.Rel(vTab)
+	return res, err
+}
+
+// RunBFS computes reachability from p.Source (Eq. (5)): vw=1 spreads along
+// edges under the (max, *) semiring.
+func RunBFS(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab, vTab := tbl("bfs", "E"), tbl("bfs", "V")
+	if err := loadEdges(e, g, eTab, false); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(vTab, graph.NodeSchema()); err != nil {
+		return nil, err
+	}
+	init := g.NodeRelation(func(i int) float64 {
+		if int32(i) == p.Source {
+			return 1
+		}
+		return 0
+	})
+	if err := e.StoreInto(vTab, init); err != nil {
+		return nil, err
+	}
+	return vectorFixpoint(e, eTab, vTab, semiring.MaxTimes(), p)
+}
+
+// RunWCC computes weakly-connected components (Eq. (6)): vw starts as the
+// node ID and the minimum label floods the (symmetrized) edges.
+func RunWCC(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab, vTab := tbl("wcc", "E"), tbl("wcc", "V")
+	if err := loadEdges(e, g, eTab, true); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(vTab, graph.NodeSchema()); err != nil {
+		return nil, err
+	}
+	init := g.NodeRelation(func(i int) float64 { return float64(i) })
+	if err := e.StoreInto(vTab, init); err != nil {
+		return nil, err
+	}
+	return vectorFixpoint(e, eTab, vTab, semiring.MinTimes(), p)
+}
+
+// RunSSSP computes single-source shortest distances by Bellman-Ford
+// (Eq. (7)) under the (min, +) semiring; unreached nodes stay +Inf.
+func RunSSSP(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab, vTab := tbl("sssp", "E"), tbl("sssp", "V")
+	if err := loadEdges(e, g, eTab, false); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(vTab, graph.NodeSchema()); err != nil {
+		return nil, err
+	}
+	init := relation.New(graph.NodeSchema())
+	for i := 0; i < g.N; i++ {
+		w := value.Inf()
+		if int32(i) == p.Source {
+			w = value.Float(0)
+		}
+		init.Append(relation.Tuple{value.Int(int64(i)), w})
+	}
+	if err := e.StoreInto(vTab, init); err != nil {
+		return nil, err
+	}
+	return vectorFixpoint(e, eTab, vTab, semiring.MinPlus(), p)
+}
+
+// RunTC computes the bounded transitive closure of Fig. 1 semi-naively:
+// Δ ← Π(Δ ⋈ E) − TC; TC ← TC ∪ Δ, up to p.Depth joins (the Exp-C
+// recursion-depth threshold; 0 means run to the true fixpoint).
+func RunTC(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	depth := p.Depth // 0 means unbounded; capture before Defaults fills it
+	p = p.Defaults(g)
+	if depth > p.MaxRecursion {
+		p.MaxRecursion = depth
+	}
+	eTab := tbl("tc", "E")
+	if err := loadEdges(e, g, eTab, false); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	edgesRel, err := et.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	pairSch := schema.Schema{
+		{Name: "F", Type: value.KindInt}, {Name: "T", Type: value.KindInt},
+	}
+	pairs := ra.Distinct(ra.ProjectCols(edgesRel, []int{0, 1}))
+	pairs.Sch = pairSch
+	tcTab, dTab := tbl("tc", "TC"), tbl("tc", "Delta")
+	if _, err := e.EnsureTemp(tcTab, pairSch); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(dTab, pairSch); err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(tcTab, pairs); err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(dTab, pairs); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for iter := 1; depth <= 0 || iter < depth; iter++ {
+		start := time.Now()
+		dt, err := e.Cat.Get(dTab)
+		if err != nil {
+			return nil, err
+		}
+		joined, err := e.Join(dt, et, []int{1}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		next := ra.Distinct(ra.ProjectCols(joined, []int{0, 3}))
+		next.Sch = pairSch
+		tcRel, err := e.Rel(tcTab)
+		if err != nil {
+			return nil, err
+		}
+		delta := ra.Difference(next, tcRel)
+		if delta.Len() == 0 {
+			res.trace(start, tcRel.Len())
+			break
+		}
+		if err := e.AppendInto(tcTab, delta); err != nil {
+			return nil, err
+		}
+		if err := e.StoreInto(dTab, delta); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(tcTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+		if iter >= p.MaxRecursion {
+			break
+		}
+	}
+	res.Rel, err = e.Rel(tcTab)
+	return res, err
+}
+
+// RunAPSP computes depth-bounded all-pairs shortest paths by linear
+// recursion with MM-join (Exp-C): D ← min(D, D ⋈ E) under (min, +).
+func RunAPSP(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab, dTab := tbl("apsp", "E"), tbl("apsp", "D")
+	if err := loadEdges(e, g, eTab, false); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	base, err := et.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(dTab, graph.EdgeSchema()); err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(dTab, base); err != nil {
+		return nil, err
+	}
+	sr := semiring.MinPlus()
+	res := &Result{}
+	for iter := 1; iter < p.Depth; iter++ {
+		start := time.Now()
+		dt, err := e.Cat.Get(dTab)
+		if err != nil {
+			return nil, err
+		}
+		prev, err := dt.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		prev = prev.Clone()
+		ext, err := e.MMJoin(dt, et, ra.EdgeMat(), ra.EdgeMat(), 1, 0, 0, 1, sr)
+		if err != nil {
+			return nil, err
+		}
+		// D ← min(D, ext) elementwise, keeping new pairs.
+		merged := minMergePairs(prev, ext)
+		if err := e.StoreInto(dTab, merged); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(dTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+		if cur.Equal(prev) {
+			break
+		}
+	}
+	res.Rel, err = e.Rel(dTab)
+	return res, err
+}
+
+// RunFloydWarshall computes all-pairs shortest paths by the nonlinear
+// recursion of Eq. (8): E ← min(E, E ⋈ E) under (min, +), squaring path
+// lengths each iteration (converges in ⌈log₂ n⌉ rounds).
+func RunFloydWarshall(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	eTab, dTab := tbl("fw", "E"), tbl("fw", "D")
+	if err := loadEdges(e, g, eTab, false); err != nil {
+		return nil, err
+	}
+	base, err := e.Rel(eTab)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(dTab, graph.EdgeSchema()); err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(dTab, base); err != nil {
+		return nil, err
+	}
+	sr := semiring.MinPlus()
+	res := &Result{}
+	for iter := 0; iter < p.MaxRecursion; iter++ {
+		start := time.Now()
+		dt, err := e.Cat.Get(dTab)
+		if err != nil {
+			return nil, err
+		}
+		prev, err := dt.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		prev = prev.Clone()
+		// Nonlinear: the recursive relation joins itself (E₁ ⋈ E₂).
+		sq, err := e.MMJoin(dt, dt, ra.EdgeMat(), ra.EdgeMat(), 1, 0, 0, 1, sr)
+		if err != nil {
+			return nil, err
+		}
+		merged := minMergePairs(prev, sq)
+		if err := e.StoreInto(dTab, merged); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(dTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+		if cur.Equal(prev) {
+			break
+		}
+	}
+	res.Rel, err = e.Rel(dTab)
+	return res, err
+}
+
+// minMergePairs merges two (F,T,ew) relations keeping the minimum weight
+// per pair — the elementwise min of two sparse matrices.
+func minMergePairs(a, b *relation.Relation) *relation.Relation {
+	all := ra.UnionAll(a, b)
+	out, err := ra.GroupBy(all, []int{0, 1}, []ra.AggSpec{
+		ra.MinAgg(schema.Column{Name: "ew", Type: value.KindFloat}, ra.ColExpr(2)),
+	})
+	if err != nil {
+		// MinAgg over columns cannot fail.
+		panic(err)
+	}
+	out.Sch = graph.EdgeSchema()
+	return out
+}
+
+// RunDiameter estimates the diameter via a relational BFS from sample
+// sources: the number of iterations the reachability frontier keeps
+// growing is the eccentricity. The result relation holds one row
+// (ID=sample source, vw=eccentricity); Iterations carries the estimate.
+func RunDiameter(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
+	p = p.Defaults(g)
+	r, err := RunBFS(e, g, p)
+	if err != nil {
+		return nil, err
+	}
+	ecc := r.Iterations - 1 // last iteration observes no change
+	if ecc < 0 {
+		ecc = 0
+	}
+	out := relation.New(graph.NodeSchema())
+	out.Append(relation.Tuple{value.Int(int64(p.Source)), value.Float(float64(ecc))})
+	return &Result{Rel: out, Iterations: ecc, IterTimes: r.IterTimes, IterRows: r.IterRows}, nil
+}
+
+// RunTCFrom computes the single-source reachability closure with the
+// paper's "early selection" optimization (Section 4.3, citing Ordonez's
+// Teradata work): the selection σ_{F=source} is pushed into the
+// initialization so every iteration joins only the source's frontier,
+// instead of computing the full TC and filtering afterwards. The result
+// relation holds (source, T) pairs.
+func RunTCFrom(e *engine.Engine, g *graph.Graph, source int32, p Params) (*Result, error) {
+	depth := p.Depth
+	p = p.Defaults(g)
+	if depth > p.MaxRecursion {
+		p.MaxRecursion = depth
+	}
+	eTab := tbl("tcs", "E")
+	if err := loadEdges(e, g, eTab, false); err != nil {
+		return nil, err
+	}
+	et, err := e.Cat.Get(eTab)
+	if err != nil {
+		return nil, err
+	}
+	edgesRel, err := et.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	pairSch := schema.Schema{
+		{Name: "F", Type: value.KindInt}, {Name: "T", Type: value.KindInt},
+	}
+	// Early selection: only the source's out-edges seed the recursion.
+	init, err := ra.Select(edgesRel, func(t relation.Tuple) (bool, error) {
+		return t[0].AsInt() == int64(source), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pairs := ra.Distinct(ra.ProjectCols(init, []int{0, 1}))
+	pairs.Sch = pairSch
+	tcTab, dTab := tbl("tcs", "TC"), tbl("tcs", "Delta")
+	if _, err := e.EnsureTemp(tcTab, pairSch); err != nil {
+		return nil, err
+	}
+	if _, err := e.EnsureTemp(dTab, pairSch); err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(tcTab, pairs); err != nil {
+		return nil, err
+	}
+	if err := e.StoreInto(dTab, pairs); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for iter := 1; depth <= 0 || iter < depth; iter++ {
+		start := time.Now()
+		dt, err := e.Cat.Get(dTab)
+		if err != nil {
+			return nil, err
+		}
+		joined, err := e.Join(dt, et, []int{1}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		next := ra.Distinct(ra.ProjectCols(joined, []int{0, 3}))
+		next.Sch = pairSch
+		tcRel, err := e.Rel(tcTab)
+		if err != nil {
+			return nil, err
+		}
+		delta := ra.Difference(next, tcRel)
+		if delta.Len() == 0 {
+			res.trace(start, tcRel.Len())
+			break
+		}
+		if err := e.AppendInto(tcTab, delta); err != nil {
+			return nil, err
+		}
+		if err := e.StoreInto(dTab, delta); err != nil {
+			return nil, err
+		}
+		cur, err := e.Rel(tcTab)
+		if err != nil {
+			return nil, err
+		}
+		res.trace(start, cur.Len())
+		if iter >= p.MaxRecursion {
+			break
+		}
+	}
+	res.Rel, err = e.Rel(tcTab)
+	return res, err
+}

@@ -1,0 +1,195 @@
+// Package bsp implements a Giraph-like Bulk Synchronous Parallel
+// vertex-centric engine: supersteps, message passing along out-edges, and
+// vote-to-halt semantics. It is the Giraph baseline of the paper's Exp-B
+// (Fig. 11).
+package bsp
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Context is handed to a vertex's Compute for one superstep.
+type Context struct {
+	Superstep int
+	engine    *Engine
+	vertex    int32
+	halted    *bool
+	outbox    *[]message
+}
+
+type message struct {
+	to  int32
+	val float64
+}
+
+// Send delivers a message to vertex `to` for the next superstep.
+func (c *Context) Send(to int32, val float64) {
+	*c.outbox = append(*c.outbox, message{to: to, val: val})
+}
+
+// SendToNeighbors sends val along every out-edge, transformed by f(w, val)
+// (pass nil for the identity).
+func (c *Context) SendToNeighbors(val float64, f func(w, val float64) float64) {
+	ns, ws := c.engine.out.Neighbors(c.vertex), c.engine.out.Weights(c.vertex)
+	for i, u := range ns {
+		v := val
+		if f != nil {
+			v = f(ws[i], val)
+		}
+		*c.outbox = append(*c.outbox, message{to: u, val: v})
+	}
+}
+
+// VoteToHalt deactivates the vertex until a message wakes it.
+func (c *Context) VoteToHalt() { *c.halted = true }
+
+// OutDegree returns the vertex's out-degree.
+func (c *Context) OutDegree() int { return c.engine.out.Degree(c.vertex) }
+
+// NumVertices returns the graph size.
+func (c *Context) NumVertices() int { return c.engine.g.N }
+
+// Program is a Pregel-style vertex program over float64 state.
+type Program struct {
+	Init    func(v int32) float64
+	Compute func(c *Context, value float64, messages []float64) float64
+}
+
+// Engine executes BSP programs on one graph.
+type Engine struct {
+	g   *graph.Graph
+	out *graph.CSR
+}
+
+// New prepares an engine.
+func New(g *graph.Graph) *Engine {
+	return &Engine{g: g, out: graph.BuildCSR(g, false)}
+}
+
+// Run executes supersteps until every vertex has voted to halt with no
+// pending messages, or maxSupersteps is reached (0 = unbounded). Returns
+// final values and the supersteps used.
+func (e *Engine) Run(p Program, maxSupersteps int) ([]float64, int) {
+	n := e.g.N
+	val := make([]float64, n)
+	halted := make([]bool, n)
+	for v := 0; v < n; v++ {
+		val[v] = p.Init(int32(v))
+	}
+	inbox := make([][]float64, n)
+	steps := 0
+	for {
+		if maxSupersteps > 0 && steps >= maxSupersteps {
+			break
+		}
+		anyActive := false
+		for v := 0; v < n; v++ {
+			if !halted[v] || len(inbox[v]) > 0 {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			break
+		}
+		steps++
+		var outbox []message
+		for v := int32(0); int(v) < n; v++ {
+			msgs := inbox[v]
+			if halted[v] && len(msgs) == 0 {
+				continue
+			}
+			halted[v] = false
+			ctx := &Context{
+				Superstep: steps - 1,
+				engine:    e,
+				vertex:    v,
+				halted:    &halted[v],
+				outbox:    &outbox,
+			}
+			val[v] = p.Compute(ctx, val[v], msgs)
+			inbox[v] = nil
+		}
+		for _, m := range outbox {
+			inbox[m.to] = append(inbox[m.to], m.val)
+		}
+	}
+	return val, steps
+}
+
+// PageRank runs the paper's fixed-iteration PageRank as the canonical
+// Pregel program.
+func PageRank(g *graph.Graph, c float64, iters int) ([]float64, int) {
+	e := New(g)
+	n := float64(g.N)
+	return e.Run(Program{
+		Init: func(int32) float64 { return 1 / n },
+		Compute: func(ctx *Context, value float64, messages []float64) float64 {
+			v := value
+			if ctx.Superstep > 0 {
+				sum := 0.0
+				for _, m := range messages {
+					sum += m
+				}
+				v = c*sum + (1-c)/n
+			}
+			if ctx.Superstep < iters {
+				if d := ctx.OutDegree(); d > 0 {
+					ctx.SendToNeighbors(v/float64(d), nil)
+				}
+			} else {
+				ctx.VoteToHalt()
+			}
+			return v
+		},
+	}, iters+1)
+}
+
+// WCC floods minimum labels over the symmetrized graph with vote-to-halt.
+func WCC(g *graph.Graph) ([]float64, int) {
+	e := New(g.Symmetrize())
+	return e.Run(Program{
+		Init: func(v int32) float64 { return float64(v) },
+		Compute: func(ctx *Context, value float64, messages []float64) float64 {
+			min := value
+			for _, m := range messages {
+				if m < min {
+					min = m
+				}
+			}
+			if ctx.Superstep == 0 || min < value {
+				ctx.SendToNeighbors(min, nil)
+			}
+			ctx.VoteToHalt()
+			return min
+		},
+	}, 0)
+}
+
+// SSSP runs single-source shortest paths with vote-to-halt.
+func SSSP(g *graph.Graph, src int32) ([]float64, int) {
+	e := New(g)
+	return e.Run(Program{
+		Init: func(v int32) float64 {
+			if v == src {
+				return 0
+			}
+			return math.Inf(1)
+		},
+		Compute: func(ctx *Context, value float64, messages []float64) float64 {
+			min := value
+			for _, m := range messages {
+				if m < min {
+					min = m
+				}
+			}
+			if min < value || (ctx.Superstep == 0 && !math.IsInf(min, 1)) {
+				ctx.SendToNeighbors(min, func(w, val float64) float64 { return val + w })
+			}
+			ctx.VoteToHalt()
+			return min
+		},
+	}, 0)
+}

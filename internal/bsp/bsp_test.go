@@ -1,0 +1,122 @@
+package bsp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/refimpl"
+)
+
+func testGraph(seed int64) *graph.Graph {
+	return graph.Generate(graph.GenSpec{N: 120, M: 500, Directed: true, Skew: 2.2, Seed: seed})
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g := testGraph(1)
+	want := refimpl.PageRank(g, 0.85, 15)
+	got, steps := PageRank(g, 0.85, 15)
+	if steps != 16 { // iters compute supersteps + the seeding superstep
+		t.Errorf("supersteps = %d", steps)
+	}
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-12 {
+			t.Fatalf("pr[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestWCCMatchesReference(t *testing.T) {
+	g := testGraph(2)
+	want := refimpl.WCC(g)
+	got, _ := WCC(g)
+	for v := range want {
+		if int64(got[v]) != want[v] {
+			t.Fatalf("label[%d] = %v, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSSSPMatchesReference(t *testing.T) {
+	g := testGraph(3)
+	for i := range g.Edges {
+		g.Edges[i].W = float64(1 + i%5)
+	}
+	want := refimpl.BellmanFord(g, 0)
+	got, _ := SSSP(g, 0)
+	for v := range want {
+		if got[v] != want[v] && !(math.IsInf(got[v], 1) && math.IsInf(want[v], 1)) {
+			t.Fatalf("dist[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestVoteToHaltTerminates(t *testing.T) {
+	// Isolated vertices halt immediately; the engine must stop on its own.
+	g := graph.New(10, true)
+	_, steps := WCC(g)
+	if steps > 2 {
+		t.Errorf("edgeless graph ran %d supersteps", steps)
+	}
+}
+
+func TestMessagesWakeHaltedVertices(t *testing.T) {
+	// Chain SSSP: far vertices halt early and must be re-woken by messages.
+	g := graph.New(30, true)
+	for i := int32(0); i < 29; i++ {
+		g.AddEdge(i, i+1, 2)
+	}
+	dist, _ := SSSP(g, 0)
+	if dist[29] != 58 {
+		t.Errorf("dist[29] = %v, want 58", dist[29])
+	}
+}
+
+func TestSendDirect(t *testing.T) {
+	// A program that forwards a token from vertex 0 to vertex 4 directly.
+	g := graph.New(5, true)
+	e := New(g)
+	val, _ := e.Run(Program{
+		Init: func(v int32) float64 { return 0 },
+		Compute: func(c *Context, value float64, messages []float64) float64 {
+			if c.Superstep == 0 && c.vertex == 0 {
+				c.Send(4, 7)
+			}
+			for _, m := range messages {
+				value += m
+			}
+			c.VoteToHalt()
+			return value
+		},
+	}, 0)
+	if val[4] != 7 {
+		t.Errorf("direct send failed: %v", val)
+	}
+	if val[0] != 0 {
+		t.Errorf("sender value changed: %v", val[0])
+	}
+}
+
+func TestNumVerticesAndOutDegree(t *testing.T) {
+	g := graph.New(3, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	e := New(g)
+	seen := map[int32]int{}
+	e.Run(Program{
+		Init: func(v int32) float64 { return 0 },
+		Compute: func(c *Context, value float64, messages []float64) float64 {
+			if c.Superstep == 0 {
+				seen[c.vertex] = c.OutDegree()
+				if c.NumVertices() != 3 {
+					t.Errorf("NumVertices = %d", c.NumVertices())
+				}
+			}
+			c.VoteToHalt()
+			return 0
+		},
+	}, 0)
+	if seen[0] != 2 || seen[1] != 0 {
+		t.Errorf("out degrees: %v", seen)
+	}
+}

@@ -1,0 +1,250 @@
+// Package catalog manages named base and temporary tables over the storage
+// substrate, with the per-table statistics whose presence or absence drives
+// plan choice in the engine (the paper attributes PostgreSQL's plans on
+// temporary tables to missing statistics).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// Stats carries optimizer statistics for a table. Temporary tables start
+// with Analyzed=false; base tables are analyzed on load.
+type Stats struct {
+	Rows     int
+	Analyzed bool
+}
+
+// Table is a named relation with physical storage, optional sorted indexes,
+// and statistics.
+type Table struct {
+	Name  string
+	Sch   schema.Schema
+	Store storage.TupleStore
+	Temp  bool
+	Stats Stats
+
+	indexes map[string]*relation.SortedIndex
+	cache   *relation.Relation // materialization cache, invalidated on write
+}
+
+// Catalog is a set of tables sharing a buffer pool and WAL.
+type Catalog struct {
+	Pool *storage.BufferPool
+	WAL  *storage.WAL
+
+	tables map[string]*Table
+}
+
+// New returns an empty catalog over the given pool and log.
+func New(pool *storage.BufferPool, wal *storage.WAL) *Catalog {
+	return &Catalog{Pool: pool, WAL: wal, tables: make(map[string]*Table)}
+}
+
+// StoreKind selects the physical storage for a new table.
+type StoreKind int
+
+// The available store kinds.
+const (
+	// StoreMem keeps tuples in memory (Oracle-AMM-like temp space).
+	StoreMem StoreKind = iota
+	// StorePaged serializes tuples into buffer-pool pages, unlogged
+	// (temp tables bypass the redo log in all three RDBMSs).
+	StorePaged
+	// StorePagedLogged additionally appends every insert to the WAL
+	// (base tables; "it still needs to log").
+	StorePagedLogged
+)
+
+// Create adds a table. It fails if the name exists.
+func (c *Catalog) Create(name string, sch schema.Schema, kind StoreKind, temp bool) (*Table, error) {
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	var store storage.TupleStore
+	switch kind {
+	case StoreMem:
+		store = storage.NewMemStore()
+	case StorePaged:
+		store = storage.NewPagedStore(c.Pool, nil)
+	case StorePagedLogged:
+		store = storage.NewPagedStore(c.Pool, c.WAL)
+	default:
+		return nil, fmt.Errorf("catalog: unknown store kind %d", kind)
+	}
+	t := &Table{Name: name, Sch: sch, Store: store, Temp: temp}
+	c.tables[name] = t
+	return t, nil
+}
+
+// Get returns the named table.
+func (c *Catalog) Get(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// Has reports whether the table exists.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.tables[name]
+	return ok
+}
+
+// Drop removes a table, releasing its storage.
+func (c *Catalog) Drop(name string) error {
+	t, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	if err := t.Store.Truncate(); err != nil {
+		return err
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// RenameTable renames old to new (the ALTER TABLE ... RENAME used by the
+// drop/alter union-by-update implementation). The new name must be free.
+func (c *Catalog) RenameTable(old, new string) error {
+	t, ok := c.tables[old]
+	if !ok {
+		return fmt.Errorf("catalog: no table %q", old)
+	}
+	if _, ok := c.tables[new]; ok {
+		return fmt.Errorf("catalog: table %q already exists", new)
+	}
+	delete(c.tables, old)
+	t.Name = new
+	c.tables[new] = t
+	return nil
+}
+
+// Names returns all table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TempNames returns the names of temporary tables, sorted.
+func (c *Catalog) TempNames() []string {
+	var out []string
+	for n, t := range c.tables {
+		if t.Temp {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert appends one tuple to the table.
+func (t *Table) Insert(tu relation.Tuple) error {
+	if len(tu) != t.Sch.Arity() {
+		return fmt.Errorf("catalog: insert arity %d into %s%s", len(tu), t.Name, t.Sch)
+	}
+	t.invalidate()
+	t.Stats.Rows++
+	return t.Store.Insert(tu)
+}
+
+// InsertRelation bulk-appends all tuples of r.
+func (t *Table) InsertRelation(r *relation.Relation) error {
+	if !r.Sch.UnionCompatible(t.Sch) {
+		return fmt.Errorf("catalog: insert arity %d into %s%s", r.Sch.Arity(), t.Name, t.Sch)
+	}
+	t.invalidate()
+	for _, tu := range r.Tuples {
+		if err := t.Store.Insert(tu.Clone()); err != nil {
+			return err
+		}
+	}
+	t.Stats.Rows += r.Len()
+	return nil
+}
+
+// Truncate removes all tuples and invalidates indexes and statistics.
+func (t *Table) Truncate() error {
+	t.invalidate()
+	t.Stats.Rows = 0
+	return t.Store.Truncate()
+}
+
+// Materialize scans the store into a relation qualified with the table
+// name. The result is cached until the next write; paged tables pay decode
+// cost on every (re)materialization.
+func (t *Table) Materialize() (*relation.Relation, error) {
+	if t.cache != nil {
+		return t.cache, nil
+	}
+	out := relation.NewWithCap(t.Sch.Qualify(t.Name), t.Store.Len())
+	err := t.Store.Scan(func(tu relation.Tuple) bool {
+		out.Tuples = append(out.Tuples, tu.Clone())
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.cache = out
+	return out, nil
+}
+
+// Rows returns the stored tuple count.
+func (t *Table) Rows() int { return t.Store.Len() }
+
+// Analyze marks statistics as current (ANALYZE / RUNSTATS).
+func (t *Table) Analyze() {
+	t.Stats.Rows = t.Store.Len()
+	t.Stats.Analyzed = true
+}
+
+func indexKey(cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}
+
+// EnsureIndex builds (or returns a cached) sorted index on the columns.
+func (t *Table) EnsureIndex(cols []int) (*relation.SortedIndex, error) {
+	key := indexKey(cols)
+	if idx, ok := t.indexes[key]; ok {
+		return idx, nil
+	}
+	r, err := t.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	idx := relation.BuildSortedIndex(r, cols)
+	if t.indexes == nil {
+		t.indexes = make(map[string]*relation.SortedIndex)
+	}
+	t.indexes[key] = idx
+	return idx, nil
+}
+
+// Index returns a previously built index on cols, or nil.
+func (t *Table) Index(cols []int) *relation.SortedIndex {
+	return t.indexes[indexKey(cols)]
+}
+
+func (t *Table) invalidate() {
+	t.cache = nil
+	t.indexes = nil
+	t.Stats.Analyzed = false
+}

@@ -1,0 +1,183 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func newCat() *Catalog {
+	disk := storage.NewDisk()
+	return New(storage.NewBufferPool(disk, 64), storage.NewWAL())
+}
+
+func sch() schema.Schema { return schema.Cols(value.KindInt, "a", "b") }
+
+func tu(a, b int64) relation.Tuple { return relation.Tuple{value.Int(a), value.Int(b)} }
+
+func TestCreateGetDrop(t *testing.T) {
+	c := newCat()
+	tab, err := c.Create("t", sch(), StoreMem, true)
+	if err != nil || tab.Name != "t" || !tab.Temp {
+		t.Fatalf("create: %v %v", tab, err)
+	}
+	if _, err := c.Create("t", sch(), StoreMem, true); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	if !c.Has("t") || c.Has("x") {
+		t.Error("Has wrong")
+	}
+	got, err := c.Get("t")
+	if err != nil || got != tab {
+		t.Error("Get wrong")
+	}
+	if err := c.Drop("t"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Has("t") {
+		t.Error("dropped table still present")
+	}
+	if err := c.Drop("t"); err == nil {
+		t.Error("double drop should fail")
+	}
+	if _, err := c.Get("t"); err == nil {
+		t.Error("Get after drop should fail")
+	}
+	if _, err := c.Create("bad", sch(), StoreKind(99), false); err == nil {
+		t.Error("unknown store kind should fail")
+	}
+}
+
+func TestRenameTable(t *testing.T) {
+	c := newCat()
+	c.Create("old", sch(), StoreMem, false)
+	c.Create("other", sch(), StoreMem, false)
+	if err := c.RenameTable("old", "other"); err == nil {
+		t.Error("rename onto existing name should fail")
+	}
+	if err := c.RenameTable("old", "new"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Has("old") || !c.Has("new") {
+		t.Error("rename did not move the entry")
+	}
+	tab, _ := c.Get("new")
+	if tab.Name != "new" {
+		t.Error("table name not updated")
+	}
+	if err := c.RenameTable("ghost", "x"); err == nil {
+		t.Error("rename of missing table should fail")
+	}
+}
+
+func TestNamesAndTempNames(t *testing.T) {
+	c := newCat()
+	c.Create("b", sch(), StoreMem, false)
+	c.Create("a", sch(), StoreMem, true)
+	c.Create("c", sch(), StorePaged, true)
+	names := c.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("Names = %v", names)
+	}
+	temps := c.TempNames()
+	if len(temps) != 2 || temps[0] != "a" || temps[1] != "c" {
+		t.Errorf("TempNames = %v", temps)
+	}
+}
+
+func TestInsertArityChecks(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("t", sch(), StoreMem, true)
+	if err := tab.Insert(relation.Tuple{value.Int(1)}); err == nil {
+		t.Error("wrong arity insert should fail")
+	}
+	bad := relation.New(schema.Cols(value.KindInt, "only"))
+	if err := tab.InsertRelation(bad); err == nil {
+		t.Error("wrong arity bulk insert should fail")
+	}
+}
+
+func TestMaterializeCachingAndInvalidation(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("t", sch(), StorePaged, true)
+	tab.Insert(tu(1, 2))
+	r1, err := tab.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := tab.Materialize()
+	if r1 != r2 {
+		t.Error("materialization should be cached between writes")
+	}
+	if r1.Sch[0].Table != "t" {
+		t.Error("materialized schema should be qualified with table name")
+	}
+	tab.Insert(tu(3, 4))
+	r3, _ := tab.Materialize()
+	if r3 == r1 || r3.Len() != 2 {
+		t.Error("write should invalidate the cache")
+	}
+}
+
+func TestAnalyzeAndStats(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("t", sch(), StoreMem, false)
+	tab.Insert(tu(1, 1))
+	if tab.Stats.Analyzed {
+		t.Error("insert should clear analyzed flag")
+	}
+	tab.Analyze()
+	if !tab.Stats.Analyzed || tab.Stats.Rows != 1 {
+		t.Errorf("stats after analyze: %+v", tab.Stats)
+	}
+	tab.Insert(tu(2, 2))
+	if tab.Stats.Analyzed {
+		t.Error("stats must go stale on write")
+	}
+}
+
+func TestEnsureIndexLifecycle(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("t", sch(), StoreMem, true)
+	tab.Insert(tu(3, 0))
+	tab.Insert(tu(1, 1))
+	idx, err := tab.EnsureIndex([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Tuple(0)[0].AsInt() != 1 {
+		t.Error("index not sorted")
+	}
+	idx2, _ := tab.EnsureIndex([]int{0})
+	if idx2 != idx {
+		t.Error("index should be cached")
+	}
+	if tab.Index([]int{0}) != idx || tab.Index([]int{1}) != nil {
+		t.Error("Index lookup wrong")
+	}
+	tab.Insert(tu(0, 2))
+	if tab.Index([]int{0}) != nil {
+		t.Error("write should invalidate indexes")
+	}
+	idx3, _ := tab.EnsureIndex([]int{0})
+	if idx3.Len() != 3 {
+		t.Error("rebuilt index should cover all rows")
+	}
+}
+
+func TestTruncateResetsEverything(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("t", sch(), StorePaged, true)
+	tab.Insert(tu(1, 1))
+	tab.EnsureIndex([]int{0})
+	tab.Analyze()
+	if err := tab.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 0 || tab.Stats.Rows != 0 || tab.Stats.Analyzed || tab.Index([]int{0}) != nil {
+		t.Error("truncate should clear rows, stats, and indexes")
+	}
+}

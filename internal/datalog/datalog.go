@@ -1,0 +1,288 @@
+// Package datalog implements the Datalog machinery Section 5 builds on:
+// rules and programs, the predicate dependency graph, stratification,
+// XY-programs with their bi-state transformation, and the compile-time
+// XY-stratification check of Theorem 5.1. A semi-naive evaluator for
+// positive programs doubles as the SociaLite-like baseline of Exp-B.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TermKind distinguishes variables, constants, and the temporal successor.
+type TermKind int
+
+// The term kinds.
+const (
+	TermVar TermKind = iota
+	TermConst
+	// TermTemporalVar is a temporal argument T (an X-rule position).
+	TermTemporalVar
+	// TermTemporalSucc is a temporal argument s(T) (a Y-rule head position).
+	TermTemporalSucc
+)
+
+// Term is one argument of an atom.
+type Term struct {
+	Kind TermKind
+	Name string // variable name or constant literal
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Kind: TermVar, Name: name} }
+
+// C returns a constant term.
+func C(lit string) Term { return Term{Kind: TermConst, Name: lit} }
+
+// T returns the temporal variable term.
+func T(name string) Term { return Term{Kind: TermTemporalVar, Name: name} }
+
+// ST returns the temporal successor term s(name).
+func ST(name string) Term { return Term{Kind: TermTemporalSucc, Name: name} }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.Kind == TermTemporalSucc {
+		return "s(" + t.Name + ")"
+	}
+	return t.Name
+}
+
+// Atom is a predicate applied to terms.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Literal is an atom or its negation, optionally aggregated (the paper's
+// MM-/MV-join rules carry aggregation, which is negation-like for
+// stratification purposes).
+type Literal struct {
+	Atom       Atom
+	Negated    bool
+	Aggregated bool
+}
+
+// String renders the literal.
+func (l Literal) String() string {
+	s := l.Atom.String()
+	if l.Aggregated {
+		s = "agg⟨" + s + "⟩"
+	}
+	if l.Negated {
+		s = "¬" + s
+	}
+	return s
+}
+
+// Rule is h :- g1, ..., gn.
+type Rule struct {
+	Head Atom
+	Body []Literal
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, l := range r.Body {
+		parts[i] = l.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ")
+}
+
+// Program is a set of rules plus the extensional (base) predicates.
+type Program struct {
+	Rules []Rule
+	EDB   map[string]bool // extensional predicates (base relations)
+}
+
+// NewProgram builds a program; edb names the base relations.
+func NewProgram(rules []Rule, edb ...string) *Program {
+	m := make(map[string]bool, len(edb))
+	for _, e := range edb {
+		m[e] = true
+	}
+	return &Program{Rules: rules, EDB: m}
+}
+
+// IDB returns the intensional predicates (rule heads), sorted.
+func (p *Program) IDB() []string {
+	seen := map[string]bool{}
+	for _, r := range p.Rules {
+		seen[r.Head.Pred] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DepEdge is one edge of the predicate dependency graph: head depends on
+// body predicate; Negative marks negated or aggregated dependencies.
+type DepEdge struct {
+	From, To string // To depends on From (edge From → To, as Definition 9.1)
+	Negative bool
+}
+
+// DependencyGraph is the predicate dependency graph of Definition 9.1 /
+// the Datalog predicate graph.
+type DependencyGraph struct {
+	Nodes []string
+	Edges []DepEdge
+}
+
+// BuildDependencyGraph constructs the dependency graph of a program.
+func BuildDependencyGraph(p *Program) *DependencyGraph {
+	nodeSet := map[string]bool{}
+	var edges []DepEdge
+	for _, r := range p.Rules {
+		nodeSet[r.Head.Pred] = true
+		for _, l := range r.Body {
+			nodeSet[l.Atom.Pred] = true
+			edges = append(edges, DepEdge{
+				From:     l.Atom.Pred,
+				To:       r.Head.Pred,
+				Negative: l.Negated || l.Aggregated,
+			})
+		}
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return &DependencyGraph{Nodes: nodes, Edges: edges}
+}
+
+// sccs returns the strongly connected components (Tarjan), as a map from
+// node to component id.
+func (g *DependencyGraph) sccs() map[string]int {
+	adj := map[string][]string{}
+	for _, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, ncomp := 0, 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for _, v := range g.Nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comp
+}
+
+// CyclesThroughNegation reports whether any negative edge lies inside a
+// strongly connected component — the condition that breaks stratification.
+func (g *DependencyGraph) CyclesThroughNegation() bool {
+	comp := g.sccs()
+	for _, e := range g.Edges {
+		if e.Negative && comp[e.From] == comp[e.To] {
+			return true
+		}
+	}
+	return false
+}
+
+// RecursiveCycleCount returns the number of strongly connected components
+// that contain at least one cycle (size > 1 or a self-loop) — Theorem 5.1
+// restricts WITH+ queries to a single such cycle.
+func (g *DependencyGraph) RecursiveCycleCount() int {
+	comp := g.sccs()
+	size := map[int]int{}
+	for _, n := range g.Nodes {
+		size[comp[n]]++
+	}
+	selfLoop := map[int]bool{}
+	for _, e := range g.Edges {
+		if e.From == e.To {
+			selfLoop[comp[e.From]] = true
+		}
+	}
+	count := 0
+	for id, sz := range size {
+		if sz > 1 || selfLoop[id] {
+			count++
+		}
+	}
+	return count
+}
+
+// Stratify computes a stratification: a map from predicate to stratum such
+// that positive dependencies stay within or below, and negative
+// dependencies come from strictly below. It returns an error if the
+// program is not stratifiable (negation in a cycle).
+func Stratify(p *Program) (map[string]int, error) {
+	g := BuildDependencyGraph(p)
+	if g.CyclesThroughNegation() {
+		return nil, fmt.Errorf("datalog: program is not stratifiable (negation/aggregation inside recursion)")
+	}
+	strata := map[string]int{}
+	for _, n := range g.Nodes {
+		strata[n] = 0
+	}
+	// Longest-path relaxation over negative edges; positive edges force >=.
+	for changed, rounds := true, 0; changed; rounds++ {
+		if rounds > len(g.Nodes)+1 {
+			return nil, fmt.Errorf("datalog: stratification did not converge")
+		}
+		changed = false
+		for _, e := range g.Edges {
+			need := strata[e.From]
+			if e.Negative {
+				need++
+			}
+			if strata[e.To] < need {
+				strata[e.To] = need
+				changed = true
+			}
+		}
+	}
+	return strata, nil
+}

@@ -1,0 +1,405 @@
+package datalog
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/refimpl"
+)
+
+func tcProgram() *Program {
+	return NewProgram([]Rule{
+		{
+			Head: Atom{Pred: "tc", Args: []Term{V("X"), V("Y")}},
+			Body: []Literal{{Atom: Atom{Pred: "e", Args: []Term{V("X"), V("Y")}}}},
+		},
+		{
+			Head: Atom{Pred: "tc", Args: []Term{V("X"), V("Z")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "tc", Args: []Term{V("X"), V("Y")}}},
+				{Atom: Atom{Pred: "e", Args: []Term{V("Y"), V("Z")}}},
+			},
+		},
+	}, "e")
+}
+
+func TestStringRendering(t *testing.T) {
+	r := MVJoinRule("v", "e")
+	s := r.String()
+	for _, want := range []string{"v(Y,W,s(T))", "e(X,Y,W1)", "agg⟨"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rule string %q missing %q", s, want)
+		}
+	}
+	neg := Literal{Atom: Atom{Pred: "p", Args: []Term{C("1")}}, Negated: true}
+	if neg.String() != "¬p(1)" {
+		t.Errorf("literal string = %q", neg.String())
+	}
+}
+
+func TestDependencyGraphAndIDB(t *testing.T) {
+	p := tcProgram()
+	if got := p.IDB(); len(got) != 1 || got[0] != "tc" {
+		t.Errorf("IDB = %v", got)
+	}
+	g := BuildDependencyGraph(p)
+	if len(g.Nodes) != 2 {
+		t.Errorf("nodes = %v", g.Nodes)
+	}
+	if g.CyclesThroughNegation() {
+		t.Error("positive TC has no negative cycle")
+	}
+	if g.RecursiveCycleCount() != 1 {
+		t.Errorf("recursive cycles = %d", g.RecursiveCycleCount())
+	}
+}
+
+func TestStratifyPositiveAndStratified(t *testing.T) {
+	p := tcProgram()
+	strata, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strata["tc"] < strata["e"] {
+		t.Error("tc must not be below its source")
+	}
+	// Stratified negation: answer :- tc, ¬blocked where blocked is EDB.
+	p2 := NewProgram(append(tcProgram().Rules, Rule{
+		Head: Atom{Pred: "ans", Args: []Term{V("X")}},
+		Body: []Literal{
+			{Atom: Atom{Pred: "tc", Args: []Term{V("X"), V("Y")}}},
+			{Atom: Atom{Pred: "blocked", Args: []Term{V("X")}}, Negated: true},
+		},
+	}), "e", "blocked")
+	strata, err = Stratify(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strata["ans"] <= strata["blocked"] {
+		t.Error("negated dependency must come from a strictly lower stratum")
+	}
+}
+
+func TestStratifyRejectsNegationInCycle(t *testing.T) {
+	// win(X) :- move(X,Y), ¬win(Y) — the classic unstratifiable program.
+	p := NewProgram([]Rule{{
+		Head: Atom{Pred: "win", Args: []Term{V("X")}},
+		Body: []Literal{
+			{Atom: Atom{Pred: "move", Args: []Term{V("X"), V("Y")}}},
+			{Atom: Atom{Pred: "win", Args: []Term{V("Y")}}, Negated: true},
+		},
+	}}, "move")
+	if _, err := Stratify(p); err == nil {
+		t.Fatal("win/move must not be stratifiable")
+	}
+	if !BuildDependencyGraph(p).CyclesThroughNegation() {
+		t.Error("negative self-loop not detected")
+	}
+}
+
+func TestAggregationBreaksStratificationLikeNegation(t *testing.T) {
+	// A recursive aggregate without temporal arguments is unstratified.
+	p := NewProgram([]Rule{{
+		Head: Atom{Pred: "v", Args: []Term{V("Y"), V("W")}},
+		Body: []Literal{
+			{Atom: Atom{Pred: "e", Args: []Term{V("X"), V("Y"), V("W1")}}},
+			{Atom: Atom{Pred: "v", Args: []Term{V("X"), V("W2")}}, Aggregated: true},
+		},
+	}}, "e")
+	if _, err := Stratify(p); err == nil {
+		t.Fatal("recursive aggregation must not be stratifiable")
+	}
+}
+
+func TestXYProgramValidation(t *testing.T) {
+	// The paper's MV-join XY-program is a valid Y-rule.
+	p := NewProgram([]Rule{MVJoinRule("v", "e")}, "e")
+	if err := IsXYProgram(p); err != nil {
+		t.Fatalf("MV-join rule should be an XY-program: %v", err)
+	}
+	// A head without temporal argument is rejected.
+	bad := NewProgram([]Rule{{
+		Head: Atom{Pred: "v", Args: []Term{V("X")}},
+		Body: []Literal{{Atom: Atom{Pred: "v", Args: []Term{V("X"), T("T")}}}},
+	}}, "e")
+	if err := IsXYProgram(bad); err == nil {
+		t.Error("missing head temporal argument should fail")
+	}
+	// A Y-rule whose recursive subgoals are all at s(T) is rejected
+	// (nothing anchors it to the previous stage).
+	bad2 := NewProgram([]Rule{{
+		Head: Atom{Pred: "v", Args: []Term{V("X"), ST("T")}},
+		Body: []Literal{{Atom: Atom{Pred: "v", Args: []Term{V("X"), ST("T")}}}},
+	}}, "e")
+	if err := IsXYProgram(bad2); err == nil {
+		t.Error("Y-rule without a T-subgoal should fail")
+	}
+	// Mixed temporal variables are rejected.
+	bad3 := NewProgram([]Rule{{
+		Head: Atom{Pred: "v", Args: []Term{V("X"), ST("T")}},
+		Body: []Literal{{Atom: Atom{Pred: "v", Args: []Term{V("X"), T("U")}}}},
+	}}, "e")
+	if err := IsXYProgram(bad3); err == nil {
+		t.Error("mixed temporal variables should fail")
+	}
+}
+
+func TestBiStateTransform(t *testing.T) {
+	p := NewProgram([]Rule{MVJoinRule("v", "e")}, "e")
+	b := BiState(p)
+	if len(b.Rules) != 1 {
+		t.Fatal("one rule expected")
+	}
+	r := b.Rules[0]
+	if r.Head.Pred != "new_v" {
+		t.Errorf("head = %s", r.Head.Pred)
+	}
+	if len(r.Head.Args) != 2 {
+		t.Errorf("temporal argument not stripped: %v", r.Head.Args)
+	}
+	var sawOld bool
+	for _, l := range r.Body {
+		if l.Atom.Pred == "old_v" {
+			sawOld = true
+		}
+		if l.Atom.Pred == "new_v" {
+			t.Error("subgoal at T must become old_, not new_")
+		}
+	}
+	if !sawOld {
+		t.Error("recursive subgoal should become old_v")
+	}
+	if !b.EDB["old_v"] {
+		t.Error("old_ predicates are extensional in the bi-state program")
+	}
+}
+
+func TestTheoremRules51AreXYStratified(t *testing.T) {
+	cases := map[string]*Program{
+		"mv-join":           NewProgram([]Rule{MVJoinRule("v", "e")}, "e"),
+		"mm-join linear":    NewProgram([]Rule{MMJoinRule("k", "e", false)}, "e"),
+		"mm-join nonlinear": NewProgram([]Rule{MMJoinRule("k", "e", true)}, "e"),
+		"anti-join":         NewProgram([]Rule{AntiJoinRule("r", "base")}, "base"),
+		"union-by-update":   NewProgram(UnionByUpdateRules("r", "src"), "src"),
+	}
+	for name, p := range cases {
+		if err := IsXYStratified(p); err != nil {
+			t.Errorf("%s: should be XY-stratified: %v", name, err)
+		}
+	}
+}
+
+func TestXYStratifiedRejectsNewNegatingNew(t *testing.T) {
+	// Head at s(T) negating a subgoal at s(T): the bi-state program has
+	// ¬new_r inside the new_r cycle → not XY-stratified. A companion rule
+	// at T keeps the XY syntax satisfied.
+	p := NewProgram([]Rule{
+		{
+			Head: Atom{Pred: "r", Args: []Term{V("X"), ST("T")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "r", Args: []Term{V("X"), T("T")}}},
+				{Atom: Atom{Pred: "r", Args: []Term{V("X"), ST("T")}}, Negated: true},
+			},
+		},
+	}, "b")
+	if err := IsXYProgram(p); err != nil {
+		t.Fatalf("syntax should pass: %v", err)
+	}
+	if err := IsXYStratified(p); err == nil {
+		t.Error("new-negates-new must not be XY-stratified")
+	}
+}
+
+func TestEvalPositiveTC(t *testing.T) {
+	edb := map[string][]Fact{"e": {{0, 1}, {1, 2}, {2, 3}}}
+	out, iters, err := EvalPositive(tcProgram(), edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out["tc"]) != 6 {
+		t.Errorf("|tc| = %d, want 6", len(out["tc"]))
+	}
+	if iters < 3 {
+		t.Errorf("iters = %d (semi-naive needs ~path-length rounds)", iters)
+	}
+}
+
+func TestEvalPositiveRejectsNegationAndTemporal(t *testing.T) {
+	p := NewProgram([]Rule{AntiJoinRule("r", "b")}, "b")
+	if _, _, err := EvalPositive(p, nil); err == nil {
+		t.Error("negation must be rejected")
+	}
+}
+
+func TestEvalPositiveConstantsAndDuplicates(t *testing.T) {
+	// p(X) :- e(1, X): constant filtering.
+	prog := NewProgram([]Rule{{
+		Head: Atom{Pred: "p", Args: []Term{V("X")}},
+		Body: []Literal{{Atom: Atom{Pred: "e", Args: []Term{C("1"), V("X")}}}},
+	}}, "e")
+	edb := map[string][]Fact{"e": {{0, 5}, {1, 6}, {1, 7}, {1, 6}}}
+	out, _, err := EvalPositive(prog, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out["p"]) != 2 {
+		t.Errorf("p = %v", out["p"])
+	}
+}
+
+func TestSocialiteTCMatchesReference(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 25, M: 60, Directed: true, Skew: 2.0, Seed: 3})
+	want := refimpl.TransitiveClosure(g, 0)
+	got, _, err := SocialiteTC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("|TC| = %d, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing %d→%d", k>>32, k&0xffffffff)
+		}
+	}
+}
+
+func TestSocialiteSSSPMatchesReference(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 200, M: 800, Directed: true, Skew: 2.2, Seed: 5})
+	for i := range g.Edges {
+		g.Edges[i].W = float64(1 + i%7)
+	}
+	want := refimpl.BellmanFord(g, 0)
+	got, rounds := SocialiteSSSP(g, 0)
+	for v := range want {
+		if got[v] != want[v] && !(math.IsInf(got[v], 1) && math.IsInf(want[v], 1)) {
+			t.Fatalf("dist[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+	if rounds < 1 {
+		t.Error("rounds missing")
+	}
+}
+
+func TestSocialiteWCCMatchesReference(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 300, M: 500, Directed: true, Skew: 2.0, Seed: 6})
+	want := refimpl.WCC(g)
+	got, _ := SocialiteWCC(g)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSocialitePageRankMatchesReference(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 150, M: 700, Directed: true, Skew: 2.3, Seed: 7})
+	want := refimpl.PageRank(g, 0.85, 15)
+	got := SocialitePageRank(g, 0.85, 15)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-12 {
+			t.Fatalf("pr[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestEvalStratifiedNegation(t *testing.T) {
+	// unreached(X) :- node(X), ¬reach(X); reach via TC from node 0.
+	prog := NewProgram([]Rule{
+		{
+			Head: Atom{Pred: "reach", Args: []Term{V("X")}},
+			Body: []Literal{{Atom: Atom{Pred: "e", Args: []Term{C("0"), V("X")}}}},
+		},
+		{
+			Head: Atom{Pred: "reach", Args: []Term{V("Y")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "reach", Args: []Term{V("X")}}},
+				{Atom: Atom{Pred: "e", Args: []Term{V("X"), V("Y")}}},
+			},
+		},
+		{
+			Head: Atom{Pred: "unreached", Args: []Term{V("X")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "node", Args: []Term{V("X")}}},
+				{Atom: Atom{Pred: "reach", Args: []Term{V("X")}}, Negated: true},
+			},
+		},
+	}, "e", "node")
+	edb := map[string][]Fact{
+		"e":    {{0, 1}, {1, 2}, {3, 4}},
+		"node": {{0}, {1}, {2}, {3}, {4}},
+	}
+	out, err := EvalStratified(prog, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reached := map[int64]bool{}
+	for _, f := range out["reach"] {
+		reached[f[0]] = true
+	}
+	if !reached[1] || !reached[2] || reached[3] {
+		t.Errorf("reach = %v", out["reach"])
+	}
+	unreached := map[int64]bool{}
+	for _, f := range out["unreached"] {
+		unreached[f[0]] = true
+	}
+	// 0 is not reached by one-or-more steps from 0 here (no cycle).
+	want := map[int64]bool{0: true, 3: true, 4: true}
+	if len(unreached) != len(want) {
+		t.Fatalf("unreached = %v, want %v", unreached, want)
+	}
+	for v := range want {
+		if !unreached[v] {
+			t.Errorf("missing unreached %d", v)
+		}
+	}
+}
+
+func TestEvalStratifiedRejections(t *testing.T) {
+	// Unstratifiable program is rejected.
+	win := NewProgram([]Rule{{
+		Head: Atom{Pred: "win", Args: []Term{V("X")}},
+		Body: []Literal{
+			{Atom: Atom{Pred: "move", Args: []Term{V("X"), V("Y")}}},
+			{Atom: Atom{Pred: "win", Args: []Term{V("Y")}}, Negated: true},
+		},
+	}}, "move")
+	if _, err := EvalStratified(win, nil); err == nil {
+		t.Error("win/move must be rejected")
+	}
+	// Aggregation rejected.
+	agg := NewProgram([]Rule{MVJoinRule("v", "e")}, "e")
+	if _, err := EvalStratified(agg, nil); err == nil {
+		t.Error("aggregation must be rejected")
+	}
+	// Unsafe rule (head variable never bound).
+	unsafe := NewProgram([]Rule{{
+		Head: Atom{Pred: "p", Args: []Term{V("Z")}},
+		Body: []Literal{{Atom: Atom{Pred: "e", Args: []Term{V("X"), V("Y")}}}},
+	}}, "e")
+	if _, err := EvalStratified(unsafe, map[string][]Fact{"e": {{1, 2}}}); err == nil {
+		t.Error("unsafe head variable must be rejected")
+	}
+}
+
+func TestEvalStratifiedMatchesPositiveEval(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 15, M: 35, Directed: true, Skew: 2.0, Seed: 8})
+	edb := map[string][]Fact{}
+	for _, e := range g.Edges {
+		edb["e"] = append(edb["e"], Fact{int64(e.F), int64(e.T)})
+	}
+	posOut, _, err := EvalPositive(tcProgram(), edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strOut, err := EvalStratified(tcProgram(), edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posOut["tc"]) != len(strOut["tc"]) {
+		t.Fatalf("|tc| differs: %d vs %d", len(posOut["tc"]), len(strOut["tc"]))
+	}
+}

@@ -1,0 +1,182 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Fact is one ground tuple over int64 constants (node IDs and small
+// integers — the domain the graph workloads need).
+type Fact []int64
+
+func (f Fact) key() string {
+	b := make([]byte, 0, len(f)*8)
+	for _, v := range f {
+		b = strconv.AppendInt(b, v, 36)
+		b = append(b, '|')
+	}
+	return string(b)
+}
+
+type factSet struct {
+	facts []Fact
+	seen  map[string]bool
+}
+
+func newFactSet() *factSet { return &factSet{seen: map[string]bool{}} }
+
+func (s *factSet) add(f Fact) bool {
+	k := f.key()
+	if s.seen[k] {
+		return false
+	}
+	s.seen[k] = true
+	s.facts = append(s.facts, f)
+	return true
+}
+
+// EvalPositive evaluates a positive (no negation/aggregation, no temporal
+// arguments) Datalog program semi-naively: per round, each rule joins one
+// delta occurrence against the full relations, until no new facts appear.
+// It returns the full IDB extensions and the number of iterations — the
+// evaluation strategy SociaLite-style engines use.
+func EvalPositive(p *Program, edb map[string][]Fact) (map[string][]Fact, int, error) {
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Negated || l.Aggregated {
+				return nil, 0, fmt.Errorf("datalog: EvalPositive cannot handle %q", l.String())
+			}
+		}
+		if temporalArg(r.Head) != nil {
+			return nil, 0, fmt.Errorf("datalog: EvalPositive cannot handle temporal rule %q", r.String())
+		}
+	}
+	full := map[string]*factSet{}
+	delta := map[string]*factSet{}
+	get := func(m map[string]*factSet, pred string) *factSet {
+		s, ok := m[pred]
+		if !ok {
+			s = newFactSet()
+			m[pred] = s
+		}
+		return s
+	}
+	for pred, facts := range edb {
+		s := get(full, pred)
+		d := get(delta, pred)
+		for _, f := range facts {
+			if s.add(f) {
+				d.add(f)
+			}
+		}
+	}
+	iters := 0
+	for {
+		iters++
+		next := map[string]*factSet{}
+		fired := false
+		for _, r := range p.Rules {
+			// Semi-naive: require at least one body literal bound to the
+			// delta; iterate which literal takes the delta role.
+			for di := range r.Body {
+				dPred := r.Body[di].Atom.Pred
+				dset := delta[dPred]
+				if dset == nil || len(dset.facts) == 0 {
+					continue
+				}
+				derive(r, di, dset, full, func(f Fact) {
+					head := get(full, r.Head.Pred)
+					if head.add(f) {
+						get(next, r.Head.Pred).add(f)
+						fired = true
+					}
+				})
+			}
+		}
+		delta = next
+		if !fired {
+			break
+		}
+	}
+	out := map[string][]Fact{}
+	for _, pred := range p.IDB() {
+		if s := full[pred]; s != nil {
+			out[pred] = s.facts
+		} else {
+			out[pred] = nil
+		}
+	}
+	return out, iters, nil
+}
+
+// derive enumerates all instantiations of rule r where body literal di is
+// bound to a delta fact, calling emit for each derived head fact.
+func derive(r Rule, di int, dset *factSet, full map[string]*factSet, emit func(Fact)) {
+	var rec func(bi int, binding map[string]int64)
+	matchAtom := func(a Atom, f Fact, binding map[string]int64) (map[string]int64, bool) {
+		if len(a.Args) != len(f) {
+			return nil, false
+		}
+		nb := binding
+		copied := false
+		for i, t := range a.Args {
+			switch t.Kind {
+			case TermConst:
+				c, err := strconv.ParseInt(t.Name, 10, 64)
+				if err != nil || c != f[i] {
+					return nil, false
+				}
+			case TermVar:
+				if t.Name == "_" {
+					continue
+				}
+				if v, ok := nb[t.Name]; ok {
+					if v != f[i] {
+						return nil, false
+					}
+					continue
+				}
+				if !copied {
+					m := make(map[string]int64, len(nb)+1)
+					for k, v := range nb {
+						m[k] = v
+					}
+					nb = m
+					copied = true
+				}
+				nb[t.Name] = f[i]
+			default:
+				return nil, false
+			}
+		}
+		return nb, true
+	}
+	rec = func(bi int, binding map[string]int64) {
+		if bi == len(r.Body) {
+			head := make(Fact, len(r.Head.Args))
+			for i, t := range r.Head.Args {
+				switch t.Kind {
+				case TermConst:
+					c, _ := strconv.ParseInt(t.Name, 10, 64)
+					head[i] = c
+				case TermVar:
+					head[i] = binding[t.Name]
+				}
+			}
+			emit(head)
+			return
+		}
+		var source []Fact
+		if bi == di {
+			source = dset.facts
+		} else if s := full[r.Body[bi].Atom.Pred]; s != nil {
+			source = s.facts
+		}
+		for _, f := range source {
+			if nb, ok := matchAtom(r.Body[bi].Atom, f, binding); ok {
+				rec(bi+1, nb)
+			}
+		}
+	}
+	rec(0, map[string]int64{})
+}

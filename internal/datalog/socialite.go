@@ -1,0 +1,155 @@
+package datalog
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// This file is the SociaLite-like baseline of Exp-B: Datalog with recursive
+// monotonic aggregate functions, evaluated semi-naively with per-node delta
+// propagation (the technique SociaLite uses for shortest paths and
+// connected components), plus stratified iteration for PageRank.
+
+// SocialiteSSSP evaluates
+//
+//	Dist(s, 0).
+//	Dist(v, min(d+w)) :- Dist(u, d), Edge(u, v, w).
+//
+// with semi-naive delta propagation. Returns distances and rounds.
+func SocialiteSSSP(g *graph.Graph, src int32) ([]float64, int) {
+	csr := graph.BuildCSR(g, false)
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	delta := []int32{src}
+	inDelta := make([]bool, g.N)
+	inDelta[src] = true
+	rounds := 0
+	for len(delta) > 0 {
+		rounds++
+		var next []int32
+		for _, u := range delta {
+			inDelta[u] = false
+			du := dist[u]
+			ns, ws := csr.Neighbors(u), csr.Weights(u)
+			for i, v := range ns {
+				if d := du + ws[i]; d < dist[v] {
+					dist[v] = d
+					if !inDelta[v] {
+						inDelta[v] = true
+						next = append(next, v)
+					}
+				}
+			}
+		}
+		delta = next
+	}
+	return dist, rounds
+}
+
+// SocialiteWCC evaluates the min-label component rule
+//
+//	Comp(v, v).
+//	Comp(v, min(c)) :- Comp(u, c), Edge(u, v).
+//
+// over the symmetrized graph with delta propagation.
+func SocialiteWCC(g *graph.Graph) ([]int64, int) {
+	csr := graph.BuildCSR(g.Symmetrize(), false)
+	label := make([]int64, g.N)
+	delta := make([]int32, g.N)
+	inDelta := make([]bool, g.N)
+	for i := range label {
+		label[i] = int64(i)
+		delta[i] = int32(i)
+		inDelta[i] = true
+	}
+	rounds := 0
+	for len(delta) > 0 {
+		rounds++
+		var next []int32
+		for _, u := range delta {
+			inDelta[u] = false
+			lu := label[u]
+			for _, v := range csr.Neighbors(u) {
+				if lu < label[v] {
+					label[v] = lu
+					if !inDelta[v] {
+						inDelta[v] = true
+						next = append(next, v)
+					}
+				}
+			}
+		}
+		delta = next
+	}
+	return label, rounds
+}
+
+// SocialitePageRank evaluates the stratified iterated program
+//
+//	Rank(0, v, 1/n).
+//	Rank(i+1, v, sum(c·r/outdeg + (1-c)/n)) :- Rank(i, u, r), Edge(u, v).
+//
+// for a fixed number of strata (iterations), as SociaLite expresses
+// PageRank.
+func SocialitePageRank(g *graph.Graph, c float64, iters int) []float64 {
+	n := g.N
+	csr := graph.BuildCSR(g, false)
+	pr := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		base := (1 - c) / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for u := int32(0); int(u) < n; u++ {
+			deg := csr.Degree(u)
+			if deg == 0 {
+				continue
+			}
+			share := c * pr[u] / float64(deg)
+			for _, v := range csr.Neighbors(u) {
+				next[v] += share
+			}
+		}
+		pr, next = next, pr
+	}
+	return pr
+}
+
+// SocialiteTC computes the transitive closure with the generic semi-naive
+// evaluator (the Fig. 1 program as Datalog); returned as u<<32|v keys.
+func SocialiteTC(g *graph.Graph) (map[int64]bool, int, error) {
+	prog := NewProgram([]Rule{
+		{
+			Head: Atom{Pred: "tc", Args: []Term{V("X"), V("Y")}},
+			Body: []Literal{{Atom: Atom{Pred: "edge", Args: []Term{V("X"), V("Y")}}}},
+		},
+		{
+			Head: Atom{Pred: "tc", Args: []Term{V("X"), V("Z")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "tc", Args: []Term{V("X"), V("Y")}}},
+				{Atom: Atom{Pred: "edge", Args: []Term{V("Y"), V("Z")}}},
+			},
+		},
+	}, "edge")
+	edb := map[string][]Fact{}
+	for _, e := range g.Edges {
+		edb["edge"] = append(edb["edge"], Fact{int64(e.F), int64(e.T)})
+	}
+	out, iters, err := EvalPositive(prog, edb)
+	if err != nil {
+		return nil, 0, err
+	}
+	set := make(map[int64]bool, len(out["tc"]))
+	for _, f := range out["tc"] {
+		set[f[0]<<32|f[1]] = true
+	}
+	return set, iters, nil
+}

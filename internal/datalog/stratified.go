@@ -1,0 +1,223 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EvalStratified evaluates a program with stratified negation: strata are
+// computed bottom-up, and a negated subgoal reads the already-completed
+// extension of its (strictly lower-stratum) predicate — the semantics
+// SQL'99 allows in recursive queries (Section 3). Aggregation is not
+// supported here; the WITH+ runtime handles the paper's aggregate forms.
+func EvalStratified(p *Program, edb map[string][]Fact) (map[string][]Fact, error) {
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Aggregated {
+				return nil, fmt.Errorf("datalog: EvalStratified cannot handle aggregation in %q", r.String())
+			}
+		}
+		if temporalArg(r.Head) != nil {
+			return nil, fmt.Errorf("datalog: EvalStratified cannot handle temporal rule %q", r.String())
+		}
+	}
+	strata, err := Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	// Order the strata values.
+	levelSet := map[int]bool{}
+	for _, s := range strata {
+		levelSet[s] = true
+	}
+	levels := make([]int, 0, len(levelSet))
+	for l := range levelSet {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+
+	full := map[string]*factSet{}
+	get := func(pred string) *factSet {
+		s, ok := full[pred]
+		if !ok {
+			s = newFactSet()
+			full[pred] = s
+		}
+		return s
+	}
+	for pred, facts := range edb {
+		s := get(pred)
+		for _, f := range facts {
+			s.add(f)
+		}
+	}
+	for _, level := range levels {
+		var rules []Rule
+		for _, r := range p.Rules {
+			if strata[r.Head.Pred] == level {
+				rules = append(rules, r)
+			}
+		}
+		if len(rules) == 0 {
+			continue
+		}
+		// Naive iteration within the stratum until fixpoint (negated
+		// subgoals only reference completed lower strata, so monotone).
+		for {
+			fired := false
+			for _, r := range rules {
+				if err := deriveWithNegation(r, full, func(f Fact) {
+					if get(r.Head.Pred).add(f) {
+						fired = true
+					}
+				}); err != nil {
+					return nil, err
+				}
+			}
+			if !fired {
+				break
+			}
+		}
+	}
+	out := map[string][]Fact{}
+	for _, pred := range p.IDB() {
+		if s := full[pred]; s != nil {
+			out[pred] = s.facts
+		} else {
+			out[pred] = nil
+		}
+	}
+	return out, nil
+}
+
+// deriveWithNegation enumerates rule instantiations allowing negated
+// subgoals: positive literals bind variables, negated literals check that
+// no matching fact exists under the current binding (all their variables
+// must already be bound, i.e. the rule is safe).
+func deriveWithNegation(r Rule, full map[string]*factSet, emit func(Fact)) error {
+	// Evaluate positive literals first (in order), then negated checks.
+	var positives, negatives []Literal
+	for _, l := range r.Body {
+		if l.Negated {
+			negatives = append(negatives, l)
+		} else {
+			positives = append(positives, l)
+		}
+	}
+	var rec func(bi int, binding map[string]int64) error
+	rec = func(bi int, binding map[string]int64) error {
+		if bi == len(positives) {
+			// All negated subgoals must have no matching fact.
+			for _, neg := range negatives {
+				matched := false
+				if s := full[neg.Atom.Pred]; s != nil {
+					for _, f := range s.facts {
+						if _, ok := matchFact(neg.Atom, f, binding); ok {
+							matched = true
+							break
+						}
+					}
+				}
+				if matched {
+					return nil
+				}
+			}
+			head := make(Fact, len(r.Head.Args))
+			for i, t := range r.Head.Args {
+				switch t.Kind {
+				case TermConst:
+					c, err := parseConst(t.Name)
+					if err != nil {
+						return err
+					}
+					head[i] = c
+				case TermVar:
+					v, ok := binding[t.Name]
+					if !ok {
+						return fmt.Errorf("datalog: unsafe rule %q: head variable %s unbound", r.String(), t.Name)
+					}
+					head[i] = v
+				}
+			}
+			emit(head)
+			return nil
+		}
+		s := full[positives[bi].Atom.Pred]
+		if s == nil {
+			return nil
+		}
+		for _, f := range s.facts {
+			if nb, ok := matchFact(positives[bi].Atom, f, binding); ok {
+				if err := rec(bi+1, nb); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return rec(0, map[string]int64{})
+}
+
+// matchFact unifies an atom against a ground fact under a binding,
+// returning the extended binding.
+func matchFact(a Atom, f Fact, binding map[string]int64) (map[string]int64, bool) {
+	if len(a.Args) != len(f) {
+		return nil, false
+	}
+	nb := binding
+	copied := false
+	for i, t := range a.Args {
+		switch t.Kind {
+		case TermConst:
+			c, err := parseConst(t.Name)
+			if err != nil || c != f[i] {
+				return nil, false
+			}
+		case TermVar:
+			if t.Name == "_" {
+				continue
+			}
+			if v, ok := nb[t.Name]; ok {
+				if v != f[i] {
+					return nil, false
+				}
+				continue
+			}
+			if !copied {
+				m := make(map[string]int64, len(nb)+1)
+				for k, v := range nb {
+					m[k] = v
+				}
+				nb = m
+				copied = true
+			}
+			nb[t.Name] = f[i]
+		default:
+			return nil, false
+		}
+	}
+	return nb, true
+}
+
+func parseConst(s string) (int64, error) {
+	var v int64
+	neg := false
+	i := 0
+	if len(s) > 0 && (s[0] == '-' || s[0] == '+') {
+		neg = s[0] == '-'
+		i = 1
+	}
+	if i == len(s) {
+		return 0, fmt.Errorf("datalog: bad constant %q", s)
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, fmt.Errorf("datalog: bad constant %q", s)
+		}
+		v = v*10 + int64(s[i]-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}

@@ -1,0 +1,200 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// This file implements XY-programs (Definition 9.3) and the compile-time
+// XY-stratification check: transform to the bi-state program (temporal
+// arguments removed, recursive predicates renamed new_/old_) and test the
+// bi-state program for ordinary stratification [Zaniolo et al.].
+
+// temporalArg returns the temporal argument of an atom among the recursive
+// predicates (by convention the last argument), or nil.
+func temporalArg(a Atom) *Term {
+	if len(a.Args) == 0 {
+		return nil
+	}
+	last := a.Args[len(a.Args)-1]
+	if last.Kind == TermTemporalVar || last.Kind == TermTemporalSucc {
+		return &last
+	}
+	return nil
+}
+
+// IsXYProgram checks Definition 9.3: every recursive predicate carries a
+// temporal argument, and every rule is an X-rule (all temporal arguments
+// are the same variable T) or a Y-rule (head has s(T), at least one subgoal
+// has T, and all recursive subgoals carry T or s(T)).
+func IsXYProgram(p *Program) error {
+	recursive := map[string]bool{}
+	for _, r := range p.Rules {
+		recursive[r.Head.Pred] = true
+	}
+	for _, r := range p.Rules {
+		headT := temporalArg(r.Head)
+		if headT == nil {
+			return fmt.Errorf("datalog: rule %q head lacks a temporal argument", r.String())
+		}
+		switch headT.Kind {
+		case TermTemporalVar:
+			// X-rule: every recursive subgoal must carry the same T.
+			for _, l := range r.Body {
+				if !recursive[l.Atom.Pred] {
+					continue
+				}
+				bt := temporalArg(l.Atom)
+				if bt == nil || bt.Kind != TermTemporalVar || bt.Name != headT.Name {
+					return fmt.Errorf("datalog: X-rule %q has subgoal with mismatched temporal argument", r.String())
+				}
+			}
+		case TermTemporalSucc:
+			// Y-rule: some subgoal has T; all recursive subgoals have T or s(T).
+			sawPlainT := false
+			for _, l := range r.Body {
+				if !recursive[l.Atom.Pred] {
+					continue
+				}
+				bt := temporalArg(l.Atom)
+				if bt == nil {
+					return fmt.Errorf("datalog: Y-rule %q has recursive subgoal without temporal argument", r.String())
+				}
+				if bt.Name != headT.Name {
+					return fmt.Errorf("datalog: Y-rule %q mixes temporal variables", r.String())
+				}
+				if bt.Kind == TermTemporalVar {
+					sawPlainT = true
+				}
+			}
+			if !sawPlainT {
+				return fmt.Errorf("datalog: Y-rule %q has no subgoal at time T", r.String())
+			}
+		}
+	}
+	return nil
+}
+
+// BiState transforms an XY-program to its bi-state version: recursive
+// predicates with the head's temporal argument become new_<p>, other
+// occurrences become old_<p>, and temporal arguments are dropped.
+func BiState(p *Program) *Program {
+	recursive := map[string]bool{}
+	for _, r := range p.Rules {
+		recursive[r.Head.Pred] = true
+	}
+	strip := func(a Atom) Atom {
+		if t := temporalArg(a); t != nil {
+			return Atom{Pred: a.Pred, Args: a.Args[:len(a.Args)-1]}
+		}
+		return a
+	}
+	var rules []Rule
+	for _, r := range p.Rules {
+		headT := temporalArg(r.Head)
+		nr := Rule{Head: strip(r.Head)}
+		nr.Head.Pred = "new_" + nr.Head.Pred
+		for _, l := range r.Body {
+			nl := Literal{Negated: l.Negated, Aggregated: l.Aggregated, Atom: strip(l.Atom)}
+			if recursive[l.Atom.Pred] {
+				bt := temporalArg(l.Atom)
+				// Same temporal argument as the head → new_; otherwise old_.
+				if headT != nil && bt != nil && bt.Kind == headT.Kind && bt.Name == headT.Name {
+					nl.Atom.Pred = "new_" + nl.Atom.Pred
+				} else {
+					nl.Atom.Pred = "old_" + nl.Atom.Pred
+				}
+			}
+			nr.Body = append(nr.Body, nl)
+		}
+		rules = append(rules, nr)
+	}
+	edb := make([]string, 0, len(p.EDB))
+	for e := range p.EDB {
+		edb = append(edb, e)
+	}
+	// old_ predicates are facts from the previous stage: extensional here.
+	for pred := range recursive {
+		edb = append(edb, "old_"+pred)
+	}
+	return NewProgram(rules, edb...)
+}
+
+// IsXYStratified reports whether an XY-program is XY-stratified: it must
+// satisfy the XY syntax and its bi-state version must be stratified.
+func IsXYStratified(p *Program) error {
+	if err := IsXYProgram(p); err != nil {
+		return err
+	}
+	if _, err := Stratify(BiState(p)); err != nil {
+		return fmt.Errorf("datalog: bi-state program not stratified: %w", err)
+	}
+	return nil
+}
+
+// The rule constructors below build the Datalog encodings of the paper's
+// operations (Eqs. (14)–(22)) so the WITH+ checker can reason about them.
+
+// MVJoinRule encodes Eq. (19) as a Y-rule over recursive vector Rq:
+// Rq(Y,W,s(T)) :- A(X,Y,W1), Rq(X,W2,T), W=⊕(W1⊙W2).
+func MVJoinRule(rq, matrix string) Rule {
+	return Rule{
+		Head: Atom{Pred: rq, Args: []Term{V("Y"), V("W"), ST("T")}},
+		Body: []Literal{
+			{Atom: Atom{Pred: matrix, Args: []Term{V("X"), V("Y"), V("W1")}}},
+			{Atom: Atom{Pred: rq, Args: []Term{V("X"), V("W2"), T("T")}}, Aggregated: true},
+		},
+	}
+}
+
+// MMJoinRule encodes Eq. (20); nonlinear=true joins the recursive relation
+// with itself (the Floyd-Warshall form).
+func MMJoinRule(rq, other string, nonlinear bool) Rule {
+	b2 := Literal{Atom: Atom{Pred: other, Args: []Term{V("Z"), V("Y"), V("W2")}}}
+	if nonlinear {
+		b2 = Literal{Atom: Atom{Pred: rq, Args: []Term{V("Z"), V("Y"), V("W2"), T("T")}}, Aggregated: true}
+	}
+	return Rule{
+		Head: Atom{Pred: rq, Args: []Term{V("X"), V("Y"), V("W"), ST("T")}},
+		Body: []Literal{
+			{Atom: Atom{Pred: rq, Args: []Term{V("X"), V("Z"), V("W1"), T("T")}}, Aggregated: true},
+			b2,
+		},
+	}
+}
+
+// AntiJoinRule encodes Eq. (21) with the recursive predicate negated:
+// Rq(X,Y,s(T)) :- R(X,Y), ¬Rq(X,_,T).
+func AntiJoinRule(rq, base string) Rule {
+	return Rule{
+		Head: Atom{Pred: rq, Args: []Term{V("X"), V("Y"), ST("T")}},
+		Body: []Literal{
+			{Atom: Atom{Pred: base, Args: []Term{V("X"), V("Y")}}},
+			{Atom: Atom{Pred: rq, Args: []Term{V("X"), V("_"), T("T")}}, Negated: true},
+		},
+	}
+}
+
+// UnionByUpdateRules encodes the recursive union-by-update of the paper's
+// proof sketch (the XY form of Eq. (22)): new values from the source
+// relation where the recursive relation is negated at time T, and carrying
+// forward the recursive relation:
+//
+//	Rq(X,W1,s(T)) :- R(X,W1), ¬Rq(X,_,T)
+//	Rq(X,W2,s(T)) :- Rq(X,W2,T)
+func UnionByUpdateRules(rq, src string) []Rule {
+	return []Rule{
+		{
+			Head: Atom{Pred: rq, Args: []Term{V("X"), V("W1"), ST("T")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: src, Args: []Term{V("X"), V("W1")}}},
+				{Atom: Atom{Pred: rq, Args: []Term{V("X"), V("_"), T("T")}}, Negated: true},
+			},
+		},
+		{
+			Head: Atom{Pred: rq, Args: []Term{V("X"), V("W2"), ST("T")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: rq, Args: []Term{V("X"), V("W2"), T("T")}}},
+			},
+		},
+	}
+}

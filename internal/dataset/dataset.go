@@ -1,0 +1,111 @@
+// Package dataset mirrors the paper's 9 SNAP datasets (Table 3). The true
+// SNAP statistics are kept for reporting; since the raw downloads are not
+// available offline, each dataset has a deterministic synthetic generator
+// matched to its directedness, average degree, and degree skew, scaled down
+// so benchmarks finish in seconds. Scale-independent properties (who wins,
+// crossover behaviour) are preserved; absolute sizes are not.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Info describes one dataset: the paper's real statistics plus the
+// generator parameters for its scaled synthetic stand-in.
+type Info struct {
+	Code     string // the paper's abbreviation (YT, LJ, ...)
+	Name     string
+	Nodes    int64 // |V| in the paper (Table 3)
+	Edges    int64 // |E| in the paper
+	Diameter int
+	AvgDeg   float64
+	Directed bool
+	Skew     float64 // generator power-law exponent
+}
+
+// The paper's Table 3, in presentation order: 3 undirected then 6 directed.
+var registry = []Info{
+	{Code: "YT", Name: "Youtube", Nodes: 1134890, Edges: 2987624, Diameter: 20, AvgDeg: 5.27, Directed: false, Skew: 2.2},
+	{Code: "LJ", Name: "LiveJournal", Nodes: 3997962, Edges: 34681189, Diameter: 17, AvgDeg: 17.35, Directed: false, Skew: 2.3},
+	{Code: "OK", Name: "Orkut", Nodes: 3072441, Edges: 117185083, Diameter: 9, AvgDeg: 76.22, Directed: false, Skew: 2.6},
+	{Code: "WV", Name: "Wiki Vote", Nodes: 7115, Edges: 103689, Diameter: 7, AvgDeg: 29.14, Directed: true, Skew: 2.4},
+	{Code: "TT", Name: "Twitter", Nodes: 81306, Edges: 1768149, Diameter: 7, AvgDeg: 51.69, Directed: true, Skew: 2.5},
+	{Code: "WG", Name: "Web Google", Nodes: 875713, Edges: 5105039, Diameter: 21, AvgDeg: 11.66, Directed: true, Skew: 2.3},
+	{Code: "WT", Name: "Wiki Talk", Nodes: 2394385, Edges: 5021410, Diameter: 9, AvgDeg: 4.19, Directed: true, Skew: 2.1},
+	{Code: "GP", Name: "Google+", Nodes: 107614, Edges: 13673453, Diameter: 6, AvgDeg: 254.12, Directed: true, Skew: 2.8},
+	{Code: "PC", Name: "U.S. Patent Citation", Nodes: 3774768, Edges: 16518948, Diameter: 22, AvgDeg: 8.75, Directed: true, Skew: 2.2},
+}
+
+// All returns every dataset in the paper's order.
+func All() []Info {
+	out := make([]Info, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Undirected returns the 3 undirected datasets (Fig. 7's x-axis).
+func Undirected() []Info { return filter(false) }
+
+// DirectedSets returns the 6 directed datasets (Fig. 8's x-axis).
+func DirectedSets() []Info { return filter(true) }
+
+func filter(directed bool) []Info {
+	var out []Info
+	for _, d := range registry {
+		if d.Directed == directed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByCode returns the dataset with the given abbreviation.
+func ByCode(code string) (Info, error) {
+	for _, d := range registry {
+		if d.Code == code {
+			return d, nil
+		}
+	}
+	codes := make([]string, len(registry))
+	for i, d := range registry {
+		codes[i] = d.Code
+	}
+	sort.Strings(codes)
+	return Info{}, fmt.Errorf("dataset: unknown code %q (have %v)", code, codes)
+}
+
+// DefaultBenchNodes is the node count datasets are scaled to for benchmark
+// runs. Relative sizes between datasets are preserved via average degree.
+const DefaultBenchNodes = 1500
+
+// Generate builds the scaled synthetic stand-in with roughly `nodes` nodes
+// and the dataset's real average degree. Node weights in [0,20] (MNM) and
+// 8 labels (LP/KS) are always attached, as the paper generates them
+// randomly for the algorithms that need them.
+func (d Info) Generate(nodes int, seed int64) *graph.Graph {
+	if nodes <= 0 {
+		nodes = DefaultBenchNodes
+	}
+	m := int(float64(nodes) * d.AvgDeg)
+	maxM := nodes * (nodes - 1) / 2 // unique pairs
+	if d.Directed {
+		maxM = nodes * (nodes - 1)
+	}
+	if m > maxM {
+		m = maxM
+	}
+	return graph.Generate(graph.GenSpec{
+		N: nodes, M: m, Directed: d.Directed, Skew: d.Skew,
+		Seed:          seed + int64(len(d.Code))*1009 + int64(d.Code[0])*31 + int64(d.Code[1]),
+		MaxNodeWeight: 20, NumLabels: 8,
+	})
+}
+
+// String renders the dataset as its Table 3 row.
+func (d Info) String() string {
+	return fmt.Sprintf("%s (%s): |V|=%d |E|=%d diam=%d avg=%.2f directed=%v",
+		d.Code, d.Name, d.Nodes, d.Edges, d.Diameter, d.AvgDeg, d.Directed)
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryMatchesTable3(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("want 9 datasets, got %d", len(all))
+	}
+	if len(Undirected()) != 3 || len(DirectedSets()) != 6 {
+		t.Error("3 undirected + 6 directed expected")
+	}
+	// Spot-check the paper's numbers.
+	ok, err := ByCode("OK")
+	if err != nil || ok.Edges != 117185083 || ok.Directed {
+		t.Errorf("Orkut row wrong: %+v %v", ok, err)
+	}
+	pc, err := ByCode("PC")
+	if err != nil || pc.Nodes != 3774768 || pc.Diameter != 22 || !pc.Directed {
+		t.Errorf("Patent row wrong: %+v %v", pc, err)
+	}
+	gp, _ := ByCode("GP")
+	if gp.AvgDeg != 254.12 {
+		t.Errorf("Google+ avg degree: %v", gp.AvgDeg)
+	}
+	if _, err := ByCode("XX"); err == nil {
+		t.Error("unknown code should error")
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	a[0].Code = "MUTATED"
+	b := All()
+	if b[0].Code == "MUTATED" {
+		t.Error("All must return a copy")
+	}
+}
+
+func TestGenerateScaledShape(t *testing.T) {
+	for _, d := range All() {
+		g := d.Generate(300, 1)
+		if g.N != 300 {
+			t.Errorf("%s: N=%d", d.Code, g.N)
+		}
+		if g.Directed != d.Directed {
+			t.Errorf("%s: directedness mismatch", d.Code)
+		}
+		// Average degree within 40% of the real dataset (dup/self-loop
+		// rejection bites on the densest specs).
+		target := d.AvgDeg
+		got := g.AvgDegree()
+		if got < target*0.6 || got > target*1.4 {
+			t.Errorf("%s: avg degree %.2f, want ≈%.2f", d.Code, got, target)
+		}
+		if g.NodeW == nil || g.Labels == nil {
+			t.Errorf("%s: attributes missing", d.Code)
+		}
+	}
+}
+
+func TestGenerateDefaultsAndDeterminism(t *testing.T) {
+	d, _ := ByCode("WV")
+	g1 := d.Generate(0, 7)
+	if g1.N != DefaultBenchNodes {
+		t.Errorf("default nodes = %d", g1.N)
+	}
+	g2 := d.Generate(0, 7)
+	if len(g1.Edges) != len(g2.Edges) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+}
+
+func TestDatasetsDifferWithSameSeed(t *testing.T) {
+	wv, _ := ByCode("WV")
+	wg, _ := ByCode("WG")
+	a, b := wv.Generate(200, 5), wg.Generate(200, 5)
+	if len(a.Edges) == len(b.Edges) {
+		same := true
+		for i := range a.Edges {
+			if a.Edges[i] != b.Edges[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different datasets with same seed should differ")
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	d, _ := ByCode("YT")
+	s := d.String()
+	for _, want := range []string{"YT", "Youtube", "1134890", "2987624"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Counters accumulate execution statistics for experiments and tests.
+type Counters struct {
+	Joins     int64
+	GroupBys  int64
+	AntiJoins int64
+	UBUs      int64
+	Inserts   int64
+}
+
+// Engine is one RDBMS instance: a profile, a catalog over its own buffer
+// pool and WAL, and execution helpers that apply the profile's plan choices.
+type Engine struct {
+	Prof Profile
+	Cat  *catalog.Catalog
+	Cnt  Counters
+
+	disk *storage.Disk
+	pool *storage.BufferPool
+	wal  *storage.WAL
+}
+
+// DefaultBufferFrames sizes the buffer pool; large enough that the working
+// set of the scaled datasets fits, as the paper configures each system with
+// most of RAM.
+const DefaultBufferFrames = 4096
+
+// New returns an engine with the given profile.
+func New(prof Profile) *Engine {
+	return NewWithFrames(prof, DefaultBufferFrames)
+}
+
+// NewWithFrames returns an engine whose buffer pool holds the given number
+// of frames — the memory_target / shared_buffers knob the paper tunes per
+// system. Small pools thrash on paged temp tables (the I/O-bound regime of
+// Section 7.2).
+func NewWithFrames(prof Profile, frames int) *Engine {
+	disk := storage.NewDisk()
+	pool := storage.NewBufferPool(disk, frames)
+	wal := storage.NewWAL()
+	return &Engine{
+		Prof: prof,
+		Cat:  catalog.New(pool, wal),
+		disk: disk,
+		pool: pool,
+		wal:  wal,
+	}
+}
+
+// WAL exposes the engine's write-ahead log (for experiments that measure
+// logging volume).
+func (e *Engine) WAL() *storage.WAL { return e.wal }
+
+// Disk exposes the simulated disk (for I/O counters).
+func (e *Engine) Disk() *storage.Disk { return e.disk }
+
+// CreateBase creates a logged, paged base table.
+func (e *Engine) CreateBase(name string, sch schema.Schema) (*catalog.Table, error) {
+	return e.Cat.Create(name, sch, catalog.StorePagedLogged, false)
+}
+
+// CreateTemp creates a temporary table with the profile's temp storage
+// (in-memory for OracleLike, paged-unlogged otherwise).
+func (e *Engine) CreateTemp(name string, sch schema.Schema) (*catalog.Table, error) {
+	return e.Cat.Create(name, sch, e.Prof.TempStore, true)
+}
+
+// EnsureTemp returns the named temp table, creating (or truncating and
+// re-shaping) it as needed — the CREATE TEMPORARY TABLE IF NOT EXISTS used
+// by the PSM procedures.
+func (e *Engine) EnsureTemp(name string, sch schema.Schema) (*catalog.Table, error) {
+	if e.Cat.Has(name) {
+		t, err := e.Cat.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		if !t.Sch.UnionCompatible(sch) {
+			if err := e.Cat.Drop(name); err != nil {
+				return nil, err
+			}
+			return e.CreateTemp(name, sch)
+		}
+		return t, nil
+	}
+	return e.CreateTemp(name, sch)
+}
+
+// LoadBase creates a base table from a relation and analyzes it.
+func (e *Engine) LoadBase(name string, r *relation.Relation) (*catalog.Table, error) {
+	t, err := e.CreateBase(name, r.Sch)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.InsertRelation(r); err != nil {
+		return nil, err
+	}
+	e.Cnt.Inserts += int64(r.Len())
+	t.Analyze()
+	return t, nil
+}
+
+// Rel materializes the named table.
+func (e *Engine) Rel(name string) (*relation.Relation, error) {
+	t, err := e.Cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Materialize()
+}
+
+// StoreInto truncates the table and inserts r (the PSM "truncate + insert
+// ... select" step between iterations).
+func (e *Engine) StoreInto(name string, r *relation.Relation) error {
+	t, err := e.Cat.Get(name)
+	if err != nil {
+		return err
+	}
+	if err := t.Truncate(); err != nil {
+		return err
+	}
+	e.Cnt.Inserts += int64(r.Len())
+	return t.InsertRelation(r)
+}
+
+// AppendInto inserts r into the table without truncating (UNION ALL
+// accumulation).
+func (e *Engine) AppendInto(name string, r *relation.Relation) error {
+	t, err := e.Cat.Get(name)
+	if err != nil {
+		return err
+	}
+	e.Cnt.Inserts += int64(r.Len())
+	return t.InsertRelation(r)
+}
+
+// joinSpec resolves the physical algorithm and (for PostgreSQL-with-indexes)
+// the sorted indexes for an equi-join between two tables.
+func (e *Engine) joinSpec(a, b *catalog.Table, aCols, bCols []int) (ra.EquiJoinSpec, error) {
+	spec := ra.EquiJoinSpec{LeftCols: aCols, RightCols: bCols}
+	if a.Stats.Analyzed && b.Stats.Analyzed {
+		spec.Algo = e.Prof.BaseJoin
+		return spec, nil
+	}
+	spec.Algo = e.Prof.TempJoin
+	if spec.Algo == ra.SortMergeJoin && e.Prof.UseTempIndexes {
+		spec.Algo = ra.IndexMergeJoin
+		li, err := a.EnsureIndex(aCols)
+		if err != nil {
+			return spec, err
+		}
+		ri, err := b.EnsureIndex(bCols)
+		if err != nil {
+			return spec, err
+		}
+		spec.LeftIdx, spec.RightIdx = li, ri
+	}
+	return spec, nil
+}
+
+// Join computes the equi-join of two tables under the profile's plan.
+func (e *Engine) Join(a, b *catalog.Table, aCols, bCols []int) (*relation.Relation, error) {
+	ar, err := a.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	br, err := b.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := e.joinSpec(a, b, aCols, bCols)
+	if err != nil {
+		return nil, err
+	}
+	e.Cnt.Joins++
+	return ra.EquiJoin(ar, br, spec), nil
+}
+
+// MVJoin computes the aggregate-join of a matrix table and a vector table
+// (Eq. (4)) under the profile's plan.
+func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin, aKeep int, sr semiring.Semiring) (*relation.Relation, error) {
+	ar, err := a.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	cr, err := c.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := e.joinSpec(a, c, []int{aJoin}, []int{cc.ID})
+	if err != nil {
+		return nil, err
+	}
+	e.Cnt.Joins++
+	e.Cnt.GroupBys++
+	return mvJoinWithSpec(ar, cr, ac, cc, aJoin, aKeep, sr, spec)
+}
+
+// MMJoin computes the aggregate-join of two matrix tables (Eq. (3)) under
+// the profile's plan.
+func (e *Engine) MMJoin(a, b *catalog.Table, ac, bc ra.MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring) (*relation.Relation, error) {
+	ar, err := a.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	br, err := b.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := e.joinSpec(a, b, []int{aJoin}, []int{bJoin})
+	if err != nil {
+		return nil, err
+	}
+	e.Cnt.Joins++
+	e.Cnt.GroupBys++
+	return mmJoinWithSpec(ar, br, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, spec)
+}
+
+// AntiJoin computes r ▷ s between two tables with the chosen SQL
+// implementation.
+func (e *Engine) AntiJoin(r, s *catalog.Table, rCols, sCols []int, impl ra.AntiJoinImpl) (*relation.Relation, error) {
+	rr, err := r.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	sr, err := s.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	e.Cnt.AntiJoins++
+	return ra.AntiJoin(rr, sr, rCols, sCols, impl), nil
+}
+
+// UnionByUpdate updates the target table in place from relation s using the
+// chosen implementation, including the physical write pattern each
+// implementation implies:
+//
+//   - merge / update from: compute the updated image, rewrite the table;
+//   - full outer join: compute the joined image, rewrite the table;
+//   - drop/alter: drop the old table and store s under the old name.
+func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []int, impl ra.UBUImpl) error {
+	t, err := e.Cat.Get(target)
+	if err != nil {
+		return err
+	}
+	e.Cnt.UBUs++
+	if impl == ra.UBUReplace {
+		temp := t.Temp
+		sch := t.Sch
+		if err := e.Cat.Drop(target); err != nil {
+			return err
+		}
+		kind := e.Prof.TempStore
+		if !temp {
+			kind = catalog.StorePagedLogged
+		}
+		nt, err := e.Cat.Create(target, sch, kind, temp)
+		if err != nil {
+			return err
+		}
+		e.Cnt.Inserts += int64(s.Len())
+		return nt.InsertRelation(s)
+	}
+	cur, err := t.Materialize()
+	if err != nil {
+		return err
+	}
+	if impl == ra.UBUMerge {
+		// MERGE is row-at-a-time DML: each matched update writes an undo
+		// record of the old row image (temporary tables bypass the redo
+		// log, but updates still produce undo) — the per-row cost behind
+		// the paper's Tables 4/5 gap against the set-based alternatives.
+		idx := relation.BuildHashIndex(cur, keyCols)
+		var scratch []byte
+		for _, st := range s.Tuples {
+			for _, row := range idx.Probe(st, keyCols) {
+				scratch = storage.EncodeTuple(scratch[:0], cur.Tuples[row])
+				e.wal.Append(scratch)
+			}
+		}
+	}
+	updated, err := ra.UnionByUpdate(cur, s, keyCols, impl)
+	if err != nil {
+		return err
+	}
+	return e.StoreInto(target, updated)
+}
+
+// mvJoinWithSpec mirrors ra.MVJoin but honors a caller-supplied join spec.
+func mvJoinWithSpec(ar, cr *relation.Relation, ac ra.MatCols, cc ra.VecCols, aJoin, aKeep int, sr semiring.Semiring, spec ra.EquiJoinSpec) (*relation.Relation, error) {
+	joined := ra.EquiJoin(ar, cr, spec)
+	cOff := ar.Sch.Arity()
+	out, err := ra.GroupBy(joined, []int{aKeep}, []ra.AggSpec{
+		ra.SemiringAgg(schema.Column{Name: "vw"}, sr, func(t relation.Tuple) (value.Value, error) {
+			return sr.Times(t[ac.W], t[cOff+cc.W]), nil
+		}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Sch = schema.Schema{
+		{Name: "ID", Type: ar.Sch[aKeep].Type},
+		{Name: "vw"},
+	}
+	return out, nil
+}
+
+// mmJoinWithSpec mirrors ra.MMJoin but honors a caller-supplied join spec.
+func mmJoinWithSpec(ar, br *relation.Relation, ac, bc ra.MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring, spec ra.EquiJoinSpec) (*relation.Relation, error) {
+	joined := ra.EquiJoin(ar, br, spec)
+	bOff := ar.Sch.Arity()
+	out, err := ra.GroupBy(joined, []int{aKeep, bOff + bKeep}, []ra.AggSpec{
+		ra.SemiringAgg(schema.Column{Name: "ew"}, sr, func(t relation.Tuple) (value.Value, error) {
+			return sr.Times(t[ac.W], t[bOff+bc.W]), nil
+		}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Sch = schema.Schema{
+		{Name: "F", Type: ar.Sch[aKeep].Type},
+		{Name: "T", Type: br.Sch[bKeep].Type},
+		{Name: "ew"},
+	}
+	return out, nil
+}
+
+// String describes the engine.
+func (e *Engine) String() string {
+	return fmt.Sprintf("engine(%s)", e.Prof.Name)
+}

@@ -1,0 +1,379 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/value"
+)
+
+func edgeRel(edges [][2]int64) *relation.Relation {
+	r := relation.New(schema.Schema{
+		{Name: "F", Type: value.KindInt}, {Name: "T", Type: value.KindInt},
+		{Name: "ew", Type: value.KindFloat},
+	})
+	for _, e := range edges {
+		r.AppendVals(value.Int(e[0]), value.Int(e[1]), value.Float(1))
+	}
+	return r
+}
+
+func nodeRel(n int, w func(i int) float64) *relation.Relation {
+	r := relation.New(schema.Schema{
+		{Name: "ID", Type: value.KindInt}, {Name: "vw", Type: value.KindFloat},
+	})
+	for i := 0; i < n; i++ {
+		r.AppendVals(value.Int(int64(i)), value.Float(w(i)))
+	}
+	return r
+}
+
+func allProfiles() []Profile {
+	return []Profile{OracleLike(), DB2Like(), PostgresLike(false), PostgresLike(true)}
+}
+
+func TestProfilesTable1Shape(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 3 {
+		t.Fatalf("want 3 profiles, got %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.Features.LinearRecursion != "yes" {
+			t.Errorf("%s: all RDBMSs support linear recursion", p.Name)
+		}
+		if p.Features.NonlinearRecursion != "no" || p.Features.MutualRecursion != "no" {
+			t.Errorf("%s: none support nonlinear/mutual recursion", p.Name)
+		}
+		if p.Features.Negation != "no" || p.Features.AggregateFunctions != "no" {
+			t.Errorf("%s: negation/aggregation forbidden in recursive WITH", p.Name)
+		}
+	}
+	// Distinguishing cells from Table 1.
+	if ps[0].Features.CycleDetection != "yes" {
+		t.Error("Oracle detects cycles")
+	}
+	if ps[1].Features.MultipleRecursiveQueries != "yes" {
+		t.Error("DB2 allows multiple recursive queries")
+	}
+	if ps[2].Features.Distinct != "yes" {
+		t.Error("PostgreSQL allows distinct")
+	}
+}
+
+func TestCreateLoadAndMaterialize(t *testing.T) {
+	for _, prof := range allProfiles() {
+		e := New(prof)
+		r := edgeRel([][2]int64{{0, 1}, {1, 2}})
+		tab, err := e.LoadBase("E", r)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if !tab.Stats.Analyzed || tab.Rows() != 2 {
+			t.Errorf("%s: base table not analyzed/loaded: %+v", prof.Name, tab.Stats)
+		}
+		got, err := e.Rel("E")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(r) {
+			t.Errorf("%s: materialized base differs", prof.Name)
+		}
+		if _, err := e.Rel("missing"); err == nil {
+			t.Error("missing table should error")
+		}
+	}
+}
+
+func TestBaseTableLoggedTempNot(t *testing.T) {
+	e := New(DB2Like())
+	r := edgeRel([][2]int64{{0, 1}, {1, 2}, {2, 0}})
+	if _, err := e.LoadBase("E", r); err != nil {
+		t.Fatal(err)
+	}
+	if e.WAL().Records != 3 {
+		t.Errorf("base inserts should log, got %d records", e.WAL().Records)
+	}
+	tmp, err := e.CreateTemp("V", nodeRel(2, func(int) float64 { return 0 }).Sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.InsertRelation(nodeRel(2, func(int) float64 { return 0 })); err != nil {
+		t.Fatal(err)
+	}
+	if e.WAL().Records != 3 {
+		t.Errorf("temp inserts must bypass the log, got %d records", e.WAL().Records)
+	}
+}
+
+func TestOracleTempInMemoryOthersPaged(t *testing.T) {
+	or := New(OracleLike())
+	tab, _ := or.CreateTemp("t", schema.Cols(value.KindInt, "x"))
+	tab.Insert(relation.Tuple{value.Int(1)})
+	if tab.Store.BytesUsed() != 0 {
+		t.Error("oracle temp should be memory-backed")
+	}
+	pg := New(PostgresLike(false))
+	tab2, _ := pg.CreateTemp("t", schema.Cols(value.KindInt, "x"))
+	tab2.Insert(relation.Tuple{value.Int(1)})
+	if tab2.Store.BytesUsed() == 0 {
+		t.Error("postgres temp should be paged")
+	}
+}
+
+func TestJoinSpecSelection(t *testing.T) {
+	type tc struct {
+		prof     Profile
+		wantBase ra.JoinAlgo
+		wantTemp ra.JoinAlgo
+	}
+	cases := []tc{
+		{OracleLike(), ra.HashJoin, ra.HashJoin},
+		{DB2Like(), ra.HashJoin, ra.HashJoin},
+		{PostgresLike(false), ra.HashJoin, ra.SortMergeJoin},
+		{PostgresLike(true), ra.HashJoin, ra.IndexMergeJoin},
+	}
+	for _, c := range cases {
+		e := New(c.prof)
+		base1, _ := e.LoadBase("A", edgeRel([][2]int64{{0, 1}}))
+		base2, _ := e.LoadBase("B", edgeRel([][2]int64{{1, 2}}))
+		spec, err := e.joinSpec(base1, base2, []int{1}, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Algo != c.wantBase {
+			t.Errorf("%s base join = %s, want %s", c.prof.Name, spec.Algo, c.wantBase)
+		}
+		tmp, _ := e.CreateTemp("V", nodeRel(1, func(int) float64 { return 0 }).Sch)
+		tmp.InsertRelation(nodeRel(1, func(int) float64 { return 0 }))
+		spec, err = e.joinSpec(base1, tmp, []int{1}, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Algo != c.wantTemp {
+			t.Errorf("%s temp join = %s, want %s", c.prof.Name, spec.Algo, c.wantTemp)
+		}
+		if c.prof.UseTempIndexes && (spec.LeftIdx == nil || spec.RightIdx == nil) {
+			t.Errorf("%s should supply indexes", c.prof.Name)
+		}
+	}
+}
+
+func TestEnsureTemp(t *testing.T) {
+	e := New(OracleLike())
+	sch := schema.Cols(value.KindInt, "x")
+	t1, err := e.EnsureTemp("t", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1.Insert(relation.Tuple{value.Int(1)})
+	t2, err := e.EnsureTemp("t", sch)
+	if err != nil || t2 != t1 {
+		t.Error("EnsureTemp should return the existing compatible table")
+	}
+	t3, err := e.EnsureTemp("t", schema.Cols(value.KindInt, "a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 == t1 || t3.Rows() != 0 {
+		t.Error("EnsureTemp should rebuild on schema change")
+	}
+}
+
+func TestStoreAndAppendInto(t *testing.T) {
+	e := New(DB2Like())
+	sch := schema.Cols(value.KindInt, "x")
+	if _, err := e.CreateTemp("t", sch); err != nil {
+		t.Fatal(err)
+	}
+	one := relation.New(sch)
+	one.AppendVals(value.Int(1))
+	if err := e.StoreInto("t", one); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AppendInto("t", one); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.Rel("t")
+	if got.Len() != 2 {
+		t.Errorf("append after store = %d rows", got.Len())
+	}
+	if err := e.StoreInto("t", one); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = e.Rel("t")
+	if got.Len() != 1 {
+		t.Errorf("store should truncate first: %d rows", got.Len())
+	}
+	if err := e.StoreInto("missing", one); err == nil {
+		t.Error("missing table should error")
+	}
+}
+
+// pageRankViaEngine runs the MV-join + union-by-update loop of Eq. (9) on an
+// engine, returning the final ranks.
+func pageRankViaEngine(t *testing.T, e *Engine, edges [][2]int64, n, iters int, ubu ra.UBUImpl) map[int64]float64 {
+	t.Helper()
+	if _, err := e.LoadBase("E", edgeRel(edges)); err != nil {
+		t.Fatal(err)
+	}
+	vsch := schema.Schema{{Name: "ID", Type: value.KindInt}, {Name: "vw", Type: value.KindFloat}}
+	if _, err := e.CreateTemp("V", vsch); err != nil {
+		t.Fatal(err)
+	}
+	// Out-degree-normalized edge weights baked into E', as the paper's PR
+	// setup does via ew.
+	eRel, _ := e.Rel("E")
+	deg := map[int64]int{}
+	for _, tu := range eRel.Tuples {
+		deg[tu[0].AsInt()]++
+	}
+	norm := relation.New(eRel.Sch)
+	for _, tu := range eRel.Tuples {
+		norm.AppendVals(tu[0], tu[1], value.Float(1.0/float64(deg[tu[0].AsInt()])))
+	}
+	if _, err := e.LoadBase("En", norm); err != nil {
+		t.Fatal(err)
+	}
+	init := nodeRel(n, func(int) float64 { return 1.0 / float64(n) })
+	if err := e.StoreInto("V", init); err != nil {
+		t.Fatal(err)
+	}
+	eT, _ := e.Cat.Get("En")
+	vT, _ := e.Cat.Get("V")
+	const c = 0.85
+	for it := 0; it < iters; it++ {
+		mv, err := e.MVJoin(eT, vT, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// f1: c*sum + (1-c)/n, then nodes with no in-edges get (1-c)/n via UBU
+		// against a base of (1-c)/n.
+		next := relation.New(init.Sch)
+		for i := 0; i < n; i++ {
+			next.AppendVals(value.Int(int64(i)), value.Float((1-c)/float64(n)))
+		}
+		scaled, err := ra.Project(mv, []ra.OutCol{
+			{Col: init.Sch[0], Expr: ra.ColExpr(0)},
+			{Col: init.Sch[1], Expr: func(tu relation.Tuple) (value.Value, error) {
+				return value.Float(c*tu[1].AsFloat() + (1-c)/float64(n)), nil
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := ra.UnionByUpdate(next, scaled, []int{0}, ra.UBUFullOuter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.UnionByUpdate("V", merged, []int{0}, ubu); err != nil {
+			t.Fatal(err)
+		}
+		vT, _ = e.Cat.Get("V")
+	}
+	out, _ := e.Rel("V")
+	res := map[int64]float64{}
+	for _, tu := range out.Tuples {
+		res[tu[0].AsInt()] = tu[1].AsFloat()
+	}
+	return res
+}
+
+func TestPageRankSameAcrossProfilesAndUBUImpls(t *testing.T) {
+	edges := [][2]int64{{0, 1}, {1, 2}, {2, 0}, {2, 1}, {3, 2}, {1, 3}}
+	var ref map[int64]float64
+	for _, prof := range allProfiles() {
+		for _, ubu := range []ra.UBUImpl{ra.UBUMerge, ra.UBUFullOuter, ra.UBUUpdateFrom, ra.UBUReplace} {
+			got := pageRankViaEngine(t, New(prof), edges, 4, 10, ubu)
+			if ref == nil {
+				ref = got
+				continue
+			}
+			for id, w := range ref {
+				if math.Abs(got[id]-w) > 1e-12 {
+					t.Fatalf("%s/%s: PR[%d]=%g, want %g", prof.Name, ubu, id, got[id], w)
+				}
+			}
+		}
+	}
+	// Sanity: ranks sum to ~1.
+	var sum float64
+	for _, w := range ref {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PR sum = %g", sum)
+	}
+}
+
+func TestUnionByUpdateReplaceKeepsTableKind(t *testing.T) {
+	e := New(PostgresLike(false))
+	sch := schema.Cols(value.KindInt, "x")
+	if _, err := e.CreateTemp("t", sch); err != nil {
+		t.Fatal(err)
+	}
+	repl := relation.New(sch)
+	repl.AppendVals(value.Int(5))
+	if err := e.UnionByUpdate("t", repl, nil, ra.UBUReplace); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Cat.Get("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Temp || tab.Rows() != 1 {
+		t.Errorf("replaced table wrong: temp=%v rows=%d", tab.Temp, tab.Rows())
+	}
+	if tab.Store.BytesUsed() == 0 {
+		t.Error("postgres replacement temp should still be paged")
+	}
+}
+
+func TestAntiJoinViaEngine(t *testing.T) {
+	e := New(OracleLike())
+	v := relation.New(schema.Cols(value.KindInt, "ID"))
+	for i := int64(0); i < 5; i++ {
+		v.AppendVals(value.Int(i))
+	}
+	eRel := edgeRel([][2]int64{{0, 1}, {1, 2}})
+	vt, _ := e.LoadBase("V", v)
+	et, _ := e.LoadBase("E", eRel)
+	// Nodes with no incoming edge: V ▷ E on V.ID = E.T → {0, 3, 4}.
+	for _, impl := range []ra.AntiJoinImpl{ra.AntiNotExists, ra.AntiLeftOuter, ra.AntiNotIn} {
+		got, err := e.AntiJoin(vt, et, []int{0}, []int{1}, impl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := map[int64]bool{}
+		for _, tu := range got.Tuples {
+			ids[tu[0].AsInt()] = true
+		}
+		if len(ids) != 3 || !ids[0] || !ids[3] || !ids[4] {
+			t.Errorf("%s: roots = %v", impl, ids)
+		}
+	}
+	if e.Cnt.AntiJoins != 3 {
+		t.Errorf("anti-join counter = %d", e.Cnt.AntiJoins)
+	}
+}
+
+func TestCountersAdvance(t *testing.T) {
+	e := New(OracleLike())
+	a, _ := e.LoadBase("A", edgeRel([][2]int64{{0, 1}}))
+	b, _ := e.LoadBase("B", edgeRel([][2]int64{{1, 2}}))
+	if _, err := e.Join(a, b, []int{1}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.MMJoin(a, b, ra.EdgeMat(), ra.EdgeMat(), 1, 0, 0, 1, semiring.MinPlus()); err != nil {
+		t.Fatal(err)
+	}
+	if e.Cnt.Joins != 2 || e.Cnt.GroupBys != 1 || e.Cnt.Inserts != 2 {
+		t.Errorf("counters: %+v", e.Cnt)
+	}
+	if e.String() != "engine(oracle)" {
+		t.Errorf("String = %q", e.String())
+	}
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Failure injection: storage faults must surface as errors from every
+// engine operation, never as silent data loss or panics.
+
+func faultTable(t *testing.T, e *Engine, name string, failAfter int) {
+	t.Helper()
+	tab, err := e.Cat.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Store = &storage.FaultyStore{Inner: tab.Store, FailAfter: failAfter}
+}
+
+func loadSmall(t *testing.T, e *Engine) {
+	t.Helper()
+	r := edgeRel([][2]int64{{0, 1}, {1, 2}, {2, 0}})
+	if _, err := e.LoadBase("E", r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertFaultPropagates(t *testing.T) {
+	e := New(DB2Like())
+	loadSmall(t, e)
+	tab, _ := e.CreateTemp("V", schema.Cols(value.KindInt, "x"))
+	tab.Store = &storage.FaultyStore{Inner: tab.Store, FailAfter: 2} // truncate + 1 insert
+	one := relation.New(tab.Sch)
+	one.AppendVals(value.Int(1))
+	if err := e.StoreInto("V", one); err != nil {
+		t.Fatalf("first ops within budget should pass: %v", err)
+	}
+	two := relation.New(tab.Sch)
+	two.AppendVals(value.Int(2))
+	two.AppendVals(value.Int(3))
+	err := e.StoreInto("V", two)
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+}
+
+func TestMaterializeFault(t *testing.T) {
+	e := New(DB2Like())
+	loadSmall(t, e)
+	tab, _ := e.Cat.Get("E")
+	// Invalidate the cache, then make the store fail on scan.
+	tab.Insert(relation.Tuple{value.Int(5), value.Int(6), value.Float(1)})
+	tab.Store = &storage.FaultyStore{Inner: tab.Store}
+	if _, err := e.Rel("E"); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("materialize should surface the fault, got %v", err)
+	}
+	// Engine ops that materialize also fail cleanly.
+	v, _ := e.CreateTemp("V", schema.Cols(value.KindInt, "ID", "vw"))
+	_ = v
+	vt, _ := e.Cat.Get("V")
+	if _, err := e.Join(tab, vt, []int{1}, []int{0}); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("join should surface the fault, got %v", err)
+	}
+	if _, err := e.MVJoin(tab, vt, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes()); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("mv-join should surface the fault, got %v", err)
+	}
+	if _, err := e.AntiJoin(tab, vt, []int{0}, []int{0}, ra.AntiLeftOuter); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("anti-join should surface the fault, got %v", err)
+	}
+}
+
+func TestUnionByUpdateFault(t *testing.T) {
+	e := New(OracleLike())
+	tab, _ := e.CreateTemp("V", schema.Cols(value.KindInt, "ID", "vw"))
+	init := relation.New(tab.Sch)
+	init.AppendVals(value.Int(1), value.Int(10))
+	if err := e.StoreInto("V", init); err != nil {
+		t.Fatal(err)
+	}
+	// Fail on the next store access (materialize during UBU).
+	faultTable(t, e, "V", 0)
+	err := e.UnionByUpdate("V", init, []int{0}, ra.UBUFullOuter)
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("union-by-update should surface the fault, got %v", err)
+	}
+}
+
+func TestTruncateFault(t *testing.T) {
+	e := New(OracleLike())
+	tab, _ := e.CreateTemp("V", schema.Cols(value.KindInt, "x"))
+	tab.Store = &storage.FaultyStore{Inner: tab.Store, FailAfter: 0}
+	one := relation.New(tab.Sch)
+	one.AppendVals(value.Int(1))
+	if err := e.StoreInto("V", one); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("store-into should fail at truncate, got %v", err)
+	}
+}

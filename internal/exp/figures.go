@@ -1,0 +1,227 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/bsp"
+	"repro/internal/datalog"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/gas"
+	"repro/internal/graph"
+)
+
+// IndexingTable reproduces Exp-A / Fig. 10: the PostgreSQL-like profile
+// with and without temp-table indexes on the four larger datasets (WG, WT,
+// PC, OK), across the benchmarked algorithms.
+func IndexingTable(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	var out []*Table
+	for _, code := range []string{"WG", "WT", "PC", "OK"} {
+		d, err := dataset.ByCode(code)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Generate(cfg.Nodes, cfg.Seed)
+		t := &Table{
+			Title:  fmt.Sprintf("Fig. 10: indexing effectiveness in PostgreSQL on %s", d.Name),
+			Header: []string{"Algorithm", "no index (ms)", "index (ms)", "speedup"},
+		}
+		for _, a := range algos.Benchmarked() {
+			if a.DirectedOnly && !d.Directed {
+				continue
+			}
+			p := algoParams(code, cfg)
+			var times [2]time.Duration
+			for i, withIdx := range []bool{false, true} {
+				e := engine.New(engine.PostgresLike(withIdx))
+				start := time.Now()
+				if _, err := a.Run(e, g, p); err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", a.Code, code, err)
+				}
+				times[i] = time.Since(start)
+			}
+			speedup := float64(times[0]) / float64(times[1])
+			t.Rows = append(t.Rows, []string{
+				a.Code, ms(times[0]), ms(times[1]), fmt.Sprintf("%.2fx", speedup),
+			})
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// VsSystemsTable reproduces Exp-B / Fig. 11: PR, WCC, and SSSP on all 9
+// datasets, comparing the RDBMS path (Oracle-like profile, the paper's
+// representative) against the PowerGraph-like GAS engine, the
+// SociaLite-like Datalog engine, and the Giraph-like BSP engine.
+func VsSystemsTable(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	var out []*Table
+	for _, algo := range []string{"PR", "WCC", "SSSP"} {
+		algo := algo
+		t := &Table{
+			Title:  fmt.Sprintf("Fig. 11: %s — RDBMS vs PowerGraph-like vs SociaLite-like vs Giraph-like", algo),
+			Header: []string{"Dataset", "RDBMS (ms)", "GAS (ms)", "Datalog (ms)", "BSP (ms)"},
+		}
+		for _, d := range dataset.All() {
+			g := d.Generate(cfg.Nodes, cfg.Seed)
+			row := []string{d.Code}
+			// RDBMS path (Oracle-like, the paper's comparison engine).
+			e := engine.New(engine.OracleLike())
+			p := algoParams(d.Code, cfg)
+			start := time.Now()
+			var err error
+			switch algo {
+			case "PR":
+				_, err = algos.RunPageRank(e, g, p)
+			case "WCC":
+				_, err = algos.RunWCC(e, g, p)
+			case "SSSP":
+				_, err = algos.RunSSSP(e, g, p)
+			}
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(time.Since(start)))
+			// PowerGraph-like GAS.
+			start = time.Now()
+			switch algo {
+			case "PR":
+				gas.PageRank(g, 0.85, cfg.Iters)
+			case "WCC":
+				gas.WCC(g)
+			case "SSSP":
+				gas.SSSP(g, 0)
+			}
+			row = append(row, ms(time.Since(start)))
+			// SociaLite-like Datalog.
+			start = time.Now()
+			switch algo {
+			case "PR":
+				datalog.SocialitePageRank(g, 0.85, cfg.Iters)
+			case "WCC":
+				datalog.SocialiteWCC(g)
+			case "SSSP":
+				datalog.SocialiteSSSP(g, 0)
+			}
+			row = append(row, ms(time.Since(start)))
+			// Giraph-like BSP.
+			start = time.Now()
+			switch algo {
+			case "PR":
+				bsp.PageRank(g, 0.85, cfg.Iters)
+			case "WCC":
+				bsp.WCC(g)
+			case "SSSP":
+				bsp.SSSP(g, 0)
+			}
+			row = append(row, ms(time.Since(start)))
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// WithVsWithPlusPR reproduces Exp-C / Fig. 12: PageRank through plain WITH
+// (Fig. 9: partition by + distinct, PostgreSQL only) versus WITH+ (Fig. 3),
+// reporting per-iteration running time and accumulated tuples. The tuple
+// column is in multiples of n, as the paper plots.
+func WithVsWithPlusPR(cfg Config) (*Table, error) {
+	cfg = cfg.defaults()
+	d, err := dataset.ByCode("WG")
+	if err != nil {
+		return nil, err
+	}
+	g := d.Generate(cfg.Nodes, cfg.Seed)
+	iters := 14 // the paper's recursion depth for this experiment
+	legacy, err := algos.RunLegacyPageRank(engine.New(engine.PostgresLike(true)), g, algos.Params{Iters: iters})
+	if err != nil {
+		return nil, err
+	}
+	plus, err := algos.RunPageRank(engine.New(engine.PostgresLike(true)), g, algos.Params{Iters: iters})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 12: WITH vs WITH+ PageRank on %s (PostgreSQL profile, n=%d)", d.Name, g.N),
+		Header: []string{"Iteration", "with time (ms)", "with+ time (ms)", "with tuples (xn)", "with+ tuples (xn)"},
+	}
+	n := float64(g.N)
+	for i := 0; i < iters; i++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i+1),
+			ms(legacy.IterTimes[i]), ms(plus.IterTimes[i]),
+			fmt.Sprintf("%.0f", float64(legacy.IterRows[i])/n),
+			fmt.Sprintf("%.0f", float64(plus.IterRows[i])/n),
+		})
+	}
+	return t, nil
+}
+
+// TCAndAPSPTables reproduces Exp-C / Fig. 13: per-iteration times for
+// linear TC (WITH+ semi-naive vs PostgreSQL's plain WITH union) and APSP
+// by MM-join, on the Wiki Vote stand-in with recursion depth 7.
+func TCAndAPSPTables(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	// The paper runs this on Wiki Vote; a degree-preserving scale-down of
+	// WV saturates its closure within 2 hops (the diameter does not
+	// survive scaling), so the stand-in here keeps WV's skew but a sparser
+	// degree so the paper's per-iteration growth across all 7 levels is
+	// visible. Documented in EXPERIMENTS.md.
+	n := cfg.Nodes / 2
+	g := graph.Generate(graph.GenSpec{N: n, M: 3 * n, Directed: true, Skew: 2.4, Seed: cfg.Seed})
+	depth := 7
+	plus, err := algos.RunTC(engine.New(engine.OracleLike()), g, algos.Params{Depth: depth})
+	if err != nil {
+		return nil, err
+	}
+	legacy, err := algos.RunLegacyTC(engine.New(engine.PostgresLike(true)), g, algos.Params{Depth: depth}, true)
+	if err != nil {
+		return nil, err
+	}
+	tc := &Table{
+		Title:  fmt.Sprintf("Fig. 13(a): linear TC (sparse WV-skew stand-in, %d nodes), depth %d", n, depth),
+		Header: []string{"Iteration", "with+ time (ms)", "with/PostgreSQL time (ms)", "with+ |TC|", "with |TC|"},
+	}
+	rows := len(plus.IterTimes)
+	if len(legacy.IterTimes) > rows {
+		rows = len(legacy.IterTimes)
+	}
+	cell := func(ts []time.Duration, i int) string {
+		if i < len(ts) {
+			return ms(ts[i])
+		}
+		return "-"
+	}
+	count := func(ns []int, i int) string {
+		if i < len(ns) {
+			return fmt.Sprintf("%d", ns[i])
+		}
+		return "-"
+	}
+	for i := 0; i < rows; i++ {
+		tc.Rows = append(tc.Rows, []string{
+			fmt.Sprintf("%d", i+1),
+			cell(plus.IterTimes, i), cell(legacy.IterTimes, i),
+			count(plus.IterRows, i), count(legacy.IterRows, i),
+		})
+	}
+	apsp, err := algos.RunAPSP(engine.New(engine.OracleLike()), g, algos.Params{Depth: depth})
+	if err != nil {
+		return nil, err
+	}
+	at := &Table{
+		Title:  fmt.Sprintf("Fig. 13(b): APSP by MM-join (sparse WV-skew stand-in, %d nodes), depth %d", n, depth),
+		Header: []string{"Iteration", "time (ms)", "|D| pairs"},
+	}
+	for i := range apsp.IterTimes {
+		at.Rows = append(at.Rows, []string{
+			fmt.Sprintf("%d", i+1), ms(apsp.IterTimes[i]), fmt.Sprintf("%d", apsp.IterRows[i]),
+		})
+	}
+	return []*Table{tc, at}, nil
+}

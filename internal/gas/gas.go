@@ -1,0 +1,150 @@
+// Package gas implements a PowerGraph-like Gather-Apply-Scatter engine:
+// vertex programs run over active sets, gathering over in-edges, applying
+// an update, and scattering activation along out-edges. It is the
+// PowerGraph baseline of the paper's Exp-B (Fig. 11).
+package gas
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Program is a GAS vertex program over float64 vertex state.
+type Program struct {
+	// Init returns the initial vertex value.
+	Init func(v int32) float64
+	// Gather combines the contribution of in-edge (u→v) given u's value.
+	Gather func(uVal, w float64) float64
+	// Sum merges two gather results (must be commutative/associative).
+	Sum func(a, b float64) float64
+	// GatherZero is the identity of Sum.
+	GatherZero float64
+	// Apply computes the new value of v from its old value and the
+	// gathered total (total is GatherZero when v has no in-edges).
+	Apply func(v int32, old, total float64) float64
+	// ActivateOnChange scatters activation to out-neighbours when the
+	// value changed by more than Tolerance.
+	Tolerance float64
+}
+
+// Engine executes GAS programs on one graph.
+type Engine struct {
+	g   *graph.Graph
+	out *graph.CSR
+	in  *graph.CSR
+}
+
+// New prepares an engine (builds both adjacency directions).
+func New(g *graph.Graph) *Engine {
+	return &Engine{g: g, out: graph.BuildCSR(g, false), in: graph.BuildCSR(g, true)}
+}
+
+// Run executes the program until no vertices are active or maxIters is
+// reached (0 = unbounded). Returns the vertex values and supersteps used.
+func (e *Engine) Run(p Program, maxIters int) ([]float64, int) {
+	n := e.g.N
+	val := make([]float64, n)
+	for v := 0; v < n; v++ {
+		val[v] = p.Init(int32(v))
+	}
+	frontier := make([]int32, n)
+	for v := range frontier {
+		frontier[v] = int32(v)
+	}
+	iters := 0
+	for len(frontier) > 0 {
+		if maxIters > 0 && iters >= maxIters {
+			break
+		}
+		iters++
+		// Gather+Apply for active vertices against the current values,
+		// synchronously (PowerGraph's sync engine).
+		newVal := make([]float64, len(frontier))
+		for i, v := range frontier {
+			total := p.GatherZero
+			ns, ws := e.in.Neighbors(v), e.in.Weights(v)
+			for j, u := range ns {
+				total = p.Sum(total, p.Gather(val[u], ws[j]))
+			}
+			newVal[i] = p.Apply(v, val[v], total)
+		}
+		var next []int32
+		nextActive := make([]bool, n)
+		for i, v := range frontier {
+			changed := math.Abs(newVal[i]-val[v]) > p.Tolerance
+			val[v] = newVal[i]
+			if !changed {
+				continue
+			}
+			// Scatter: activate out-neighbours.
+			for _, u := range e.out.Neighbors(v) {
+				if !nextActive[u] {
+					nextActive[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return val, iters
+}
+
+// PageRank runs the paper's fixed-iteration PageRank on the GAS engine,
+// gathering rank/outdeg along in-edges (the share is encoded as the edge
+// weight, PowerGraph-style).
+func PageRank(g *graph.Graph, c float64, iters int) ([]float64, int) {
+	outdeg := g.OutDegrees()
+	wg := graph.New(g.N, g.Directed)
+	for _, ed := range g.Edges {
+		wg.AddEdge(ed.F, ed.T, 1/float64(outdeg[ed.F]))
+	}
+	e := New(wg)
+	n := float64(g.N)
+	return e.Run(Program{
+		Init:       func(int32) float64 { return 1 / n },
+		Gather:     func(uVal, w float64) float64 { return uVal * w },
+		Sum:        func(a, b float64) float64 { return a + b },
+		GatherZero: 0,
+		Apply: func(v int32, old, total float64) float64 {
+			return c*total + (1-c)/n
+		},
+		Tolerance: -1, // always scatter: fixed-iteration dense run
+	}, iters)
+}
+
+// WCC computes weakly-connected components (min-label flooding) on the GAS
+// engine over the symmetrized graph. Returns labels and supersteps.
+func WCC(g *graph.Graph) ([]float64, int) {
+	e := New(g.Symmetrize())
+	return e.Run(Program{
+		Init:       func(v int32) float64 { return float64(v) },
+		Gather:     func(uVal, w float64) float64 { return uVal },
+		Sum:        math.Min,
+		GatherZero: math.Inf(1),
+		Apply: func(v int32, old, total float64) float64 {
+			return math.Min(old, total)
+		},
+		Tolerance: 0,
+	}, 0)
+}
+
+// SSSP computes single-source shortest distances on the GAS engine.
+func SSSP(g *graph.Graph, src int32) ([]float64, int) {
+	e := New(g)
+	return e.Run(Program{
+		Init: func(v int32) float64 {
+			if v == src {
+				return 0
+			}
+			return math.Inf(1)
+		},
+		Gather:     func(uVal, w float64) float64 { return uVal + w },
+		Sum:        math.Min,
+		GatherZero: math.Inf(1),
+		Apply: func(v int32, old, total float64) float64 {
+			return math.Min(old, total)
+		},
+		Tolerance: 0,
+	}, 0)
+}

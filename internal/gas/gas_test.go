@@ -1,0 +1,79 @@
+package gas
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/refimpl"
+)
+
+func testGraph(seed int64) *graph.Graph {
+	return graph.Generate(graph.GenSpec{N: 120, M: 500, Directed: true, Skew: 2.2, Seed: seed})
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g := testGraph(1)
+	want := refimpl.PageRank(g, 0.85, 15)
+	got, iters := PageRank(g, 0.85, 15)
+	if iters != 15 {
+		t.Errorf("iters = %d", iters)
+	}
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-12 {
+			t.Fatalf("pr[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestWCCMatchesReference(t *testing.T) {
+	g := testGraph(2)
+	want := refimpl.WCC(g)
+	got, iters := WCC(g)
+	for v := range want {
+		if int64(got[v]) != want[v] {
+			t.Fatalf("label[%d] = %v, want %d", v, got[v], want[v])
+		}
+	}
+	if iters < 1 {
+		t.Error("no supersteps recorded")
+	}
+}
+
+func TestSSSPMatchesReference(t *testing.T) {
+	g := testGraph(3)
+	for i := range g.Edges {
+		g.Edges[i].W = float64(1 + i%5)
+	}
+	want := refimpl.BellmanFord(g, 0)
+	got, _ := SSSP(g, 0)
+	for v := range want {
+		if got[v] != want[v] && !(math.IsInf(got[v], 1) && math.IsInf(want[v], 1)) {
+			t.Fatalf("dist[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestActiveSetShrinks(t *testing.T) {
+	// A long chain: SSSP's frontier is one vertex wide, so supersteps ≈
+	// chain length, and the engine terminates without a bound.
+	g := graph.New(50, true)
+	for i := int32(0); i < 49; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	dist, iters := SSSP(g, 0)
+	if dist[49] != 49 {
+		t.Errorf("chain end dist = %v", dist[49])
+	}
+	if iters < 49 {
+		t.Errorf("iters = %d, want ≥ 49 (frontier advances one hop per step)", iters)
+	}
+}
+
+func TestMaxItersBounds(t *testing.T) {
+	g := testGraph(4)
+	_, iters := PageRank(g, 0.85, 3)
+	if iters != 3 {
+		t.Errorf("bounded run used %d supersteps", iters)
+	}
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// GenSpec parameterizes the synthetic generators.
+type GenSpec struct {
+	N        int     // node count
+	M        int     // target directed-edge count (per direction for undirected)
+	Directed bool    // directed or undirected (undirected stores both arcs)
+	Skew     float64 // power-law exponent for expected degrees (0 = uniform)
+	Seed     int64
+	Acyclic  bool // orient all edges low→high (DAG, for TopoSort datasets)
+	// MaxNodeWeight > 0 attaches integer node weights in [0, MaxNodeWeight]
+	// (the paper's MNM setup uses [0, 20]).
+	MaxNodeWeight int
+	// NumLabels > 0 attaches node labels in [0, NumLabels) (LP / KS setup).
+	NumLabels int
+}
+
+// Generate builds a deterministic synthetic graph with the given shape. It
+// uses a Chung–Lu style model: node i has expected-degree weight
+// (i+1)^(-1/(Skew-1)) for Skew > 1, uniform otherwise, and M edges are drawn
+// with endpoints proportional to those weights. Self-loops and duplicate
+// edges are rejected, so the realized M can be slightly below target on
+// dense specs.
+func Generate(spec GenSpec) *Graph {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := spec.N
+	if n < 1 {
+		n = 1
+	}
+	weights := make([]float64, n)
+	alpha := 0.0
+	if spec.Skew > 1 {
+		alpha = 1 / (spec.Skew - 1)
+	}
+	total := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -alpha)
+		total += weights[i]
+	}
+	// Cumulative distribution for endpoint sampling.
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	pick := func() int32 {
+		x := rng.Float64()
+		return int32(sort.SearchFloat64s(cum, x))
+	}
+	g := New(n, spec.Directed)
+	seen := make(map[int64]bool, spec.M*2)
+	target := spec.M
+	if !spec.Directed {
+		target = spec.M / 2
+	}
+	attempts := 0
+	maxAttempts := target * 20
+	for len(seen) < target && attempts < maxAttempts {
+		attempts++
+		a, b := pick(), pick()
+		if a == b {
+			continue
+		}
+		// DAGs orient low→high; undirected graphs canonicalize the key so a
+		// reversed re-draw is seen as a duplicate.
+		if (spec.Acyclic || !spec.Directed) && a > b {
+			a, b = b, a
+		}
+		key := edgeKey(a, b)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		w := 1.0
+		if spec.Directed {
+			g.AddEdge(a, b, w)
+		} else {
+			g.AddUndirected(a, b, w)
+		}
+	}
+	if spec.MaxNodeWeight > 0 {
+		g.NodeW = make([]float64, n)
+		for i := range g.NodeW {
+			g.NodeW[i] = float64(rng.Intn(spec.MaxNodeWeight + 1))
+		}
+	}
+	if spec.NumLabels > 0 {
+		g.Labels = make([]int32, n)
+		for i := range g.Labels {
+			g.Labels[i] = int32(rng.Intn(spec.NumLabels))
+		}
+	}
+	return g
+}
+
+func edgeKey(a, b int32) int64 { return int64(a)<<32 | int64(uint32(b)) }
+
+// GenerateDAG is a convenience wrapper producing an acyclic directed graph.
+func GenerateDAG(n, m int, seed int64) *Graph {
+	return Generate(GenSpec{N: n, M: m, Directed: true, Skew: 2.2, Seed: seed, Acyclic: true})
+}

@@ -1,0 +1,304 @@
+// Package graph provides the in-memory graph model shared by the dataset
+// generators, the reference algorithm implementations, the specialized
+// graph-engine baselines, and the relation loaders of the RDBMS path.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Edge is a directed, weighted edge.
+type Edge struct {
+	F, T int32
+	W    float64
+}
+
+// Graph is a weighted directed graph over nodes 0..N-1. Optional node
+// weights and labels support MNM, LP, and KS workloads. An undirected graph
+// is maintained as a directed graph with both directions present (as the
+// paper stores the SNAP undirected datasets).
+type Graph struct {
+	N        int
+	Edges    []Edge
+	Directed bool
+	NodeW    []float64 // node weights (nil when unused)
+	Labels   []int32   // node labels (nil when unused)
+}
+
+// New returns an empty graph with n nodes.
+func New(n int, directed bool) *Graph {
+	return &Graph{N: n, Directed: directed}
+}
+
+// AddEdge appends a directed edge; for undirected graphs the caller adds
+// both directions (or uses AddUndirected).
+func (g *Graph) AddEdge(f, t int32, w float64) {
+	g.Edges = append(g.Edges, Edge{F: f, T: t, W: w})
+}
+
+// AddUndirected appends both directions of an undirected edge.
+func (g *Graph) AddUndirected(a, b int32, w float64) {
+	g.AddEdge(a, b, w)
+	g.AddEdge(b, a, w)
+}
+
+// M returns the number of stored directed edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// AvgDegree returns M/N (directed edge count over nodes).
+func (g *Graph) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(len(g.Edges)) / float64(g.N)
+}
+
+// OutDegrees returns the out-degree of every node.
+func (g *Graph) OutDegrees() []int {
+	deg := make([]int, g.N)
+	for _, e := range g.Edges {
+		deg[e.F]++
+	}
+	return deg
+}
+
+// InDegrees returns the in-degree of every node.
+func (g *Graph) InDegrees() []int {
+	deg := make([]int, g.N)
+	for _, e := range g.Edges {
+		deg[e.T]++
+	}
+	return deg
+}
+
+// Symmetrize returns a graph with both directions of every edge present
+// (deduplicated); used by weakly-connected components on directed graphs.
+func (g *Graph) Symmetrize() *Graph {
+	seen := make(map[int64]bool, len(g.Edges)*2)
+	out := New(g.N, false)
+	out.NodeW, out.Labels = g.NodeW, g.Labels
+	add := func(f, t int32, w float64) {
+		key := int64(f)<<32 | int64(uint32(t))
+		if f == t || seen[key] {
+			return
+		}
+		seen[key] = true
+		out.AddEdge(f, t, w)
+	}
+	for _, e := range g.Edges {
+		add(e.F, e.T, e.W)
+		add(e.T, e.F, e.W)
+	}
+	return out
+}
+
+// CSR is a compressed sparse row adjacency for fast traversal in the
+// specialized-engine baselines.
+type CSR struct {
+	N    int
+	Offs []int32
+	Adj  []int32
+	W    []float64
+}
+
+// BuildCSR builds the out-adjacency CSR; with reverse=true it builds the
+// in-adjacency (transposed) CSR instead.
+func BuildCSR(g *Graph, reverse bool) *CSR {
+	n := g.N
+	offs := make([]int32, n+1)
+	for _, e := range g.Edges {
+		src := e.F
+		if reverse {
+			src = e.T
+		}
+		offs[src+1]++
+	}
+	for i := 0; i < n; i++ {
+		offs[i+1] += offs[i]
+	}
+	adj := make([]int32, len(g.Edges))
+	w := make([]float64, len(g.Edges))
+	cursor := make([]int32, n)
+	copy(cursor, offs[:n])
+	for _, e := range g.Edges {
+		src, dst := e.F, e.T
+		if reverse {
+			src, dst = e.T, e.F
+		}
+		p := cursor[src]
+		adj[p] = dst
+		w[p] = e.W
+		cursor[src]++
+	}
+	return &CSR{N: n, Offs: offs, Adj: adj, W: w}
+}
+
+// Neighbors returns the adjacency slice of node v (aliases CSR storage).
+func (c *CSR) Neighbors(v int32) []int32 {
+	return c.Adj[c.Offs[v]:c.Offs[v+1]]
+}
+
+// Weights returns the edge-weight slice of node v, parallel to Neighbors.
+func (c *CSR) Weights(v int32) []float64 {
+	return c.W[c.Offs[v]:c.Offs[v+1]]
+}
+
+// Degree returns the degree of node v in this CSR direction.
+func (c *CSR) Degree(v int32) int {
+	return int(c.Offs[v+1] - c.Offs[v])
+}
+
+// EdgeSchema is the relation schema E(F, T, ew).
+func EdgeSchema() schema.Schema {
+	return schema.Schema{
+		{Name: "F", Type: value.KindInt},
+		{Name: "T", Type: value.KindInt},
+		{Name: "ew", Type: value.KindFloat},
+	}
+}
+
+// NodeSchema is the relation schema V(ID, vw).
+func NodeSchema() schema.Schema {
+	return schema.Schema{
+		{Name: "ID", Type: value.KindInt},
+		{Name: "vw", Type: value.KindFloat},
+	}
+}
+
+// EdgeRelation converts the edges into the relation E(F, T, ew).
+func (g *Graph) EdgeRelation() *relation.Relation {
+	r := relation.NewWithCap(EdgeSchema(), len(g.Edges))
+	for _, e := range g.Edges {
+		r.Tuples = append(r.Tuples, relation.Tuple{
+			value.Int(int64(e.F)), value.Int(int64(e.T)), value.Float(e.W),
+		})
+	}
+	return r
+}
+
+// NodeRelation converts the nodes into the relation V(ID, vw) with the
+// given initial weight function (nil means 0).
+func (g *Graph) NodeRelation(w func(i int) float64) *relation.Relation {
+	r := relation.NewWithCap(NodeSchema(), g.N)
+	for i := 0; i < g.N; i++ {
+		vw := 0.0
+		if w != nil {
+			vw = w(i)
+		}
+		r.Tuples = append(r.Tuples, relation.Tuple{value.Int(int64(i)), value.Float(vw)})
+	}
+	return r
+}
+
+// FromEdgeRelation builds a graph from a relation E(F, T, ew); n is the
+// node count (pass 0 to infer max ID + 1).
+func FromEdgeRelation(r *relation.Relation, n int, directed bool) (*Graph, error) {
+	maxID := int64(-1)
+	for _, t := range r.Tuples {
+		if len(t) < 2 {
+			return nil, fmt.Errorf("graph: edge tuple arity %d", len(t))
+		}
+		if t[0].AsInt() > maxID {
+			maxID = t[0].AsInt()
+		}
+		if t[1].AsInt() > maxID {
+			maxID = t[1].AsInt()
+		}
+	}
+	if n == 0 {
+		n = int(maxID + 1)
+	}
+	if maxID >= int64(n) {
+		return nil, fmt.Errorf("graph: edge endpoint %d exceeds node count %d", maxID, n)
+	}
+	g := New(n, directed)
+	for _, t := range r.Tuples {
+		w := 1.0
+		if len(t) >= 3 && !t[2].IsNull() {
+			w = t[2].AsFloat()
+		}
+		g.AddEdge(int32(t[0].AsInt()), int32(t[1].AsInt()), w)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes "F T W" lines.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.F, e.T, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseEdgeList reads "F T [W]" lines; '#'-prefixed lines are comments
+// (SNAP's format). Node count is max ID + 1.
+func ParseEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := int32(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'F T [W]', got %q", line, text)
+		}
+		f, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		t, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			if w, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		}
+		edges = append(edges, Edge{F: int32(f), T: int32(t), W: w})
+		if int32(f) > maxID {
+			maxID = int32(f)
+		}
+		if int32(t) > maxID {
+			maxID = int32(t)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := New(int(maxID+1), directed)
+	g.Edges = edges
+	return g, nil
+}
+
+// Priority is the shared deterministic random priority used by the MIS
+// algorithm in both the RDBMS path and the reference implementation, so the
+// two can be compared exactly: the paper's RAND() per node per iteration,
+// derandomized by hashing (seed, iter, node).
+func Priority(seed int64, iter int, node int32) float64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(iter)*0xbf58476d1ce4e5b9 + uint64(node)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,298 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func diamond() *Graph {
+	g := New(4, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(1, 3, 3)
+	g.AddEdge(2, 3, 4)
+	return g
+}
+
+func TestDegreesAndAvg(t *testing.T) {
+	g := diamond()
+	out := g.OutDegrees()
+	in := g.InDegrees()
+	if out[0] != 2 || out[3] != 0 || in[3] != 2 || in[0] != 0 {
+		t.Errorf("degrees wrong: out=%v in=%v", out, in)
+	}
+	if g.M() != 4 || g.AvgDegree() != 1.0 {
+		t.Errorf("M=%d avg=%f", g.M(), g.AvgDegree())
+	}
+	if New(0, true).AvgDegree() != 0 {
+		t.Error("empty graph avg degree")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	g := New(3, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 1) // already bidirectional
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 2, 1) // self loop dropped
+	s := g.Symmetrize()
+	if s.M() != 4 {
+		t.Errorf("symmetrized M = %d, want 4", s.M())
+	}
+	seen := map[[2]int32]bool{}
+	for _, e := range s.Edges {
+		if seen[[2]int32{e.F, e.T}] {
+			t.Errorf("duplicate edge %v", e)
+		}
+		seen[[2]int32{e.F, e.T}] = true
+	}
+	if !seen[[2]int32{2, 1}] {
+		t.Error("missing reversed edge 2->1")
+	}
+}
+
+func TestCSRForwardAndReverse(t *testing.T) {
+	g := diamond()
+	fwd := BuildCSR(g, false)
+	if fwd.Degree(0) != 2 || fwd.Degree(3) != 0 {
+		t.Errorf("fwd degrees wrong")
+	}
+	ns := fwd.Neighbors(0)
+	if len(ns) != 2 || (ns[0] != 1 && ns[1] != 1) {
+		t.Errorf("neighbors(0) = %v", ns)
+	}
+	ws := fwd.Weights(0)
+	if len(ws) != 2 {
+		t.Errorf("weights(0) = %v", ws)
+	}
+	rev := BuildCSR(g, true)
+	if rev.Degree(3) != 2 || rev.Degree(0) != 0 {
+		t.Error("reverse degrees wrong")
+	}
+	rns := rev.Neighbors(3)
+	got := map[int32]bool{rns[0]: true, rns[1]: true}
+	if !got[1] || !got[2] {
+		t.Errorf("reverse neighbors(3) = %v", rns)
+	}
+}
+
+func TestCSRPreservesWeightEdgePairing(t *testing.T) {
+	g := diamond()
+	c := BuildCSR(g, false)
+	// Edge 1->3 has weight 3.
+	ns, ws := c.Neighbors(1), c.Weights(1)
+	if len(ns) != 1 || ns[0] != 3 || ws[0] != 3 {
+		t.Errorf("pairing broken: %v %v", ns, ws)
+	}
+}
+
+func TestRelationRoundTrip(t *testing.T) {
+	g := diamond()
+	er := g.EdgeRelation()
+	if er.Len() != 4 || er.Sch.Arity() != 3 {
+		t.Fatalf("edge relation shape: %v", er.Sch)
+	}
+	back, err := FromEdgeRelation(er, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 4 || back.M() != 4 {
+		t.Errorf("round trip: N=%d M=%d", back.N, back.M())
+	}
+	for i, e := range back.Edges {
+		if e != g.Edges[i] {
+			t.Errorf("edge %d: %v vs %v", i, e, g.Edges[i])
+		}
+	}
+	// Infer node count.
+	back2, err := FromEdgeRelation(er, 0, true)
+	if err != nil || back2.N != 4 {
+		t.Errorf("inferred N = %d (%v)", back2.N, err)
+	}
+	// Node-count violation detected.
+	if _, err := FromEdgeRelation(er, 2, true); err == nil {
+		t.Error("endpoint beyond N should error")
+	}
+}
+
+func TestNodeRelation(t *testing.T) {
+	g := diamond()
+	vr := g.NodeRelation(func(i int) float64 { return float64(i * 10) })
+	if vr.Len() != 4 || vr.At(2)[1].AsFloat() != 20 {
+		t.Errorf("node relation: %v", vr)
+	}
+	zero := g.NodeRelation(nil)
+	if zero.At(3)[1].AsFloat() != 0 {
+		t.Error("nil weight func should give 0")
+	}
+	if zero.At(1)[0].K != value.KindInt {
+		t.Error("ID should be int")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := diamond()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseEdgeList(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != g.N || back.M() != g.M() {
+		t.Errorf("round trip N=%d M=%d", back.N, back.M())
+	}
+	for i := range back.Edges {
+		if back.Edges[i] != g.Edges[i] {
+			t.Errorf("edge %d differs", i)
+		}
+	}
+}
+
+func TestParseEdgeListFormats(t *testing.T) {
+	in := "# SNAP comment\n\n0 1\n1 2 2.5\n"
+	g, err := ParseEdgeList(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 2 || g.Edges[0].W != 1.0 || g.Edges[1].W != 2.5 {
+		t.Errorf("parsed: %+v", g)
+	}
+	for _, bad := range []string{"justone\n", "a b\n", "0 b\n", "0 1 x\n"} {
+		if _, err := ParseEdgeList(strings.NewReader(bad), true); err == nil {
+			t.Errorf("input %q should fail", bad)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	spec := GenSpec{N: 500, M: 2500, Directed: true, Skew: 2.1, Seed: 7}
+	g := Generate(spec)
+	if g.N != 500 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.M() < 2000 || g.M() > 2500 {
+		t.Errorf("M = %d, want ≈2500", g.M())
+	}
+	// No self loops or duplicates.
+	seen := map[int64]bool{}
+	for _, e := range g.Edges {
+		if e.F == e.T {
+			t.Fatal("self loop generated")
+		}
+		k := edgeKey(e.F, e.T)
+		if seen[k] {
+			t.Fatal("duplicate edge generated")
+		}
+		seen[k] = true
+	}
+	// Skewed: max degree well above average.
+	deg := g.OutDegrees()
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	if float64(max) < 4*g.AvgDegree() {
+		t.Errorf("degree skew too weak: max=%d avg=%.1f", max, g.AvgDegree())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenSpec{N: 100, M: 400, Directed: true, Skew: 2.0, Seed: 3, MaxNodeWeight: 20, NumLabels: 5})
+	b := Generate(GenSpec{N: 100, M: 400, Directed: true, Skew: 2.0, Seed: 3, MaxNodeWeight: 20, NumLabels: 5})
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+	for i := range a.NodeW {
+		if a.NodeW[i] != b.NodeW[i] || a.Labels[i] != b.Labels[i] {
+			t.Fatal("nondeterministic attributes")
+		}
+	}
+	c := Generate(GenSpec{N: 100, M: 400, Directed: true, Skew: 2.0, Seed: 4})
+	same := true
+	for i := range a.Edges {
+		if i >= len(c.Edges) || a.Edges[i] != c.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateUndirectedSymmetric(t *testing.T) {
+	g := Generate(GenSpec{N: 80, M: 400, Directed: false, Skew: 2.0, Seed: 9})
+	fwd := map[int64]bool{}
+	for _, e := range g.Edges {
+		fwd[edgeKey(e.F, e.T)] = true
+	}
+	for _, e := range g.Edges {
+		if !fwd[edgeKey(e.T, e.F)] {
+			t.Fatalf("missing reverse of %v", e)
+		}
+	}
+	if g.M()%2 != 0 {
+		t.Error("undirected graph should have even arc count")
+	}
+}
+
+func TestGenerateDAGIsAcyclic(t *testing.T) {
+	g := GenerateDAG(200, 800, 5)
+	for _, e := range g.Edges {
+		if e.F >= e.T {
+			t.Fatalf("edge %v violates topological orientation", e)
+		}
+	}
+}
+
+func TestGenerateAttributesRanges(t *testing.T) {
+	g := Generate(GenSpec{N: 300, M: 600, Directed: true, Seed: 1, MaxNodeWeight: 20, NumLabels: 7})
+	for i, w := range g.NodeW {
+		if w < 0 || w > 20 {
+			t.Fatalf("node %d weight %f out of range", i, w)
+		}
+	}
+	for i, l := range g.Labels {
+		if l < 0 || l >= 7 {
+			t.Fatalf("node %d label %d out of range", i, l)
+		}
+	}
+}
+
+func TestPriorityDeterministicAndUniformish(t *testing.T) {
+	if Priority(1, 2, 3) != Priority(1, 2, 3) {
+		t.Error("Priority must be deterministic")
+	}
+	if Priority(1, 2, 3) == Priority(1, 2, 4) && Priority(1, 3, 3) == Priority(1, 2, 3) {
+		t.Error("Priority should vary with inputs")
+	}
+	f := func(seed int64, iter uint8, node int32) bool {
+		p := Priority(seed, int(iter), node)
+		return p >= 0 && p < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Mean of many draws near 0.5.
+	sum := 0.0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		sum += Priority(42, 0, int32(i))
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Errorf("priority mean = %f", mean)
+	}
+}

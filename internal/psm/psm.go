@@ -1,0 +1,188 @@
+// Package psm implements SQL/PSM-style stored procedures: the target the
+// WITH+ compiler emits (the paper's Algorithm 1). A procedure declares
+// condition variables, creates temporary tables, and runs a loop of
+// insert-select steps with emptiness checks deciding when to exit.
+package psm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+// Ctx is the execution context of one procedure call.
+type Ctx struct {
+	Eng *engine.Engine
+	// Conds are the paper's C_i condition variables (emptiness flags).
+	Conds map[string]bool
+	// Iteration is the current loop iteration (0 before the loop).
+	Iteration int
+}
+
+// Query produces a relation from the current state (a compiled SELECT).
+type Query func(ctx *Ctx) (*relation.Relation, error)
+
+// Stmt is one procedure statement.
+type Stmt interface {
+	Exec(ctx *Ctx) error
+	String() string
+}
+
+// CreateTemp creates (or re-creates) a temporary table.
+type CreateTemp struct {
+	Table string
+	Sch   schema.Schema
+}
+
+// Exec implements Stmt.
+func (s *CreateTemp) Exec(ctx *Ctx) error {
+	_, err := ctx.Eng.EnsureTemp(s.Table, s.Sch)
+	return err
+}
+
+// String implements Stmt.
+func (s *CreateTemp) String() string {
+	return fmt.Sprintf("create temporary table %s %s", s.Table, s.Sch)
+}
+
+// InsertSelect evaluates a query and inserts the result into a table,
+// optionally truncating first (the per-iteration refresh of computed-by
+// tables). SetCond, when non-empty, records whether the query produced
+// rows in the named condition variable.
+type InsertSelect struct {
+	Table    string
+	Query    Query
+	Truncate bool
+	SetCond  string
+	Label    string // rendered SQL-ish text for display
+}
+
+// Exec implements Stmt.
+func (s *InsertSelect) Exec(ctx *Ctx) error {
+	r, err := s.Query(ctx)
+	if err != nil {
+		return err
+	}
+	if s.SetCond != "" {
+		ctx.Conds[s.SetCond] = r.Len() > 0
+	}
+	if s.Truncate {
+		return ctx.Eng.StoreInto(s.Table, r)
+	}
+	return ctx.Eng.AppendInto(s.Table, r)
+}
+
+// String implements Stmt.
+func (s *InsertSelect) String() string {
+	verb := "insert into"
+	if s.Truncate {
+		verb = "truncate + insert into"
+	}
+	label := s.Label
+	if label == "" {
+		label = "select ..."
+	}
+	return fmt.Sprintf("%s %s %s", verb, s.Table, label)
+}
+
+// Do runs an arbitrary compiled step (union-by-update write-back, fixpoint
+// snapshots) with a display label.
+type Do struct {
+	Label string
+	Fn    func(ctx *Ctx) error
+}
+
+// Exec implements Stmt.
+func (s *Do) Exec(ctx *Ctx) error { return s.Fn(ctx) }
+
+// String implements Stmt.
+func (s *Do) String() string { return s.Label }
+
+// ExitIf leaves the enclosing loop when the condition holds.
+type ExitIf struct {
+	Label string
+	Cond  func(ctx *Ctx) (bool, error)
+}
+
+// Exec implements Stmt (evaluated by Loop).
+func (s *ExitIf) Exec(ctx *Ctx) error { return nil }
+
+// String implements Stmt.
+func (s *ExitIf) String() string { return "exit when " + s.Label }
+
+// errExit signals loop exit through the interpreter.
+type errExit struct{}
+
+func (errExit) Error() string { return "psm: loop exit" }
+
+// Loop runs its body until an ExitIf fires or MaxIter is reached
+// (0 = unbounded, the engines' default).
+type Loop struct {
+	Body    []Stmt
+	MaxIter int
+}
+
+// Exec implements Stmt.
+func (s *Loop) Exec(ctx *Ctx) error {
+	for iter := 1; s.MaxIter <= 0 || iter <= s.MaxIter; iter++ {
+		ctx.Iteration = iter
+		for _, st := range s.Body {
+			if ex, ok := st.(*ExitIf); ok {
+				stop, err := ex.Cond(ctx)
+				if err != nil {
+					return err
+				}
+				if stop {
+					return nil
+				}
+				continue
+			}
+			if err := st.Exec(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String implements Stmt.
+func (s *Loop) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop (maxrecursion %d)\n", s.MaxIter)
+	for _, st := range s.Body {
+		b.WriteString("    " + st.String() + "\n")
+	}
+	b.WriteString("  end loop")
+	return b.String()
+}
+
+// Proc is a stored procedure: the compiled form of one WITH+ query.
+type Proc struct {
+	Name  string
+	Steps []Stmt
+}
+
+// Call executes the procedure on an engine.
+func (p *Proc) Call(eng *engine.Engine) error {
+	ctx := &Ctx{Eng: eng, Conds: map[string]bool{}}
+	for _, s := range p.Steps {
+		if err := s.Exec(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the procedure body (the shape of Algorithm 1's output).
+func (p *Proc) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "create procedure %s as begin\n", p.Name)
+	for _, s := range p.Steps {
+		b.WriteString("  " + s.String() + "\n")
+	}
+	b.WriteString("end")
+	return b.String()
+}

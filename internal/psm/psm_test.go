@@ -1,0 +1,154 @@
+package psm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func intRel(vals ...int64) *relation.Relation {
+	r := relation.New(schema.Cols(value.KindInt, "x"))
+	for _, v := range vals {
+		r.Append(relation.Tuple{value.Int(v)})
+	}
+	return r
+}
+
+func TestProcCreateInsertLoop(t *testing.T) {
+	eng := engine.New(engine.OracleLike())
+	proc := &Proc{
+		Name: "F_test",
+		Steps: []Stmt{
+			&CreateTemp{Table: "acc", Sch: schema.Cols(value.KindInt, "x")},
+			&InsertSelect{
+				Table: "acc",
+				Query: func(ctx *Ctx) (*relation.Relation, error) { return intRel(0), nil },
+			},
+			&Loop{
+				MaxIter: 100,
+				Body: []Stmt{
+					&InsertSelect{
+						Table:   "acc",
+						SetCond: "C1",
+						Label:   "select max+1",
+						Query: func(ctx *Ctx) (*relation.Relation, error) {
+							if ctx.Iteration >= 5 {
+								return intRel(), nil // empty → C1 false
+							}
+							return intRel(int64(ctx.Iteration)), nil
+						},
+					},
+					&ExitIf{
+						Label: "C1 is false",
+						Cond:  func(ctx *Ctx) (bool, error) { return !ctx.Conds["C1"], nil },
+					},
+				},
+			},
+		},
+	}
+	if err := proc.Call(eng); err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Rel("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 { // 0 plus iterations 1..4
+		t.Errorf("rows = %d, want 5", out.Len())
+	}
+}
+
+func TestLoopMaxIterStops(t *testing.T) {
+	eng := engine.New(engine.OracleLike())
+	runs := 0
+	proc := &Proc{Steps: []Stmt{
+		&Loop{MaxIter: 3, Body: []Stmt{
+			&Do{Label: "count", Fn: func(ctx *Ctx) error { runs++; return nil }},
+		}},
+	}}
+	if err := proc.Call(eng); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 3 {
+		t.Errorf("runs = %d", runs)
+	}
+}
+
+func TestInsertSelectTruncateMode(t *testing.T) {
+	eng := engine.New(engine.DB2Like())
+	ct := &CreateTemp{Table: "t", Sch: schema.Cols(value.KindInt, "x")}
+	ctx := &Ctx{Eng: eng, Conds: map[string]bool{}}
+	if err := ct.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	app := &InsertSelect{Table: "t", Query: func(*Ctx) (*relation.Relation, error) { return intRel(1, 2), nil }}
+	if err := app.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := eng.Rel("t")
+	if r.Len() != 4 {
+		t.Errorf("append mode rows = %d", r.Len())
+	}
+	tr := &InsertSelect{Table: "t", Truncate: true, Query: func(*Ctx) (*relation.Relation, error) { return intRel(9), nil }}
+	if err := tr.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = eng.Rel("t")
+	if r.Len() != 1 || r.At(0)[0].AsInt() != 9 {
+		t.Errorf("truncate mode rows = %v", r)
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	eng := engine.New(engine.OracleLike())
+	boom := fmt.Errorf("boom")
+	proc := &Proc{Steps: []Stmt{
+		&Do{Label: "fail", Fn: func(*Ctx) error { return boom }},
+	}}
+	if err := proc.Call(eng); err != boom {
+		t.Errorf("err = %v", err)
+	}
+	proc2 := &Proc{Steps: []Stmt{
+		&Loop{MaxIter: 2, Body: []Stmt{
+			&ExitIf{Label: "bad cond", Cond: func(*Ctx) (bool, error) { return false, boom }},
+		}},
+	}}
+	if err := proc2.Call(eng); err != boom {
+		t.Errorf("loop cond err = %v", err)
+	}
+	proc3 := &Proc{Steps: []Stmt{
+		&InsertSelect{Table: "missing", Query: func(*Ctx) (*relation.Relation, error) { return intRel(1), nil }},
+	}}
+	if err := proc3.Call(eng); err == nil {
+		t.Error("insert into missing table should fail")
+	}
+}
+
+func TestRendering(t *testing.T) {
+	proc := &Proc{Name: "F_Q", Steps: []Stmt{
+		&CreateTemp{Table: "t", Sch: schema.Cols(value.KindInt, "x")},
+		&Loop{MaxIter: 10, Body: []Stmt{
+			&InsertSelect{Table: "t", Truncate: true, Label: "select ..."},
+			&Do{Label: "union-by-update t"},
+			&ExitIf{Label: "no change"},
+		}},
+	}}
+	s := proc.String()
+	for _, want := range []string{
+		"create procedure F_Q", "create temporary table t",
+		"loop (maxrecursion 10)", "truncate + insert into t",
+		"union-by-update t", "exit when no change", "end loop", "end",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, s)
+		}
+	}
+}

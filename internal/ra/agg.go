@@ -1,0 +1,245 @@
+package ra
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/value"
+)
+
+// Accumulator folds tuples into one aggregate value.
+type Accumulator interface {
+	Add(t relation.Tuple) error
+	Result() value.Value
+}
+
+// AggSpec describes one aggregate output column: a name for the output
+// schema and a factory producing a fresh accumulator per group.
+type AggSpec struct {
+	Col schema.Column
+	New func() Accumulator
+}
+
+type foldAcc struct {
+	expr    Expr
+	fold    func(acc, v value.Value) value.Value
+	acc     value.Value
+	started bool
+	initial value.Value
+}
+
+func (a *foldAcc) Add(t relation.Tuple) error {
+	v, err := a.expr(t)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	if !a.started {
+		a.acc = v
+		a.started = true
+		return nil
+	}
+	a.acc = a.fold(a.acc, v)
+	return nil
+}
+
+func (a *foldAcc) Result() value.Value {
+	if !a.started {
+		return a.initial
+	}
+	return a.acc
+}
+
+// Sum aggregates ⅀ expr over the group; empty/NULL-only groups yield NULL.
+func Sum(col schema.Column, expr Expr) AggSpec {
+	return AggSpec{Col: col, New: func() Accumulator {
+		return &foldAcc{expr: expr, initial: value.Null,
+			fold: func(acc, v value.Value) value.Value {
+				r, err := value.Add(acc, v)
+				if err != nil {
+					return value.Null
+				}
+				return r
+			}}
+	}}
+}
+
+// MinAgg aggregates min(expr); empty groups yield NULL.
+func MinAgg(col schema.Column, expr Expr) AggSpec {
+	return AggSpec{Col: col, New: func() Accumulator {
+		return &foldAcc{expr: expr, initial: value.Null, fold: value.Min}
+	}}
+}
+
+// MaxAgg aggregates max(expr); empty groups yield NULL.
+func MaxAgg(col schema.Column, expr Expr) AggSpec {
+	return AggSpec{Col: col, New: func() Accumulator {
+		return &foldAcc{expr: expr, initial: value.Null, fold: value.Max}
+	}}
+}
+
+type countAcc struct {
+	expr Expr // nil means COUNT(*)
+	n    int64
+}
+
+func (a *countAcc) Add(t relation.Tuple) error {
+	if a.expr == nil {
+		a.n++
+		return nil
+	}
+	v, err := a.expr(t)
+	if err != nil {
+		return err
+	}
+	if !v.IsNull() {
+		a.n++
+	}
+	return nil
+}
+
+func (a *countAcc) Result() value.Value { return value.Int(a.n) }
+
+// Count aggregates COUNT(expr); pass a nil expr for COUNT(*).
+func Count(col schema.Column, expr Expr) AggSpec {
+	return AggSpec{Col: col, New: func() Accumulator { return &countAcc{expr: expr} }}
+}
+
+type avgAcc struct {
+	expr Expr
+	sum  float64
+	n    int64
+}
+
+func (a *avgAcc) Add(t relation.Tuple) error {
+	v, err := a.expr(t)
+	if err != nil {
+		return err
+	}
+	if !v.IsNull() {
+		a.sum += v.AsFloat()
+		a.n++
+	}
+	return nil
+}
+
+func (a *avgAcc) Result() value.Value {
+	if a.n == 0 {
+		return value.Null
+	}
+	return value.Float(a.sum / float64(a.n))
+}
+
+// Avg aggregates the arithmetic mean of expr.
+func Avg(col schema.Column, expr Expr) AggSpec {
+	return AggSpec{Col: col, New: func() Accumulator { return &avgAcc{expr: expr} }}
+}
+
+// SemiringAgg folds ⊕ over expr (which supplies the ⊙-products), starting
+// from the semiring's Zero. It is the ⊕ of Eqs. (1) and (2).
+func SemiringAgg(col schema.Column, sr semiring.Semiring, expr Expr) AggSpec {
+	return AggSpec{Col: col, New: func() Accumulator {
+		return &foldAcc{expr: expr, initial: sr.Zero, acc: sr.Zero,
+			fold: sr.Plus}
+	}}
+}
+
+// GroupBy computes X𝒢Y: group on groupCols, evaluate each aggregate per
+// group. The output schema is the group columns followed by the aggregate
+// columns. With empty groupCols the whole relation is one group (and, per
+// SQL, an empty input still yields a single row of aggregate identities).
+func GroupBy(r *relation.Relation, groupCols []int, aggs []AggSpec) (*relation.Relation, error) {
+	sch := r.Sch.Project(groupCols)
+	for _, a := range aggs {
+		sch = append(sch, a.Col)
+	}
+	type group struct {
+		key  relation.Tuple
+		accs []Accumulator
+	}
+	newGroup := func(key relation.Tuple) *group {
+		g := &group{key: key, accs: make([]Accumulator, len(aggs))}
+		for i, a := range aggs {
+			g.accs[i] = a.New()
+		}
+		return g
+	}
+	var order []*group
+	buckets := make(map[uint64][]*group)
+	for _, t := range r.Tuples {
+		h := t.HashOn(groupCols)
+		var g *group
+		for _, cand := range buckets[h] {
+			if cand.key.EqualOn(allIdx(len(groupCols)), t, groupCols) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			key := make(relation.Tuple, len(groupCols))
+			for i, c := range groupCols {
+				key[i] = t[c]
+			}
+			g = newGroup(key)
+			buckets[h] = append(buckets[h], g)
+			order = append(order, g)
+		}
+		for _, acc := range g.accs {
+			if err := acc.Add(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(groupCols) == 0 && len(order) == 0 {
+		order = append(order, newGroup(relation.Tuple{}))
+	}
+	out := relation.NewWithCap(sch, len(order))
+	for _, g := range order {
+		t := make(relation.Tuple, 0, len(g.key)+len(aggs))
+		t = append(t, g.key...)
+		for _, acc := range g.accs {
+			t = append(t, acc.Result())
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, nil
+}
+
+func allIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// PartitionBy mimics the SQL window form "agg(...) OVER (PARTITION BY ...)":
+// every input tuple appears in the output, extended with the aggregate of
+// its partition. This is the only aggregation the stock RDBMSs allow inside
+// a recursive WITH (Table 1, category D), and it is what the legacy
+// PostgreSQL PageRank of Fig. 9 uses; unlike GROUP BY it emits one row per
+// input tuple, which is why that formulation accumulates tuples.
+func PartitionBy(r *relation.Relation, partCols []int, agg AggSpec) (*relation.Relation, error) {
+	grouped, err := GroupBy(r, partCols, []AggSpec{agg})
+	if err != nil {
+		return nil, err
+	}
+	aggCol := len(partCols)
+	idx := relation.BuildHashIndex(grouped, allIdx(len(partCols)))
+	out := relation.NewWithCap(r.Sch.Concat(schema.Schema{agg.Col}), r.Len())
+	for _, t := range r.Tuples {
+		rows := idx.Probe(t, partCols)
+		if len(rows) != 1 {
+			return nil, fmt.Errorf("ra: partition lookup found %d groups", len(rows))
+		}
+		nt := make(relation.Tuple, 0, len(t)+1)
+		nt = append(nt, t...)
+		nt = append(nt, grouped.Tuples[rows[0]][aggCol])
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out, nil
+}

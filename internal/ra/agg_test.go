@@ -1,0 +1,162 @@
+package ra
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/value"
+)
+
+func col(name string) schema.Column { return schema.Column{Name: name, Type: value.KindFloat} }
+
+func TestGroupBySumMinMaxCountAvg(t *testing.T) {
+	r := rel(ints("g", "v"),
+		[]int64{1, 10}, []int64{1, 20}, []int64{2, 5}, []int64{2, 7}, []int64{2, 3})
+	got, err := GroupBy(r, []int{0}, []AggSpec{
+		Sum(col("s"), ColExpr(1)),
+		MinAgg(col("mn"), ColExpr(1)),
+		MaxAgg(col("mx"), ColExpr(1)),
+		Count(col("c"), nil),
+		Avg(col("a"), ColExpr(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("groups = %d", got.Len())
+	}
+	for _, tu := range got.Tuples {
+		switch tu[0].AsInt() {
+		case 1:
+			if tu[1].AsInt() != 30 || tu[2].AsInt() != 10 || tu[3].AsInt() != 20 || tu[4].AsInt() != 2 || tu[5].AsFloat() != 15 {
+				t.Errorf("group 1 aggregates wrong: %v", tu)
+			}
+		case 2:
+			if tu[1].AsInt() != 15 || tu[2].AsInt() != 3 || tu[3].AsInt() != 7 || tu[4].AsInt() != 3 || tu[5].AsFloat() != 5 {
+				t.Errorf("group 2 aggregates wrong: %v", tu)
+			}
+		default:
+			t.Errorf("unexpected group %v", tu)
+		}
+	}
+}
+
+func TestGroupByNullHandling(t *testing.T) {
+	r := relation.New(ints("g", "v"))
+	r.AppendVals(value.Int(1), value.Null)
+	r.AppendVals(value.Int(1), value.Int(4))
+	r.AppendVals(value.Int(2), value.Null)
+	got, err := GroupBy(r, []int{0}, []AggSpec{
+		Sum(col("s"), ColExpr(1)),
+		Count(col("cv"), ColExpr(1)),
+		Count(col("cstar"), nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range got.Tuples {
+		switch tu[0].AsInt() {
+		case 1:
+			if tu[1].AsInt() != 4 || tu[2].AsInt() != 1 || tu[3].AsInt() != 2 {
+				t.Errorf("group 1: %v", tu)
+			}
+		case 2:
+			if !tu[1].IsNull() || tu[2].AsInt() != 0 || tu[3].AsInt() != 1 {
+				t.Errorf("group 2 (all-null values): %v", tu)
+			}
+		}
+	}
+}
+
+func TestGroupByGlobalAggregateOnEmptyInput(t *testing.T) {
+	r := relation.New(ints("v"))
+	got, err := GroupBy(r, nil, []AggSpec{Count(col("c"), nil), Sum(col("s"), ColExpr(0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.At(0)[0].AsInt() != 0 || !got.At(0)[1].IsNull() {
+		t.Errorf("global agg on empty input: %v", got)
+	}
+	// But a grouped aggregate over empty input has no groups.
+	got2, err := GroupBy(r, []int{0}, []AggSpec{Count(col("c"), nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Len() != 0 {
+		t.Errorf("grouped agg on empty input should be empty: %v", got2)
+	}
+}
+
+func TestGroupByNullKeysGroupTogether(t *testing.T) {
+	r := relation.New(ints("g", "v"))
+	r.AppendVals(value.Null, value.Int(1))
+	r.AppendVals(value.Null, value.Int(2))
+	got, err := GroupBy(r, []int{0}, []AggSpec{Sum(col("s"), ColExpr(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.At(0)[1].AsInt() != 3 {
+		t.Errorf("NULL keys should form one group: %v", got)
+	}
+}
+
+func TestSemiringAggMinPlusZeroForEmptyishGroups(t *testing.T) {
+	r := rel(ints("g", "v"), []int64{1, 5}, []int64{1, 3})
+	sr := semiring.MinPlus()
+	got, err := GroupBy(r, []int{0}, []AggSpec{SemiringAgg(col("m"), sr, ColExpr(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0)[1].AsInt() != 3 {
+		t.Errorf("min fold = %v", got.At(0)[1])
+	}
+	// Global semiring agg over empty input yields the semiring Zero.
+	empty := relation.New(ints("v"))
+	got2, err := GroupBy(empty, nil, []AggSpec{SemiringAgg(col("m"), sr, ColExpr(0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got2.At(0)[0].AsFloat(), 1) {
+		t.Errorf("empty min-plus fold should be +Inf, got %v", got2.At(0)[0])
+	}
+}
+
+func TestPartitionByKeepsEveryTuple(t *testing.T) {
+	r := rel(ints("g", "v"), []int64{1, 10}, []int64{1, 20}, []int64{2, 5})
+	got, err := PartitionBy(r, []int{0}, Sum(col("s"), ColExpr(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("partition by must keep all rows, got %d", got.Len())
+	}
+	for _, tu := range got.Tuples {
+		wantSum := int64(30)
+		if tu[0].AsInt() == 2 {
+			wantSum = 5
+		}
+		if tu[2].AsInt() != wantSum {
+			t.Errorf("row %v: want partition sum %d", tu, wantSum)
+		}
+	}
+	if got.Sch.Arity() != 3 {
+		t.Error("partition by appends one column")
+	}
+}
+
+func TestGroupByPreservesFirstSeenOrder(t *testing.T) {
+	r := rel(ints("g"), []int64{5}, []int64{2}, []int64{5}, []int64{9})
+	got, err := GroupBy(r, []int{0}, []AggSpec{Count(col("c"), nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []int64{5, 2, 9}
+	for i, want := range order {
+		if got.At(i)[0].AsInt() != want {
+			t.Errorf("group order[%d] = %v, want %d", i, got.At(i)[0], want)
+		}
+	}
+}

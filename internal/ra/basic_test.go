@@ -1,0 +1,135 @@
+package ra
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func ints(names ...string) schema.Schema { return schema.Cols(value.KindInt, names...) }
+
+func rel(s schema.Schema, rows ...[]int64) *relation.Relation {
+	r := relation.New(s)
+	for _, row := range rows {
+		t := make(relation.Tuple, len(row))
+		for i, v := range row {
+			t[i] = value.Int(v)
+		}
+		r.Append(t)
+	}
+	return r
+}
+
+func wantRows(t *testing.T, got *relation.Relation, rows ...[]int64) {
+	t.Helper()
+	want := rel(got.Sch, rows...)
+	if !got.Equal(want) {
+		t.Errorf("relation mismatch\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := rel(ints("a", "b"), []int64{1, 10}, []int64{2, 20}, []int64{3, 30})
+	got, err := Select(r, func(tu relation.Tuple) (bool, error) { return tu[0].AsInt() >= 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, got, []int64{2, 20}, []int64{3, 30})
+	// Result tuples must not alias input.
+	got.Tuples[0][0] = value.Int(99)
+	if r.At(1)[0].AsInt() != 2 {
+		t.Error("Select aliased input tuples")
+	}
+}
+
+func TestProjectCols(t *testing.T) {
+	r := rel(ints("a", "b", "c"), []int64{1, 2, 3}, []int64{4, 5, 6})
+	got := ProjectCols(r, []int{2, 0})
+	if got.Sch[0].Name != "c" || got.Sch[1].Name != "a" {
+		t.Errorf("schema %v", got.Sch)
+	}
+	wantRows(t, got, []int64{3, 1}, []int64{6, 4})
+}
+
+func TestProjectExprs(t *testing.T) {
+	r := rel(ints("a", "b"), []int64{1, 2}, []int64{3, 4})
+	got, err := Project(r, []OutCol{
+		{Col: schema.Column{Name: "sum", Type: value.KindInt}, Expr: func(tu relation.Tuple) (value.Value, error) {
+			return value.Add(tu[0], tu[1])
+		}},
+		{Col: schema.Column{Name: "k", Type: value.KindInt}, Expr: ConstExpr(value.Int(7))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, got, []int64{3, 7}, []int64{7, 7})
+}
+
+func TestRename(t *testing.T) {
+	r := rel(ints("a", "b"), []int64{1, 2})
+	got := Rename(r, "E1", []string{"x", "y"})
+	if got.Sch[0].Table != "E1" || got.Sch[0].Name != "x" || got.Sch[1].Name != "y" {
+		t.Errorf("schema %v", got.Sch)
+	}
+	if r.Sch[0].Name != "a" {
+		t.Error("Rename must not mutate the input schema")
+	}
+}
+
+func TestUnionAllAndUnion(t *testing.T) {
+	a := rel(ints("x"), []int64{1}, []int64{2})
+	b := rel(ints("x"), []int64{2}, []int64{3})
+	all := UnionAll(a, b)
+	wantRows(t, all, []int64{1}, []int64{2}, []int64{2}, []int64{3})
+	u := Union(a, b)
+	wantRows(t, u, []int64{1}, []int64{2}, []int64{3})
+}
+
+func TestDistinct(t *testing.T) {
+	r := rel(ints("x", "y"), []int64{1, 1}, []int64{1, 1}, []int64{1, 2})
+	wantRows(t, Distinct(r), []int64{1, 1}, []int64{1, 2})
+}
+
+func TestDifference(t *testing.T) {
+	a := rel(ints("x"), []int64{1}, []int64{2}, []int64{3})
+	b := rel(ints("x"), []int64{2})
+	wantRows(t, Difference(a, b), []int64{1}, []int64{3})
+	wantRows(t, Difference(b, a))
+}
+
+func TestIntersect(t *testing.T) {
+	a := rel(ints("x"), []int64{1}, []int64{2}, []int64{2}, []int64{3})
+	b := rel(ints("x"), []int64{2}, []int64{3}, []int64{4})
+	wantRows(t, Intersect(a, b), []int64{2}, []int64{3})
+}
+
+func TestProduct(t *testing.T) {
+	a := rel(ints("x"), []int64{1}, []int64{2})
+	b := rel(ints("y"), []int64{10}, []int64{20})
+	got := Product(a, b)
+	wantRows(t, got, []int64{1, 10}, []int64{1, 20}, []int64{2, 10}, []int64{2, 20})
+	if got.Sch.Arity() != 2 {
+		t.Error("product schema should concat")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	r := rel(ints("x"), []int64{1}, []int64{2}, []int64{3})
+	if Limit(r, 2).Len() != 2 || Limit(r, 5).Len() != 3 || Limit(r, 0).Len() != 0 {
+		t.Error("Limit lengths wrong")
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	r := rel(ints("a", "b"), []int64{2, 1}, []int64{1, 2}, []int64{2, 0})
+	got := OrderBy(r, []int{0, 1}, []bool{false, true})
+	if got.At(0)[0].AsInt() != 1 || got.At(1)[1].AsInt() != 1 || got.At(2)[1].AsInt() != 0 {
+		t.Errorf("order wrong: %v", got)
+	}
+	// Input untouched.
+	if r.At(0)[0].AsInt() != 2 {
+		t.Error("OrderBy mutated input")
+	}
+}

@@ -1,0 +1,218 @@
+package ra
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// JoinAlgo selects the physical algorithm for an equi-join. The engine
+// profiles map onto these: Oracle- and DB2-like profiles pick HashJoin for
+// temp tables; the PostgreSQL-like profile picks SortMergeJoin (its
+// optimizer lacks temp-table statistics, per Section 7 and Exp-A) and
+// upgrades to IndexMergeJoin when a sorted index exists.
+type JoinAlgo int
+
+// The physical join algorithms.
+const (
+	HashJoin JoinAlgo = iota
+	SortMergeJoin
+	IndexMergeJoin
+	NestedLoopJoin
+)
+
+// String names the algorithm.
+func (a JoinAlgo) String() string {
+	switch a {
+	case HashJoin:
+		return "hash"
+	case SortMergeJoin:
+		return "sort-merge"
+	case IndexMergeJoin:
+		return "index-merge"
+	case NestedLoopJoin:
+		return "nested-loop"
+	}
+	return fmt.Sprintf("JoinAlgo(%d)", int(a))
+}
+
+// EquiJoinSpec carries everything an equi-join needs: the key columns on
+// each side, the algorithm, and (for IndexMergeJoin) pre-built sorted
+// indexes standing in for B+-tree indexes on the temp tables.
+type EquiJoinSpec struct {
+	LeftCols  []int
+	RightCols []int
+	Algo      JoinAlgo
+	LeftIdx   *relation.SortedIndex // optional, used by IndexMergeJoin
+	RightIdx  *relation.SortedIndex // optional, used by IndexMergeJoin
+}
+
+// EquiJoin computes r ⋈ s on the key columns using the requested algorithm.
+// The output schema is r.Sch ++ s.Sch.
+func EquiJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
+	switch spec.Algo {
+	case SortMergeJoin, IndexMergeJoin:
+		return mergeJoin(r, s, spec)
+	case NestedLoopJoin:
+		out := relation.New(r.Sch.Concat(s.Sch))
+		for _, rt := range r.Tuples {
+			for _, st := range s.Tuples {
+				if rt.EqualOn(spec.LeftCols, st, spec.RightCols) {
+					out.Tuples = append(out.Tuples, concatTuples(rt, st))
+				}
+			}
+		}
+		return out
+	default:
+		return hashJoin(r, s, spec)
+	}
+}
+
+func hashJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
+	out := relation.New(r.Sch.Concat(s.Sch))
+	// Build on the right side, probe from the left.
+	idx := relation.BuildHashIndex(s, spec.RightCols)
+	for _, rt := range r.Tuples {
+		for _, row := range idx.Probe(rt, spec.LeftCols) {
+			out.Tuples = append(out.Tuples, concatTuples(rt, s.Tuples[row]))
+		}
+	}
+	return out
+}
+
+// mergeJoin performs a sort-merge join. With IndexMergeJoin and a supplied
+// SortedIndex for a side, that side is read in index order (no sort); other
+// sides are sorted fresh each call — the repeated per-iteration sorting is
+// precisely the PostgreSQL behaviour the paper's indexing experiment
+// measures.
+func mergeJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
+	lIdx := spec.LeftIdx
+	if spec.Algo != IndexMergeJoin || lIdx == nil || lIdx.Len() != r.Len() {
+		lIdx = relation.BuildSortedIndex(r, spec.LeftCols)
+	}
+	rIdx := spec.RightIdx
+	if spec.Algo != IndexMergeJoin || rIdx == nil || rIdx.Len() != s.Len() {
+		rIdx = relation.BuildSortedIndex(s, spec.RightCols)
+	}
+	out := relation.New(r.Sch.Concat(s.Sch))
+	i, j := 0, 0
+	for i < lIdx.Len() && j < rIdx.Len() {
+		lt := lIdx.Tuple(i)
+		rt := rIdx.Tuple(j)
+		c := lt.CompareOn(spec.LeftCols, rt, spec.RightCols)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Expand the equal-key block on the right.
+			jEnd := j
+			for jEnd < rIdx.Len() && lt.CompareOn(spec.LeftCols, rIdx.Tuple(jEnd), spec.RightCols) == 0 {
+				jEnd++
+			}
+			for ; i < lIdx.Len() && lIdx.Tuple(i).CompareOn(spec.LeftCols, rt, spec.RightCols) == 0; i++ {
+				for k := j; k < jEnd; k++ {
+					out.Tuples = append(out.Tuples, concatTuples(lIdx.Tuple(i), rIdx.Tuple(k)))
+				}
+			}
+			j = jEnd
+		}
+	}
+	return out
+}
+
+// ThetaJoin computes r ⋈_θ s with an arbitrary predicate over the
+// concatenated tuple (nested-loop evaluation).
+func ThetaJoin(r, s *relation.Relation, pred Pred) (*relation.Relation, error) {
+	out := relation.New(r.Sch.Concat(s.Sch))
+	for _, rt := range r.Tuples {
+		for _, st := range s.Tuples {
+			t := concatTuples(rt, st)
+			ok, err := pred(t)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.Tuples = append(out.Tuples, t)
+			}
+		}
+	}
+	return out, nil
+}
+
+// LeftOuterJoin computes r ⟕ s on key columns: unmatched r tuples are padded
+// with NULLs on the s side.
+func LeftOuterJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relation {
+	out := relation.New(r.Sch.Concat(s.Sch))
+	idx := relation.BuildHashIndex(s, rCols)
+	pad := make(relation.Tuple, s.Sch.Arity())
+	for i := range pad {
+		pad[i] = value.Null
+	}
+	for _, rt := range r.Tuples {
+		rows := idx.Probe(rt, lCols)
+		if len(rows) == 0 {
+			out.Tuples = append(out.Tuples, concatTuples(rt, pad))
+			continue
+		}
+		for _, row := range rows {
+			out.Tuples = append(out.Tuples, concatTuples(rt, s.Tuples[row]))
+		}
+	}
+	return out
+}
+
+// FullOuterJoin computes r ⟗ s on key columns: unmatched tuples from either
+// side are padded with NULLs on the other side. This is the implementation
+// vehicle for union-by-update that the paper finds fastest (Tables 4 and 5).
+func FullOuterJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relation {
+	out := relation.New(r.Sch.Concat(s.Sch))
+	idx := relation.BuildHashIndex(s, rCols)
+	lPad := make(relation.Tuple, r.Sch.Arity())
+	for i := range lPad {
+		lPad[i] = value.Null
+	}
+	rPad := make(relation.Tuple, s.Sch.Arity())
+	for i := range rPad {
+		rPad[i] = value.Null
+	}
+	matched := make([]bool, s.Len())
+	for _, rt := range r.Tuples {
+		rows := idx.Probe(rt, lCols)
+		if len(rows) == 0 {
+			out.Tuples = append(out.Tuples, concatTuples(rt, rPad))
+			continue
+		}
+		for _, row := range rows {
+			matched[row] = true
+			out.Tuples = append(out.Tuples, concatTuples(rt, s.Tuples[row]))
+		}
+	}
+	for i, st := range s.Tuples {
+		if !matched[i] {
+			out.Tuples = append(out.Tuples, concatTuples(lPad, st))
+		}
+	}
+	return out
+}
+
+// SemiJoin computes r ⋉ s: the r tuples that join with at least one s tuple.
+func SemiJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relation {
+	out := relation.New(r.Sch)
+	idx := relation.BuildHashIndex(s, rCols)
+	for _, rt := range r.Tuples {
+		if idx.Contains(rt, lCols) {
+			out.Append(rt.Clone())
+		}
+	}
+	return out
+}
+
+func concatTuples(a, b relation.Tuple) relation.Tuple {
+	t := make(relation.Tuple, 0, len(a)+len(b))
+	t = append(t, a...)
+	t = append(t, b...)
+	return t
+}

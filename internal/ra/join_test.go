@@ -1,0 +1,155 @@
+package ra
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+var allAlgos = []JoinAlgo{HashJoin, SortMergeJoin, IndexMergeJoin, NestedLoopJoin}
+
+func TestEquiJoinAllAlgosAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		a := relation.New(ints("f", "t"))
+		b := relation.New(ints("t", "w"))
+		for i := 0; i < 60; i++ {
+			a.AppendVals(value.Int(int64(rng.Intn(10))), value.Int(int64(rng.Intn(10))))
+			b.AppendVals(value.Int(int64(rng.Intn(10))), value.Int(int64(rng.Intn(100))))
+		}
+		var results []*relation.Relation
+		for _, algo := range allAlgos {
+			results = append(results, EquiJoin(a, b, EquiJoinSpec{
+				LeftCols: []int{1}, RightCols: []int{0}, Algo: algo,
+			}))
+		}
+		for i := 1; i < len(results); i++ {
+			if !results[0].Equal(results[i]) {
+				t.Fatalf("trial %d: %s join disagrees with hash join (%d vs %d rows)",
+					trial, allAlgos[i], results[i].Len(), results[0].Len())
+			}
+		}
+	}
+}
+
+func TestEquiJoinBasic(t *testing.T) {
+	e := rel(ints("f", "t"), []int64{1, 2}, []int64{2, 3}, []int64{1, 3})
+	v := rel(ints("id", "w"), []int64{2, 20}, []int64{3, 30})
+	got := EquiJoin(e, v, EquiJoinSpec{LeftCols: []int{1}, RightCols: []int{0}, Algo: HashJoin})
+	wantRows(t, got, []int64{1, 2, 2, 20}, []int64{2, 3, 3, 30}, []int64{1, 3, 3, 30})
+}
+
+func TestIndexMergeJoinUsesProvidedIndexes(t *testing.T) {
+	a := rel(ints("k", "x"), []int64{3, 0}, []int64{1, 1}, []int64{2, 2})
+	b := rel(ints("k", "y"), []int64{2, 5}, []int64{1, 6})
+	ai := relation.BuildSortedIndex(a, []int{0})
+	bi := relation.BuildSortedIndex(b, []int{0})
+	got := EquiJoin(a, b, EquiJoinSpec{
+		LeftCols: []int{0}, RightCols: []int{0}, Algo: IndexMergeJoin,
+		LeftIdx: ai, RightIdx: bi,
+	})
+	wantRows(t, got, []int64{1, 1, 1, 6}, []int64{2, 2, 2, 5})
+}
+
+func TestIndexMergeJoinStaleIndexFallsBack(t *testing.T) {
+	a := rel(ints("k"), []int64{1})
+	b := rel(ints("k"), []int64{1}, []int64{2})
+	staleIdx := relation.BuildSortedIndex(b, []int{0})
+	b.AppendVals(value.Int(1)) // index no longer covers b
+	got := EquiJoin(a, b, EquiJoinSpec{
+		LeftCols: []int{0}, RightCols: []int{0}, Algo: IndexMergeJoin, RightIdx: staleIdx,
+	})
+	if got.Len() != 2 {
+		t.Errorf("stale index should be ignored; got %d rows", got.Len())
+	}
+}
+
+func TestMergeJoinDuplicateBlocks(t *testing.T) {
+	a := rel(ints("k"), []int64{1}, []int64{1}, []int64{2})
+	b := rel(ints("k"), []int64{1}, []int64{1}, []int64{1})
+	got := EquiJoin(a, b, EquiJoinSpec{LeftCols: []int{0}, RightCols: []int{0}, Algo: SortMergeJoin})
+	if got.Len() != 6 {
+		t.Errorf("2x3 duplicate block should give 6 rows, got %d", got.Len())
+	}
+}
+
+func TestThetaJoin(t *testing.T) {
+	a := rel(ints("x"), []int64{1}, []int64{5})
+	b := rel(ints("y"), []int64{3}, []int64{7})
+	got, err := ThetaJoin(a, b, func(tu relation.Tuple) (bool, error) {
+		return tu[0].AsInt() < tu[1].AsInt(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, got, []int64{1, 3}, []int64{1, 7}, []int64{5, 7})
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	a := rel(ints("k", "x"), []int64{1, 10}, []int64{2, 20})
+	b := rel(ints("k", "y"), []int64{1, 100})
+	got := LeftOuterJoin(a, b, []int{0}, []int{0})
+	if got.Len() != 2 {
+		t.Fatalf("rows = %d", got.Len())
+	}
+	var padded relation.Tuple
+	for _, tu := range got.Tuples {
+		if tu[0].AsInt() == 2 {
+			padded = tu
+		}
+	}
+	if padded == nil || !padded[2].IsNull() || !padded[3].IsNull() {
+		t.Errorf("unmatched row not NULL-padded: %v", padded)
+	}
+}
+
+func TestFullOuterJoin(t *testing.T) {
+	a := rel(ints("k", "x"), []int64{1, 10}, []int64{2, 20})
+	b := rel(ints("k", "y"), []int64{2, 200}, []int64{3, 300})
+	got := FullOuterJoin(a, b, []int{0}, []int{0})
+	if got.Len() != 3 {
+		t.Fatalf("rows = %d: %v", got.Len(), got)
+	}
+	counts := map[string]int{}
+	for _, tu := range got.Tuples {
+		switch {
+		case tu[0].IsNull():
+			counts["right-only"]++
+			if tu[2].AsInt() != 3 {
+				t.Errorf("right-only row wrong: %v", tu)
+			}
+		case tu[2].IsNull():
+			counts["left-only"]++
+			if tu[0].AsInt() != 1 {
+				t.Errorf("left-only row wrong: %v", tu)
+			}
+		default:
+			counts["both"]++
+		}
+	}
+	if counts["both"] != 1 || counts["left-only"] != 1 || counts["right-only"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestSemiJoin(t *testing.T) {
+	a := rel(ints("k"), []int64{1}, []int64{2}, []int64{2}, []int64{3})
+	b := rel(ints("k"), []int64{2}, []int64{2}, []int64{9})
+	got := SemiJoin(a, b, []int{0}, []int{0})
+	// Semi-join keeps bag multiplicity of the left side, never multiplies.
+	wantRows(t, got, []int64{2}, []int64{2})
+}
+
+func TestJoinAlgoString(t *testing.T) {
+	names := map[JoinAlgo]string{
+		HashJoin: "hash", SortMergeJoin: "sort-merge",
+		IndexMergeJoin: "index-merge", NestedLoopJoin: "nested-loop",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q", a, a.String())
+		}
+	}
+}

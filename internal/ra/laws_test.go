@@ -1,0 +1,252 @@
+package ra
+
+// Algebraic-law property tests: the equivalences a relational optimizer
+// relies on must hold for the operator implementations.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func randRel(rng *rand.Rand, cols int, rows int, domain int64) *relation.Relation {
+	names := []string{"a", "b", "c", "d"}[:cols]
+	r := relation.New(ints(names...))
+	for i := 0; i < rows; i++ {
+		t := make(relation.Tuple, cols)
+		for c := range t {
+			t[c] = value.Int(rng.Int63n(domain))
+		}
+		r.Append(t)
+	}
+	return r
+}
+
+func TestSelectionSplitsConjunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		r := randRel(rng, 2, 50, 10)
+		p1 := func(tu relation.Tuple) (bool, error) { return tu[0].AsInt() > 3, nil }
+		p2 := func(tu relation.Tuple) (bool, error) { return tu[1].AsInt() < 7, nil }
+		both := func(tu relation.Tuple) (bool, error) {
+			a, _ := p1(tu)
+			b, _ := p2(tu)
+			return a && b, nil
+		}
+		lhs, err := Select(r, both)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step1, err := Select(r, p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs, err := Select(step1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lhs.Equal(rhs) {
+			t.Fatal("σ_{p∧q}(R) != σ_q(σ_p(R))")
+		}
+	}
+}
+
+func TestSelectionPushdownThroughJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 20; trial++ {
+		r := randRel(rng, 2, 40, 8)
+		s := randRel(rng, 2, 40, 8)
+		spec := EquiJoinSpec{LeftCols: []int{1}, RightCols: []int{0}, Algo: HashJoin}
+		// Predicate touching only the left side.
+		p := func(tu relation.Tuple) (bool, error) { return tu[0].AsInt()%2 == 0, nil }
+		joined := EquiJoin(r, s, spec)
+		lhs, err := Select(joined, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filtered, err := Select(r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs := EquiJoin(filtered, s, spec)
+		if !lhs.Equal(rhs) {
+			t.Fatal("σ_p(R ⋈ S) != σ_p(R) ⋈ S for left-only p")
+		}
+	}
+}
+
+func TestJoinCommutativityUpToColumnOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 20; trial++ {
+		r := randRel(rng, 2, 30, 6)
+		s := randRel(rng, 2, 30, 6)
+		rs := EquiJoin(r, s, EquiJoinSpec{LeftCols: []int{0}, RightCols: []int{0}, Algo: HashJoin})
+		sr := EquiJoin(s, r, EquiJoinSpec{LeftCols: []int{0}, RightCols: []int{0}, Algo: SortMergeJoin})
+		// Reorder sr's columns to rs's layout.
+		srSwapped := ProjectCols(sr, []int{2, 3, 0, 1})
+		if !rs.Equal(srSwapped) {
+			t.Fatal("R ⋈ S != π(S ⋈ R)")
+		}
+	}
+}
+
+func TestUnionLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 20; trial++ {
+		a := randRel(rng, 1, 25, 9)
+		b := randRel(rng, 1, 25, 9)
+		c := randRel(rng, 1, 25, 9)
+		// Commutativity.
+		if !Union(a, b).Equal(Union(b, a)) {
+			t.Fatal("union not commutative")
+		}
+		// Associativity.
+		if !Union(Union(a, b), c).Equal(Union(a, Union(b, c))) {
+			t.Fatal("union not associative")
+		}
+		// UNION ALL preserves cardinalities.
+		if UnionAll(a, b).Len() != a.Len()+b.Len() {
+			t.Fatal("union all lost tuples")
+		}
+		// Idempotence of distinct.
+		d := Distinct(a)
+		if !Distinct(d).Equal(d) {
+			t.Fatal("distinct not idempotent")
+		}
+	}
+}
+
+func TestDifferenceLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for trial := 0; trial < 20; trial++ {
+		a := Distinct(randRel(rng, 1, 25, 9))
+		b := Distinct(randRel(rng, 1, 25, 9))
+		// A − B ⊆ A and disjoint from B.
+		d := Difference(a, b)
+		if Intersect(d, b).Len() != 0 {
+			t.Fatal("difference overlaps subtrahend")
+		}
+		// (A − B) ∪ (A ∩ B) = A for sets.
+		recon := Union(d, Intersect(a, b))
+		if !recon.Equal(a) {
+			t.Fatal("difference/intersection do not partition A")
+		}
+		// A − A = ∅.
+		if Difference(a, a).Len() != 0 {
+			t.Fatal("A − A != ∅")
+		}
+	}
+}
+
+func TestSemiAntiJoinPartitionR(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 20; trial++ {
+		r := randRel(rng, 2, 40, 6)
+		s := randRel(rng, 1, 10, 6)
+		semi := SemiJoin(r, s, []int{0}, []int{0})
+		anti := AntiJoin(r, s, []int{0}, []int{0}, AntiNotExists)
+		// Semi-join and anti-join partition R (bag semantics).
+		if semi.Len()+anti.Len() != r.Len() {
+			t.Fatalf("partition sizes %d + %d != %d", semi.Len(), anti.Len(), r.Len())
+		}
+		if !UnionAll(semi, anti).Equal(r) {
+			t.Fatal("semi ∪ anti != R")
+		}
+	}
+}
+
+func TestOuterJoinContainsInnerJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 20; trial++ {
+		r := randRel(rng, 2, 30, 5)
+		s := randRel(rng, 2, 30, 5)
+		inner := EquiJoin(r, s, EquiJoinSpec{LeftCols: []int{0}, RightCols: []int{0}, Algo: HashJoin})
+		left := LeftOuterJoin(r, s, []int{0}, []int{0})
+		full := FullOuterJoin(r, s, []int{0}, []int{0})
+		// Non-padded rows of the outer joins equal the inner join.
+		noNullLeft, err := Select(left, func(tu relation.Tuple) (bool, error) {
+			return !tu[2].IsNull(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !noNullLeft.Equal(inner) {
+			t.Fatal("left outer minus padding != inner")
+		}
+		noNullFull, err := Select(full, func(tu relation.Tuple) (bool, error) {
+			return !tu[0].IsNull() && !tu[2].IsNull(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !noNullFull.Equal(inner) {
+			t.Fatal("full outer minus padding != inner")
+		}
+		// Full outer covers every R row and every S row at least once.
+		if full.Len() < r.Len() || full.Len() < s.Len() {
+			t.Fatal("full outer join dropped rows")
+		}
+	}
+}
+
+func TestGroupByPartitionByConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	for trial := 0; trial < 20; trial++ {
+		r := randRel(rng, 2, 40, 5)
+		agg := Sum(col("s"), ColExpr(1))
+		grouped, err := GroupBy(r, []int{0}, []AggSpec{agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := PartitionBy(r, []int{0}, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// DISTINCT over partition-by's (key, agg) equals group-by — the
+		// equivalence the paper's Fig. 9 PageRank depends on.
+		proj := ProjectCols(part, []int{0, 2})
+		if !Distinct(proj).Equal(grouped) {
+			t.Fatal("distinct(partition by) != group by")
+		}
+	}
+}
+
+func TestUnionByUpdateAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(69))
+	for trial := 0; trial < 20; trial++ {
+		// Unique keys on both sides.
+		mk := func(seed int64) *relation.Relation {
+			r := relation.New(ints("k", "v"))
+			used := map[int64]bool{}
+			for i := 0; i < 20; i++ {
+				k := rng.Int63n(30)
+				if used[k] {
+					continue
+				}
+				used[k] = true
+				r.AppendVals(value.Int(k), value.Int(rng.Int63n(100)))
+			}
+			return r
+		}
+		r, s := mk(1), mk(2)
+		out, err := UnionByUpdate(r, s, []int{0}, UBUFullOuter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Idempotence: updating again with the same S changes nothing.
+		out2, err := UnionByUpdate(out, s, []int{0}, UBUFullOuter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(out2) {
+			t.Fatal("union-by-update not idempotent for fixed S")
+		}
+		// Key set of the result = keys(R) ∪ keys(S).
+		keys := Union(ProjectCols(r, []int{0}), ProjectCols(s, []int{0}))
+		if out.Len() != keys.Len() {
+			t.Fatalf("result keys %d != |keys(R) ∪ keys(S)| %d", out.Len(), keys.Len())
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package ra
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// EquiJoinParallel is the paper's future-work direction ("efficient join
+// processing in parallel", citing EmptyHeaded): a hash join whose probe
+// phase is partitioned across workers over a shared read-only build-side
+// index. workers <= 0 uses GOMAXPROCS. The output is the same bag as
+// EquiJoin (order may differ).
+func EquiJoinParallel(r, s *relation.Relation, spec EquiJoinSpec, workers int) *relation.Relation {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || r.Len() < 2*workers {
+		spec.Algo = HashJoin
+		return EquiJoin(r, s, spec)
+	}
+	idx := relation.BuildHashIndex(s, spec.RightCols)
+	chunks := make([][]relation.Tuple, workers)
+	var wg sync.WaitGroup
+	per := (r.Len() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > r.Len() {
+			hi = r.Len()
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []relation.Tuple
+			for _, rt := range r.Tuples[lo:hi] {
+				for _, row := range idx.Probe(rt, spec.LeftCols) {
+					st := s.Tuples[row]
+					nt := make(relation.Tuple, 0, len(rt)+len(st))
+					nt = append(nt, rt...)
+					nt = append(nt, st...)
+					out = append(out, nt)
+				}
+			}
+			chunks[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := relation.NewWithCap(r.Sch.Concat(s.Sch), total)
+	for _, c := range chunks {
+		out.Tuples = append(out.Tuples, c...)
+	}
+	return out
+}
+
+// SemiringGroupByParallel computes the group-by & ⊕-aggregation of the
+// MM-/MV-join pattern in parallel: workers fold partitions into local hash
+// tables, then the partials merge under ⊕ (valid because ⊕ is commutative
+// and associative). Output groups appear in first-seen order of the merge.
+func SemiringGroupByParallel(r *relation.Relation, groupCols []int, agg AggSpec, plus func(a, b relation.Tuple) error, workers int) (*relation.Relation, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || r.Len() < 2*workers {
+		return GroupBy(r, groupCols, []AggSpec{agg})
+	}
+	partials := make([]*relation.Relation, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	per := (r.Len() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > r.Len() {
+			hi = r.Len()
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			part := &relation.Relation{Sch: r.Sch, Tuples: r.Tuples[lo:hi]}
+			partials[w], errs[w] = GroupBy(part, groupCols, []AggSpec{agg})
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Merge partials: fold each partial group into the accumulated table.
+	var acc *relation.Relation
+	keyIdx := make([]int, len(groupCols))
+	for i := range keyIdx {
+		keyIdx[i] = i
+	}
+	var idx *relation.HashIndex
+	for _, part := range partials {
+		if part == nil {
+			continue
+		}
+		if acc == nil {
+			acc = part.Clone()
+			idx = relation.BuildHashIndex(acc, keyIdx)
+			continue
+		}
+		for _, t := range part.Tuples {
+			rows := idx.Probe(t, keyIdx)
+			if len(rows) == 0 {
+				acc.Append(t.Clone())
+				idx.Add(acc.Len() - 1)
+				continue
+			}
+			if err := plus(acc.Tuples[rows[0]], t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if acc == nil {
+		return GroupBy(r, groupCols, []AggSpec{agg})
+	}
+	return acc, nil
+}

@@ -1,0 +1,100 @@
+package ra
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/semiring"
+	"repro/internal/value"
+)
+
+func TestEquiJoinParallelAgreesWithSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, workers := range []int{0, 1, 2, 4, 7} {
+		for trial := 0; trial < 10; trial++ {
+			r := randRel(rng, 2, 300, 20)
+			s := randRel(rng, 2, 100, 20)
+			spec := EquiJoinSpec{LeftCols: []int{0}, RightCols: []int{0}, Algo: HashJoin}
+			serial := EquiJoin(r, s, spec)
+			par := EquiJoinParallel(r, s, spec, workers)
+			if !serial.Equal(par) {
+				t.Fatalf("workers=%d trial=%d: parallel join differs (%d vs %d rows)",
+					workers, trial, par.Len(), serial.Len())
+			}
+		}
+	}
+}
+
+func TestEquiJoinParallelSmallInputFallsBack(t *testing.T) {
+	r := rel(ints("k"), []int64{1}, []int64{2})
+	s := rel(ints("k"), []int64{1})
+	out := EquiJoinParallel(r, s, EquiJoinSpec{LeftCols: []int{0}, RightCols: []int{0}}, 8)
+	if out.Len() != 1 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+}
+
+func TestSemiringGroupByParallelAgreesWithSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	sr := semiring.PlusTimes()
+	expr := func(tu relation.Tuple) (value.Value, error) {
+		return value.Float(tu[1].AsFloat()), nil
+	}
+	plus := func(a, b relation.Tuple) error {
+		a[1] = sr.Plus(a[1], b[1])
+		return nil
+	}
+	for _, workers := range []int{0, 1, 3, 8} {
+		for trial := 0; trial < 10; trial++ {
+			r := randRel(rng, 2, 400, 15)
+			agg := SemiringAgg(col("v"), sr, expr)
+			serial, err := GroupBy(r, []int{0}, []AggSpec{agg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := SemiringGroupByParallel(r, []int{0}, agg, plus, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !serial.Equal(par) {
+				t.Fatalf("workers=%d: parallel group-by differs\n%s\nvs\n%s", workers, par, serial)
+			}
+		}
+	}
+}
+
+func TestSemiringGroupByParallelMinSemiring(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	sr := semiring.MinPlus()
+	expr := func(tu relation.Tuple) (value.Value, error) { return tu[1], nil }
+	plus := func(a, b relation.Tuple) error {
+		a[1] = sr.Plus(a[1], b[1])
+		return nil
+	}
+	r := randRel(rng, 2, 500, 10)
+	agg := SemiringAgg(col("v"), sr, expr)
+	serial, err := GroupBy(r, []int{0}, []AggSpec{agg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SemiringGroupByParallel(r, []int{0}, agg, plus, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Equal(par) {
+		t.Fatal("min-plus parallel group-by differs")
+	}
+}
+
+func TestSemiringGroupByParallelEmpty(t *testing.T) {
+	r := relation.New(ints("g", "v"))
+	agg := SemiringAgg(col("v"), semiring.PlusTimes(), ColExpr(1))
+	out, err := SemiringGroupByParallel(r, []int{0}, agg, func(a, b relation.Tuple) error { return nil }, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty input gave %d groups", out.Len())
+	}
+}

@@ -1,0 +1,253 @@
+package refimpl
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// This file covers the remaining rows of the paper's Table 2:
+// Markov-Clustering, K-truss, and Graph-Bisimulation.
+
+// MarkovClustering runs MCL with expansion (matrix squaring), inflation
+// with exponent r, pruning below eps, for at most maxIters rounds, on the
+// column-normalized adjacency matrix with self-loops. It returns a cluster
+// label per node (the attractor row that claims the node's column).
+// Dense implementation intended for small graphs.
+func MarkovClustering(g *graph.Graph, r float64, eps float64, maxIters int) []int {
+	n := g.N
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1 // self loops keep the chain aperiodic (standard MCL)
+	}
+	for _, e := range g.Edges {
+		m[e.F][e.T] = 1
+		m[e.T][e.F] = 1 // MCL operates on the undirected structure
+	}
+	normalizeCols(m)
+	for it := 0; it < maxIters; it++ {
+		// Expansion: M ← M·M.
+		nx := make([][]float64, n)
+		for i := range nx {
+			nx[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				if m[i][k] == 0 {
+					continue
+				}
+				mik := m[i][k]
+				for j := 0; j < n; j++ {
+					if m[k][j] != 0 {
+						nx[i][j] += mik * m[k][j]
+					}
+				}
+			}
+		}
+		// Inflation: entrywise power r, then column normalization and
+		// pruning.
+		for i := range nx {
+			for j := range nx[i] {
+				if nx[i][j] > 0 {
+					nx[i][j] = math.Pow(nx[i][j], r)
+				}
+			}
+		}
+		normalizeCols(nx)
+		changed := false
+		for i := range nx {
+			for j := range nx[i] {
+				if nx[i][j] < eps {
+					nx[i][j] = 0
+				}
+				if math.Abs(nx[i][j]-m[i][j]) > 1e-9 {
+					changed = true
+				}
+			}
+		}
+		normalizeCols(nx)
+		m = nx
+		if !changed {
+			break
+		}
+	}
+	// Cluster per column: the row holding the column's maximum mass.
+	out := make([]int, n)
+	for j := 0; j < n; j++ {
+		best, bestV := j, -1.0
+		for i := 0; i < n; i++ {
+			if m[i][j] > bestV {
+				best, bestV = i, m[i][j]
+			}
+		}
+		out[j] = best
+	}
+	return out
+}
+
+func normalizeCols(m [][]float64) {
+	n := len(m)
+	for j := 0; j < n; j++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += m[i][j]
+		}
+		if sum == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			m[i][j] /= sum
+		}
+	}
+}
+
+// KTruss returns, per undirected edge (canonical a<b key a<<32|b), whether
+// it survives k-truss peeling: every remaining edge must participate in at
+// least k-2 triangles among remaining edges.
+func KTruss(g *graph.Graph, k int) map[int64]bool {
+	adj := make(map[int32]map[int32]bool, g.N)
+	addEdge := func(a, b int32) {
+		if a == b {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = map[int32]bool{}
+		}
+		adj[a][b] = true
+	}
+	for _, e := range g.Edges {
+		addEdge(e.F, e.T)
+		addEdge(e.T, e.F)
+	}
+	need := k - 2
+	for {
+		removed := false
+		type edge struct{ a, b int32 }
+		var doomed []edge
+		for a, ns := range adj {
+			for b := range ns {
+				if a >= b {
+					continue
+				}
+				// Triangle support: common neighbours of a and b.
+				small, large := adj[a], adj[b]
+				if len(small) > len(large) {
+					small, large = large, small
+				}
+				support := 0
+				for c := range small {
+					if large[c] {
+						support++
+					}
+				}
+				if support < need {
+					doomed = append(doomed, edge{a, b})
+				}
+			}
+		}
+		for _, e := range doomed {
+			delete(adj[e.a], e.b)
+			delete(adj[e.b], e.a)
+			removed = true
+		}
+		if !removed {
+			break
+		}
+	}
+	out := map[int64]bool{}
+	for a, ns := range adj {
+		for b := range ns {
+			if a < b {
+				out[int64(a)<<32|int64(b)] = true
+			}
+		}
+	}
+	return out
+}
+
+// Bisimulation computes the maximal graph bisimulation partition by
+// signature refinement: two nodes stay in the same block iff they have the
+// same label and the same set of successor blocks. Labels default to a
+// single block when g.Labels is nil. Returns a canonical block id per node
+// (the smallest node ID in the block) and the number of refinement rounds.
+func Bisimulation(g *graph.Graph) ([]int64, int) {
+	out := graph.BuildCSR(g, false)
+	block := make([]int64, g.N)
+	for i := range block {
+		if g.Labels != nil {
+			block[i] = int64(g.Labels[i])
+		}
+	}
+	canonicalize(block)
+	rounds := 0
+	for {
+		rounds++
+		type sigKey struct {
+			own  int64
+			succ string
+		}
+		sigs := make(map[sigKey][]int32)
+		order := make([]sigKey, 0)
+		for v := int32(0); int(v) < g.N; v++ {
+			succ := map[int64]bool{}
+			for _, u := range out.Neighbors(v) {
+				succ[block[u]] = true
+			}
+			keys := make([]int64, 0, len(succ))
+			for b := range succ {
+				keys = append(keys, b)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			var sb []byte
+			for _, b := range keys {
+				for s := 0; s < 8; s++ {
+					sb = append(sb, byte(b>>(8*s)))
+				}
+			}
+			key := sigKey{own: block[v], succ: string(sb)}
+			if _, ok := sigs[key]; !ok {
+				order = append(order, key)
+			}
+			sigs[key] = append(sigs[key], v)
+		}
+		next := make([]int64, g.N)
+		for _, key := range order {
+			members := sigs[key]
+			id := int64(members[0])
+			for _, v := range members {
+				if int64(v) < id {
+					id = int64(v)
+				}
+			}
+			for _, v := range members {
+				next[v] = id
+			}
+		}
+		same := true
+		for i := range block {
+			if block[i] != next[i] {
+				same = false
+				break
+			}
+		}
+		block = next
+		if same {
+			return block, rounds
+		}
+	}
+}
+
+// canonicalize rewrites block labels to the smallest member ID per block.
+func canonicalize(block []int64) {
+	min := map[int64]int64{}
+	for i, b := range block {
+		if cur, ok := min[b]; !ok || int64(i) < cur {
+			min[b] = int64(i)
+		}
+	}
+	for i, b := range block {
+		block[i] = min[b]
+	}
+}

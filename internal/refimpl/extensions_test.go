@@ -1,0 +1,123 @@
+package refimpl
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func clique(n int32, offset int32, g *graph.Graph) {
+	for a := int32(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			g.AddUndirected(a+offset, b+offset, 1)
+		}
+	}
+}
+
+func TestMarkovClusteringTwoCommunities(t *testing.T) {
+	g := graph.New(10, false)
+	clique(5, 0, g)
+	clique(5, 5, g)
+	g.AddUndirected(0, 5, 1)
+	c := MarkovClustering(g, 2, 1e-6, 50)
+	if len(c) != 10 {
+		t.Fatalf("labels = %d", len(c))
+	}
+	for i := 1; i < 5; i++ {
+		if c[i] != c[0] {
+			t.Errorf("left clique split: %v", c)
+		}
+		if c[i+5] != c[5] {
+			t.Errorf("right clique split: %v", c)
+		}
+	}
+	if c[0] == c[5] {
+		t.Error("bridged cliques should separate")
+	}
+	// A single clique is one cluster.
+	one := graph.New(4, false)
+	clique(4, 0, one)
+	c = MarkovClustering(one, 2, 1e-6, 50)
+	for i := 1; i < 4; i++ {
+		if c[i] != c[0] {
+			t.Errorf("single clique split: %v", c)
+		}
+	}
+}
+
+func TestKTrussBasics(t *testing.T) {
+	g := graph.New(6, false)
+	clique(4, 0, g) // 4-clique: every edge in 2 triangles
+	g.AddUndirected(3, 4, 1)
+	g.AddUndirected(4, 5, 1)
+	k4 := KTruss(g, 4)
+	if len(k4) != 6 { // the 4-clique's edges survive the 4-truss
+		t.Errorf("4-truss edges = %d, want 6", len(k4))
+	}
+	if k4[int64(3)<<32|4] {
+		t.Error("pendant edge must not survive")
+	}
+	if len(KTruss(g, 5)) != 0 {
+		t.Error("5-truss of a 4-clique must be empty")
+	}
+	// k=2 keeps everything (support >= 0).
+	if len(KTruss(g, 2)) != 8 {
+		t.Errorf("2-truss = %d, want all 8 undirected edges", len(KTruss(g, 2)))
+	}
+}
+
+func TestBisimulationTreeAndLabels(t *testing.T) {
+	// A two-level star: leaves are bisimilar.
+	g := graph.New(5, true)
+	for i := int32(1); i < 5; i++ {
+		g.AddEdge(0, i, 1)
+	}
+	blocks, rounds := Bisimulation(g)
+	if rounds < 1 {
+		t.Fatal("no rounds")
+	}
+	for i := 2; i < 5; i++ {
+		if blocks[i] != blocks[1] {
+			t.Errorf("leaves should share a block: %v", blocks)
+		}
+	}
+	if blocks[0] == blocks[1] {
+		t.Error("root must differ from leaves")
+	}
+	// Labels split otherwise-bisimilar nodes.
+	g.Labels = []int32{0, 1, 1, 2, 2}
+	blocks, _ = Bisimulation(g)
+	if blocks[1] == blocks[3] {
+		t.Error("differently labeled leaves must split")
+	}
+	if blocks[1] != blocks[2] || blocks[3] != blocks[4] {
+		t.Errorf("same-label leaves should share: %v", blocks)
+	}
+}
+
+func TestBisimulationCycleVsChain(t *testing.T) {
+	// On a cycle every node looks alike; on a chain the distance to the
+	// sink distinguishes nodes.
+	cyc := graph.New(4, true)
+	for i := int32(0); i < 4; i++ {
+		cyc.AddEdge(i, (i+1)%4, 1)
+	}
+	blocks, _ := Bisimulation(cyc)
+	for i := 1; i < 4; i++ {
+		if blocks[i] != blocks[0] {
+			t.Errorf("cycle nodes should all be bisimilar: %v", blocks)
+		}
+	}
+	chain := graph.New(4, true)
+	for i := int32(0); i < 3; i++ {
+		chain.AddEdge(i, i+1, 1)
+	}
+	blocks, _ = Bisimulation(chain)
+	seen := map[int64]bool{}
+	for _, b := range blocks {
+		seen[b] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("chain nodes are pairwise non-bisimilar: %v", blocks)
+	}
+}

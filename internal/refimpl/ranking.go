@@ -1,0 +1,141 @@
+package refimpl
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// PageRank runs the paper's fixed-iteration PageRank (Eq. (9)):
+// vw ← c · Σ_in (vw/outdeg) + (1−c)/n, starting from the uniform vector.
+func PageRank(g *graph.Graph, c float64, iters int) []float64 {
+	n := g.N
+	pr := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1.0 / float64(n)
+	}
+	outdeg := g.OutDegrees()
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		base := (1 - c) / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for _, e := range g.Edges {
+			if outdeg[e.F] > 0 {
+				next[e.T] += c * pr[e.F] / float64(outdeg[e.F])
+			}
+		}
+		pr, next = next, pr
+	}
+	return pr
+}
+
+// RWR runs Random-Walk-with-Restart (Eq. (10)): vw ← c · Σ_in (vw/outdeg)
+// + (1−c) · restart, where restart is the restart distribution P.
+func RWR(g *graph.Graph, c float64, restart []float64, iters int) []float64 {
+	n := g.N
+	v := make([]float64, n)
+	copy(v, restart)
+	outdeg := g.OutDegrees()
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for i := range next {
+			next[i] = (1 - c) * restart[i]
+		}
+		for _, e := range g.Edges {
+			if outdeg[e.F] > 0 {
+				next[e.T] += c * v[e.F] / float64(outdeg[e.F])
+			}
+		}
+		v, next = next, v
+	}
+	return v
+}
+
+// HITS runs the paper's HITS (Eq. (12)): per iteration, authority from
+// previous hubs, hubs from new authorities, then joint 2-norm
+// normalization. Returns (hub, authority).
+func HITS(g *graph.Graph, iters int) (hub, auth []float64) {
+	n := g.N
+	hub = make([]float64, n)
+	auth = make([]float64, n)
+	for i := 0; i < n; i++ {
+		hub[i], auth[i] = 1, 1
+	}
+	for it := 0; it < iters; it++ {
+		prevHub := make([]float64, n)
+		copy(prevHub, hub)
+		// a(v) = Σ_{u→v} h(u)·w
+		for i := range auth {
+			auth[i] = 0
+		}
+		for _, e := range g.Edges {
+			auth[e.T] += prevHub[e.F] * e.W
+		}
+		// h(u) = Σ_{u→v} a(v)·w
+		for i := range hub {
+			hub[i] = 0
+		}
+		for _, e := range g.Edges {
+			hub[e.F] += auth[e.T] * e.W
+		}
+		var nh, na float64
+		for i := 0; i < n; i++ {
+			nh += hub[i] * hub[i]
+			na += auth[i] * auth[i]
+		}
+		nh, na = math.Sqrt(nh), math.Sqrt(na)
+		for i := 0; i < n; i++ {
+			if nh > 0 {
+				hub[i] /= nh
+			}
+			if na > 0 {
+				auth[i] /= na
+			}
+		}
+	}
+	return hub, auth
+}
+
+// SimRank computes the SimRank similarity matrix with decay c for the given
+// number of iterations (Eq. (11)'s fixpoint process): s(a,b) =
+// max((1−c)·[PᵀSP](a,b), I(a,b)) per the paper's matrix formulation, where
+// P is the column-normalized in-neighbour matrix. Intended for small graphs.
+func SimRank(g *graph.Graph, c float64, iters int) [][]float64 {
+	n := g.N
+	in := graph.BuildCSR(g, true)
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		s[i][i] = 1
+	}
+	for it := 0; it < iters; it++ {
+		ns := make([][]float64, n)
+		for i := range ns {
+			ns[i] = make([]float64, n)
+		}
+		for a := 0; a < n; a++ {
+			ia := in.Neighbors(int32(a))
+			for b := 0; b < n; b++ {
+				if a == b {
+					ns[a][b] = 1
+					continue
+				}
+				ib := in.Neighbors(int32(b))
+				if len(ia) == 0 || len(ib) == 0 {
+					continue
+				}
+				sum := 0.0
+				for _, u := range ia {
+					for _, v := range ib {
+						sum += s[u][v]
+					}
+				}
+				ns[a][b] = (1 - c) * sum / (float64(len(ia)) * float64(len(ib)))
+			}
+		}
+		s = ns
+	}
+	return s
+}

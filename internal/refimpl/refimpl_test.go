@@ -1,0 +1,395 @@
+package refimpl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// chain: 0→1→2→3, plus isolated 4.
+func chain() *graph.Graph {
+	g := graph.New(5, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	return g
+}
+
+func TestBFS(t *testing.T) {
+	got := BFS(chain(), 1)
+	want := []float64{0, 1, 1, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("BFS[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	got := BFSLevels(chain(), 0)
+	want := []int{0, 1, 2, 3, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("level[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWCC(t *testing.T) {
+	g := graph.New(6, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 1, 1) // weakly connects 2 to {0,1}
+	g.AddEdge(3, 4, 1)
+	got := WCC(g)
+	want := []int64{0, 0, 0, 3, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("WCC[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBellmanFord(t *testing.T) {
+	g := graph.New(4, true)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 1, 1)
+	g.AddEdge(1, 3, 1)
+	got := BellmanFord(g, 0)
+	want := []float64{0, 3, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dist[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if !math.IsInf(BellmanFord(chain(), 0)[4], 1) {
+		t.Error("unreachable node should be +Inf")
+	}
+}
+
+func TestFloydWarshallMatchesBellmanFord(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 30, M: 90, Directed: true, Skew: 2.0, Seed: 12})
+	fw := FloydWarshall(g)
+	for s := int32(0); s < 30; s += 7 {
+		bf := BellmanFord(g, s)
+		for v := 0; v < 30; v++ {
+			a, b := fw[s][v], bf[v]
+			if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+				t.Fatalf("fw[%d][%d]=%v != bf=%v", s, v, a, b)
+			}
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := chain()
+	tc := TransitiveClosure(g, 0)
+	if len(tc) != 6 { // 0→{1,2,3}, 1→{2,3}, 2→{3}
+		t.Errorf("|TC| = %d, want 6", len(tc))
+	}
+	if !tc[int64(0)<<32|3] || tc[int64(3)<<32|0] {
+		t.Error("TC membership wrong")
+	}
+	// Depth bound 1 keeps only direct edges.
+	tc1 := TransitiveClosure(g, 1)
+	if len(tc1) != 3 {
+		t.Errorf("|TC depth 1| = %d, want 3", len(tc1))
+	}
+	// Cycle does not loop forever; every node reaches all three including
+	// itself (SQL TC semantics).
+	c := graph.New(3, true)
+	c.AddEdge(0, 1, 1)
+	c.AddEdge(1, 2, 1)
+	c.AddEdge(2, 0, 1)
+	if got := TransitiveClosure(c, 0); len(got) != 9 {
+		t.Errorf("cycle TC = %d, want 9", len(got))
+	}
+	if got := TransitiveClosure(c, 0); !got[int64(1)<<32|1] {
+		t.Error("cycle node should reach itself")
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	g := graph.New(5, true)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	got := TopoSort(g)
+	want := []int{0, 0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("level[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Cycle members are never sorted.
+	c := graph.New(3, true)
+	c.AddEdge(0, 1, 1)
+	c.AddEdge(1, 0, 1)
+	c.AddEdge(1, 2, 1)
+	got = TopoSort(c)
+	if got[0] != -1 || got[1] != -1 || got[2] != -1 {
+		t.Errorf("cycle toposort = %v, want all -1", got)
+	}
+	// Edges off the cycle still sort.
+	c2 := graph.New(3, true)
+	c2.AddEdge(0, 1, 1)
+	c2.AddEdge(1, 0, 1)
+	c2.AddEdge(2, 0, 1)
+	got = TopoSort(c2)
+	if got[2] != 0 || got[0] != -1 {
+		t.Errorf("partial cycle toposort = %v", got)
+	}
+}
+
+func TestDiameterEstimate(t *testing.T) {
+	g := chain()
+	if d := DiameterEstimate(g, 0); d != 3 {
+		t.Errorf("diameter = %d, want 3", d)
+	}
+	if d := DiameterEstimate(g, 2); d > 3 || d < 0 {
+		t.Errorf("sampled diameter = %d out of range", d)
+	}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 50, M: 250, Directed: true, Skew: 2.0, Seed: 4})
+	pr := PageRank(g, 0.85, 30)
+	sum := 0.0
+	for _, p := range pr {
+		if p <= 0 {
+			t.Fatal("ranks must be positive")
+		}
+		sum += p
+	}
+	// With dangling nodes mass can dip below 1 but not exceed it.
+	if sum > 1+1e-9 || sum < 0.2 {
+		t.Errorf("PR mass = %v", sum)
+	}
+	// A node with more in-links from the hub outranks an isolated one.
+	star := graph.New(4, true)
+	star.AddEdge(1, 0, 1)
+	star.AddEdge(2, 0, 1)
+	star.AddEdge(3, 0, 1)
+	p := PageRank(star, 0.85, 20)
+	if p[0] <= p[1] {
+		t.Errorf("hub target should outrank leaves: %v", p)
+	}
+}
+
+func TestRWRGeneralizesPageRank(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 20, M: 80, Directed: true, Skew: 2.0, Seed: 8})
+	uniform := make([]float64, g.N)
+	for i := range uniform {
+		uniform[i] = 1.0 / float64(g.N)
+	}
+	pr := PageRank(g, 0.85, 15)
+	rwr := RWR(g, 0.85, uniform, 15)
+	for i := range pr {
+		if math.Abs(pr[i]-rwr[i]) > 1e-12 {
+			t.Fatalf("RWR with uniform restart should equal PR: %v vs %v", rwr[i], pr[i])
+		}
+	}
+	// Personalized restart concentrates mass near the restart node.
+	point := make([]float64, g.N)
+	point[0] = 1
+	pers := RWR(g, 0.85, point, 30)
+	if pers[0] < 0.1 {
+		t.Errorf("restart node mass too low: %v", pers[0])
+	}
+}
+
+func TestHITS(t *testing.T) {
+	// 0 and 1 both point at 2 and 3: 0,1 are hubs; 2,3 are authorities.
+	g := graph.New(4, true)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(1, 3, 1)
+	hub, auth := HITS(g, 20)
+	if hub[0] <= auth[0] || auth[2] <= hub[2] {
+		t.Errorf("hub/auth separation failed: hub=%v auth=%v", hub, auth)
+	}
+	// Normalized: 2-norms are 1.
+	var nh, na float64
+	for i := 0; i < 4; i++ {
+		nh += hub[i] * hub[i]
+		na += auth[i] * auth[i]
+	}
+	if math.Abs(nh-1) > 1e-9 || math.Abs(na-1) > 1e-9 {
+		t.Errorf("norms: %v %v", nh, na)
+	}
+}
+
+func TestSimRank(t *testing.T) {
+	// 1 and 2 have the same single in-neighbour 0 → maximal similarity.
+	g := graph.New(4, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(3, 2, 1)
+	s := SimRank(g, 0.2, 10)
+	if s[1][1] != 1 {
+		t.Error("self-similarity must be 1")
+	}
+	if s[1][2] <= 0 || s[1][2] > 1 {
+		t.Errorf("s(1,2) = %v", s[1][2])
+	}
+	if s[0][3] != 0 {
+		t.Errorf("nodes with no in-neighbours have similarity 0, got %v", s[0][3])
+	}
+	if s[1][2] != s[2][1] {
+		t.Error("SimRank must be symmetric")
+	}
+}
+
+func TestKCore(t *testing.T) {
+	// A 4-clique plus a pendant: with k=2, clique survives, pendant doesn't.
+	g := graph.New(5, false)
+	for a := int32(0); a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			g.AddUndirected(a, b, 1)
+		}
+	}
+	g.AddUndirected(3, 4, 1)
+	alive := KCore(g, 2)
+	want := []bool{true, true, true, true, false}
+	for i := range want {
+		if alive[i] != want[i] {
+			t.Errorf("alive[%d] = %v, want %v", i, alive[i], want[i])
+		}
+	}
+	// Peeling cascades: chain all dies for k=1 (degree > 1 required).
+	if got := KCore(chain(), 1); got[0] || got[1] || got[2] || got[3] {
+		t.Errorf("chain 1-core (strict) should be empty: %v", got)
+	}
+}
+
+func misIsValid(t *testing.T, g *graph.Graph, inSet []bool) {
+	t.Helper()
+	sym := graph.BuildCSR(g.Symmetrize(), false)
+	for v := int32(0); int(v) < g.N; v++ {
+		if inSet[v] {
+			for _, u := range sym.Neighbors(v) {
+				if inSet[u] {
+					t.Fatalf("MIS not independent: %d and %d", v, u)
+				}
+			}
+			continue
+		}
+		// Maximality: some neighbour is in the set.
+		ok := false
+		for _, u := range sym.Neighbors(v) {
+			if inSet[u] {
+				ok = true
+				break
+			}
+		}
+		if !ok && sym.Degree(v) > 0 {
+			t.Fatalf("MIS not maximal at %d", v)
+		}
+		if sym.Degree(v) == 0 && !inSet[v] {
+			t.Fatalf("isolated node %d must join the MIS", v)
+		}
+	}
+}
+
+func TestMISValidOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.Generate(graph.GenSpec{N: 120, M: 500, Directed: false, Skew: 2.0, Seed: seed})
+		misIsValid(t, g, MIS(g, seed))
+		if r := MISRounds(g, seed); r < 1 || r > 20 {
+			t.Errorf("MIS rounds = %d", r)
+		}
+	}
+}
+
+func TestLabelPropagation(t *testing.T) {
+	// Two triangles with uniform internal labels stay stable.
+	g := graph.New(6, false)
+	g.AddUndirected(0, 1, 1)
+	g.AddUndirected(1, 2, 1)
+	g.AddUndirected(0, 2, 1)
+	g.AddUndirected(3, 4, 1)
+	g.AddUndirected(4, 5, 1)
+	g.AddUndirected(3, 5, 1)
+	g.Labels = []int32{7, 7, 7, 9, 9, 9}
+	got := LabelPropagation(g, 5)
+	want := []int32{7, 7, 7, 9, 9, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("label[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Default labels are node IDs; isolated node keeps its own.
+	iso := graph.New(2, true)
+	if l := LabelPropagation(iso, 3); l[0] != 0 || l[1] != 1 {
+		t.Errorf("default labels: %v", l)
+	}
+}
+
+func TestMNMValidMatching(t *testing.T) {
+	for seed := int64(1); seed < 5; seed++ {
+		g := graph.Generate(graph.GenSpec{N: 100, M: 400, Directed: false, Skew: 2.0, Seed: seed, MaxNodeWeight: 20})
+		match := MNM(g)
+		sym := graph.BuildCSR(g.Symmetrize(), false)
+		for v := 0; v < g.N; v++ {
+			u := match[v]
+			if u < 0 {
+				continue
+			}
+			if match[u] != int64(v) {
+				t.Fatalf("matching not symmetric: %d->%d->%d", v, u, match[u])
+			}
+			adjacent := false
+			for _, w := range sym.Neighbors(int32(v)) {
+				if int64(w) == u {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				t.Fatalf("matched pair %d-%d not adjacent", v, u)
+			}
+		}
+		// Maximality: no two unmatched adjacent nodes.
+		for v := int32(0); int(v) < g.N; v++ {
+			if match[v] >= 0 {
+				continue
+			}
+			for _, u := range sym.Neighbors(v) {
+				if match[u] < 0 {
+					t.Fatalf("unmatched adjacent pair %d-%d", v, u)
+				}
+			}
+		}
+		if r := MNMRounds(g); r < 1 {
+			t.Errorf("rounds = %d", r)
+		}
+	}
+}
+
+func TestKeywordSearch(t *testing.T) {
+	// 0→1, 0→2; labels: 1 has "5", 2 has "6", 0 has "4".
+	g := graph.New(4, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.Labels = []int32{4, 5, 6, 4}
+	roots := KeywordSearch(g, []int32{4, 5, 6}, 2)
+	if !roots[0] {
+		t.Error("node 0 reaches all three keywords")
+	}
+	if roots[1] || roots[2] || roots[3] {
+		t.Errorf("only node 0 is a root: %v", roots)
+	}
+	// Depth bound matters: chain 0→1→2 with labels 4,5,6 needs depth 2.
+	c := graph.New(3, true)
+	c.AddEdge(0, 1, 1)
+	c.AddEdge(1, 2, 1)
+	c.Labels = []int32{4, 5, 6}
+	if got := KeywordSearch(c, []int32{4, 5, 6}, 1); got[0] {
+		t.Error("depth 1 cannot reach keyword 6")
+	}
+	if got := KeywordSearch(c, []int32{4, 5, 6}, 2); !got[0] {
+		t.Error("depth 2 reaches all keywords")
+	}
+}

@@ -1,0 +1,253 @@
+package refimpl
+
+import (
+	"repro/internal/graph"
+)
+
+// KCore returns, for each node, whether it survives k-core peeling with the
+// paper's strict threshold: nodes whose degree is > k are kept (Section 7's
+// KC description), where degree is counted on the symmetrized graph.
+func KCore(g *graph.Graph, k int) []bool {
+	sym := g.Symmetrize()
+	csr := graph.BuildCSR(sym, false)
+	alive := make([]bool, g.N)
+	deg := make([]int, g.N)
+	for i := 0; i < g.N; i++ {
+		alive[i] = true
+		deg[i] = csr.Degree(int32(i))
+	}
+	queue := []int32{}
+	for i := 0; i < g.N; i++ {
+		if deg[i] <= k {
+			alive[i] = false
+			queue = append(queue, int32(i))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range csr.Neighbors(v) {
+			if !alive[u] {
+				continue
+			}
+			deg[u]--
+			if deg[u] <= k {
+				alive[u] = false
+				queue = append(queue, u)
+			}
+		}
+	}
+	return alive
+}
+
+// MIS computes a maximal independent set with the random-priority parallel
+// algorithm the paper uses [Métivier et al.]: per round every remaining
+// node draws a priority (the shared graph.Priority stream); nodes whose
+// priority is a strict local minimum join the set; they and their
+// neighbours leave the graph. Works on the symmetrized structure. Returns
+// membership flags.
+func MIS(g *graph.Graph, seed int64) []bool {
+	inSet, _ := misRun(g, seed)
+	return inSet
+}
+
+// MISRounds reports how many rounds the random-priority MIS needs (the
+// paper notes 4–6 on its datasets).
+func MISRounds(g *graph.Graph, seed int64) int {
+	_, rounds := misRun(g, seed)
+	return rounds
+}
+
+func misRun(g *graph.Graph, seed int64) ([]bool, int) {
+	sym := graph.BuildCSR(g.Symmetrize(), false)
+	inSet := make([]bool, g.N)
+	removed := make([]bool, g.N)
+	remaining := g.N
+	rounds := 0
+	for iter := 0; remaining > 0; iter++ {
+		rounds++
+		r := make([]float64, g.N)
+		for v := 0; v < g.N; v++ {
+			if !removed[v] {
+				r[v] = graph.Priority(seed, iter, int32(v))
+			}
+		}
+		var chosen []int32
+		for v := int32(0); int(v) < g.N; v++ {
+			if removed[v] {
+				continue
+			}
+			best := true
+			for _, u := range sym.Neighbors(v) {
+				if removed[u] {
+					continue
+				}
+				// Strict local minimum: ties exclude both nodes this
+				// round (they redraw next round), so the relational
+				// implementation can match without an id tie-break.
+				if r[u] <= r[v] {
+					best = false
+					break
+				}
+			}
+			if best {
+				chosen = append(chosen, v)
+			}
+		}
+		for _, v := range chosen {
+			if removed[v] {
+				continue
+			}
+			inSet[v] = true
+			removed[v] = true
+			remaining--
+			for _, u := range sym.Neighbors(v) {
+				if !removed[u] {
+					removed[u] = true
+					remaining--
+				}
+			}
+		}
+	}
+	return inSet, rounds
+}
+
+// LabelPropagation runs synchronous label propagation for the given number
+// of iterations: each node adopts the most frequent label among its
+// in-neighbours (ties broken toward the smallest label); nodes without
+// in-neighbours keep their label. Initial labels default to node IDs when
+// g.Labels is nil.
+func LabelPropagation(g *graph.Graph, iters int) []int32 {
+	labels := make([]int32, g.N)
+	if g.Labels != nil {
+		copy(labels, g.Labels)
+	} else {
+		for i := range labels {
+			labels[i] = int32(i)
+		}
+	}
+	in := graph.BuildCSR(g, true)
+	next := make([]int32, g.N)
+	for it := 0; it < iters; it++ {
+		for v := int32(0); int(v) < g.N; v++ {
+			ns := in.Neighbors(v)
+			if len(ns) == 0 {
+				next[v] = labels[v]
+				continue
+			}
+			counts := make(map[int32]int, len(ns))
+			for _, u := range ns {
+				counts[labels[u]]++
+			}
+			best, bestN := labels[v], -1
+			for l, n := range counts {
+				if n > bestN || (n == bestN && l < best) {
+					best, bestN = l, n
+				}
+			}
+			next[v] = best
+		}
+		labels, next = next, labels
+	}
+	return labels
+}
+
+// MNM computes a maximal node matching with the paper's handshake
+// algorithm [Preis-style]: every live node points at its maximum-weight
+// live neighbour (ties toward the smaller ID); mutual pointers match and
+// leave the graph; repeat until no new pairs form. Returns match[v] = u or
+// -1. Node weights default to the node ID when g.NodeW is nil.
+func MNM(g *graph.Graph) []int64 {
+	match, _ := mnmRun(g)
+	return match
+}
+
+// MNMRounds reports the number of handshake rounds until no pair forms
+// (the paper observes 1 on PC and 18 on GP).
+func MNMRounds(g *graph.Graph) int {
+	_, rounds := mnmRun(g)
+	return rounds
+}
+
+func mnmRun(g *graph.Graph) ([]int64, int) {
+	w := g.NodeW
+	if w == nil {
+		w = make([]float64, g.N)
+		for i := range w {
+			w[i] = float64(i)
+		}
+	}
+	sym := graph.BuildCSR(g.Symmetrize(), false)
+	match := make([]int64, g.N)
+	for i := range match {
+		match[i] = -1
+	}
+	rounds := 0
+	for {
+		rounds++
+		choice := make([]int64, g.N)
+		for v := int32(0); int(v) < g.N; v++ {
+			choice[v] = -1
+			if match[v] >= 0 {
+				continue
+			}
+			bestW, bestU := -1.0, int64(-1)
+			for _, u := range sym.Neighbors(v) {
+				if match[u] >= 0 {
+					continue
+				}
+				if w[u] > bestW || (w[u] == bestW && int64(u) < bestU) {
+					bestW, bestU = w[u], int64(u)
+				}
+			}
+			choice[v] = bestU
+		}
+		paired := 0
+		for v := 0; v < g.N; v++ {
+			u := choice[v]
+			if u < 0 || match[v] >= 0 || match[u] >= 0 {
+				continue
+			}
+			if choice[u] == int64(v) {
+				match[v], match[u] = u, int64(v)
+				paired++
+			}
+		}
+		if paired == 0 {
+			return match, rounds
+		}
+	}
+}
+
+// KeywordSearch finds the roots of depth-bounded Steiner trees for a
+// keyword query: node v's indicator bitmask ORs in its out-neighbours'
+// masks each round; after depth rounds the nodes with a full mask are the
+// roots (the paper's KS with 3 labels, depth 4). query holds the wanted
+// label values.
+func KeywordSearch(g *graph.Graph, query []int32, depth int) []bool {
+	masks := make([]uint32, g.N)
+	full := uint32(1)<<len(query) - 1
+	for v := 0; v < g.N; v++ {
+		for qi, q := range query {
+			if g.Labels != nil && g.Labels[v] == q {
+				masks[v] |= 1 << qi
+			}
+		}
+	}
+	out := graph.BuildCSR(g, false)
+	for it := 0; it < depth; it++ {
+		next := make([]uint32, g.N)
+		copy(next, masks)
+		for v := int32(0); int(v) < g.N; v++ {
+			for _, u := range out.Neighbors(v) {
+				next[v] |= masks[u]
+			}
+		}
+		masks = next
+	}
+	roots := make([]bool, g.N)
+	for v := range roots {
+		roots[v] = masks[v] == full
+	}
+	return roots
+}

@@ -1,0 +1,242 @@
+// Package refimpl provides plain-Go reference implementations of every
+// graph algorithm the paper evaluates. They are the ground truth the
+// relational implementations are property-tested against, and they double
+// as the "graph algorithm as access method" the paper proposes as future
+// work for RDBMS internals.
+package refimpl
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// BFS returns, for each node, 1 if reachable from src and 0 otherwise
+// (the vw vector of Eq. (5) at fixpoint).
+func BFS(g *graph.Graph, src int32) []float64 {
+	visited := make([]float64, g.N)
+	visited[src] = 1
+	csr := graph.BuildCSR(g, false)
+	queue := []int32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range csr.Neighbors(v) {
+			if visited[u] == 0 {
+				visited[u] = 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return visited
+}
+
+// BFSLevels returns hop distances from src (-1 when unreachable).
+func BFSLevels(g *graph.Graph, src int32) []int {
+	lvl := make([]int, g.N)
+	for i := range lvl {
+		lvl[i] = -1
+	}
+	lvl[src] = 0
+	csr := graph.BuildCSR(g, false)
+	queue := []int32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range csr.Neighbors(v) {
+			if lvl[u] < 0 {
+				lvl[u] = lvl[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return lvl
+}
+
+// WCC returns the weakly-connected component label of every node: the
+// smallest node ID in its component (matching Eq. (6)'s fixpoint).
+func WCC(g *graph.Graph) []int64 {
+	label := make([]int64, g.N)
+	for i := range label {
+		label[i] = -1
+	}
+	sym := graph.BuildCSR(g.Symmetrize(), false)
+	for i := 0; i < g.N; i++ {
+		if label[i] >= 0 {
+			continue
+		}
+		// BFS from i; i is the smallest unvisited ID, so it labels the
+		// whole component.
+		label[i] = int64(i)
+		queue := []int32{int32(i)}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range sym.Neighbors(v) {
+				if label[u] < 0 {
+					label[u] = int64(i)
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return label
+}
+
+// BellmanFord returns single-source shortest distances from src (+Inf when
+// unreachable).
+func BellmanFord(g *graph.Graph, src int32) []float64 {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for iter := 0; iter < g.N; iter++ {
+		changed := false
+		for _, e := range g.Edges {
+			if d := dist[e.F] + e.W; d < dist[e.T] {
+				dist[e.T] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// FloydWarshall returns the all-pairs shortest-distance matrix (+Inf when
+// unreachable, 0 on the diagonal). Intended for small graphs.
+func FloydWarshall(g *graph.Graph) [][]float64 {
+	n := g.N
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for _, e := range g.Edges {
+		if e.W < d[e.F][e.T] {
+			d[e.F][e.T] = e.W
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if v := dik + d[k][j]; v < d[i][j] {
+					d[i][j] = v
+				}
+			}
+		}
+	}
+	return d
+}
+
+// TransitiveClosure returns reachability pairs (u,v) where v is reachable
+// from u by a path of 1..depth edges (depth<=0 means unbounded). Pairs
+// (s,s) appear when s lies on a cycle, as SQL's TC of Fig. 1 produces. The
+// result is a set keyed by u<<32|v, matching the linear-recursion TC with
+// the paper's recursion-depth threshold d (Exp-C).
+func TransitiveClosure(g *graph.Graph, depth int) map[int64]bool {
+	if depth <= 0 {
+		depth = g.N
+	}
+	out := make(map[int64]bool)
+	csr := graph.BuildCSR(g, false)
+	for s := int32(0); s < int32(g.N); s++ {
+		// One-or-more-step reachability: seed with the out-neighbours so a
+		// cycle through s re-discovers s itself.
+		lvl := make(map[int32]int)
+		var queue []int32
+		for _, u := range csr.Neighbors(s) {
+			if _, ok := lvl[u]; !ok {
+				lvl[u] = 1
+				queue = append(queue, u)
+			}
+		}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if lvl[v] >= depth {
+				continue
+			}
+			for _, u := range csr.Neighbors(v) {
+				if _, ok := lvl[u]; !ok {
+					lvl[u] = lvl[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		for v := range lvl {
+			out[int64(s)<<32|int64(v)] = true
+		}
+	}
+	return out
+}
+
+// TopoSort returns Kahn levels: level[v] is the iteration in which v is
+// removed (sources first), matching Eq. (13); level -1 means the node sits
+// on or behind a cycle and is never sorted.
+func TopoSort(g *graph.Graph) []int {
+	level := make([]int, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	indeg := g.InDegrees()
+	csr := graph.BuildCSR(g, false)
+	var frontier []int32
+	for i := 0; i < g.N; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, int32(i))
+			level[i] = 0
+		}
+	}
+	for l := 1; len(frontier) > 0; l++ {
+		var next []int32
+		for _, v := range frontier {
+			for _, u := range csr.Neighbors(v) {
+				indeg[u]--
+				if indeg[u] == 0 {
+					level[u] = l
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return level
+}
+
+// DiameterEstimate estimates the diameter by running BFS from sample seed
+// nodes and taking the maximum eccentricity observed (the HADI-style
+// estimate the paper cites for Diameter-Estimation). samples<=0 uses all
+// nodes on small graphs.
+func DiameterEstimate(g *graph.Graph, samples int) int {
+	if samples <= 0 || samples > g.N {
+		samples = g.N
+	}
+	step := g.N / samples
+	if step == 0 {
+		step = 1
+	}
+	best := 0
+	for s := 0; s < g.N; s += step {
+		lvl := BFSLevels(g, int32(s))
+		for _, l := range lvl {
+			if l > best {
+				best = l
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,105 @@
+package relation
+
+import "sort"
+
+// HashIndex maps the hash of a key-column subset to the row numbers holding
+// each key. It is the access structure behind hash joins, semi-joins,
+// anti-joins, and union-by-update via MERGE.
+type HashIndex struct {
+	rel     *Relation
+	cols    []int
+	buckets map[uint64][]int
+}
+
+// BuildHashIndex indexes rel on the given key columns.
+func BuildHashIndex(rel *Relation, cols []int) *HashIndex {
+	idx := &HashIndex{
+		rel:     rel,
+		cols:    cols,
+		buckets: make(map[uint64][]int, rel.Len()),
+	}
+	for i, t := range rel.Tuples {
+		h := t.HashOn(cols)
+		idx.buckets[h] = append(idx.buckets[h], i)
+	}
+	return idx
+}
+
+// Cols returns the indexed key columns.
+func (idx *HashIndex) Cols() []int { return idx.cols }
+
+// Probe returns the row numbers whose key columns equal probe's key columns
+// (probeCols selects the key within the probe tuple).
+func (idx *HashIndex) Probe(probe Tuple, probeCols []int) []int {
+	h := probe.HashOn(probeCols)
+	cand := idx.buckets[h]
+	if len(cand) == 0 {
+		return nil
+	}
+	var out []int
+	for _, row := range cand {
+		if idx.rel.Tuples[row].EqualOn(idx.cols, probe, probeCols) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Contains reports whether any row matches the probe key.
+func (idx *HashIndex) Contains(probe Tuple, probeCols []int) bool {
+	h := probe.HashOn(probeCols)
+	for _, row := range idx.buckets[h] {
+		if idx.rel.Tuples[row].EqualOn(idx.cols, probe, probeCols) {
+			return true
+		}
+	}
+	return false
+}
+
+// Add indexes one more row (used when the underlying relation grows, e.g.
+// during MERGE-style union-by-update).
+func (idx *HashIndex) Add(row int) {
+	h := idx.rel.Tuples[row].HashOn(idx.cols)
+	idx.buckets[h] = append(idx.buckets[h], row)
+}
+
+// SortedIndex is an ordering of row numbers by the key columns — the stand-in
+// for a B+-tree index on a temporary table. A merge join over a SortedIndex
+// reads rows in key order without re-sorting the relation, which is exactly
+// the effect the paper observes when PostgreSQL uses temp-table indexes.
+type SortedIndex struct {
+	rel  *Relation
+	cols []int
+	rows []int
+}
+
+// BuildSortedIndex sorts row numbers of rel by the key columns.
+func BuildSortedIndex(rel *Relation, cols []int) *SortedIndex {
+	rows := make([]int, rel.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		return rel.Tuples[rows[a]].CompareOn(cols, rel.Tuples[rows[b]], cols) < 0
+	})
+	return &SortedIndex{rel: rel, cols: cols, rows: rows}
+}
+
+// Cols returns the indexed key columns.
+func (idx *SortedIndex) Cols() []int { return idx.cols }
+
+// Len returns the number of indexed rows.
+func (idx *SortedIndex) Len() int { return len(idx.rows) }
+
+// Row returns the i-th row number in key order.
+func (idx *SortedIndex) Row(i int) int { return idx.rows[i] }
+
+// Tuple returns the i-th tuple in key order.
+func (idx *SortedIndex) Tuple(i int) Tuple { return idx.rel.Tuples[idx.rows[i]] }
+
+// SeekGE returns the first position whose key is >= the probe key.
+func (idx *SortedIndex) SeekGE(probe Tuple, probeCols []int) int {
+	return sort.Search(len(idx.rows), func(i int) bool {
+		return idx.rel.Tuples[idx.rows[i]].CompareOn(idx.cols, probe, probeCols) >= 0
+	})
+}

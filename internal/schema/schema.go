@@ -1,0 +1,196 @@
+// Package schema describes the shape of relations: ordered, typed, and
+// optionally table-qualified columns.
+//
+// Column resolution follows SQL scoping: a reference "T.c" matches only
+// columns qualified with table (or alias) T, while a bare "c" matches any
+// column named c and is ambiguous if several qualify.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Column is one attribute of a relation.
+type Column struct {
+	Table string     // qualifier (table name or alias); may be empty
+	Name  string     // attribute name
+	Type  value.Kind // declared type (KindNull means untyped/any)
+}
+
+// String renders the column as [table.]name.
+func (c Column) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// New builds an unqualified schema from name:type pairs.
+func New(cols ...Column) Schema { return Schema(cols) }
+
+// Cols is a convenience constructor for unqualified columns of one type.
+func Cols(t value.Kind, names ...string) Schema {
+	s := make(Schema, len(names))
+	for i, n := range names {
+		s[i] = Column{Name: n, Type: t}
+	}
+	return s
+}
+
+// Arity returns the number of columns.
+func (s Schema) Arity() int { return len(s) }
+
+// Names returns the bare column names in order.
+func (s Schema) Names() []string {
+	ns := make([]string, len(s))
+	for i, c := range s {
+		ns[i] = c.Name
+	}
+	return ns
+}
+
+// String renders the schema as (a INT, b FLOAT, ...).
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ErrAmbiguous is returned by Resolve when a bare name matches several
+// columns.
+type ErrAmbiguous struct{ Name string }
+
+func (e *ErrAmbiguous) Error() string {
+	return fmt.Sprintf("schema: ambiguous column reference %q", e.Name)
+}
+
+// ErrNotFound is returned by Resolve when no column matches.
+type ErrNotFound struct{ Table, Name string }
+
+func (e *ErrNotFound) Error() string {
+	if e.Table != "" {
+		return fmt.Sprintf("schema: no column %s.%s", e.Table, e.Name)
+	}
+	return fmt.Sprintf("schema: no column %q", e.Name)
+}
+
+// Resolve finds the index of the column referenced by (table, name).
+// If table is empty the bare name must be unambiguous.
+func (s Schema) Resolve(table, name string) (int, error) {
+	found := -1
+	for i, c := range s {
+		if c.Name != name {
+			continue
+		}
+		if table != "" {
+			if c.Table == table {
+				return i, nil
+			}
+			continue
+		}
+		if found >= 0 {
+			return -1, &ErrAmbiguous{Name: name}
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, &ErrNotFound{Table: table, Name: name}
+	}
+	return found, nil
+}
+
+// IndexOf returns the index of the first column with the given bare name,
+// or -1. Use Resolve for SQL-correct lookup.
+func (s Schema) IndexOf(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndex is IndexOf that panics if the column is missing; for internal
+// construction of fixed-shape relations.
+func (s Schema) MustIndex(name string) int {
+	i := s.IndexOf(name)
+	if i < 0 {
+		panic(fmt.Sprintf("schema: missing column %q in %s", name, s))
+	}
+	return i
+}
+
+// Project returns a schema containing the columns at the given indexes.
+func (s Schema) Project(idx []int) Schema {
+	out := make(Schema, len(idx))
+	for i, j := range idx {
+		out[i] = s[j]
+	}
+	return out
+}
+
+// Concat returns the concatenation s ++ o (used by joins and products).
+func (s Schema) Concat(o Schema) Schema {
+	out := make(Schema, 0, len(s)+len(o))
+	out = append(out, s...)
+	out = append(out, o...)
+	return out
+}
+
+// Qualify returns a copy with every column's Table set to q (the rename
+// operation ρ at the relation level).
+func (s Schema) Qualify(q string) Schema {
+	out := make(Schema, len(s))
+	for i, c := range s {
+		c.Table = q
+		out[i] = c
+	}
+	return out
+}
+
+// RenameCols returns a copy with the bare column names replaced by names.
+// It panics if the arities differ; callers validate first.
+func (s Schema) RenameCols(names []string) Schema {
+	if len(names) != len(s) {
+		panic(fmt.Sprintf("schema: rename arity %d != %d", len(names), len(s)))
+	}
+	out := make(Schema, len(s))
+	for i, c := range s {
+		c.Name = names[i]
+		out[i] = c
+	}
+	return out
+}
+
+// Equal reports whether two schemas have the same column names and types
+// (qualifiers are ignored: union compatibility in SQL is positional).
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i].Name != o[i].Name || s[i].Type != o[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionCompatible reports whether two schemas have the same arity (SQL set
+// operations are positional; types may widen between int and float).
+func (s Schema) UnionCompatible(o Schema) bool { return len(s) == len(o) }

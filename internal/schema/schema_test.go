@@ -1,0 +1,140 @@
+package schema
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func edgeSchema() Schema {
+	return Schema{
+		{Table: "E", Name: "F", Type: value.KindInt},
+		{Table: "E", Name: "T", Type: value.KindInt},
+		{Table: "E", Name: "ew", Type: value.KindFloat},
+	}
+}
+
+func TestColumnString(t *testing.T) {
+	if got := (Column{Table: "E", Name: "F"}).String(); got != "E.F" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Column{Name: "F"}).String(); got != "F" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestColsAndNames(t *testing.T) {
+	s := Cols(value.KindInt, "a", "b")
+	if s.Arity() != 2 || s[0].Name != "a" || s[1].Type != value.KindInt {
+		t.Errorf("Cols built %v", s)
+	}
+	ns := s.Names()
+	if len(ns) != 2 || ns[0] != "a" || ns[1] != "b" {
+		t.Errorf("Names = %v", ns)
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := edgeSchema()
+	want := "(E.F INT, E.T INT, E.ew FLOAT)"
+	if got := s.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestResolveQualified(t *testing.T) {
+	s := edgeSchema()
+	i, err := s.Resolve("E", "T")
+	if err != nil || i != 1 {
+		t.Errorf("Resolve(E,T) = %d, %v", i, err)
+	}
+	_, err = s.Resolve("X", "T")
+	var nf *ErrNotFound
+	if !errors.As(err, &nf) {
+		t.Errorf("Resolve(X,T) err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestResolveBareAndAmbiguous(t *testing.T) {
+	s := edgeSchema().Concat(Schema{{Table: "V", Name: "ID", Type: value.KindInt}})
+	i, err := s.Resolve("", "ID")
+	if err != nil || i != 3 {
+		t.Errorf("Resolve(ID) = %d, %v", i, err)
+	}
+	dup := edgeSchema().Concat(edgeSchema().Qualify("E2"))
+	_, err = dup.Resolve("", "F")
+	var amb *ErrAmbiguous
+	if !errors.As(err, &amb) {
+		t.Errorf("expected ambiguous, got %v", err)
+	}
+	// Qualified resolution disambiguates.
+	i, err = dup.Resolve("E2", "F")
+	if err != nil || i != 3 {
+		t.Errorf("Resolve(E2.F) = %d, %v", i, err)
+	}
+}
+
+func TestIndexOfAndMustIndex(t *testing.T) {
+	s := edgeSchema()
+	if s.IndexOf("ew") != 2 || s.IndexOf("zz") != -1 {
+		t.Error("IndexOf wrong")
+	}
+	if s.MustIndex("F") != 0 {
+		t.Error("MustIndex wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex should panic on missing column")
+		}
+	}()
+	s.MustIndex("nope")
+}
+
+func TestProjectConcatQualify(t *testing.T) {
+	s := edgeSchema()
+	p := s.Project([]int{2, 0})
+	if p.Arity() != 2 || p[0].Name != "ew" || p[1].Name != "F" {
+		t.Errorf("Project = %v", p)
+	}
+	c := s.Concat(Cols(value.KindInt, "x"))
+	if c.Arity() != 4 || c[3].Name != "x" {
+		t.Errorf("Concat = %v", c)
+	}
+	q := s.Qualify("E1")
+	if q[0].Table != "E1" || s[0].Table != "E" {
+		t.Error("Qualify should copy, not mutate")
+	}
+}
+
+func TestRenameCols(t *testing.T) {
+	s := Cols(value.KindInt, "a", "b")
+	r := s.RenameCols([]string{"x", "y"})
+	if r[0].Name != "x" || r[1].Name != "y" || s[0].Name != "a" {
+		t.Errorf("RenameCols = %v (orig %v)", r, s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RenameCols should panic on arity mismatch")
+		}
+	}()
+	s.RenameCols([]string{"only"})
+}
+
+func TestEqualAndUnionCompatible(t *testing.T) {
+	a := Cols(value.KindInt, "a", "b")
+	b := Cols(value.KindInt, "a", "b").Qualify("T")
+	if !a.Equal(b) {
+		t.Error("qualifiers should not affect Equal")
+	}
+	c := Cols(value.KindFloat, "a", "b")
+	if a.Equal(c) {
+		t.Error("types should affect Equal")
+	}
+	if !a.UnionCompatible(c) {
+		t.Error("same arity should be union compatible")
+	}
+	if a.UnionCompatible(Cols(value.KindInt, "a")) {
+		t.Error("different arity should not be union compatible")
+	}
+}

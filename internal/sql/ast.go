@@ -1,0 +1,282 @@
+package sql
+
+import (
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Expr is a SQL expression node.
+type Expr interface{ exprNode() }
+
+// ColRef references a (possibly qualified) column.
+type ColRef struct{ Table, Name string }
+
+// Lit is a literal constant.
+type Lit struct{ Val value.Value }
+
+// Unary applies "-" or "not".
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary applies an infix operator: arithmetic (+,-,*,/,%), comparison
+// (=,<>,<,<=,>,>=), or logic (and, or).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// FuncCall is a function application; Star marks count(*). Aggregate
+// functions (sum, count, min, max, avg) are recognized by name.
+type FuncCall struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+// InExpr is "x [not] in (subquery | list)".
+type InExpr struct {
+	X       Expr
+	Sub     *SelectStmt
+	List    []Expr
+	Negated bool
+}
+
+// ExistsExpr is "[not] exists (subquery)".
+type ExistsExpr struct {
+	Sub     *SelectStmt
+	Negated bool
+}
+
+// IsNullExpr is "x is [not] null".
+type IsNullExpr struct {
+	X       Expr
+	Negated bool
+}
+
+func (*ColRef) exprNode()     {}
+func (*Lit) exprNode()        {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*FuncCall) exprNode()   {}
+func (*InExpr) exprNode()     {}
+func (*ExistsExpr) exprNode() {}
+func (*IsNullExpr) exprNode() {}
+
+// AggFuncs lists the aggregate function names.
+var AggFuncs = map[string]bool{"sum": true, "count": true, "min": true, "max": true, "avg": true}
+
+// IsAggregate reports whether the call is an aggregate function.
+func (f *FuncCall) IsAggregate() bool { return AggFuncs[strings.ToLower(f.Name)] }
+
+// SelectItem is one entry of the select list; Star selects everything.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// JoinKind distinguishes the explicit join forms.
+type JoinKind int
+
+// The join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeftOuter
+	JoinFullOuter
+)
+
+// TableRef is one FROM entry: a named table, a subquery, or an explicit
+// join of two refs.
+type TableRef struct {
+	Name  string
+	Alias string
+	Sub   *SelectStmt
+
+	Join  *TableRef // left side when this is a join node
+	Right *TableRef
+	Kind  JoinKind
+	On    Expr
+}
+
+// IsJoin reports whether the ref is an explicit join node.
+func (t *TableRef) IsJoin() bool { return t.Join != nil }
+
+// DisplayName returns the alias or name used to qualify columns.
+func (t *TableRef) DisplayName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a (possibly compound) query block.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []*TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 = none
+
+	// Set operation chaining: this block {SetOp next}.
+	SetOp string // "", "union", "union all", "except", "intersect"
+	Next  *SelectStmt
+}
+
+// Walk visits every expression in the statement (including nested
+// subqueries when deep is true), calling fn on each node.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Unary:
+		Walk(x.X, fn)
+	case *Binary:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *InExpr:
+		Walk(x.X, fn)
+		for _, a := range x.List {
+			Walk(a, fn)
+		}
+	case *IsNullExpr:
+		Walk(x.X, fn)
+	}
+}
+
+// ReferencedTables collects every base-relation name a statement touches,
+// including nested subqueries in FROM, WHERE and the set-op chain; used to
+// build the dependency graph of Definition 9.1.
+func ReferencedTables(s *SelectStmt) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(n string) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	var visitStmt func(st *SelectStmt)
+	var visitRef func(t *TableRef)
+	visitRef = func(t *TableRef) {
+		if t == nil {
+			return
+		}
+		if t.IsJoin() {
+			visitRef(t.Join)
+			visitRef(t.Right)
+			return
+		}
+		if t.Sub != nil {
+			visitStmt(t.Sub)
+			return
+		}
+		add(t.Name)
+	}
+	visitExpr := func(e Expr) {
+		Walk(e, func(n Expr) {
+			switch x := n.(type) {
+			case *InExpr:
+				if x.Sub != nil {
+					visitStmt(x.Sub)
+				}
+			case *ExistsExpr:
+				if x.Sub != nil {
+					visitStmt(x.Sub)
+				}
+			}
+		})
+	}
+	visitStmt = func(st *SelectStmt) {
+		if st == nil {
+			return
+		}
+		for _, f := range st.From {
+			visitRef(f)
+		}
+		for _, it := range st.Items {
+			visitExpr(it.Expr)
+		}
+		visitExpr(st.Where)
+		visitExpr(st.Having)
+		for _, g := range st.GroupBy {
+			visitExpr(g)
+		}
+		visitStmt(st.Next)
+	}
+	visitStmt(s)
+	return out
+}
+
+// HasAggregates reports whether any select item or the HAVING clause
+// contains an aggregate call.
+func (s *SelectStmt) HasAggregates() bool {
+	found := false
+	check := func(e Expr) {
+		Walk(e, func(n Expr) {
+			if f, ok := n.(*FuncCall); ok && f.IsAggregate() {
+				found = true
+			}
+		})
+	}
+	for _, it := range s.Items {
+		check(it.Expr)
+	}
+	check(s.Having)
+	return found
+}
+
+// UsesNegation reports whether the statement uses a negation-like
+// construct (NOT IN, NOT EXISTS, EXCEPT, DISTINCT counts per the paper's
+// Table 1 discussion) against the given relation name ("" = any).
+func (s *SelectStmt) UsesNegation(rel string) bool {
+	found := false
+	check := func(e Expr) {
+		Walk(e, func(n Expr) {
+			switch x := n.(type) {
+			case *InExpr:
+				if x.Negated && x.Sub != nil && (rel == "" || contains(ReferencedTables(x.Sub), rel)) {
+					found = true
+				}
+			case *ExistsExpr:
+				if x.Negated && x.Sub != nil && (rel == "" || contains(ReferencedTables(x.Sub), rel)) {
+					found = true
+				}
+			}
+		})
+	}
+	check(s.Where)
+	check(s.Having)
+	for cur := s; cur != nil; cur = cur.Next {
+		if cur.SetOp == "except" && cur.Next != nil && (rel == "" || contains(ReferencedTables(cur.Next), rel)) {
+			found = true
+		}
+	}
+	return found
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,572 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Exec evaluates SELECT statements against an engine's catalog. Override
+// maps names to in-flight relations (the recursive working table and
+// computed-by deltas the WITH+ runtime maintains); overrides shadow catalog
+// tables and always count as statistics-free temporaries for plan choice.
+type Exec struct {
+	Eng      *engine.Engine
+	Override map[string]*relation.Relation
+}
+
+// NewExec returns an executor over eng.
+func NewExec(eng *engine.Engine) *Exec {
+	return &Exec{Eng: eng, Override: map[string]*relation.Relation{}}
+}
+
+// Run evaluates a (possibly compound) statement.
+func (x *Exec) Run(s *SelectStmt) (*relation.Relation, error) {
+	left, err := x.runOne(s)
+	if err != nil {
+		return nil, err
+	}
+	for cur := s; cur.Next != nil; cur = cur.Next {
+		right, err := x.runOne(cur.Next)
+		if err != nil {
+			return nil, err
+		}
+		if !left.Sch.UnionCompatible(right.Sch) {
+			return nil, fmt.Errorf("sql: set operation arity mismatch (%d vs %d)", left.Sch.Arity(), right.Sch.Arity())
+		}
+		switch cur.SetOp {
+		case "union all":
+			left = ra.UnionAll(left, right)
+		case "union":
+			left = ra.Union(left, right)
+		case "except":
+			left = ra.Difference(ra.Distinct(left), right)
+		case "intersect":
+			left = ra.Intersect(left, right)
+		default:
+			return nil, fmt.Errorf("sql: unknown set op %q", cur.SetOp)
+		}
+	}
+	return left, nil
+}
+
+// source is one resolved FROM input.
+type source struct {
+	rel      *relation.Relation
+	analyzed bool
+	name     string // display name for qualification
+}
+
+func (x *Exec) resolve(name string) (*relation.Relation, bool, error) {
+	if r, ok := x.Override[name]; ok {
+		return r, false, nil
+	}
+	t, err := x.Eng.Cat.Get(name)
+	if err != nil {
+		return nil, false, err
+	}
+	r, err := t.Materialize()
+	if err != nil {
+		return nil, false, err
+	}
+	return r, t.Stats.Analyzed, nil
+}
+
+func (x *Exec) resolveRef(t *TableRef) (source, error) {
+	if t.IsJoin() {
+		rel, err := x.evalJoinRef(t)
+		return source{rel: rel, analyzed: false, name: t.DisplayName()}, err
+	}
+	if t.Sub != nil {
+		rel, err := x.Run(t.Sub)
+		if err != nil {
+			return source{}, err
+		}
+		if t.Alias != "" {
+			rel = ra.Rename(rel, t.Alias, nil)
+		}
+		return source{rel: rel, name: t.DisplayName()}, nil
+	}
+	rel, analyzed, err := x.resolve(t.Name)
+	if err != nil {
+		return source{}, err
+	}
+	// Re-qualify under the alias (ρ) without copying tuples.
+	rel = &relation.Relation{Sch: rel.Sch.Qualify(t.DisplayName()), Tuples: rel.Tuples}
+	return source{rel: rel, analyzed: analyzed, name: t.DisplayName()}, nil
+}
+
+// evalJoinRef evaluates explicit LEFT/FULL OUTER/INNER JOIN nodes.
+func (x *Exec) evalJoinRef(t *TableRef) (*relation.Relation, error) {
+	l, err := x.resolveRef(t.Join)
+	if err != nil {
+		return nil, err
+	}
+	r, err := x.resolveRef(t.Right)
+	if err != nil {
+		return nil, err
+	}
+	combined := l.rel.Sch.Concat(r.rel.Sch)
+	lCols, rCols, residual, err := equiCols(t.On, l.rel.Sch, r.rel.Sch)
+	if err != nil {
+		return nil, err
+	}
+	if len(lCols) == 0 && t.Kind != JoinInner {
+		return nil, fmt.Errorf("sql: outer join requires equality conditions")
+	}
+	var out *relation.Relation
+	switch t.Kind {
+	case JoinLeftOuter:
+		out = ra.LeftOuterJoin(l.rel, r.rel, lCols, rCols)
+	case JoinFullOuter:
+		out = ra.FullOuterJoin(l.rel, r.rel, lCols, rCols)
+	default:
+		out = ra.EquiJoin(l.rel, r.rel, ra.EquiJoinSpec{
+			LeftCols: lCols, RightCols: rCols, Algo: x.algoFor(l.analyzed && r.analyzed),
+		})
+	}
+	if residual != nil {
+		pred, err := x.compilePred(residual, combined)
+		if err != nil {
+			return nil, err
+		}
+		return ra.Select(out, pred)
+	}
+	return out, nil
+}
+
+func (x *Exec) algoFor(allAnalyzed bool) ra.JoinAlgo {
+	if allAnalyzed {
+		return x.Eng.Prof.BaseJoin
+	}
+	a := x.Eng.Prof.TempJoin
+	if a == ra.SortMergeJoin && x.Eng.Prof.UseTempIndexes {
+		return ra.IndexMergeJoin
+	}
+	return a
+}
+
+// equiCols splits a join condition into equi-join column pairs (left-side
+// column = right-side column) plus a residual conjunction.
+func equiCols(on Expr, lSch, rSch schema.Schema) (lCols, rCols []int, residual Expr, err error) {
+	if on == nil {
+		return nil, nil, nil, nil
+	}
+	conjuncts := splitAnd(on)
+	for _, c := range conjuncts {
+		b, ok := c.(*Binary)
+		if ok && b.Op == "=" {
+			lc, lok := b.L.(*ColRef)
+			rc, rok := b.R.(*ColRef)
+			if lok && rok {
+				li, lerr := lSch.Resolve(lc.Table, lc.Name)
+				ri, rerr := rSch.Resolve(rc.Table, rc.Name)
+				if lerr == nil && rerr == nil {
+					lCols = append(lCols, li)
+					rCols = append(rCols, ri)
+					continue
+				}
+				// Maybe swapped sides.
+				li, lerr = lSch.Resolve(rc.Table, rc.Name)
+				ri, rerr = rSch.Resolve(lc.Table, lc.Name)
+				if lerr == nil && rerr == nil {
+					lCols = append(lCols, li)
+					rCols = append(rCols, ri)
+					continue
+				}
+			}
+		}
+		residual = andJoin(residual, c)
+	}
+	return lCols, rCols, residual, nil
+}
+
+func splitAnd(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "and" {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []Expr{e}
+}
+
+func andJoin(a, b Expr) Expr {
+	if a == nil {
+		return b
+	}
+	return &Binary{Op: "and", L: a, R: b}
+}
+
+func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, error) {
+	// Resolve FROM (no FROM = one empty tuple, for "select 1+1").
+	var input *relation.Relation
+	var allAnalyzed = true
+	if len(s.From) == 0 {
+		input = relation.New(schema.Schema{})
+		input.Append(relation.Tuple{})
+	} else {
+		srcs := make([]source, len(s.From))
+		for i, f := range s.From {
+			src, err := x.resolveRef(f)
+			if err != nil {
+				return nil, err
+			}
+			srcs[i] = src
+			allAnalyzed = allAnalyzed && src.analyzed
+		}
+		var conjuncts []Expr
+		if s.Where != nil {
+			conjuncts = splitAnd(s.Where)
+		}
+		used := make([]bool, len(conjuncts))
+		input = srcs[0].rel
+		for i := 1; i < len(srcs); i++ {
+			next := srcs[i]
+			var lCols, rCols []int
+			for ci, c := range conjuncts {
+				if used[ci] {
+					continue
+				}
+				b, ok := c.(*Binary)
+				if !ok || b.Op != "=" {
+					continue
+				}
+				lc, lok := b.L.(*ColRef)
+				rc, rok := b.R.(*ColRef)
+				if !lok || !rok {
+					continue
+				}
+				li, lerr := input.Sch.Resolve(lc.Table, lc.Name)
+				ri, rerr := next.rel.Sch.Resolve(rc.Table, rc.Name)
+				if lerr != nil || rerr != nil {
+					li, lerr = input.Sch.Resolve(rc.Table, rc.Name)
+					ri, rerr = next.rel.Sch.Resolve(lc.Table, lc.Name)
+				}
+				if lerr == nil && rerr == nil {
+					lCols = append(lCols, li)
+					rCols = append(rCols, ri)
+					used[ci] = true
+				}
+			}
+			if len(lCols) > 0 {
+				input = ra.EquiJoin(input, next.rel, ra.EquiJoinSpec{
+					LeftCols: lCols, RightCols: rCols,
+					Algo: x.algoFor(allAnalyzed),
+				})
+				x.Eng.Cnt.Joins++
+			} else {
+				input = ra.Product(input, next.rel)
+			}
+		}
+		// Residual WHERE conjuncts.
+		var residual Expr
+		for ci, c := range conjuncts {
+			if !used[ci] {
+				residual = andJoin(residual, c)
+			}
+		}
+		if residual != nil {
+			pred, err := x.compilePred(residual, input.Sch)
+			if err != nil {
+				return nil, err
+			}
+			var serr error
+			input, serr = ra.Select(input, pred)
+			if serr != nil {
+				return nil, serr
+			}
+		}
+	}
+
+	var out *relation.Relation
+	var err error
+	if len(s.GroupBy) > 0 || s.HasAggregates() {
+		out, err = x.runAggregate(s, input)
+	} else {
+		out, err = x.project(s, input)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.Distinct {
+		out = ra.Distinct(out)
+	}
+	if len(s.OrderBy) > 0 {
+		cols := make([]int, len(s.OrderBy))
+		desc := make([]bool, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			cr, ok := o.Expr.(*ColRef)
+			if !ok {
+				return nil, fmt.Errorf("sql: order by supports column references only")
+			}
+			idx, rerr := out.Sch.Resolve(cr.Table, cr.Name)
+			if rerr != nil {
+				return nil, rerr
+			}
+			cols[i] = idx
+			desc[i] = o.Desc
+		}
+		out = ra.OrderBy(out, cols, desc)
+	}
+	if s.Limit >= 0 {
+		out = ra.Limit(out, s.Limit)
+	}
+	return out, nil
+}
+
+// project evaluates the select list without aggregation.
+func (x *Exec) project(s *SelectStmt, input *relation.Relation) (*relation.Relation, error) {
+	var outs []ra.OutCol
+	for i, it := range s.Items {
+		if it.Star {
+			for ci := range input.Sch {
+				ci := ci
+				outs = append(outs, ra.OutCol{Col: input.Sch[ci], Expr: ra.ColExpr(ci)})
+			}
+			continue
+		}
+		ex, err := x.compileExpr(it.Expr, input.Sch)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, ra.OutCol{Col: outColName(it, i, input.Sch), Expr: ex})
+	}
+	return ra.Project(input, outs)
+}
+
+func outColName(it SelectItem, i int, sch schema.Schema) schema.Column {
+	var col schema.Column
+	// Infer the type from a column reference (including the internal
+	// __aggN references that aggregate rewriting produces).
+	if cr, ok := it.Expr.(*ColRef); ok {
+		if idx, err := sch.Resolve(cr.Table, cr.Name); err == nil {
+			col.Type = sch[idx].Type
+		}
+	}
+	if it.Alias != "" {
+		col.Name = it.Alias
+		return col
+	}
+	if cr, ok := it.Expr.(*ColRef); ok {
+		// Keep the qualifier so ORDER BY / outer queries can still resolve
+		// the qualified form.
+		col.Table, col.Name = cr.Table, cr.Name
+		return col
+	}
+	col.Name = fmt.Sprintf("col%d", i+1)
+	return col
+}
+
+// runAggregate handles GROUP BY / global aggregates: aggregates inside the
+// select list are computed per group, then the outer expressions are
+// evaluated over (group keys ++ aggregate results).
+func (x *Exec) runAggregate(s *SelectStmt, input *relation.Relation) (*relation.Relation, error) {
+	groupCols := make([]int, len(s.GroupBy))
+	virtual := schema.Schema{}
+	// Group-by expressions that are not plain column references are
+	// computed into appended key columns first.
+	var extended []ra.OutCol
+	for i, g := range s.GroupBy {
+		if cr, ok := g.(*ColRef); ok {
+			idx, err := input.Sch.Resolve(cr.Table, cr.Name)
+			if err != nil {
+				return nil, err
+			}
+			groupCols[i] = idx
+			virtual = append(virtual, input.Sch[idx])
+			continue
+		}
+		ex, err := x.compileExpr(g, input.Sch)
+		if err != nil {
+			return nil, err
+		}
+		col := schema.Column{Name: fmt.Sprintf("__key%d", i)}
+		groupCols[i] = input.Sch.Arity() + len(extended)
+		extended = append(extended, ra.OutCol{Col: col, Expr: ex})
+		virtual = append(virtual, col)
+	}
+	if len(extended) > 0 {
+		outs := make([]ra.OutCol, 0, input.Sch.Arity()+len(extended))
+		for ci := range input.Sch {
+			outs = append(outs, ra.OutCol{Col: input.Sch[ci], Expr: ra.ColExpr(ci)})
+		}
+		outs = append(outs, extended...)
+		var err error
+		input, err = ra.Project(input, outs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Collect aggregate calls across select items and having.
+	var aggCalls []*FuncCall
+	collect := func(e Expr) Expr {
+		return rewrite(e, func(n Expr) Expr {
+			if f, ok := n.(*FuncCall); ok && f.IsAggregate() {
+				for i, prev := range aggCalls {
+					if prev == f {
+						return &ColRef{Name: aggName(i)}
+					}
+				}
+				aggCalls = append(aggCalls, f)
+				return &ColRef{Name: aggName(len(aggCalls) - 1)}
+			}
+			return n
+		})
+	}
+	// Select items and HAVING may repeat a group-by expression verbatim
+	// ("select b0+b1 from t group by b0+b1"): such subtrees resolve to the
+	// computed key column.
+	replaceKeys := func(e Expr) Expr {
+		return rewrite(e, func(n Expr) Expr {
+			for i, g := range s.GroupBy {
+				if _, isCol := g.(*ColRef); !isCol && exprEqual(n, g) {
+					return &ColRef{Name: fmt.Sprintf("__key%d", i)}
+				}
+			}
+			return n
+		})
+	}
+	items := make([]SelectItem, len(s.Items))
+	for i, it := range s.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sql: select * cannot be combined with aggregation")
+		}
+		alias := it.Alias
+		if alias == "" {
+			// A bare aggregate select item is named after its function.
+			if f, ok := it.Expr.(*FuncCall); ok && f.IsAggregate() {
+				alias = strings.ToLower(f.Name)
+			}
+		}
+		items[i] = SelectItem{Expr: replaceKeys(collect(it.Expr)), Alias: alias}
+	}
+	var having Expr
+	if s.Having != nil {
+		having = replaceKeys(collect(s.Having))
+	}
+	// Build the aggregate specs against the input schema.
+	specs := make([]ra.AggSpec, len(aggCalls))
+	for i, f := range aggCalls {
+		col := schema.Column{Name: aggName(i), Type: value.KindFloat}
+		var argExpr ra.Expr
+		if !f.Star {
+			if len(f.Args) != 1 {
+				return nil, fmt.Errorf("sql: aggregate %s takes one argument", f.Name)
+			}
+			var err error
+			argExpr, err = x.compileExpr(f.Args[0], input.Sch)
+			if err != nil {
+				return nil, err
+			}
+		}
+		switch strings.ToLower(f.Name) {
+		case "sum":
+			specs[i] = ra.Sum(col, argExpr)
+		case "min":
+			specs[i] = ra.MinAgg(col, argExpr)
+		case "max":
+			specs[i] = ra.MaxAgg(col, argExpr)
+		case "avg":
+			specs[i] = ra.Avg(col, argExpr)
+		case "count":
+			col.Type = value.KindInt
+			specs[i] = ra.Count(col, argExpr)
+		default:
+			return nil, fmt.Errorf("sql: unknown aggregate %q", f.Name)
+		}
+		virtual = append(virtual, col)
+	}
+	grouped, err := ra.GroupBy(input, groupCols, specs)
+	if err != nil {
+		return nil, err
+	}
+	grouped.Sch = virtual
+	x.Eng.Cnt.GroupBys++
+	if having != nil {
+		pred, err := x.compilePred(having, virtual)
+		if err != nil {
+			return nil, err
+		}
+		grouped, err = ra.Select(grouped, pred)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var outs []ra.OutCol
+	for i, it := range items {
+		ex, err := x.compileExpr(it.Expr, virtual)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, ra.OutCol{Col: outColName(it, i, virtual), Expr: ex})
+	}
+	return ra.Project(grouped, outs)
+}
+
+func aggName(i int) string { return fmt.Sprintf("__agg%d", i) }
+
+// rewrite applies fn bottom-up, rebuilding nodes whose children changed.
+func rewrite(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Unary:
+		return fn(&Unary{Op: x.Op, X: rewrite(x.X, fn)})
+	case *Binary:
+		return fn(&Binary{Op: x.Op, L: rewrite(x.L, fn), R: rewrite(x.R, fn)})
+	case *FuncCall:
+		// Aggregates are replaced whole; do not descend into them first.
+		if x.IsAggregate() {
+			return fn(x)
+		}
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = rewrite(a, fn)
+		}
+		return fn(&FuncCall{Name: x.Name, Args: args, Star: x.Star})
+	case *IsNullExpr:
+		return fn(&IsNullExpr{X: rewrite(x.X, fn), Negated: x.Negated})
+	case *InExpr:
+		return fn(&InExpr{X: rewrite(x.X, fn), Sub: x.Sub, List: x.List, Negated: x.Negated})
+	default:
+		return fn(e)
+	}
+}
+
+// exprEqual reports structural equality of two expressions (used to match
+// select-list subtrees against group-by expressions).
+func exprEqual(a, b Expr) bool {
+	switch x := a.(type) {
+	case *ColRef:
+		y, ok := b.(*ColRef)
+		return ok && x.Table == y.Table && x.Name == y.Name
+	case *Lit:
+		y, ok := b.(*Lit)
+		return ok && x.Val.Equal(y.Val)
+	case *Unary:
+		y, ok := b.(*Unary)
+		return ok && x.Op == y.Op && exprEqual(x.X, y.X)
+	case *Binary:
+		y, ok := b.(*Binary)
+		return ok && x.Op == y.Op && exprEqual(x.L, y.L) && exprEqual(x.R, y.R)
+	case *FuncCall:
+		y, ok := b.(*FuncCall)
+		if !ok || x.Name != y.Name || x.Star != y.Star || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !exprEqual(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *IsNullExpr:
+		y, ok := b.(*IsNullExpr)
+		return ok && x.Negated == y.Negated && exprEqual(x.X, y.X)
+	}
+	return false
+}

@@ -1,0 +1,641 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// NewParser tokenizes src and returns a parser.
+func NewParser(src string) (*Parser, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{toks: toks}, nil
+}
+
+// ParseSelect parses a complete (possibly compound) SELECT statement.
+func ParseSelect(src string) (*SelectStmt, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	s, err := p.parseSetOps()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokOp, ";")
+	if !p.atEOF() {
+		return nil, p.errf("trailing input %q", p.peek().Text)
+	}
+	return s, nil
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool { return p.peek().Kind == TokEOF }
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+// accept consumes the token if it matches (keyword/op text lower-cased).
+func (p *Parser) accept(kind TokKind, text string) bool {
+	t := p.peek()
+	if t.Kind == kind && t.Text == text {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokKind, text string) error {
+	if !p.accept(kind, text) {
+		return p.errf("expected %q, found %q", text, p.peek().Text)
+	}
+	return nil
+}
+
+// acceptKw consumes a keyword.
+func (p *Parser) acceptKw(kw string) bool { return p.accept(TokKeyword, kw) }
+
+// peekKw reports whether the next token is the keyword.
+func (p *Parser) peekKw(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+// parseSetOps parses select {UNION [ALL]|EXCEPT|INTERSECT select}*.
+func (p *Parser) parseSetOps() (*SelectStmt, error) {
+	s, err := p.parseSelectBlock()
+	if err != nil {
+		return nil, err
+	}
+	cur := s
+	for {
+		var op string
+		switch {
+		case p.peekKw("union"):
+			p.advance()
+			op = "union"
+			if p.acceptKw("all") {
+				op = "union all"
+			}
+		case p.peekKw("except"):
+			p.advance()
+			op = "except"
+		case p.peekKw("intersect"):
+			p.advance()
+			op = "intersect"
+		default:
+			return s, nil
+		}
+		next, err := p.parseSelectBlock()
+		if err != nil {
+			return nil, err
+		}
+		cur.SetOp = op
+		cur.Next = next
+		cur = next
+	}
+}
+
+// parseSelectBlock parses one select, allowing a parenthesized block.
+func (p *Parser) parseSelectBlock() (*SelectStmt, error) {
+	if p.accept(TokOp, "(") {
+		s, err := p.parseSetOps()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return p.parseSelectCore()
+}
+
+func (p *Parser) parseSelectCore() (*SelectStmt, error) {
+	if !p.acceptKw("select") {
+		return nil, p.errf("expected select, found %q", p.peek().Text)
+	}
+	s := &SelectStmt{Limit: -1}
+	s.Distinct = p.acceptKw("distinct")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if p.acceptKw("from") {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, ref)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKw("group") {
+		if err := p.expect(TokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.acceptKw("order") {
+		if err := p.expect(TokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			it := OrderItem{Expr: e}
+			if p.acceptKw("desc") {
+				it.Desc = true
+			} else {
+				p.acceptKw("asc")
+			}
+			s.OrderBy = append(s.OrderBy, it)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("limit") {
+		t := p.advance()
+		if t.Kind != TokNumber {
+			return nil, p.errf("limit needs a number, found %q", t.Text)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return nil, p.errf("bad limit %q", t.Text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokOp, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("as") {
+		t := p.advance()
+		if t.Kind != TokIdent {
+			return SelectItem{}, p.errf("expected alias, found %q", t.Text)
+		}
+		item.Alias = t.Text
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.advance().Text
+	}
+	return item, nil
+}
+
+// parseTableRef parses: base [alias] | (subquery) alias, with optional
+// LEFT/FULL OUTER JOIN chains.
+func (p *Parser) parseTableRef() (*TableRef, error) {
+	ref, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind JoinKind
+		switch {
+		case p.peekKw("left"):
+			p.advance()
+			p.acceptKw("outer")
+			kind = JoinLeftOuter
+		case p.peekKw("full"):
+			p.advance()
+			p.acceptKw("outer")
+			kind = JoinFullOuter
+		case p.peekKw("inner"):
+			p.advance()
+			kind = JoinInner
+		case p.peekKw("join"):
+			kind = JoinInner
+		default:
+			return ref, nil
+		}
+		if err := p.expect(TokKeyword, "join"); err != nil {
+			return nil, err
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		join := &TableRef{Join: ref, Right: right, Kind: kind}
+		if p.acceptKw("on") {
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			join.On = on
+		}
+		ref = join
+	}
+}
+
+func (p *Parser) parseTablePrimary() (*TableRef, error) {
+	if p.accept(TokOp, "(") {
+		sub, err := p.parseSetOps()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		ref := &TableRef{Sub: sub}
+		p.acceptKw("as")
+		if p.peek().Kind == TokIdent {
+			ref.Alias = p.advance().Text
+		}
+		return ref, nil
+	}
+	t := p.advance()
+	if t.Kind != TokIdent {
+		return nil, p.errf("expected table name, found %q", t.Text)
+	}
+	ref := &TableRef{Name: t.Text}
+	if p.acceptKw("as") {
+		a := p.advance()
+		if a.Kind != TokIdent {
+			return nil, p.errf("expected alias, found %q", a.Text)
+		}
+		ref.Alias = a.Text
+	} else if p.peek().Kind == TokIdent {
+		ref.Alias = p.advance().Text
+	}
+	return ref, nil
+}
+
+// Expression grammar: or → and → not → comparison → additive →
+// multiplicative → unary → primary.
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.peekKw("not") && !p.nextIsNotExists() {
+		p.advance()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "not", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+// nextIsNotExists looks ahead for "not exists" which parseComparison's
+// primary handles.
+func (p *Parser) nextIsNotExists() bool {
+	if p.pos+1 < len(p.toks) {
+		n := p.toks[p.pos+1]
+		return n.Kind == TokKeyword && n.Text == "exists"
+	}
+	return false
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Postfix predicates: IS [NOT] NULL, [NOT] IN.
+	for {
+		switch {
+		case p.peekKw("is"):
+			p.advance()
+			neg := p.acceptKw("not")
+			if err := p.expect(TokKeyword, "null"); err != nil {
+				return nil, err
+			}
+			l = &IsNullExpr{X: l, Negated: neg}
+		case p.peekKw("not") && p.nextIsIn():
+			p.advance()
+			p.advance() // in
+			in, err := p.parseInTail(l, true)
+			if err != nil {
+				return nil, err
+			}
+			l = in
+		case p.peekKw("in"):
+			p.advance()
+			in, err := p.parseInTail(l, false)
+			if err != nil {
+				return nil, err
+			}
+			l = in
+		default:
+			goto ops
+		}
+	}
+ops:
+	t := p.peek()
+	if t.Kind == TokOp {
+		switch t.Text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: t.Text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *Parser) nextIsIn() bool {
+	if p.pos+1 < len(p.toks) {
+		n := p.toks[p.pos+1]
+		return n.Kind == TokKeyword && n.Text == "in"
+	}
+	return false
+}
+
+// parseInTail parses the target of IN: a parenthesized subquery or list,
+// or (paper style, Fig. 5) a bare "select ..." without parentheses.
+func (p *Parser) parseInTail(x Expr, negated bool) (Expr, error) {
+	if p.peekKw("select") {
+		sub, err := p.parseSelectCore()
+		if err != nil {
+			return nil, err
+		}
+		return &InExpr{X: x, Sub: sub, Negated: negated}, nil
+	}
+	if err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	if p.peekKw("select") {
+		sub, err := p.parseSetOps()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{X: x, Sub: sub, Negated: negated}, nil
+	}
+	var list []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	return &InExpr{X: x, List: list, Negated: negated}, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-") {
+			p.advance()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			p.advance()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.accept(TokOp, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	if p.accept(TokOp, "+") {
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.advance()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return &Lit{Val: value.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &Lit{Val: value.Int(i)}, nil
+	case t.Kind == TokString:
+		p.advance()
+		return &Lit{Val: value.Str(t.Text)}, nil
+	case t.Kind == TokKeyword && t.Text == "null":
+		p.advance()
+		return &Lit{Val: value.Null}, nil
+	case t.Kind == TokKeyword && t.Text == "true":
+		p.advance()
+		return &Lit{Val: value.Bool(true)}, nil
+	case t.Kind == TokKeyword && t.Text == "false":
+		p.advance()
+		return &Lit{Val: value.Bool(false)}, nil
+	case t.Kind == TokKeyword && t.Text == "exists":
+		p.advance()
+		if err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSetOps()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Sub: sub}, nil
+	case t.Kind == TokKeyword && t.Text == "not":
+		p.advance()
+		if err := p.expect(TokKeyword, "exists"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSetOps()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Sub: sub, Negated: true}, nil
+	case t.Kind == TokOp && t.Text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		p.advance()
+		// Function call?
+		if p.accept(TokOp, "(") {
+			f := &FuncCall{Name: strings.ToLower(t.Text)}
+			if p.accept(TokOp, "*") {
+				f.Star = true
+				if err := p.expect(TokOp, ")"); err != nil {
+					return nil, err
+				}
+				return f, nil
+			}
+			if !p.accept(TokOp, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					f.Args = append(f.Args, a)
+					if !p.accept(TokOp, ",") {
+						break
+					}
+				}
+				if err := p.expect(TokOp, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return f, nil
+		}
+		// Qualified column?
+		if p.accept(TokOp, ".") {
+			n := p.advance()
+			if n.Kind != TokIdent {
+				return nil, p.errf("expected column after %q.", t.Text)
+			}
+			return &ColRef{Table: t.Text, Name: n.Text}, nil
+		}
+		return &ColRef{Name: t.Text}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.Text)
+}

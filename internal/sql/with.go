@@ -1,0 +1,260 @@
+package sql
+
+import "strconv"
+
+// This file parses the enhanced recursive WITH clause of Section 6 (Fig. 4):
+//
+//	with [recursive] R(cols) as (
+//	    subquery
+//	    { union all | union | union by update [cols] } subquery ...
+//	    [ maxrecursion N ]
+//	)
+//	final-select
+//
+// where each subquery may carry a "computed by" block defining local
+// relations (Fig. 5, Fig. 6):
+//
+//	select ... computed by
+//	    Name[(cols)] as select ...;
+//	    Name2 as select ...;
+
+// ComputedDef is one "Name(cols) as select" definition in a computed by
+// block.
+type ComputedDef struct {
+	Name  string
+	Cols  []string
+	Query *SelectStmt
+}
+
+// WithBranch is one subquery of the WITH body plus its computed-by
+// definitions.
+type WithBranch struct {
+	Query    *SelectStmt
+	Computed []ComputedDef
+}
+
+// WithSetOp separates two branches.
+type WithSetOp int
+
+// The branch separators.
+const (
+	WithUnionAll WithSetOp = iota
+	WithUnion
+	WithUnionByUpdate
+)
+
+// String names the separator.
+func (o WithSetOp) String() string {
+	switch o {
+	case WithUnionAll:
+		return "union all"
+	case WithUnion:
+		return "union"
+	case WithUnionByUpdate:
+		return "union by update"
+	}
+	return "?"
+}
+
+// WithStmt is a parsed WITH+ statement.
+type WithStmt struct {
+	Recursive bool
+	RecName   string
+	RecCols   []string
+	Branches  []WithBranch
+	Ops       []WithSetOp // len = len(Branches)-1
+	UBUCols   []string    // key columns of union by update (nil = replace-all form)
+	MaxRec    int         // 0 = unbounded
+	Final     *SelectStmt
+}
+
+// HasUBU reports whether any separator is union by update.
+func (w *WithStmt) HasUBU() bool {
+	for _, op := range w.Ops {
+		if op == WithUnionByUpdate {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseWith parses a complete WITH+ statement.
+func ParseWith(src string) (*WithStmt, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	w, err := p.parseWith()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokOp, ";")
+	if !p.atEOF() {
+		return nil, p.errf("trailing input %q", p.peek().Text)
+	}
+	return w, nil
+}
+
+func (p *Parser) parseWith() (*WithStmt, error) {
+	if !p.acceptKw("with") {
+		return nil, p.errf("expected with, found %q", p.peek().Text)
+	}
+	w := &WithStmt{}
+	w.Recursive = p.acceptKw("recursive")
+	name := p.advance()
+	if name.Kind != TokIdent {
+		return nil, p.errf("expected recursive relation name, found %q", name.Text)
+	}
+	w.RecName = name.Text
+	if p.accept(TokOp, "(") {
+		for {
+			c := p.advance()
+			if c.Kind != TokIdent {
+				return nil, p.errf("expected column name, found %q", c.Text)
+			}
+			w.RecCols = append(w.RecCols, c.Text)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(TokKeyword, "as"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	// First branch.
+	br, err := p.parseWithBranch()
+	if err != nil {
+		return nil, err
+	}
+	w.Branches = append(w.Branches, br)
+	for {
+		switch {
+		case p.peekKw("union"):
+			p.advance()
+			switch {
+			case p.acceptKw("all"):
+				w.Ops = append(w.Ops, WithUnionAll)
+			case p.acceptKw("by"):
+				if err := p.expect(TokKeyword, "update"); err != nil {
+					return nil, err
+				}
+				w.Ops = append(w.Ops, WithUnionByUpdate)
+				// Optional key column list (bare identifiers, Fig. 3).
+				for p.peek().Kind == TokIdent {
+					w.UBUCols = append(w.UBUCols, p.advance().Text)
+					if !p.accept(TokOp, ",") {
+						break
+					}
+				}
+			default:
+				w.Ops = append(w.Ops, WithUnion)
+			}
+			br, err := p.parseWithBranch()
+			if err != nil {
+				return nil, err
+			}
+			w.Branches = append(w.Branches, br)
+		case p.peekKw("maxrecursion"):
+			p.advance()
+			n := p.advance()
+			if n.Kind != TokNumber {
+				return nil, p.errf("maxrecursion needs a number, found %q", n.Text)
+			}
+			v, err := strconv.Atoi(n.Text)
+			if err != nil || v < 0 {
+				return nil, p.errf("bad maxrecursion %q", n.Text)
+			}
+			w.MaxRec = v
+		default:
+			goto done
+		}
+	}
+done:
+	if err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	final, err := p.parseSetOps()
+	if err != nil {
+		return nil, err
+	}
+	w.Final = final
+	return w, nil
+}
+
+// parseWithBranch parses one subquery, optionally parenthesized, with an
+// optional computed by block.
+func (p *Parser) parseWithBranch() (WithBranch, error) {
+	var br WithBranch
+	paren := p.accept(TokOp, "(")
+	q, err := p.parseSelectCore()
+	if err != nil {
+		return br, err
+	}
+	br.Query = q
+	if p.acceptKw("computed") {
+		if err := p.expect(TokKeyword, "by"); err != nil {
+			return br, err
+		}
+		for {
+			def, err := p.parseComputedDef()
+			if err != nil {
+				return br, err
+			}
+			br.Computed = append(br.Computed, def)
+			if !p.accept(TokOp, ";") {
+				break
+			}
+			// Allow a trailing semicolon before ')'.
+			if !p.peekIdentStart() {
+				break
+			}
+		}
+	}
+	if paren {
+		if err := p.expect(TokOp, ")"); err != nil {
+			return br, err
+		}
+	}
+	return br, nil
+}
+
+func (p *Parser) peekIdentStart() bool { return p.peek().Kind == TokIdent }
+
+func (p *Parser) parseComputedDef() (ComputedDef, error) {
+	var def ComputedDef
+	name := p.advance()
+	if name.Kind != TokIdent {
+		return def, p.errf("expected computed-by relation name, found %q", name.Text)
+	}
+	def.Name = name.Text
+	if p.accept(TokOp, "(") {
+		for {
+			c := p.advance()
+			if c.Kind != TokIdent {
+				return def, p.errf("expected column name, found %q", c.Text)
+			}
+			def.Cols = append(def.Cols, c.Text)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return def, err
+		}
+	}
+	if err := p.expect(TokKeyword, "as"); err != nil {
+		return def, err
+	}
+	q, err := p.parseSelectCore()
+	if err != nil {
+		return def, err
+	}
+	def.Query = q
+	return def, nil
+}

@@ -1,0 +1,224 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// PageID identifies a page on the simulated disk.
+type PageID int64
+
+// Disk is an in-memory page array standing in for the data files. Reads and
+// writes copy full page images, which is the real work a disk-backed table
+// performs (minus the seek time).
+type Disk struct {
+	mu     sync.Mutex
+	pages  map[PageID][]byte
+	nextID PageID
+
+	Reads  int64 // page reads served
+	Writes int64 // page writes performed
+}
+
+// NewDisk returns an empty disk.
+func NewDisk() *Disk {
+	return &Disk{pages: make(map[PageID][]byte)}
+}
+
+// Allocate reserves a new zeroed page and returns its ID.
+func (d *Disk) Allocate() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextID
+	d.nextID++
+	d.pages[id] = make([]byte, PageSize)
+	return id
+}
+
+// Read copies the page image into dst.
+func (d *Disk) Read(id PageID, dst []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	copy(dst, p)
+	d.Reads++
+	return nil
+}
+
+// Write copies src onto the page image.
+func (d *Disk) Write(id PageID, src []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	copy(p, src)
+	d.Writes++
+	return nil
+}
+
+// Free releases a page.
+func (d *Disk) Free(id PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.pages, id)
+}
+
+// NumPages returns the number of allocated pages.
+func (d *Disk) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
+
+type frame struct {
+	id    PageID
+	page  Page
+	pins  int
+	dirty bool
+	lru   *list.Element
+}
+
+// BufferPool caches pages in a bounded number of frames with LRU eviction.
+// Unpinned dirty pages are written back on eviction and on FlushAll.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     *Disk
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // front = most recently used; holds unpinned frames
+
+	Hits   int64
+	Misses int64
+}
+
+// NewBufferPool returns a pool of the given frame capacity over disk.
+func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Disk returns the underlying disk.
+func (bp *BufferPool) Disk() *Disk { return bp.disk }
+
+// NewPage allocates a fresh page on disk, pins it, and returns it reset.
+func (bp *BufferPool) NewPage() (PageID, *Page, error) {
+	id := bp.disk.Allocate()
+	p, err := bp.Fetch(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	p.Reset()
+	bp.mu.Lock()
+	bp.frames[id].dirty = true
+	bp.mu.Unlock()
+	return id, p, nil
+}
+
+// Fetch pins the page and returns it, reading from disk on a miss. Callers
+// must Unpin when done.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.Hits++
+		if f.pins == 0 && f.lru != nil {
+			bp.lru.Remove(f.lru)
+			f.lru = nil
+		}
+		f.pins++
+		return &f.page, nil
+	}
+	bp.Misses++
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, pins: 1}
+	if err := bp.disk.Read(id, f.page.Bytes()); err != nil {
+		return nil, err
+	}
+	bp.frames[id] = f
+	return &f.page, nil
+}
+
+// Unpin releases one pin; dirty marks the page as modified.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of unfetched page %d", id)
+	}
+	if f.pins <= 0 {
+		return fmt.Errorf("storage: unpin underflow on page %d", id)
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins == 0 {
+		f.lru = bp.lru.PushFront(f)
+	}
+	return nil
+}
+
+// evictLocked removes the least recently used unpinned frame, writing it
+// back if dirty. Caller holds bp.mu.
+func (bp *BufferPool) evictLocked() error {
+	el := bp.lru.Back()
+	if el == nil {
+		return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", bp.capacity)
+	}
+	f := el.Value.(*frame)
+	bp.lru.Remove(el)
+	if f.dirty {
+		if err := bp.disk.Write(f.id, f.page.Bytes()); err != nil {
+			return err
+		}
+	}
+	delete(bp.frames, f.id)
+	return nil
+}
+
+// FlushAll writes back every dirty frame (pinned or not) without evicting.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.disk.Write(f.id, f.page.Bytes()); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Drop removes a page from the pool (without write-back) and frees it on
+// disk; used by TRUNCATE/DROP of paged tables.
+func (bp *BufferPool) Drop(id PageID) {
+	bp.mu.Lock()
+	if f, ok := bp.frames[id]; ok {
+		if f.lru != nil {
+			bp.lru.Remove(f.lru)
+		}
+		delete(bp.frames, id)
+	}
+	bp.mu.Unlock()
+	bp.disk.Free(id)
+}

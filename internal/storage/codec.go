@@ -1,0 +1,100 @@
+// Package storage provides the disk-shaped substrate beneath base and
+// temporary tables: a tuple codec, slotted pages, an LRU buffer pool over a
+// simulated disk, and a write-ahead log.
+//
+// The substrate does real serialization and page management work so that the
+// engine profiles reproduce the paper's I/O effects (temp-table logging,
+// buffer pressure on large graphs) mechanically rather than with timers.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// EncodeTuple appends the binary encoding of t to dst and returns the
+// extended slice. The format is self-describing: for each value a kind byte
+// followed by the payload (8-byte fixed for numerics, length-prefixed for
+// strings).
+func EncodeTuple(dst []byte, t relation.Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = append(dst, byte(v.K))
+		switch v.K {
+		case value.KindNull:
+		case value.KindInt:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.I))
+		case value.KindFloat:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+		case value.KindBool:
+			dst = append(dst, byte(v.I))
+		case value.KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		}
+	}
+	return dst
+}
+
+// DecodeTuple decodes one tuple from buf, returning the tuple and the number
+// of bytes consumed.
+func DecodeTuple(buf []byte) (relation.Tuple, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("storage: corrupt tuple header")
+	}
+	// Every encoded value takes at least one byte, so an arity beyond the
+	// remaining input is corruption — checked before allocating, or a
+	// hostile page image could demand an enormous tuple.
+	if n > uint64(len(buf)-sz) {
+		return nil, 0, fmt.Errorf("storage: corrupt tuple arity %d for %d bytes", n, len(buf)-sz)
+	}
+	off := sz
+	t := make(relation.Tuple, n)
+	for i := uint64(0); i < n; i++ {
+		if off >= len(buf) {
+			return nil, 0, fmt.Errorf("storage: truncated tuple")
+		}
+		k := value.Kind(buf[off])
+		off++
+		switch k {
+		case value.KindNull:
+			t[i] = value.Null
+		case value.KindInt:
+			if off+8 > len(buf) {
+				return nil, 0, fmt.Errorf("storage: truncated int")
+			}
+			t[i] = value.Int(int64(binary.LittleEndian.Uint64(buf[off:])))
+			off += 8
+		case value.KindFloat:
+			if off+8 > len(buf) {
+				return nil, 0, fmt.Errorf("storage: truncated float")
+			}
+			t[i] = value.Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])))
+			off += 8
+		case value.KindBool:
+			if off >= len(buf) {
+				return nil, 0, fmt.Errorf("storage: truncated bool")
+			}
+			t[i] = value.Bool(buf[off] != 0)
+			off++
+		case value.KindString:
+			l, lsz := binary.Uvarint(buf[off:])
+			// Check against the remaining length in uint64 space first: a
+			// huge l would overflow int and slip past the bounds check.
+			if lsz <= 0 || l > uint64(len(buf)-off-lsz) {
+				return nil, 0, fmt.Errorf("storage: truncated string")
+			}
+			off += lsz
+			t[i] = value.Str(string(buf[off : off+int(l)]))
+			off += int(l)
+		default:
+			return nil, 0, fmt.Errorf("storage: unknown kind %d", k)
+		}
+	}
+	return t, off, nil
+}

@@ -1,0 +1,57 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// FaultyStore wraps a TupleStore and starts failing after FailAfter
+// successful operations — failure injection for exercising error paths in
+// the catalog, engine, and PSM layers.
+type FaultyStore struct {
+	Inner     TupleStore
+	FailAfter int
+	ops       int
+}
+
+// ErrInjected is the failure FaultyStore returns.
+var ErrInjected = fmt.Errorf("storage: injected fault")
+
+func (s *FaultyStore) tick() error {
+	s.ops++
+	if s.ops > s.FailAfter {
+		return ErrInjected
+	}
+	return nil
+}
+
+// Insert implements TupleStore.
+func (s *FaultyStore) Insert(t relation.Tuple) error {
+	if err := s.tick(); err != nil {
+		return err
+	}
+	return s.Inner.Insert(t)
+}
+
+// Scan implements TupleStore.
+func (s *FaultyStore) Scan(fn func(t relation.Tuple) bool) error {
+	if err := s.tick(); err != nil {
+		return err
+	}
+	return s.Inner.Scan(fn)
+}
+
+// Len implements TupleStore.
+func (s *FaultyStore) Len() int { return s.Inner.Len() }
+
+// Truncate implements TupleStore.
+func (s *FaultyStore) Truncate() error {
+	if err := s.tick(); err != nil {
+		return err
+	}
+	return s.Inner.Truncate()
+}
+
+// BytesUsed implements TupleStore.
+func (s *FaultyStore) BytesUsed() int64 { return s.Inner.BytesUsed() }

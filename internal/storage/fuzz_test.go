@@ -1,0 +1,35 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// FuzzDecodeTuple: arbitrary bytes must decode or error, never panic, and
+// valid encodings must round-trip.
+func FuzzDecodeTuple(f *testing.F) {
+	f.Add(EncodeTuple(nil, relation.Tuple{value.Int(1), value.Str("x"), value.Null}))
+	f.Add([]byte{0})
+	f.Add([]byte{1, 9})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tu, n, err := DecodeTuple(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Re-encode and re-decode: must be stable.
+		enc := EncodeTuple(nil, tu)
+		back, _, err := DecodeTuple(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back) != len(tu) {
+			t.Fatalf("arity changed: %d vs %d", len(back), len(tu))
+		}
+	})
+}

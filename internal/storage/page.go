@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed size of a page in bytes.
+const PageSize = 8192
+
+// pageHeaderSize holds numSlots (2 bytes) and freeOffset (2 bytes).
+const pageHeaderSize = 4
+
+// slotSize holds offset (2 bytes) and length (2 bytes) per record.
+const slotSize = 4
+
+// Page is a slotted page: records grow from the header forward, the slot
+// directory grows from the end backward.
+//
+//	[numSlots][freeOff][record0][record1]...  ...[slot1][slot0]
+type Page struct {
+	buf [PageSize]byte
+}
+
+// Reset makes the page empty.
+func (p *Page) Reset() {
+	binary.LittleEndian.PutUint16(p.buf[0:], 0)
+	binary.LittleEndian.PutUint16(p.buf[2:], pageHeaderSize)
+}
+
+// NumSlots returns the number of records stored.
+func (p *Page) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.buf[0:]))
+}
+
+func (p *Page) freeOff() int {
+	return int(binary.LittleEndian.Uint16(p.buf[2:]))
+}
+
+// FreeSpace returns the bytes available for one more record (including its
+// slot entry).
+func (p *Page) FreeSpace() int {
+	free := PageSize - slotSize*p.NumSlots() - p.freeOff() - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores a record, returning its slot number, or false if the page is
+// full. Records larger than the page are rejected.
+func (p *Page) Insert(rec []byte) (int, bool) {
+	if len(rec) > p.FreeSpace() {
+		return 0, false
+	}
+	slot := p.NumSlots()
+	off := p.freeOff()
+	copy(p.buf[off:], rec)
+	slotPos := PageSize - slotSize*(slot+1)
+	binary.LittleEndian.PutUint16(p.buf[slotPos:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[slotPos+2:], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p.buf[0:], uint16(slot+1))
+	binary.LittleEndian.PutUint16(p.buf[2:], uint16(off+len(rec)))
+	return slot, true
+}
+
+// Record returns the bytes of the record in the given slot. The returned
+// slice aliases page memory and must not be retained across page writes.
+func (p *Page) Record(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.NumSlots() {
+		return nil, fmt.Errorf("storage: slot %d out of range (page has %d)", slot, p.NumSlots())
+	}
+	slotPos := PageSize - slotSize*(slot+1)
+	off := int(binary.LittleEndian.Uint16(p.buf[slotPos:]))
+	l := int(binary.LittleEndian.Uint16(p.buf[slotPos+2:]))
+	return p.buf[off : off+l], nil
+}
+
+// Bytes returns the raw page image.
+func (p *Page) Bytes() []byte { return p.buf[:] }
+
+// SetBytes overwrites the page image (used when reading from disk).
+func (p *Page) SetBytes(b []byte) {
+	copy(p.buf[:], b)
+}

@@ -1,0 +1,395 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	tuples := []relation.Tuple{
+		{value.Int(42), value.Float(3.14), value.Str("hello"), value.Bool(true), value.Null},
+		{},
+		{value.Str("")},
+		{value.Int(-1), value.Int(math.MaxInt64), value.Int(math.MinInt64)},
+		{value.Float(math.Inf(1)), value.Float(math.Inf(-1))},
+	}
+	var buf []byte
+	for _, in := range tuples {
+		buf = EncodeTuple(buf[:0], in)
+		out, n, err := DecodeTuple(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		if n != len(buf) {
+			t.Errorf("decode consumed %d of %d bytes", n, len(buf))
+		}
+		if !out.Equal(in) {
+			t.Errorf("round trip %v -> %v", in, out)
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool) bool {
+		in := relation.Tuple{value.Int(i), value.Float(fl), value.Str(s), value.Bool(b), value.Null}
+		buf := EncodeTuple(nil, in)
+		out, _, err := DecodeTuple(buf)
+		if err != nil {
+			return false
+		}
+		// NaN breaks Equal; compare bits for the float slot.
+		if math.IsNaN(fl) {
+			return math.IsNaN(out[1].F)
+		}
+		return out.Equal(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecCorruptInput(t *testing.T) {
+	good := EncodeTuple(nil, relation.Tuple{value.Int(1), value.Str("abc")})
+	for cut := 1; cut < len(good); cut++ {
+		if _, _, err := DecodeTuple(good[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+	if _, _, err := DecodeTuple([]byte{}); err == nil {
+		t.Error("empty input not detected")
+	}
+	bad := append([]byte{}, good...)
+	bad[1] = 200 // invalid kind byte
+	if _, _, err := DecodeTuple(bad); err == nil {
+		t.Error("invalid kind not detected")
+	}
+}
+
+func TestPageInsertAndRead(t *testing.T) {
+	var p Page
+	p.Reset()
+	if p.NumSlots() != 0 {
+		t.Fatal("fresh page not empty")
+	}
+	recs := [][]byte{[]byte("alpha"), []byte("b"), make([]byte, 100)}
+	for i, r := range recs {
+		slot, ok := p.Insert(r)
+		if !ok || slot != i {
+			t.Fatalf("insert %d failed (slot=%d ok=%v)", i, slot, ok)
+		}
+	}
+	for i, r := range recs {
+		got, err := p.Record(i)
+		if err != nil || string(got) != string(r) {
+			t.Errorf("record %d mismatch: %q vs %q (%v)", i, got, r, err)
+		}
+	}
+	if _, err := p.Record(3); err == nil {
+		t.Error("out-of-range slot should error")
+	}
+	if _, err := p.Record(-1); err == nil {
+		t.Error("negative slot should error")
+	}
+}
+
+func TestPageFillsUp(t *testing.T) {
+	var p Page
+	p.Reset()
+	rec := make([]byte, 1000)
+	n := 0
+	for {
+		if _, ok := p.Insert(rec); !ok {
+			break
+		}
+		n++
+	}
+	// 8192 bytes / (1000+4 slot) ≈ 8 records.
+	if n != 8 {
+		t.Errorf("page held %d 1000-byte records, want 8", n)
+	}
+	if _, ok := p.Insert([]byte("x")); !ok {
+		t.Error("small record should still fit after big ones stop fitting")
+	}
+}
+
+func TestPageRejectsOversized(t *testing.T) {
+	var p Page
+	p.Reset()
+	if _, ok := p.Insert(make([]byte, PageSize)); ok {
+		t.Error("page-sized record must not fit (header+slot overhead)")
+	}
+}
+
+func TestDiskReadWrite(t *testing.T) {
+	d := NewDisk()
+	id := d.Allocate()
+	src := make([]byte, PageSize)
+	src[0], src[PageSize-1] = 0xAB, 0xCD
+	if err := d.Write(id, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, PageSize)
+	if err := d.Read(id, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0xAB || dst[PageSize-1] != 0xCD {
+		t.Error("disk round trip corrupted data")
+	}
+	if err := d.Read(PageID(999), dst); err == nil {
+		t.Error("read of unallocated page should error")
+	}
+	if d.Reads != 1 || d.Writes != 1 {
+		t.Errorf("counters: reads=%d writes=%d", d.Reads, d.Writes)
+	}
+	d.Free(id)
+	if d.NumPages() != 0 {
+		t.Error("free should release page")
+	}
+}
+
+func TestBufferPoolEvictionWritesBack(t *testing.T) {
+	d := NewDisk()
+	bp := NewBufferPool(d, 2)
+	ids := make([]PageID, 3)
+	for i := range ids {
+		id, p, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Insert([]byte{byte(i + 1)})
+		if err := bp.Unpin(id, true); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// Pool capacity 2, so page 0 must have been evicted and written back.
+	p, err := bp.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.Record(0)
+	if err != nil || rec[0] != 1 {
+		t.Errorf("evicted page lost data: %v %v", rec, err)
+	}
+	bp.Unpin(ids[0], false)
+	if bp.Misses == 0 {
+		t.Error("expected at least one miss after eviction")
+	}
+}
+
+func TestBufferPoolPinnedPagesNotEvicted(t *testing.T) {
+	d := NewDisk()
+	bp := NewBufferPool(d, 1)
+	id, _, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page is still pinned; a second page cannot be placed.
+	if _, _, err := bp.NewPage(); err == nil {
+		t.Error("expected pool-exhausted error while all frames pinned")
+	}
+	if err := bp.Unpin(id, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bp.NewPage(); err != nil {
+		t.Errorf("after unpin, new page should fit: %v", err)
+	}
+}
+
+func TestBufferPoolUnpinErrors(t *testing.T) {
+	bp := NewBufferPool(NewDisk(), 2)
+	if err := bp.Unpin(PageID(5), false); err == nil {
+		t.Error("unpin of unfetched page should error")
+	}
+	id, _, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id, false)
+	if err := bp.Unpin(id, false); err == nil {
+		t.Error("unpin underflow should error")
+	}
+}
+
+func TestBufferPoolFlushAll(t *testing.T) {
+	d := NewDisk()
+	bp := NewBufferPool(d, 4)
+	id, p, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Insert([]byte("persist"))
+	bp.Unpin(id, true)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Verify on-disk image directly.
+	raw := make([]byte, PageSize)
+	if err := d.Read(id, raw); err != nil {
+		t.Fatal(err)
+	}
+	var fresh Page
+	fresh.SetBytes(raw)
+	rec, err := fresh.Record(0)
+	if err != nil || string(rec) != "persist" {
+		t.Errorf("flushed page content: %q %v", rec, err)
+	}
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	w := NewWAL()
+	msgs := []string{"one", "two", "three"}
+	for _, m := range msgs {
+		w.Append([]byte(m))
+	}
+	w.Sync()
+	var got []string
+	if !w.Replay(func(rec []byte) { got = append(got, string(rec)) }) {
+		t.Fatal("replay reported corruption")
+	}
+	if len(got) != 3 || got[0] != "one" || got[2] != "three" {
+		t.Errorf("replay = %v", got)
+	}
+	if w.Records != 3 || w.Syncs != 1 || w.Bytes == 0 {
+		t.Errorf("counters: %+v", w)
+	}
+	w.Truncate()
+	if w.Records != 0 || w.Bytes != 0 {
+		t.Error("truncate should reset counters")
+	}
+}
+
+func TestWALDetectsCorruption(t *testing.T) {
+	w := NewWAL()
+	w.Append([]byte("payload"))
+	w.buf[len(w.buf)-1] ^= 0xFF
+	if w.Replay(func([]byte) {}) {
+		t.Error("corrupted record should fail replay")
+	}
+}
+
+func storeRoundTrip(t *testing.T, s TupleStore) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var want []relation.Tuple
+	for i := 0; i < 500; i++ {
+		tu := relation.Tuple{value.Int(int64(i)), value.Float(rng.Float64()), value.Str("node")}
+		want = append(want, tu)
+		if err := s.Insert(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 500 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	i := 0
+	err := s.Scan(func(tu relation.Tuple) bool {
+		if !tu.Equal(want[i]) {
+			t.Errorf("tuple %d mismatch: %v vs %v", i, tu, want[i])
+		}
+		i++
+		return true
+	})
+	if err != nil || i != 500 {
+		t.Fatalf("scan visited %d, err %v", i, err)
+	}
+	// Early-exit scan.
+	i = 0
+	s.Scan(func(relation.Tuple) bool { i++; return i < 10 })
+	if i != 10 {
+		t.Errorf("early-exit scan visited %d", i)
+	}
+	if err := s.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Error("truncate should empty the store")
+	}
+	n := 0
+	s.Scan(func(relation.Tuple) bool { n++; return true })
+	if n != 0 {
+		t.Error("scan after truncate returned tuples")
+	}
+}
+
+func TestMemStore(t *testing.T) { storeRoundTrip(t, NewMemStore()) }
+
+func TestPagedStoreUnlogged(t *testing.T) {
+	bp := NewBufferPool(NewDisk(), 8)
+	storeRoundTrip(t, NewPagedStore(bp, nil))
+}
+
+func TestPagedStoreLogged(t *testing.T) {
+	bp := NewBufferPool(NewDisk(), 8)
+	w := NewWAL()
+	s := NewPagedStore(bp, w)
+	storeRoundTrip(t, s)
+	if w.Records != 500 {
+		t.Errorf("WAL should hold one record per insert, got %d", w.Records)
+	}
+}
+
+func TestPagedStoreSurvivesEviction(t *testing.T) {
+	// Tiny pool forces constant eviction; data must survive.
+	bp := NewBufferPool(NewDisk(), 2)
+	s := NewPagedStore(bp, nil)
+	for i := 0; i < 2000; i++ {
+		if err := s.Insert(relation.Tuple{value.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := int64(0)
+	s.Scan(func(tu relation.Tuple) bool { sum += tu[0].AsInt(); return true })
+	if want := int64(2000) * 1999 / 2; sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+	if s.BytesUsed() == 0 {
+		t.Error("paged store should report page bytes")
+	}
+	s.Truncate()
+	if bp.Disk().NumPages() != 0 {
+		t.Error("truncate should free pages on disk")
+	}
+}
+
+func TestPagedStoreRejectsHugeTuple(t *testing.T) {
+	bp := NewBufferPool(NewDisk(), 2)
+	s := NewPagedStore(bp, nil)
+	huge := relation.Tuple{value.Str(string(make([]byte, PageSize)))}
+	if err := s.Insert(huge); err == nil {
+		t.Error("oversized tuple should be rejected")
+	}
+}
+
+func TestCodecHostileInputs(t *testing.T) {
+	// Regressions found by fuzzing: huge arity and string-length varints
+	// must be rejected before allocation, not trusted.
+	hostile := [][]byte{
+		[]byte("\xd7\xdd\x95\xb0:{\xff"), // arity 15670275799
+		{1, byte(value.KindString), 0xfa, 0xd1, 0xb1, 0xd1, 0xb1, 0xd1, 0xb1, 0xd1, 0xb1, 0x7a}, // length overflows int
+		{2, byte(value.KindInt)}, // arity beyond data
+	}
+	for i, data := range hostile {
+		if _, _, err := DecodeTuple(data); err == nil {
+			t.Errorf("hostile input %d accepted", i)
+		}
+	}
+}
+
+func TestWALHostileFrames(t *testing.T) {
+	w := NewWAL()
+	// A frame claiming a huge record length must fail replay, not panic.
+	w.buf = []byte{0xfa, 0xd1, 0xb1, 0xd1, 0xb1, 0xd1, 0xb1, 0xd1, 0xb1, 0x7a, 1, 2, 3, 4}
+	if w.Replay(func([]byte) {}) {
+		t.Error("hostile frame accepted")
+	}
+	w.buf = []byte{5, 0, 0, 0} // length 5 but only a checksum left
+	if w.Replay(func([]byte) {}) {
+		t.Error("short frame accepted")
+	}
+}

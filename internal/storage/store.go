@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// TupleStore is the physical storage behind a table. MemStore keeps tuples
+// as Go values (an in-memory RDBMS / Oracle-AMM-style temp space);
+// PagedStore serializes tuples into buffer-pool pages (a disk-based temp
+// space), paying encode/decode and page-management costs on every access.
+type TupleStore interface {
+	// Insert appends one tuple.
+	Insert(t relation.Tuple) error
+	// Scan calls fn for every tuple until fn returns false.
+	Scan(fn func(t relation.Tuple) bool) error
+	// Len returns the number of stored tuples.
+	Len() int
+	// Truncate removes all tuples.
+	Truncate() error
+	// BytesUsed reports the storage footprint (0 for MemStore).
+	BytesUsed() int64
+}
+
+// MemStore stores tuples in a slice.
+type MemStore struct {
+	tuples []relation.Tuple
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Insert implements TupleStore.
+func (s *MemStore) Insert(t relation.Tuple) error {
+	s.tuples = append(s.tuples, t)
+	return nil
+}
+
+// Scan implements TupleStore.
+func (s *MemStore) Scan(fn func(t relation.Tuple) bool) error {
+	for _, t := range s.tuples {
+		if !fn(t) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len implements TupleStore.
+func (s *MemStore) Len() int { return len(s.tuples) }
+
+// Truncate implements TupleStore.
+func (s *MemStore) Truncate() error {
+	s.tuples = s.tuples[:0]
+	return nil
+}
+
+// BytesUsed implements TupleStore.
+func (s *MemStore) BytesUsed() int64 { return 0 }
+
+// PagedStore stores tuples encoded into slotted pages managed by a buffer
+// pool. An optional WAL receives one record per insert (base tables log;
+// temporary tables bypass the redo log, as the paper notes all three RDBMSs
+// do — but they still pay the page I/O).
+type PagedStore struct {
+	pool    *BufferPool
+	wal     *WAL // nil for non-logged tables
+	pages   []PageID
+	n       int
+	scratch []byte
+}
+
+// NewPagedStore returns an empty paged store over pool. wal may be nil.
+func NewPagedStore(pool *BufferPool, wal *WAL) *PagedStore {
+	return &PagedStore{pool: pool, wal: wal}
+}
+
+// Insert implements TupleStore.
+func (s *PagedStore) Insert(t relation.Tuple) error {
+	s.scratch = EncodeTuple(s.scratch[:0], t)
+	rec := s.scratch
+	if len(rec) > PageSize-pageHeaderSize-slotSize {
+		return fmt.Errorf("storage: tuple of %d bytes exceeds page capacity", len(rec))
+	}
+	if s.wal != nil {
+		s.wal.Append(rec)
+	}
+	if len(s.pages) > 0 {
+		last := s.pages[len(s.pages)-1]
+		p, err := s.pool.Fetch(last)
+		if err != nil {
+			return err
+		}
+		if _, ok := p.Insert(rec); ok {
+			s.n++
+			return s.pool.Unpin(last, true)
+		}
+		if err := s.pool.Unpin(last, false); err != nil {
+			return err
+		}
+	}
+	id, p, err := s.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	if _, ok := p.Insert(rec); !ok {
+		s.pool.Unpin(id, false)
+		return fmt.Errorf("storage: fresh page rejected %d-byte record", len(rec))
+	}
+	s.pages = append(s.pages, id)
+	s.n++
+	return s.pool.Unpin(id, true)
+}
+
+// Scan implements TupleStore.
+func (s *PagedStore) Scan(fn func(t relation.Tuple) bool) error {
+	for _, id := range s.pages {
+		p, err := s.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		stop := false
+		for slot := 0; slot < p.NumSlots(); slot++ {
+			rec, err := p.Record(slot)
+			if err != nil {
+				s.pool.Unpin(id, false)
+				return err
+			}
+			t, _, err := DecodeTuple(rec)
+			if err != nil {
+				s.pool.Unpin(id, false)
+				return err
+			}
+			if !fn(t) {
+				stop = true
+				break
+			}
+		}
+		if err := s.pool.Unpin(id, false); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len implements TupleStore.
+func (s *PagedStore) Len() int { return s.n }
+
+// Truncate implements TupleStore.
+func (s *PagedStore) Truncate() error {
+	for _, id := range s.pages {
+		s.pool.Drop(id)
+	}
+	s.pages = nil
+	s.n = 0
+	return nil
+}
+
+// BytesUsed implements TupleStore.
+func (s *PagedStore) BytesUsed() int64 { return int64(len(s.pages)) * PageSize }

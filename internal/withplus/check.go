@@ -1,0 +1,252 @@
+// Package withplus implements the semantics of the enhanced recursive WITH
+// clause (Section 6): validation of the paper's restrictions, the
+// XY-stratification check of Theorem 5.1 (via the datalog package), and
+// compilation to a SQL/PSM procedure (Algorithm 1) executed on the engine.
+package withplus
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/sql"
+)
+
+// Check validates a WITH+ statement:
+//
+//  1. structural restrictions — a single recursive relation; union by
+//     update used at most once and never mixed with union all; at least one
+//     initialization branch and, for union by update, exactly one recursive
+//     branch; computed-by definitions cycle-free and only referencing
+//     earlier definitions;
+//  2. the dependency graph has a single recursive cycle; and
+//  3. the program's Datalog encoding is XY-stratified (Theorem 5.1).
+func Check(w *sql.WithStmt) error {
+	if w.RecName == "" {
+		return fmt.Errorf("withplus: missing recursive relation name")
+	}
+	if len(w.Branches) == 0 {
+		return fmt.Errorf("withplus: no subqueries")
+	}
+	ubuCount := 0
+	for _, op := range w.Ops {
+		if op == sql.WithUnionByUpdate {
+			ubuCount++
+		}
+	}
+	if ubuCount > 1 {
+		return fmt.Errorf("withplus: union by update may appear only once (the update is not unique otherwise)")
+	}
+	recursive := make([]bool, len(w.Branches))
+	firstRecursive := -1
+	recursiveCount := 0
+	for i, br := range w.Branches {
+		recursive[i] = branchReferencesRec(br, w.RecName)
+		if recursive[i] {
+			recursiveCount++
+			if firstRecursive < 0 {
+				firstRecursive = i
+			}
+		}
+		if !recursive[i] && firstRecursive >= 0 {
+			return fmt.Errorf("withplus: initialization subqueries must precede recursive subqueries")
+		}
+	}
+	if firstRecursive == 0 {
+		return fmt.Errorf("withplus: the first subquery must initialize %s without referring to it", w.RecName)
+	}
+	if ubuCount == 1 {
+		// The paper allows any number of initialization subqueries but only
+		// one recursive subquery with union by update, joined by it.
+		if recursiveCount != 1 {
+			return fmt.Errorf("withplus: union by update takes exactly one recursive subquery, got %d", recursiveCount)
+		}
+		if w.Ops[firstRecursive-1] != sql.WithUnionByUpdate {
+			return fmt.Errorf("withplus: union by update must introduce the recursive subquery")
+		}
+	}
+	// computed-by blocks: each definition may reference only base tables,
+	// the recursive relation, and earlier definitions of the same block.
+	for bi, br := range w.Branches {
+		defined := map[string]bool{}
+		for _, def := range br.Computed {
+			if defined[def.Name] {
+				return fmt.Errorf("withplus: duplicate computed-by relation %q", def.Name)
+			}
+			for _, ref := range sql.ReferencedTables(def.Query) {
+				if ref == def.Name {
+					return fmt.Errorf("withplus: computed-by relation %q must be cycle free", def.Name)
+				}
+				if laterDef(br.Computed, def.Name, ref) {
+					return fmt.Errorf("withplus: computed-by relation %q refers to later definition %q (forward references only)", def.Name, ref)
+				}
+			}
+			defined[def.Name] = true
+		}
+		if len(br.Computed) > 0 && !recursive[bi] && branchComputedReferencesRec(br, w.RecName) {
+			return fmt.Errorf("withplus: initialization subquery %d reaches %s through computed by", bi+1, w.RecName)
+		}
+	}
+	prog := buildDatalog(w, recursive)
+	g := datalog.BuildDependencyGraph(prog)
+	if n := g.RecursiveCycleCount(); n > 1 {
+		return fmt.Errorf("withplus: %d recursive cycles in the dependency graph; only one is allowed", n)
+	}
+	if err := datalog.IsXYStratified(prog); err != nil {
+		return fmt.Errorf("withplus: not XY-stratified: %w", err)
+	}
+	return nil
+}
+
+func laterDef(defs []sql.ComputedDef, current, ref string) bool {
+	seenCurrent := false
+	for _, d := range defs {
+		if d.Name == current {
+			seenCurrent = true
+			continue
+		}
+		if seenCurrent && d.Name == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// branchReferencesRec reports whether a branch query (or any of its
+// computed-by definitions) references the recursive relation.
+func branchReferencesRec(br sql.WithBranch, rec string) bool {
+	if refTables(br.Query, rec) {
+		return true
+	}
+	return branchComputedReferencesRec(br, rec)
+}
+
+func branchComputedReferencesRec(br sql.WithBranch, rec string) bool {
+	for _, def := range br.Computed {
+		if refTables(def.Query, rec) {
+			return true
+		}
+	}
+	return false
+}
+
+func refTables(s *sql.SelectStmt, name string) bool {
+	for _, r := range sql.ReferencedTables(s) {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// buildDatalog encodes the WITH+ statement as the XY Datalog program of
+// Theorem 5.1's second proof step: per iteration, computed-by relations and
+// the recursive branch results live at stage s(T), while references to the
+// recursive relation read stage T; union-by-update adds the carry-forward
+// rule with the negated source.
+func buildDatalog(w *sql.WithStmt, recursive []bool) *datalog.Program {
+	var rules []datalog.Rule
+	edb := map[string]bool{}
+	localNames := map[string]bool{w.RecName: true}
+	for i, br := range w.Branches {
+		if recursive[i] {
+			for _, def := range br.Computed {
+				localNames[def.Name] = true
+			}
+			localNames[qPred(i)] = true
+		}
+	}
+	mkBody := func(q *sql.SelectStmt, stage func(name string) datalog.Term) []datalog.Literal {
+		var body []datalog.Literal
+		hasAgg := q.HasAggregates()
+		for _, ref := range sql.ReferencedTables(q) {
+			lit := datalog.Literal{Negated: q.UsesNegation(ref)}
+			if localNames[ref] {
+				lit.Atom = datalog.Atom{Pred: ref, Args: []datalog.Term{datalog.V("X"), stage(ref)}}
+				lit.Aggregated = hasAgg
+			} else {
+				lit.Atom = datalog.Atom{Pred: ref, Args: []datalog.Term{datalog.V("X")}}
+				edb[ref] = true
+			}
+			body = append(body, lit)
+		}
+		if len(body) == 0 {
+			body = append(body, datalog.Literal{Atom: datalog.Atom{Pred: "__dual", Args: []datalog.Term{datalog.V("X")}}})
+			edb["__dual"] = true
+		}
+		return body
+	}
+	recStage := func(name string) datalog.Term {
+		if name == w.RecName {
+			return datalog.T("T") // read the previous stage
+		}
+		return datalog.ST("T") // computed-by siblings live at the new stage
+	}
+	// anchor keeps Definition 9.3 satisfied for within-stage chains (the
+	// paper's R_i(s(T)) :- R_j(s(T)) rules): every Y-rule is anchored at the
+	// previous stage of the recursive relation, which is what the PSM loop
+	// reads when the iteration starts.
+	anchor := func(body []datalog.Literal) []datalog.Literal {
+		for _, l := range body {
+			if len(l.Atom.Args) == 2 && l.Atom.Args[1].Kind == datalog.TermTemporalVar {
+				return body
+			}
+		}
+		return append(body, datalog.Literal{
+			Atom: datalog.Atom{Pred: w.RecName, Args: []datalog.Term{datalog.V("X"), datalog.T("T")}},
+		})
+	}
+	for i, br := range w.Branches {
+		if !recursive[i] {
+			// Initialization: an X-rule seeding the recursive relation.
+			rules = append(rules, datalog.Rule{
+				Head: datalog.Atom{Pred: w.RecName, Args: []datalog.Term{datalog.V("X"), datalog.T("T")}},
+				Body: mkBody(br.Query, func(string) datalog.Term { return datalog.T("T") }),
+			})
+			continue
+		}
+		for _, def := range br.Computed {
+			rules = append(rules, datalog.Rule{
+				Head: datalog.Atom{Pred: def.Name, Args: []datalog.Term{datalog.V("X"), datalog.ST("T")}},
+				Body: anchor(mkBody(def.Query, recStage)),
+			})
+		}
+		// The branch result Q_i at stage s(T).
+		rules = append(rules, datalog.Rule{
+			Head: datalog.Atom{Pred: qPred(i), Args: []datalog.Term{datalog.V("X"), datalog.ST("T")}},
+			Body: anchor(mkBody(br.Query, recStage)),
+		})
+		if w.HasUBU() {
+			// R(s(T)) :- Q(s(T));  R(s(T)) :- R(T), ¬Q(s(T)).
+			rules = append(rules,
+				datalog.Rule{
+					Head: datalog.Atom{Pred: w.RecName, Args: []datalog.Term{datalog.V("X"), datalog.ST("T")}},
+					Body: anchor([]datalog.Literal{{Atom: datalog.Atom{Pred: qPred(i), Args: []datalog.Term{datalog.V("X"), datalog.ST("T")}}}}),
+				},
+				datalog.Rule{
+					Head: datalog.Atom{Pred: w.RecName, Args: []datalog.Term{datalog.V("X"), datalog.ST("T")}},
+					Body: []datalog.Literal{
+						{Atom: datalog.Atom{Pred: w.RecName, Args: []datalog.Term{datalog.V("X"), datalog.T("T")}}},
+						{Atom: datalog.Atom{Pred: qPred(i), Args: []datalog.Term{datalog.V("X"), datalog.ST("T")}}, Negated: true},
+					},
+				})
+		} else {
+			// Accumulation: R(s(T)) :- Q(s(T)); R(s(T)) :- R(T).
+			rules = append(rules,
+				datalog.Rule{
+					Head: datalog.Atom{Pred: w.RecName, Args: []datalog.Term{datalog.V("X"), datalog.ST("T")}},
+					Body: anchor([]datalog.Literal{{Atom: datalog.Atom{Pred: qPred(i), Args: []datalog.Term{datalog.V("X"), datalog.ST("T")}}}}),
+				},
+				datalog.Rule{
+					Head: datalog.Atom{Pred: w.RecName, Args: []datalog.Term{datalog.V("X"), datalog.ST("T")}},
+					Body: []datalog.Literal{{Atom: datalog.Atom{Pred: w.RecName, Args: []datalog.Term{datalog.V("X"), datalog.T("T")}}}},
+				})
+		}
+	}
+	names := make([]string, 0, len(edb))
+	for n := range edb {
+		names = append(names, n)
+	}
+	return datalog.NewProgram(rules, names...)
+}
+
+func qPred(i int) string { return fmt.Sprintf("__q%d", i) }

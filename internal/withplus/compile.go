@@ -1,0 +1,336 @@
+package withplus
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/psm"
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/sql"
+)
+
+// Trace records per-iteration progress of a WITH+ execution, used by the
+// Exp-C figures (running time and accumulated tuples per iteration).
+type Trace struct {
+	Iterations int
+	IterTimes  []time.Duration
+	IterRows   []int
+	// CycleDetected reports that a union/union-all iteration re-derived
+	// tuples already in the recursive relation — the condition Oracle's
+	// CYCLE clause warns about (Table 1, category E). The semi-naive
+	// evaluation drops such tuples, so the recursion still terminates.
+	CycleDetected bool
+}
+
+// Program is a checked, compiled WITH+ statement bound to an engine.
+type Program struct {
+	With *sql.WithStmt
+	Proc *psm.Proc
+
+	eng       *engine.Engine
+	exec      *sql.Exec
+	trace     *Trace
+	changed   bool // did the last iteration change R?
+	recursive []bool
+}
+
+// Prepare parses, checks (Theorem 5.1), and compiles src into a PSM
+// procedure over eng.
+func Prepare(eng *engine.Engine, src string) (*Program, error) {
+	w, err := sql.ParseWith(src)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareStmt(eng, w)
+}
+
+// PrepareStmt checks and compiles an already-parsed statement.
+func PrepareStmt(eng *engine.Engine, w *sql.WithStmt) (*Program, error) {
+	if err := Check(w); err != nil {
+		return nil, err
+	}
+	if eng.Cat.Has(w.RecName) {
+		return nil, fmt.Errorf("withplus: recursive relation %q collides with an existing table", w.RecName)
+	}
+	p := &Program{
+		With:  w,
+		eng:   eng,
+		exec:  sql.NewExec(eng),
+		trace: &Trace{},
+	}
+	p.recursive = make([]bool, len(w.Branches))
+	for i, br := range w.Branches {
+		p.recursive[i] = branchReferencesRec(br, w.RecName)
+	}
+	p.Proc = p.buildProc()
+	return p, nil
+}
+
+// Run calls the compiled procedure and evaluates the final query.
+func (p *Program) Run() (*relation.Relation, *Trace, error) {
+	if err := p.Proc.Call(p.eng); err != nil {
+		return nil, nil, err
+	}
+	out, err := p.exec.Run(p.With.Final)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, p.trace, nil
+}
+
+// Cleanup drops the temporary tables the program created so the engine can
+// run another statement with the same relation names.
+func (p *Program) Cleanup() {
+	for _, name := range p.eng.Cat.TempNames() {
+		if name == p.With.RecName || isComputedName(p.With, name) {
+			_ = p.eng.Cat.Drop(name)
+		}
+	}
+}
+
+func isComputedName(w *sql.WithStmt, name string) bool {
+	for _, br := range w.Branches {
+		for _, def := range br.Computed {
+			if def.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildProc emits the Algorithm 1 shape: initialize R from the
+// non-recursive subqueries, then loop { refresh computed-by tables;
+// evaluate recursive subqueries; union / union-by-update into R; exit when
+// no subquery changed R }.
+func (p *Program) buildProc() *psm.Proc {
+	w := p.With
+	var steps []psm.Stmt
+
+	// Initialization: evaluate init branches (with their computed-by
+	// tables) and create R from the union of their results.
+	steps = append(steps, &psm.Do{
+		Label: fmt.Sprintf("initialize %s from %d initialization subquery(ies)", w.RecName, countFalse(p.recursive)),
+		Fn:    p.initRec,
+	})
+
+	var body []psm.Stmt
+	body = append(body, &psm.Do{
+		Label: "begin iteration (reset change flags)",
+		Fn: func(ctx *psm.Ctx) error {
+			p.changed = false
+			return nil
+		},
+	})
+	for i, br := range w.Branches {
+		if !p.recursive[i] {
+			continue
+		}
+		for _, def := range br.Computed {
+			def := def
+			body = append(body, &psm.InsertSelect{
+				Table:    def.Name,
+				Truncate: true,
+				Label:    fmt.Sprintf("computed by %s", def.Name),
+				Query: func(ctx *psm.Ctx) (*relation.Relation, error) {
+					return p.evalComputed(def)
+				},
+			})
+		}
+		i := i
+		br := br
+		body = append(body, &psm.Do{
+			Label: fmt.Sprintf("evaluate recursive subquery Q%d and %s into %s", i+1, w.Ops[i-1], w.RecName),
+			Fn: func(ctx *psm.Ctx) error {
+				return p.stepBranch(i, br)
+			},
+		})
+	}
+	body = append(body, &psm.ExitIf{
+		Label: "no recursive subquery changed " + w.RecName,
+		Cond: func(ctx *psm.Ctx) (bool, error) {
+			return !p.changed, nil
+		},
+	})
+	steps = append(steps, &psm.Loop{Body: body, MaxIter: w.MaxRec})
+	return &psm.Proc{Name: "F_" + w.RecName, Steps: steps}
+}
+
+func countFalse(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if !b {
+			n++
+		}
+	}
+	return n
+}
+
+// initRec evaluates the initialization branches and creates the recursive
+// temp table with the declared column names.
+func (p *Program) initRec(ctx *psm.Ctx) error {
+	w := p.With
+	var acc *relation.Relation
+	for i, br := range w.Branches {
+		if p.recursive[i] {
+			continue
+		}
+		for _, def := range br.Computed {
+			r, err := p.evalComputed(def)
+			if err != nil {
+				return err
+			}
+			if _, err := p.eng.EnsureTemp(def.Name, r.Sch); err != nil {
+				return err
+			}
+			if err := p.eng.StoreInto(def.Name, r); err != nil {
+				return err
+			}
+		}
+		r, err := p.exec.Run(br.Query)
+		if err != nil {
+			return err
+		}
+		if acc == nil {
+			acc = r
+			continue
+		}
+		if !acc.Sch.UnionCompatible(r.Sch) {
+			return fmt.Errorf("withplus: initialization subqueries disagree on arity (%d vs %d)", acc.Sch.Arity(), r.Sch.Arity())
+		}
+		acc = ra.UnionAll(acc, r)
+	}
+	if acc == nil {
+		return fmt.Errorf("withplus: no initialization subquery")
+	}
+	sch := acc.Sch
+	if len(w.RecCols) > 0 {
+		if len(w.RecCols) != sch.Arity() {
+			return fmt.Errorf("withplus: %s declares %d columns but initialization yields %d", w.RecName, len(w.RecCols), sch.Arity())
+		}
+		sch = make(schema.Schema, len(w.RecCols))
+		for i, name := range w.RecCols {
+			sch[i] = schema.Column{Name: name, Type: acc.Sch[i].Type}
+		}
+	}
+	acc = &relation.Relation{Sch: sch, Tuples: acc.Tuples}
+	if _, err := p.eng.EnsureTemp(w.RecName, sch); err != nil {
+		return err
+	}
+	return p.eng.StoreInto(w.RecName, acc)
+}
+
+// evalComputed evaluates one computed-by definition, applying its declared
+// column names.
+func (p *Program) evalComputed(def sql.ComputedDef) (*relation.Relation, error) {
+	r, err := p.exec.Run(def.Query)
+	if err != nil {
+		return nil, err
+	}
+	if len(def.Cols) > 0 {
+		if len(def.Cols) != r.Sch.Arity() {
+			return nil, fmt.Errorf("withplus: %s declares %d columns but its query yields %d", def.Name, len(def.Cols), r.Sch.Arity())
+		}
+		sch := make(schema.Schema, len(def.Cols))
+		for i, name := range def.Cols {
+			sch[i] = schema.Column{Name: name, Type: r.Sch[i].Type}
+		}
+		r = &relation.Relation{Sch: sch, Tuples: r.Tuples}
+	}
+	if !p.eng.Cat.Has(def.Name) {
+		if _, err := p.eng.EnsureTemp(def.Name, r.Sch); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// stepBranch evaluates one recursive subquery and folds it into R by the
+// statement's set operation, updating the change flag and trace.
+func (p *Program) stepBranch(i int, br sql.WithBranch) error {
+	w := p.With
+	start := time.Now()
+	q, err := p.exec.Run(br.Query)
+	if err != nil {
+		return err
+	}
+	before, err := p.eng.Rel(w.RecName)
+	if err != nil {
+		return err
+	}
+	changed := false
+	switch w.Ops[i-1] {
+	case sql.WithUnionByUpdate:
+		prev := before.Clone()
+		if len(w.UBUCols) == 0 {
+			// Attribute-less form: replace R wholesale (DROP/ALTER).
+			if err := p.eng.UnionByUpdate(w.RecName, retag(q, before.Sch), nil, ra.UBUReplace); err != nil {
+				return err
+			}
+		} else {
+			keys := make([]int, len(w.UBUCols))
+			for ki, c := range w.UBUCols {
+				idx := before.Sch.IndexOf(c)
+				if idx < 0 {
+					return fmt.Errorf("withplus: union by update key %q is not a column of %s", c, w.RecName)
+				}
+				keys[ki] = idx
+			}
+			if err := p.eng.UnionByUpdate(w.RecName, retag(q, before.Sch), keys, ra.UBUFullOuter); err != nil {
+				return err
+			}
+		}
+		after, err := p.eng.Rel(w.RecName)
+		if err != nil {
+			return err
+		}
+		changed = !after.Equal(prev)
+	default:
+		// union / union all accumulate; the with+ implementation is
+		// semi-naive (Exp-C): only rows not already in R are appended.
+		dedup := ra.Distinct(retag(q, before.Sch))
+		delta := ra.Difference(dedup, before)
+		if delta.Len() < dedup.Len() {
+			p.trace.CycleDetected = true
+		}
+		if delta.Len() > 0 {
+			if err := p.eng.AppendInto(w.RecName, delta); err != nil {
+				return err
+			}
+			changed = true
+		}
+	}
+	if changed {
+		p.changed = true
+	}
+	cur, err := p.eng.Rel(w.RecName)
+	if err != nil {
+		return err
+	}
+	p.trace.Iterations++
+	p.trace.IterTimes = append(p.trace.IterTimes, time.Since(start))
+	p.trace.IterRows = append(p.trace.IterRows, cur.Len())
+	return nil
+}
+
+// retag gives the query result the recursive relation's schema so union
+// and update steps line up positionally.
+func retag(r *relation.Relation, sch schema.Schema) *relation.Relation {
+	if r.Sch.Arity() != sch.Arity() {
+		return r // let the engine report the arity error
+	}
+	return &relation.Relation{Sch: sch, Tuples: r.Tuples}
+}
+
+// Run parses, checks, compiles, and executes a WITH+ statement in one call.
+func Run(eng *engine.Engine, src string) (*relation.Relation, *Trace, error) {
+	p, err := Prepare(eng, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer p.Cleanup()
+	return p.Run()
+}

@@ -1,0 +1,29 @@
+package withplus
+
+import (
+	"testing"
+
+	"repro/internal/sql"
+)
+
+// FuzzWithCheck: arbitrary WITH+ texts must parse-or-error and check-or-
+// error without panicking.
+func FuzzWithCheck(f *testing.F) {
+	seeds := []string{
+		"with R(a) as ((select 1)) select a from R",
+		"with TC(F, T) as ((select F, T from E) union all (select TC.F, E.T from TC, E where TC.T = E.F) maxrecursion 3) select F, T from TC",
+		"with P(ID, W) as ((select ID, 0.0 from V) union by update ID (select T, sum(W * ew) from P, E where P.ID = E.F group by T)) select ID from P",
+		"with H(a) as ((select 1 from V) union all (select a from X computed by X as select a + 1 x from H;)) select a from H",
+		"with R as ((select 1) union by update (select 2 from R))) select 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		w, err := sql.ParseWith(input)
+		if err != nil {
+			return
+		}
+		_ = Check(w)
+	})
+}

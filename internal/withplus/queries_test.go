@@ -1,0 +1,273 @@
+package withplus
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algos"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/refimpl"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// These tests run the query-text library (the paper's figures as SQL)
+// through the full parse → check → PSM → execute pipeline and compare
+// against the reference implementations.
+
+func TestTCSQLQueryText(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 20, M: 45, Directed: true, Skew: 2.0, Seed: 51})
+	eng := engine.New(engine.OracleLike())
+	loadGraphDB(t, eng, g)
+	for _, depth := range []int{0, 3} {
+		out, _, err := Run(eng, algos.TCSQL(depth))
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		// WITH+ TC reaches the full fixpoint with maxrecursion 0
+		// (unbounded); a bound of d covers paths of up to d+1 edges.
+		wantDepth := 0
+		if depth > 0 {
+			wantDepth = depth + 1
+		}
+		want := refimpl.TransitiveClosure(g, wantDepth)
+		if out.Len() != len(want) {
+			t.Fatalf("depth %d: |TC| = %d, want %d", depth, out.Len(), len(want))
+		}
+		eng = engine.New(engine.OracleLike())
+		loadGraphDB(t, eng, g)
+	}
+}
+
+func TestPageRankSQLQueryText(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 30, M: 120, Directed: true, Skew: 2.0, Seed: 52})
+	want := refimpl.PageRank(g, 0.85, 12)
+	eng := engine.New(engine.PostgresLike(true))
+	loadGraphDB(t, eng, g)
+	out, trace, err := Run(eng, algos.PageRankSQL(g.N, 12, 0.85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Iterations != 12 {
+		t.Errorf("iterations = %d", trace.Iterations)
+	}
+	for _, tu := range out.Tuples {
+		if math.Abs(tu[1].AsFloat()-want[tu[0].AsInt()]) > 1e-9 {
+			t.Fatalf("PR[%v] = %v, want %v", tu[0], tu[1], want[tu[0].AsInt()])
+		}
+	}
+}
+
+func TestPageRankFig3SQLQueryText(t *testing.T) {
+	// The verbatim Fig. 3 form parses, checks, and runs; nodes without
+	// in-edges stay at 0 (the formulation's own semantics).
+	g := graph.New(4, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 1)
+	g.AddEdge(0, 2, 1)
+	// node 3 has no in-edges.
+	eng := engine.New(engine.OracleLike())
+	loadGraphDB(t, eng, g)
+	out, _, err := Run(eng, algos.PageRankFig3SQL(g.N, 10, 0.85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[int64]float64{}
+	for _, tu := range out.Tuples {
+		vals[tu[0].AsInt()] = tu[1].AsFloat()
+	}
+	if vals[3] != 0 {
+		t.Errorf("Fig. 3 zero-init: node without in-edges = %v, want 0", vals[3])
+	}
+	if vals[1] <= 0 {
+		t.Errorf("reached node should have positive rank: %v", vals[1])
+	}
+}
+
+func TestTopoSortSQLQueryText(t *testing.T) {
+	g := graph.GenerateDAG(30, 90, 53)
+	want := refimpl.TopoSort(g)
+	eng := engine.New(engine.DB2Like())
+	loadGraphDB(t, eng, g)
+	out, _, err := Run(eng, algos.TopoSortSQL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]int64{}
+	for _, tu := range out.Tuples {
+		got[tu[0].AsInt()] = tu[1].AsInt()
+	}
+	for v, l := range want {
+		if got[int64(v)] != int64(l) {
+			t.Fatalf("level[%d] = %d, want %d", v, got[int64(v)], l)
+		}
+	}
+}
+
+func TestHITSSQLQueryText(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 20, M: 70, Directed: true, Skew: 2.0, Seed: 54})
+	wantHub, wantAuth := refimpl.HITS(g, 8)
+	eng := engine.New(engine.OracleLike())
+	loadGraphDB(t, eng, g)
+	out, _, err := Run(eng, algos.HITSSQL(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range out.Tuples {
+		id := tu[0].AsInt()
+		if math.Abs(tu[1].AsFloat()-wantHub[id]) > 1e-9 || math.Abs(tu[2].AsFloat()-wantAuth[id]) > 1e-9 {
+			t.Fatalf("HITS[%d] = (%v, %v), want (%v, %v)", id, tu[1], tu[2], wantHub[id], wantAuth[id])
+		}
+	}
+}
+
+func TestSSSPSQLQueryText(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 25, M: 80, Directed: true, Skew: 2.0, Seed: 55})
+	for i := range g.Edges {
+		g.Edges[i].W = float64(1 + i%3)
+	}
+	want := refimpl.BellmanFord(g, 2)
+	eng := engine.New(engine.OracleLike())
+	loadGraphDB(t, eng, g)
+	out, _, err := Run(eng, algos.SSSPSQL(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range out.Tuples {
+		id := tu[0].AsInt()
+		got := tu[1].AsFloat()
+		if math.IsInf(want[id], 1) {
+			if got < 1e17 {
+				t.Fatalf("dist[%d] = %v, want unreachable", id, got)
+			}
+			continue
+		}
+		if got != want[id] {
+			t.Fatalf("dist[%d] = %v, want %v", id, got, want[id])
+		}
+	}
+}
+
+func TestWCCSQLQueryText(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 40, M: 60, Directed: true, Skew: 2.0, Seed: 56})
+	want := refimpl.WCC(g)
+	// WCCSQL needs both directions in E.
+	eng := engine.New(engine.OracleLike())
+	loadGraphDB(t, eng, g.Symmetrize())
+	out, _, err := Run(eng, algos.WCCSQL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range out.Tuples {
+		if tu[1].AsInt() != want[tu[0].AsInt()] {
+			t.Fatalf("label[%v] = %v, want %d", tu[0], tu[1], want[tu[0].AsInt()])
+		}
+	}
+}
+
+func TestBFSSQLQueryText(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 30, M: 60, Directed: true, Skew: 2.0, Seed: 57})
+	want := refimpl.BFS(g, 0)
+	eng := engine.New(engine.PostgresLike(false))
+	loadGraphDB(t, eng, g)
+	out, _, err := Run(eng, algos.BFSSQL(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range out.Tuples {
+		if tu[1].AsFloat() != want[tu[0].AsInt()] {
+			t.Fatalf("reach[%v] = %v, want %v", tu[0], tu[1], want[tu[0].AsInt()])
+		}
+	}
+}
+
+func TestLPSQLQueryText(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 35, M: 120, Directed: true, Skew: 2.0, Seed: 58, NumLabels: 4})
+	want := refimpl.LabelPropagation(g, 10)
+	eng := engine.New(engine.OracleLike())
+	loadGraphDB(t, eng, g)
+	labels := relation.New(schema.Schema{
+		{Name: "ID", Type: value.KindInt}, {Name: "lbl", Type: value.KindInt},
+	})
+	for i := 0; i < g.N; i++ {
+		labels.AppendVals(value.Int(int64(i)), value.Int(int64(g.Labels[i])))
+	}
+	if _, err := eng.LoadBase("VL", labels); err != nil {
+		t.Fatal(err)
+	}
+	out, trace, err := Run(eng, algos.LPSQL(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Iterations > 10 {
+		t.Errorf("iterations = %d", trace.Iterations)
+	}
+	got := map[int64]int64{}
+	for _, tu := range out.Tuples {
+		got[tu[0].AsInt()] = tu[1].AsInt()
+	}
+	for v, l := range want {
+		if got[int64(v)] != int64(l) {
+			t.Fatalf("label[%d] = %d, want %d", v, got[int64(v)], l)
+		}
+	}
+}
+
+func TestKCoreSQLQueryText(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 50, M: 260, Directed: false, Skew: 2.2, Seed: 59})
+	want := refimpl.KCore(g, 5)
+	eng := engine.New(engine.DB2Like())
+	loadGraphDB(t, eng, g) // already symmetric (undirected generator)
+	out, _, err := Run(eng, algos.KCoreSQL(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]bool{}
+	for _, tu := range out.Tuples {
+		got[tu[0].AsInt()] = true
+	}
+	for v, alive := range want {
+		if got[int64(v)] != alive {
+			t.Fatalf("core[%d] = %v, want %v", v, got[int64(v)], alive)
+		}
+	}
+}
+
+func TestKSSQLQueryText(t *testing.T) {
+	g := graph.Generate(graph.GenSpec{N: 40, M: 120, Directed: true, Skew: 2.0, Seed: 60, NumLabels: 5})
+	query := []int32{0, 1, 2}
+	want := refimpl.KeywordSearch(g, query, 4)
+	eng := engine.New(engine.PostgresLike(true))
+	loadGraphDB(t, eng, g)
+	initRel := relation.New(schema.Schema{
+		{Name: "ID", Type: value.KindInt},
+		{Name: "b0", Type: value.KindInt},
+		{Name: "b1", Type: value.KindInt},
+		{Name: "b2", Type: value.KindInt},
+	})
+	for i := 0; i < g.N; i++ {
+		row := relation.Tuple{value.Int(int64(i)), value.Int(0), value.Int(0), value.Int(0)}
+		for qi, q := range query {
+			if g.Labels[i] == q {
+				row[qi+1] = value.Int(1)
+			}
+		}
+		initRel.Append(row)
+	}
+	if _, err := eng.LoadBase("KInit", initRel); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Run(eng, algos.KSSQL(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range out.Tuples {
+		id := tu[0].AsInt()
+		full := tu[1].AsInt() == 1 && tu[2].AsInt() == 1 && tu[3].AsInt() == 1
+		if full != want[id] {
+			t.Fatalf("root[%d] = %v, want %v", id, full, want[id])
+		}
+	}
+}
