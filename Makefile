@@ -1,0 +1,17 @@
+# Convenience targets; see README.md.
+
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# check runs the full verification gate: vet, tests, and a race-detector
+# pass over the morsel-parallel executor packages.
+check:
+	./scripts/check.sh
+
+bench:
+	go test -bench . -benchtime 1x .

@@ -225,6 +225,41 @@ func BenchmarkMVJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkFusedMVJoin is the ablation for the iteration-aware executor:
+// the materializing EquiJoin+GroupBy plan versus the fused kernel probing a
+// prebuilt (cached) build-side index, serial and morsel-parallel. The fused
+// rows also show what an iteration costs once the index build has been paid
+// (the steady state of every iterative algorithm on the hash profiles).
+func BenchmarkFusedMVJoin(b *testing.B) {
+	g := benchGraph("WG")
+	eRel := g.EdgeRelation()
+	vRel := g.NodeRelation(func(i int) float64 { return float64(i) })
+	sr := semiring.PlusTimes()
+	b.Run("materialize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ra.MVJoin(eRel, vRel, ra.EdgeMat(), ra.NodeVec(), 0, 1, sr, ra.HashJoin); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	idx := relation.BuildHashIndex(eRel, []int{0})
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("fused-workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ra.FusedMVJoin(eRel, vRel, idx, nil, ra.EdgeMat(), ra.NodeVec(), 1, sr, w)
+			}
+		})
+	}
+	dict := relation.BuildColumnDict(eRel, 1)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("fused-dict-workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ra.FusedMVJoin(eRel, vRel, idx, dict, ra.EdgeMat(), ra.NodeVec(), 1, sr, w)
+			}
+		})
+	}
+}
+
 // BenchmarkJoinAlgorithms compares the physical joins behind the profiles
 // (hash vs sort-merge vs index-merge), the mechanism driving Fig. 10.
 func BenchmarkJoinAlgorithms(b *testing.B) {

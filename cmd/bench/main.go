@@ -22,24 +22,31 @@ import (
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment to run (all, table1..table7, fig7, fig8, fig10..fig13, resources)")
-		nodes = flag.Int("nodes", 0, "scaled dataset node count (0 = default)")
-		seed  = flag.Int64("seed", 1, "dataset generator seed")
-		iters = flag.Int("iters", 0, "fixed iterations for PR/HITS/LP (0 = paper's 15)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		which    = flag.String("exp", "all", "experiment to run (all, table1..table7, fig7, fig8, fig10..fig13, resources, opcounts, perf)")
+		nodes    = flag.Int("nodes", 0, "scaled dataset node count (0 = default)")
+		seed     = flag.Int64("seed", 1, "dataset generator seed")
+		iters    = flag.Int("iters", 0, "fixed iterations for PR/HITS/LP (0 = paper's 15)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		workers  = flag.Int("workers", 1, "morsel-parallel probe workers (1 = serial, paper-faithful)")
+		nofusion = flag.Bool("nofusion", false, "disable fused MV-/MM-join kernels and the index cache (A/B baseline)")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (perf experiment)")
 	)
 	flag.Parse()
-	cfg := exp.Config{Nodes: *nodes, Seed: *seed, Iters: *iters}
+	cfg := exp.Config{Nodes: *nodes, Seed: *seed, Iters: *iters, Workers: *workers, NoFusion: *nofusion}
 	asCSV = *csv
+	asJSON = *jsonOut
 	if err := run(strings.ToLower(*which), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-// asCSV switches output format (set from the -csv flag; variable so tests
-// can exercise both).
-var asCSV bool
+// asCSV and asJSON switch output format (set from -csv / -json; variables so
+// tests can exercise all modes).
+var (
+	asCSV  bool
+	asJSON bool
+)
 
 func run(which string, cfg exp.Config) error {
 	show := func(t *exp.Table, err error) error {
@@ -90,6 +97,21 @@ func run(which string, cfg exp.Config) error {
 		{"fig13", func() error { return showAll(exp.TCAndAPSPTables(cfg)) }},
 		{"resources", func() error { return show(exp.ResourceTable(cfg)) }},
 		{"opcounts", func() error { return show(exp.OperatorCountTable(cfg)) }},
+		{"perf", func() error {
+			recs, err := exp.PerfRecords(cfg)
+			if err != nil {
+				return err
+			}
+			if asJSON {
+				s, err := exp.PerfJSON(recs)
+				if err != nil {
+					return err
+				}
+				fmt.Println(s)
+				return nil
+			}
+			return show(exp.PerfTable(recs), nil)
+		}},
 	}
 	for _, s := range steps {
 		if err := step(s.name, s.f); err != nil {

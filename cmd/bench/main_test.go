@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/exp"
@@ -27,5 +28,51 @@ func TestRunCSVMode(t *testing.T) {
 	defer func() { asCSV = false }()
 	if err := run("table1", tiny()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunPerfJSON(t *testing.T) {
+	asJSON = true
+	defer func() { asJSON = false }()
+	if err := run("perf", tiny()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfRecordsShape(t *testing.T) {
+	cfg := tiny()
+	recs, err := exp.PerfRecords(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no perf records")
+	}
+	for _, r := range recs {
+		if r.Name == "" || r.Profile == "" || r.Dataset == "" {
+			t.Errorf("incomplete record: %+v", r)
+		}
+		if r.NsOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("non-positive timing/iters: %+v", r)
+		}
+		if !r.Fusion {
+			t.Errorf("default config must run fused: %+v", r)
+		}
+	}
+	s, err := exp.PerfJSON(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "\"index_builds\"") || !strings.Contains(s, "\"tuples_materialized\"") {
+		t.Error("JSON missing counter fields")
+	}
+	// The -nofusion baseline must flag itself.
+	cfg.NoFusion = true
+	recs2, err := exp.PerfRecords(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs2[0].Fusion {
+		t.Error("NoFusion config must emit fusion=false")
 	}
 }

@@ -21,8 +21,8 @@ type Stats struct {
 	Analyzed bool
 }
 
-// Table is a named relation with physical storage, optional sorted indexes,
-// and statistics.
+// Table is a named relation with physical storage, optional sorted and hash
+// indexes, and statistics.
 type Table struct {
 	Name  string
 	Sch   schema.Schema
@@ -30,8 +30,33 @@ type Table struct {
 	Temp  bool
 	Stats Stats
 
-	indexes map[string]*relation.SortedIndex
-	cache   *relation.Relation // materialization cache, invalidated on write
+	// version counts writes: every invalidation (insert, truncate, rename)
+	// bumps it. Cached access structures are keyed on it, so an index built
+	// for one version is never served after the table changes — the
+	// mechanism behind iteration-aware join execution: a hash index built on
+	// an immutable base table survives every iteration of a WITH+ loop,
+	// while temp-table indexes are rebuilt exactly when the table is.
+	version uint64
+
+	indexes     map[string]*relation.SortedIndex
+	hashIndexes map[string]hashIndexEntry
+	dicts       map[int]dictEntry
+	cache       *relation.Relation // materialization cache, invalidated on write
+}
+
+// hashIndexEntry pairs a cached build-side hash index with the table version
+// it was built at. The map is dropped wholesale on invalidation; the stored
+// version is a second line of defense against serving a stale index.
+type hashIndexEntry struct {
+	idx     *relation.HashIndex
+	version uint64
+}
+
+// dictEntry caches a column dictionary the same way hashIndexEntry caches a
+// hash index: dropped on invalidation, version-checked on serve.
+type dictEntry struct {
+	dict    *relation.ColumnDict
+	version uint64
 }
 
 // Catalog is a set of tables sharing a buffer pool and WAL.
@@ -113,6 +138,9 @@ func (c *Catalog) Drop(name string) error {
 
 // RenameTable renames old to new (the ALTER TABLE ... RENAME used by the
 // drop/alter union-by-update implementation). The new name must be free.
+// The rename invalidates the table's caches: the materialization cache holds
+// a schema qualified with the old name, and any column references resolved
+// against it would silently keep resolving post-rename.
 func (c *Catalog) RenameTable(old, new string) error {
 	t, ok := c.tables[old]
 	if !ok {
@@ -123,6 +151,7 @@ func (c *Catalog) RenameTable(old, new string) error {
 	}
 	delete(c.tables, old)
 	t.Name = new
+	t.invalidate()
 	c.tables[new] = t
 	return nil
 }
@@ -243,8 +272,77 @@ func (t *Table) Index(cols []int) *relation.SortedIndex {
 	return t.indexes[indexKey(cols)]
 }
 
+// Version returns the table's write counter. It increases monotonically on
+// every content or identity change (insert, truncate, rename).
+func (t *Table) Version() uint64 { return t.version }
+
+// EnsureHashIndex returns a build-side hash index on cols, building it only
+// when no index for the current table version is cached. hit reports whether
+// the cache served the request — the counter feed for the engine's
+// IndexBuilds/IndexCacheHits statistics. For an immutable base table inside
+// an iterative algorithm this makes the hash join's build phase run once per
+// table instead of once per iteration.
+func (t *Table) EnsureHashIndex(cols []int) (idx *relation.HashIndex, hit bool, err error) {
+	key := indexKey(cols)
+	if e, ok := t.hashIndexes[key]; ok && e.version == t.version {
+		return e.idx, true, nil
+	}
+	r, err := t.Materialize()
+	if err != nil {
+		return nil, false, err
+	}
+	built := relation.BuildHashIndex(r, cols)
+	if t.hashIndexes == nil {
+		t.hashIndexes = make(map[string]hashIndexEntry)
+	}
+	t.hashIndexes[key] = hashIndexEntry{idx: built, version: t.version}
+	return built, false, nil
+}
+
+// HashIndex returns a previously built hash index on cols valid for the
+// current table version, or nil.
+func (t *Table) HashIndex(cols []int) *relation.HashIndex {
+	if e, ok := t.hashIndexes[indexKey(cols)]; ok && e.version == t.version {
+		return e.idx
+	}
+	return nil
+}
+
+// EnsureColumnDict returns a dictionary encoding of the column, built only
+// when none is cached for the current table version. hit reports whether the
+// cache served the request. The fused aggregate-join kernels use the dict of
+// the build side's group column, so like the hash index it is built once per
+// version of an immutable base table and reused by every iteration.
+func (t *Table) EnsureColumnDict(col int) (dict *relation.ColumnDict, hit bool, err error) {
+	if e, ok := t.dicts[col]; ok && e.version == t.version {
+		return e.dict, true, nil
+	}
+	r, err := t.Materialize()
+	if err != nil {
+		return nil, false, err
+	}
+	built := relation.BuildColumnDict(r, col)
+	if t.dicts == nil {
+		t.dicts = make(map[int]dictEntry)
+	}
+	t.dicts[col] = dictEntry{dict: built, version: t.version}
+	return built, false, nil
+}
+
+// ColumnDict returns a previously built dictionary on col valid for the
+// current table version, or nil.
+func (t *Table) ColumnDict(col int) *relation.ColumnDict {
+	if e, ok := t.dicts[col]; ok && e.version == t.version {
+		return e.dict
+	}
+	return nil
+}
+
 func (t *Table) invalidate() {
+	t.version++
 	t.cache = nil
 	t.indexes = nil
+	t.hashIndexes = nil
+	t.dicts = nil
 	t.Stats.Analyzed = false
 }

@@ -181,3 +181,164 @@ func TestTruncateResetsEverything(t *testing.T) {
 		t.Error("truncate should clear rows, stats, and indexes")
 	}
 }
+
+func TestVersionBumpsOnEveryWrite(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("t", sch(), StoreMem, true)
+	v0 := tab.Version()
+	tab.Insert(tu(1, 1))
+	v1 := tab.Version()
+	if v1 <= v0 {
+		t.Error("Insert must bump the version")
+	}
+	r := relation.New(sch())
+	r.Append(tu(2, 2))
+	tab.InsertRelation(r)
+	v2 := tab.Version()
+	if v2 <= v1 {
+		t.Error("InsertRelation must bump the version")
+	}
+	tab.Truncate()
+	v3 := tab.Version()
+	if v3 <= v2 {
+		t.Error("Truncate must bump the version")
+	}
+	if err := c.RenameTable("t", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Version() <= v3 {
+		t.Error("RenameTable must bump the version")
+	}
+}
+
+func TestEnsureHashIndexLifecycle(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("t", sch(), StoreMem, true)
+	tab.Insert(tu(3, 0))
+	tab.Insert(tu(1, 1))
+	idx, hit, err := tab.EnsureHashIndex([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first build must be a miss")
+	}
+	idx2, hit, _ := tab.EnsureHashIndex([]int{0})
+	if !hit || idx2 != idx {
+		t.Error("second request must hit the cache with the same index")
+	}
+	if tab.HashIndex([]int{0}) != idx || tab.HashIndex([]int{1}) != nil {
+		t.Error("HashIndex lookup wrong")
+	}
+	tab.Insert(tu(0, 2))
+	if tab.HashIndex([]int{0}) != nil {
+		t.Error("write must invalidate the hash-index cache")
+	}
+	idx3, hit, _ := tab.EnsureHashIndex([]int{0})
+	if hit || idx3 == idx {
+		t.Error("post-write request must rebuild")
+	}
+	if idx3.Rel().Len() != 3 {
+		t.Error("rebuilt index must cover all rows")
+	}
+}
+
+func TestEnsureColumnDictLifecycle(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("t", sch(), StoreMem, true)
+	tab.Insert(tu(7, 0))
+	tab.Insert(tu(5, 1))
+	tab.Insert(tu(7, 2))
+	d, hit, err := tab.EnsureColumnDict(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first build must be a miss")
+	}
+	if len(d.Keys) != 2 || d.Ords[0] != d.Ords[2] || d.Ords[0] == d.Ords[1] {
+		t.Errorf("dict encoding wrong: keys=%v ords=%v", d.Keys, d.Ords)
+	}
+	d2, hit, _ := tab.EnsureColumnDict(0)
+	if !hit || d2 != d {
+		t.Error("second request must hit the cache with the same dict")
+	}
+	tab.Insert(tu(9, 3))
+	if tab.ColumnDict(0) != nil {
+		t.Error("write must invalidate the dict cache")
+	}
+	d3, hit, _ := tab.EnsureColumnDict(0)
+	if hit || d3 == d {
+		t.Error("post-write request must rebuild")
+	}
+	if len(d3.Ords) != 4 || len(d3.Keys) != 3 {
+		t.Errorf("rebuilt dict must cover all rows: keys=%v ords=%v", d3.Keys, d3.Ords)
+	}
+}
+
+func TestInvalidationDropsBothIndexCaches(t *testing.T) {
+	build := func(tab *Table) {
+		tab.EnsureIndex([]int{0})
+		tab.EnsureHashIndex([]int{0})
+		tab.EnsureColumnDict(0)
+	}
+	check := func(t *testing.T, tab *Table, op string) {
+		t.Helper()
+		if tab.Index([]int{0}) != nil {
+			t.Errorf("%s left a stale sorted index", op)
+		}
+		if tab.HashIndex([]int{0}) != nil {
+			t.Errorf("%s left a stale hash index", op)
+		}
+		if tab.ColumnDict(0) != nil {
+			t.Errorf("%s left a stale column dict", op)
+		}
+	}
+	c := newCat()
+	tab, _ := c.Create("t", sch(), StoreMem, true)
+	tab.Insert(tu(1, 1))
+
+	build(tab)
+	tab.Insert(tu(2, 2))
+	check(t, tab, "Insert")
+
+	build(tab)
+	r := relation.New(sch())
+	r.Append(tu(3, 3))
+	tab.InsertRelation(r)
+	check(t, tab, "InsertRelation")
+
+	build(tab)
+	tab.Truncate()
+	check(t, tab, "Truncate")
+
+	tab.Insert(tu(4, 4))
+	build(tab)
+	if err := c.RenameTable("t", "t2"); err != nil {
+		t.Fatal(err)
+	}
+	check(t, tab, "RenameTable")
+}
+
+func TestRenameInvalidatesMaterializationCache(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("old", sch(), StoreMem, false)
+	tab.Insert(tu(1, 1))
+	r, err := tab.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sch[0].Table != "old" {
+		t.Fatalf("qualified table = %q", r.Sch[0].Table)
+	}
+	if err := c.RenameTable("old", "new"); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tab.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Sch[0].Table != "new" {
+		t.Errorf("materialization after rename still qualified %q", r2.Sch[0].Table)
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/ra"
@@ -12,14 +13,29 @@ import (
 	"repro/internal/value"
 )
 
-// Counters accumulate execution statistics for experiments and tests.
+// Counters accumulate execution statistics for experiments and tests. All
+// increments go through atomic adds so the morsel-parallel probe paths are
+// race-clean; read the fields directly only after the operations being
+// measured have returned.
 type Counters struct {
 	Joins     int64
 	GroupBys  int64
 	AntiJoins int64
 	UBUs      int64
 	Inserts   int64
+	// IndexBuilds counts hash- or sorted-index construction; IndexCacheHits
+	// counts joins served from the catalog's version-keyed index caches.
+	// In an iterative algorithm over an immutable base table, builds are
+	// O(1) per table and every further iteration is a hit.
+	IndexBuilds    int64
+	IndexCacheHits int64
+	// TuplesMaterialized counts tuples allocated for join intermediates
+	// (the EquiJoin output feeding GroupBy, plain engine joins). The fused
+	// MV-/MM-join kernels contribute zero here — the point of fusion.
+	TuplesMaterialized int64
 }
+
+func (c *Counters) add(field *int64, n int64) { atomic.AddInt64(field, n) }
 
 // Engine is one RDBMS instance: a profile, a catalog over its own buffer
 // pool and WAL, and execution helpers that apply the profile's plan choices.
@@ -27,6 +43,17 @@ type Engine struct {
 	Prof Profile
 	Cat  *catalog.Catalog
 	Cnt  Counters
+
+	// Parallelism is the worker count for the morsel-parallel probe paths
+	// (fused MV-/MM-join, hash-join probe partitioning). Values <= 1 run
+	// serial, keeping the paper-shape experiments byte-for-byte unchanged;
+	// cmd/bench exposes it as -workers.
+	Parallelism int
+
+	// DisableFusion forces the materialize-then-aggregate MV-/MM-join plan
+	// and fresh per-join index builds — the pre-fusion executor — for A/B
+	// measurements (cmd/bench -nofusion).
+	DisableFusion bool
 
 	disk *storage.Disk
 	pool *storage.BufferPool
@@ -107,7 +134,7 @@ func (e *Engine) LoadBase(name string, r *relation.Relation) (*catalog.Table, er
 	if err := t.InsertRelation(r); err != nil {
 		return nil, err
 	}
-	e.Cnt.Inserts += int64(r.Len())
+	e.Cnt.add(&e.Cnt.Inserts, int64(r.Len()))
 	t.Analyze()
 	return t, nil
 }
@@ -131,7 +158,7 @@ func (e *Engine) StoreInto(name string, r *relation.Relation) error {
 	if err := t.Truncate(); err != nil {
 		return err
 	}
-	e.Cnt.Inserts += int64(r.Len())
+	e.Cnt.add(&e.Cnt.Inserts, int64(r.Len()))
 	return t.InsertRelation(r)
 }
 
@@ -142,35 +169,72 @@ func (e *Engine) AppendInto(name string, r *relation.Relation) error {
 	if err != nil {
 		return err
 	}
-	e.Cnt.Inserts += int64(r.Len())
+	e.Cnt.add(&e.Cnt.Inserts, int64(r.Len()))
 	return t.InsertRelation(r)
 }
 
-// joinSpec resolves the physical algorithm and (for PostgreSQL-with-indexes)
-// the sorted indexes for an equi-join between two tables.
+// ensureHashIndex serves a table's cached build-side hash index, charging
+// the build or the cache hit to the counters.
+func (e *Engine) ensureHashIndex(t *catalog.Table, cols []int) (*relation.HashIndex, error) {
+	idx, hit, err := t.EnsureHashIndex(cols)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		e.Cnt.add(&e.Cnt.IndexCacheHits, 1)
+	} else {
+		e.Cnt.add(&e.Cnt.IndexBuilds, 1)
+	}
+	return idx, nil
+}
+
+// joinSpec resolves the physical algorithm and the pre-built indexes for an
+// equi-join between two tables: sorted indexes for
+// PostgreSQL-with-temp-indexes, and the cached build-side hash index for
+// the hash-join profiles (built once per table version, hit thereafter).
 func (e *Engine) joinSpec(a, b *catalog.Table, aCols, bCols []int) (ra.EquiJoinSpec, error) {
 	spec := ra.EquiJoinSpec{LeftCols: aCols, RightCols: bCols}
 	if a.Stats.Analyzed && b.Stats.Analyzed {
 		spec.Algo = e.Prof.BaseJoin
-		return spec, nil
+	} else {
+		spec.Algo = e.Prof.TempJoin
 	}
-	spec.Algo = e.Prof.TempJoin
 	if spec.Algo == ra.SortMergeJoin && e.Prof.UseTempIndexes {
 		spec.Algo = ra.IndexMergeJoin
-		li, err := a.EnsureIndex(aCols)
+		li, err := e.ensureSortedIndex(a, aCols)
 		if err != nil {
 			return spec, err
 		}
-		ri, err := b.EnsureIndex(bCols)
+		ri, err := e.ensureSortedIndex(b, bCols)
 		if err != nil {
 			return spec, err
 		}
 		spec.LeftIdx, spec.RightIdx = li, ri
 	}
+	if spec.Algo == ra.HashJoin && !e.DisableFusion {
+		ri, err := e.ensureHashIndex(b, bCols)
+		if err != nil {
+			return spec, err
+		}
+		spec.RightHash = ri
+	}
 	return spec, nil
 }
 
-// Join computes the equi-join of two tables under the profile's plan.
+// ensureSortedIndex mirrors ensureHashIndex for the sorted (B+-tree
+// stand-in) index cache.
+func (e *Engine) ensureSortedIndex(t *catalog.Table, cols []int) (*relation.SortedIndex, error) {
+	if t.Index(cols) != nil {
+		e.Cnt.add(&e.Cnt.IndexCacheHits, 1)
+		return t.Index(cols), nil
+	}
+	e.Cnt.add(&e.Cnt.IndexBuilds, 1)
+	return t.EnsureIndex(cols)
+}
+
+// Join computes the equi-join of two tables under the profile's plan. With
+// Parallelism > 1 and a hash plan, the probe side is partitioned across
+// workers over the shared build-side index.
 func (e *Engine) Join(a, b *catalog.Table, aCols, bCols []int) (*relation.Relation, error) {
 	ar, err := a.Materialize()
 	if err != nil {
@@ -184,12 +248,23 @@ func (e *Engine) Join(a, b *catalog.Table, aCols, bCols []int) (*relation.Relati
 	if err != nil {
 		return nil, err
 	}
-	e.Cnt.Joins++
-	return ra.EquiJoin(ar, br, spec), nil
+	e.Cnt.add(&e.Cnt.Joins, 1)
+	var out *relation.Relation
+	if e.Parallelism > 1 && spec.Algo == ra.HashJoin {
+		out = ra.EquiJoinParallel(ar, br, spec, e.Parallelism)
+	} else {
+		out = ra.EquiJoin(ar, br, spec)
+	}
+	e.Cnt.add(&e.Cnt.TuplesMaterialized, int64(out.Len()))
+	return out, nil
 }
 
 // MVJoin computes the aggregate-join of a matrix table and a vector table
-// (Eq. (4)) under the profile's plan.
+// (Eq. (4)) under the profile's plan. On the hash-join profiles the fused
+// kernel runs: a cached hash index on the matrix side's join column (built
+// once per table version — for the immutable edge table, once per
+// algorithm) is probed by the iteration's vector, and products fold
+// straight into the group table without materializing the join.
 func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin, aKeep int, sr semiring.Semiring) (*relation.Relation, error) {
 	ar, err := a.Materialize()
 	if err != nil {
@@ -199,17 +274,39 @@ func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin
 	if err != nil {
 		return nil, err
 	}
+	e.Cnt.add(&e.Cnt.Joins, 1)
+	e.Cnt.add(&e.Cnt.GroupBys, 1)
+	if e.fusible(a, c) {
+		idx, err := e.ensureHashIndex(a, []int{aJoin})
+		if err != nil {
+			return nil, err
+		}
+		// The group-column dictionary rides the same per-version cache as
+		// the index; it is an executor memo, not a user-visible index, so it
+		// is not charged to the IndexBuilds counter.
+		dict, _, err := a.EnsureColumnDict(aKeep)
+		if err != nil {
+			return nil, err
+		}
+		out := ra.FusedMVJoin(ar, cr, idx, dict, ac, cc, aKeep, sr, e.Parallelism)
+		out.Sch = schema.Schema{
+			{Name: "ID", Type: ar.Sch[aKeep].Type},
+			{Name: "vw"},
+		}
+		return out, nil
+	}
 	spec, err := e.joinSpec(a, c, []int{aJoin}, []int{cc.ID})
 	if err != nil {
 		return nil, err
 	}
-	e.Cnt.Joins++
-	e.Cnt.GroupBys++
-	return mvJoinWithSpec(ar, cr, ac, cc, aJoin, aKeep, sr, spec)
+	return e.mvJoinWithSpec(ar, cr, ac, cc, aJoin, aKeep, sr, spec)
 }
 
 // MMJoin computes the aggregate-join of two matrix tables (Eq. (3)) under
-// the profile's plan.
+// the profile's plan, fused on the hash-join profiles like MVJoin. The
+// build side is the analyzed (base) table when exactly one side is — its
+// cached index survives iterations — else the right side, matching the
+// hash join's build/probe orientation.
 func (e *Engine) MMJoin(a, b *catalog.Table, ac, bc ra.MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring) (*relation.Relation, error) {
 	ar, err := a.Materialize()
 	if err != nil {
@@ -219,13 +316,46 @@ func (e *Engine) MMJoin(a, b *catalog.Table, ac, bc ra.MatCols, aJoin, aKeep, bJ
 	if err != nil {
 		return nil, err
 	}
+	e.Cnt.add(&e.Cnt.Joins, 1)
+	e.Cnt.add(&e.Cnt.GroupBys, 1)
+	if e.fusible(a, b) {
+		idxOnLeft := a.Stats.Analyzed && !b.Stats.Analyzed
+		var idx *relation.HashIndex
+		if idxOnLeft {
+			idx, err = e.ensureHashIndex(a, []int{aJoin})
+		} else {
+			idx, err = e.ensureHashIndex(b, []int{bJoin})
+		}
+		if err != nil {
+			return nil, err
+		}
+		out := ra.FusedMMJoin(ar, br, idx, idxOnLeft, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, e.Parallelism)
+		out.Sch = schema.Schema{
+			{Name: "F", Type: ar.Sch[aKeep].Type},
+			{Name: "T", Type: br.Sch[bKeep].Type},
+			{Name: "ew"},
+		}
+		return out, nil
+	}
 	spec, err := e.joinSpec(a, b, []int{aJoin}, []int{bJoin})
 	if err != nil {
 		return nil, err
 	}
-	e.Cnt.Joins++
-	e.Cnt.GroupBys++
-	return mmJoinWithSpec(ar, br, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, spec)
+	return e.mmJoinWithSpec(ar, br, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, spec)
+}
+
+// fusible reports whether the profile's plan for this table pair is a hash
+// join — the only plan the fused kernels implement. The sort-merge plans of
+// the PostgreSQL-like profile keep the materializing path so the paper's
+// plan-choice experiments (Fig. 10) still measure what they measured.
+func (e *Engine) fusible(a, b *catalog.Table) bool {
+	if e.DisableFusion {
+		return false
+	}
+	if a.Stats.Analyzed && b.Stats.Analyzed {
+		return e.Prof.BaseJoin == ra.HashJoin
+	}
+	return e.Prof.TempJoin == ra.HashJoin
 }
 
 // AntiJoin computes r ▷ s between two tables with the chosen SQL
@@ -239,7 +369,7 @@ func (e *Engine) AntiJoin(r, s *catalog.Table, rCols, sCols []int, impl ra.AntiJ
 	if err != nil {
 		return nil, err
 	}
-	e.Cnt.AntiJoins++
+	e.Cnt.add(&e.Cnt.AntiJoins, 1)
 	return ra.AntiJoin(rr, sr, rCols, sCols, impl), nil
 }
 
@@ -255,7 +385,7 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 	if err != nil {
 		return err
 	}
-	e.Cnt.UBUs++
+	e.Cnt.add(&e.Cnt.UBUs, 1)
 	if impl == ra.UBUReplace {
 		temp := t.Temp
 		sch := t.Sch
@@ -270,7 +400,7 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 		if err != nil {
 			return err
 		}
-		e.Cnt.Inserts += int64(s.Len())
+		e.Cnt.add(&e.Cnt.Inserts, int64(s.Len()))
 		return nt.InsertRelation(s)
 	}
 	cur, err := t.Materialize()
@@ -285,10 +415,11 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 		idx := relation.BuildHashIndex(cur, keyCols)
 		var scratch []byte
 		for _, st := range s.Tuples {
-			for _, row := range idx.Probe(st, keyCols) {
+			idx.ProbeEach(st, keyCols, func(row int) bool {
 				scratch = storage.EncodeTuple(scratch[:0], cur.Tuples[row])
 				e.wal.Append(scratch)
-			}
+				return true
+			})
 		}
 	}
 	updated, err := ra.UnionByUpdate(cur, s, keyCols, impl)
@@ -298,15 +429,23 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 	return e.StoreInto(target, updated)
 }
 
-// mvJoinWithSpec mirrors ra.MVJoin but honors a caller-supplied join spec.
-func mvJoinWithSpec(ar, cr *relation.Relation, ac ra.MatCols, cc ra.VecCols, aJoin, aKeep int, sr semiring.Semiring, spec ra.EquiJoinSpec) (*relation.Relation, error) {
-	joined := ra.EquiJoin(ar, cr, spec)
+// mvJoinWithSpec mirrors ra.MVJoin but honors a caller-supplied join spec —
+// the materializing (non-fused) plan, counting the join intermediate. With
+// Parallelism > 1 on a hash plan it runs the partitioned probe and parallel
+// ⊕-group-by instead of the serial operators.
+func (e *Engine) mvJoinWithSpec(ar, cr *relation.Relation, ac ra.MatCols, cc ra.VecCols, aJoin, aKeep int, sr semiring.Semiring, spec ra.EquiJoinSpec) (*relation.Relation, error) {
+	var joined *relation.Relation
+	if e.Parallelism > 1 && spec.Algo == ra.HashJoin {
+		joined = ra.EquiJoinParallel(ar, cr, spec, e.Parallelism)
+	} else {
+		joined = ra.EquiJoin(ar, cr, spec)
+	}
+	e.Cnt.add(&e.Cnt.TuplesMaterialized, int64(joined.Len()))
 	cOff := ar.Sch.Arity()
-	out, err := ra.GroupBy(joined, []int{aKeep}, []ra.AggSpec{
-		ra.SemiringAgg(schema.Column{Name: "vw"}, sr, func(t relation.Tuple) (value.Value, error) {
-			return sr.Times(t[ac.W], t[cOff+cc.W]), nil
-		}),
+	agg := ra.SemiringAgg(schema.Column{Name: "vw"}, sr, func(t relation.Tuple) (value.Value, error) {
+		return sr.Times(t[ac.W], t[cOff+cc.W]), nil
 	})
+	out, err := e.groupBySpec(joined, []int{aKeep}, agg, sr, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -317,15 +456,21 @@ func mvJoinWithSpec(ar, cr *relation.Relation, ac ra.MatCols, cc ra.VecCols, aJo
 	return out, nil
 }
 
-// mmJoinWithSpec mirrors ra.MMJoin but honors a caller-supplied join spec.
-func mmJoinWithSpec(ar, br *relation.Relation, ac, bc ra.MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring, spec ra.EquiJoinSpec) (*relation.Relation, error) {
-	joined := ra.EquiJoin(ar, br, spec)
+// mmJoinWithSpec mirrors ra.MMJoin but honors a caller-supplied join spec;
+// see mvJoinWithSpec.
+func (e *Engine) mmJoinWithSpec(ar, br *relation.Relation, ac, bc ra.MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring, spec ra.EquiJoinSpec) (*relation.Relation, error) {
+	var joined *relation.Relation
+	if e.Parallelism > 1 && spec.Algo == ra.HashJoin {
+		joined = ra.EquiJoinParallel(ar, br, spec, e.Parallelism)
+	} else {
+		joined = ra.EquiJoin(ar, br, spec)
+	}
+	e.Cnt.add(&e.Cnt.TuplesMaterialized, int64(joined.Len()))
 	bOff := ar.Sch.Arity()
-	out, err := ra.GroupBy(joined, []int{aKeep, bOff + bKeep}, []ra.AggSpec{
-		ra.SemiringAgg(schema.Column{Name: "ew"}, sr, func(t relation.Tuple) (value.Value, error) {
-			return sr.Times(t[ac.W], t[bOff+bc.W]), nil
-		}),
+	agg := ra.SemiringAgg(schema.Column{Name: "ew"}, sr, func(t relation.Tuple) (value.Value, error) {
+		return sr.Times(t[ac.W], t[bOff+bc.W]), nil
 	})
+	out, err := e.groupBySpec(joined, []int{aKeep, bOff + bKeep}, agg, sr, 2)
 	if err != nil {
 		return nil, err
 	}
@@ -335,6 +480,26 @@ func mmJoinWithSpec(ar, br *relation.Relation, ac, bc ra.MatCols, aJoin, aKeep, 
 		{Name: "ew"},
 	}
 	return out, nil
+}
+
+// groupBySpec runs the ⊕-group-by of the materializing MV-/MM-join plan,
+// parallel when Parallelism > 1. aggCol is the aggregate's position in the
+// output tuples (== number of group columns).
+func (e *Engine) groupBySpec(joined *relation.Relation, groupCols []int, agg ra.AggSpec, sr semiring.Semiring, aggCol int) (*relation.Relation, error) {
+	if e.Parallelism > 1 {
+		return ra.SemiringGroupByParallel(joined, groupCols, agg, func(acc, t relation.Tuple) error {
+			a, b := acc[aggCol], t[aggCol]
+			switch {
+			case b.IsNull():
+			case a.IsNull():
+				acc[aggCol] = b
+			default:
+				acc[aggCol] = sr.Plus(a, b)
+			}
+			return nil
+		}, e.Parallelism)
+	}
+	return ra.GroupBy(joined, groupCols, []ra.AggSpec{agg})
 }
 
 // String describes the engine.

@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/value"
+)
+
+func cycleEdges(n int) [][2]int64 {
+	var out [][2]int64
+	for i := int64(0); i < int64(n); i++ {
+		out = append(out, [2]int64{i, (i + 1) % int64(n)})
+		out = append(out, [2]int64{i, (i + 3) % int64(n)})
+	}
+	return out
+}
+
+func mvMap(r *relation.Relation) map[int64]float64 {
+	m := make(map[int64]float64, r.Len())
+	for _, t := range r.Tuples {
+		m[t[0].AsInt()] = t[1].AsFloat()
+	}
+	return m
+}
+
+func mmMap(r *relation.Relation) map[[2]int64]float64 {
+	m := make(map[[2]int64]float64, r.Len())
+	for _, t := range r.Tuples {
+		m[[2]int64{t[0].AsInt(), t[1].AsInt()}] = t[2].AsFloat()
+	}
+	return m
+}
+
+// TestMVJoinIndexCacheCounters is the tentpole's acceptance shape in miniature:
+// across an iterative MV-join loop the matrix-side hash index is built once
+// (IndexBuilds stays at 1) and every further iteration is a cache hit, even
+// though the vector table is rewritten between iterations.
+func TestMVJoinIndexCacheCounters(t *testing.T) {
+	for _, prof := range []Profile{OracleLike(), DB2Like()} {
+		e := New(prof)
+		if _, err := e.LoadBase("E", edgeRel(cycleEdges(8))); err != nil {
+			t.Fatal(err)
+		}
+		vsch := schema.Schema{{Name: "ID", Type: value.KindInt}, {Name: "vw", Type: value.KindFloat}}
+		if _, err := e.CreateTemp("V", vsch); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.StoreInto("V", nodeRel(8, func(int) float64 { return 1 })); err != nil {
+			t.Fatal(err)
+		}
+		et, _ := e.Cat.Get("E")
+		vt, _ := e.Cat.Get("V")
+		const iters = 5
+		for it := 0; it < iters; it++ {
+			out, err := e.MVJoin(et, vt, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Rewrite the vector, as every iteration of Eq. (9) does.
+			if err := e.StoreInto("V", out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if e.Cnt.IndexBuilds != 1 {
+			t.Errorf("%s: IndexBuilds = %d over %d iterations, want 1 (O(1) per base table)",
+				prof.Name, e.Cnt.IndexBuilds, iters)
+		}
+		if e.Cnt.IndexCacheHits != iters-1 {
+			t.Errorf("%s: IndexCacheHits = %d, want %d", prof.Name, e.Cnt.IndexCacheHits, iters-1)
+		}
+		if e.Cnt.TuplesMaterialized != 0 {
+			t.Errorf("%s: fused loop materialized %d join tuples, want 0",
+				prof.Name, e.Cnt.TuplesMaterialized)
+		}
+		// A write to the base table must force a rebuild.
+		if err := e.AppendInto("E", edgeRel([][2]int64{{0, 5}})); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.MVJoin(et, vt, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes()); err != nil {
+			t.Fatal(err)
+		}
+		if e.Cnt.IndexBuilds != 2 {
+			t.Errorf("%s: IndexBuilds after base write = %d, want 2", prof.Name, e.Cnt.IndexBuilds)
+		}
+	}
+}
+
+// TestDisableFusionMaterializesAndRebuilds pins the -nofusion A/B baseline:
+// the legacy plan materializes the join intermediate and rebuilds the build
+// side every iteration (no cache hits charged).
+func TestDisableFusionMaterializesAndRebuilds(t *testing.T) {
+	e := New(OracleLike())
+	e.DisableFusion = true
+	if _, err := e.LoadBase("E", edgeRel(cycleEdges(8))); err != nil {
+		t.Fatal(err)
+	}
+	vsch := schema.Schema{{Name: "ID", Type: value.KindInt}, {Name: "vw", Type: value.KindFloat}}
+	if _, err := e.CreateTemp("V", vsch); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StoreInto("V", nodeRel(8, func(int) float64 { return 1 })); err != nil {
+		t.Fatal(err)
+	}
+	et, _ := e.Cat.Get("E")
+	vt, _ := e.Cat.Get("V")
+	for it := 0; it < 3; it++ {
+		if _, err := e.MVJoin(et, vt, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Cnt.IndexBuilds != 0 || e.Cnt.IndexCacheHits != 0 {
+		t.Errorf("disabled fusion must not touch the index cache: builds=%d hits=%d",
+			e.Cnt.IndexBuilds, e.Cnt.IndexCacheHits)
+	}
+	if e.Cnt.TuplesMaterialized == 0 {
+		t.Error("legacy plan must count materialized join tuples")
+	}
+}
+
+// TestFusedMatchesLegacyAcrossProfiles runs the same MV- and MM-joins on a
+// fused engine and a DisableFusion engine for every profile and semiring; the
+// results must agree (exactly for the discrete semirings, within 1e-9 for the
+// float-summing one).
+func TestFusedMatchesLegacyAcrossProfiles(t *testing.T) {
+	edges := cycleEdges(12)
+	for _, prof := range allProfiles() {
+		for _, sr := range semiring.All() {
+			fused := New(prof)
+			legacy := New(prof)
+			legacy.DisableFusion = true
+			var mvF, mvL map[int64]float64
+			var mmF, mmL map[[2]int64]float64
+			for _, e := range []*Engine{fused, legacy} {
+				if _, err := e.LoadBase("E", edgeRel(edges)); err != nil {
+					t.Fatal(err)
+				}
+				vsch := schema.Schema{{Name: "ID", Type: value.KindInt}, {Name: "vw", Type: value.KindFloat}}
+				if _, err := e.CreateTemp("V", vsch); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.StoreInto("V", nodeRel(12, func(i int) float64 { return float64(i%3 + 1) })); err != nil {
+					t.Fatal(err)
+				}
+				et, _ := e.Cat.Get("E")
+				vt, _ := e.Cat.Get("V")
+				mv, err := e.MVJoin(et, vt, ra.EdgeMat(), ra.NodeVec(), 1, 0, sr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mm, err := e.MMJoin(et, et, ra.EdgeMat(), ra.EdgeMat(), 1, 0, 0, 1, sr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e == fused {
+					mvF, mmF = mvMap(mv), mmMap(mm)
+				} else {
+					mvL, mmL = mvMap(mv), mmMap(mm)
+				}
+			}
+			if len(mvF) != len(mvL) || len(mmF) != len(mmL) {
+				t.Fatalf("%s/%s: group counts differ (mv %d vs %d, mm %d vs %d)",
+					prof.Name, sr.Name, len(mvF), len(mvL), len(mmF), len(mmL))
+			}
+			for id, w := range mvL {
+				if math.Abs(mvF[id]-w) > 1e-9 {
+					t.Fatalf("%s/%s: mv[%d] = %g, want %g", prof.Name, sr.Name, id, mvF[id], w)
+				}
+			}
+			for k, w := range mmL {
+				if math.Abs(mmF[k]-w) > 1e-9 {
+					t.Fatalf("%s/%s: mm[%v] = %g, want %g", prof.Name, sr.Name, k, mmF[k], w)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelismMatchesSerial runs the fused and legacy paths with
+// Parallelism well above 1 and checks against the serial engine.
+func TestParallelismMatchesSerial(t *testing.T) {
+	edges := cycleEdges(40)
+	for _, nofusion := range []bool{false, true} {
+		serial := New(OracleLike())
+		par := New(OracleLike())
+		par.Parallelism = 4
+		serial.DisableFusion = nofusion
+		par.DisableFusion = nofusion
+		var mvS, mvP map[int64]float64
+		for _, e := range []*Engine{serial, par} {
+			if _, err := e.LoadBase("E", edgeRel(edges)); err != nil {
+				t.Fatal(err)
+			}
+			vsch := schema.Schema{{Name: "ID", Type: value.KindInt}, {Name: "vw", Type: value.KindFloat}}
+			if _, err := e.CreateTemp("V", vsch); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.StoreInto("V", nodeRel(40, func(i int) float64 { return float64(i) })); err != nil {
+				t.Fatal(err)
+			}
+			et, _ := e.Cat.Get("E")
+			vt, _ := e.Cat.Get("V")
+			mv, err := e.MVJoin(et, vt, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e == serial {
+				mvS = mvMap(mv)
+			} else {
+				mvP = mvMap(mv)
+			}
+			// The plain table join takes the partitioned-probe path too.
+			jo, err := e.Join(et, vt, []int{1}, []int{0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if jo.Len() != len(edges) {
+				t.Fatalf("parallel join rows = %d, want %d", jo.Len(), len(edges))
+			}
+		}
+		if len(mvS) != len(mvP) {
+			t.Fatalf("nofusion=%v: group counts differ", nofusion)
+		}
+		for id, w := range mvS {
+			if math.Abs(mvP[id]-w) > 1e-9 {
+				t.Fatalf("nofusion=%v: mv[%d] = %g, want %g", nofusion, id, mvP[id], w)
+			}
+		}
+	}
+}
+
+// TestEnsureTempReshapeDropsStaleState re-creates a temp table with a new
+// shape via EnsureTemp and checks the old table's cached index cannot leak
+// into plans against the new one.
+func TestEnsureTempReshapeDropsStaleState(t *testing.T) {
+	e := New(OracleLike())
+	sch2 := schema.Cols(value.KindInt, "a", "b")
+	t1, err := e.EnsureTemp("t", sch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1.Insert(relation.Tuple{value.Int(1), value.Int(2)})
+	if _, _, err := t1.EnsureHashIndex([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.EnsureTemp("t", schema.Cols(value.KindInt, "a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 == t1 {
+		t.Fatal("re-shape must produce a fresh table")
+	}
+	if t2.HashIndex([]int{0}) != nil {
+		t.Error("fresh table must not inherit the old hash index")
+	}
+	if t2.Rows() != 0 {
+		t.Error("fresh table must start empty")
+	}
+	// And the compatible path keeps the same table with its version intact.
+	t3, err := e.EnsureTemp("t", schema.Cols(value.KindInt, "x", "y", "z"))
+	if err != nil || t3 != t2 {
+		t.Error("union-compatible EnsureTemp must return the existing table")
+	}
+}

@@ -65,6 +65,13 @@ type Config struct {
 	Nodes int   // nodes per scaled dataset (default dataset.DefaultBenchNodes)
 	Seed  int64 // generator seed
 	Iters int   // fixed iterations for PR/HITS/LP (paper: 15)
+	// Workers is the engine's morsel-parallel worker count (<= 1: serial,
+	// the paper-faithful shape). cmd/bench exposes it as -workers.
+	Workers int
+	// NoFusion disables the fused MV-/MM-join kernels and the build-side
+	// index cache, restoring the materialize-then-aggregate executor for
+	// A/B comparisons. cmd/bench exposes it as -nofusion.
+	NoFusion bool
 }
 
 func (c Config) defaults() Config {
@@ -83,6 +90,16 @@ func ms(d time.Duration) string {
 
 // profiles returns the three engine profiles in presentation order.
 func profiles() []engine.Profile { return engine.Profiles() }
+
+// newEngine builds an engine for an experiment run, applying the config's
+// executor knobs (worker count, fusion on/off) uniformly so every table and
+// figure can be regenerated under either executor.
+func newEngine(prof engine.Profile, cfg Config) *engine.Engine {
+	e := engine.New(prof)
+	e.Parallelism = cfg.Workers
+	e.DisableFusion = cfg.NoFusion
+	return e
+}
 
 // Table1 reproduces the WITH-clause feature matrix.
 func Table1() *Table {
@@ -194,7 +211,7 @@ func UnionByUpdateTable(code string, cfg Config) (*Table, error) {
 				row = append(row, "-")
 				continue
 			}
-			e := engine.New(prof)
+			e := newEngine(prof, cfg)
 			start := time.Now()
 			if _, err := algos.RunPageRank(e, g, algos.Params{Iters: cfg.Iters, UBU: impl}); err != nil {
 				return nil, err
@@ -224,7 +241,7 @@ func AntiJoinTable(code string, cfg Config) (*Table, error) {
 	for _, impl := range []ra.AntiJoinImpl{ra.AntiNotExists, ra.AntiLeftOuter, ra.AntiNotIn} {
 		row := []string{impl.String()}
 		for _, prof := range profiles() {
-			e := engine.New(prof)
+			e := newEngine(prof, cfg)
 			start := time.Now()
 			if _, err := algos.RunTopoSort(e, g, algos.Params{Anti: impl}); err != nil {
 				return nil, err
@@ -275,7 +292,7 @@ func GraphAlgosTable(undirected bool, cfg Config) ([]*Table, error) {
 			}
 			row := []string{a.Code}
 			for _, prof := range profiles() {
-				e := engine.New(prof)
+				e := newEngine(prof, cfg)
 				p := algoParams(d.Code, cfg)
 				start := time.Now()
 				if _, err := a.Run(e, g, p); err != nil {

@@ -36,7 +36,7 @@ func IndexingTable(cfg Config) ([]*Table, error) {
 			p := algoParams(code, cfg)
 			var times [2]time.Duration
 			for i, withIdx := range []bool{false, true} {
-				e := engine.New(engine.PostgresLike(withIdx))
+				e := newEngine(engine.PostgresLike(withIdx), cfg)
 				start := time.Now()
 				if _, err := a.Run(e, g, p); err != nil {
 					return nil, fmt.Errorf("%s on %s: %w", a.Code, code, err)
@@ -70,7 +70,7 @@ func VsSystemsTable(cfg Config) ([]*Table, error) {
 			g := d.Generate(cfg.Nodes, cfg.Seed)
 			row := []string{d.Code}
 			// RDBMS path (Oracle-like, the paper's comparison engine).
-			e := engine.New(engine.OracleLike())
+			e := newEngine(engine.OracleLike(), cfg)
 			p := algoParams(d.Code, cfg)
 			start := time.Now()
 			var err error
@@ -138,11 +138,11 @@ func WithVsWithPlusPR(cfg Config) (*Table, error) {
 	}
 	g := d.Generate(cfg.Nodes, cfg.Seed)
 	iters := 14 // the paper's recursion depth for this experiment
-	legacy, err := algos.RunLegacyPageRank(engine.New(engine.PostgresLike(true)), g, algos.Params{Iters: iters})
+	legacy, err := algos.RunLegacyPageRank(newEngine(engine.PostgresLike(true), cfg), g, algos.Params{Iters: iters})
 	if err != nil {
 		return nil, err
 	}
-	plus, err := algos.RunPageRank(engine.New(engine.PostgresLike(true)), g, algos.Params{Iters: iters})
+	plus, err := algos.RunPageRank(newEngine(engine.PostgresLike(true), cfg), g, algos.Params{Iters: iters})
 	if err != nil {
 		return nil, err
 	}
@@ -175,11 +175,11 @@ func TCAndAPSPTables(cfg Config) ([]*Table, error) {
 	n := cfg.Nodes / 2
 	g := graph.Generate(graph.GenSpec{N: n, M: 3 * n, Directed: true, Skew: 2.4, Seed: cfg.Seed})
 	depth := 7
-	plus, err := algos.RunTC(engine.New(engine.OracleLike()), g, algos.Params{Depth: depth})
+	plus, err := algos.RunTC(newEngine(engine.OracleLike(), cfg), g, algos.Params{Depth: depth})
 	if err != nil {
 		return nil, err
 	}
-	legacy, err := algos.RunLegacyTC(engine.New(engine.PostgresLike(true)), g, algos.Params{Depth: depth}, true)
+	legacy, err := algos.RunLegacyTC(newEngine(engine.PostgresLike(true), cfg), g, algos.Params{Depth: depth}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +210,7 @@ func TCAndAPSPTables(cfg Config) ([]*Table, error) {
 			count(plus.IterRows, i), count(legacy.IterRows, i),
 		})
 	}
-	apsp, err := algos.RunAPSP(engine.New(engine.OracleLike()), g, algos.Params{Depth: depth})
+	apsp, err := algos.RunAPSP(newEngine(engine.OracleLike(), cfg), g, algos.Params{Depth: depth})
 	if err != nil {
 		return nil, err
 	}

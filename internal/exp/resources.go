@@ -22,11 +22,12 @@ func ResourceTable(cfg Config) (*Table, error) {
 		Title: "Resource utilization (PageRank, DB2-like profile): the paper's CPU-vs-I/O observation",
 		Header: []string{
 			"Dataset", "edges", "time (ms)", "pool hit%", "disk reads", "disk writes", "wal KB", "pages/ms",
+			"idx builds", "idx hits", "tuples mat",
 		},
 	}
 	for _, d := range dataset.All() {
 		g := d.Generate(cfg.Nodes, cfg.Seed)
-		e := engine.New(engine.DB2Like())
+		e := newEngine(engine.DB2Like(), cfg)
 		start := time.Now()
 		if _, err := algos.RunPageRank(e, g, algos.Params{Iters: cfg.Iters}); err != nil {
 			return nil, err
@@ -47,6 +48,9 @@ func ResourceTable(cfg Config) (*Table, error) {
 			fmt.Sprintf("%d", disk.Reads), fmt.Sprintf("%d", disk.Writes),
 			fmt.Sprintf("%.0f", float64(e.WAL().Bytes)/1024),
 			fmt.Sprintf("%.1f", perMS),
+			fmt.Sprintf("%d", e.Cnt.IndexBuilds),
+			fmt.Sprintf("%d", e.Cnt.IndexCacheHits),
+			fmt.Sprintf("%d", e.Cnt.TuplesMaterialized),
 		})
 	}
 	return t, nil
@@ -70,7 +74,7 @@ func OperatorCountTable(cfg Config) (*Table, error) {
 		Header: []string{"Algorithm", "iters", "joins/iter", "aggs/iter", "anti-joins/iter", "ubu/iter"},
 	}
 	for _, a := range algos.Benchmarked() {
-		e := engine.New(engine.OracleLike())
+		e := newEngine(engine.OracleLike(), cfg)
 		res, err := a.Run(e, g, algoParams("WG", cfg))
 		if err != nil {
 			return nil, err

@@ -1,0 +1,383 @@
+package ra
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/value"
+)
+
+// This file implements the fused aggregate-join kernels: MV-join (Eq. (4))
+// and MM-join (Eq. (3)) computed without materializing the equi-join
+// intermediate. The classic plan — EquiJoin followed by GroupBy — allocates
+// one output tuple per matching edge only to feed it straight into the
+// group hash table; the fused kernels probe a (typically cached) build-side
+// hash index and fold the ⊙-products directly into the groups under ⊕.
+// The output is bag-equal to the EquiJoin+GroupBy plan: identical for the
+// discrete semirings (min, max, or), and equal up to float-summation
+// reordering for (+, *).
+//
+// Both kernels accept a worker count for a morsel-parallel probe: the probe
+// side is split into fixed-size morsels claimed off an atomic counter
+// (Leis et al.'s morsel-driven scheduling), each worker folds into a
+// private group table, and the partials merge under ⊕ — valid because ⊕ is
+// commutative and associative with Zero as identity.
+
+// probeMorsel is the number of probe-side tuples a worker claims at a time.
+// Small enough to balance skewed buckets, large enough that the atomic
+// claim is not the bottleneck.
+const probeMorsel = 256
+
+// groupTable accumulates ⊕-folds keyed by 1- or 2-column group keys, in
+// first-seen order, mirroring GroupBy+SemiringAgg semantics exactly: a
+// group is created for every matching join tuple (even if its product is
+// NULL), NULL products are skipped (SQL aggregate semantics), and a group
+// that never saw a non-NULL product yields the semiring's Zero.
+//
+// The table is open-addressed (linear probing over a power-of-two slot
+// array) rather than a Go map: the fold runs once per matching edge, and at
+// that rate the runtime map's hashing and bucket indirection dominate the
+// probe loop.
+type groupTable struct {
+	sr      semiring.Semiring
+	mask    uint64
+	table   []int32 // slot -> group ordinal, -1 = empty
+	hashes  []uint64
+	keys    []relation.Tuple
+	vals    []value.Value
+	started []bool
+}
+
+func newGroupTable(sr semiring.Semiring, capHint int) *groupTable {
+	size := uint64(16)
+	for int(size)/2 < capHint {
+		size <<= 1
+	}
+	g := &groupTable{sr: sr, mask: size - 1, table: make([]int32, size)}
+	for i := range g.table {
+		g.table[i] = -1
+	}
+	return g
+}
+
+// slot returns the group ordinal for the key (k0) or (k0, k1), creating the
+// group (at the semiring's Zero, not started) when absent.
+func (g *groupTable) slot(k0, k1 value.Value, wide bool) int32 {
+	h := value.HashCombine(0, k0)
+	if wide {
+		h = value.HashCombine(h, k1)
+	}
+	for i := h & g.mask; ; i = (i + 1) & g.mask {
+		s := g.table[i]
+		if s < 0 {
+			s = int32(len(g.keys))
+			if wide {
+				g.keys = append(g.keys, relation.Tuple{k0, k1})
+			} else {
+				g.keys = append(g.keys, relation.Tuple{k0})
+			}
+			g.hashes = append(g.hashes, h)
+			g.vals = append(g.vals, g.sr.Zero)
+			g.started = append(g.started, false)
+			g.table[i] = s
+			if uint64(len(g.keys))*2 > uint64(len(g.table)) {
+				g.grow()
+			}
+			return s
+		}
+		if g.hashes[s] == h {
+			k := g.keys[s]
+			if k[0].Equal(k0) && (!wide || k[1].Equal(k1)) {
+				return s
+			}
+		}
+	}
+}
+
+// grow doubles the slot array and re-places every group by its stored hash.
+func (g *groupTable) grow() {
+	size := uint64(len(g.table)) * 2
+	g.mask = size - 1
+	g.table = make([]int32, size)
+	for i := range g.table {
+		g.table[i] = -1
+	}
+	for s, h := range g.hashes {
+		i := h & g.mask
+		for g.table[i] >= 0 {
+			i = (i + 1) & g.mask
+		}
+		g.table[i] = int32(s)
+	}
+}
+
+// fold adds one ⊙-product under the group key (k0) or (k0, k1); wide
+// selects the key arity.
+func (g *groupTable) fold(k0, k1 value.Value, wide bool, v value.Value) {
+	slot := g.slot(k0, k1, wide)
+	if v.IsNull() {
+		return
+	}
+	if !g.started[slot] {
+		g.vals[slot] = v
+		g.started[slot] = true
+		return
+	}
+	g.vals[slot] = g.sr.Plus(g.vals[slot], v)
+}
+
+// merge folds another table's groups into g (the ⊕-combine of parallel
+// partials). A group that never started contributes only its existence.
+func (g *groupTable) merge(o *groupTable) {
+	wide := false
+	if len(o.keys) > 0 {
+		wide = len(o.keys[0]) == 2
+	}
+	for i, k := range o.keys {
+		var k1 value.Value
+		if wide {
+			k1 = k[1]
+		}
+		if !o.started[i] {
+			g.fold(k[0], k1, wide, value.Null)
+			continue
+		}
+		g.fold(k[0], k1, wide, o.vals[i])
+	}
+}
+
+// relation emits the groups in first-seen order under the given schema.
+func (g *groupTable) relation(sch schema.Schema) *relation.Relation {
+	out := relation.NewWithCap(sch, len(g.keys))
+	for i, k := range g.keys {
+		t := make(relation.Tuple, 0, len(k)+1)
+		t = append(t, k...)
+		t = append(t, g.vals[i])
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out
+}
+
+// denseGroups is the groupTable specialized for a dictionary-encoded group
+// key: group ordinals come from a ColumnDict on the build side, so a fold is
+// an array access instead of a hash-and-compare. Groups exist only once
+// touched by a matching join tuple (live), preserving GroupBy's semantics —
+// a build-side row that never joins contributes no group.
+type denseGroups struct {
+	sr      semiring.Semiring
+	vals    []value.Value
+	started []bool
+	live    []bool
+	order   []int32 // live ordinals in first-touch order
+}
+
+func newDenseGroups(sr semiring.Semiring, groups int) *denseGroups {
+	return &denseGroups{
+		sr:      sr,
+		vals:    make([]value.Value, groups),
+		started: make([]bool, groups),
+		live:    make([]bool, groups),
+	}
+}
+
+// fold adds one ⊙-product under the group ordinal, with the same NULL
+// semantics as groupTable.fold.
+func (d *denseGroups) fold(g int32, v value.Value) {
+	if !d.live[g] {
+		d.live[g] = true
+		d.vals[g] = d.sr.Zero
+		d.order = append(d.order, g)
+	}
+	if v.IsNull() {
+		return
+	}
+	if !d.started[g] {
+		d.vals[g] = v
+		d.started[g] = true
+		return
+	}
+	d.vals[g] = d.sr.Plus(d.vals[g], v)
+}
+
+// merge folds another partial's live groups into d under ⊕.
+func (d *denseGroups) merge(o *denseGroups) {
+	for _, g := range o.order {
+		if !o.started[g] {
+			d.fold(g, value.Null)
+			continue
+		}
+		d.fold(g, o.vals[g])
+	}
+}
+
+// relation emits the live groups in first-touch order, resolving ordinals
+// back to key values through the dictionary.
+func (d *denseGroups) relation(keys []value.Value, sch schema.Schema) *relation.Relation {
+	out := relation.NewWithCap(sch, len(d.order))
+	for _, g := range d.order {
+		out.Tuples = append(out.Tuples, relation.Tuple{keys[g], d.vals[g]})
+	}
+	return out
+}
+
+// runMorselsDense mirrors runMorsels for the dictionary-encoded fold.
+func runMorselsDense(n, workers, groups int, sr semiring.Semiring, probe func(dg *denseGroups, lo, hi int)) *denseGroups {
+	if workers <= 1 || n < 2*workers {
+		dg := newDenseGroups(sr, groups)
+		probe(dg, 0, n)
+		return dg
+	}
+	var cursor int64
+	partials := make([]*denseGroups, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dg := newDenseGroups(sr, groups)
+			for {
+				lo := int(atomic.AddInt64(&cursor, probeMorsel)) - probeMorsel
+				if lo >= n {
+					break
+				}
+				hi := lo + probeMorsel
+				if hi > n {
+					hi = n
+				}
+				probe(dg, lo, hi)
+			}
+			partials[w] = dg
+		}(w)
+	}
+	wg.Wait()
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc.merge(p)
+	}
+	return acc
+}
+
+// runMorsels drives the morsel-parallel probe: probe-side rows [0, n) are
+// claimed in fixed-size morsels off an atomic cursor; each worker folds
+// into a private group table and the partials merge in worker order.
+func runMorsels(n, workers int, sr semiring.Semiring, probe func(gt *groupTable, lo, hi int)) *groupTable {
+	if workers <= 1 || n < 2*workers {
+		gt := newGroupTable(sr, n)
+		probe(gt, 0, n)
+		return gt
+	}
+	var cursor int64
+	partials := make([]*groupTable, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gt := newGroupTable(sr, n/workers)
+			for {
+				lo := int(atomic.AddInt64(&cursor, probeMorsel)) - probeMorsel
+				if lo >= n {
+					break
+				}
+				hi := lo + probeMorsel
+				if hi > n {
+					hi = n
+				}
+				probe(gt, lo, hi)
+			}
+			partials[w] = gt
+		}(w)
+	}
+	wg.Wait()
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc.merge(p)
+	}
+	return acc
+}
+
+// FusedMVJoin computes the MV-join aggregate (Eq. (4)) by probing idx — a
+// hash index on a's aJoin column, normally served from the catalog's
+// version-keyed cache — with every c tuple, folding a.W ⊙ c.W into the
+// group on a.aKeep. Because the index lives on the matrix side, an
+// immutable edge table is built once and probed by each iteration's fresh
+// vector, inverting the build/probe roles of the EquiJoin+GroupBy plan
+// (which rebuilt on the vector every iteration). idx must index a on
+// exactly {aJoin}.
+//
+// dict optionally dictionary-encodes a's aKeep column (cached alongside the
+// index); when present and covering a, the fold becomes a dense-array
+// accumulate — no group hashing or key comparison per matched edge. A nil
+// or mismatched dict falls back to the hashed group table.
+func FusedMVJoin(a, c *relation.Relation, idx *relation.HashIndex, dict *relation.ColumnDict, ac MatCols, cc VecCols, aKeep int, sr semiring.Semiring, workers int) *relation.Relation {
+	probeCols := []int{cc.ID}
+	sch := schema.Schema{
+		{Name: "ID", Type: a.Sch[aKeep].Type},
+		{Name: "vw", Type: value.KindFloat},
+	}
+	if dict != nil && dict.Col == aKeep && len(dict.Ords) == a.Len() {
+		ords := dict.Ords
+		dg := runMorselsDense(c.Len(), workers, len(dict.Keys), sr, func(dg *denseGroups, lo, hi int) {
+			for _, ct := range c.Tuples[lo:hi] {
+				idx.ProbeEach(ct, probeCols, func(row int) bool {
+					at := a.Tuples[row]
+					dg.fold(ords[row], sr.Times(at[ac.W], ct[cc.W]))
+					return true
+				})
+			}
+		})
+		return dg.relation(dict.Keys, sch)
+	}
+	gt := runMorsels(c.Len(), workers, sr, func(gt *groupTable, lo, hi int) {
+		for _, ct := range c.Tuples[lo:hi] {
+			idx.ProbeEach(ct, probeCols, func(row int) bool {
+				at := a.Tuples[row]
+				gt.fold(at[aKeep], value.Value{}, false, sr.Times(at[ac.W], ct[cc.W]))
+				return true
+			})
+		}
+	})
+	return gt.relation(sch)
+}
+
+// FusedMMJoin computes the MM-join aggregate (Eq. (3)) with the same
+// fusion. idx is a hash index on the build side's join column: with
+// idxOnLeft false it indexes b on {bJoin} and the probe scans a (the
+// EquiJoin build/probe orientation); with idxOnLeft true it indexes a on
+// {aJoin} and the probe scans b — the engine picks the side whose index
+// survives across iterations (the analyzed base table). The ⊙-product
+// argument order is a.W ⊙ b.W either way, so non-commutative ⊙ is safe.
+func FusedMMJoin(a, b *relation.Relation, idx *relation.HashIndex, idxOnLeft bool, ac, bc MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring, workers int) *relation.Relation {
+	var gt *groupTable
+	if idxOnLeft {
+		probeCols := []int{bJoin}
+		gt = runMorsels(b.Len(), workers, sr, func(gt *groupTable, lo, hi int) {
+			for _, bt := range b.Tuples[lo:hi] {
+				idx.ProbeEach(bt, probeCols, func(row int) bool {
+					at := a.Tuples[row]
+					gt.fold(at[aKeep], bt[bKeep], true, sr.Times(at[ac.W], bt[bc.W]))
+					return true
+				})
+			}
+		})
+	} else {
+		probeCols := []int{aJoin}
+		gt = runMorsels(a.Len(), workers, sr, func(gt *groupTable, lo, hi int) {
+			for _, at := range a.Tuples[lo:hi] {
+				idx.ProbeEach(at, probeCols, func(row int) bool {
+					bt := b.Tuples[row]
+					gt.fold(at[aKeep], bt[bKeep], true, sr.Times(at[ac.W], bt[bc.W]))
+					return true
+				})
+			}
+		})
+	}
+	return gt.relation(schema.Schema{
+		{Name: "F", Type: a.Sch[aKeep].Type},
+		{Name: "T", Type: b.Sch[bKeep].Type},
+		{Name: "ew", Type: value.KindFloat},
+	})
+}

@@ -38,14 +38,18 @@ func (a JoinAlgo) String() string {
 }
 
 // EquiJoinSpec carries everything an equi-join needs: the key columns on
-// each side, the algorithm, and (for IndexMergeJoin) pre-built sorted
-// indexes standing in for B+-tree indexes on the temp tables.
+// each side, the algorithm, and optional pre-built indexes — sorted indexes
+// standing in for B+-tree indexes on the temp tables (IndexMergeJoin), and
+// a build-side hash index (HashJoin) served from the catalog's
+// version-keyed cache so the build phase runs once per table version
+// instead of once per join.
 type EquiJoinSpec struct {
 	LeftCols  []int
 	RightCols []int
 	Algo      JoinAlgo
 	LeftIdx   *relation.SortedIndex // optional, used by IndexMergeJoin
 	RightIdx  *relation.SortedIndex // optional, used by IndexMergeJoin
+	RightHash *relation.HashIndex   // optional, used by HashJoin as the build side
 }
 
 // EquiJoin computes r ⋈ s on the key columns using the requested algorithm.
@@ -72,13 +76,36 @@ func EquiJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
 func hashJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
 	out := relation.New(r.Sch.Concat(s.Sch))
 	// Build on the right side, probe from the left.
-	idx := relation.BuildHashIndex(s, spec.RightCols)
+	idx := buildSide(s, spec)
 	for _, rt := range r.Tuples {
-		for _, row := range idx.Probe(rt, spec.LeftCols) {
+		idx.ProbeEach(rt, spec.LeftCols, func(row int) bool {
 			out.Tuples = append(out.Tuples, concatTuples(rt, s.Tuples[row]))
-		}
+			return true
+		})
 	}
 	return out
+}
+
+// buildSide returns the hash join's build-side index: the spec's prebuilt
+// (cached) index when it covers s on the right key columns, else a fresh
+// build.
+func buildSide(s *relation.Relation, spec EquiJoinSpec) *relation.HashIndex {
+	if idx := spec.RightHash; idx != nil && idx.Rel() == s && equalCols(idx.Cols(), spec.RightCols) {
+		return idx
+	}
+	return relation.BuildHashIndex(s, spec.RightCols)
+}
+
+func equalCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // mergeJoin performs a sort-merge join. With IndexMergeJoin and a supplied
@@ -152,13 +179,14 @@ func LeftOuterJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relati
 		pad[i] = value.Null
 	}
 	for _, rt := range r.Tuples {
-		rows := idx.Probe(rt, lCols)
-		if len(rows) == 0 {
-			out.Tuples = append(out.Tuples, concatTuples(rt, pad))
-			continue
-		}
-		for _, row := range rows {
+		matchedAny := false
+		idx.ProbeEach(rt, lCols, func(row int) bool {
+			matchedAny = true
 			out.Tuples = append(out.Tuples, concatTuples(rt, s.Tuples[row]))
+			return true
+		})
+		if !matchedAny {
+			out.Tuples = append(out.Tuples, concatTuples(rt, pad))
 		}
 	}
 	return out
@@ -180,14 +208,15 @@ func FullOuterJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relati
 	}
 	matched := make([]bool, s.Len())
 	for _, rt := range r.Tuples {
-		rows := idx.Probe(rt, lCols)
-		if len(rows) == 0 {
-			out.Tuples = append(out.Tuples, concatTuples(rt, rPad))
-			continue
-		}
-		for _, row := range rows {
+		matchedAny := false
+		idx.ProbeEach(rt, lCols, func(row int) bool {
+			matchedAny = true
 			matched[row] = true
 			out.Tuples = append(out.Tuples, concatTuples(rt, s.Tuples[row]))
+			return true
+		})
+		if !matchedAny {
+			out.Tuples = append(out.Tuples, concatTuples(rt, rPad))
 		}
 	}
 	for i, st := range s.Tuples {

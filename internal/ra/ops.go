@@ -264,15 +264,17 @@ func ubuUpdateFrom(r, s *relation.Relation, keyCols []int, checkDup bool) (*rela
 			seen.Append(key)
 			seenIdx.Add(seen.Len() - 1)
 		}
-		rows := idx.Probe(st, keyCols)
-		if len(rows) == 0 {
+		// Multiple r may match a single s: all are updated (allowed). The
+		// replacement keeps the key values, so the index stays valid.
+		matchedAny := false
+		idx.ProbeEach(st, keyCols, func(row int) bool {
+			matchedAny = true
+			out.Tuples[row] = st.Clone()
+			return true
+		})
+		if !matchedAny {
 			out.Append(st.Clone())
 			idx.Add(out.Len() - 1)
-			continue
-		}
-		// Multiple r may match a single s: all are updated (allowed).
-		for _, row := range rows {
-			out.Tuples[row] = st.Clone()
 		}
 	}
 	return out, nil

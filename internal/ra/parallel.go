@@ -20,7 +20,9 @@ func EquiJoinParallel(r, s *relation.Relation, spec EquiJoinSpec, workers int) *
 		spec.Algo = HashJoin
 		return EquiJoin(r, s, spec)
 	}
-	idx := relation.BuildHashIndex(s, spec.RightCols)
+	// The shared read-only build side honors a prebuilt (cached) index the
+	// same way the serial hash join does.
+	idx := buildSide(s, spec)
 	chunks := make([][]relation.Tuple, workers)
 	var wg sync.WaitGroup
 	per := (r.Len() + workers - 1) / workers
@@ -38,13 +40,14 @@ func EquiJoinParallel(r, s *relation.Relation, spec EquiJoinSpec, workers int) *
 			defer wg.Done()
 			var out []relation.Tuple
 			for _, rt := range r.Tuples[lo:hi] {
-				for _, row := range idx.Probe(rt, spec.LeftCols) {
+				idx.ProbeEach(rt, spec.LeftCols, func(row int) bool {
 					st := s.Tuples[row]
 					nt := make(relation.Tuple, 0, len(rt)+len(st))
 					nt = append(nt, rt...)
 					nt = append(nt, st...)
 					out = append(out, nt)
-				}
+					return true
+				})
 			}
 			chunks[w] = out
 		}(w, lo, hi)
@@ -98,12 +101,33 @@ func SemiringGroupByParallel(r *relation.Relation, groupCols []int, agg AggSpec,
 			return nil, err
 		}
 	}
-	// Merge partials: fold each partial group into the accumulated table.
-	var acc *relation.Relation
-	keyIdx := make([]int, len(groupCols))
+	acc, err := mergeGroupPartials(partials, len(groupCols), plus)
+	if err != nil {
+		return nil, err
+	}
+	if acc == nil {
+		return GroupBy(r, groupCols, []AggSpec{agg})
+	}
+	return acc, nil
+}
+
+// mergeGroupPartials folds per-worker partial group-by results into one
+// relation under plus, in partial order. Returns nil when every partial is
+// nil (empty input).
+//
+// Aliasing audit: the accumulator must own every tuple it indexes, because
+// plus mutates the aggregate column in place. Partial tuples are therefore
+// cloned both when seeding the accumulator and when appending unseen
+// groups; the hash index holds the accumulator *Relation (not a snapshot of
+// its tuple slice), so rows added after the index was built — and slice
+// regrowth on append — stay visible to later probes, and the in-place plus
+// never touches a key column, so bucket hashes stay valid as acc grows.
+func mergeGroupPartials(partials []*relation.Relation, nKeys int, plus func(a, b relation.Tuple) error) (*relation.Relation, error) {
+	keyIdx := make([]int, nKeys)
 	for i := range keyIdx {
 		keyIdx[i] = i
 	}
+	var acc *relation.Relation
 	var idx *relation.HashIndex
 	for _, part := range partials {
 		if part == nil {
@@ -115,19 +139,20 @@ func SemiringGroupByParallel(r *relation.Relation, groupCols []int, agg AggSpec,
 			continue
 		}
 		for _, t := range part.Tuples {
-			rows := idx.Probe(t, keyIdx)
-			if len(rows) == 0 {
+			slot := -1
+			idx.ProbeEach(t, keyIdx, func(row int) bool {
+				slot = row
+				return false
+			})
+			if slot < 0 {
 				acc.Append(t.Clone())
 				idx.Add(acc.Len() - 1)
 				continue
 			}
-			if err := plus(acc.Tuples[rows[0]], t); err != nil {
+			if err := plus(acc.Tuples[slot], t); err != nil {
 				return nil, err
 			}
 		}
-	}
-	if acc == nil {
-		return GroupBy(r, groupCols, []AggSpec{agg})
 	}
 	return acc, nil
 }

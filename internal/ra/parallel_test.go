@@ -98,3 +98,51 @@ func TestSemiringGroupByParallelEmpty(t *testing.T) {
 		t.Fatalf("empty input gave %d groups", out.Len())
 	}
 }
+
+// TestMergeGroupPartialsSharedKeysManyWorkers is the merge-path regression
+// test: with more than two workers and every group key present in every
+// partition, each partial beyond the first must ⊕-fold into an accumulator
+// tuple the merge already owns — and keys that first appear late force the
+// accumulator (and its hash index) to grow mid-merge. A merge that aliased
+// partial tuples into the accumulator, or probed a stale index snapshot,
+// would double-count or drop groups here.
+func TestMergeGroupPartialsSharedKeysManyWorkers(t *testing.T) {
+	sr := semiring.PlusTimes()
+	r := relation.New(ints("g", "v"))
+	const workers = 6
+	// 600 rows split 100 per worker: keys 0..9 appear in every partition;
+	// key 100+w appears only in partition w, at its end.
+	for w := 0; w < workers; w++ {
+		for i := 0; i < 99; i++ {
+			r.Append(relation.Tuple{value.Int(int64(i % 10)), value.Int(1)})
+		}
+		r.Append(relation.Tuple{value.Int(int64(100 + w)), value.Int(1)})
+	}
+	expr := func(tu relation.Tuple) (value.Value, error) { return value.Float(tu[1].AsFloat()), nil }
+	plus := func(a, b relation.Tuple) error {
+		a[1] = sr.Plus(a[1], b[1])
+		return nil
+	}
+	agg := SemiringAgg(col("v"), sr, expr)
+	serial, err := GroupBy(r, []int{0}, []AggSpec{agg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SemiringGroupByParallel(r, []int{0}, agg, plus, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Equal(par) {
+		t.Fatalf("merge with shared keys differs:\n%s\nvs\n%s", par, serial)
+	}
+	// The merged result must own its tuples: mutating it must not write
+	// through into the source relation's tuples.
+	for _, pt := range par.Tuples {
+		pt[1] = value.Float(-1)
+	}
+	for _, rt := range r.Tuples {
+		if rt[1].Equal(value.Float(-1)) {
+			t.Fatal("merge aliased accumulator tuples into the input relation")
+		}
+	}
+}

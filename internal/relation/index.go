@@ -1,14 +1,40 @@
 package relation
 
-import "sort"
+import (
+	"sort"
 
-// HashIndex maps the hash of a key-column subset to the row numbers holding
-// each key. It is the access structure behind hash joins, semi-joins,
-// anti-joins, and union-by-update via MERGE.
+	"repro/internal/value"
+)
+
+// HashIndex maps the hash of a key-column subset to the rows holding each
+// key. It is the access structure behind hash joins, semi-joins, anti-joins,
+// and union-by-update via MERGE.
+//
+// Each bucket entry carries the first key column inline next to the row
+// number, so the common single-column probe compares against contiguous
+// memory instead of chasing rel.Tuples[row] — two dependent random loads —
+// per candidate. Multi-column keys check the inline value first and fall
+// back to EqualOn for the remaining columns only when it matches.
 type HashIndex struct {
 	rel     *Relation
 	cols    []int
-	buckets map[uint64][]int
+	buckets map[uint64][]bucketEntry
+}
+
+// bucketEntry is one indexed row plus its first key column.
+type bucketEntry struct {
+	key value.Value
+	row int
+}
+
+// entryFor builds the bucket entry for a row (Null key for zero-column
+// indexes, where every row trivially matches).
+func (idx *HashIndex) entryFor(row int) bucketEntry {
+	e := bucketEntry{row: row}
+	if len(idx.cols) > 0 {
+		e.key = idx.rel.Tuples[row][idx.cols[0]]
+	}
+	return e
 }
 
 // BuildHashIndex indexes rel on the given key columns.
@@ -16,11 +42,11 @@ func BuildHashIndex(rel *Relation, cols []int) *HashIndex {
 	idx := &HashIndex{
 		rel:     rel,
 		cols:    cols,
-		buckets: make(map[uint64][]int, rel.Len()),
+		buckets: make(map[uint64][]bucketEntry, rel.Len()),
 	}
 	for i, t := range rel.Tuples {
 		h := t.HashOn(cols)
-		idx.buckets[h] = append(idx.buckets[h], i)
+		idx.buckets[h] = append(idx.buckets[h], idx.entryFor(i))
 	}
 	return idx
 }
@@ -28,39 +54,97 @@ func BuildHashIndex(rel *Relation, cols []int) *HashIndex {
 // Cols returns the indexed key columns.
 func (idx *HashIndex) Cols() []int { return idx.cols }
 
+// Rel returns the indexed relation. Callers that receive a prebuilt index
+// use it to check the index covers the relation they are probing against.
+func (idx *HashIndex) Rel() *Relation { return idx.rel }
+
 // Probe returns the row numbers whose key columns equal probe's key columns
-// (probeCols selects the key within the probe tuple).
+// (probeCols selects the key within the probe tuple). It allocates a fresh
+// slice per call; hot loops should use ProbeEach instead.
 func (idx *HashIndex) Probe(probe Tuple, probeCols []int) []int {
-	h := probe.HashOn(probeCols)
-	cand := idx.buckets[h]
-	if len(cand) == 0 {
-		return nil
-	}
 	var out []int
-	for _, row := range cand {
-		if idx.rel.Tuples[row].EqualOn(idx.cols, probe, probeCols) {
-			out = append(out, row)
+	idx.ProbeEach(probe, probeCols, func(row int) bool {
+		out = append(out, row)
+		return true
+	})
+	return out
+}
+
+// ProbeEach calls f with each row number whose key columns equal probe's key
+// columns, in row order, stopping early if f returns false. Unlike Probe it
+// allocates nothing, which matters in join and union-by-update inner loops
+// that probe once per input tuple.
+func (idx *HashIndex) ProbeEach(probe Tuple, probeCols []int, f func(row int) bool) {
+	h := probe.HashOn(probeCols)
+	var p0 value.Value
+	if len(probeCols) > 0 {
+		p0 = probe[probeCols[0]]
+	}
+	for _, e := range idx.buckets[h] {
+		if len(idx.cols) > 0 && !e.key.Equal(p0) {
+			continue
+		}
+		if len(idx.cols) > 1 && !idx.rel.Tuples[e.row].EqualOn(idx.cols[1:], probe, probeCols[1:]) {
+			continue
+		}
+		if !f(e.row) {
+			return
 		}
 	}
-	return out
 }
 
 // Contains reports whether any row matches the probe key.
 func (idx *HashIndex) Contains(probe Tuple, probeCols []int) bool {
-	h := probe.HashOn(probeCols)
-	for _, row := range idx.buckets[h] {
-		if idx.rel.Tuples[row].EqualOn(idx.cols, probe, probeCols) {
-			return true
-		}
-	}
-	return false
+	found := false
+	idx.ProbeEach(probe, probeCols, func(int) bool {
+		found = true
+		return false
+	})
+	return found
 }
 
 // Add indexes one more row (used when the underlying relation grows, e.g.
 // during MERGE-style union-by-update).
 func (idx *HashIndex) Add(row int) {
 	h := idx.rel.Tuples[row].HashOn(idx.cols)
-	idx.buckets[h] = append(idx.buckets[h], row)
+	idx.buckets[h] = append(idx.buckets[h], idx.entryFor(row))
+}
+
+// ColumnDict dictionary-encodes one column of a relation: Ords[row] is the
+// ordinal of rel.Tuples[row][Col] among the column's distinct values in
+// first-seen row order, and Keys[ord] is the distinct value for each
+// ordinal. Aggregate-join kernels that group on a column of the (cached)
+// build side use the dictionary to fold into dense arrays — one int32 load
+// per matched row instead of a hash-and-compare per match. Like a hash
+// index, a dict is valid for exactly one version of the relation's content.
+type ColumnDict struct {
+	Col  int
+	Keys []value.Value
+	Ords []int32
+}
+
+// BuildColumnDict dictionary-encodes the column.
+func BuildColumnDict(rel *Relation, col int) *ColumnDict {
+	d := &ColumnDict{Col: col, Ords: make([]int32, rel.Len())}
+	buckets := make(map[uint64][]int32, rel.Len())
+	cols := []int{col}
+	for i, t := range rel.Tuples {
+		h := t.HashOn(cols)
+		ord := int32(-1)
+		for _, cand := range buckets[h] {
+			if d.Keys[cand].Equal(t[col]) {
+				ord = cand
+				break
+			}
+		}
+		if ord < 0 {
+			ord = int32(len(d.Keys))
+			d.Keys = append(d.Keys, t[col])
+			buckets[h] = append(buckets[h], ord)
+		}
+		d.Ords[i] = ord
+	}
+	return d
 }
 
 // SortedIndex is an ordering of row numbers by the key columns — the stand-in

@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the repo's fast verification gate:
+#   go vet over everything, the full test suite, and a race-detector pass
+#   over the packages with parallel executor paths (ra, engine).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (parallel executor packages)"
+go test -race ./internal/ra/... ./internal/engine/...
+
+echo "check: OK"
