@@ -1,6 +1,6 @@
 # Convenience targets; see README.md.
 
-.PHONY: build test check bench
+.PHONY: build test check chaos bench
 
 build:
 	go build ./...
@@ -12,6 +12,11 @@ test:
 # pass over the morsel-parallel executor packages.
 check:
 	./scripts/check.sh
+
+# chaos runs the resilience gate: fault-injection sweeps, crash recovery,
+# and cancellation tests under -race, plus a short fuzz smoke.
+chaos:
+	./scripts/chaos.sh
 
 bench:
 	go test -bench . -benchtime 1x .

@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/graphsql"
@@ -92,6 +94,9 @@ func run(profile, dsCode string, nodes int, seed int64, edgesFile, query, file s
 		// No -query/-file: interactive mode over stdin.
 		return repl(os.Stdin, os.Stdout, db, limit)
 	}
+	// Batch mode: Ctrl-C cancels the statement in flight and aborts the run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	for _, stmt := range statements {
 		if explain {
 			lower := strings.ToLower(strings.TrimSpace(stmt))
@@ -104,7 +109,7 @@ func run(profile, dsCode string, nodes int, seed int64, edgesFile, query, file s
 				continue
 			}
 		}
-		out, err := db.Query(stmt)
+		out, err := db.QueryContext(ctx, stmt)
 		if err != nil {
 			return err
 		}

@@ -104,6 +104,48 @@ create table zz (a int)
 	}
 }
 
+func TestREPLTimeout(t *testing.T) {
+	db, err := graphsqlOpenForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(`\timeout
+\timeout bogus
+\timeout 1ns
+with TC(F, T) as (
+  (select F, T from E)
+  union all
+  (select TC.F, E.T from TC, E where TC.T = E.F)
+  maxrecursion 3)
+select F, T from TC
+
+\timeout 0
+select count(*) from E
+
+\quit
+`)
+	var out strings.Builder
+	if err := repl(in, &out, db, 5); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"statement timeout: 0s", // querying the unset timeout
+		"bad duration",          // rejecting an unparsable duration
+		"statement timeout: 1ns",
+		"deadline", // 1ns deadline trips a governor checkpoint
+		"(1 rows)", // count(*) succeeds after \timeout 0 clears it
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, text)
+		}
+	}
+	// A timed-out statement must not leave its recursive temp table behind.
+	if len(db.Eng.Cat.TempNames()) != 0 {
+		t.Errorf("temp tables leaked after timeout: %v", db.Eng.Cat.TempNames())
+	}
+}
+
 func TestREPLTrailingStatementAndErrors(t *testing.T) {
 	db, err := graphsqlOpenForTest()
 	if err != nil {

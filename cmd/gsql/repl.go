@@ -2,26 +2,34 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"repro/graphsql"
 )
 
 // repl reads statements from r and executes them against db, writing
 // results to w. A statement is submitted on an empty line (WITH+ bodies
-// legitimately contain semicolons, so ';' cannot terminate). Meta commands:
+// legitimately contain semicolons, so ';' cannot terminate). Ctrl-C cancels
+// the statement in flight (the context reaches into operator loops) instead
+// of killing the shell. Meta commands:
 //
 //	\tables        list catalog tables
 //	\explain       toggle plan mode for subsequent statements
+//	\timeout <dur> per-statement deadline ("0" clears; e.g. \timeout 5s)
 //	\quit          exit
 func repl(r io.Reader, w io.Writer, db *graphsql.DB, limit int) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	explainMode := false
-	fmt.Fprintln(w, "gsql> enter statements, submit with an empty line; \\tables, \\explain, \\quit")
+	var timeout time.Duration
+	fmt.Fprintln(w, "gsql> enter statements, submit with an empty line; \\tables, \\explain, \\timeout, \\quit")
 	prompt := func() { fmt.Fprint(w, "gsql> ") }
 	prompt()
 	exec := func(text string) {
@@ -41,7 +49,7 @@ func repl(r io.Reader, w io.Writer, db *graphsql.DB, limit int) error {
 				return
 			}
 		}
-		out, err := db.Query(text)
+		out, err := runStatement(db, text, timeout)
 		if err != nil {
 			fmt.Fprintln(w, "error:", err)
 			return
@@ -76,6 +84,21 @@ func repl(r io.Reader, w io.Writer, db *graphsql.DB, limit int) error {
 				explainMode = !explainMode
 				fmt.Fprintf(w, "explain mode: %v\n", explainMode)
 			default:
+				if arg, ok := strings.CutPrefix(trimmed, "\\timeout"); ok {
+					arg = strings.TrimSpace(arg)
+					if arg == "" {
+						fmt.Fprintf(w, "statement timeout: %v\n", timeout)
+						break
+					}
+					d, err := time.ParseDuration(arg)
+					if err != nil || d < 0 {
+						fmt.Fprintf(w, "bad duration %q (try \\timeout 5s, \\timeout 0 to clear)\n", arg)
+						break
+					}
+					timeout = d
+					fmt.Fprintf(w, "statement timeout: %v\n", timeout)
+					break
+				}
 				fmt.Fprintf(w, "unknown command %q\n", trimmed)
 			}
 			prompt()
@@ -91,6 +114,21 @@ func repl(r io.Reader, w io.Writer, db *graphsql.DB, limit int) error {
 	// Flush a trailing statement at EOF.
 	exec(buf.String())
 	return sc.Err()
+}
+
+// runStatement runs one statement under the session's timeout with Ctrl-C
+// wired to cancellation: SIGINT during a statement cancels that statement
+// (its operators checkpoint the context and its temp tables are dropped)
+// and the REPL keeps going.
+func runStatement(db *graphsql.DB, text string, timeout time.Duration) (*graphsql.Relation, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return db.QueryContext(ctx, text)
 }
 
 func printRelationTo(w io.Writer, r *graphsql.Relation, limit int) {

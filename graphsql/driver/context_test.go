@@ -1,0 +1,133 @@
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/graphsql"
+	"repro/internal/graph"
+)
+
+// loadPageRankTables loads E, En (out-degree normalized), and V behind a DSN
+// so the WITH+ PageRank text runs through database/sql.
+func loadPageRankTables(t *testing.T, dsn string, nodes int) {
+	t.Helper()
+	inner, err := DB(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphsql.MustGenerate("WV", nodes, 1)
+	if err := inner.LoadEdges("E", g); err != nil {
+		t.Fatal(err)
+	}
+	deg := g.OutDegrees()
+	norm := graph.New(g.N, g.Directed)
+	for _, e := range g.Edges {
+		norm.AddEdge(e.F, e.T, 1/float64(deg[e.F]))
+	}
+	if err := inner.LoadRelation("En", norm.EdgeRelation()); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.LoadNodes("V", g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pageRankText mirrors algos.PageRankSQL for 5 iterations over 100 nodes.
+const pageRankText = `
+with
+P(ID, W) as (
+  (select V.ID, 1.0 / 100 from V)
+  union by update ID
+  (select V.ID, 0.85 * coalesce(s.w, 0.0) + 0.15 / 100
+   from V left outer join
+     (select E.T tid, sum(W * ew) w from P, En E where P.ID = E.F group by E.T) s
+   on V.ID = s.tid)
+  maxrecursion 5)
+select ID, W from P`
+
+// TestQueryContextCancellation: a cancelled context surfaces as
+// context.Canceled through database/sql's QueryContext, and the shared
+// engine keeps serving afterwards.
+func TestQueryContextCancellation(t *testing.T) {
+	db := openTestDB(t, "oracle")
+	loadPageRankTables(t, "oracle", 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, pageRankText); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	inner, _ := DB("oracle")
+	if tn := inner.Eng.Cat.TempNames(); len(tn) != 0 {
+		t.Fatalf("temp tables leaked through the driver: %v", tn)
+	}
+	var n int
+	if err := db.QueryRow("select count(*) from V").Scan(&n); err != nil || n != 100 {
+		t.Fatalf("engine unusable after cancellation: n=%d err=%v", n, err)
+	}
+}
+
+// TestStmtContext: prepared statements honor context through
+// StmtQueryContext/StmtExecContext.
+func TestStmtContext(t *testing.T) {
+	db := openTestDB(t, "oracle")
+	loadGraph(t, "oracle")
+	stmt, err := db.Prepare("select count(*) from E where ew > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	var n int
+	if err := stmt.QueryRowContext(context.Background(), 0.0).Scan(&n); err != nil || n == 0 {
+		t.Fatalf("stmt query: n=%d err=%v", n, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := stmt.QueryRowContext(ctx, 0.0).Scan(&n); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled through prepared stmt, got %v", err)
+	}
+	ddl, err := db.Prepare("create table ctxt (a int)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ddl.Close()
+	if _, err := ddl.ExecContext(context.Background()); err != nil {
+		t.Fatalf("stmt exec: %v", err)
+	}
+}
+
+// TestBeginTxHonorsContext: transactions stay unsupported, but a cancelled
+// context wins over the unsupported-feature error, per database/sql's
+// contract.
+func TestBeginTxHonorsContext(t *testing.T) {
+	db := openTestDB(t, "oracle")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.BeginTx(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := db.BeginTx(context.Background(), nil); err == nil ||
+		!strings.Contains(err.Error(), "not supported") {
+		t.Fatalf("want unsupported-transactions error, got %v", err)
+	}
+}
+
+// TestNamedArgsRejected: the dialect has only ? placeholders; named
+// arguments must fail loudly, not bind wrong.
+func TestNamedArgsRejected(t *testing.T) {
+	db := openTestDB(t, "oracle")
+	loadGraph(t, "oracle")
+	_, err := db.QueryContext(context.Background(),
+		"select count(*) from E where ew > ?", sql.Named("w", 1.0))
+	if err == nil || !strings.Contains(err.Error(), "named arguments") {
+		t.Fatalf("want named-argument rejection, got %v", err)
+	}
+	_, err = db.ExecContext(context.Background(),
+		"create table na (a int)", sql.Named("x", 1))
+	if err == nil || !strings.Contains(err.Error(), "named arguments") {
+		t.Fatalf("want named-argument rejection on exec, got %v", err)
+	}
+}

@@ -19,6 +19,7 @@
 package driver
 
 import (
+	"context"
 	"database/sql"
 	"database/sql/driver"
 	"fmt"
@@ -102,6 +103,79 @@ func (c *conn) Begin() (driver.Tx, error) {
 	return nil, fmt.Errorf("graphsql: transactions are not supported")
 }
 
+// BeginTx implements driver.ConnBeginTx with the same answer as Begin, but
+// honoring ctx first so database/sql's BeginTx respects cancellation before
+// reporting the unsupported feature.
+func (c *conn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Begin()
+}
+
+// QueryContext implements driver.QueryerContext, skipping the Prepare round
+// trip and threading ctx into the engine's statement governor.
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	vals, err := namedToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	return queryConn(ctx, c, query, vals)
+}
+
+// ExecContext implements driver.ExecerContext.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	vals, err := namedToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	return execConn(ctx, c, query, vals)
+}
+
+// namedToValues rejects named arguments (the SQL dialect has only ?
+// placeholders) and strips the ordinal wrapping.
+func namedToValues(args []driver.NamedValue) ([]driver.Value, error) {
+	vals := make([]driver.Value, len(args))
+	for i, a := range args {
+		if a.Name != "" {
+			return nil, fmt.Errorf("graphsql: named arguments are not supported (got %q)", a.Name)
+		}
+		vals[i] = a.Value
+	}
+	return vals, nil
+}
+
+// queryConn binds, locks the shared engine, and runs one query under ctx.
+func queryConn(ctx context.Context, c *conn, query string, args []driver.Value) (driver.Rows, error) {
+	q, err := bind(query, args)
+	if err != nil {
+		return nil, err
+	}
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	out, err := c.s.db.QueryContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = relation.New(nil)
+	}
+	return &rows{rel: out}, nil
+}
+
+func execConn(ctx context.Context, c *conn, query string, args []driver.Value) (driver.Result, error) {
+	q, err := bind(query, args)
+	if err != nil {
+		return nil, err
+	}
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if _, err := c.s.db.QueryContext(ctx, q); err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(0), nil
+}
+
 type stmt struct {
 	c        *conn
 	query    string
@@ -116,34 +190,30 @@ func (s *stmt) NumInput() int { return s.numInput }
 
 // Exec implements driver.Stmt (DDL/DML statements).
 func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
-	q, err := bind(s.query, args)
-	if err != nil {
-		return nil, err
-	}
-	s.c.s.mu.Lock()
-	defer s.c.s.mu.Unlock()
-	if _, err := s.c.s.db.Query(q); err != nil {
-		return nil, err
-	}
-	return driver.RowsAffected(0), nil
+	return execConn(context.Background(), s.c, s.query, args)
 }
 
 // Query implements driver.Stmt.
 func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
-	q, err := bind(s.query, args)
+	return queryConn(context.Background(), s.c, s.query, args)
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	vals, err := namedToValues(args)
 	if err != nil {
 		return nil, err
 	}
-	s.c.s.mu.Lock()
-	defer s.c.s.mu.Unlock()
-	out, err := s.c.s.db.Query(q)
+	return queryConn(ctx, s.c, s.query, vals)
+}
+
+// ExecContext implements driver.StmtExecContext.
+func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	vals, err := namedToValues(args)
 	if err != nil {
 		return nil, err
 	}
-	if out == nil {
-		out = relation.New(nil)
-	}
-	return &rows{rel: out}, nil
+	return execConn(ctx, s.c, s.query, vals)
 }
 
 type rows struct {

@@ -19,12 +19,14 @@
 package graphsql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/algos"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/govern"
 	"repro/internal/graph"
 	"repro/internal/relation"
 	"repro/internal/sql"
@@ -49,7 +51,16 @@ type (
 	// Dataset describes one of the paper's 9 SNAP datasets plus its
 	// scaled synthetic generator.
 	Dataset = dataset.Info
+	// Limits are the per-statement resource budgets (deadline, row budget,
+	// memory budget) enforced by the statement governor; see DB.SetLimits.
+	Limits = govern.Limits
+	// RecoveryReport summarizes a DB.Recover run.
+	RecoveryReport = engine.RecoveryReport
 )
+
+// ErrBudgetExceeded is returned (wrapped in a *govern.BudgetError) when a
+// statement exhausts a resource budget set via SetLimits.
+var ErrBudgetExceeded = govern.ErrBudgetExceeded
 
 // DB is one embedded RDBMS instance.
 type DB struct {
@@ -106,6 +117,18 @@ func (db *DB) LoadRelation(name string, r *Relation) error {
 // VALUES/SELECT, DROP TABLE, TRUNCATE). Non-query statements return a nil
 // relation.
 func (db *DB) Query(text string) (*Relation, error) {
+	return db.QueryContext(context.Background(), text)
+}
+
+// QueryContext is Query under a context: cancellation and deadlines reach
+// into operator loops (joins checkpoint every few hundred tuples; the WITH+
+// loop driver checks at statement and iteration boundaries), so a cancelled
+// statement returns ctx.Err() promptly with its temporary tables dropped.
+// Budget violations from SetLimits surface the same way, as typed errors.
+func (db *DB) QueryContext(ctx context.Context, text string) (out *Relation, err error) {
+	defer govern.RecoverTo(&err)
+	end := db.Eng.BeginStatement(ctx)
+	defer end()
 	if isWith(text) {
 		out, _, err := withplus.Run(db.Eng, text)
 		return out, err
@@ -120,8 +143,30 @@ func (db *DB) Query(text string) (*Relation, error) {
 // QueryWithTrace answers a WITH+ statement and returns the per-iteration
 // trace (times and recursive-relation sizes).
 func (db *DB) QueryWithTrace(text string) (*Relation, *withplus.Trace, error) {
+	return db.QueryWithTraceContext(context.Background(), text)
+}
+
+// QueryWithTraceContext is QueryWithTrace under a context; see QueryContext
+// for the cancellation semantics.
+func (db *DB) QueryWithTraceContext(ctx context.Context, text string) (out *Relation, tr *withplus.Trace, err error) {
+	defer govern.RecoverTo(&err)
+	end := db.Eng.BeginStatement(ctx)
+	defer end()
 	return withplus.Run(db.Eng, text)
 }
+
+// SetLimits installs per-statement resource budgets: a deadline, a row
+// budget (tuples processed by join probes), and a memory budget (join
+// intermediates plus resident temp-table pages). Exceeding one returns an
+// error matching ErrBudgetExceeded instead of letting the statement run
+// away. The zero Limits removes all budgets.
+func (db *DB) SetLimits(l Limits) { db.Eng.Limits = l }
+
+// Recover rebuilds committed base-table state from the write-ahead log, as
+// a crash restart would: mutations after the last commit marker (and
+// anything after a physical corruption point) are discarded, temporary
+// tables vanish, and the log is checkpointed. See engine.(*Engine).Recover.
+func (db *DB) Recover() (*RecoveryReport, error) { return db.Eng.Recover() }
 
 // Explain renders the execution strategy without running the statement:
 // for a WITH+ statement, the compiled SQL/PSM procedure (the paper's
@@ -154,10 +199,20 @@ func isWith(text string) bool {
 // "SSSP", "HITS", "TS", "KC", "MIS", "LP", "MNM", "KS", "TC", "BFS",
 // "APSP", "FW", "RWR", "SR", "DIAM") on the graph, inside this database.
 func (db *DB) Run(code string, g *Graph, p Params) (*Result, error) {
+	return db.RunContext(context.Background(), code, g, p)
+}
+
+// RunContext is Run under a context: the algorithm's engine operators
+// checkpoint against it, so cancellation, deadlines, and SetLimits budgets
+// interrupt long iterative runs mid-flight.
+func (db *DB) RunContext(ctx context.Context, code string, g *Graph, p Params) (res *Result, err error) {
+	defer govern.RecoverTo(&err)
 	a, err := algos.ByCode(code)
 	if err != nil {
 		return nil, err
 	}
+	end := db.Eng.BeginStatement(ctx)
+	defer end()
 	return a.Run(db.Eng, g, p)
 }
 

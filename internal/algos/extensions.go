@@ -257,7 +257,7 @@ func RunKTruss(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		kept := ra.SemiJoin(curRel, strong, []int{0, 1}, []int{0, 1})
+		kept := ra.SemiJoin(curRel, strong, []int{0, 1}, []int{0, 1}, e.Gov())
 		if err := e.StoreInto(curTab, kept); err != nil {
 			return nil, err
 		}
@@ -353,7 +353,7 @@ func RunBisimulation(e *engine.Engine, g *graph.Graph, p Params) (*Result, error
 		if err != nil {
 			return nil, err
 		}
-		sigFull, err := ra.UnionByUpdate(zero, sig, []int{0}, ra.UBUFullOuter)
+		sigFull, err := ra.UnionByUpdate(zero, sig, []int{0}, ra.UBUFullOuter, e.Gov())
 		if err != nil {
 			return nil, err
 		}

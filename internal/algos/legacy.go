@@ -98,7 +98,7 @@ func RunLegacyPageRank(e *engine.Engine, g *graph.Graph, p Params) (*Result, err
 		// Nodes with no in-edges still need their generation row; plain
 		// WITH handles this with an extra initial-style arm, modeled here
 		// by completing against the base vector.
-		completed, err := ra.UnionByUpdate(levelled(base, level), gen, []int{0}, ra.UBUFullOuter)
+		completed, err := ra.UnionByUpdate(levelled(base, level), gen, []int{0}, ra.UBUFullOuter, e.Gov())
 		if err != nil {
 			return nil, err
 		}

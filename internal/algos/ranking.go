@@ -75,7 +75,7 @@ func RunPageRank(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		merged, err := ra.UnionByUpdate(base, scaled, []int{0}, ra.UBUFullOuter)
+		merged, err := ra.UnionByUpdate(base, scaled, []int{0}, ra.UBUFullOuter, e.Gov())
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +163,7 @@ func RunRWR(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		merged, err := ra.UnionByUpdate(base, scaled, []int{0}, ra.UBUFullOuter)
+		merged, err := ra.UnionByUpdate(base, scaled, []int{0}, ra.UBUFullOuter, e.Gov())
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +253,7 @@ func RunHITS(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		raFull, err := ra.UnionByUpdate(zeros, raRel, []int{0}, ra.UBUFullOuter)
+		raFull, err := ra.UnionByUpdate(zeros, raRel, []int{0}, ra.UBUFullOuter, e.Gov())
 		if err != nil {
 			return nil, err
 		}
@@ -269,7 +269,7 @@ func RunHITS(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rhFull, err := ra.UnionByUpdate(zeros, rhRel, []int{0}, ra.UBUFullOuter)
+		rhFull, err := ra.UnionByUpdate(zeros, rhRel, []int{0}, ra.UBUFullOuter, e.Gov())
 		if err != nil {
 			return nil, err
 		}
@@ -393,7 +393,7 @@ func RunSimRank(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 			return nil, err
 		}
 		// K ← max((1-c)·R2, I): the identity overrides the diagonal.
-		newK, err := ra.UnionByUpdate(scaled, ident, []int{0, 1}, ra.UBUFullOuter)
+		newK, err := ra.UnionByUpdate(scaled, ident, []int{0, 1}, ra.UBUFullOuter, e.Gov())
 		if err != nil {
 			return nil, err
 		}

@@ -731,7 +731,7 @@ func RunKS(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		fo := ra.FullOuterJoin(kRel, nb, []int{0}, []int{0})
+		fo := ra.FullOuterJoin(kRel, nb, []int{0}, []int{0}, e.Gov())
 		outs := []ra.OutCol{{Col: ksSch[0], Expr: func(t relation.Tuple) (value.Value, error) {
 			return value.Coalesce(t[0], t[q+1]), nil
 		}}}

@@ -1,6 +1,7 @@
 package algos
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/engine"
@@ -262,7 +263,10 @@ func RunAPSP(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 			return nil, err
 		}
 		// D ← min(D, ext) elementwise, keeping new pairs.
-		merged := minMergePairs(prev, ext)
+		merged, err := minMergePairs(prev, ext)
+		if err != nil {
+			return nil, err
+		}
 		if err := e.StoreInto(dTab, merged); err != nil {
 			return nil, err
 		}
@@ -316,7 +320,10 @@ func RunFloydWarshall(e *engine.Engine, g *graph.Graph, p Params) (*Result, erro
 		if err != nil {
 			return nil, err
 		}
-		merged := minMergePairs(prev, sq)
+		merged, err := minMergePairs(prev, sq)
+		if err != nil {
+			return nil, err
+		}
 		if err := e.StoreInto(dTab, merged); err != nil {
 			return nil, err
 		}
@@ -335,17 +342,16 @@ func RunFloydWarshall(e *engine.Engine, g *graph.Graph, p Params) (*Result, erro
 
 // minMergePairs merges two (F,T,ew) relations keeping the minimum weight
 // per pair — the elementwise min of two sparse matrices.
-func minMergePairs(a, b *relation.Relation) *relation.Relation {
+func minMergePairs(a, b *relation.Relation) (*relation.Relation, error) {
 	all := ra.UnionAll(a, b)
 	out, err := ra.GroupBy(all, []int{0, 1}, []ra.AggSpec{
 		ra.MinAgg(schema.Column{Name: "ew", Type: value.KindFloat}, ra.ColExpr(2)),
 	})
 	if err != nil {
-		// MinAgg over columns cannot fail.
-		panic(err)
+		return nil, fmt.Errorf("algos: min-merging pair relations: %w", err)
 	}
 	out.Sch = graph.EdgeSchema()
-	return out
+	return out, nil
 }
 
 // RunDiameter estimates the diameter via a relational BFS from sample

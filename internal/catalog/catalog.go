@@ -28,6 +28,7 @@ type Table struct {
 	Sch   schema.Schema
 	Store storage.TupleStore
 	Temp  bool
+	Kind  StoreKind
 	Stats Stats
 
 	// version counts writes: every invalidation (insert, truncate, rename)
@@ -60,9 +61,18 @@ type dictEntry struct {
 }
 
 // Catalog is a set of tables sharing a buffer pool and WAL.
+//
+// FaultPlan and Retry, when set, wrap every store the catalog creates from
+// that point on: faults are injected below the retry layer, so transient
+// faults are absorbed and hard faults surface to the engine. Wrapping at the
+// catalog is what lets the chaos sweep reach temp tables created mid-
+// procedure — they do not exist yet when the test starts.
 type Catalog struct {
 	Pool *storage.BufferPool
 	WAL  *storage.WAL
+
+	FaultPlan *storage.FaultPlan
+	Retry     storage.RetryPolicy
 
 	tables map[string]*Table
 }
@@ -97,13 +107,22 @@ func (c *Catalog) Create(name string, sch schema.Schema, kind StoreKind, temp bo
 	case StoreMem:
 		store = storage.NewMemStore()
 	case StorePaged:
-		store = storage.NewPagedStore(c.Pool, nil)
+		store = storage.NewPagedStore(c.Pool, nil, name)
 	case StorePagedLogged:
-		store = storage.NewPagedStore(c.Pool, c.WAL)
+		store = storage.NewPagedStore(c.Pool, c.WAL, name)
 	default:
 		return nil, fmt.Errorf("catalog: unknown store kind %d", kind)
 	}
-	t := &Table{Name: name, Sch: sch, Store: store, Temp: temp}
+	if c.FaultPlan != nil {
+		store = &storage.FaultyStore{Inner: store, Plan: c.FaultPlan}
+	}
+	if c.Retry.Attempts > 1 {
+		store = &storage.RetryingStore{Inner: store, Policy: c.Retry}
+	}
+	if kind == StorePagedLogged && c.WAL != nil {
+		c.WAL.AppendCreate(name, storage.EncodeSchema(nil, sch))
+	}
+	t := &Table{Name: name, Sch: sch, Store: store, Temp: temp, Kind: kind}
 	c.tables[name] = t
 	return t, nil
 }
@@ -123,17 +142,21 @@ func (c *Catalog) Has(name string) bool {
 	return ok
 }
 
-// Drop removes a table, releasing its storage.
+// Drop removes a table, releasing its storage. The table leaves the catalog
+// even when releasing storage fails — an injected fault mid-procedure must
+// not strand a half-dropped table in the namespace (the chaos sweep asserts
+// no temp-table debris survives a failed run).
 func (c *Catalog) Drop(name string) error {
 	t, ok := c.tables[name]
 	if !ok {
 		return fmt.Errorf("catalog: no table %q", name)
 	}
-	if err := t.Store.Truncate(); err != nil {
-		return err
-	}
 	delete(c.tables, name)
-	return nil
+	err := t.Store.Truncate()
+	if t.Kind == StorePagedLogged && c.WAL != nil {
+		c.WAL.AppendDrop(name)
+	}
+	return err
 }
 
 // RenameTable renames old to new (the ALTER TABLE ... RENAME used by the
@@ -176,6 +199,19 @@ func (c *Catalog) TempNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// TempBytes reports the storage footprint of all temporary tables — the
+// resident-memory figure the resource governor checks against MaxBytes at
+// statement checkpoints.
+func (c *Catalog) TempBytes() int64 {
+	var n int64
+	for _, t := range c.tables {
+		if t.Temp {
+			n += t.Store.BytesUsed()
+		}
+	}
+	return n
 }
 
 // Insert appends one tuple to the table.

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
 	"repro/internal/catalog"
+	"repro/internal/govern"
 	"repro/internal/ra"
 	"repro/internal/relation"
 	"repro/internal/schema"
@@ -55,9 +57,15 @@ type Engine struct {
 	// measurements (cmd/bench -nofusion).
 	DisableFusion bool
 
-	disk *storage.Disk
-	pool *storage.BufferPool
-	wal  *storage.WAL
+	// Limits are the per-statement resource budgets; BeginStatement arms a
+	// governor with them. The zero value means ungoverned.
+	Limits govern.Limits
+
+	gov    *govern.Governor
+	disk   *storage.Disk
+	pool   *storage.BufferPool
+	wal    *storage.WAL
+	frames int
 }
 
 // DefaultBufferFrames sizes the buffer pool; large enough that the working
@@ -79,11 +87,12 @@ func NewWithFrames(prof Profile, frames int) *Engine {
 	pool := storage.NewBufferPool(disk, frames)
 	wal := storage.NewWAL()
 	return &Engine{
-		Prof: prof,
-		Cat:  catalog.New(pool, wal),
-		disk: disk,
-		pool: pool,
-		wal:  wal,
+		Prof:   prof,
+		Cat:    catalog.New(pool, wal),
+		disk:   disk,
+		pool:   pool,
+		wal:    wal,
+		frames: frames,
 	}
 }
 
@@ -93,6 +102,42 @@ func (e *Engine) WAL() *storage.WAL { return e.wal }
 
 // Disk exposes the simulated disk (for I/O counters).
 func (e *Engine) Disk() *storage.Disk { return e.disk }
+
+// BeginStatement arms a per-statement resource governor from ctx and the
+// engine's Limits. Every operator the statement runs checkpoints against it:
+// cancellation, deadline, and budget violations surface as typed errors at
+// the engine boundary. The returned func ends the statement — releasing the
+// governor and restoring the previous one (statements may nest through the
+// PSM loop driver) — and must be called exactly once, normally by defer.
+func (e *Engine) BeginStatement(ctx context.Context) func() {
+	prev := e.gov
+	g := govern.New(ctx, e.Limits)
+	e.gov = g
+	return func() {
+		g.Close()
+		e.gov = prev
+	}
+}
+
+// Gov returns the governor of the statement in flight, or nil when
+// ungoverned. Nil is safe to use: every govern method is a no-op on it.
+func (e *Engine) Gov() *govern.Governor { return e.gov }
+
+// CheckStatement is the coarse checkpoint for statement and iteration
+// boundaries: context/budget state plus the resident temp-table footprint
+// against the memory budget (the fed-by-BytesUsed accounting the governor
+// can't see from inside an operator).
+func (e *Engine) CheckStatement() error {
+	if err := e.gov.Check(); err != nil {
+		return err
+	}
+	return e.gov.CheckMem(e.Cat.TempBytes())
+}
+
+// Commit appends a commit marker delimiting the base-table mutations logged
+// so far — the boundary Recover replays to. Elided when nothing was logged
+// since the last marker, so temp-only statements stay free.
+func (e *Engine) Commit() { e.wal.AppendCommit() }
 
 // CreateBase creates a logged, paged base table.
 func (e *Engine) CreateBase(name string, sch schema.Schema) (*catalog.Table, error) {
@@ -125,9 +170,12 @@ func (e *Engine) EnsureTemp(name string, sch schema.Schema) (*catalog.Table, err
 	return e.CreateTemp(name, sch)
 }
 
-// LoadBase creates a base table from a relation and analyzes it.
-func (e *Engine) LoadBase(name string, r *relation.Relation) (*catalog.Table, error) {
-	t, err := e.CreateBase(name, r.Sch)
+// LoadBase creates a base table from a relation and analyzes it. The load
+// commits as one unit: a crash mid-load leaves no trace of the table after
+// Recover.
+func (e *Engine) LoadBase(name string, r *relation.Relation) (t *catalog.Table, err error) {
+	defer govern.RecoverTo(&err)
+	t, err = e.CreateBase(name, r.Sch)
 	if err != nil {
 		return nil, err
 	}
@@ -136,6 +184,7 @@ func (e *Engine) LoadBase(name string, r *relation.Relation) (*catalog.Table, er
 	}
 	e.Cnt.add(&e.Cnt.Inserts, int64(r.Len()))
 	t.Analyze()
+	e.Commit()
 	return t, nil
 }
 
@@ -149,8 +198,10 @@ func (e *Engine) Rel(name string) (*relation.Relation, error) {
 }
 
 // StoreInto truncates the table and inserts r (the PSM "truncate + insert
-// ... select" step between iterations).
-func (e *Engine) StoreInto(name string, r *relation.Relation) error {
+// ... select" step between iterations). Base-table targets commit on
+// success; temp targets log nothing so the commit is elided.
+func (e *Engine) StoreInto(name string, r *relation.Relation) (err error) {
+	defer govern.RecoverTo(&err)
 	t, err := e.Cat.Get(name)
 	if err != nil {
 		return err
@@ -159,18 +210,27 @@ func (e *Engine) StoreInto(name string, r *relation.Relation) error {
 		return err
 	}
 	e.Cnt.add(&e.Cnt.Inserts, int64(r.Len()))
-	return t.InsertRelation(r)
+	if err := t.InsertRelation(r); err != nil {
+		return err
+	}
+	e.Commit()
+	return nil
 }
 
 // AppendInto inserts r into the table without truncating (UNION ALL
 // accumulation).
-func (e *Engine) AppendInto(name string, r *relation.Relation) error {
+func (e *Engine) AppendInto(name string, r *relation.Relation) (err error) {
+	defer govern.RecoverTo(&err)
 	t, err := e.Cat.Get(name)
 	if err != nil {
 		return err
 	}
 	e.Cnt.add(&e.Cnt.Inserts, int64(r.Len()))
-	return t.InsertRelation(r)
+	if err := t.InsertRelation(r); err != nil {
+		return err
+	}
+	e.Commit()
+	return nil
 }
 
 // ensureHashIndex serves a table's cached build-side hash index, charging
@@ -193,7 +253,7 @@ func (e *Engine) ensureHashIndex(t *catalog.Table, cols []int) (*relation.HashIn
 // PostgreSQL-with-temp-indexes, and the cached build-side hash index for
 // the hash-join profiles (built once per table version, hit thereafter).
 func (e *Engine) joinSpec(a, b *catalog.Table, aCols, bCols []int) (ra.EquiJoinSpec, error) {
-	spec := ra.EquiJoinSpec{LeftCols: aCols, RightCols: bCols}
+	spec := ra.EquiJoinSpec{LeftCols: aCols, RightCols: bCols, Gov: e.gov}
 	if a.Stats.Analyzed && b.Stats.Analyzed {
 		spec.Algo = e.Prof.BaseJoin
 	} else {
@@ -235,7 +295,8 @@ func (e *Engine) ensureSortedIndex(t *catalog.Table, cols []int) (*relation.Sort
 // Join computes the equi-join of two tables under the profile's plan. With
 // Parallelism > 1 and a hash plan, the probe side is partitioned across
 // workers over the shared build-side index.
-func (e *Engine) Join(a, b *catalog.Table, aCols, bCols []int) (*relation.Relation, error) {
+func (e *Engine) Join(a, b *catalog.Table, aCols, bCols []int) (out *relation.Relation, err error) {
+	defer govern.RecoverTo(&err)
 	ar, err := a.Materialize()
 	if err != nil {
 		return nil, err
@@ -249,14 +310,25 @@ func (e *Engine) Join(a, b *catalog.Table, aCols, bCols []int) (*relation.Relati
 		return nil, err
 	}
 	e.Cnt.add(&e.Cnt.Joins, 1)
-	var out *relation.Relation
 	if e.Parallelism > 1 && spec.Algo == ra.HashJoin {
 		out = ra.EquiJoinParallel(ar, br, spec, e.Parallelism)
 	} else {
 		out = ra.EquiJoin(ar, br, spec)
 	}
-	e.Cnt.add(&e.Cnt.TuplesMaterialized, int64(out.Len()))
+	if err := e.ChargeMaterialized(out); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// ChargeMaterialized counts a join intermediate and charges its estimated
+// footprint to the statement's memory budget (16 bytes per value slot — the
+// Value struct's order of magnitude — so MaxBytes caps runaway
+// intermediates, not exact allocations). The SQL executor calls it after
+// every join it runs outside the engine's own operator wrappers.
+func (e *Engine) ChargeMaterialized(r *relation.Relation) error {
+	e.Cnt.add(&e.Cnt.TuplesMaterialized, int64(r.Len()))
+	return e.gov.ChargeBytes(int64(r.Len()) * int64(r.Sch.Arity()) * 16)
 }
 
 // MVJoin computes the aggregate-join of a matrix table and a vector table
@@ -265,7 +337,8 @@ func (e *Engine) Join(a, b *catalog.Table, aCols, bCols []int) (*relation.Relati
 // once per table version — for the immutable edge table, once per
 // algorithm) is probed by the iteration's vector, and products fold
 // straight into the group table without materializing the join.
-func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin, aKeep int, sr semiring.Semiring) (*relation.Relation, error) {
+func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin, aKeep int, sr semiring.Semiring) (out *relation.Relation, err error) {
+	defer govern.RecoverTo(&err)
 	ar, err := a.Materialize()
 	if err != nil {
 		return nil, err
@@ -288,7 +361,7 @@ func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin
 		if err != nil {
 			return nil, err
 		}
-		out := ra.FusedMVJoin(ar, cr, idx, dict, ac, cc, aKeep, sr, e.Parallelism)
+		out := ra.FusedMVJoin(ar, cr, idx, dict, ac, cc, aKeep, sr, e.Parallelism, e.gov)
 		out.Sch = schema.Schema{
 			{Name: "ID", Type: ar.Sch[aKeep].Type},
 			{Name: "vw"},
@@ -307,7 +380,8 @@ func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin
 // build side is the analyzed (base) table when exactly one side is — its
 // cached index survives iterations — else the right side, matching the
 // hash join's build/probe orientation.
-func (e *Engine) MMJoin(a, b *catalog.Table, ac, bc ra.MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring) (*relation.Relation, error) {
+func (e *Engine) MMJoin(a, b *catalog.Table, ac, bc ra.MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring) (out *relation.Relation, err error) {
+	defer govern.RecoverTo(&err)
 	ar, err := a.Materialize()
 	if err != nil {
 		return nil, err
@@ -329,7 +403,7 @@ func (e *Engine) MMJoin(a, b *catalog.Table, ac, bc ra.MatCols, aJoin, aKeep, bJ
 		if err != nil {
 			return nil, err
 		}
-		out := ra.FusedMMJoin(ar, br, idx, idxOnLeft, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, e.Parallelism)
+		out := ra.FusedMMJoin(ar, br, idx, idxOnLeft, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, e.Parallelism, e.gov)
 		out.Sch = schema.Schema{
 			{Name: "F", Type: ar.Sch[aKeep].Type},
 			{Name: "T", Type: br.Sch[bKeep].Type},
@@ -360,7 +434,8 @@ func (e *Engine) fusible(a, b *catalog.Table) bool {
 
 // AntiJoin computes r ▷ s between two tables with the chosen SQL
 // implementation.
-func (e *Engine) AntiJoin(r, s *catalog.Table, rCols, sCols []int, impl ra.AntiJoinImpl) (*relation.Relation, error) {
+func (e *Engine) AntiJoin(r, s *catalog.Table, rCols, sCols []int, impl ra.AntiJoinImpl) (out *relation.Relation, err error) {
+	defer govern.RecoverTo(&err)
 	rr, err := r.Materialize()
 	if err != nil {
 		return nil, err
@@ -370,7 +445,7 @@ func (e *Engine) AntiJoin(r, s *catalog.Table, rCols, sCols []int, impl ra.AntiJ
 		return nil, err
 	}
 	e.Cnt.add(&e.Cnt.AntiJoins, 1)
-	return ra.AntiJoin(rr, sr, rCols, sCols, impl), nil
+	return ra.AntiJoin(rr, sr, rCols, sCols, impl, e.gov), nil
 }
 
 // UnionByUpdate updates the target table in place from relation s using the
@@ -380,7 +455,8 @@ func (e *Engine) AntiJoin(r, s *catalog.Table, rCols, sCols []int, impl ra.AntiJ
 //   - merge / update from: compute the updated image, rewrite the table;
 //   - full outer join: compute the joined image, rewrite the table;
 //   - drop/alter: drop the old table and store s under the old name.
-func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []int, impl ra.UBUImpl) error {
+func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []int, impl ra.UBUImpl) (err error) {
+	defer govern.RecoverTo(&err)
 	t, err := e.Cat.Get(target)
 	if err != nil {
 		return err
@@ -401,7 +477,11 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 			return err
 		}
 		e.Cnt.add(&e.Cnt.Inserts, int64(s.Len()))
-		return nt.InsertRelation(s)
+		if err := nt.InsertRelation(s); err != nil {
+			return err
+		}
+		e.Commit()
+		return nil
 	}
 	cur, err := t.Materialize()
 	if err != nil {
@@ -415,14 +495,17 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 		idx := relation.BuildHashIndex(cur, keyCols)
 		var scratch []byte
 		for _, st := range s.Tuples {
+			e.gov.MustStep(1)
 			idx.ProbeEach(st, keyCols, func(row int) bool {
 				scratch = storage.EncodeTuple(scratch[:0], cur.Tuples[row])
-				e.wal.Append(scratch)
+				// Undo images are notes: pure logging cost, skipped by
+				// recovery (redo replays the committed row images instead).
+				e.wal.AppendNote(scratch)
 				return true
 			})
 		}
 	}
-	updated, err := ra.UnionByUpdate(cur, s, keyCols, impl)
+	updated, err := ra.UnionByUpdate(cur, s, keyCols, impl, e.gov)
 	if err != nil {
 		return err
 	}
@@ -440,7 +523,9 @@ func (e *Engine) mvJoinWithSpec(ar, cr *relation.Relation, ac ra.MatCols, cc ra.
 	} else {
 		joined = ra.EquiJoin(ar, cr, spec)
 	}
-	e.Cnt.add(&e.Cnt.TuplesMaterialized, int64(joined.Len()))
+	if err := e.ChargeMaterialized(joined); err != nil {
+		return nil, err
+	}
 	cOff := ar.Sch.Arity()
 	agg := ra.SemiringAgg(schema.Column{Name: "vw"}, sr, func(t relation.Tuple) (value.Value, error) {
 		return sr.Times(t[ac.W], t[cOff+cc.W]), nil
@@ -465,7 +550,9 @@ func (e *Engine) mmJoinWithSpec(ar, br *relation.Relation, ac, bc ra.MatCols, aJ
 	} else {
 		joined = ra.EquiJoin(ar, br, spec)
 	}
-	e.Cnt.add(&e.Cnt.TuplesMaterialized, int64(joined.Len()))
+	if err := e.ChargeMaterialized(joined); err != nil {
+		return nil, err
+	}
 	bOff := ar.Sch.Arity()
 	agg := ra.SemiringAgg(schema.Column{Name: "ew"}, sr, func(t relation.Tuple) (value.Value, error) {
 		return sr.Times(t[ac.W], t[bOff+bc.W]), nil

@@ -8,6 +8,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/schema"
 	"repro/internal/semiring"
+	"repro/internal/storage"
 	"repro/internal/value"
 )
 
@@ -94,8 +95,13 @@ func TestBaseTableLoggedTempNot(t *testing.T) {
 	if _, err := e.LoadBase("E", r); err != nil {
 		t.Fatal(err)
 	}
-	if e.WAL().Records != 3 {
-		t.Errorf("base inserts should log, got %d records", e.WAL().Records)
+	// A loaded base table logs its create, one record per insert, and the
+	// commit marker delimiting the load.
+	if e.WAL().Records != 5 {
+		t.Errorf("base load should log create+3 inserts+commit, got %d records", e.WAL().Records)
+	}
+	if e.WAL().Commits != 1 {
+		t.Errorf("base load should commit once, got %d", e.WAL().Commits)
 	}
 	tmp, err := e.CreateTemp("V", nodeRel(2, func(int) float64 { return 0 }).Sch)
 	if err != nil {
@@ -104,8 +110,12 @@ func TestBaseTableLoggedTempNot(t *testing.T) {
 	if err := tmp.InsertRelation(nodeRel(2, func(int) float64 { return 0 })); err != nil {
 		t.Fatal(err)
 	}
-	if e.WAL().Records != 3 {
+	if e.WAL().Records != 5 {
 		t.Errorf("temp inserts must bypass the log, got %d records", e.WAL().Records)
+	}
+	e.Commit()
+	if e.WAL().Commits != 1 {
+		t.Error("temp-only activity must not arm a commit marker")
 	}
 }
 
@@ -113,14 +123,20 @@ func TestOracleTempInMemoryOthersPaged(t *testing.T) {
 	or := New(OracleLike())
 	tab, _ := or.CreateTemp("t", schema.Cols(value.KindInt, "x"))
 	tab.Insert(relation.Tuple{value.Int(1)})
-	if tab.Store.BytesUsed() != 0 {
-		t.Error("oracle temp should be memory-backed")
+	if _, ok := tab.Store.(*storage.MemStore); !ok {
+		t.Errorf("oracle temp should be memory-backed, got %T", tab.Store)
+	}
+	if tab.Store.BytesUsed() == 0 {
+		t.Error("memory-backed temp must still report its footprint to the governor")
 	}
 	pg := New(PostgresLike(false))
 	tab2, _ := pg.CreateTemp("t", schema.Cols(value.KindInt, "x"))
 	tab2.Insert(relation.Tuple{value.Int(1)})
+	if _, ok := tab2.Store.(*storage.PagedStore); !ok {
+		t.Errorf("postgres temp should be paged, got %T", tab2.Store)
+	}
 	if tab2.Store.BytesUsed() == 0 {
-		t.Error("postgres temp should be paged")
+		t.Error("postgres temp should report resident pages")
 	}
 }
 
@@ -265,7 +281,7 @@ func pageRankViaEngine(t *testing.T, e *Engine, edges [][2]int64, n, iters int, 
 		if err != nil {
 			t.Fatal(err)
 		}
-		merged, err := ra.UnionByUpdate(next, scaled, []int{0}, ra.UBUFullOuter)
+		merged, err := ra.UnionByUpdate(next, scaled, []int{0}, ra.UBUFullOuter, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func dump(t *testing.T, e *Engine, name string) string {
+	t.Helper()
+	r, err := e.Rel(name)
+	if err != nil {
+		t.Fatalf("materialize %s: %v", name, err)
+	}
+	var b strings.Builder
+	for i := 0; i < r.Len(); i++ {
+		b.WriteString(r.At(i).String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestRecoverRestoresCommittedState(t *testing.T) {
+	e := New(OracleLike())
+	if _, err := e.LoadBase("E", edgeRel([][2]int64{{0, 1}, {1, 2}, {2, 0}})); err != nil {
+		t.Fatal(err)
+	}
+	want := dump(t, e, "E")
+	// A temp table and its data must NOT survive recovery.
+	tmp, err := e.CreateTemp("scratch", schema.Cols(value.KindInt, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Insert(relation.Tuple{value.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt != nil {
+		t.Fatalf("intact log reported corrupt: %v", rep.Corrupt)
+	}
+	if len(rep.Tables) != 1 || rep.Tables[0] != "E" {
+		t.Fatalf("want tables [E], got %v", rep.Tables)
+	}
+	if got := dump(t, e, "E"); got != want {
+		t.Fatalf("E diverged:\ngot:\n%swant:\n%s", got, want)
+	}
+	if e.Cat.Has("scratch") {
+		t.Fatal("temp table survived recovery")
+	}
+	// Statistics are rebuilt so plan choice behaves as after a fresh load.
+	tab, _ := e.Cat.Get("E")
+	if !tab.Stats.Analyzed || tab.Stats.Rows != 3 {
+		t.Fatalf("stats not rebuilt: %+v", tab.Stats)
+	}
+}
+
+// TestRecoverDiscardsTornTail: base-table mutations after the last commit
+// marker (a statement in flight at the crash) are discarded.
+func TestRecoverDiscardsTornTail(t *testing.T) {
+	e := New(OracleLike())
+	if _, err := e.LoadBase("E", edgeRel([][2]int64{{0, 1}, {1, 2}})); err != nil {
+		t.Fatal(err)
+	}
+	want := dump(t, e, "E")
+	// Mutate the base table directly without committing — the torn tail.
+	tab, _ := e.Cat.Get("E")
+	if err := tab.Insert(relation.Tuple{value.Int(9), value.Int(9), value.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 3 {
+		t.Fatal("uncommitted insert should be visible pre-crash")
+	}
+	rep, err := e.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Discarded == 0 {
+		t.Fatal("the uncommitted insert should be counted as discarded")
+	}
+	if got := dump(t, e, "E"); got != want {
+		t.Fatalf("torn tail not discarded:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestRecoverFromBitFlip: physical corruption in the middle of the log
+// truncates replay at the damaged frame and reports where it was.
+func TestRecoverFromBitFlip(t *testing.T) {
+	e := New(OracleLike())
+	if _, err := e.LoadBase("E", edgeRel([][2]int64{{0, 1}})); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := dump(t, e, "E")
+	if _, err := e.LoadBase("F", edgeRel([][2]int64{{5, 6}, {6, 7}})); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the image, landing after E's records (E is create +
+	// insert + commit; damage something in F's frames).
+	img := e.WAL().Snapshot()
+	img[3*len(img)/4] ^= 0x10
+	e.WAL().Load(img)
+	rep, err := e.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt == nil {
+		t.Fatal("bit flip not reported")
+	}
+	if rep.Corrupt.Record < 3 {
+		t.Fatalf("corruption located before E's committed records: %+v", rep.Corrupt)
+	}
+	// E (fully committed before the damage) must be intact.
+	if got := dump(t, e, "E"); got != afterFirst {
+		t.Fatalf("committed prefix lost:\ngot:\n%swant:\n%s", got, afterFirst)
+	}
+}
+
+// TestRecoverIsCheckpoint: recovery truncates and re-logs, so recovering
+// twice in a row is stable (a crash during recovery recovers to the same
+// state), and the second report discards nothing.
+func TestRecoverIsCheckpoint(t *testing.T) {
+	e := New(OracleLike())
+	if _, err := e.LoadBase("E", edgeRel([][2]int64{{0, 1}, {1, 2}, {2, 0}})); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := e.Cat.Get("E")
+	_ = tab.Insert(relation.Tuple{value.Int(8), value.Int(8), value.Float(1)}) // torn
+	rep1, err := e.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dump(t, e, "E")
+	rep2, err := e.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Discarded != 0 {
+		t.Fatalf("second recovery discarded %d records from a checkpointed log", rep2.Discarded)
+	}
+	if rep2.Records != rep1.Records {
+		t.Fatalf("checkpoint changed the committed record count: %d vs %d", rep2.Records, rep1.Records)
+	}
+	if got := dump(t, e, "E"); got != want {
+		t.Fatalf("double recovery diverged:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestRecoverReplaysTruncateAndDrop: committed TRUNCATE and DROP TABLE are
+// part of the replayed history, not just inserts.
+func TestRecoverReplaysTruncateAndDrop(t *testing.T) {
+	e := New(OracleLike())
+	if _, err := e.LoadBase("E", edgeRel([][2]int64{{0, 1}})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.LoadBase("G", edgeRel([][2]int64{{3, 4}})); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := e.Cat.Get("E")
+	if err := tab.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Cat.Drop("G"); err != nil {
+		t.Fatal(err)
+	}
+	e.Commit()
+	rep, err := e.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 || rep.Tables[0] != "E" {
+		t.Fatalf("want tables [E], got %v", rep.Tables)
+	}
+	tab, _ = e.Cat.Get("E")
+	if tab.Rows() != 0 {
+		t.Fatalf("committed truncate not replayed: %d rows", tab.Rows())
+	}
+	if e.Cat.Has("G") {
+		t.Fatal("committed drop not replayed")
+	}
+}
+
+// TestRecoverPreservesRetryNotFaultPlan: the retry policy (configuration)
+// survives a restart; the scripted fault plan (test instrumentation) does
+// not.
+func TestRecoverPreservesRetryNotFaultPlan(t *testing.T) {
+	e := New(OracleLike())
+	e.Cat.Retry = storage.RetryPolicy{Attempts: 4}
+	e.Cat.FaultPlan = &storage.FaultPlan{EveryNth: 1000}
+	if _, err := e.LoadBase("E", edgeRel([][2]int64{{0, 1}})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Cat.Retry.Attempts != 4 {
+		t.Fatal("retry policy lost across recovery")
+	}
+	if e.Cat.FaultPlan != nil {
+		t.Fatal("fault plan must not survive recovery")
+	}
+}
+
+// TestRecoverEmptyLog: recovering a fresh engine is a no-op that reports an
+// empty catalog.
+func TestRecoverEmptyLog(t *testing.T) {
+	e := New(DB2Like())
+	rep, err := e.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 0 || rep.Records != 0 || rep.Corrupt != nil {
+		t.Fatalf("unexpected report for empty log: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "recovered 0 tables") {
+		t.Fatalf("report string: %q", rep.String())
+	}
+}

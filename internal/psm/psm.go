@@ -20,6 +20,10 @@ type Ctx struct {
 	Conds map[string]bool
 	// Iteration is the current loop iteration (0 before the loop).
 	Iteration int
+
+	// created tracks the temp tables this call made, so a failed or
+	// cancelled call can drop them instead of leaving debris.
+	created []string
 }
 
 // Query produces a relation from the current state (a compiled SELECT).
@@ -40,6 +44,9 @@ type CreateTemp struct {
 // Exec implements Stmt.
 func (s *CreateTemp) Exec(ctx *Ctx) error {
 	_, err := ctx.Eng.EnsureTemp(s.Table, s.Sch)
+	if err == nil {
+		ctx.created = append(ctx.created, s.Table)
+	}
 	return err
 }
 
@@ -125,10 +132,17 @@ type Loop struct {
 	MaxIter int
 }
 
-// Exec implements Stmt.
+// Exec implements Stmt. The loop is a cooperative checkpoint site: the
+// statement's governor is consulted at every iteration boundary (the coarse
+// CheckStatement, which also audits the temp-table memory footprint) and
+// before every statement, so a cancelled or over-budget run stops within
+// one statement rather than finishing the loop.
 func (s *Loop) Exec(ctx *Ctx) error {
 	for iter := 1; s.MaxIter <= 0 || iter <= s.MaxIter; iter++ {
 		ctx.Iteration = iter
+		if err := ctx.Eng.CheckStatement(); err != nil {
+			return err
+		}
 		for _, st := range s.Body {
 			if ex, ok := st.(*ExitIf); ok {
 				stop, err := ex.Cond(ctx)
@@ -139,6 +153,9 @@ func (s *Loop) Exec(ctx *Ctx) error {
 					return nil
 				}
 				continue
+			}
+			if err := ctx.Eng.Gov().Check(); err != nil {
+				return err
 			}
 			if err := st.Exec(ctx); err != nil {
 				return err
@@ -165,15 +182,30 @@ type Proc struct {
 	Steps []Stmt
 }
 
-// Call executes the procedure on an engine.
+// Call executes the procedure on an engine. A failed or cancelled call
+// drops every temp table it created before returning — the procedure's
+// working state must not outlive an aborted run.
 func (p *Proc) Call(eng *engine.Engine) error {
 	ctx := &Ctx{Eng: eng, Conds: map[string]bool{}}
 	for _, s := range p.Steps {
 		if err := s.Exec(ctx); err != nil {
+			ctx.dropCreated()
 			return err
 		}
 	}
 	return nil
+}
+
+// dropCreated removes the call's temp tables, tolerating tables already
+// dropped by the procedure itself. Drop failures are ignored: the catalog
+// removes the name even when releasing storage fails, which is the
+// debris-free invariant the fault sweep asserts.
+func (c *Ctx) dropCreated() {
+	for _, name := range c.created {
+		if c.Eng.Cat.Has(name) {
+			_ = c.Eng.Cat.Drop(name)
+		}
+	}
 }
 
 // String renders the procedure body (the shape of Algorithm 1's output).

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/govern"
 	"repro/internal/relation"
 	"repro/internal/schema"
 	"repro/internal/semiring"
@@ -224,10 +225,17 @@ func (d *denseGroups) relation(keys []value.Value, sch schema.Schema) *relation.
 }
 
 // runMorselsDense mirrors runMorsels for the dictionary-encoded fold.
-func runMorselsDense(n, workers, groups int, sr semiring.Semiring, probe func(dg *denseGroups, lo, hi int)) *denseGroups {
+func runMorselsDense(n, workers, groups int, sr semiring.Semiring, gov *govern.Governor, probe func(dg *denseGroups, lo, hi int)) *denseGroups {
 	if workers <= 1 || n < 2*workers {
 		dg := newDenseGroups(sr, groups)
-		probe(dg, 0, n)
+		for lo := 0; lo < n; lo += probeMorsel {
+			hi := lo + probeMorsel
+			if hi > n {
+				hi = n
+			}
+			gov.MustStep(hi - lo)
+			probe(dg, lo, hi)
+		}
 		return dg
 	}
 	var cursor int64
@@ -247,12 +255,18 @@ func runMorselsDense(n, workers, groups int, sr semiring.Semiring, probe func(dg
 				if hi > n {
 					hi = n
 				}
+				// Drain on governor stop; never panic off the statement
+				// goroutine.
+				if gov.Step(hi-lo) != nil {
+					break
+				}
 				probe(dg, lo, hi)
 			}
 			partials[w] = dg
 		}(w)
 	}
 	wg.Wait()
+	gov.MustOK()
 	acc := partials[0]
 	for _, p := range partials[1:] {
 		acc.merge(p)
@@ -262,11 +276,21 @@ func runMorselsDense(n, workers, groups int, sr semiring.Semiring, probe func(dg
 
 // runMorsels drives the morsel-parallel probe: probe-side rows [0, n) are
 // claimed in fixed-size morsels off an atomic cursor; each worker folds
-// into a private group table and the partials merge in worker order.
-func runMorsels(n, workers int, sr semiring.Semiring, probe func(gt *groupTable, lo, hi int)) *groupTable {
+// into a private group table and the partials merge in worker order. The
+// governor is consulted once per morsel: the serial path aborts (recovered
+// at the engine boundary), workers drain and the statement goroutine
+// re-raises via MustOK after the join.
+func runMorsels(n, workers int, sr semiring.Semiring, gov *govern.Governor, probe func(gt *groupTable, lo, hi int)) *groupTable {
 	if workers <= 1 || n < 2*workers {
 		gt := newGroupTable(sr, n)
-		probe(gt, 0, n)
+		for lo := 0; lo < n; lo += probeMorsel {
+			hi := lo + probeMorsel
+			if hi > n {
+				hi = n
+			}
+			gov.MustStep(hi - lo)
+			probe(gt, lo, hi)
+		}
 		return gt
 	}
 	var cursor int64
@@ -286,12 +310,16 @@ func runMorsels(n, workers int, sr semiring.Semiring, probe func(gt *groupTable,
 				if hi > n {
 					hi = n
 				}
+				if gov.Step(hi-lo) != nil {
+					break
+				}
 				probe(gt, lo, hi)
 			}
 			partials[w] = gt
 		}(w)
 	}
 	wg.Wait()
+	gov.MustOK()
 	acc := partials[0]
 	for _, p := range partials[1:] {
 		acc.merge(p)
@@ -312,7 +340,7 @@ func runMorsels(n, workers int, sr semiring.Semiring, probe func(gt *groupTable,
 // index); when present and covering a, the fold becomes a dense-array
 // accumulate — no group hashing or key comparison per matched edge. A nil
 // or mismatched dict falls back to the hashed group table.
-func FusedMVJoin(a, c *relation.Relation, idx *relation.HashIndex, dict *relation.ColumnDict, ac MatCols, cc VecCols, aKeep int, sr semiring.Semiring, workers int) *relation.Relation {
+func FusedMVJoin(a, c *relation.Relation, idx *relation.HashIndex, dict *relation.ColumnDict, ac MatCols, cc VecCols, aKeep int, sr semiring.Semiring, workers int, gov *govern.Governor) *relation.Relation {
 	probeCols := []int{cc.ID}
 	sch := schema.Schema{
 		{Name: "ID", Type: a.Sch[aKeep].Type},
@@ -320,7 +348,7 @@ func FusedMVJoin(a, c *relation.Relation, idx *relation.HashIndex, dict *relatio
 	}
 	if dict != nil && dict.Col == aKeep && len(dict.Ords) == a.Len() {
 		ords := dict.Ords
-		dg := runMorselsDense(c.Len(), workers, len(dict.Keys), sr, func(dg *denseGroups, lo, hi int) {
+		dg := runMorselsDense(c.Len(), workers, len(dict.Keys), sr, gov, func(dg *denseGroups, lo, hi int) {
 			for _, ct := range c.Tuples[lo:hi] {
 				idx.ProbeEach(ct, probeCols, func(row int) bool {
 					at := a.Tuples[row]
@@ -331,7 +359,7 @@ func FusedMVJoin(a, c *relation.Relation, idx *relation.HashIndex, dict *relatio
 		})
 		return dg.relation(dict.Keys, sch)
 	}
-	gt := runMorsels(c.Len(), workers, sr, func(gt *groupTable, lo, hi int) {
+	gt := runMorsels(c.Len(), workers, sr, gov, func(gt *groupTable, lo, hi int) {
 		for _, ct := range c.Tuples[lo:hi] {
 			idx.ProbeEach(ct, probeCols, func(row int) bool {
 				at := a.Tuples[row]
@@ -350,11 +378,11 @@ func FusedMVJoin(a, c *relation.Relation, idx *relation.HashIndex, dict *relatio
 // {aJoin} and the probe scans b — the engine picks the side whose index
 // survives across iterations (the analyzed base table). The ⊙-product
 // argument order is a.W ⊙ b.W either way, so non-commutative ⊙ is safe.
-func FusedMMJoin(a, b *relation.Relation, idx *relation.HashIndex, idxOnLeft bool, ac, bc MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring, workers int) *relation.Relation {
+func FusedMMJoin(a, b *relation.Relation, idx *relation.HashIndex, idxOnLeft bool, ac, bc MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring, workers int, gov *govern.Governor) *relation.Relation {
 	var gt *groupTable
 	if idxOnLeft {
 		probeCols := []int{bJoin}
-		gt = runMorsels(b.Len(), workers, sr, func(gt *groupTable, lo, hi int) {
+		gt = runMorsels(b.Len(), workers, sr, gov, func(gt *groupTable, lo, hi int) {
 			for _, bt := range b.Tuples[lo:hi] {
 				idx.ProbeEach(bt, probeCols, func(row int) bool {
 					at := a.Tuples[row]
@@ -365,7 +393,7 @@ func FusedMMJoin(a, b *relation.Relation, idx *relation.HashIndex, idxOnLeft boo
 		})
 	} else {
 		probeCols := []int{aJoin}
-		gt = runMorsels(a.Len(), workers, sr, func(gt *groupTable, lo, hi int) {
+		gt = runMorsels(a.Len(), workers, sr, gov, func(gt *groupTable, lo, hi int) {
 			for _, at := range a.Tuples[lo:hi] {
 				idx.ProbeEach(at, probeCols, func(row int) bool {
 					bt := b.Tuples[row]

@@ -3,6 +3,7 @@ package ra
 import (
 	"fmt"
 
+	"repro/internal/govern"
 	"repro/internal/relation"
 	"repro/internal/value"
 )
@@ -50,6 +51,13 @@ type EquiJoinSpec struct {
 	LeftIdx   *relation.SortedIndex // optional, used by IndexMergeJoin
 	RightIdx  *relation.SortedIndex // optional, used by IndexMergeJoin
 	RightHash *relation.HashIndex   // optional, used by HashJoin as the build side
+
+	// Gov, when set, makes the probe loops cooperative: each probe-side
+	// tuple ticks the governor, so cancellation, deadlines, and row budgets
+	// surface mid-join instead of only between operators. Serial loops
+	// abort via govern.Abort (recovered at the engine boundary); parallel
+	// workers poll and drain cleanly.
+	Gov *govern.Governor
 }
 
 // EquiJoin computes r ⋈ s on the key columns using the requested algorithm.
@@ -61,6 +69,7 @@ func EquiJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
 	case NestedLoopJoin:
 		out := relation.New(r.Sch.Concat(s.Sch))
 		for _, rt := range r.Tuples {
+			spec.Gov.MustStep(1)
 			for _, st := range s.Tuples {
 				if rt.EqualOn(spec.LeftCols, st, spec.RightCols) {
 					out.Tuples = append(out.Tuples, concatTuples(rt, st))
@@ -78,6 +87,7 @@ func hashJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
 	// Build on the right side, probe from the left.
 	idx := buildSide(s, spec)
 	for _, rt := range r.Tuples {
+		spec.Gov.MustStep(1)
 		idx.ProbeEach(rt, spec.LeftCols, func(row int) bool {
 			out.Tuples = append(out.Tuples, concatTuples(rt, s.Tuples[row]))
 			return true
@@ -125,6 +135,7 @@ func mergeJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
 	out := relation.New(r.Sch.Concat(s.Sch))
 	i, j := 0, 0
 	for i < lIdx.Len() && j < rIdx.Len() {
+		spec.Gov.MustStep(1)
 		lt := lIdx.Tuple(i)
 		rt := rIdx.Tuple(j)
 		c := lt.CompareOn(spec.LeftCols, rt, spec.RightCols)
@@ -170,8 +181,9 @@ func ThetaJoin(r, s *relation.Relation, pred Pred) (*relation.Relation, error) {
 }
 
 // LeftOuterJoin computes r ⟕ s on key columns: unmatched r tuples are padded
-// with NULLs on the s side.
-func LeftOuterJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relation {
+// with NULLs on the s side. gov, when non-nil, makes the probe loop a
+// cooperative checkpoint (see EquiJoinSpec.Gov).
+func LeftOuterJoin(r, s *relation.Relation, lCols, rCols []int, gov *govern.Governor) *relation.Relation {
 	out := relation.New(r.Sch.Concat(s.Sch))
 	idx := relation.BuildHashIndex(s, rCols)
 	pad := make(relation.Tuple, s.Sch.Arity())
@@ -179,6 +191,7 @@ func LeftOuterJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relati
 		pad[i] = value.Null
 	}
 	for _, rt := range r.Tuples {
+		gov.MustStep(1)
 		matchedAny := false
 		idx.ProbeEach(rt, lCols, func(row int) bool {
 			matchedAny = true
@@ -195,7 +208,8 @@ func LeftOuterJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relati
 // FullOuterJoin computes r ⟗ s on key columns: unmatched tuples from either
 // side are padded with NULLs on the other side. This is the implementation
 // vehicle for union-by-update that the paper finds fastest (Tables 4 and 5).
-func FullOuterJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relation {
+// gov, when non-nil, checkpoints both probe sweeps.
+func FullOuterJoin(r, s *relation.Relation, lCols, rCols []int, gov *govern.Governor) *relation.Relation {
 	out := relation.New(r.Sch.Concat(s.Sch))
 	idx := relation.BuildHashIndex(s, rCols)
 	lPad := make(relation.Tuple, r.Sch.Arity())
@@ -208,6 +222,7 @@ func FullOuterJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relati
 	}
 	matched := make([]bool, s.Len())
 	for _, rt := range r.Tuples {
+		gov.MustStep(1)
 		matchedAny := false
 		idx.ProbeEach(rt, lCols, func(row int) bool {
 			matchedAny = true
@@ -220,6 +235,7 @@ func FullOuterJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relati
 		}
 	}
 	for i, st := range s.Tuples {
+		gov.MustStep(1)
 		if !matched[i] {
 			out.Tuples = append(out.Tuples, concatTuples(lPad, st))
 		}
@@ -228,10 +244,11 @@ func FullOuterJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relati
 }
 
 // SemiJoin computes r ⋉ s: the r tuples that join with at least one s tuple.
-func SemiJoin(r, s *relation.Relation, lCols, rCols []int) *relation.Relation {
+func SemiJoin(r, s *relation.Relation, lCols, rCols []int, gov *govern.Governor) *relation.Relation {
 	out := relation.New(r.Sch)
 	idx := relation.BuildHashIndex(s, rCols)
 	for _, rt := range r.Tuples {
+		gov.MustStep(1)
 		if idx.Contains(rt, lCols) {
 			out.Append(rt.Clone())
 		}

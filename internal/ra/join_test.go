@@ -90,7 +90,7 @@ func TestThetaJoin(t *testing.T) {
 func TestLeftOuterJoin(t *testing.T) {
 	a := rel(ints("k", "x"), []int64{1, 10}, []int64{2, 20})
 	b := rel(ints("k", "y"), []int64{1, 100})
-	got := LeftOuterJoin(a, b, []int{0}, []int{0})
+	got := LeftOuterJoin(a, b, []int{0}, []int{0}, nil)
 	if got.Len() != 2 {
 		t.Fatalf("rows = %d", got.Len())
 	}
@@ -108,7 +108,7 @@ func TestLeftOuterJoin(t *testing.T) {
 func TestFullOuterJoin(t *testing.T) {
 	a := rel(ints("k", "x"), []int64{1, 10}, []int64{2, 20})
 	b := rel(ints("k", "y"), []int64{2, 200}, []int64{3, 300})
-	got := FullOuterJoin(a, b, []int{0}, []int{0})
+	got := FullOuterJoin(a, b, []int{0}, []int{0}, nil)
 	if got.Len() != 3 {
 		t.Fatalf("rows = %d: %v", got.Len(), got)
 	}
@@ -137,7 +137,7 @@ func TestFullOuterJoin(t *testing.T) {
 func TestSemiJoin(t *testing.T) {
 	a := rel(ints("k"), []int64{1}, []int64{2}, []int64{2}, []int64{3})
 	b := rel(ints("k"), []int64{2}, []int64{2}, []int64{9})
-	got := SemiJoin(a, b, []int{0}, []int{0})
+	got := SemiJoin(a, b, []int{0}, []int{0}, nil)
 	// Semi-join keeps bag multiplicity of the left side, never multiplies.
 	wantRows(t, got, []int64{2}, []int64{2})
 }

@@ -145,8 +145,8 @@ func TestSemiAntiJoinPartitionR(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		r := randRel(rng, 2, 40, 6)
 		s := randRel(rng, 1, 10, 6)
-		semi := SemiJoin(r, s, []int{0}, []int{0})
-		anti := AntiJoin(r, s, []int{0}, []int{0}, AntiNotExists)
+		semi := SemiJoin(r, s, []int{0}, []int{0}, nil)
+		anti := AntiJoin(r, s, []int{0}, []int{0}, AntiNotExists, nil)
 		// Semi-join and anti-join partition R (bag semantics).
 		if semi.Len()+anti.Len() != r.Len() {
 			t.Fatalf("partition sizes %d + %d != %d", semi.Len(), anti.Len(), r.Len())
@@ -163,8 +163,8 @@ func TestOuterJoinContainsInnerJoin(t *testing.T) {
 		r := randRel(rng, 2, 30, 5)
 		s := randRel(rng, 2, 30, 5)
 		inner := EquiJoin(r, s, EquiJoinSpec{LeftCols: []int{0}, RightCols: []int{0}, Algo: HashJoin})
-		left := LeftOuterJoin(r, s, []int{0}, []int{0})
-		full := FullOuterJoin(r, s, []int{0}, []int{0})
+		left := LeftOuterJoin(r, s, []int{0}, []int{0}, nil)
+		full := FullOuterJoin(r, s, []int{0}, []int{0}, nil)
 		// Non-padded rows of the outer joins equal the inner join.
 		noNullLeft, err := Select(left, func(tu relation.Tuple) (bool, error) {
 			return !tu[2].IsNull(), nil
@@ -231,12 +231,12 @@ func TestUnionByUpdateAlgebra(t *testing.T) {
 			return r
 		}
 		r, s := mk(1), mk(2)
-		out, err := UnionByUpdate(r, s, []int{0}, UBUFullOuter)
+		out, err := UnionByUpdate(r, s, []int{0}, UBUFullOuter, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Idempotence: updating again with the same S changes nothing.
-		out2, err := UnionByUpdate(out, s, []int{0}, UBUFullOuter)
+		out2, err := UnionByUpdate(out, s, []int{0}, UBUFullOuter, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,6 +3,7 @@ package ra
 import (
 	"fmt"
 
+	"repro/internal/govern"
 	"repro/internal/relation"
 	"repro/internal/schema"
 	"repro/internal/semiring"
@@ -108,14 +109,16 @@ func (i AntiJoinImpl) String() string {
 // AntiJoin computes r ▷ s on key columns with the chosen implementation.
 // All three agree when no NULL keys are present; AntiNotIn follows SQL's
 // three-valued logic (any NULL in s empties the result; NULL r-keys are
-// never returned).
-func AntiJoin(r, s *relation.Relation, rCols, sCols []int, impl AntiJoinImpl) *relation.Relation {
+// never returned). gov, when non-nil, makes every per-tuple loop a
+// cooperative checkpoint.
+func AntiJoin(r, s *relation.Relation, rCols, sCols []int, impl AntiJoinImpl, gov *govern.Governor) *relation.Relation {
 	switch impl {
 	case AntiLeftOuter:
-		joined := LeftOuterJoin(r, s, rCols, sCols)
+		joined := LeftOuterJoin(r, s, rCols, sCols, gov)
 		out := relation.New(r.Sch)
 		nullProbe := r.Sch.Arity() + sCols[0]
 		for _, t := range joined.Tuples {
+			gov.MustStep(1)
 			if t[nullProbe].IsNull() {
 				out.Append(t[:r.Sch.Arity()].Clone())
 			}
@@ -133,6 +136,7 @@ func AntiJoin(r, s *relation.Relation, rCols, sCols []int, impl AntiJoinImpl) *r
 			}
 		}
 		for _, rt := range r.Tuples {
+			gov.MustStep(1)
 			nullKey := false
 			for _, c := range rCols {
 				if rt[c].IsNull() {
@@ -152,6 +156,7 @@ func AntiJoin(r, s *relation.Relation, rCols, sCols []int, impl AntiJoinImpl) *r
 		out := relation.New(r.Sch)
 		idx := relation.BuildHashIndex(s, sCols)
 		for _, rt := range r.Tuples {
+			gov.MustStep(1)
 			if !idx.Contains(rt, rCols) {
 				out.Append(rt.Clone())
 			}
@@ -163,7 +168,7 @@ func AntiJoin(r, s *relation.Relation, rCols, sCols []int, impl AntiJoinImpl) *r
 // AntiJoinDef is the definitional form r − (r ⋉ s) built from the basic
 // operations only; used to property-test the optimized implementations.
 func AntiJoinDef(r, s *relation.Relation, rCols, sCols []int) *relation.Relation {
-	return Difference(r, SemiJoin(r, s, rCols, sCols))
+	return Difference(r, SemiJoin(r, s, rCols, sCols, nil))
 }
 
 // UBUImpl selects among the four implementations of union-by-update the
@@ -211,26 +216,28 @@ var ErrDuplicateSource = fmt.Errorf("ra: union-by-update source has duplicate ke
 // s take s's non-key values; unmatched tuples from both sides are kept.
 // keyCols index both relations (schemas must be union-compatible).
 // With impl == UBUReplace the key columns are ignored and the result is s
-// (the paper's attribute-less form).
-func UnionByUpdate(r, s *relation.Relation, keyCols []int, impl UBUImpl) (*relation.Relation, error) {
+// (the paper's attribute-less form). gov, when non-nil, makes the join and
+// coalesce/update loops cooperative checkpoints.
+func UnionByUpdate(r, s *relation.Relation, keyCols []int, impl UBUImpl, gov *govern.Governor) (*relation.Relation, error) {
 	switch impl {
 	case UBUReplace:
 		return s.Clone(), nil
 	case UBUFullOuter:
-		return ubuFullOuter(r, s, keyCols), nil
+		return ubuFullOuter(r, s, keyCols, gov), nil
 	case UBUUpdateFrom:
-		return ubuUpdateFrom(r, s, keyCols, false)
+		return ubuUpdateFrom(r, s, keyCols, false, gov)
 	default:
-		return ubuUpdateFrom(r, s, keyCols, true)
+		return ubuUpdateFrom(r, s, keyCols, true, gov)
 	}
 }
 
 // ubuFullOuter: full outer join on the keys, then coalesce(s.*, r.*).
-func ubuFullOuter(r, s *relation.Relation, keyCols []int) *relation.Relation {
-	joined := FullOuterJoin(r, s, keyCols, keyCols)
+func ubuFullOuter(r, s *relation.Relation, keyCols []int, gov *govern.Governor) *relation.Relation {
+	joined := FullOuterJoin(r, s, keyCols, keyCols, gov)
 	arity := r.Sch.Arity()
 	out := relation.NewWithCap(r.Sch, joined.Len())
 	for _, t := range joined.Tuples {
+		gov.MustStep(1)
 		nt := make(relation.Tuple, arity)
 		for i := 0; i < arity; i++ {
 			nt[i] = value.Coalesce(t[arity+i], t[i])
@@ -243,7 +250,7 @@ func ubuFullOuter(r, s *relation.Relation, keyCols []int) *relation.Relation {
 // ubuUpdateFrom: per-source-row matched update / unmatched insert on a copy
 // of r. checkDup enables MERGE's duplicate-source detection (and models its
 // extra bookkeeping cost).
-func ubuUpdateFrom(r, s *relation.Relation, keyCols []int, checkDup bool) (*relation.Relation, error) {
+func ubuUpdateFrom(r, s *relation.Relation, keyCols []int, checkDup bool, gov *govern.Governor) (*relation.Relation, error) {
 	out := r.Clone()
 	idx := relation.BuildHashIndex(out, keyCols)
 	var seen *relation.Relation
@@ -253,6 +260,7 @@ func ubuUpdateFrom(r, s *relation.Relation, keyCols []int, checkDup bool) (*rela
 		seenIdx = relation.BuildHashIndex(seen, allIdx(len(keyCols)))
 	}
 	for _, st := range s.Tuples {
+		gov.MustStep(1)
 		if checkDup {
 			if seenIdx.Contains(st, keyCols) {
 				return nil, ErrDuplicateSource

@@ -169,7 +169,7 @@ func TestAntiJoinImplsAgreeWithoutNulls(t *testing.T) {
 		}
 		def := AntiJoinDef(r, s, []int{0}, []int{0})
 		for _, impl := range []AntiJoinImpl{AntiNotExists, AntiLeftOuter, AntiNotIn} {
-			got := AntiJoin(r, s, []int{0}, []int{0}, impl)
+			got := AntiJoin(r, s, []int{0}, []int{0}, impl, nil)
 			// Definitional form is a set; compare distinct versions.
 			if !Distinct(got).Equal(Distinct(def)) {
 				t.Fatalf("trial %d: %s anti-join disagrees with definition", trial, impl)
@@ -183,8 +183,8 @@ func TestAntiJoinResultDisjointFromS(t *testing.T) {
 	r := rel(ints("k"), []int64{1}, []int64{2}, []int64{3})
 	s := rel(ints("k"), []int64{2})
 	for _, impl := range []AntiJoinImpl{AntiNotExists, AntiLeftOuter, AntiNotIn} {
-		got := AntiJoin(r, s, []int{0}, []int{0}, impl)
-		if SemiJoin(got, s, []int{0}, []int{0}).Len() != 0 {
+		got := AntiJoin(r, s, []int{0}, []int{0}, impl, nil)
+		if SemiJoin(got, s, []int{0}, []int{0}, nil).Len() != 0 {
 			t.Errorf("%s: result overlaps S", impl)
 		}
 	}
@@ -198,19 +198,19 @@ func TestAntiJoinNotInNullSemantics(t *testing.T) {
 	s.AppendVals(value.Int(2))
 	s.AppendVals(value.Null)
 	// NOT IN against a set containing NULL is empty.
-	if got := AntiJoin(r, s, []int{0}, []int{0}, AntiNotIn); got.Len() != 0 {
+	if got := AntiJoin(r, s, []int{0}, []int{0}, AntiNotIn, nil); got.Len() != 0 {
 		t.Errorf("not in with NULL in S should be empty, got %v", got)
 	}
 	// NOT EXISTS / left outer join don't have that trap: 1 doesn't match 2
 	// and NULL doesn't equal anything, so both r rows survive... except the
 	// hash path treats NULL=NULL as a group match; verify documented outcome.
-	got := AntiJoin(r, s, []int{0}, []int{0}, AntiNotExists)
+	got := AntiJoin(r, s, []int{0}, []int{0}, AntiNotExists, nil)
 	if got.Len() != 1 || got.At(0)[0].AsInt() != 1 {
 		t.Errorf("not exists: %v", got)
 	}
 	// NULL r-key never qualifies for NOT IN even without NULL in S.
 	s2 := rel(ints("k"), []int64{2})
-	got2 := AntiJoin(r, s2, []int{0}, []int{0}, AntiNotIn)
+	got2 := AntiJoin(r, s2, []int{0}, []int{0}, AntiNotIn, nil)
 	if got2.Len() != 1 || got2.At(0)[0].AsInt() != 1 {
 		t.Errorf("not in with NULL r-key: %v", got2)
 	}
@@ -222,7 +222,7 @@ func TestUnionByUpdateBasic(t *testing.T) {
 	r := rel(ints("id", "w"), []int64{1, 10}, []int64{2, 20}, []int64{3, 30})
 	s := rel(ints("id", "w"), []int64{2, 99}, []int64{4, 40})
 	for _, impl := range ubuImpls() {
-		got, err := UnionByUpdate(r, s, []int{0}, impl)
+		got, err := UnionByUpdate(r, s, []int{0}, impl, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", impl, err)
 		}
@@ -251,7 +251,7 @@ func TestUnionByUpdateImplsAgreeProperty(t *testing.T) {
 		}
 		var results []*relation.Relation
 		for _, impl := range ubuImpls() {
-			got, err := UnionByUpdate(r, s, []int{0}, impl)
+			got, err := UnionByUpdate(r, s, []int{0}, impl, nil)
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, impl, err)
 			}
@@ -270,7 +270,7 @@ func TestUnionByUpdateContainsAllOfS(t *testing.T) {
 	r := rel(ints("id", "w"), []int64{1, 1}, []int64{2, 2})
 	s := rel(ints("id", "w"), []int64{2, 22}, []int64{5, 55})
 	for _, impl := range ubuImpls() {
-		got, _ := UnionByUpdate(r, s, []int{0}, impl)
+		got, _ := UnionByUpdate(r, s, []int{0}, impl, nil)
 		if Difference(s, got).Len() != 0 {
 			t.Errorf("%s: result does not contain S", impl)
 		}
@@ -280,12 +280,12 @@ func TestUnionByUpdateContainsAllOfS(t *testing.T) {
 func TestUnionByUpdateMergeDetectsDuplicateSource(t *testing.T) {
 	r := rel(ints("id", "w"), []int64{1, 1})
 	s := rel(ints("id", "w"), []int64{1, 2}, []int64{1, 3})
-	_, err := UnionByUpdate(r, s, []int{0}, UBUMerge)
+	_, err := UnionByUpdate(r, s, []int{0}, UBUMerge, nil)
 	if !errors.Is(err, ErrDuplicateSource) {
 		t.Errorf("merge should reject duplicate source keys, got %v", err)
 	}
 	// update-from does not check (PostgreSQL semantics).
-	if _, err := UnionByUpdate(r, s, []int{0}, UBUUpdateFrom); err != nil {
+	if _, err := UnionByUpdate(r, s, []int{0}, UBUUpdateFrom, nil); err != nil {
 		t.Errorf("update from should not check duplicates: %v", err)
 	}
 }
@@ -295,7 +295,7 @@ func TestUnionByUpdateMultipleTargetsOneSource(t *testing.T) {
 	r := rel(ints("id", "w"), []int64{1, 10}, []int64{1, 11})
 	s := rel(ints("id", "w"), []int64{1, 99})
 	for _, impl := range ubuImpls() {
-		got, err := UnionByUpdate(r, s, []int{0}, impl)
+		got, err := UnionByUpdate(r, s, []int{0}, impl, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", impl, err)
 		}
@@ -313,7 +313,7 @@ func TestUnionByUpdateMultipleTargetsOneSource(t *testing.T) {
 func TestUnionByUpdateReplace(t *testing.T) {
 	r := rel(ints("id", "w"), []int64{1, 10})
 	s := rel(ints("id", "w"), []int64{5, 50})
-	got, err := UnionByUpdate(r, s, nil, UBUReplace)
+	got, err := UnionByUpdate(r, s, nil, UBUReplace, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,12 @@ func EquiJoinParallel(r, s *relation.Relation, spec EquiJoinSpec, workers int) *
 			defer wg.Done()
 			var out []relation.Tuple
 			for _, rt := range r.Tuples[lo:hi] {
+				// Workers never panic: on a governor stop (cancel,
+				// deadline, budget) they drain and exit; the statement
+				// goroutine re-raises after Wait.
+				if spec.Gov.Step(1) != nil {
+					break
+				}
 				idx.ProbeEach(rt, spec.LeftCols, func(row int) bool {
 					st := s.Tuples[row]
 					nt := make(relation.Tuple, 0, len(rt)+len(st))
@@ -53,6 +59,7 @@ func EquiJoinParallel(r, s *relation.Relation, spec EquiJoinSpec, workers int) *
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	spec.Gov.MustOK()
 	total := 0
 	for _, c := range chunks {
 		total += len(c)

@@ -122,13 +122,17 @@ func (x *Exec) evalJoinRef(t *TableRef) (*relation.Relation, error) {
 	var out *relation.Relation
 	switch t.Kind {
 	case JoinLeftOuter:
-		out = ra.LeftOuterJoin(l.rel, r.rel, lCols, rCols)
+		out = ra.LeftOuterJoin(l.rel, r.rel, lCols, rCols, x.Eng.Gov())
 	case JoinFullOuter:
-		out = ra.FullOuterJoin(l.rel, r.rel, lCols, rCols)
+		out = ra.FullOuterJoin(l.rel, r.rel, lCols, rCols, x.Eng.Gov())
 	default:
 		out = ra.EquiJoin(l.rel, r.rel, ra.EquiJoinSpec{
 			LeftCols: lCols, RightCols: rCols, Algo: x.algoFor(l.analyzed && r.analyzed),
+			Gov: x.Eng.Gov(),
 		})
+	}
+	if err := x.Eng.ChargeMaterialized(out); err != nil {
+		return nil, err
 	}
 	if residual != nil {
 		pred, err := x.compilePred(residual, combined)
@@ -255,10 +259,14 @@ func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, error) {
 				input = ra.EquiJoin(input, next.rel, ra.EquiJoinSpec{
 					LeftCols: lCols, RightCols: rCols,
 					Algo: x.algoFor(allAnalyzed),
+					Gov:  x.Eng.Gov(),
 				})
 				x.Eng.Cnt.Joins++
 			} else {
 				input = ra.Product(input, next.rel)
+			}
+			if err := x.Eng.ChargeMaterialized(input); err != nil {
+				return nil, err
 			}
 		}
 		// Residual WHERE conjuncts.

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/relation"
+	"repro/internal/schema"
 	"repro/internal/value"
 )
 
@@ -97,4 +98,43 @@ func DecodeTuple(buf []byte) (relation.Tuple, int, error) {
 		}
 	}
 	return t, off, nil
+}
+
+// EncodeSchema appends the binary encoding of sch to dst: arity, then per
+// column a kind byte and a length-prefixed bare name. Table qualifiers are
+// not persisted — materialization re-qualifies with the table name.
+func EncodeSchema(dst []byte, sch schema.Schema) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(sch)))
+	for _, c := range sch {
+		dst = append(dst, byte(c.Type))
+		dst = binary.AppendUvarint(dst, uint64(len(c.Name)))
+		dst = append(dst, c.Name...)
+	}
+	return dst
+}
+
+// DecodeSchema decodes one EncodeSchema image (used by WAL recovery to
+// rebuild logged tables).
+func DecodeSchema(buf []byte) (schema.Schema, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || n > uint64(len(buf)-sz) {
+		return nil, fmt.Errorf("storage: corrupt schema header")
+	}
+	off := sz
+	sch := make(schema.Schema, n)
+	for i := uint64(0); i < n; i++ {
+		if off >= len(buf) {
+			return nil, fmt.Errorf("storage: truncated schema column")
+		}
+		k := value.Kind(buf[off])
+		off++
+		l, lsz := binary.Uvarint(buf[off:])
+		if lsz <= 0 || l > uint64(len(buf)-off-lsz) {
+			return nil, fmt.Errorf("storage: truncated schema column name")
+		}
+		off += lsz
+		sch[i] = schema.Column{Name: string(buf[off : off+int(l)]), Type: k}
+		off += int(l)
+	}
+	return sch, nil
 }

@@ -1,12 +1,16 @@
 package storage
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/relation"
+	"repro/internal/schema"
 	"repro/internal/value"
 )
 
@@ -245,15 +249,20 @@ func TestWALAppendReplay(t *testing.T) {
 	w := NewWAL()
 	msgs := []string{"one", "two", "three"}
 	for _, m := range msgs {
-		w.Append([]byte(m))
+		w.AppendInsert("e", []byte(m))
 	}
 	w.Sync()
-	var got []string
-	if !w.Replay(func(rec []byte) { got = append(got, string(rec)) }) {
-		t.Fatal("replay reported corruption")
+	var got []Record
+	if err := w.ReplayRecords(func(r Record) { got = append(got, r) }); err != nil {
+		t.Fatalf("replay reported corruption: %v", err)
 	}
-	if len(got) != 3 || got[0] != "one" || got[2] != "three" {
+	if len(got) != 3 || string(got[0].Payload) != "one" || string(got[2].Payload) != "three" {
 		t.Errorf("replay = %v", got)
+	}
+	for i, r := range got {
+		if r.Op != OpInsert || r.Table != "e" {
+			t.Errorf("record %d: op=%v table=%q", i, r.Op, r.Table)
+		}
 	}
 	if w.Records != 3 || w.Syncs != 1 || w.Bytes == 0 {
 		t.Errorf("counters: %+v", w)
@@ -264,12 +273,229 @@ func TestWALAppendReplay(t *testing.T) {
 	}
 }
 
-func TestWALDetectsCorruption(t *testing.T) {
+func TestWALCommitMarkers(t *testing.T) {
 	w := NewWAL()
-	w.Append([]byte("payload"))
-	w.buf[len(w.buf)-1] ^= 0xFF
-	if w.Replay(func([]byte) {}) {
-		t.Error("corrupted record should fail replay")
+	w.AppendCommit() // nothing pending: elided
+	if w.Commits != 0 || w.Records != 0 {
+		t.Fatalf("empty commit not elided: %+v", w)
+	}
+	w.AppendInsert("e", []byte("x"))
+	w.AppendCommit()
+	w.AppendCommit() // second marker in a row: elided again
+	if w.Commits != 1 {
+		t.Fatalf("Commits = %d, want 1", w.Commits)
+	}
+	var ops []Op
+	if err := w.ReplayRecords(func(r Record) { ops = append(ops, r.Op) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || ops[0] != OpInsert || ops[1] != OpCommit {
+		t.Errorf("ops = %v", ops)
+	}
+	// Notes are cost-accounting only: they never arm a commit marker.
+	w.AppendNote([]byte("undo image"))
+	w.AppendCommit()
+	if w.Commits != 1 {
+		t.Error("note-only statement must not produce a commit marker")
+	}
+}
+
+func TestWALSnapshotLoadRoundTrip(t *testing.T) {
+	w := NewWAL()
+	w.AppendCreate("v", []byte{0})
+	w.AppendInsert("v", []byte("t1"))
+	w.AppendCommit()
+	img := w.Snapshot()
+	w2 := NewWAL()
+	w2.Load(img)
+	if w2.Records != 3 {
+		t.Fatalf("loaded Records = %d, want 3", w2.Records)
+	}
+	var got []Op
+	if err := w2.ReplayRecords(func(r Record) { got = append(got, r.Op) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != OpCreate || got[2] != OpCommit {
+		t.Errorf("ops = %v", got)
+	}
+}
+
+func TestWALDetectsBitFlip(t *testing.T) {
+	w := NewWAL()
+	w.AppendInsert("e", []byte("aaaa"))
+	w.AppendInsert("e", []byte("bbbb"))
+	w.AppendInsert("e", []byte("cccc"))
+	// Flip one payload bit in the middle record.
+	frameLen := len(w.buf) / 3
+	w.buf[frameLen+frameLen/2] ^= 0x01
+	var seen int
+	err := w.Replay(func([]byte) { seen++ })
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+	if ce.Record != 1 {
+		t.Errorf("corruption located at record %d, want 1", ce.Record)
+	}
+	if ce.Offset != int64(frameLen) {
+		t.Errorf("corruption located at offset %d, want %d", ce.Offset, frameLen)
+	}
+	if seen != 1 {
+		t.Errorf("replay delivered %d records before the bad frame, want 1", seen)
+	}
+}
+
+func TestWALDetectsTruncation(t *testing.T) {
+	w := NewWAL()
+	w.AppendInsert("e", []byte("aaaa"))
+	w.AppendInsert("e", []byte("bbbb"))
+	whole := w.Snapshot()
+	frameLen := len(whole) / 2
+	// Every proper prefix that cuts into the second frame must locate the
+	// tear at record 1 and still deliver the intact first record.
+	for cut := frameLen + 1; cut < len(whole); cut++ {
+		w2 := NewWAL()
+		w2.Load(whole[:cut])
+		var seen int
+		err := w2.Replay(func([]byte) { seen++ })
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("cut %d: want *CorruptError, got %v", cut, err)
+		}
+		if ce.Record != 1 || ce.Offset != int64(frameLen) {
+			t.Errorf("cut %d: located record %d offset %d, want 1/%d", cut, ce.Record, ce.Offset, frameLen)
+		}
+		if seen != 1 {
+			t.Errorf("cut %d: delivered %d intact records, want 1", cut, seen)
+		}
+	}
+}
+
+func TestSchemaCodecRoundTrip(t *testing.T) {
+	sch := schema.Schema{
+		{Name: "src", Type: value.KindInt},
+		{Name: "rank", Type: value.KindFloat},
+		{Name: "label", Type: value.KindString},
+	}
+	buf := EncodeSchema(nil, sch)
+	out, err := DecodeSchema(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0].Name != "src" || out[2].Type != value.KindString {
+		t.Errorf("round trip = %v", out)
+	}
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := DecodeSchema(buf[:cut]); err == nil {
+			t.Errorf("schema truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestFaultPlanModes(t *testing.T) {
+	// FailAt: exactly one fault at the scripted index, shared across stores.
+	plan := &FaultPlan{FailAt: 3}
+	a := &FaultyStore{Inner: NewMemStore(), Plan: plan}
+	b := &FaultyStore{Inner: NewMemStore(), Plan: plan}
+	tu := relation.Tuple{value.Int(1)}
+	if err := a.Insert(tu); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(tu); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Insert(tu); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 3 should fault, got %v", err)
+	}
+	if err := a.Insert(tu); err != nil {
+		t.Fatalf("op 4 should pass, got %v", err)
+	}
+	if plan.Ops() != 4 || plan.Injected() != 1 {
+		t.Errorf("ops=%d injected=%d", plan.Ops(), plan.Injected())
+	}
+
+	// EveryNth.
+	nth := &FaultyStore{Inner: NewMemStore(), Plan: &FaultPlan{EveryNth: 2}}
+	var faults int
+	for i := 0; i < 10; i++ {
+		if err := nth.Insert(tu); err != nil {
+			faults++
+		}
+	}
+	if faults != 5 {
+		t.Errorf("every-2nd plan injected %d of 10, want 5", faults)
+	}
+
+	// Transient faults match both sentinels.
+	tr := &FaultyStore{Inner: NewMemStore(), Plan: &FaultPlan{FailAt: 1, Transient: true}}
+	err := tr.Insert(tu)
+	if !errors.Is(err, ErrTransient) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("transient fault must match both sentinels: %v", err)
+	}
+
+	// Legacy FailAfter mode still works when Plan is nil.
+	legacy := &FaultyStore{Inner: NewMemStore(), FailAfter: 1}
+	if err := legacy.Insert(tu); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Insert(tu); !errors.Is(err, ErrInjected) {
+		t.Fatalf("legacy mode lost: %v", err)
+	}
+}
+
+func TestRetryingStoreAbsorbsTransients(t *testing.T) {
+	plan := &FaultPlan{EveryNth: 2, Transient: true}
+	s := &RetryingStore{
+		Inner:  &FaultyStore{Inner: NewMemStore(), Plan: plan},
+		Policy: RetryPolicy{Attempts: 3},
+	}
+	tu := relation.Tuple{value.Int(7)}
+	for i := 0; i < 20; i++ {
+		if err := s.Insert(tu); err != nil {
+			t.Fatalf("insert %d not absorbed: %v", i, err)
+		}
+	}
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", s.Len())
+	}
+	if plan.Injected() == 0 {
+		t.Fatal("plan never injected — test proves nothing")
+	}
+	var n int
+	if err := s.Scan(func(relation.Tuple) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("scan visited %d, want 20", n)
+	}
+
+	// Hard faults are not retried away.
+	hard := &RetryingStore{
+		Inner:  &FaultyStore{Inner: NewMemStore(), Plan: &FaultPlan{FailAt: 1}},
+		Policy: RetryPolicy{Attempts: 5},
+	}
+	if err := hard.Insert(tu); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hard fault should surface, got %v", err)
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	calls := 0
+	err := RetryPolicy{Attempts: 4, Backoff: time.Microsecond}.Do(func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("flaky: %w", ErrTransient)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	// Exhausted attempts return the transient error.
+	calls = 0
+	err = RetryPolicy{Attempts: 2}.Do(func() error { calls++; return ErrTransient })
+	if !errors.Is(err, ErrTransient) || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
 	}
 }
 
@@ -321,23 +547,41 @@ func TestMemStore(t *testing.T) { storeRoundTrip(t, NewMemStore()) }
 
 func TestPagedStoreUnlogged(t *testing.T) {
 	bp := NewBufferPool(NewDisk(), 8)
-	storeRoundTrip(t, NewPagedStore(bp, nil))
+	storeRoundTrip(t, NewPagedStore(bp, nil, "t"))
 }
 
 func TestPagedStoreLogged(t *testing.T) {
 	bp := NewBufferPool(NewDisk(), 8)
 	w := NewWAL()
-	s := NewPagedStore(bp, w)
+	s := NewPagedStore(bp, w, "t")
 	storeRoundTrip(t, s)
-	if w.Records != 500 {
-		t.Errorf("WAL should hold one record per insert, got %d", w.Records)
+	// 500 inserts plus the truncate at the end of the round trip.
+	if w.Records != 501 {
+		t.Errorf("WAL should hold one record per mutation, got %d", w.Records)
+	}
+	inserts, truncates := 0, 0
+	if err := w.ReplayRecords(func(r Record) {
+		if r.Table != "t" {
+			t.Errorf("record names table %q", r.Table)
+		}
+		switch r.Op {
+		case OpInsert:
+			inserts++
+		case OpTruncate:
+			truncates++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if inserts != 500 || truncates != 1 {
+		t.Errorf("inserts=%d truncates=%d", inserts, truncates)
 	}
 }
 
 func TestPagedStoreSurvivesEviction(t *testing.T) {
 	// Tiny pool forces constant eviction; data must survive.
 	bp := NewBufferPool(NewDisk(), 2)
-	s := NewPagedStore(bp, nil)
+	s := NewPagedStore(bp, nil, "t")
 	for i := 0; i < 2000; i++ {
 		if err := s.Insert(relation.Tuple{value.Int(int64(i))}); err != nil {
 			t.Fatal(err)
@@ -359,7 +603,7 @@ func TestPagedStoreSurvivesEviction(t *testing.T) {
 
 func TestPagedStoreRejectsHugeTuple(t *testing.T) {
 	bp := NewBufferPool(NewDisk(), 2)
-	s := NewPagedStore(bp, nil)
+	s := NewPagedStore(bp, nil, "t")
 	huge := relation.Tuple{value.Str(string(make([]byte, PageSize)))}
 	if err := s.Insert(huge); err == nil {
 		t.Error("oversized tuple should be rejected")
@@ -385,11 +629,11 @@ func TestWALHostileFrames(t *testing.T) {
 	w := NewWAL()
 	// A frame claiming a huge record length must fail replay, not panic.
 	w.buf = []byte{0xfa, 0xd1, 0xb1, 0xd1, 0xb1, 0xd1, 0xb1, 0xd1, 0xb1, 0x7a, 1, 2, 3, 4}
-	if w.Replay(func([]byte) {}) {
+	if err := w.Replay(func([]byte) {}); err == nil {
 		t.Error("hostile frame accepted")
 	}
 	w.buf = []byte{5, 0, 0, 0} // length 5 but only a checksum left
-	if w.Replay(func([]byte) {}) {
+	if err := w.Replay(func([]byte) {}); err == nil {
 		t.Error("short frame accepted")
 	}
 }

@@ -19,13 +19,16 @@ type TupleStore interface {
 	Len() int
 	// Truncate removes all tuples.
 	Truncate() error
-	// BytesUsed reports the storage footprint (0 for MemStore).
+	// BytesUsed reports the storage footprint: resident pages for
+	// PagedStore, an estimated heap footprint for MemStore. Either way it
+	// feeds the resource governor's memory budget.
 	BytesUsed() int64
 }
 
 // MemStore stores tuples in a slice.
 type MemStore struct {
 	tuples []relation.Tuple
+	bytes  int64
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -34,7 +37,20 @@ func NewMemStore() *MemStore { return &MemStore{} }
 // Insert implements TupleStore.
 func (s *MemStore) Insert(t relation.Tuple) error {
 	s.tuples = append(s.tuples, t)
+	s.bytes += tupleFootprint(t)
 	return nil
+}
+
+// tupleFootprint estimates a tuple's heap cost: 16 bytes per value slot
+// (the Value struct's order of magnitude) plus string payloads — the same
+// scale the engine charges for join intermediates, so the governor's
+// MaxBytes compares like with like.
+func tupleFootprint(t relation.Tuple) int64 {
+	n := int64(len(t)) * 16
+	for _, v := range t {
+		n += int64(len(v.S))
+	}
+	return n
 }
 
 // Scan implements TupleStore.
@@ -53,11 +69,12 @@ func (s *MemStore) Len() int { return len(s.tuples) }
 // Truncate implements TupleStore.
 func (s *MemStore) Truncate() error {
 	s.tuples = s.tuples[:0]
+	s.bytes = 0
 	return nil
 }
 
 // BytesUsed implements TupleStore.
-func (s *MemStore) BytesUsed() int64 { return 0 }
+func (s *MemStore) BytesUsed() int64 { return s.bytes }
 
 // PagedStore stores tuples encoded into slotted pages managed by a buffer
 // pool. An optional WAL receives one record per insert (base tables log;
@@ -65,15 +82,18 @@ func (s *MemStore) BytesUsed() int64 { return 0 }
 // do — but they still pay the page I/O).
 type PagedStore struct {
 	pool    *BufferPool
-	wal     *WAL // nil for non-logged tables
+	wal     *WAL   // nil for non-logged tables
+	name    string // table name stamped on WAL records (logged stores)
 	pages   []PageID
 	n       int
 	scratch []byte
 }
 
-// NewPagedStore returns an empty paged store over pool. wal may be nil.
-func NewPagedStore(pool *BufferPool, wal *WAL) *PagedStore {
-	return &PagedStore{pool: pool, wal: wal}
+// NewPagedStore returns an empty paged store over pool. wal may be nil
+// (unlogged temp storage); name identifies the table in WAL records and is
+// ignored when wal is nil.
+func NewPagedStore(pool *BufferPool, wal *WAL, name string) *PagedStore {
+	return &PagedStore{pool: pool, wal: wal, name: name}
 }
 
 // Insert implements TupleStore.
@@ -84,7 +104,7 @@ func (s *PagedStore) Insert(t relation.Tuple) error {
 		return fmt.Errorf("storage: tuple of %d bytes exceeds page capacity", len(rec))
 	}
 	if s.wal != nil {
-		s.wal.Append(rec)
+		s.wal.AppendInsert(s.name, rec)
 	}
 	if len(s.pages) > 0 {
 		last := s.pages[len(s.pages)-1]
@@ -150,13 +170,17 @@ func (s *PagedStore) Scan(fn func(t relation.Tuple) bool) error {
 // Len implements TupleStore.
 func (s *PagedStore) Len() int { return s.n }
 
-// Truncate implements TupleStore.
+// Truncate implements TupleStore. Logged stores record the truncation so
+// recovery replays it in sequence with the inserts around it.
 func (s *PagedStore) Truncate() error {
 	for _, id := range s.pages {
 		s.pool.Drop(id)
 	}
 	s.pages = nil
 	s.n = 0
+	if s.wal != nil {
+		s.wal.AppendTruncate(s.name)
+	}
 	return nil
 }
 

@@ -249,9 +249,14 @@ func (p *Program) evalComputed(def sql.ComputedDef) (*relation.Relation, error) 
 }
 
 // stepBranch evaluates one recursive subquery and folds it into R by the
-// statement's set operation, updating the change flag and trace.
+// statement's set operation, updating the change flag and trace. Each
+// branch starts with a governor checkpoint, so a cancelled or over-budget
+// run stops at a statement boundary even when the loop body is long.
 func (p *Program) stepBranch(i int, br sql.WithBranch) error {
 	w := p.With
+	if err := p.eng.Gov().Check(); err != nil {
+		return err
+	}
 	start := time.Now()
 	q, err := p.exec.Run(br.Query)
 	if err != nil {

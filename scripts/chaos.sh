@@ -1,0 +1,25 @@
+#!/bin/sh
+# chaos.sh — the resilience gate: fault-injection sweeps, crash recovery,
+# and cancellation paths under the race detector, plus a short fuzz smoke
+# over every parser/decoder fuzz target.
+#
+# The sweep (TestFaultSweepPageRank) re-runs PageRank with a fault injected
+# at every storage-operation index and asserts: no panic escapes, the error
+# is the injected one, no temp-table debris, and engine.Recover() restores
+# exactly the committed base tables.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== fault-injection sweep + recovery (race)"
+go test -race -run 'Fault|Recover|Cancel' ./internal/psm/... ./internal/engine/... ./internal/storage/...
+
+echo "== cancellation & budget enforcement (race)"
+go test -race -run 'Cancel|Context|Limits|Timeout' ./graphsql/... ./internal/withplus/...
+
+echo "== fuzz smoke (2s per target)"
+go test -run '^$' -fuzz '^FuzzParseStatement$' -fuzztime 2s ./internal/sql/
+go test -run '^$' -fuzz '^FuzzTokenize$' -fuzztime 2s ./internal/sql/
+go test -run '^$' -fuzz '^FuzzWithCheck$' -fuzztime 2s ./internal/withplus/
+go test -run '^$' -fuzz '^FuzzDecodeTuple$' -fuzztime 2s ./internal/storage/
+
+echo "chaos: OK"

@@ -14,4 +14,7 @@ go test ./...
 echo "== go test -race (parallel executor packages)"
 go test -race ./internal/ra/... ./internal/engine/...
 
+echo "== chaos gate (fault sweep, recovery, cancellation, fuzz smoke)"
+./scripts/chaos.sh
+
 echo "check: OK"
