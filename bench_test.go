@@ -246,7 +246,7 @@ func BenchmarkFusedMVJoin(b *testing.B) {
 	for _, w := range []int{1, 4} {
 		b.Run(fmt.Sprintf("fused-workers-%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ra.FusedMVJoin(eRel, vRel, idx, nil, ra.EdgeMat(), ra.NodeVec(), 1, sr, w, nil)
+				ra.FusedMVJoin(eRel, vRel, idx, nil, ra.EdgeMat(), ra.NodeVec(), 1, sr, w, nil, nil)
 			}
 		})
 	}
@@ -254,7 +254,7 @@ func BenchmarkFusedMVJoin(b *testing.B) {
 	for _, w := range []int{1, 4} {
 		b.Run(fmt.Sprintf("fused-dict-workers-%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ra.FusedMVJoin(eRel, vRel, idx, dict, ra.EdgeMat(), ra.NodeVec(), 1, sr, w, nil)
+				ra.FusedMVJoin(eRel, vRel, idx, dict, ra.EdgeMat(), ra.NodeVec(), 1, sr, w, nil, nil)
 			}
 		})
 	}

@@ -14,10 +14,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,15 +32,34 @@ func main() {
 		workers  = flag.Int("workers", 1, "morsel-parallel probe workers (1 = serial, paper-faithful)")
 		nofusion = flag.Bool("nofusion", false, "disable fused MV-/MM-join kernels and the index cache (A/B baseline)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (perf experiment)")
+		observe  = flag.Bool("observe", false, "attach a span sink to every engine (observability overhead A/B)")
+		metrics  = flag.Bool("metrics", false, "dump the process-wide metrics registry as JSON after the run")
 	)
 	flag.Parse()
-	cfg := exp.Config{Nodes: *nodes, Seed: *seed, Iters: *iters, Workers: *workers, NoFusion: *nofusion}
+	cfg := exp.Config{Nodes: *nodes, Seed: *seed, Iters: *iters, Workers: *workers, NoFusion: *nofusion, Observe: *observe}
 	asCSV = *csv
 	asJSON = *jsonOut
 	if err := run(strings.ToLower(*which), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+	if *metrics {
+		if err := dumpMetrics(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpMetrics writes the process-wide metrics registry to w (stderr, so
+// -json stdout stays machine-parseable).
+func dumpMetrics(w io.Writer) error {
+	js, err := obs.Global.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "-- metrics --\n%s\n", js)
+	return err
 }
 
 // asCSV and asJSON switch output format (set from -csv / -json; variables so

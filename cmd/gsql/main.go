@@ -6,16 +6,19 @@
 //	gsql -profile oracle -dataset WV -nodes 1000 -query 'select count(*) from E'
 //	gsql -dataset WG -file query.sql
 //	gsql -edges graph.txt -explain -file tc.sql
+//	gsql -dataset WG -analyze -query 'with TC(F,T) as (...) select count(*) from TC'
 //	gsql -dataset WG                 # interactive REPL (submit with an empty line)
 //
 // Statements in a -file are separated by lines containing only "---"
 // (WITH+ bodies legitimately contain semicolons). With -explain, WITH+
 // statements are compiled and their SQL/PSM procedure printed instead of
-// executed.
+// executed; with -analyze, statements are executed and the EXPLAIN ANALYZE
+// report (actual rows, loop counts, per-operator timings) printed.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,16 +39,36 @@ func main() {
 		query   = flag.String("query", "", "statement to run")
 		file    = flag.String("file", "", "file of statements separated by --- lines")
 		explain = flag.Bool("explain", false, "print the compiled PSM procedure for WITH+ statements")
+		analyze = flag.Bool("analyze", false, "execute queries and print the EXPLAIN ANALYZE report")
 		limit   = flag.Int("limit", 20, "maximum rows to print per result")
 	)
 	flag.Parse()
-	if err := run(*profile, *dsCode, *nodes, *seed, *edges, *query, *file, *explain, *limit); err != nil {
-		fmt.Fprintln(os.Stderr, "gsql:", err)
+	if *explain && *analyze {
+		fmt.Fprintln(os.Stderr, "gsql: -explain and -analyze are mutually exclusive")
+		os.Exit(1)
+	}
+	if err := run(*profile, *dsCode, *nodes, *seed, *edges, *query, *file, *explain, *analyze, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "gsql:", describeErr(err))
 		os.Exit(1)
 	}
 }
 
-func run(profile, dsCode string, nodes int, seed int64, edgesFile, query, file string, explain bool, limit int) error {
+// describeErr classifies errors through the graphsql sentinels so the CLI
+// distinguishes user mistakes from resource trips.
+func describeErr(err error) string {
+	var be *graphsql.BudgetError
+	switch {
+	case errors.As(err, &be):
+		return fmt.Sprintf("statement exceeded its %s budget (%d > %d) — raise limits or narrow the query", be.Resource, be.Used, be.Limit)
+	case errors.Is(err, graphsql.ErrParse):
+		return fmt.Sprintf("syntax error: %v", err)
+	case errors.Is(err, graphsql.ErrUnknownProfile):
+		return fmt.Sprintf("%v (want oracle, db2, postgres, or postgres-noindex)", err)
+	}
+	return err.Error()
+}
+
+func run(profile, dsCode string, nodes int, seed int64, edgesFile, query, file string, explain, analyze bool, limit int) error {
 	db, err := graphsql.Open(profile)
 	if err != nil {
 		return err
@@ -98,10 +121,18 @@ func run(profile, dsCode string, nodes int, seed int64, edgesFile, query, file s
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	for _, stmt := range statements {
-		if explain {
+		if explain || analyze {
 			lower := strings.ToLower(strings.TrimSpace(stmt))
 			if strings.HasPrefix(lower, "with") || strings.HasPrefix(lower, "select") || strings.HasPrefix(lower, "(") {
-				plan, err := db.Explain(stmt)
+				var (
+					plan string
+					err  error
+				)
+				if analyze {
+					plan, err = db.ExplainAnalyze(ctx, stmt)
+				} else {
+					plan, err = db.Explain(stmt)
+				}
 				if err != nil {
 					return err
 				}
@@ -109,15 +140,15 @@ func run(profile, dsCode string, nodes int, seed int64, edgesFile, query, file s
 				continue
 			}
 		}
-		out, err := db.QueryContext(ctx, stmt)
+		res, err := db.Query(ctx, stmt)
 		if err != nil {
 			return err
 		}
-		if out == nil {
+		if res.Rows == nil {
 			fmt.Println("OK") // DDL/DML statements return no rows
 			continue
 		}
-		printRelation(out, limit)
+		printRelation(res.Rows, limit)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestRunQuery(t *testing.T) {
-	if err := run("oracle", "WV", 100, 1, "", "select count(*) from E", "", false, 5); err != nil {
+	if err := run("oracle", "WV", 100, 1, "", "select count(*) from E", "", false, false, 5); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -23,11 +24,39 @@ with TC(F, T) as (
   (select TC.F, E.T from TC, E where TC.T = E.F)
   maxrecursion 2)
 select F, T from TC`
-	if err := run("postgres", "WV", 80, 1, "", q, "", false, 3); err != nil {
+	if err := run("postgres", "WV", 80, 1, "", q, "", false, false, 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("postgres", "WV", 80, 1, "", q, "", true, 3); err != nil {
+	if err := run("postgres", "WV", 80, 1, "", q, "", true, false, 3); err != nil {
 		t.Fatal(err)
+	}
+	// -analyze executes and prints the EXPLAIN ANALYZE report.
+	if err := run("postgres", "WV", 80, 1, "", q, "", false, true, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribeErr(t *testing.T) {
+	db, err := graphsqlOpenForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetLimits(graphsql.Limits{MaxRows: 1})
+	_, qerr := db.Query(context.Background(), "select count(*) from E, V where E.T = V.ID")
+	if qerr == nil {
+		t.Fatal("budget should trip")
+	}
+	if msg := describeErr(qerr); !strings.Contains(msg, "rows budget") {
+		t.Errorf("budget error not classified: %q", msg)
+	}
+	db.SetLimits(graphsql.Limits{})
+	_, perr := db.Query(context.Background(), "select broken from")
+	if msg := describeErr(perr); !strings.Contains(msg, "syntax error") {
+		t.Errorf("parse error not classified: %q", msg)
+	}
+	_, oerr := graphsql.Open("mysql")
+	if msg := describeErr(oerr); !strings.Contains(msg, "want oracle") {
+		t.Errorf("profile error not classified: %q", msg)
 	}
 }
 
@@ -38,7 +67,7 @@ func TestRunStatementFile(t *testing.T) {
 	if err := os.WriteFile(file, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("db2", "WT", 80, 1, "", "", file, false, 2); err != nil {
+	if err := run("db2", "WT", 80, 1, "", "", file, false, false, 2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -49,29 +78,29 @@ func TestRunEdgeListFile(t *testing.T) {
 	if err := os.WriteFile(file, []byte("# c\n0 1\n1 2 2.5\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("oracle", "", 0, 1, file, "select F, T, ew from E order by F", "", false, 10); err != nil {
+	if err := run("oracle", "", 0, 1, file, "select F, T, ew from E order by F", "", false, false, 10); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("mysql", "WV", 10, 1, "", "select 1", "", false, 1); err == nil {
+	if err := run("mysql", "WV", 10, 1, "", "select 1", "", false, false, 1); err == nil {
 		t.Error("unknown profile should fail")
 	}
-	if err := run("oracle", "XX", 10, 1, "", "select 1", "", false, 1); err == nil {
+	if err := run("oracle", "XX", 10, 1, "", "select 1", "", false, false, 1); err == nil {
 		t.Error("unknown dataset should fail")
 	}
 	// No -query/-file enters the REPL, which exits cleanly at stdin EOF.
-	if err := run("oracle", "WV", 10, 1, "", "", "", false, 1); err != nil {
+	if err := run("oracle", "WV", 10, 1, "", "", "", false, false, 1); err != nil {
 		t.Errorf("REPL at EOF should exit cleanly: %v", err)
 	}
-	if err := run("oracle", "WV", 10, 1, "", "select bogus syntax from", "", false, 1); err == nil {
+	if err := run("oracle", "WV", 10, 1, "", "select bogus syntax from", "", false, false, 1); err == nil {
 		t.Error("bad statement should fail")
 	}
-	if err := run("oracle", "WV", 10, 1, "/no/such/file", "select 1", "", false, 1); err == nil {
+	if err := run("oracle", "WV", 10, 1, "/no/such/file", "select 1", "", false, false, 1); err == nil {
 		t.Error("missing edges file should fail")
 	}
-	if err := run("oracle", "WV", 10, 1, "", "", "/no/such/file", false, 1); err == nil {
+	if err := run("oracle", "WV", 10, 1, "", "", "/no/such/file", false, false, 1); err == nil {
 		t.Error("missing statement file should fail")
 	}
 }
@@ -141,8 +170,8 @@ select count(*) from E
 		}
 	}
 	// A timed-out statement must not leave its recursive temp table behind.
-	if len(db.Eng.Cat.TempNames()) != 0 {
-		t.Errorf("temp tables leaked after timeout: %v", db.Eng.Cat.TempNames())
+	if len(db.TempTables()) != 0 {
+		t.Errorf("temp tables leaked after timeout: %v", db.TempTables())
 	}
 }
 

@@ -21,6 +21,8 @@ import (
 //
 //	\tables        list catalog tables
 //	\explain       toggle plan mode for subsequent statements
+//	\analyze       toggle EXPLAIN ANALYZE mode (execute + annotated plan)
+//	\metrics       dump the process-wide metrics registry as JSON
 //	\timeout <dur> per-statement deadline ("0" clears; e.g. \timeout 5s)
 //	\quit          exit
 func repl(r io.Reader, w io.Writer, db *graphsql.DB, limit int) error {
@@ -28,8 +30,9 @@ func repl(r io.Reader, w io.Writer, db *graphsql.DB, limit int) error {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	explainMode := false
+	analyzeMode := false
 	var timeout time.Duration
-	fmt.Fprintln(w, "gsql> enter statements, submit with an empty line; \\tables, \\explain, \\timeout, \\quit")
+	fmt.Fprintln(w, "gsql> enter statements, submit with an empty line; \\tables, \\explain, \\analyze, \\metrics, \\timeout, \\quit")
 	prompt := func() { fmt.Fprint(w, "gsql> ") }
 	prompt()
 	exec := func(text string) {
@@ -37,10 +40,10 @@ func repl(r io.Reader, w io.Writer, db *graphsql.DB, limit int) error {
 		if text == "" {
 			return
 		}
-		if explainMode {
+		if explainMode || analyzeMode {
 			lower := strings.ToLower(text)
 			if strings.HasPrefix(lower, "with") || strings.HasPrefix(lower, "select") || strings.HasPrefix(lower, "(") {
-				plan, err := db.Explain(text)
+				plan, err := explainStatement(db, text, timeout, analyzeMode)
 				if err != nil {
 					fmt.Fprintln(w, "error:", err)
 					return
@@ -69,20 +72,28 @@ func repl(r io.Reader, w io.Writer, db *graphsql.DB, limit int) error {
 			case "\\quit", "\\q":
 				return sc.Err()
 			case "\\tables":
-				for _, n := range db.Eng.Cat.Names() {
-					t, err := db.Eng.Cat.Get(n)
-					if err != nil {
-						continue
-					}
+				for _, t := range db.Tables() {
 					kind := "base"
 					if t.Temp {
 						kind = "temp"
 					}
-					fmt.Fprintf(w, "  %s %s (%d rows)\n", kind, n, t.Rows())
+					fmt.Fprintf(w, "  %s %s (%d rows)\n", kind, t.Name, t.Rows)
 				}
 			case "\\explain":
 				explainMode = !explainMode
+				analyzeMode = false
 				fmt.Fprintf(w, "explain mode: %v\n", explainMode)
+			case "\\analyze":
+				analyzeMode = !analyzeMode
+				explainMode = false
+				fmt.Fprintf(w, "explain analyze mode: %v\n", analyzeMode)
+			case "\\metrics":
+				js, err := graphsql.MetricsJSON()
+				if err != nil {
+					fmt.Fprintln(w, "error:", err)
+					break
+				}
+				fmt.Fprintln(w, string(js))
 			default:
 				if arg, ok := strings.CutPrefix(trimmed, "\\timeout"); ok {
 					arg = strings.TrimSpace(arg)
@@ -128,7 +139,27 @@ func runStatement(db *graphsql.DB, text string, timeout time.Duration) (*graphsq
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	return db.QueryContext(ctx, text)
+	res, err := db.Query(ctx, text)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// explainStatement renders a statement's plan under the session timeout:
+// estimated (analyze=false) or executed and annotated (analyze=true).
+func explainStatement(db *graphsql.DB, text string, timeout time.Duration, analyze bool) (string, error) {
+	if !analyze {
+		return db.Explain(text)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return db.ExplainAnalyze(ctx, text)
 }
 
 func printRelationTo(w io.Writer, r *graphsql.Relation, limit int) {

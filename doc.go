@@ -1,8 +1,10 @@
 // Package repro is a from-scratch Go reproduction of "All-in-One: Graph
 // Processing in RDBMSs Revisited" (Zhao & Yu, SIGMOD 2017).
 //
-// The public API lives in package repro/graphsql; the root package exists
-// to host the repository-level benchmark harness (bench_test.go), which
+// The public API lives in package repro/graphsql: a context-first session
+// API (Query/Run with per-call options, typed errors, EXPLAIN ANALYZE,
+// span observers, and a metrics registry). The root package exists to
+// host the repository-level benchmark harness (bench_test.go), which
 // regenerates every table and figure of the paper's evaluation. See
 // README.md, DESIGN.md, and EXPERIMENTS.md.
 package repro

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -14,6 +15,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A citation-style graph whose nodes carry topic labels.
 	const (
 		tDatabase = iota
@@ -53,22 +56,22 @@ func main() {
 
 	// The paper's KS: 3 keywords, depth 4.
 	query := []int32{tDatabase, tGraphs, tRecursion}
-	res, err := db.Run("KS", g, graphsql.Params{Query: query, Depth: 4})
+	res, err := db.Run(ctx, "KS", g, graphsql.Params{Query: query, Depth: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Store the indicator table and post-process with SQL (DDL + DML).
-	if _, err := db.Query("create table ks (ID int, b0 int, b1 int, b2 int)"); err != nil {
+	if _, err := db.Query(ctx, "create table ks (ID int, b0 int, b1 int, b2 int)"); err != nil {
 		log.Fatal(err)
 	}
 	if err := db.LoadRelation("ks_raw", res.Rel); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := db.Query("insert into ks select * from ks_raw"); err != nil {
+	if _, err := db.Query(ctx, "insert into ks select * from ks_raw"); err != nil {
 		log.Fatal(err)
 	}
-	roots, err := db.Query(`
+	roots, err := db.Query(ctx, `
 		select ID from ks
 		where b0 = 1 and b1 = 1 and b2 = 1
 		order by ID`)
@@ -79,7 +82,7 @@ func main() {
 	fmt.Printf("keywords: %s, %s, %s (depth 4)\n",
 		topics[query[0]], topics[query[1]], topics[query[2]])
 	var ids []int64
-	for _, t := range roots.Tuples {
+	for _, t := range roots.Rows.Tuples {
 		ids = append(ids, t[0].AsInt())
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -89,21 +92,21 @@ func main() {
 	}
 
 	// Partial coverage report via aggregation.
-	cov, err := db.Query(`
+	cov, err := db.Query(ctx, `
 		select b0 + b1 + b2 keywords, count(*) nodes
 		from ks group by b0 + b1 + b2 order by keywords desc`)
 	if err != nil {
 		// group by expression unsupported → fall back to per-column sums
-		cov, err = db.Query("select sum(b0) db_cov, sum(b1) graph_cov, sum(b2) rec_cov from ks")
+		cov, err = db.Query(ctx, "select sum(b0) db_cov, sum(b1) graph_cov, sum(b2) rec_cov from ks")
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nper-keyword coverage: database=%v graphs=%v recursion=%v of %d nodes\n",
-			cov.At(0)[0], cov.At(0)[1], cov.At(0)[2], g.N)
+			cov.Rows.At(0)[0], cov.Rows.At(0)[1], cov.Rows.At(0)[2], g.N)
 		return
 	}
 	fmt.Println("\ncoverage histogram (keywords reachable → node count):")
-	for _, t := range cov.Tuples {
+	for _, t := range cov.Rows.Tuples {
 		fmt.Printf("  %v keywords: %v nodes\n", t[0], t[1])
 	}
 }

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +11,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A database with the Oracle-like profile (in-memory temp tables,
 	// hash joins).
 	db, err := graphsql.Open("oracle")
@@ -28,56 +31,62 @@ func main() {
 	fmt.Printf("loaded %d nodes and %d edges\n", g.N, g.M())
 
 	// Plain SQL over the graph relations.
-	rows, err := db.Query(`
+	res, err := db.Query(ctx, `
 		select F, count(*) outdeg from E group by F
 		order by outdeg desc limit 5`)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\ntop-5 out-degrees:")
-	for _, t := range rows.Tuples {
+	for _, t := range res.Rows.Tuples {
 		fmt.Printf("  node %v: %v edges\n", t[0], t[1])
 	}
 
 	// WITH+ — the paper's extension: recursive SQL with union-by-update,
-	// aggregation, and a recursion bound. Bounded transitive closure:
-	tc, err := db.Query(`
+	// aggregation, and a recursion bound. Bounded transitive closure, with
+	// the per-iteration trace requested alongside the rows:
+	tc, err := db.Query(ctx, `
 		with TC(F, T) as (
 		  (select F, T from E)
 		  union all
 		  (select TC.F, E.T from TC, E where TC.T = E.F)
 		  maxrecursion 3)
-		select count(*) pairs from TC`)
+		select count(*) pairs from TC`, graphsql.WithTrace())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nnodes reachable within 3 hops: %v pairs\n", tc.At(0)[0])
+	fmt.Printf("\nnodes reachable within 3 hops: %v pairs (%d iterations)\n",
+		tc.Rows.At(0)[0], tc.Trace.Iterations)
 
-	// The compiled SQL/PSM procedure behind a WITH+ statement:
-	plan, err := db.Explain(`
-		with TC(F, T) as (
-		  (select F, T from E)
-		  union all
-		  (select TC.F, E.T from TC, E where TC.T = E.F)
-		  maxrecursion 3)
-		select F, T from TC`)
+	// EXPLAIN ANALYZE: execute and render the compiled procedure with
+	// per-statement execution stats plus one annotated plan tree per
+	// subquery (rows, loops, timings) — here PageRank as WITH+, whose
+	// recursive subquery runs 15 times (loops=15 in the merged tree).
+	report, err := db.ExplainAnalyze(ctx, `
+		with P(ID, W) as (
+		  (select V.ID, 1.0 / 500 from V)
+		  union by update ID
+		  (select E.T, 0.85 * sum(W * ew) + 0.15 / 500 from P, E
+		   where P.ID = E.F group by E.T)
+		  maxrecursion 15)
+		select ID, W from P`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\ncompiled procedure:")
-	fmt.Println(plan)
+	fmt.Println("\nexplain analyze:")
+	fmt.Println(report)
 
 	// Built-in algorithms by their Table 2 codes:
-	res, err := db.Run("PR", g, graphsql.Params{Iters: 15})
+	pr, err := db.Run(ctx, "PR", g, graphsql.Params{Iters: 15})
 	if err != nil {
 		log.Fatal(err)
 	}
 	best, bestW := int64(-1), -1.0
-	for _, t := range res.Rel.Tuples {
+	for _, t := range pr.Rel.Tuples {
 		if w := t[1].AsFloat(); w > bestW {
 			best, bestW = t[0].AsInt(), w
 		}
 	}
 	fmt.Printf("\nhighest PageRank: node %d (%.5f) after %d iterations\n",
-		best, bestW, res.Iterations)
+		best, bestW, pr.Iterations)
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -41,6 +42,7 @@ func roadNetwork(side int, seed int64) *graphsql.Graph {
 }
 
 func main() {
+	ctx := context.Background()
 	const side = 14
 	g := roadNetwork(side, 3)
 	fmt.Printf("road network: %d intersections, %d segments\n", g.N, g.M())
@@ -57,7 +59,7 @@ func main() {
 	}
 
 	// 1. The built-in Bellman-Ford relational program (Eq. (7)).
-	res, err := db.Run("SSSP", g, graphsql.Params{Source: 0})
+	res, err := db.Run(ctx, "SSSP", g, graphsql.Params{Source: 0})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func main() {
 	fmt.Printf("built-in Bellman-Ford converged in %d iterations\n", res.Iterations)
 
 	// 2. The same computation as a WITH+ statement.
-	rows, err := db.Query(`
+	rows, err := db.Query(ctx, `
 		with
 		D(ID, dist) as (
 		  (select ID, 0.0 from V where ID = 0)
@@ -83,7 +85,7 @@ func main() {
 		log.Fatal(err)
 	}
 	viaSQL := map[int64]float64{}
-	for _, t := range rows.Tuples {
+	for _, t := range rows.Rows.Tuples {
 		viaSQL[t[0].AsInt()] = t[1].AsFloat()
 	}
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db, err := graphsql.Open("postgres")
 	if err != nil {
 		log.Fatal(err)
@@ -29,7 +31,7 @@ func main() {
 		log.Fatal(err)
 	}
 	// Out-degree-normalized edges for the random walk.
-	if _, err := db.Query("select 1"); err != nil {
+	if _, err := db.Query(ctx, "select 1"); err != nil {
 		log.Fatal(err)
 	}
 	deg := g.OutDegrees()
@@ -56,7 +58,7 @@ func main() {
 
 	// PageRank as a WITH+ statement (Fig. 3 of the paper, completed for
 	// nodes without in-edges), then a plain join with Users.
-	pr, err := db.Query(fmt.Sprintf(`
+	pr, err := db.Query(ctx, fmt.Sprintf(`
 		with
 		P(ID, W) as (
 		  (select V.ID, 1.0 / %[1]d from V)
@@ -70,11 +72,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := db.LoadRelation("Rank", pr); err != nil {
+	if err := db.LoadRelation("Rank", pr.Rows); err != nil {
 		log.Fatal(err)
 	}
 
-	top, err := db.Query(`
+	top, err := db.Query(ctx, `
 		select Users.uid, Users.region, Rank.W
 		from Users, Rank
 		where Users.uid = Rank.ID and Users.region = 'emea'
@@ -83,13 +85,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("most influential EMEA accounts:")
-	for _, t := range top.Tuples {
+	for _, t := range top.Rows.Tuples {
 		fmt.Printf("  user %v (%v): rank %.5f\n", t[0], t[1], t[2].AsFloat())
 	}
 
 	// Aggregate influence per region — graph analytics feeding ordinary
 	// reporting SQL.
-	agg, err := db.Query(`
+	agg, err := db.Query(ctx, `
 		select Users.region, sum(Rank.W) total, count(*) members
 		from Users, Rank where Users.uid = Rank.ID
 		group by Users.region order by total desc`)
@@ -97,7 +99,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\ninfluence by region:")
-	for _, t := range agg.Tuples {
+	for _, t := range agg.Rows.Tuples {
 		fmt.Printf("  %-5v total=%.4f members=%v\n", t[0], t[1].AsFloat(), t[2])
 	}
 }

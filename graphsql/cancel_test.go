@@ -46,13 +46,13 @@ func TestQueryContextCancelMidFlight(t *testing.T) {
 	const nodes = 4000 // big enough that 15 iterations far outlast the cancel delay
 	db := loadPageRankDB(t, nodes)
 	q := algos.PageRankSQL(nodes, 15, 0.85)
-	db.Eng.Parallelism = 4 // exercise morsel-worker draining too
+	db.SetParallelism(4) // exercise morsel-worker draining too
 
 	before := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := db.QueryContext(ctx, q)
+		_, err := db.Query(ctx, q)
 		errCh <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
@@ -69,7 +69,7 @@ func TestQueryContextCancelMidFlight(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
-	if tn := db.Eng.Cat.TempNames(); len(tn) != 0 {
+	if tn := db.TempTables(); len(tn) != 0 {
 		t.Fatalf("temp tables leaked after cancellation: %v", tn)
 	}
 	// Workers must have drained; allow the runtime a moment to reap them.
@@ -85,8 +85,8 @@ func TestQueryContextCancelMidFlight(t *testing.T) {
 		t.Fatalf("goroutines leaked after cancellation: %d before, %d after", before, n)
 	}
 	// The statement governor is released: the same DB answers the next query.
-	out, err := db.Query("select count(*) from V")
-	if err != nil || out.Len() != 1 {
+	out, err := db.Query(context.Background(), "select count(*) from V")
+	if err != nil || out.Rows.Len() != 1 {
 		t.Fatalf("db unusable after cancelled statement: %v", err)
 	}
 }
@@ -97,11 +97,11 @@ func TestQueryContextPreCancelled(t *testing.T) {
 	db := loadPageRankDB(t, 100)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := db.QueryContext(ctx, algos.PageRankSQL(100, 5, 0.85))
+	_, err := db.Query(ctx, algos.PageRankSQL(100, 5, 0.85))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
-	if tn := db.Eng.Cat.TempNames(); len(tn) != 0 {
+	if tn := db.TempTables(); len(tn) != 0 {
 		t.Fatalf("temp tables leaked: %v", tn)
 	}
 }
@@ -111,12 +111,12 @@ func TestQueryContextPreCancelled(t *testing.T) {
 func TestSetLimitsTimeout(t *testing.T) {
 	db := loadPageRankDB(t, 1000)
 	db.SetLimits(Limits{Timeout: time.Nanosecond})
-	_, err := db.Query(algos.PageRankSQL(1000, 10, 0.85))
+	_, err := db.Query(context.Background(), algos.PageRankSQL(1000, 10, 0.85))
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want context.DeadlineExceeded, got %v", err)
 	}
 	db.SetLimits(Limits{})
-	if _, err := db.Query("select count(*) from V"); err != nil {
+	if _, err := db.Query(context.Background(), "select count(*) from V"); err != nil {
 		t.Fatalf("clearing limits should restore service: %v", err)
 	}
 }
@@ -126,7 +126,7 @@ func TestSetLimitsTimeout(t *testing.T) {
 func TestSetLimitsRowBudget(t *testing.T) {
 	db := loadPageRankDB(t, 1000)
 	db.SetLimits(Limits{MaxRows: 500})
-	_, err := db.Query(algos.PageRankSQL(1000, 10, 0.85))
+	_, err := db.Query(context.Background(), algos.PageRankSQL(1000, 10, 0.85))
 	if !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("want ErrBudgetExceeded, got %v", err)
 	}
@@ -134,7 +134,7 @@ func TestSetLimitsRowBudget(t *testing.T) {
 	if !errors.As(err, &be) || be.Resource != "rows" {
 		t.Fatalf("want a rows BudgetError, got %#v", err)
 	}
-	if tn := db.Eng.Cat.TempNames(); len(tn) != 0 {
+	if tn := db.TempTables(); len(tn) != 0 {
 		t.Fatalf("temp tables leaked after budget kill: %v", tn)
 	}
 }
@@ -144,7 +144,7 @@ func TestSetLimitsRowBudget(t *testing.T) {
 func TestSetLimitsMemBudget(t *testing.T) {
 	db := loadPageRankDB(t, 1000)
 	db.SetLimits(Limits{MaxBytes: 1 << 10})
-	_, err := db.Query(algos.PageRankSQL(1000, 10, 0.85))
+	_, err := db.Query(context.Background(), algos.PageRankSQL(1000, 10, 0.85))
 	if !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("want ErrBudgetExceeded, got %v", err)
 	}

@@ -1,0 +1,45 @@
+package graphsql
+
+import "context"
+
+// This file keeps the pre-redesign session methods compiling for existing
+// callers. They are thin wrappers over Query/Run with options; new code
+// should call those directly.
+
+// QueryContext answers a statement and returns its result relation.
+//
+// Deprecated: use Query, which takes the context first and returns a
+// QueryResult carrying rows, trace, and plan together.
+func (db *DB) QueryContext(ctx context.Context, text string) (*Relation, error) {
+	res, err := db.Query(ctx, text)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// QueryWithTrace answers a WITH+ statement and returns the per-iteration
+// trace (times and recursive-relation sizes).
+//
+// Deprecated: use Query with WithTrace and read QueryResult.Trace.
+func (db *DB) QueryWithTrace(text string) (*Relation, *Trace, error) {
+	return db.QueryWithTraceContext(context.Background(), text)
+}
+
+// QueryWithTraceContext is QueryWithTrace under a context.
+//
+// Deprecated: use Query with WithTrace and read QueryResult.Trace.
+func (db *DB) QueryWithTraceContext(ctx context.Context, text string) (*Relation, *Trace, error) {
+	res, err := db.Query(ctx, text, WithTrace())
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Rows, res.Trace, nil
+}
+
+// RunContext executes a built-in algorithm under a context.
+//
+// Deprecated: use Run, which takes the context first and accepts options.
+func (db *DB) RunContext(ctx context.Context, code string, g *Graph, p Params) (*Result, error) {
+	return db.Run(ctx, code, g, p)
+}

@@ -61,7 +61,7 @@ func TestQueryContextCancellation(t *testing.T) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
 	inner, _ := DB("oracle")
-	if tn := inner.Eng.Cat.TempNames(); len(tn) != 0 {
+	if tn := inner.TempTables(); len(tn) != 0 {
 		t.Fatalf("temp tables leaked through the driver: %v", tn)
 	}
 	var n int

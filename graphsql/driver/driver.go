@@ -153,10 +153,11 @@ func queryConn(ctx context.Context, c *conn, query string, args []driver.Value) 
 	}
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
-	out, err := c.s.db.QueryContext(ctx, q)
+	res, err := c.s.db.Query(ctx, q)
 	if err != nil {
 		return nil, err
 	}
+	out := res.Rows
 	if out == nil {
 		out = relation.New(nil)
 	}
@@ -170,7 +171,7 @@ func execConn(ctx context.Context, c *conn, query string, args []driver.Value) (
 	}
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
-	if _, err := c.s.db.QueryContext(ctx, q); err != nil {
+	if _, err := c.s.db.Query(ctx, q); err != nil {
 		return nil, err
 	}
 	return driver.RowsAffected(0), nil

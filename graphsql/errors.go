@@ -1,0 +1,49 @@
+package graphsql
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/govern"
+	"repro/internal/storage"
+)
+
+// Sentinel errors, matched with errors.Is.
+var (
+	// ErrUnknownProfile is returned by Open for a profile name outside
+	// Profiles().
+	ErrUnknownProfile = errors.New("graphsql: unknown profile")
+	// ErrParse marks statements rejected at parse/compile time (syntax
+	// errors, WITH+ restriction violations). The wrapped error carries the
+	// position and detail.
+	ErrParse = errors.New("graphsql: parse error")
+	// ErrBudgetExceeded matches any resource-budget violation from
+	// SetLimits or WithLimits; the concrete error is a *BudgetError naming
+	// the resource, extracted with errors.As.
+	ErrBudgetExceeded = govern.ErrBudgetExceeded
+)
+
+// Typed errors, extracted with errors.As.
+type (
+	// BudgetError reports which budget (rows or bytes) a statement
+	// exhausted; it matches ErrBudgetExceeded via errors.Is.
+	BudgetError = govern.BudgetError
+	// PanicError is a recovered internal panic surfaced as a statement
+	// error instead of process death.
+	PanicError = govern.PanicError
+	// CorruptError reports physical write-ahead-log corruption found
+	// during Recover.
+	CorruptError = storage.CorruptError
+	// RecoveryReport summarizes a DB.Recover run.
+	RecoveryReport = engine.RecoveryReport
+)
+
+// parseErr tags err as a parse failure so callers can errors.Is(err,
+// ErrParse) without string matching.
+func parseErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrParse, err)
+}

@@ -10,24 +10,32 @@
 //	g := graphsql.MustGenerate("WV", 1000, 42)
 //	db.LoadEdges("E", g)
 //	db.LoadNodes("V", g, nil)
-//	rows, _ := db.Query(`with TC(F, T) as (
+//	res, _ := db.Query(context.Background(), `with TC(F, T) as (
 //	    (select F, T from E)
 //	    union all
 //	    (select TC.F, E.T from TC, E where TC.T = E.F)
 //	    maxrecursion 4)
 //	  select F, T from TC`)
+//	fmt.Println(res.Rows.Len())
+//
+// Every statement runs under a context (cancellation, deadlines) and takes
+// per-call options: WithLimits for resource budgets, WithObserver for
+// per-operator execution spans, WithTrace for the WITH+ iteration trace,
+// and WithExplain for an EXPLAIN ANALYZE report. See Query.
 package graphsql
 
 import (
-	"context"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/algos"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/govern"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/sql"
 	"repro/internal/withplus"
@@ -52,38 +60,42 @@ type (
 	// scaled synthetic generator.
 	Dataset = dataset.Info
 	// Limits are the per-statement resource budgets (deadline, row budget,
-	// memory budget) enforced by the statement governor; see DB.SetLimits.
+	// memory budget) enforced by the statement governor; see DB.SetLimits
+	// and WithLimits.
 	Limits = govern.Limits
-	// RecoveryReport summarizes a DB.Recover run.
-	RecoveryReport = engine.RecoveryReport
+	// Trace records per-iteration progress of a WITH+ execution; see
+	// WithTrace.
+	Trace = withplus.Trace
+	// CountersSnapshot is a point-in-time copy of the engine's operator
+	// counters; see DB.Stats.
+	CountersSnapshot = engine.CountersSnapshot
 )
 
-// ErrBudgetExceeded is returned (wrapped in a *govern.BudgetError) when a
-// statement exhausts a resource budget set via SetLimits.
-var ErrBudgetExceeded = govern.ErrBudgetExceeded
-
-// DB is one embedded RDBMS instance.
+// DB is one embedded RDBMS instance. Statements are serialized: one DB
+// runs one statement at a time, so per-statement options (limits,
+// observers) never leak across concurrent callers. Open several DBs for
+// parallel query streams.
 type DB struct {
-	// Eng exposes the underlying engine for advanced use (counters,
-	// catalog inspection, custom plans).
-	Eng *engine.Engine
+	mu  sync.Mutex
+	eng *engine.Engine
 }
 
 // Open creates a database with the named profile: "oracle", "db2",
 // "postgres" (temp-table indexes built, as in the paper's main runs), or
-// "postgres-noindex".
+// "postgres-noindex". An unknown name returns an error matching
+// ErrUnknownProfile.
 func Open(profile string) (*DB, error) {
 	switch strings.ToLower(profile) {
 	case "oracle":
-		return &DB{Eng: engine.New(engine.OracleLike())}, nil
+		return &DB{eng: engine.New(engine.OracleLike())}, nil
 	case "db2":
-		return &DB{Eng: engine.New(engine.DB2Like())}, nil
+		return &DB{eng: engine.New(engine.DB2Like())}, nil
 	case "postgres", "postgresql":
-		return &DB{Eng: engine.New(engine.PostgresLike(true))}, nil
+		return &DB{eng: engine.New(engine.PostgresLike(true))}, nil
 	case "postgres-noindex":
-		return &DB{Eng: engine.New(engine.PostgresLike(false))}, nil
+		return &DB{eng: engine.New(engine.PostgresLike(false))}, nil
 	}
-	return nil, fmt.Errorf("graphsql: unknown profile %q (want oracle, db2, postgres, postgres-noindex)", profile)
+	return nil, fmt.Errorf("%w: %q (want oracle, db2, postgres, postgres-noindex)", ErrUnknownProfile, profile)
 }
 
 // Profiles lists the available profile names.
@@ -93,14 +105,18 @@ func Profiles() []string {
 
 // LoadEdges stores g's edges as base table name(F, T, ew) and analyzes it.
 func (db *DB) LoadEdges(name string, g *Graph) error {
-	_, err := db.Eng.LoadBase(name, g.EdgeRelation())
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, err := db.eng.LoadBase(name, g.EdgeRelation())
 	return err
 }
 
 // LoadNodes stores g's nodes as base table name(ID, vw); weight may be nil
 // (all zeros) — pass a closure to seed per-node values.
 func (db *DB) LoadNodes(name string, g *Graph, weight func(i int) float64) error {
-	_, err := db.Eng.LoadBase(name, g.NodeRelation(weight))
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, err := db.eng.LoadBase(name, g.NodeRelation(weight))
 	return err
 }
 
@@ -108,84 +124,123 @@ func (db *DB) LoadNodes(name string, g *Graph, weight func(i int) float64) error
 // be queried together with ordinary application tables — the data
 // management motivation of the paper's introduction.
 func (db *DB) LoadRelation(name string, r *Relation) error {
-	_, err := db.Eng.LoadBase(name, r)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, err := db.eng.LoadBase(name, r)
 	return err
 }
 
-// Query answers any supported statement: plain SELECT, enhanced recursive
-// WITH (WITH+), or DDL/DML (CREATE [TEMPORARY] TABLE, INSERT INTO ...
-// VALUES/SELECT, DROP TABLE, TRUNCATE). Non-query statements return a nil
-// relation.
-func (db *DB) Query(text string) (*Relation, error) {
-	return db.QueryContext(context.Background(), text)
+// SetLimits installs the session's default per-statement resource budgets:
+// a deadline, a row budget (tuples processed by join probes), and a memory
+// budget (join intermediates plus resident temp-table pages). Exceeding
+// one returns an error matching ErrBudgetExceeded instead of letting the
+// statement run away. The zero Limits removes all budgets; WithLimits
+// overrides them for a single call.
+func (db *DB) SetLimits(l Limits) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.eng.Limits = l
 }
 
-// QueryContext is Query under a context: cancellation and deadlines reach
-// into operator loops (joins checkpoint every few hundred tuples; the WITH+
-// loop driver checks at statement and iteration boundaries), so a cancelled
-// statement returns ctx.Err() promptly with its temporary tables dropped.
-// Budget violations from SetLimits surface the same way, as typed errors.
-func (db *DB) QueryContext(ctx context.Context, text string) (out *Relation, err error) {
-	defer govern.RecoverTo(&err)
-	end := db.Eng.BeginStatement(ctx)
-	defer end()
-	if isWith(text) {
-		out, _, err := withplus.Run(db.Eng, text)
-		return out, err
+// Limits returns the session's default per-statement budgets.
+func (db *DB) Limits() Limits {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.Limits
+}
+
+// SetParallelism sets the worker count for morsel-parallel probe paths
+// (0 or 1 = serial).
+func (db *DB) SetParallelism(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.eng.Parallelism = n
+}
+
+// Stats returns a point-in-time snapshot of the engine's operator counters
+// (joins, group-bys, index builds and cache hits, tuples materialized).
+func (db *DB) Stats() CountersSnapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.Cnt.Snapshot()
+}
+
+// MetricsJSON renders the process-wide metrics registry (statement counts
+// and latencies, governor trips, temp-table footprint) as indented JSON.
+// The registry is shared by every DB in the process.
+func MetricsJSON() ([]byte, error) { return obs.Global.JSON() }
+
+// TableInfo describes one catalog table.
+type TableInfo struct {
+	Name   string
+	Schema string
+	Rows   int
+	Temp   bool
+}
+
+// Tables lists the catalog (base and temporary tables) sorted by name.
+func (db *DB) Tables() []TableInfo {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []TableInfo
+	for _, n := range db.eng.Cat.Names() {
+		t, err := db.eng.Cat.Get(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, TableInfo{Name: n, Schema: t.Sch.String(), Rows: t.Rows(), Temp: t.Temp})
 	}
-	stmt, err := sql.ParseStatement(text)
-	if err != nil {
-		return nil, err
-	}
-	return sql.NewExec(db.Eng).ExecStatement(stmt)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
-// QueryWithTrace answers a WITH+ statement and returns the per-iteration
-// trace (times and recursive-relation sizes).
-func (db *DB) QueryWithTrace(text string) (*Relation, *withplus.Trace, error) {
-	return db.QueryWithTraceContext(context.Background(), text)
+// TempTables lists the names of the temporary tables currently in the
+// catalog (empty after well-behaved statements — recursive working tables
+// are dropped when their statement ends).
+func (db *DB) TempTables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.Cat.TempNames()
 }
 
-// QueryWithTraceContext is QueryWithTrace under a context; see QueryContext
-// for the cancellation semantics.
-func (db *DB) QueryWithTraceContext(ctx context.Context, text string) (out *Relation, tr *withplus.Trace, err error) {
-	defer govern.RecoverTo(&err)
-	end := db.Eng.BeginStatement(ctx)
-	defer end()
-	return withplus.Run(db.Eng, text)
+// HasTable reports whether the catalog holds a table with this name.
+func (db *DB) HasTable(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.Cat.Has(name)
 }
-
-// SetLimits installs per-statement resource budgets: a deadline, a row
-// budget (tuples processed by join probes), and a memory budget (join
-// intermediates plus resident temp-table pages). Exceeding one returns an
-// error matching ErrBudgetExceeded instead of letting the statement run
-// away. The zero Limits removes all budgets.
-func (db *DB) SetLimits(l Limits) { db.Eng.Limits = l }
 
 // Recover rebuilds committed base-table state from the write-ahead log, as
 // a crash restart would: mutations after the last commit marker (and
 // anything after a physical corruption point) are discarded, temporary
 // tables vanish, and the log is checkpointed. See engine.(*Engine).Recover.
-func (db *DB) Recover() (*RecoveryReport, error) { return db.Eng.Recover() }
+func (db *DB) Recover() (*RecoveryReport, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.Recover()
+}
 
 // Explain renders the execution strategy without running the statement:
 // for a WITH+ statement, the compiled SQL/PSM procedure (the paper's
 // Algorithm 1 output); for a plain SELECT, the physical plan (scans, join
-// algorithms per the profile, filters, aggregation).
+// algorithms per the profile, filters, aggregation). For executed plans
+// with actual rows and timings, see ExplainAnalyze.
 func (db *DB) Explain(text string) (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if isWith(text) {
-		p, err := withplus.Prepare(db.Eng, text)
+		p, err := withplus.Prepare(db.eng, text)
 		if err != nil {
-			return "", err
+			return "", parseErr(err)
 		}
 		defer p.Cleanup()
 		return p.Proc.String(), nil
 	}
 	stmt, err := sql.ParseSelect(text)
 	if err != nil {
-		return "", err
+		return "", parseErr(err)
 	}
-	return sql.NewExec(db.Eng).ExplainSelect(stmt)
+	return sql.NewExec(db.eng).ExplainSelect(stmt)
 }
 
 func isWith(text string) bool {
@@ -195,26 +250,8 @@ func isWith(text string) bool {
 	return false
 }
 
-// Run executes a built-in algorithm (by its Table 2 code: "PR", "WCC",
-// "SSSP", "HITS", "TS", "KC", "MIS", "LP", "MNM", "KS", "TC", "BFS",
-// "APSP", "FW", "RWR", "SR", "DIAM") on the graph, inside this database.
-func (db *DB) Run(code string, g *Graph, p Params) (*Result, error) {
-	return db.RunContext(context.Background(), code, g, p)
-}
-
-// RunContext is Run under a context: the algorithm's engine operators
-// checkpoint against it, so cancellation, deadlines, and SetLimits budgets
-// interrupt long iterative runs mid-flight.
-func (db *DB) RunContext(ctx context.Context, code string, g *Graph, p Params) (res *Result, err error) {
-	defer govern.RecoverTo(&err)
-	a, err := algos.ByCode(code)
-	if err != nil {
-		return nil, err
-	}
-	end := db.Eng.BeginStatement(ctx)
-	defer end()
-	return a.Run(db.Eng, g, p)
-}
+// algosByCode resolves a Table 2 algorithm code.
+func algosByCode(code string) (Algorithm, error) { return algos.ByCode(code) }
 
 // Algorithms lists the built-in algorithms in the paper's order.
 func Algorithms() []Algorithm { return algos.Registry() }

@@ -1,6 +1,8 @@
 package graphsql
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -16,8 +18,8 @@ func TestOpenProfiles(t *testing.T) {
 			t.Errorf("Open(%q): %v", p, err)
 		}
 	}
-	if _, err := Open("mysql"); err == nil {
-		t.Error("unknown profile should fail")
+	if _, err := Open("mysql"); !errors.Is(err, ErrUnknownProfile) {
+		t.Errorf("unknown profile should fail with ErrUnknownProfile, got %v", err)
 	}
 }
 
@@ -30,11 +32,11 @@ func TestLoadAndQuery(t *testing.T) {
 	if err := db.LoadNodes("V", g, nil); err != nil {
 		t.Fatal(err)
 	}
-	r, err := db.Query("select count(*) from E")
+	res, err := db.Query(context.Background(), "select count(*) from E")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if int(r.At(0)[0].AsInt()) != g.M() {
+	if r := res.Rows; int(r.At(0)[0].AsInt()) != g.M() {
 		t.Errorf("edge count = %v, want %d", r.At(0)[0], g.M())
 	}
 }
@@ -46,7 +48,7 @@ func TestQueryDispatchesWithPlus(t *testing.T) {
 	g.AddEdge(1, 2, 1)
 	g.AddEdge(2, 3, 1)
 	db.LoadEdges("E", g)
-	r, err := db.Query(`
+	res, err := db.Query(context.Background(), `
 with TC(F, T) as (
   (select F, T from E)
   union all
@@ -55,16 +57,16 @@ select F, T from TC`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Len() != 6 {
-		t.Errorf("|TC| = %d, want 6", r.Len())
+	if res.Rows.Len() != 6 {
+		t.Errorf("|TC| = %d, want 6", res.Rows.Len())
 	}
-	_, trace, err := db.QueryWithTrace(`
+	traced, err := db.Query(context.Background(), `
 with R(x) as ((select F from E) union all (select R.x + 0 from R, E where R.x = E.F) maxrecursion 2)
-select x from R`)
+select x from R`, WithTrace())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if trace.Iterations < 1 {
+	if traced.Trace == nil || traced.Trace.Iterations < 1 {
 		t.Error("trace missing")
 	}
 }
@@ -90,7 +92,7 @@ select F, T from TC`)
 		}
 	}
 	// Explain must not leave temp tables behind.
-	if db.Eng.Cat.Has("TC") {
+	if db.HasTable("TC") {
 		t.Error("Explain leaked the recursive temp table")
 	}
 }
@@ -98,7 +100,7 @@ select F, T from TC`)
 func TestRunAlgorithm(t *testing.T) {
 	db, _ := Open("db2")
 	g := MustGenerate("WV", 150, 2)
-	res, err := db.Run("PR", g, Params{Iters: 10})
+	res, err := db.Run(context.Background(), "PR", g, Params{Iters: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func TestRunAlgorithm(t *testing.T) {
 			t.Fatalf("PR mismatch at %v", tu[0])
 		}
 	}
-	if _, err := db.Run("NOPE", g, Params{}); err == nil {
+	if _, err := db.Run(context.Background(), "NOPE", g, Params{}); err == nil {
 		t.Error("unknown algorithm should fail")
 	}
 }
@@ -140,12 +142,12 @@ func TestGraphWithApplicationTables(t *testing.T) {
 	g.AddEdge(2, 1, 1)
 	db.LoadEdges("E", g)
 	db.LoadNodes("Users", g, func(i int) float64 { return float64(20 + i) })
-	r, err := db.Query("select Users.ID, Users.vw from Users, E where Users.ID = E.T")
+	res, err := db.Query(context.Background(), "select Users.ID, Users.vw from Users, E where Users.ID = E.T")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Len() != 2 {
-		t.Errorf("join rows = %d", r.Len())
+	if res.Rows.Len() != 2 {
+		t.Errorf("join rows = %d", res.Rows.Len())
 	}
 }
 
@@ -168,15 +170,16 @@ func TestExplainSelectPlan(t *testing.T) {
 
 func TestQueryDDL(t *testing.T) {
 	db, _ := Open("oracle")
-	if out, err := db.Query("create table t (a int)"); err != nil || out != nil {
+	ctx := context.Background()
+	if out, err := db.Query(ctx, "create table t (a int)"); err != nil || out.Rows != nil {
 		t.Fatalf("ddl: %v %v", out, err)
 	}
-	if _, err := db.Query("insert into t values (1), (2)"); err != nil {
+	if _, err := db.Query(ctx, "insert into t values (1), (2)"); err != nil {
 		t.Fatal(err)
 	}
-	r, err := db.Query("select sum(a) from t")
-	if err != nil || r.At(0)[0].AsInt() != 3 {
-		t.Fatalf("sum: %v %v", r, err)
+	res, err := db.Query(ctx, "select sum(a) from t")
+	if err != nil || res.Rows.At(0)[0].AsInt() != 3 {
+		t.Fatalf("sum: %v %v", res, err)
 	}
 }
 
@@ -188,8 +191,8 @@ func Example() {
 	g.AddEdge(0, 1, 1)
 	g.AddEdge(1, 2, 1)
 	db.LoadEdges("E", g)
-	rows, _ := db.Query("select count(*) from E")
-	fmt.Println(rows.At(0)[0])
+	res, _ := db.Query(context.Background(), "select count(*) from E")
+	fmt.Println(res.Rows.At(0)[0])
 	// Output: 2
 }
 
@@ -201,12 +204,12 @@ func ExampleDB_Query() {
 	g.AddEdge(1, 2, 1)
 	g.AddEdge(2, 3, 1)
 	db.LoadEdges("E", g)
-	tc, _ := db.Query(`
+	tc, _ := db.Query(context.Background(), `
 with TC(F, T) as (
   (select F, T from E)
   union all
   (select TC.F, E.T from TC, E where TC.T = E.F))
 select count(*) pairs from TC`)
-	fmt.Println(tc.At(0)[0])
+	fmt.Println(tc.Rows.At(0)[0])
 	// Output: 6
 }

@@ -1,0 +1,230 @@
+package graphsql
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/govern"
+	"repro/internal/obs"
+	"repro/internal/sql"
+	"repro/internal/withplus"
+)
+
+// Observability re-exports, so observer-attaching callers work with one
+// package. A Span is one operator execution (join, fused kernel, loop
+// iteration, ...) annotated with cardinalities, index reuse, and timings.
+type (
+	// Span is one observed operator execution; see WithObserver.
+	Span = obs.Span
+	// Sink receives spans; implementations must be safe for concurrent use.
+	Sink = obs.Sink
+	// SpanCollector is a ready-made Sink that buffers spans in memory.
+	SpanCollector = obs.Collector
+	// PlanNode is one node of an executed plan tree (EXPLAIN ANALYZE).
+	PlanNode = obs.PlanNode
+)
+
+// NewSpanCollector returns an empty in-memory span sink.
+func NewSpanCollector() *SpanCollector { return obs.NewCollector() }
+
+// QueryOption configures one Query or Run call. Options are per-statement:
+// they apply to that call only and leave the session's defaults untouched.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	trace   bool
+	explain bool
+	limits  *Limits
+	sink    Sink
+}
+
+// WithTrace asks a WITH+ statement to return its per-iteration trace
+// (times and recursive-relation sizes) in QueryResult.Trace.
+func WithTrace() QueryOption {
+	return func(c *queryConfig) { c.trace = true }
+}
+
+// WithLimits applies resource budgets to this statement only, overriding
+// (not merging with) the session limits set via SetLimits.
+func WithLimits(l Limits) QueryOption {
+	return func(c *queryConfig) { c.limits = &l }
+}
+
+// WithObserver attaches a span sink for the duration of this statement:
+// every operator the engine executes (joins, fused kernels, loop
+// iterations) reports a Span to it. Statements on one DB are serialized,
+// so concurrent sessions with different observers never interleave spans.
+func WithObserver(s Sink) QueryOption {
+	return func(c *queryConfig) { c.sink = s }
+}
+
+// WithExplain executes the statement under full instrumentation and
+// returns the rendered EXPLAIN ANALYZE report (actual rows, loops, and
+// per-node timings) in QueryResult.Plan alongside the result rows.
+func WithExplain() QueryOption {
+	return func(c *queryConfig) { c.explain = true }
+}
+
+// QueryResult is the outcome of one Query call.
+type QueryResult struct {
+	// Rows is the result relation; nil for DDL/DML statements.
+	Rows *Relation
+	// Trace is the WITH+ per-iteration trace, set when WithTrace was given
+	// and the statement was a WITH+ query.
+	Trace *Trace
+	// Plan is the rendered EXPLAIN ANALYZE report, set when WithExplain
+	// was given.
+	Plan string
+}
+
+// Query answers any supported statement: plain SELECT, enhanced recursive
+// WITH (WITH+), EXPLAIN [ANALYZE], or DDL/DML (CREATE [TEMPORARY] TABLE,
+// INSERT INTO ... VALUES/SELECT, DROP TABLE, TRUNCATE). Non-query
+// statements return a result with nil Rows.
+//
+// The context's cancellation and deadline reach into operator loops (joins
+// checkpoint every few hundred tuples; the WITH+ loop driver checks at
+// statement and iteration boundaries), so a cancelled statement returns
+// ctx.Err() promptly with its temporary tables dropped. Budget violations
+// (session SetLimits or per-call WithLimits) surface the same way, as
+// typed errors matching ErrBudgetExceeded.
+//
+// Statements on one DB are serialized; use separate DB instances for
+// parallel query streams.
+func (db *DB) Query(ctx context.Context, text string, opts ...QueryOption) (res *QueryResult, err error) {
+	defer govern.RecoverTo(&err)
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if cfg.limits != nil {
+		prev := db.eng.Limits
+		db.eng.Limits = *cfg.limits
+		defer func() { db.eng.Limits = prev }()
+	}
+	end := db.eng.BeginObserved(ctx, cfg.sink)
+	defer end()
+	return db.dispatch(text, &cfg)
+}
+
+// dispatch runs one statement under an armed engine (governor and observer
+// installed by the caller).
+func (db *DB) dispatch(text string, cfg *queryConfig) (*QueryResult, error) {
+	res := &QueryResult{}
+	if isWith(text) {
+		p, err := withplus.Prepare(db.eng, text)
+		if err != nil {
+			return nil, parseErr(err)
+		}
+		defer p.Cleanup()
+		if cfg.explain {
+			out, a, err := p.RunAnalyzed()
+			if err != nil {
+				return nil, err
+			}
+			res.Rows, res.Plan = out, a.Render()
+			if cfg.trace {
+				res.Trace = a.Trace
+			}
+			return res, nil
+		}
+		out, tr, err := p.Run()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = out
+		if cfg.trace {
+			res.Trace = tr
+		}
+		return res, nil
+	}
+	stmt, err := sql.ParseStatement(text)
+	if err != nil {
+		return nil, parseErr(err)
+	}
+	if ex, ok := stmt.(*sql.ExplainStmt); ok {
+		if wq, ok := ex.Target.(*sql.WithQueryStmt); ok {
+			return db.explainWith(wq, ex.Analyze)
+		}
+	}
+	if cfg.explain {
+		q, ok := stmt.(*sql.QueryStmt)
+		if !ok {
+			return nil, fmt.Errorf("graphsql: WithExplain supports SELECT and WITH+ statements only")
+		}
+		out, plan, err := sql.NewExec(db.eng).RunAnalyzed(q.Select)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows, res.Plan = out, plan.Render()
+		return res, nil
+	}
+	out, err := sql.NewExec(db.eng).ExecStatement(stmt)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = out
+	return res, nil
+}
+
+// explainWith answers EXPLAIN [ANALYZE] of a WITH+ statement: the compiled
+// procedure (plain EXPLAIN) or the executed, annotated report (ANALYZE),
+// as a one-column relation.
+func (db *DB) explainWith(wq *sql.WithQueryStmt, analyze bool) (*QueryResult, error) {
+	p, err := withplus.PrepareStmt(db.eng, wq.With)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Cleanup()
+	if !analyze {
+		return &QueryResult{Rows: sql.PlanRelation(p.Proc.String())}, nil
+	}
+	_, a, err := p.RunAnalyzed()
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Rows: sql.PlanRelation(a.Render()), Plan: a.Render()}, nil
+}
+
+// ExplainAnalyze executes the statement under full instrumentation and
+// returns the rendered report: for a WITH+ statement, the compiled PSM
+// procedure annotated with per-statement execution counts, rows, and wall
+// time, followed by one merged plan tree per subquery (loops counting the
+// iterations that ran it); for a plain SELECT, the annotated plan tree.
+func (db *DB) ExplainAnalyze(ctx context.Context, text string, opts ...QueryOption) (string, error) {
+	res, err := db.Query(ctx, text, append(opts, WithExplain())...)
+	if err != nil {
+		return "", err
+	}
+	return res.Plan, nil
+}
+
+// Run executes a built-in algorithm (by its Table 2 code: "PR", "WCC",
+// "SSSP", "HITS", "TS", "KC", "MIS", "LP", "MNM", "KS", "TC", "BFS",
+// "APSP", "FW", "RWR", "SR", "DIAM") on the graph, inside this database.
+// The context and options behave as in Query: cancellation, deadlines, and
+// budgets interrupt long iterative runs mid-flight, and WithObserver
+// receives the spans of every operator the algorithm drives.
+func (db *DB) Run(ctx context.Context, code string, g *Graph, p Params, opts ...QueryOption) (res *Result, err error) {
+	defer govern.RecoverTo(&err)
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	a, err := algosByCode(code)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if cfg.limits != nil {
+		prev := db.eng.Limits
+		db.eng.Limits = *cfg.limits
+		defer func() { db.eng.Limits = prev }()
+	}
+	end := db.eng.BeginObserved(ctx, cfg.sink)
+	defer end()
+	return a.Run(db.eng, g, p)
+}

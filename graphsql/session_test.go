@@ -1,0 +1,245 @@
+package graphsql
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chainDB loads a tiny deterministic chain graph 0→1→2→3 as E plus nodes V.
+func chainDB(t *testing.T, profile string) *DB {
+	t.Helper()
+	db, err := Open(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(4, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	if err := db.LoadEdges("E", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadNodes("V", g, nil); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+const tcQuery = `
+with TC(F, T) as (
+  (select F, T from E)
+  union all
+  (select TC.F, E.T from TC, E where TC.T = E.F))
+select count(*) pairs from TC`
+
+func TestWithObserverCollectsSpans(t *testing.T) {
+	db := chainDB(t, "oracle")
+	col := NewSpanCollector()
+	res, err := db.Query(context.Background(), tcQuery, WithObserver(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.At(0)[0].AsInt() != 6 {
+		t.Fatalf("TC pairs = %v, want 6", res.Rows.At(0)[0])
+	}
+	spans := col.Spans()
+	if len(spans) == 0 {
+		t.Fatal("observer saw no spans")
+	}
+	var joins, iters int
+	for _, sp := range spans {
+		switch sp.Op {
+		case "join":
+			joins++
+			if sp.Algo == "" {
+				t.Errorf("join span missing algorithm: %+v", sp)
+			}
+			if sp.Dur <= 0 {
+				t.Errorf("join span missing duration: %+v", sp)
+			}
+		case "iteration":
+			iters++
+			if sp.Iteration <= 0 {
+				t.Errorf("iteration span missing iteration number: %+v", sp)
+			}
+		}
+	}
+	if joins == 0 {
+		t.Error("no join spans observed for a recursive join query")
+	}
+	if iters == 0 {
+		t.Error("no iteration spans observed for a WITH+ loop")
+	}
+	// A second, unobserved query must not reach the old sink.
+	n := col.Len()
+	if _, err := db.Query(context.Background(), "select count(*) from E"); err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != n {
+		t.Error("observer outlived its statement")
+	}
+}
+
+// TestConcurrentObserversDoNotInterleave runs two session streams against
+// one DB with different observers; statement serialization plus the
+// statement-scoped sink must keep every span in its own collector. Run
+// under -race to catch unsynchronized sink swaps.
+func TestConcurrentObserversDoNotInterleave(t *testing.T) {
+	db := chainDB(t, "oracle")
+	const rounds = 8
+	colA, colB := NewSpanCollector(), NewSpanCollector()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make(chan error, 2*rounds)
+	go func() { // session A: recursive WITH+ (emits iteration spans)
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := db.Query(context.Background(), tcQuery, WithObserver(colA)); err != nil {
+				errs <- err
+			}
+		}
+	}()
+	go func() { // session B: plain join (never emits iteration spans)
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := db.Query(context.Background(),
+				"select count(*) from E, V where E.T = V.ID", WithObserver(colB)); err != nil {
+				errs <- err
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if colA.Len() == 0 || colB.Len() == 0 {
+		t.Fatalf("collectors empty: A=%d B=%d", colA.Len(), colB.Len())
+	}
+	for _, sp := range colB.Spans() {
+		if sp.Op == "iteration" {
+			t.Fatalf("session B observed another session's iteration span: %+v", sp)
+		}
+	}
+	iters := 0
+	for _, sp := range colA.Spans() {
+		if sp.Op == "iteration" {
+			iters++
+		}
+	}
+	if iters == 0 {
+		t.Fatal("session A lost its iteration spans")
+	}
+}
+
+func TestWithLimitsIsPerStatement(t *testing.T) {
+	db := chainDB(t, "oracle")
+	// The per-call budget trips...
+	_, err := db.Query(context.Background(), tcQuery, WithLimits(Limits{MaxRows: 1}))
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "rows" {
+		t.Fatalf("want a rows BudgetError, got %#v", err)
+	}
+	// ...without touching the session defaults.
+	if l := db.Limits(); l != (Limits{}) {
+		t.Fatalf("session limits mutated by WithLimits: %+v", l)
+	}
+	if _, err := db.Query(context.Background(), tcQuery); err != nil {
+		t.Fatalf("next statement inherited the per-call budget: %v", err)
+	}
+	// Per-call limits override (not merge with) session limits.
+	db.SetLimits(Limits{MaxRows: 1})
+	if _, err := db.Query(context.Background(), tcQuery, WithLimits(Limits{})); err != nil {
+		t.Fatalf("WithLimits(zero) should lift the session budget for one call: %v", err)
+	}
+	if _, err := db.Query(context.Background(), tcQuery); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("session budget should be back after the call, got %v", err)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	db := chainDB(t, "oracle")
+	before := db.Stats()
+	if _, err := db.Query(context.Background(), tcQuery); err != nil {
+		t.Fatal(err)
+	}
+	after := db.Stats()
+	if after.Joins <= before.Joins {
+		t.Errorf("join counter did not advance: %+v -> %+v", before, after)
+	}
+}
+
+func TestErrParseSentinel(t *testing.T) {
+	db := chainDB(t, "oracle")
+	if _, err := db.Query(context.Background(), "select broken from"); !errors.Is(err, ErrParse) {
+		t.Fatalf("want ErrParse, got %v", err)
+	}
+	if _, err := db.Explain("select broken from"); !errors.Is(err, ErrParse) {
+		t.Fatalf("Explain: want ErrParse, got %v", err)
+	}
+}
+
+func TestMetricsJSON(t *testing.T) {
+	db := chainDB(t, "oracle")
+	if _, err := db.Query(context.Background(), "select count(*) from E"); err != nil {
+		t.Fatal(err)
+	}
+	js, err := MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"engine.statements", "engine.statement_us"} {
+		if !strings.Contains(string(js), want) {
+			t.Errorf("metrics JSON missing %q:\n%s", want, js)
+		}
+	}
+}
+
+func TestTablesAccessors(t *testing.T) {
+	db := chainDB(t, "oracle")
+	tabs := db.Tables()
+	if len(tabs) != 2 {
+		t.Fatalf("tables = %+v, want E and V", tabs)
+	}
+	if tabs[0].Name != "E" || tabs[0].Temp || tabs[0].Rows != 3 {
+		t.Errorf("E info = %+v", tabs[0])
+	}
+	if !db.HasTable("V") || db.HasTable("nope") {
+		t.Error("HasTable misreports")
+	}
+	if tn := db.TempTables(); len(tn) != 0 {
+		t.Errorf("unexpected temps: %v", tn)
+	}
+}
+
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	db := chainDB(t, "oracle")
+	r, err := db.QueryContext(context.Background(), "select count(*) from E")
+	if err != nil || r.At(0)[0].AsInt() != 3 {
+		t.Fatalf("QueryContext: %v %v", r, err)
+	}
+	_, tr, err := db.QueryWithTrace(tcQuery)
+	if err != nil || tr == nil || tr.Iterations < 1 {
+		t.Fatalf("QueryWithTrace: %v %v", tr, err)
+	}
+	g := NewGraph(3, true)
+	g.AddEdge(0, 1, 1)
+	if _, err := db.RunContext(context.Background(), "WCC", g, Params{}); err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+}
+
+func TestQueryTimeoutViaOption(t *testing.T) {
+	db := loadPageRankDB(t, 1000)
+	_, err := db.Query(context.Background(), tcQuery, WithLimits(Limits{Timeout: time.Nanosecond}))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/govern"
+	"repro/internal/obs"
 	"repro/internal/ra"
 	"repro/internal/relation"
 	"repro/internal/schema"
@@ -39,6 +41,35 @@ type Counters struct {
 
 func (c *Counters) add(field *int64, n int64) { atomic.AddInt64(field, n) }
 
+// CountersSnapshot is a point-in-time copy of the execution counters, read
+// with atomic loads so it is safe to take while statements run. This is the
+// public face of Counters: graphsql.DB.Stats returns it, so callers never
+// touch the live atomics.
+type CountersSnapshot struct {
+	Joins              int64 `json:"joins"`
+	GroupBys           int64 `json:"group_bys"`
+	AntiJoins          int64 `json:"anti_joins"`
+	UBUs               int64 `json:"ubus"`
+	Inserts            int64 `json:"inserts"`
+	IndexBuilds        int64 `json:"index_builds"`
+	IndexCacheHits     int64 `json:"index_cache_hits"`
+	TuplesMaterialized int64 `json:"tuples_materialized"`
+}
+
+// Snapshot reads every counter atomically.
+func (c *Counters) Snapshot() CountersSnapshot {
+	return CountersSnapshot{
+		Joins:              atomic.LoadInt64(&c.Joins),
+		GroupBys:           atomic.LoadInt64(&c.GroupBys),
+		AntiJoins:          atomic.LoadInt64(&c.AntiJoins),
+		UBUs:               atomic.LoadInt64(&c.UBUs),
+		Inserts:            atomic.LoadInt64(&c.Inserts),
+		IndexBuilds:        atomic.LoadInt64(&c.IndexBuilds),
+		IndexCacheHits:     atomic.LoadInt64(&c.IndexCacheHits),
+		TuplesMaterialized: atomic.LoadInt64(&c.TuplesMaterialized),
+	}
+}
+
 // Engine is one RDBMS instance: a profile, a catalog over its own buffer
 // pool and WAL, and execution helpers that apply the profile's plan choices.
 type Engine struct {
@@ -62,6 +93,7 @@ type Engine struct {
 	Limits govern.Limits
 
 	gov    *govern.Governor
+	sink   obs.Sink
 	disk   *storage.Disk
 	pool   *storage.BufferPool
 	wal    *storage.WAL
@@ -113,9 +145,52 @@ func (e *Engine) BeginStatement(ctx context.Context) func() {
 	prev := e.gov
 	g := govern.New(ctx, e.Limits)
 	e.gov = g
+	obs.Global.Counter("engine.statements").Inc()
+	start := time.Now()
 	return func() {
 		g.Close()
 		e.gov = prev
+		obs.Global.Histogram("engine.statement_us").Observe(time.Since(start).Microseconds())
+	}
+}
+
+// BeginObserved is BeginStatement plus a statement-scoped span sink: sink
+// receives every operator span the statement emits, and the previous sink
+// (a persistent one installed by SetObserver, or none) is restored when the
+// statement ends. A nil sink inherits the current one, so BeginObserved(ctx,
+// nil) is exactly BeginStatement. Statements on one engine are sequential
+// (the graphsql layer serializes them), which is what makes the swap sound.
+func (e *Engine) BeginObserved(ctx context.Context, sink obs.Sink) func() {
+	prevSink := e.sink
+	if sink != nil {
+		e.sink = sink
+	}
+	end := e.BeginStatement(ctx)
+	return func() {
+		end()
+		e.sink = prevSink
+	}
+}
+
+// SetObserver installs a persistent span sink that stays attached across
+// statements (the benchmark harness runs algorithms without statement
+// boundaries). nil detaches. Per-statement sinks from BeginObserved shadow
+// it for their statement's duration.
+func (e *Engine) SetObserver(sink obs.Sink) { e.sink = sink }
+
+// Observer returns the currently attached sink (nil when unobserved).
+func (e *Engine) Observer() obs.Sink { return e.sink }
+
+// Observing reports whether a sink is attached — the guard every hook
+// checks before constructing a span or reading the clock.
+func (e *Engine) Observing() bool { return e.sink != nil }
+
+// Emit delivers a completed span to the attached sink, if any. Callers
+// outside the engine (the SQL executor, the PSM loop driver) build their
+// spans only after checking Observing, preserving the zero-cost contract.
+func (e *Engine) Emit(sp obs.Span) {
+	if e.sink != nil {
+		e.sink.Span(sp)
 	}
 }
 
@@ -131,7 +206,9 @@ func (e *Engine) CheckStatement() error {
 	if err := e.gov.Check(); err != nil {
 		return err
 	}
-	return e.gov.CheckMem(e.Cat.TempBytes())
+	resident := e.Cat.TempBytes()
+	obs.Global.Gauge("engine.temp_bytes").Set(resident)
+	return e.gov.CheckMem(resident)
 }
 
 // Commit appends a commit marker delimiting the base-table mutations logged
@@ -234,26 +311,28 @@ func (e *Engine) AppendInto(name string, r *relation.Relation) (err error) {
 }
 
 // ensureHashIndex serves a table's cached build-side hash index, charging
-// the build or the cache hit to the counters.
-func (e *Engine) ensureHashIndex(t *catalog.Table, cols []int) (*relation.HashIndex, error) {
+// the build or the cache hit to the counters and reporting which happened.
+func (e *Engine) ensureHashIndex(t *catalog.Table, cols []int) (*relation.HashIndex, bool, error) {
 	idx, hit, err := t.EnsureHashIndex(cols)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if hit {
 		e.Cnt.add(&e.Cnt.IndexCacheHits, 1)
 	} else {
 		e.Cnt.add(&e.Cnt.IndexBuilds, 1)
 	}
-	return idx, nil
+	return idx, hit, nil
 }
 
 // joinSpec resolves the physical algorithm and the pre-built indexes for an
 // equi-join between two tables: sorted indexes for
 // PostgreSQL-with-temp-indexes, and the cached build-side hash index for
 // the hash-join profiles (built once per table version, hit thereafter).
-func (e *Engine) joinSpec(a, b *catalog.Table, aCols, bCols []int) (ra.EquiJoinSpec, error) {
-	spec := ra.EquiJoinSpec{LeftCols: aCols, RightCols: bCols, Gov: e.gov}
+// sp, when non-nil, is attached to the spec so the join loops record their
+// phase timings and index provenance into it.
+func (e *Engine) joinSpec(a, b *catalog.Table, aCols, bCols []int, sp *obs.Span) (ra.EquiJoinSpec, error) {
+	spec := ra.EquiJoinSpec{LeftCols: aCols, RightCols: bCols, Gov: e.gov, Span: sp}
 	if a.Stats.Analyzed && b.Stats.Analyzed {
 		spec.Algo = e.Prof.BaseJoin
 	} else {
@@ -272,11 +351,17 @@ func (e *Engine) joinSpec(a, b *catalog.Table, aCols, bCols []int) (ra.EquiJoinS
 		spec.LeftIdx, spec.RightIdx = li, ri
 	}
 	if spec.Algo == ra.HashJoin && !e.DisableFusion {
-		ri, err := e.ensureHashIndex(b, bCols)
+		ri, hit, err := e.ensureHashIndex(b, bCols)
 		if err != nil {
 			return spec, err
 		}
 		spec.RightHash = ri
+		if sp != nil {
+			sp.IndexBuilt, sp.IndexCacheHit = !hit, hit
+		}
+	}
+	if sp != nil {
+		sp.Algo = spec.Algo.String()
 	}
 	return spec, nil
 }
@@ -305,7 +390,11 @@ func (e *Engine) Join(a, b *catalog.Table, aCols, bCols []int) (out *relation.Re
 	if err != nil {
 		return nil, err
 	}
-	spec, err := e.joinSpec(a, b, aCols, bCols)
+	var sp *obs.Span
+	if e.sink != nil {
+		sp = &obs.Span{Op: "join", Note: a.Name + " ⋈ " + b.Name, Start: time.Now()}
+	}
+	spec, err := e.joinSpec(a, b, aCols, bCols, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -317,6 +406,12 @@ func (e *Engine) Join(a, b *catalog.Table, aCols, bCols []int) (out *relation.Re
 	}
 	if err := e.ChargeMaterialized(out); err != nil {
 		return nil, err
+	}
+	if sp != nil {
+		sp.LeftRows, sp.RightRows, sp.OutRows = int64(ar.Len()), int64(br.Len()), int64(out.Len())
+		sp.BytesMaterialized = int64(out.Len()) * int64(out.Sch.Arity()) * 16
+		sp.Dur = time.Since(sp.Start)
+		e.Emit(*sp)
 	}
 	return out, nil
 }
@@ -349,8 +444,12 @@ func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin
 	}
 	e.Cnt.add(&e.Cnt.Joins, 1)
 	e.Cnt.add(&e.Cnt.GroupBys, 1)
+	var sp *obs.Span
+	if e.sink != nil {
+		sp = &obs.Span{Op: "mv-join", Note: a.Name + " ⋈ " + c.Name, Start: time.Now()}
+	}
 	if e.fusible(a, c) {
-		idx, err := e.ensureHashIndex(a, []int{aJoin})
+		idx, hit, err := e.ensureHashIndex(a, []int{aJoin})
 		if err != nil {
 			return nil, err
 		}
@@ -361,18 +460,34 @@ func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin
 		if err != nil {
 			return nil, err
 		}
-		out := ra.FusedMVJoin(ar, cr, idx, dict, ac, cc, aKeep, sr, e.Parallelism, e.gov)
+		out := ra.FusedMVJoin(ar, cr, idx, dict, ac, cc, aKeep, sr, e.Parallelism, e.gov, sp)
 		out.Sch = schema.Schema{
 			{Name: "ID", Type: ar.Sch[aKeep].Type},
 			{Name: "vw"},
 		}
+		if sp != nil {
+			sp.Algo = "fused-hash"
+			sp.IndexBuilt, sp.IndexCacheHit = !hit, hit
+			sp.LeftRows, sp.RightRows, sp.OutRows = int64(ar.Len()), int64(cr.Len()), int64(out.Len())
+			sp.Dur = time.Since(sp.Start)
+			e.Emit(*sp)
+		}
 		return out, nil
 	}
-	spec, err := e.joinSpec(a, c, []int{aJoin}, []int{cc.ID})
+	spec, err := e.joinSpec(a, c, []int{aJoin}, []int{cc.ID}, sp)
 	if err != nil {
 		return nil, err
 	}
-	return e.mvJoinWithSpec(ar, cr, ac, cc, aJoin, aKeep, sr, spec)
+	out, err = e.mvJoinWithSpec(ar, cr, ac, cc, aJoin, aKeep, sr, spec)
+	if err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		sp.LeftRows, sp.RightRows, sp.OutRows = int64(ar.Len()), int64(cr.Len()), int64(out.Len())
+		sp.Dur = time.Since(sp.Start)
+		e.Emit(*sp)
+	}
+	return out, nil
 }
 
 // MMJoin computes the aggregate-join of two matrix tables (Eq. (3)) under
@@ -392,30 +507,51 @@ func (e *Engine) MMJoin(a, b *catalog.Table, ac, bc ra.MatCols, aJoin, aKeep, bJ
 	}
 	e.Cnt.add(&e.Cnt.Joins, 1)
 	e.Cnt.add(&e.Cnt.GroupBys, 1)
+	var sp *obs.Span
+	if e.sink != nil {
+		sp = &obs.Span{Op: "mm-join", Note: a.Name + " ⋈ " + b.Name, Start: time.Now()}
+	}
 	if e.fusible(a, b) {
 		idxOnLeft := a.Stats.Analyzed && !b.Stats.Analyzed
 		var idx *relation.HashIndex
+		var hit bool
 		if idxOnLeft {
-			idx, err = e.ensureHashIndex(a, []int{aJoin})
+			idx, hit, err = e.ensureHashIndex(a, []int{aJoin})
 		} else {
-			idx, err = e.ensureHashIndex(b, []int{bJoin})
+			idx, hit, err = e.ensureHashIndex(b, []int{bJoin})
 		}
 		if err != nil {
 			return nil, err
 		}
-		out := ra.FusedMMJoin(ar, br, idx, idxOnLeft, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, e.Parallelism, e.gov)
+		out := ra.FusedMMJoin(ar, br, idx, idxOnLeft, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, e.Parallelism, e.gov, sp)
 		out.Sch = schema.Schema{
 			{Name: "F", Type: ar.Sch[aKeep].Type},
 			{Name: "T", Type: br.Sch[bKeep].Type},
 			{Name: "ew"},
 		}
+		if sp != nil {
+			sp.Algo = "fused-hash"
+			sp.IndexBuilt, sp.IndexCacheHit = !hit, hit
+			sp.LeftRows, sp.RightRows, sp.OutRows = int64(ar.Len()), int64(br.Len()), int64(out.Len())
+			sp.Dur = time.Since(sp.Start)
+			e.Emit(*sp)
+		}
 		return out, nil
 	}
-	spec, err := e.joinSpec(a, b, []int{aJoin}, []int{bJoin})
+	spec, err := e.joinSpec(a, b, []int{aJoin}, []int{bJoin}, sp)
 	if err != nil {
 		return nil, err
 	}
-	return e.mmJoinWithSpec(ar, br, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, spec)
+	out, err = e.mmJoinWithSpec(ar, br, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, spec)
+	if err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		sp.LeftRows, sp.RightRows, sp.OutRows = int64(ar.Len()), int64(br.Len()), int64(out.Len())
+		sp.Dur = time.Since(sp.Start)
+		e.Emit(*sp)
+	}
+	return out, nil
 }
 
 // fusible reports whether the profile's plan for this table pair is a hash
@@ -445,7 +581,17 @@ func (e *Engine) AntiJoin(r, s *catalog.Table, rCols, sCols []int, impl ra.AntiJ
 		return nil, err
 	}
 	e.Cnt.add(&e.Cnt.AntiJoins, 1)
-	return ra.AntiJoin(rr, sr, rCols, sCols, impl, e.gov), nil
+	var sp *obs.Span
+	if e.sink != nil {
+		sp = &obs.Span{Op: "anti-join", Note: r.Name + " ▷ " + s.Name + " (" + impl.String() + ")", Start: time.Now()}
+	}
+	out = ra.AntiJoin(rr, sr, rCols, sCols, impl, e.gov)
+	if sp != nil {
+		sp.LeftRows, sp.RightRows, sp.OutRows = int64(rr.Len()), int64(sr.Len()), int64(out.Len())
+		sp.Dur = time.Since(sp.Start)
+		e.Emit(*sp)
+	}
+	return out, nil
 }
 
 // UnionByUpdate updates the target table in place from relation s using the
@@ -462,6 +608,16 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 		return err
 	}
 	e.Cnt.add(&e.Cnt.UBUs, 1)
+	var sp *obs.Span
+	if e.sink != nil {
+		sp = &obs.Span{Op: "union-by-update", Note: target + " (" + impl.String() + ")", RightRows: int64(s.Len()), Start: time.Now()}
+		defer func() {
+			if err == nil {
+				sp.Dur = time.Since(sp.Start)
+				e.Emit(*sp)
+			}
+		}()
+	}
 	if impl == ra.UBUReplace {
 		temp := t.Temp
 		sch := t.Sch
@@ -481,11 +637,17 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 			return err
 		}
 		e.Commit()
+		if sp != nil {
+			sp.OutRows = int64(s.Len())
+		}
 		return nil
 	}
 	cur, err := t.Materialize()
 	if err != nil {
 		return err
+	}
+	if sp != nil {
+		sp.LeftRows = int64(cur.Len())
 	}
 	if impl == ra.UBUMerge {
 		// MERGE is row-at-a-time DML: each matched update writes an undo
@@ -509,6 +671,9 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 	if err != nil {
 		return err
 	}
+	if sp != nil {
+		sp.OutRows = int64(updated.Len())
+	}
 	return e.StoreInto(target, updated)
 }
 
@@ -525,6 +690,9 @@ func (e *Engine) mvJoinWithSpec(ar, cr *relation.Relation, ac ra.MatCols, cc ra.
 	}
 	if err := e.ChargeMaterialized(joined); err != nil {
 		return nil, err
+	}
+	if spec.Span != nil {
+		spec.Span.BytesMaterialized = int64(joined.Len()) * int64(joined.Sch.Arity()) * 16
 	}
 	cOff := ar.Sch.Arity()
 	agg := ra.SemiringAgg(schema.Column{Name: "vw"}, sr, func(t relation.Tuple) (value.Value, error) {
@@ -552,6 +720,9 @@ func (e *Engine) mmJoinWithSpec(ar, br *relation.Relation, ac, bc ra.MatCols, aJ
 	}
 	if err := e.ChargeMaterialized(joined); err != nil {
 		return nil, err
+	}
+	if spec.Span != nil {
+		spec.Span.BytesMaterialized = int64(joined.Len()) * int64(joined.Sch.Arity()) * 16
 	}
 	bOff := ar.Sch.Arity()
 	agg := ra.SemiringAgg(schema.Column{Name: "ew"}, sr, func(t relation.Tuple) (value.Value, error) {
@@ -588,6 +759,13 @@ func (e *Engine) groupBySpec(joined *relation.Relation, groupCols []int, agg ra.
 	}
 	return ra.GroupBy(joined, groupCols, []ra.AggSpec{agg})
 }
+
+// CountJoin charges one join to the execution counters (atomically). The
+// SQL executor calls it for the joins it drives through ra directly.
+func (e *Engine) CountJoin() { e.Cnt.add(&e.Cnt.Joins, 1) }
+
+// CountGroupBy charges one group-by to the execution counters (atomically).
+func (e *Engine) CountGroupBy() { e.Cnt.add(&e.Cnt.GroupBys, 1) }
 
 // String describes the engine.
 func (e *Engine) String() string {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/ra"
 )
 
@@ -72,6 +73,11 @@ type Config struct {
 	// index cache, restoring the materialize-then-aggregate executor for
 	// A/B comparisons. cmd/bench exposes it as -nofusion.
 	NoFusion bool
+	// Observe attaches a counting span sink to every experiment engine, so
+	// the observability hooks' overhead can be measured against an
+	// unobserved run of the same experiment. cmd/bench exposes it as
+	// -observe.
+	Observe bool
 }
 
 func (c Config) defaults() Config {
@@ -98,6 +104,9 @@ func newEngine(prof engine.Profile, cfg Config) *engine.Engine {
 	e := engine.New(prof)
 	e.Parallelism = cfg.Workers
 	e.DisableFusion = cfg.NoFusion
+	if cfg.Observe {
+		e.SetObserver(&obs.CountingSink{})
+	}
 	return e
 }
 

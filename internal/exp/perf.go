@@ -8,6 +8,7 @@ import (
 	"repro/internal/algos"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // PerfRecord is one machine-readable benchmark measurement, emitted by
@@ -31,6 +32,12 @@ type PerfRecord struct {
 	IndexBuilds        int64   `json:"index_builds"`
 	IndexCacheHits     int64   `json:"index_cache_hits"`
 	TuplesMaterialized int64   `json:"tuples_materialized"`
+	// Observed and Spans report the observability A/B: with -observe a
+	// counting sink is attached and Spans counts what it saw. Both are
+	// omitted from JSON on unobserved runs, keeping the default output
+	// byte-compatible with committed BENCH_*.json baselines.
+	Observed bool  `json:"observed,omitempty"`
+	Spans    int64 `json:"spans,omitempty"`
 }
 
 // perfAlgos are the iterative algorithms measured by the perf experiment:
@@ -69,17 +76,28 @@ func PerfRecords(cfg Config) ([]PerfRecord, error) {
 				e       *engine.Engine
 				res     *algos.Result
 				elapsed time.Duration
+				spans   int64
 			)
 			for rep := 0; rep < perfReps; rep++ {
 				re := newEngine(prof, cfg)
+				var cs *obs.CountingSink
+				if cfg.Observe {
+					cs = &obs.CountingSink{}
+					re.SetObserver(cs)
+				}
 				start := time.Now()
 				rres, err := a.Run(re, g, algoParams("WG", cfg))
 				if err != nil {
 					return nil, fmt.Errorf("perf: %s on %s: %w", code, prof.Name, err)
 				}
 				d := time.Since(start)
+				obs.Global.Counter("bench.runs").Inc()
+				obs.Global.Histogram("bench.run_us").Observe(d.Microseconds())
 				if rep == 0 {
 					e, res = re, rres
+					if cs != nil {
+						spans = cs.Count()
+					}
 				}
 				if rep == 0 || d < elapsed {
 					elapsed = d
@@ -99,6 +117,8 @@ func PerfRecords(cfg Config) ([]PerfRecord, error) {
 				IndexBuilds:        e.Cnt.IndexBuilds,
 				IndexCacheHits:     e.Cnt.IndexCacheHits,
 				TuplesMaterialized: e.Cnt.TuplesMaterialized,
+				Observed:           cfg.Observe,
+				Spans:              spans,
 			})
 		}
 	}

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPerfRecordsObserveAB checks the observability A/B contract: an
+// observed run reports the spans the counting sink saw, while an
+// unobserved run's JSON omits the observed/spans fields entirely — so the
+// default output stays byte-compatible with committed BENCH_*.json files.
+func TestPerfRecordsObserveAB(t *testing.T) {
+	small := Config{Nodes: 120, Seed: 1, Iters: 3}
+
+	off, err := PerfRecords(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offJSON, err := PerfJSON(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(offJSON, "observed") || strings.Contains(offJSON, "spans") {
+		t.Errorf("unobserved JSON leaked observer fields:\n%s", offJSON)
+	}
+
+	small.Observe = true
+	on, err := PerfRecords(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(on) != len(off) {
+		t.Fatalf("record counts differ: %d vs %d", len(on), len(off))
+	}
+	for _, r := range on {
+		if !r.Observed {
+			t.Errorf("%s/%s not marked observed", r.Name, r.Profile)
+		}
+		if r.Spans <= 0 {
+			t.Errorf("%s/%s observed run saw no spans", r.Name, r.Profile)
+		}
+	}
+	onJSON, err := PerfJSON(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(onJSON, `"observed": true`) {
+		t.Errorf("observed JSON missing marker:\n%s", onJSON)
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"runtime/debug"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Limits bounds one statement's execution. Zero values mean unlimited.
@@ -119,10 +121,22 @@ func (g *Governor) Context() context.Context {
 
 // fail records err as the governor's sticky failure and returns it; the
 // first failure wins so every later checkpoint reports the same cause.
+// The winning failure is classified into the process metrics registry —
+// a cold path, entered at most once per statement.
 func (g *Governor) fail(err error) error {
 	p := &err
 	if !g.sticky.CompareAndSwap(nil, p) {
 		return *g.sticky.Load()
+	}
+	switch {
+	case errors.Is(err, ErrBudgetExceeded):
+		obs.Global.Counter("govern.budget_trips").Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		obs.Global.Counter("govern.timeouts").Inc()
+	case errors.Is(err, context.Canceled):
+		obs.Global.Counter("govern.cancellations").Inc()
+	default:
+		obs.Global.Counter("govern.failures").Inc()
 	}
 	return err
 }
@@ -263,5 +277,6 @@ func RecoverTo(errp *error) {
 		*errp = gp.err
 		return
 	}
+	obs.Global.Counter("govern.panics").Inc()
 	*errp = &PanicError{Val: r, Stack: debug.Stack()}
 }

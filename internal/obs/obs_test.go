@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollectorAndCountingSink(t *testing.T) {
+	c := NewCollector()
+	cs := &CountingSink{}
+	for i := 0; i < 5; i++ {
+		sp := Span{Op: "join", Algo: "hash", OutRows: int64(i)}
+		c.Span(sp)
+		cs.Span(sp)
+	}
+	if c.Len() != 5 || cs.Count() != 5 {
+		t.Fatalf("len=%d count=%d, want 5/5", c.Len(), cs.Count())
+	}
+	spans := c.Spans()
+	if spans[3].OutRows != 3 {
+		t.Fatalf("span order lost: %+v", spans[3])
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("reset left %d spans", c.Len())
+	}
+}
+
+func TestSinksConcurrent(t *testing.T) {
+	c := NewCollector()
+	cs := &CountingSink{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Span(Span{Op: "join"})
+				cs.Span(Span{Op: "join"})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 800 || cs.Count() != 800 {
+		t.Fatalf("len=%d count=%d, want 800/800", c.Len(), cs.Count())
+	}
+}
+
+func TestRegistryMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("joins").Add(3)
+	r.Counter("joins").Inc()
+	if got := r.Counter("joins").Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	r.Gauge("temp_tables").Set(7)
+	r.Gauge("temp_tables").Add(-2)
+	if got := r.Gauge("temp_tables").Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	h := r.Histogram("stmt_us")
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1106 {
+		t.Fatalf("hist count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.5); q < 2 || q > 8 {
+		t.Fatalf("p50 = %d, want a small power of two covering 2..3", q)
+	}
+	if q := h.Quantile(0.99); q < 1000 {
+		t.Fatalf("p99 = %d, want >= 1000", q)
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["joins"] != 4 || snap.Gauges["temp_tables"] != 5 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+	if snap.Histograms["stmt_us"].Count != 5 {
+		t.Fatalf("hist snapshot mismatch: %+v", snap.Histograms["stmt_us"])
+	}
+
+	raw, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RegistrySnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["joins"] != 4 {
+		t.Fatalf("round-trip lost counter: %+v", back)
+	}
+
+	names := r.Names()
+	want := []string{"joins", "stmt_us", "temp_tables"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 1600 || r.Histogram("h").Count() != 1600 {
+		t.Fatalf("c=%d h=%d", r.Counter("c").Value(), r.Histogram("h").Count())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	h.Observe(0)
+	if h.Quantile(1.0) != 0 {
+		t.Fatalf("all non-positive, max quantile = %d", h.Quantile(1.0))
+	}
+	h.Observe(1 << 40)
+	if q := h.Quantile(1.0); q < 1<<40 {
+		t.Fatalf("p100 = %d, want >= 2^40", q)
+	}
+}
+
+func TestPlanNodeMergeAndRender(t *testing.T) {
+	iter1 := NewPlanNode("group by (E.T)", 1000, time.Millisecond,
+		NewPlanNode("hash join on (P.ID = E.F)", 3989, time.Millisecond,
+			NewPlanNode("scan P (working table, 1000 rows, no statistics)", 1000, 0),
+			NewPlanNode("scan E (base table, 3989 rows, analyzed)", 3989, 0)))
+	iter2 := NewPlanNode("group by (E.T)", 1000, 2*time.Millisecond,
+		NewPlanNode("hash join on (P.ID = E.F)", 3989, 2*time.Millisecond,
+			NewPlanNode("scan P (working table, 1000 rows, no statistics)", 1000, 0),
+			NewPlanNode("scan E (base table, 3989 rows, analyzed)", 3989, 0)))
+	iter1.Merge(iter2)
+
+	if iter1.Loops != 2 || iter1.Rows != 2000 || iter1.Dur != 3*time.Millisecond {
+		t.Fatalf("merged root: %+v", iter1)
+	}
+	join := iter1.Find("hash join")
+	if join == nil || join.Loops != 2 || join.Rows != 2*3989 {
+		t.Fatalf("merged join: %+v", join)
+	}
+
+	out := iter1.Render()
+	for _, want := range []string{
+		"-> group by (E.T) (rows=2000 loops=2",
+		"   -> hash join on (P.ID = E.F) (rows=7978 loops=2",
+		"      -> scan P (working table, 1000 rows, no statistics) (rows=2000 loops=2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanNodeMergeDivergent(t *testing.T) {
+	a := NewPlanNode("sort-merge join", 10, time.Millisecond)
+	b := NewPlanNode("hash join", 20, time.Millisecond)
+	a.Merge(b)
+	if a.Label != "sort-merge join" || a.Rows != 30 || a.Loops != 2 {
+		t.Fatalf("divergent merge: %+v", a)
+	}
+}

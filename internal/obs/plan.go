@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PlanNode is one node of an executed plan tree, annotated with actuals.
+// The SQL executor builds one tree per statement; the WITH+ pipeline builds
+// one per branch per iteration and merges them structurally, so Loops counts
+// iterations and Rows/Dur accumulate across them.
+type PlanNode struct {
+	// Label identifies the operator, rendered as-is ("hash join on
+	// (P.ID = E.F)", "scan E (base table, 3989 rows, analyzed)", ...).
+	Label string
+	// Rows is the total number of output rows across all loops.
+	Rows int64
+	// Loops is how many times this node executed (≥1 once merged).
+	Loops int64
+	// Dur is the cumulative wall time across all loops.
+	Dur time.Duration
+	// Children are the node's inputs, outermost operator first.
+	Children []*PlanNode
+}
+
+// NewPlanNode returns a node with one loop recorded.
+func NewPlanNode(label string, rows int64, dur time.Duration, children ...*PlanNode) *PlanNode {
+	return &PlanNode{Label: label, Rows: rows, Loops: 1, Dur: dur, Children: children}
+}
+
+// Merge folds src into dst: nodes with the same label at the same position
+// sum Rows and Dur and add Loops; children are merged pairwise by position,
+// and positions present only in src are appended. Used to collapse the
+// per-iteration plans of a WITH+ loop into one annotated tree.
+func (dst *PlanNode) Merge(src *PlanNode) {
+	if src == nil {
+		return
+	}
+	if dst.Label != src.Label {
+		// Structure diverged (e.g. the executor changed implementation
+		// between iterations); keep dst's shape, still account the work.
+		dst.Rows += src.Rows
+		dst.Loops += src.Loops
+		dst.Dur += src.Dur
+		return
+	}
+	dst.Rows += src.Rows
+	dst.Loops += src.Loops
+	dst.Dur += src.Dur
+	for i, sc := range src.Children {
+		if i < len(dst.Children) {
+			dst.Children[i].Merge(sc)
+		} else {
+			dst.Children = append(dst.Children, sc)
+		}
+	}
+}
+
+// Render draws the tree in the EXPLAIN style used across the repo:
+//
+//	-> hash join on (P.ID = E.F) (rows=3989 loops=15 time=1.2ms)
+//	   -> scan P (working table, 1000 rows, no statistics)
+//	   -> scan E (base table, 3989 rows, analyzed)
+func (n *PlanNode) Render() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *PlanNode) render(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("   ")
+	}
+	b.WriteString("-> ")
+	b.WriteString(n.Label)
+	fmt.Fprintf(b, " (rows=%d loops=%d time=%s)\n", n.Rows, n.Loops, fmtDur(n.Dur))
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// fmtDur renders a duration rounded to microseconds so plan output stays
+// readable; golden tests normalize the value away entirely.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// Walk visits n and every descendant in depth-first order.
+func (n *PlanNode) Walk(fn func(*PlanNode)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Find returns the first node (depth-first) whose label contains substr,
+// or nil. Convenience for tests asserting on join algorithm choice.
+func (n *PlanNode) Find(substr string) *PlanNode {
+	var hit *PlanNode
+	n.Walk(func(p *PlanNode) {
+		if hit == nil && strings.Contains(p.Label, substr) {
+			hit = p
+		}
+	})
+	return hit
+}

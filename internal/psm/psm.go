@@ -7,8 +7,10 @@ package psm
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/schema"
 )
@@ -21,10 +23,78 @@ type Ctx struct {
 	// Iteration is the current loop iteration (0 before the loop).
 	Iteration int
 
+	// Stats, when non-nil, accumulates per-statement execution counts, row
+	// counts, and wall time for EXPLAIN ANALYZE. Nil (the default) keeps
+	// the interpreter clock-free.
+	Stats *ProcStats
+
+	// lastRows is the row count of the most recent InsertSelect's query
+	// result, read by the Stats recorder.
+	lastRows int64
+
 	// created tracks the temp tables this call made, so a failed or
 	// cancelled call can drop them instead of leaving debris.
 	created []string
 }
+
+// StmtStat aggregates one procedure statement's executions.
+type StmtStat struct {
+	Execs int64
+	Rows  int64
+	Dur   time.Duration
+}
+
+// ProcStats maps procedure statements (by identity) to their accumulated
+// execution stats, plus the loop iteration count — the EXPLAIN ANALYZE
+// annotation source for the PSM section of a WITH+ plan.
+type ProcStats struct {
+	ByStmt     map[Stmt]*StmtStat
+	Iterations int
+}
+
+// NewProcStats returns an empty stats accumulator.
+func NewProcStats() *ProcStats {
+	return &ProcStats{ByStmt: map[Stmt]*StmtStat{}}
+}
+
+// record charges one execution of s.
+func (ps *ProcStats) record(s Stmt, rows int64, dur time.Duration) {
+	st := ps.ByStmt[s]
+	if st == nil {
+		st = &StmtStat{}
+		ps.ByStmt[s] = st
+	}
+	st.Execs++
+	st.Rows += rows
+	st.Dur += dur
+}
+
+// annotate renders the suffix appended to a statement's display line.
+func (ps *ProcStats) annotate(s Stmt) string {
+	st := ps.ByStmt[s]
+	if st == nil {
+		return "  [never executed]"
+	}
+	return fmt.Sprintf("  [execs=%d rows=%d time=%s]", st.Execs, st.Rows, st.Dur.Round(time.Microsecond))
+}
+
+// exec runs one statement under ctx, timing and recording it when Stats is
+// attached. Loop bodies and top-level steps both route through it.
+func (c *Ctx) exec(s Stmt) error {
+	if c.Stats == nil {
+		return s.Exec(c)
+	}
+	c.lastRows = 0
+	t0 := time.Now()
+	err := s.Exec(c)
+	c.Stats.record(s, c.lastRows, time.Since(t0))
+	return err
+}
+
+// SetRows reports how many rows the currently executing statement
+// produced, for the Stats annotations. Do-steps (whose closures the
+// interpreter cannot see into) call it; InsertSelect reports implicitly.
+func (c *Ctx) SetRows(n int64) { c.lastRows = n }
 
 // Query produces a relation from the current state (a compiled SELECT).
 type Query func(ctx *Ctx) (*relation.Relation, error)
@@ -73,6 +143,7 @@ func (s *InsertSelect) Exec(ctx *Ctx) error {
 	if err != nil {
 		return err
 	}
+	ctx.lastRows = int64(r.Len())
 	if s.SetCond != "" {
 		ctx.Conds[s.SetCond] = r.Len() > 0
 	}
@@ -137,9 +208,19 @@ type Loop struct {
 // CheckStatement, which also audits the temp-table memory footprint) and
 // before every statement, so a cancelled or over-budget run stops within
 // one statement rather than finishing the loop.
+//
+// The loop is also the observability subsystem's iteration clock: with a
+// sink attached it emits one "iteration" span per completed iteration, and
+// with ctx.Stats attached it times every body statement. Unobserved runs
+// pay one pointer check per iteration and none per tuple.
 func (s *Loop) Exec(ctx *Ctx) error {
+	observed := ctx.Eng.Observing()
 	for iter := 1; s.MaxIter <= 0 || iter <= s.MaxIter; iter++ {
 		ctx.Iteration = iter
+		var iterStart time.Time
+		if observed {
+			iterStart = time.Now()
+		}
 		if err := ctx.Eng.CheckStatement(); err != nil {
 			return err
 		}
@@ -157,9 +238,23 @@ func (s *Loop) Exec(ctx *Ctx) error {
 			if err := ctx.Eng.Gov().Check(); err != nil {
 				return err
 			}
-			if err := st.Exec(ctx); err != nil {
+			// An iteration counts once it does real work; an exit condition
+			// firing first leaves the count at the previous iteration.
+			if ctx.Stats != nil {
+				ctx.Stats.Iterations = iter
+			}
+			if err := ctx.exec(st); err != nil {
 				return err
 			}
+		}
+		if observed {
+			ctx.Eng.Emit(obs.Span{
+				Op:        "iteration",
+				Note:      fmt.Sprintf("psm loop iteration %d", iter),
+				Iteration: iter,
+				Start:     iterStart,
+				Dur:       time.Since(iterStart),
+			})
 		}
 	}
 	return nil
@@ -186,9 +281,21 @@ type Proc struct {
 // drops every temp table it created before returning — the procedure's
 // working state must not outlive an aborted run.
 func (p *Proc) Call(eng *engine.Engine) error {
-	ctx := &Ctx{Eng: eng, Conds: map[string]bool{}}
+	return p.call(eng, nil)
+}
+
+// CallWithStats executes the procedure while timing every statement,
+// returning the accumulated per-statement stats (also on error, for
+// partial-execution diagnostics). The EXPLAIN ANALYZE entry point.
+func (p *Proc) CallWithStats(eng *engine.Engine) (*ProcStats, error) {
+	stats := NewProcStats()
+	return stats, p.call(eng, stats)
+}
+
+func (p *Proc) call(eng *engine.Engine, stats *ProcStats) error {
+	ctx := &Ctx{Eng: eng, Conds: map[string]bool{}, Stats: stats}
 	for _, s := range p.Steps {
-		if err := s.Exec(ctx); err != nil {
+		if err := ctx.exec(s); err != nil {
 			ctx.dropCreated()
 			return err
 		}
@@ -217,4 +324,40 @@ func (p *Proc) String() string {
 	}
 	b.WriteString("end")
 	return b.String()
+}
+
+// StringWithStats renders the procedure annotated with the execution stats
+// of a CallWithStats run: each statement line carries its execution count,
+// accumulated rows, and wall time, and the loop header reports how many
+// iterations actually ran.
+func (p *Proc) StringWithStats(ps *ProcStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "create procedure %s as begin\n", p.Name)
+	for _, s := range p.Steps {
+		b.WriteString("  " + stmtStringWithStats(s, ps) + "\n")
+	}
+	b.WriteString("end")
+	return b.String()
+}
+
+func stmtStringWithStats(s Stmt, ps *ProcStats) string {
+	if l, ok := s.(*Loop); ok {
+		var b strings.Builder
+		fmt.Fprintf(&b, "loop (maxrecursion %d, ran %d iterations)\n", l.MaxIter, ps.Iterations)
+		for _, st := range l.Body {
+			b.WriteString("    " + st.String() + annotFor(st, ps) + "\n")
+		}
+		b.WriteString("  end loop")
+		return b.String()
+	}
+	return s.String() + annotFor(s, ps)
+}
+
+// annotFor suppresses annotation on exit conditions (evaluated inline by
+// the loop, not timed as statements).
+func annotFor(s Stmt, ps *ProcStats) string {
+	if _, ok := s.(*ExitIf); ok {
+		return ""
+	}
+	return ps.annotate(s)
 }

@@ -3,8 +3,10 @@ package ra
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/govern"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/schema"
 	"repro/internal/semiring"
@@ -340,7 +342,13 @@ func runMorsels(n, workers int, sr semiring.Semiring, gov *govern.Governor, prob
 // index); when present and covering a, the fold becomes a dense-array
 // accumulate — no group hashing or key comparison per matched edge. A nil
 // or mismatched dict falls back to the hashed group table.
-func FusedMVJoin(a, c *relation.Relation, idx *relation.HashIndex, dict *relation.ColumnDict, ac MatCols, cc VecCols, aKeep int, sr semiring.Semiring, workers int, gov *govern.Governor) *relation.Relation {
+//
+// sp, when non-nil, receives the kernel's probe wall time, worker count and
+// morsel count; nil skips every clock read.
+func FusedMVJoin(a, c *relation.Relation, idx *relation.HashIndex, dict *relation.ColumnDict, ac MatCols, cc VecCols, aKeep int, sr semiring.Semiring, workers int, gov *govern.Governor, sp *obs.Span) *relation.Relation {
+	if sp != nil {
+		defer observeFused(sp, c.Len(), workers)(time.Now())
+	}
 	probeCols := []int{cc.ID}
 	sch := schema.Schema{
 		{Name: "ID", Type: a.Sch[aKeep].Type},
@@ -378,7 +386,15 @@ func FusedMVJoin(a, c *relation.Relation, idx *relation.HashIndex, dict *relatio
 // {aJoin} and the probe scans b — the engine picks the side whose index
 // survives across iterations (the analyzed base table). The ⊙-product
 // argument order is a.W ⊙ b.W either way, so non-commutative ⊙ is safe.
-func FusedMMJoin(a, b *relation.Relation, idx *relation.HashIndex, idxOnLeft bool, ac, bc MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring, workers int, gov *govern.Governor) *relation.Relation {
+// sp is as in FusedMVJoin.
+func FusedMMJoin(a, b *relation.Relation, idx *relation.HashIndex, idxOnLeft bool, ac, bc MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring, workers int, gov *govern.Governor, sp *obs.Span) *relation.Relation {
+	if sp != nil {
+		probeLen := a.Len()
+		if idxOnLeft {
+			probeLen = b.Len()
+		}
+		defer observeFused(sp, probeLen, workers)(time.Now())
+	}
 	var gt *groupTable
 	if idxOnLeft {
 		probeCols := []int{bJoin}
@@ -408,4 +424,19 @@ func FusedMMJoin(a, b *relation.Relation, idx *relation.HashIndex, idxOnLeft boo
 		{Name: "T", Type: b.Sch[bKeep].Type},
 		{Name: "ew", Type: value.KindFloat},
 	})
+}
+
+// observeFused records a fused kernel's probe shape into sp. It is called
+// only on the observed path (sp != nil): the returned closure is deferred
+// with time.Now() captured at kernel entry, so the unobserved path pays a
+// single nil check and no clock read.
+func observeFused(sp *obs.Span, probeLen, workers int) func(time.Time) {
+	return func(t0 time.Time) {
+		sp.ProbeDur = time.Since(t0)
+		if workers <= 1 {
+			workers = 1
+		}
+		sp.Workers = workers
+		sp.Morsels = int64((probeLen + probeMorsel - 1) / probeMorsel)
+	}
 }

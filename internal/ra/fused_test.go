@@ -116,7 +116,7 @@ func TestFusedMVJoinEquivalence(t *testing.T) {
 						if withDict {
 							dict = relation.BuildColumnDict(a, dir.aKeep)
 						}
-						got := FusedMVJoin(a, c, idx, dict, EdgeMat(), NodeVec(), dir.aKeep, sr, workers, nil)
+						got := FusedMVJoin(a, c, idx, dict, EdgeMat(), NodeVec(), dir.aKeep, sr, workers, nil, nil)
 						label := fmt.Sprintf("mv %s workers=%d dict=%v aJoin=%d trial=%d", sr.Name, workers, withDict, dir.aJoin, trial)
 						wantSameGroups(t, label, got, want, 1)
 					}
@@ -147,7 +147,7 @@ func TestFusedMMJoinEquivalence(t *testing.T) {
 					} else {
 						idx = relation.BuildHashIndex(b, []int{0})
 					}
-					got := FusedMMJoin(a, b, idx, idxOnLeft, EdgeMat(), EdgeMat(), 1, 0, 0, 1, sr, workers, nil)
+					got := FusedMMJoin(a, b, idx, idxOnLeft, EdgeMat(), EdgeMat(), 1, 0, 0, 1, sr, workers, nil, nil)
 					label := fmt.Sprintf("mm %s workers=%d idxOnLeft=%v trial=%d", sr.Name, workers, idxOnLeft, trial)
 					wantSameGroups(t, label, got, want, 2)
 				}
@@ -180,7 +180,7 @@ func TestFusedNullProductStillCreatesGroup(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, dict := range []*relation.ColumnDict{nil, relation.BuildColumnDict(a, 0)} {
-		got := FusedMVJoin(a, c, idx, dict, EdgeMat(), NodeVec(), 0, sr, 1, nil)
+		got := FusedMVJoin(a, c, idx, dict, EdgeMat(), NodeVec(), 0, sr, 1, nil, nil)
 		wantSameGroups(t, fmt.Sprintf("null-product dict=%v", dict != nil), got, want, 1)
 		m := groupsByKey(got, 1)
 		if v, ok := m["1|"]; !ok || !v.Equal(sr.Zero) {
@@ -198,8 +198,8 @@ func TestFusedMVJoinHonorsCachedIndexOnly(t *testing.T) {
 	a := randMatrix(rand.New(rand.NewSource(83)), 10, 40)
 	c := randVector(rand.New(rand.NewSource(84)), 10)
 	idx := relation.BuildHashIndex(a, []int{1})
-	before := FusedMVJoin(a, c, idx, nil, EdgeMat(), NodeVec(), 0, sr, 1, nil)
+	before := FusedMVJoin(a, c, idx, nil, EdgeMat(), NodeVec(), 0, sr, 1, nil, nil)
 	a.Append(relation.Tuple{value.Int(0), value.Int(0), value.Float(100)})
-	after := FusedMVJoin(a, c, idx, nil, EdgeMat(), NodeVec(), 0, sr, 1, nil)
+	after := FusedMVJoin(a, c, idx, nil, EdgeMat(), NodeVec(), 0, sr, 1, nil, nil)
 	wantSameGroups(t, "stale-index probe", after, before, 1)
 }

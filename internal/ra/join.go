@@ -2,8 +2,10 @@ package ra
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/govern"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/value"
 )
@@ -58,6 +60,14 @@ type EquiJoinSpec struct {
 	// abort via govern.Abort (recovered at the engine boundary); parallel
 	// workers poll and drain cleanly.
 	Gov *govern.Governor
+
+	// Span, when set, receives the join's phase breakdown: BuildDur and
+	// ProbeDur (for hash joins, the build-side index construction vs. the
+	// probe sweep; for merge joins, the sorting vs. the merge), and whether
+	// the build side was a fresh index build or served from the spec's
+	// cached index. Nil skips every clock read — the observability
+	// overhead contract.
+	Span *obs.Span
 }
 
 // EquiJoin computes r ⋈ s on the key columns using the requested algorithm.
@@ -85,13 +95,24 @@ func EquiJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
 func hashJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
 	out := relation.New(r.Sch.Concat(s.Sch))
 	// Build on the right side, probe from the left.
+	var t0 time.Time
+	if spec.Span != nil {
+		t0 = time.Now()
+	}
 	idx := buildSide(s, spec)
+	if spec.Span != nil {
+		spec.Span.BuildDur = time.Since(t0)
+		t0 = time.Now()
+	}
 	for _, rt := range r.Tuples {
 		spec.Gov.MustStep(1)
 		idx.ProbeEach(rt, spec.LeftCols, func(row int) bool {
 			out.Tuples = append(out.Tuples, concatTuples(rt, s.Tuples[row]))
 			return true
 		})
+	}
+	if spec.Span != nil {
+		spec.Span.ProbeDur = time.Since(t0)
 	}
 	return out
 }
@@ -101,7 +122,15 @@ func hashJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
 // build.
 func buildSide(s *relation.Relation, spec EquiJoinSpec) *relation.HashIndex {
 	if idx := spec.RightHash; idx != nil && idx.Rel() == s && equalCols(idx.Cols(), spec.RightCols) {
+		// The engine already recorded whether this cached index was built
+		// fresh this statement; only mark a hit when it did not.
+		if spec.Span != nil && !spec.Span.IndexBuilt {
+			spec.Span.IndexCacheHit = true
+		}
 		return idx
+	}
+	if spec.Span != nil {
+		spec.Span.IndexBuilt = true
 	}
 	return relation.BuildHashIndex(s, spec.RightCols)
 }
@@ -124,13 +153,26 @@ func equalCols(a, b []int) bool {
 // precisely the PostgreSQL behaviour the paper's indexing experiment
 // measures.
 func mergeJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
+	var t0 time.Time
+	if spec.Span != nil {
+		t0 = time.Now()
+	}
 	lIdx := spec.LeftIdx
 	if spec.Algo != IndexMergeJoin || lIdx == nil || lIdx.Len() != r.Len() {
 		lIdx = relation.BuildSortedIndex(r, spec.LeftCols)
+		if spec.Span != nil {
+			spec.Span.IndexBuilt = true
+		}
+	} else if spec.Span != nil {
+		spec.Span.IndexCacheHit = true
 	}
 	rIdx := spec.RightIdx
 	if spec.Algo != IndexMergeJoin || rIdx == nil || rIdx.Len() != s.Len() {
 		rIdx = relation.BuildSortedIndex(s, spec.RightCols)
+	}
+	if spec.Span != nil {
+		spec.Span.BuildDur = time.Since(t0)
+		t0 = time.Now()
 	}
 	out := relation.New(r.Sch.Concat(s.Sch))
 	i, j := 0, 0
@@ -157,6 +199,9 @@ func mergeJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
 			}
 			j = jEnd
 		}
+	}
+	if spec.Span != nil {
+		spec.Span.ProbeDur = time.Since(t0)
 	}
 	return out
 }

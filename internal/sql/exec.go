@@ -3,8 +3,10 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/ra"
 	"repro/internal/relation"
 	"repro/internal/schema"
@@ -18,6 +20,11 @@ import (
 type Exec struct {
 	Eng      *engine.Engine
 	Override map[string]*relation.Relation
+
+	// analyze makes the executor build an annotated plan tree (actual rows
+	// and per-node wall time) alongside the result — the EXPLAIN ANALYZE
+	// mode. Off (the default) no node is allocated and no clock is read.
+	analyze bool
 }
 
 // NewExec returns an executor over eng.
@@ -27,17 +34,35 @@ func NewExec(eng *engine.Engine) *Exec {
 
 // Run evaluates a (possibly compound) statement.
 func (x *Exec) Run(s *SelectStmt) (*relation.Relation, error) {
-	left, err := x.runOne(s)
+	r, _, err := x.run(s)
+	return r, err
+}
+
+// RunAnalyzed evaluates the statement and also returns the executed plan
+// tree annotated with actual output rows and per-node wall time.
+func (x *Exec) RunAnalyzed(s *SelectStmt) (*relation.Relation, *obs.PlanNode, error) {
+	prev := x.analyze
+	x.analyze = true
+	defer func() { x.analyze = prev }()
+	return x.run(s)
+}
+
+func (x *Exec) run(s *SelectStmt) (*relation.Relation, *obs.PlanNode, error) {
+	left, plan, err := x.runOne(s)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for cur := s; cur.Next != nil; cur = cur.Next {
-		right, err := x.runOne(cur.Next)
+		var t0 time.Time
+		if x.analyze {
+			t0 = time.Now()
+		}
+		right, rplan, err := x.runOne(cur.Next)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if !left.Sch.UnionCompatible(right.Sch) {
-			return nil, fmt.Errorf("sql: set operation arity mismatch (%d vs %d)", left.Sch.Arity(), right.Sch.Arity())
+			return nil, nil, fmt.Errorf("sql: set operation arity mismatch (%d vs %d)", left.Sch.Arity(), right.Sch.Arity())
 		}
 		switch cur.SetOp {
 		case "union all":
@@ -49,10 +74,13 @@ func (x *Exec) Run(s *SelectStmt) (*relation.Relation, error) {
 		case "intersect":
 			left = ra.Intersect(left, right)
 		default:
-			return nil, fmt.Errorf("sql: unknown set op %q", cur.SetOp)
+			return nil, nil, fmt.Errorf("sql: unknown set op %q", cur.SetOp)
+		}
+		if x.analyze {
+			plan = obs.NewPlanNode(cur.SetOp, int64(left.Len()), time.Since(t0), plan, rplan)
 		}
 	}
-	return left, nil
+	return left, plan, nil
 }
 
 // source is one resolved FROM input.
@@ -204,22 +232,37 @@ func andJoin(a, b Expr) Expr {
 	return &Binary{Op: "and", L: a, R: b}
 }
 
-func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, error) {
+func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, *obs.PlanNode, error) {
 	// Resolve FROM (no FROM = one empty tuple, for "select 1+1").
 	var input *relation.Relation
+	var plan *obs.PlanNode
 	var allAnalyzed = true
 	if len(s.From) == 0 {
 		input = relation.New(schema.Schema{})
 		input.Append(relation.Tuple{})
+		if x.analyze {
+			plan = obs.NewPlanNode("values (one row)", 1, 0)
+		}
 	} else {
 		srcs := make([]source, len(s.From))
+		var scans []*obs.PlanNode
+		if x.analyze {
+			scans = make([]*obs.PlanNode, len(s.From))
+		}
 		for i, f := range s.From {
+			var t0 time.Time
+			if x.analyze {
+				t0 = time.Now()
+			}
 			src, err := x.resolveRef(f)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			srcs[i] = src
 			allAnalyzed = allAnalyzed && src.analyzed
+			if x.analyze {
+				scans[i] = obs.NewPlanNode(x.refLabel(f), int64(src.rel.Len()), time.Since(t0))
+			}
 		}
 		var conjuncts []Expr
 		if s.Where != nil {
@@ -227,9 +270,13 @@ func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, error) {
 		}
 		used := make([]bool, len(conjuncts))
 		input = srcs[0].rel
+		if x.analyze {
+			plan = scans[0]
+		}
 		for i := 1; i < len(srcs); i++ {
 			next := srcs[i]
 			var lCols, rCols []int
+			var keys []string
 			for ci, c := range conjuncts {
 				if used[ci] {
 					continue
@@ -253,20 +300,48 @@ func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, error) {
 					lCols = append(lCols, li)
 					rCols = append(rCols, ri)
 					used[ci] = true
+					if x.analyze {
+						keys = append(keys, ExprString(c))
+					}
 				}
 			}
+			var t0 time.Time
+			observing := x.Eng.Observing()
+			if x.analyze || observing {
+				t0 = time.Now()
+			}
+			leftRows := int64(input.Len())
 			if len(lCols) > 0 {
+				algo := x.algoFor(allAnalyzed)
+				var sp *obs.Span
+				if observing {
+					sp = &obs.Span{Op: "join", Algo: algo.String(), Note: "sql equi-join", Start: t0}
+				}
 				input = ra.EquiJoin(input, next.rel, ra.EquiJoinSpec{
 					LeftCols: lCols, RightCols: rCols,
-					Algo: x.algoFor(allAnalyzed),
+					Algo: algo,
 					Gov:  x.Eng.Gov(),
+					Span: sp,
 				})
-				x.Eng.Cnt.Joins++
+				x.Eng.CountJoin()
+				if sp != nil {
+					sp.LeftRows, sp.RightRows, sp.OutRows = leftRows, int64(next.rel.Len()), int64(input.Len())
+					sp.BytesMaterialized = int64(input.Len()) * int64(input.Sch.Arity()) * 16
+					sp.Dur = time.Since(t0)
+					x.Eng.Emit(*sp)
+				}
+				if x.analyze {
+					label := fmt.Sprintf("%s join on %s", algo, strings.Join(keys, " and "))
+					plan = obs.NewPlanNode(label, int64(input.Len()), time.Since(t0), plan, scans[i])
+				}
 			} else {
 				input = ra.Product(input, next.rel)
+				if x.analyze {
+					plan = obs.NewPlanNode("nested-loop product", int64(input.Len()), time.Since(t0), plan, scans[i])
+				}
 			}
 			if err := x.Eng.ChargeMaterialized(input); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		// Residual WHERE conjuncts.
@@ -279,50 +354,124 @@ func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, error) {
 		if residual != nil {
 			pred, err := x.compilePred(residual, input.Sch)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
+			}
+			var t0 time.Time
+			if x.analyze {
+				t0 = time.Now()
 			}
 			var serr error
 			input, serr = ra.Select(input, pred)
 			if serr != nil {
-				return nil, serr
+				return nil, nil, serr
+			}
+			if x.analyze {
+				plan = obs.NewPlanNode("filter "+ExprString(residual), int64(input.Len()), time.Since(t0), plan)
 			}
 		}
 	}
 
 	var out *relation.Relation
 	var err error
+	var t0 time.Time
+	if x.analyze {
+		t0 = time.Now()
+	}
 	if len(s.GroupBy) > 0 || s.HasAggregates() {
 		out, err = x.runAggregate(s, input)
+		if err == nil && x.analyze {
+			keys := make([]string, len(s.GroupBy))
+			for i, g := range s.GroupBy {
+				keys[i] = ExprString(g)
+			}
+			label := "hash aggregate (single group)"
+			if len(keys) > 0 {
+				label = "hash aggregate on (" + strings.Join(keys, ", ") + ")"
+			}
+			plan = obs.NewPlanNode(label, int64(out.Len()), time.Since(t0), plan)
+		}
 	} else {
 		out, err = x.project(s, input)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if s.Distinct {
+		if x.analyze {
+			t0 = time.Now()
+		}
 		out = ra.Distinct(out)
+		if x.analyze {
+			plan = obs.NewPlanNode("distinct", int64(out.Len()), time.Since(t0), plan)
+		}
 	}
 	if len(s.OrderBy) > 0 {
 		cols := make([]int, len(s.OrderBy))
 		desc := make([]bool, len(s.OrderBy))
+		parts := make([]string, len(s.OrderBy))
 		for i, o := range s.OrderBy {
 			cr, ok := o.Expr.(*ColRef)
 			if !ok {
-				return nil, fmt.Errorf("sql: order by supports column references only")
+				return nil, nil, fmt.Errorf("sql: order by supports column references only")
 			}
 			idx, rerr := out.Sch.Resolve(cr.Table, cr.Name)
 			if rerr != nil {
-				return nil, rerr
+				return nil, nil, rerr
 			}
 			cols[i] = idx
 			desc[i] = o.Desc
+			parts[i] = ExprString(o.Expr)
+			if o.Desc {
+				parts[i] += " desc"
+			}
+		}
+		if x.analyze {
+			t0 = time.Now()
 		}
 		out = ra.OrderBy(out, cols, desc)
+		if x.analyze {
+			plan = obs.NewPlanNode("sort by "+strings.Join(parts, ", "), int64(out.Len()), time.Since(t0), plan)
+		}
 	}
 	if s.Limit >= 0 {
 		out = ra.Limit(out, s.Limit)
+		if x.analyze {
+			plan = obs.NewPlanNode(fmt.Sprintf("limit %d", s.Limit), int64(out.Len()), 0, plan)
+		}
 	}
-	return out, nil
+	return out, plan, nil
+}
+
+// refLabel names a FROM item for a plan node. Labels deliberately omit row
+// counts (unlike EXPLAIN's scan lines): the analyze plans of a WITH+ loop
+// are merged structurally across iterations, and the working table's row
+// count changes every iteration — actual rows live in the node's Rows
+// field, accumulated across loops.
+func (x *Exec) refLabel(t *TableRef) string {
+	switch {
+	case t.IsJoin():
+		kind := map[JoinKind]string{JoinInner: "inner", JoinLeftOuter: "left outer", JoinFullOuter: "full outer"}[t.Kind]
+		return fmt.Sprintf("%s join on %s", kind, ExprString(t.On))
+	case t.Sub != nil:
+		return "subquery " + t.DisplayName()
+	default:
+		if _, ok := x.Override[t.Name]; ok {
+			return fmt.Sprintf("scan %s (working table, no statistics)", t.DisplayName())
+		}
+		tab, err := x.Eng.Cat.Get(t.Name)
+		if err != nil {
+			return "scan " + t.DisplayName()
+		}
+		stats := "no statistics"
+		if tab.Stats.Analyzed {
+			stats = "analyzed"
+		}
+		kind := "base"
+		if tab.Temp {
+			kind = "temp"
+		}
+		return fmt.Sprintf("scan %s (%s table, %s)", t.DisplayName(), kind, stats)
+	}
 }
 
 // project evaluates the select list without aggregation.

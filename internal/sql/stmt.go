@@ -47,6 +47,14 @@ type QueryStmt struct{ Select *SelectStmt }
 // WithQueryStmt wraps a WITH+ statement.
 type WithQueryStmt struct{ With *WithStmt }
 
+// ExplainStmt renders a query's plan. With Analyze set, the target is
+// executed and the tree is annotated with actual rows, loops, and per-node
+// timings; otherwise the plan is estimated without running the query.
+type ExplainStmt struct {
+	Analyze bool
+	Target  Statement // *QueryStmt or *WithQueryStmt
+}
+
 func (*CreateTableStmt) stmtNode() {}
 func (*InsertStmt) stmtNode()      {}
 func (*DropTableStmt) stmtNode()   {}
@@ -54,6 +62,7 @@ func (*TruncateStmt) stmtNode()    {}
 func (*AnalyzeStmt) stmtNode()     {}
 func (*QueryStmt) stmtNode()       {}
 func (*WithQueryStmt) stmtNode()   {}
+func (*ExplainStmt) stmtNode()     {}
 
 // ParseStatement parses any supported statement (SELECT, WITH+, CREATE,
 // INSERT, DROP, TRUNCATE).
@@ -101,6 +110,24 @@ func (p *Parser) parseStatement() (Statement, error) {
 			return nil, p.errf("expected table name, found %q", n.Text)
 		}
 		return &DropTableStmt{Name: n.Text}, nil
+	case p.peek().Kind == TokIdent && strings.ToLower(p.peek().Text) == "explain":
+		p.advance()
+		ex := &ExplainStmt{}
+		if p.peek().Kind == TokIdent && strings.ToLower(p.peek().Text) == "analyze" {
+			p.advance()
+			ex.Analyze = true
+		}
+		target, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		switch target.(type) {
+		case *QueryStmt, *WithQueryStmt:
+		default:
+			return nil, p.errf("explain supports SELECT and WITH+ statements only")
+		}
+		ex.Target = target
+		return ex, nil
 	case p.peek().Kind == TokIdent && strings.ToLower(p.peek().Text) == "analyze":
 		p.advance()
 		p.acceptKw("table")
@@ -251,10 +278,38 @@ func (x *Exec) ExecStatement(st Statement) (*relation.Relation, error) {
 		return nil, nil
 	case *InsertStmt:
 		return nil, x.execInsert(s)
+	case *ExplainStmt:
+		q, ok := s.Target.(*QueryStmt)
+		if !ok {
+			return nil, fmt.Errorf("sql: EXPLAIN of WITH+ statements must run through the withplus pipeline")
+		}
+		if !s.Analyze {
+			text, err := x.ExplainSelect(q.Select)
+			if err != nil {
+				return nil, err
+			}
+			return PlanRelation(text), nil
+		}
+		_, plan, err := x.RunAnalyzed(q.Select)
+		if err != nil {
+			return nil, err
+		}
+		return PlanRelation(plan.Render()), nil
 	case *WithQueryStmt:
 		return nil, fmt.Errorf("sql: WITH+ statements must run through the withplus pipeline")
 	}
 	return nil, fmt.Errorf("sql: unsupported statement %T", st)
+}
+
+// PlanRelation wraps rendered plan text as a one-column relation (one tuple
+// per line), so EXPLAIN results flow through the same result path as
+// queries — the REPL and driver print them like any other rows.
+func PlanRelation(text string) *relation.Relation {
+	r := relation.New(schema.Schema{{Name: "QUERY PLAN", Type: value.KindString}})
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		r.Append(relation.Tuple{value.Str(line)})
+	}
+	return r
 }
 
 func (x *Exec) execInsert(s *InsertStmt) error {

@@ -2,9 +2,11 @@ package withplus
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/psm"
 	"repro/internal/ra"
 	"repro/internal/relation"
@@ -35,6 +37,14 @@ type Program struct {
 	trace     *Trace
 	changed   bool // did the last iteration change R?
 	recursive []bool
+
+	// analyze mode (RunAnalyzed): every compiled SELECT runs through
+	// sql.Exec.RunAnalyzed and its annotated plan is merged into the
+	// per-section accumulator, collapsing the loop's iterations into one
+	// tree per subquery.
+	analyze   bool
+	plans     map[string]*obs.PlanNode
+	planOrder []string
 }
 
 // Prepare parses, checks (Theorem 5.1), and compiles src into a PSM
@@ -74,11 +84,90 @@ func (p *Program) Run() (*relation.Relation, *Trace, error) {
 	if err := p.Proc.Call(p.eng); err != nil {
 		return nil, nil, err
 	}
-	out, err := p.exec.Run(p.With.Final)
+	out, err := p.runQuery(p.With.Final, "final query")
 	if err != nil {
 		return nil, nil, err
 	}
 	return out, p.trace, nil
+}
+
+// runQuery evaluates one compiled SELECT, merging its annotated plan into
+// the named section when the program runs in analyze mode. Sections are
+// stable across iterations (one per subquery), so a 15-iteration loop
+// renders as one tree with loops=15 rather than 15 trees.
+func (p *Program) runQuery(s *sql.SelectStmt, section string) (*relation.Relation, error) {
+	if !p.analyze {
+		return p.exec.Run(s)
+	}
+	r, plan, err := p.exec.RunAnalyzed(s)
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		if cur, ok := p.plans[section]; ok {
+			cur.Merge(plan)
+		} else {
+			p.plans[section] = plan
+			p.planOrder = append(p.planOrder, section)
+		}
+	}
+	return r, nil
+}
+
+// AnalysisSection is one subquery's merged plan tree within an Analysis.
+type AnalysisSection struct {
+	Title string
+	Plan  *obs.PlanNode
+}
+
+// Analysis is the EXPLAIN ANALYZE result of a WITH+ statement: the compiled
+// procedure with per-statement execution stats, the per-iteration trace, and
+// one merged plan tree per subquery (initialization, computed-by, recursive,
+// and final), with Loops counting how many iterations ran each tree.
+type Analysis struct {
+	Proc     *psm.Proc
+	Stats    *psm.ProcStats
+	Trace    *Trace
+	Sections []AnalysisSection
+	Dur      time.Duration
+}
+
+// Render draws the full EXPLAIN ANALYZE report: the annotated procedure
+// followed by each subquery's plan tree.
+func (a *Analysis) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXPLAIN ANALYZE (total time %s)\n", a.Dur.Round(time.Microsecond))
+	b.WriteString(a.Proc.StringWithStats(a.Stats))
+	b.WriteString("\n")
+	for _, s := range a.Sections {
+		fmt.Fprintf(&b, "\n%s:\n%s", s.Title, s.Plan.Render())
+	}
+	return b.String()
+}
+
+// RunAnalyzed executes the program with full instrumentation: every PSM
+// statement is timed, every compiled SELECT builds an annotated plan tree,
+// and per-iteration trees are merged per subquery. The result relation is
+// returned together with the analysis.
+func (p *Program) RunAnalyzed() (*relation.Relation, *Analysis, error) {
+	p.analyze = true
+	p.plans = map[string]*obs.PlanNode{}
+	p.planOrder = nil
+	defer func() { p.analyze = false }()
+	t0 := time.Now()
+	stats, err := p.Proc.CallWithStats(p.eng)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := p.runQuery(p.With.Final, "final query")
+	if err != nil {
+		return nil, nil, err
+	}
+	a := &Analysis{Proc: p.Proc, Stats: stats, Trace: p.trace, Dur: time.Since(t0)}
+	for _, k := range p.planOrder {
+		a.Sections = append(a.Sections, AnalysisSection{Title: k, Plan: p.plans[k]})
+	}
+	return out, a, nil
 }
 
 // Cleanup drops the temporary tables the program created so the engine can
@@ -145,7 +234,7 @@ func (p *Program) buildProc() *psm.Proc {
 		body = append(body, &psm.Do{
 			Label: fmt.Sprintf("evaluate recursive subquery Q%d and %s into %s", i+1, w.Ops[i-1], w.RecName),
 			Fn: func(ctx *psm.Ctx) error {
-				return p.stepBranch(i, br)
+				return p.stepBranch(ctx, i, br)
 			},
 		})
 	}
@@ -190,7 +279,7 @@ func (p *Program) initRec(ctx *psm.Ctx) error {
 				return err
 			}
 		}
-		r, err := p.exec.Run(br.Query)
+		r, err := p.runQuery(br.Query, fmt.Sprintf("initialization subquery Q%d", i+1))
 		if err != nil {
 			return err
 		}
@@ -217,6 +306,7 @@ func (p *Program) initRec(ctx *psm.Ctx) error {
 		}
 	}
 	acc = &relation.Relation{Sch: sch, Tuples: acc.Tuples}
+	ctx.SetRows(int64(acc.Len()))
 	if _, err := p.eng.EnsureTemp(w.RecName, sch); err != nil {
 		return err
 	}
@@ -226,7 +316,7 @@ func (p *Program) initRec(ctx *psm.Ctx) error {
 // evalComputed evaluates one computed-by definition, applying its declared
 // column names.
 func (p *Program) evalComputed(def sql.ComputedDef) (*relation.Relation, error) {
-	r, err := p.exec.Run(def.Query)
+	r, err := p.runQuery(def.Query, "computed by "+def.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -252,16 +342,17 @@ func (p *Program) evalComputed(def sql.ComputedDef) (*relation.Relation, error) 
 // statement's set operation, updating the change flag and trace. Each
 // branch starts with a governor checkpoint, so a cancelled or over-budget
 // run stops at a statement boundary even when the loop body is long.
-func (p *Program) stepBranch(i int, br sql.WithBranch) error {
+func (p *Program) stepBranch(ctx *psm.Ctx, i int, br sql.WithBranch) error {
 	w := p.With
 	if err := p.eng.Gov().Check(); err != nil {
 		return err
 	}
 	start := time.Now()
-	q, err := p.exec.Run(br.Query)
+	q, err := p.runQuery(br.Query, fmt.Sprintf("recursive subquery Q%d", i+1))
 	if err != nil {
 		return err
 	}
+	ctx.SetRows(int64(q.Len()))
 	before, err := p.eng.Rel(w.RecName)
 	if err != nil {
 		return err

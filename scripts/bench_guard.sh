@@ -1,0 +1,83 @@
+#!/bin/sh
+# bench_guard.sh — the observability overhead gate.
+#
+# Runs the perf experiment twice — observer off and observer on — and
+# checks two invariants against the committed BENCH_after.json baseline:
+#
+#   1. No regression: the observer-off run stays within noise of the
+#      baseline (each measurement under REGRESSION_X times its committed
+#      value).
+#   2. Near-zero observer cost: the observer-on run stays within
+#      OVERHEAD_X of the observer-off run measured in the same process
+#      conditions — the "single pointer check when unobserved, cheap
+#      spans when observed" contract from DESIGN.md.
+#
+# Tolerances are deliberately loose (wall-clock on shared CI machines is
+# noisy); the gate catches order-of-magnitude mistakes like an allocation
+# or clock read sneaking onto the per-tuple path, not single-digit
+# percent drift.
+set -eu
+cd "$(dirname "$0")/.."
+
+REGRESSION_X="${REGRESSION_X:-1.75}"
+OVERHEAD_X="${OVERHEAD_X:-1.40}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== bench guard: perf experiment, observer off"
+go run ./cmd/bench -exp perf -json > "$tmp/off.json"
+
+echo "== bench guard: perf experiment, observer on"
+go run ./cmd/bench -exp perf -json -observe > "$tmp/on.json"
+
+python3 - "$tmp/off.json" "$tmp/on.json" BENCH_after.json "$REGRESSION_X" "$OVERHEAD_X" <<'EOF'
+import json, sys
+
+off_path, on_path, base_path, reg_x, ovh_x = sys.argv[1:6]
+reg_x, ovh_x = float(reg_x), float(ovh_x)
+
+def index(path):
+    with open(path) as f:
+        return {(r["name"], r["profile"]): r for r in json.load(f)}
+
+off, on, base = index(off_path), index(on_path), index(base_path)
+failures = []
+
+for key, b in sorted(base.items()):
+    o = off.get(key)
+    if o is None:
+        failures.append(f"{key}: missing from observer-off run")
+        continue
+    if o["ms"] > b["ms"] * reg_x:
+        failures.append(
+            f"{key}: observer-off {o['ms']:.1f}ms exceeds baseline "
+            f"{b['ms']:.1f}ms x {reg_x}")
+    # The deterministic operator counters must match the baseline exactly:
+    # observability must not change what the executor does.
+    for c in ("joins", "group_bys", "index_builds", "index_cache_hits",
+              "tuples_materialized", "iterations"):
+        if o[c] != b[c]:
+            failures.append(f"{key}: counter {c} drifted: {o[c]} != {b[c]}")
+
+for key, o in sorted(off.items()):
+    n = on.get(key)
+    if n is None:
+        failures.append(f"{key}: missing from observer-on run")
+        continue
+    if not n.get("observed") or n.get("spans", 0) <= 0:
+        failures.append(f"{key}: observer-on run reports no spans")
+    if n["ms"] > o["ms"] * ovh_x:
+        failures.append(
+            f"{key}: observer-on {n['ms']:.1f}ms exceeds observer-off "
+            f"{o['ms']:.1f}ms x {ovh_x}")
+
+if failures:
+    print("bench guard FAILED:")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+
+print(f"bench guard: {len(base)} baseline cells within {reg_x}x, "
+      f"observer overhead within {ovh_x}x")
+EOF

@@ -1,20 +1,36 @@
 #!/bin/sh
 # check.sh — the repo's fast verification gate:
-#   go vet over everything, the full test suite, and a race-detector pass
-#   over the packages with parallel executor paths (ra, engine).
+#   go vet over everything, the full test suite, a race-detector pass over
+#   the packages with parallel or concurrently-observed executor paths
+#   (ra, engine, graphsql), an API-hygiene grep gate, and the chaos and
+#   bench-overhead gates.
 set -eu
 cd "$(dirname "$0")/.."
 
 echo "== go vet ./..."
 go vet ./...
 
+echo "== api hygiene (no deprecated session API outside graphsql)"
+# The context-first graphsql API replaced these; only graphsql itself
+# (deprecated.go + its tests) may still mention them. QueryContext is not
+# gated: database/sql legitimately defines it for driver conformance.
+if grep -rn 'QueryWithTrace\|RunContext\|\.Eng\b' \
+    cmd examples graphsql/driver 2>/dev/null \
+    | grep -v '_test.go.*deprecated'; then
+  echo "check: deprecated graphsql API (QueryWithTrace/RunContext/.Eng) used outside graphsql/" >&2
+  exit 1
+fi
+
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel executor packages)"
-go test -race ./internal/ra/... ./internal/engine/...
+echo "== go test -race (parallel executor + concurrent-session packages)"
+go test -race ./internal/ra/... ./internal/engine/... ./graphsql
 
 echo "== chaos gate (fault sweep, recovery, cancellation, fuzz smoke)"
 ./scripts/chaos.sh
+
+echo "== bench guard (perf baseline + observability overhead)"
+./scripts/bench_guard.sh
 
 echo "check: OK"
