@@ -99,7 +99,7 @@ func RunMarkovClustering(e *engine.Engine, g *graph.Graph, p Params) (*Result, e
 		if err != nil {
 			return nil, err
 		}
-		if err := e.UnionByUpdate(mTab, final, nil, ra.UBUReplace); err != nil {
+		if _, err := e.UnionByUpdate(mTab, final, nil, ra.UBUReplace); err != nil {
 			return nil, err
 		}
 		cur, err := e.Rel(mTab)
@@ -368,7 +368,7 @@ func RunBisimulation(e *engine.Engine, g *graph.Graph, p Params) (*Result, error
 		joined := ra.EquiJoin(trip, groups, ra.EquiJoinSpec{LeftCols: []int{1, 3}, RightCols: []int{0, 1}, Algo: ra.HashJoin})
 		next := ra.ProjectCols(joined, []int{0, 6})
 		next.Sch = bSch
-		if err := e.UnionByUpdate(bTab, next, []int{0}, ra.UBUFullOuter); err != nil {
+		if _, err := e.UnionByUpdate(bTab, next, []int{0}, ra.UBUFullOuter); err != nil {
 			return nil, err
 		}
 		cur, err := e.Rel(bTab)

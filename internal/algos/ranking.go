@@ -79,7 +79,7 @@ func RunPageRank(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := e.UnionByUpdate(vTab, merged, []int{0}, p.UBU); err != nil {
+		if _, err := e.UnionByUpdate(vTab, merged, []int{0}, p.UBU); err != nil {
 			return nil, err
 		}
 		cur, err := e.Rel(vTab)
@@ -167,7 +167,7 @@ func RunRWR(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := e.UnionByUpdate(vTab, merged, []int{0}, p.UBU); err != nil {
+		if _, err := e.UnionByUpdate(vTab, merged, []int{0}, p.UBU); err != nil {
 			return nil, err
 		}
 		cur, err := e.Rel(vTab)
@@ -303,7 +303,7 @@ func RunHITS(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := e.UnionByUpdate(hTab, newH, []int{0}, p.UBU); err != nil {
+		if _, err := e.UnionByUpdate(hTab, newH, []int{0}, p.UBU); err != nil {
 			return nil, err
 		}
 		cur, err := e.Rel(hTab)
@@ -397,7 +397,7 @@ func RunSimRank(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := e.UnionByUpdate(kTab, newK, nil, ra.UBUReplace); err != nil {
+		if _, err := e.UnionByUpdate(kTab, newK, nil, ra.UBUReplace); err != nil {
 			return nil, err
 		}
 		cur, err := e.Rel(kTab)

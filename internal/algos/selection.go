@@ -474,7 +474,7 @@ func RunLP(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 			return nil, err
 		}
 		newL.Sch = labelSchema()
-		if err := e.UnionByUpdate(lTab, newL, []int{0}, p.UBU); err != nil {
+		if _, err := e.UnionByUpdate(lTab, newL, []int{0}, p.UBU); err != nil {
 			return nil, err
 		}
 		cur, err := e.Rel(lTab)

@@ -51,16 +51,14 @@ func vectorFixpoint(e *engine.Engine, eTab, vTab string, sr semiring.Semiring, p
 	res := &Result{}
 	for iter := 0; iter < p.MaxRecursion; iter++ {
 		start := time.Now()
-		prev, err := e.Rel(vTab)
+		step, err := guardedMVStep(e, eTab, vTab, sr)
 		if err != nil {
 			return nil, err
 		}
-		prev = prev.Clone()
-		delta, err := guardedMVStep(e, eTab, vTab, sr)
+		// The changed-row delta is the convergence signal: no cloned
+		// previous image, no full-vector compare.
+		changed, err := e.UnionByUpdate(vTab, step, []int{0}, p.UBU)
 		if err != nil {
-			return nil, err
-		}
-		if err := e.UnionByUpdate(vTab, delta, []int{0}, p.UBU); err != nil {
 			return nil, err
 		}
 		cur, err := e.Rel(vTab)
@@ -68,7 +66,7 @@ func vectorFixpoint(e *engine.Engine, eTab, vTab string, sr semiring.Semiring, p
 			return nil, err
 		}
 		res.trace(start, cur.Len())
-		if cur.Equal(prev) {
+		if changed.Len() == 0 {
 			break
 		}
 	}

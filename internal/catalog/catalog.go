@@ -31,12 +31,15 @@ type Table struct {
 	Kind  StoreKind
 	Stats Stats
 
-	// version counts writes: every invalidation (insert, truncate, rename)
-	// bumps it. Cached access structures are keyed on it, so an index built
-	// for one version is never served after the table changes — the
-	// mechanism behind iteration-aware join execution: a hash index built on
-	// an immutable base table survives every iteration of a WITH+ loop,
-	// while temp-table indexes are rebuilt exactly when the table is.
+	// version counts writes: every write (insert, truncate, rename) bumps
+	// it. Cached access structures are keyed on it, so an index built for
+	// one version is never served after the table changes — the mechanism
+	// behind iteration-aware join execution: a hash index built on an
+	// immutable base table survives every iteration of a WITH+ loop.
+	// Appends are special-cased (noteAppend): the version moves forward
+	// *with* the materialization cache, hash indexes, and column dicts, so
+	// accumulation-only recursion never rebuilds its build sides;
+	// destructive writes drop everything (invalidate).
 	version uint64
 
 	indexes     map[string]*relation.SortedIndex
@@ -219,9 +222,13 @@ func (t *Table) Insert(tu relation.Tuple) error {
 	if len(tu) != t.Sch.Arity() {
 		return fmt.Errorf("catalog: insert arity %d into %s%s", len(tu), t.Name, t.Sch)
 	}
-	t.invalidate()
+	if err := t.Store.Insert(tu); err != nil {
+		t.invalidate()
+		return err
+	}
+	t.noteAppend([]relation.Tuple{tu})
 	t.Stats.Rows++
-	return t.Store.Insert(tu)
+	return nil
 }
 
 // InsertRelation bulk-appends all tuples of r.
@@ -229,14 +236,62 @@ func (t *Table) InsertRelation(r *relation.Relation) error {
 	if !r.Sch.UnionCompatible(t.Sch) {
 		return fmt.Errorf("catalog: insert arity %d into %s%s", r.Sch.Arity(), t.Name, t.Sch)
 	}
-	t.invalidate()
 	for _, tu := range r.Tuples {
 		if err := t.Store.Insert(tu.Clone()); err != nil {
+			// The store may hold a prefix of r; drop the caches rather than
+			// leave them diverged from storage.
+			t.invalidate()
 			return err
 		}
 	}
+	t.noteAppend(r.Tuples)
 	t.Stats.Rows += r.Len()
 	return nil
+}
+
+// noteAppend is the append-aware alternative to invalidate: the version still
+// bumps (appends are writes — statistics go stale, sorted indexes drop), but
+// the materialization cache, hash indexes, and column dictionaries move
+// forward *with* the version instead of being discarded. The cache header is
+// extended in place so every reader holding it — including cached hash
+// indexes, whose validity the join executor checks by identity against the
+// probe-time materialization — observes the appended rows without a rebuild.
+// This is what keeps build-side indexes alive across the accumulation-only
+// iterations of semi-naive recursion; destructive writes (truncate, rename)
+// keep the full invalidation.
+func (t *Table) noteAppend(tuples []relation.Tuple) {
+	if t.cache == nil {
+		// Nothing materialized since the last write, so no current-version
+		// access structure can exist either.
+		t.invalidate()
+		return
+	}
+	t.version++
+	for _, tu := range tuples {
+		t.cache.Tuples = append(t.cache.Tuples, tu.Clone())
+	}
+	from := t.cache.Len() - len(tuples)
+	for key, e := range t.hashIndexes {
+		if e.version != t.version-1 {
+			delete(t.hashIndexes, key)
+			continue
+		}
+		for row := from; row < t.cache.Len(); row++ {
+			e.idx.Add(row)
+		}
+		t.hashIndexes[key] = hashIndexEntry{idx: e.idx, version: t.version}
+	}
+	for col, e := range t.dicts {
+		if e.version != t.version-1 {
+			delete(t.dicts, col)
+			continue
+		}
+		e.dict.Extend(t.cache)
+		t.dicts[col] = dictEntry{dict: e.dict, version: t.version}
+	}
+	// Sorted indexes have no cheap extension: appended rows break the order.
+	t.indexes = nil
+	t.Stats.Analyzed = false
 }
 
 // Truncate removes all tuples and invalidates indexes and statistics.

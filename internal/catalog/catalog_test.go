@@ -117,8 +117,15 @@ func TestMaterializeCachingAndInvalidation(t *testing.T) {
 	}
 	tab.Insert(tu(3, 4))
 	r3, _ := tab.Materialize()
-	if r3 == r1 || r3.Len() != 2 {
-		t.Error("write should invalidate the cache")
+	if r3 != r1 || r3.Len() != 2 {
+		t.Error("append should extend the cache in place, not drop it")
+	}
+	if err := tab.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	r4, _ := tab.Materialize()
+	if r4 == r1 || r4.Len() != 0 {
+		t.Error("truncate should invalidate the cache")
 	}
 }
 
@@ -231,15 +238,24 @@ func TestEnsureHashIndexLifecycle(t *testing.T) {
 		t.Error("HashIndex lookup wrong")
 	}
 	tab.Insert(tu(0, 2))
-	if tab.HashIndex([]int{0}) != nil {
-		t.Error("write must invalidate the hash-index cache")
+	if tab.HashIndex([]int{0}) != idx {
+		t.Error("append must keep the hash index cached")
 	}
 	idx3, hit, _ := tab.EnsureHashIndex([]int{0})
-	if hit || idx3 == idx {
-		t.Error("post-write request must rebuild")
+	if !hit || idx3 != idx {
+		t.Error("post-append request must hit the incrementally maintained index")
 	}
 	if idx3.Rel().Len() != 3 {
-		t.Error("rebuilt index must cover all rows")
+		t.Error("extended index must cover all rows")
+	}
+	if rows := idx3.Probe(tu(0, 99), []int{0}); len(rows) != 1 || rows[0] != 2 {
+		t.Errorf("extended index must find the appended row, got %v", rows)
+	}
+	if err := tab.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.HashIndex([]int{0}) != nil {
+		t.Error("truncate must invalidate the hash-index cache")
 	}
 }
 
@@ -264,25 +280,31 @@ func TestEnsureColumnDictLifecycle(t *testing.T) {
 		t.Error("second request must hit the cache with the same dict")
 	}
 	tab.Insert(tu(9, 3))
-	if tab.ColumnDict(0) != nil {
-		t.Error("write must invalidate the dict cache")
+	if tab.ColumnDict(0) != d {
+		t.Error("append must keep the dict cached")
 	}
 	d3, hit, _ := tab.EnsureColumnDict(0)
-	if hit || d3 == d {
-		t.Error("post-write request must rebuild")
+	if !hit || d3 != d {
+		t.Error("post-append request must hit the incrementally extended dict")
 	}
 	if len(d3.Ords) != 4 || len(d3.Keys) != 3 {
-		t.Errorf("rebuilt dict must cover all rows: keys=%v ords=%v", d3.Keys, d3.Ords)
+		t.Errorf("extended dict must cover all rows: keys=%v ords=%v", d3.Keys, d3.Ords)
+	}
+	if err := tab.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.ColumnDict(0) != nil {
+		t.Error("truncate must invalidate the dict cache")
 	}
 }
 
-func TestInvalidationDropsBothIndexCaches(t *testing.T) {
+func TestAppendAndInvalidationIndexCacheContract(t *testing.T) {
 	build := func(tab *Table) {
 		tab.EnsureIndex([]int{0})
 		tab.EnsureHashIndex([]int{0})
 		tab.EnsureColumnDict(0)
 	}
-	check := func(t *testing.T, tab *Table, op string) {
+	checkDropped := func(t *testing.T, tab *Table, op string) {
 		t.Helper()
 		if tab.Index([]int{0}) != nil {
 			t.Errorf("%s left a stale sorted index", op)
@@ -294,30 +316,52 @@ func TestInvalidationDropsBothIndexCaches(t *testing.T) {
 			t.Errorf("%s left a stale column dict", op)
 		}
 	}
+	// Appends extend the hash index and column dict incrementally; only the
+	// sorted index (no cheap extension) is dropped.
+	checkExtended := func(t *testing.T, tab *Table, op string, rows int) {
+		t.Helper()
+		if tab.Index([]int{0}) != nil {
+			t.Errorf("%s left a stale sorted index", op)
+		}
+		idx := tab.HashIndex([]int{0})
+		if idx == nil {
+			t.Fatalf("%s dropped the hash index instead of extending it", op)
+		}
+		if idx.Rel().Len() != rows {
+			t.Errorf("%s: hash index covers %d rows, want %d", op, idx.Rel().Len(), rows)
+		}
+		d := tab.ColumnDict(0)
+		if d == nil {
+			t.Fatalf("%s dropped the column dict instead of extending it", op)
+		}
+		if len(d.Ords) != rows {
+			t.Errorf("%s: dict covers %d rows, want %d", op, len(d.Ords), rows)
+		}
+	}
 	c := newCat()
 	tab, _ := c.Create("t", sch(), StoreMem, true)
 	tab.Insert(tu(1, 1))
 
 	build(tab)
 	tab.Insert(tu(2, 2))
-	check(t, tab, "Insert")
+	checkExtended(t, tab, "Insert", 2)
 
 	build(tab)
 	r := relation.New(sch())
 	r.Append(tu(3, 3))
 	tab.InsertRelation(r)
-	check(t, tab, "InsertRelation")
+	checkExtended(t, tab, "InsertRelation", 3)
 
 	build(tab)
 	tab.Truncate()
-	check(t, tab, "Truncate")
+	checkDropped(t, tab, "Truncate")
 
 	tab.Insert(tu(4, 4))
 	build(tab)
 	if err := c.RenameTable("t", "t2"); err != nil {
 		t.Fatal(err)
 	}
-	check(t, tab, "RenameTable")
+	checkDropped(t, tab, "RenameTable")
 }
 
 func TestRenameInvalidatesMaterializationCache(t *testing.T) {

@@ -88,6 +88,13 @@ type Engine struct {
 	// measurements (cmd/bench -nofusion).
 	DisableFusion bool
 
+	// DisableDelta turns off delta-driven semi-naive evaluation in the
+	// WITH+ compiler: every recursive branch re-reads the full recursive
+	// relation each iteration (the naive loop) — the A/B baseline for
+	// cmd/bench -nodelta. It does not affect result correctness, only the
+	// amount of work per iteration.
+	DisableDelta bool
+
 	// Limits are the per-statement resource budgets; BeginStatement arms a
 	// governor with them. The zero value means ungoverned.
 	Limits govern.Limits
@@ -323,6 +330,27 @@ func (e *Engine) ensureHashIndex(t *catalog.Table, cols []int) (*relation.HashIn
 		e.Cnt.add(&e.Cnt.IndexBuilds, 1)
 	}
 	return idx, hit, nil
+}
+
+// BuildSideHash serves the named table's cached build-side hash index on
+// cols for executors that join over materialized relations rather than
+// catalog tables (the SQL executor's FROM chain). The build or hit is
+// charged to the counters like any other index access. Returns nil when the
+// table is unknown or fusion (and with it the index cache) is disabled —
+// callers fall back to a fresh per-join build.
+func (e *Engine) BuildSideHash(name string, cols []int) *relation.HashIndex {
+	if e.DisableFusion {
+		return nil
+	}
+	t, err := e.Cat.Get(name)
+	if err != nil {
+		return nil
+	}
+	idx, _, err := e.ensureHashIndex(t, cols)
+	if err != nil {
+		return nil
+	}
+	return idx
 }
 
 // joinSpec resolves the physical algorithm and the pre-built indexes for an
@@ -601,11 +629,17 @@ func (e *Engine) AntiJoin(r, s *catalog.Table, rCols, sCols []int, impl ra.AntiJ
 //   - merge / update from: compute the updated image, rewrite the table;
 //   - full outer join: compute the joined image, rewrite the table;
 //   - drop/alter: drop the old table and store s under the old name.
-func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []int, impl ra.UBUImpl) (err error) {
+//
+// It returns the changed-row delta: the result rows that differ from the
+// table's previous content. An empty delta means the update was a no-op, so
+// fixpoint loops can detect convergence without cloning the table and
+// bag-comparing the images — and the delta doubles as the changed frontier a
+// semi-naive iteration feeds forward.
+func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []int, impl ra.UBUImpl) (delta *relation.Relation, err error) {
 	defer govern.RecoverTo(&err)
 	t, err := e.Cat.Get(target)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	e.Cnt.add(&e.Cnt.UBUs, 1)
 	var sp *obs.Span
@@ -618,11 +652,25 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 			}
 		}()
 	}
+	cur, err := t.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		sp.LeftRows = int64(cur.Len())
+	}
 	if impl == ra.UBUReplace {
+		// The delta of the attribute-less form: everything when the content
+		// moved, nothing when the rewrite was an identical image.
+		if cur.Len() == s.Len() && cur.Equal(s) {
+			delta = relation.New(t.Sch)
+		} else {
+			delta = s
+		}
 		temp := t.Temp
 		sch := t.Sch
 		if err := e.Cat.Drop(target); err != nil {
-			return err
+			return nil, err
 		}
 		kind := e.Prof.TempStore
 		if !temp {
@@ -630,24 +678,17 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 		}
 		nt, err := e.Cat.Create(target, sch, kind, temp)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		e.Cnt.add(&e.Cnt.Inserts, int64(s.Len()))
 		if err := nt.InsertRelation(s); err != nil {
-			return err
+			return nil, err
 		}
 		e.Commit()
 		if sp != nil {
 			sp.OutRows = int64(s.Len())
 		}
-		return nil
-	}
-	cur, err := t.Materialize()
-	if err != nil {
-		return err
-	}
-	if sp != nil {
-		sp.LeftRows = int64(cur.Len())
+		return delta, nil
 	}
 	if impl == ra.UBUMerge {
 		// MERGE is row-at-a-time DML: each matched update writes an undo
@@ -667,14 +708,14 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 			})
 		}
 	}
-	updated, err := ra.UnionByUpdate(cur, s, keyCols, impl, e.gov)
+	updated, delta, err := ra.UnionByUpdateDelta(cur, s, keyCols, impl, e.gov)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if sp != nil {
 		sp.OutRows = int64(updated.Len())
 	}
-	return e.StoreInto(target, updated)
+	return delta, e.StoreInto(target, updated)
 }
 
 // mvJoinWithSpec mirrors ra.MVJoin but honors a caller-supplied join spec —

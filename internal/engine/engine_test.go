@@ -285,7 +285,7 @@ func pageRankViaEngine(t *testing.T, e *Engine, edges [][2]int64, n, iters int, 
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := e.UnionByUpdate("V", merged, []int{0}, ubu); err != nil {
+		if _, err := e.UnionByUpdate("V", merged, []int{0}, ubu); err != nil {
 			t.Fatal(err)
 		}
 		vT, _ = e.Cat.Get("V")
@@ -333,7 +333,7 @@ func TestUnionByUpdateReplaceKeepsTableKind(t *testing.T) {
 	}
 	repl := relation.New(sch)
 	repl.AppendVals(value.Int(5))
-	if err := e.UnionByUpdate("t", repl, nil, ra.UBUReplace); err != nil {
+	if _, err := e.UnionByUpdate("t", repl, nil, ra.UBUReplace); err != nil {
 		t.Fatal(err)
 	}
 	tab, err := e.Cat.Get("t")

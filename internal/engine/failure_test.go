@@ -86,7 +86,7 @@ func TestUnionByUpdateFault(t *testing.T) {
 	}
 	// Fail on the next store access (materialize during UBU).
 	faultTable(t, e, "V", 0)
-	err := e.UnionByUpdate("V", init, []int{0}, ra.UBUFullOuter)
+	_, err := e.UnionByUpdate("V", init, []int{0}, ra.UBUFullOuter)
 	if !errors.Is(err, storage.ErrInjected) {
 		t.Fatalf("union-by-update should surface the fault, got %v", err)
 	}

@@ -77,15 +77,35 @@ func TestMVJoinIndexCacheCounters(t *testing.T) {
 			t.Errorf("%s: fused loop materialized %d join tuples, want 0",
 				prof.Name, e.Cnt.TuplesMaterialized)
 		}
-		// A write to the base table must force a rebuild.
+		// An append to the base table extends the cached index in place:
+		// no rebuild, and the new edge participates in the join.
 		if err := e.AppendInto("E", edgeRel([][2]int64{{0, 5}})); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := e.MVJoin(et, vt, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes()); err != nil {
 			t.Fatal(err)
 		}
+		if e.Cnt.IndexBuilds != 1 {
+			t.Errorf("%s: IndexBuilds after base append = %d, want 1 (incremental maintenance)",
+				prof.Name, e.Cnt.IndexBuilds)
+		}
+		if e.Cnt.IndexCacheHits != iters {
+			t.Errorf("%s: IndexCacheHits after base append = %d, want %d",
+				prof.Name, e.Cnt.IndexCacheHits, iters)
+		}
+		// A destructive rewrite (truncate + store) must still force a rebuild.
+		er, err := e.Rel("E")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.StoreInto("E", er.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.MVJoin(et, vt, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes()); err != nil {
+			t.Fatal(err)
+		}
 		if e.Cnt.IndexBuilds != 2 {
-			t.Errorf("%s: IndexBuilds after base write = %d, want 2", prof.Name, e.Cnt.IndexBuilds)
+			t.Errorf("%s: IndexBuilds after destructive rewrite = %d, want 2", prof.Name, e.Cnt.IndexBuilds)
 		}
 	}
 }

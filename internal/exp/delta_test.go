@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeltaRecordsShape runs the delta experiment (frontier evaluation on)
+// at the minimum benchmark scale and checks the acceptance-shaped
+// invariants: every cell runs with the rewrite enabled, reaches a
+// non-trivial fixpoint, and performs zero build-side index rebuilds during
+// the accumulation iterations (at most the single initial build).
+func TestDeltaRecordsShape(t *testing.T) {
+	recs, err := DeltaRecords(Config{Nodes: 600, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 workloads x 3 profiles.
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6", len(recs))
+	}
+	for _, r := range recs {
+		if !r.Delta {
+			t.Errorf("%s/%s: frontier rewrite not enabled", r.Name, r.Profile)
+		}
+		if r.Nodes < 600 {
+			t.Errorf("%s/%s: scale %d under the n>=600 floor", r.Name, r.Profile, r.Nodes)
+		}
+		if r.Iterations == 0 || r.RowsFinal == 0 || r.DeltaRowsTotal == 0 {
+			t.Errorf("%s/%s: degenerate run %+v", r.Name, r.Profile, r)
+		}
+		if r.IndexBuilds > 1 {
+			t.Errorf("%s/%s: %d index builds, want <= 1 (zero rebuilds during accumulation)",
+				r.Name, r.Profile, r.IndexBuilds)
+		}
+	}
+	js, err := DeltaJSON(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js, `"delta": true`) || !strings.Contains(js, `"delta_rows_total"`) {
+		t.Errorf("JSON missing delta fields:\n%s", js[:200])
+	}
+}

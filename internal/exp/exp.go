@@ -73,6 +73,11 @@ type Config struct {
 	// index cache, restoring the materialize-then-aggregate executor for
 	// A/B comparisons. cmd/bench exposes it as -nofusion.
 	NoFusion bool
+	// NoDelta disables delta-driven semi-naive evaluation in the WITH+
+	// compiler: recursive branches re-read the full recursive relation each
+	// iteration (the naive loop). cmd/bench exposes it as -nodelta, the A/B
+	// baseline for the delta experiment.
+	NoDelta bool
 	// Observe attaches a counting span sink to every experiment engine, so
 	// the observability hooks' overhead can be measured against an
 	// unobserved run of the same experiment. cmd/bench exposes it as
@@ -104,6 +109,7 @@ func newEngine(prof engine.Profile, cfg Config) *engine.Engine {
 	e := engine.New(prof)
 	e.Parallelism = cfg.Workers
 	e.DisableFusion = cfg.NoFusion
+	e.DisableDelta = cfg.NoDelta
 	if cfg.Observe {
 		e.SetObserver(&obs.CountingSink{})
 	}

@@ -20,6 +20,9 @@ type PlanNode struct {
 	Loops int64
 	// Dur is the cumulative wall time across all loops.
 	Dur time.Duration
+	// Extra is an optional trailing annotation rendered inside the actuals
+	// parentheses (e.g. "delta_rows=812" on a semi-naive recursive branch).
+	Extra string
 	// Children are the node's inputs, outermost operator first.
 	Children []*PlanNode
 }
@@ -48,6 +51,9 @@ func (dst *PlanNode) Merge(src *PlanNode) {
 	dst.Rows += src.Rows
 	dst.Loops += src.Loops
 	dst.Dur += src.Dur
+	if src.Extra != "" {
+		dst.Extra = src.Extra
+	}
 	for i, sc := range src.Children {
 		if i < len(dst.Children) {
 			dst.Children[i].Merge(sc)
@@ -74,7 +80,11 @@ func (n *PlanNode) render(b *strings.Builder, depth int) {
 	}
 	b.WriteString("-> ")
 	b.WriteString(n.Label)
-	fmt.Fprintf(b, " (rows=%d loops=%d time=%s)\n", n.Rows, n.Loops, fmtDur(n.Dur))
+	extra := ""
+	if n.Extra != "" {
+		extra = " " + n.Extra
+	}
+	fmt.Fprintf(b, " (rows=%d loops=%d time=%s%s)\n", n.Rows, n.Loops, fmtDur(n.Dur), extra)
 	for _, c := range n.Children {
 		c.render(b, depth+1)
 	}

@@ -1,0 +1,70 @@
+package ra
+
+import (
+	"repro/internal/relation"
+)
+
+// TupleSet is a persistent membership set over the rows accumulated into a
+// growing relation. Difference builds its hash set from the full right-hand
+// side on every call — O(|R|) per iteration when R is the recursive relation
+// of a WITH+ loop. A TupleSet is seeded once from the initial rows and then
+// extended with each iteration's delta, so the semi-naive append path pays
+// O(|Δ|) probes per iteration regardless of how large R has grown.
+//
+// Added tuples are shared, not cloned: callers hand over ownership and must
+// not mutate them afterwards (the same contract relation.Append documents).
+type TupleSet struct {
+	acc  *relation.Relation
+	idx  *relation.HashIndex
+	cols []int
+}
+
+// NewTupleSet returns a set seeded with the distinct tuples of seed.
+func NewTupleSet(seed *relation.Relation) *TupleSet {
+	acc := relation.NewWithCap(seed.Sch, seed.Len())
+	s := &TupleSet{acc: acc, cols: allCols(seed)}
+	s.idx = relation.BuildHashIndex(acc, s.cols)
+	for _, t := range seed.Tuples {
+		s.add(t)
+	}
+	return s
+}
+
+// add inserts t if absent, reporting whether it was new.
+func (s *TupleSet) add(t relation.Tuple) bool {
+	if s.idx.Contains(t, s.cols) {
+		return false
+	}
+	s.acc.Append(t)
+	s.idx.Add(s.acc.Len() - 1)
+	return true
+}
+
+// Len returns the number of distinct tuples in the set.
+func (s *TupleSet) Len() int { return s.acc.Len() }
+
+// Contains reports membership; tuples of a different arity are never
+// members.
+func (s *TupleSet) Contains(t relation.Tuple) bool {
+	return len(t) == len(s.cols) && s.idx.Contains(t, s.cols)
+}
+
+// DiffAdd returns the tuples of r not already in the set, inserting them as
+// it goes: Difference(r, accumulated) plus the accumulation step, in one
+// O(|r|) pass. In-batch duplicates are collapsed (the first occurrence wins),
+// matching Difference-after-Distinct semantics.
+func (s *TupleSet) DiffAdd(r *relation.Relation) *relation.Relation {
+	if r.Sch.Arity() != s.acc.Sch.Arity() {
+		// Shape mismatch: the set cannot hold these rows. Fall back to a
+		// plain Difference and let the caller's append raise the schema
+		// error, matching the non-seeded path's behavior.
+		return Difference(r, s.acc)
+	}
+	out := relation.New(r.Sch)
+	for _, t := range r.Tuples {
+		if s.add(t) {
+			out.Append(t)
+		}
+	}
+	return out
+}

@@ -119,9 +119,12 @@ func hashJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
 
 // buildSide returns the hash join's build-side index: the spec's prebuilt
 // (cached) index when it covers s on the right key columns, else a fresh
-// build.
+// build. Coverage is identity of the rows, not of the header: the SQL
+// resolver re-wraps materializations in re-qualified headers, so the cached
+// index is also valid when s shares the indexed relation's backing rows
+// (relation.SameRows — equal length over the same array).
 func buildSide(s *relation.Relation, spec EquiJoinSpec) *relation.HashIndex {
-	if idx := spec.RightHash; idx != nil && idx.Rel() == s && equalCols(idx.Cols(), spec.RightCols) {
+	if idx := spec.RightHash; idx != nil && (idx.Rel() == s || relation.SameRows(idx.Rel(), s)) && equalCols(idx.Cols(), spec.RightCols) {
 		// The engine already recorded whether this cached index was built
 		// fresh this statement; only mark a hit when it did not.
 		if spec.Span != nil && !spec.Span.IndexBuilt {

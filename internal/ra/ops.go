@@ -219,23 +219,58 @@ var ErrDuplicateSource = fmt.Errorf("ra: union-by-update source has duplicate ke
 // (the paper's attribute-less form). gov, when non-nil, makes the join and
 // coalesce/update loops cooperative checkpoints.
 func UnionByUpdate(r, s *relation.Relation, keyCols []int, impl UBUImpl, gov *govern.Governor) (*relation.Relation, error) {
+	out, _, err := unionByUpdate(r, s, keyCols, impl, gov, false)
+	return out, err
+}
+
+// UnionByUpdateDelta computes r ⊎_key s like UnionByUpdate and additionally
+// returns the changed-row delta: the result tuples that differ from their
+// counterpart in r (updated in place) or have no counterpart (inserted). An
+// empty delta means the operation was a no-op, so a fixpoint loop can use it
+// for change detection without cloning r and bag-comparing the result — and
+// the delta itself is the changed frontier a semi-naive iteration feeds
+// forward.
+func UnionByUpdateDelta(r, s *relation.Relation, keyCols []int, impl UBUImpl, gov *govern.Governor) (out, delta *relation.Relation, err error) {
+	return unionByUpdate(r, s, keyCols, impl, gov, true)
+}
+
+func unionByUpdate(r, s *relation.Relation, keyCols []int, impl UBUImpl, gov *govern.Governor, wantDelta bool) (out, delta *relation.Relation, err error) {
 	switch impl {
 	case UBUReplace:
-		return s.Clone(), nil
+		out = s.Clone()
+		if wantDelta {
+			// The attribute-less form rewrites the whole relation; its delta
+			// is everything when the content moved, nothing when it did not.
+			if r.Equal(s) {
+				delta = relation.New(r.Sch)
+			} else {
+				delta = out
+			}
+		}
+		return out, delta, nil
 	case UBUFullOuter:
-		return ubuFullOuter(r, s, keyCols, gov), nil
+		out, delta = ubuFullOuter(r, s, keyCols, gov, wantDelta)
+		return out, delta, nil
 	case UBUUpdateFrom:
-		return ubuUpdateFrom(r, s, keyCols, false, gov)
+		return ubuUpdateFrom(r, s, keyCols, false, gov, wantDelta)
 	default:
-		return ubuUpdateFrom(r, s, keyCols, true, gov)
+		return ubuUpdateFrom(r, s, keyCols, true, gov, wantDelta)
 	}
 }
 
-// ubuFullOuter: full outer join on the keys, then coalesce(s.*, r.*).
-func ubuFullOuter(r, s *relation.Relation, keyCols []int, gov *govern.Governor) *relation.Relation {
+// ubuFullOuter: full outer join on the keys, then coalesce(s.*, r.*). With
+// wantDelta it also collects the rows the coalesce actually changed: matched
+// rows whose coalesced values differ from the r side, and unmatched s rows
+// (whose r side is all-NULL padding). A row inserted from s with every column
+// NULL is indistinguishable from its padding and escapes the delta — such a
+// row has a NULL key, which the paper's union-by-update already disallows.
+func ubuFullOuter(r, s *relation.Relation, keyCols []int, gov *govern.Governor, wantDelta bool) (out, delta *relation.Relation) {
 	joined := FullOuterJoin(r, s, keyCols, keyCols, gov)
 	arity := r.Sch.Arity()
-	out := relation.NewWithCap(r.Sch, joined.Len())
+	out = relation.NewWithCap(r.Sch, joined.Len())
+	if wantDelta {
+		delta = relation.New(r.Sch)
+	}
 	for _, t := range joined.Tuples {
 		gov.MustStep(1)
 		nt := make(relation.Tuple, arity)
@@ -243,15 +278,22 @@ func ubuFullOuter(r, s *relation.Relation, keyCols []int, gov *govern.Governor) 
 			nt[i] = value.Coalesce(t[arity+i], t[i])
 		}
 		out.Tuples = append(out.Tuples, nt)
+		if wantDelta && !nt.Equal(t[:arity]) {
+			delta.Tuples = append(delta.Tuples, nt)
+		}
 	}
-	return out
+	return out, delta
 }
 
 // ubuUpdateFrom: per-source-row matched update / unmatched insert on a copy
 // of r. checkDup enables MERGE's duplicate-source detection (and models its
-// extra bookkeeping cost).
-func ubuUpdateFrom(r, s *relation.Relation, keyCols []int, checkDup bool, gov *govern.Governor) (*relation.Relation, error) {
-	out := r.Clone()
+// extra bookkeeping cost). With wantDelta it collects the source rows that
+// updated a matched row to a different value or were inserted.
+func ubuUpdateFrom(r, s *relation.Relation, keyCols []int, checkDup bool, gov *govern.Governor, wantDelta bool) (out, delta *relation.Relation, err error) {
+	out = r.Clone()
+	if wantDelta {
+		delta = relation.New(r.Sch)
+	}
 	idx := relation.BuildHashIndex(out, keyCols)
 	var seen *relation.Relation
 	var seenIdx *relation.HashIndex
@@ -263,7 +305,7 @@ func ubuUpdateFrom(r, s *relation.Relation, keyCols []int, checkDup bool, gov *g
 		gov.MustStep(1)
 		if checkDup {
 			if seenIdx.Contains(st, keyCols) {
-				return nil, ErrDuplicateSource
+				return nil, nil, ErrDuplicateSource
 			}
 			key := make(relation.Tuple, len(keyCols))
 			for i, c := range keyCols {
@@ -275,15 +317,23 @@ func ubuUpdateFrom(r, s *relation.Relation, keyCols []int, checkDup bool, gov *g
 		// Multiple r may match a single s: all are updated (allowed). The
 		// replacement keeps the key values, so the index stays valid.
 		matchedAny := false
+		changed := false
 		idx.ProbeEach(st, keyCols, func(row int) bool {
 			matchedAny = true
+			if wantDelta && !changed && !out.Tuples[row].Equal(st) {
+				changed = true
+			}
 			out.Tuples[row] = st.Clone()
 			return true
 		})
 		if !matchedAny {
 			out.Append(st.Clone())
 			idx.Add(out.Len() - 1)
+			changed = true
+		}
+		if wantDelta && changed {
+			delta.Tuples = append(delta.Tuples, st.Clone())
 		}
 	}
-	return out, nil
+	return out, delta, nil
 }

@@ -326,6 +326,51 @@ func TestUnionByUpdateReplace(t *testing.T) {
 	}
 }
 
+func TestUnionByUpdateDeltaReportsChangedRows(t *testing.T) {
+	r := rel(ints("id", "w"), []int64{1, 10}, []int64{2, 20}, []int64{3, 30})
+	// 2 updated to a new value, 3 "updated" to the same value (no change),
+	// 4 inserted: the delta is {2,99} and {4,40}.
+	s := rel(ints("id", "w"), []int64{2, 99}, []int64{3, 30}, []int64{4, 40})
+	for _, impl := range ubuImpls() {
+		out, delta, err := UnionByUpdateDelta(r, s, []int{0}, impl, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", impl, err)
+		}
+		wantRows(t, out, []int64{1, 10}, []int64{2, 99}, []int64{3, 30}, []int64{4, 40})
+		want := rel(ints("id", "w"), []int64{2, 99}, []int64{4, 40})
+		if !delta.Equal(want) {
+			t.Errorf("%s: delta = %v, want %v", impl, delta.Tuples, want.Tuples)
+		}
+	}
+	// A no-op step has an empty delta — the convergence signal.
+	for _, impl := range ubuImpls() {
+		same := rel(ints("id", "w"), []int64{1, 10}, []int64{2, 20}, []int64{3, 30})
+		_, delta, err := UnionByUpdateDelta(r, same, []int{0}, impl, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", impl, err)
+		}
+		if delta.Len() != 0 {
+			t.Errorf("%s: fixpoint step reported delta %v", impl, delta.Tuples)
+		}
+	}
+	// Replace: delta is empty iff the new image equals the old as a bag.
+	_, delta, err := UnionByUpdateDelta(r, r.Clone(), nil, UBUReplace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Len() != 0 {
+		t.Errorf("replace with identical image reported delta %v", delta.Tuples)
+	}
+	s2 := rel(ints("id", "w"), []int64{9, 90})
+	_, delta, err = UnionByUpdateDelta(r, s2, nil, UBUReplace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Len() != 1 {
+		t.Errorf("replace with new image reported delta %v", delta.Tuples)
+	}
+}
+
 func TestUBUImplString(t *testing.T) {
 	names := map[UBUImpl]string{
 		UBUMerge: "merge", UBUFullOuter: "full outer join",

@@ -121,30 +121,46 @@ type ColumnDict struct {
 	Col  int
 	Keys []value.Value
 	Ords []int32
+	// buckets hashes each distinct value to its candidate ordinals. It is
+	// retained after the build so Extend can encode appended rows without
+	// rebuilding the dictionary from scratch.
+	buckets map[uint64][]int32
 }
 
 // BuildColumnDict dictionary-encodes the column.
 func BuildColumnDict(rel *Relation, col int) *ColumnDict {
-	d := &ColumnDict{Col: col, Ords: make([]int32, rel.Len())}
-	buckets := make(map[uint64][]int32, rel.Len())
-	cols := []int{col}
-	for i, t := range rel.Tuples {
+	d := &ColumnDict{
+		Col:     col,
+		Ords:    make([]int32, 0, rel.Len()),
+		buckets: make(map[uint64][]int32, rel.Len()),
+	}
+	d.Extend(rel)
+	return d
+}
+
+// Extend encodes the rows appended to rel since the dictionary was built (or
+// last extended), reusing the retained value buckets. It is the
+// incremental-maintenance path for accumulation-only writes: appends extend
+// Keys/Ords in place and never invalidate previously encoded rows.
+func (d *ColumnDict) Extend(rel *Relation) {
+	cols := []int{d.Col}
+	for i := len(d.Ords); i < rel.Len(); i++ {
+		t := rel.Tuples[i]
 		h := t.HashOn(cols)
 		ord := int32(-1)
-		for _, cand := range buckets[h] {
-			if d.Keys[cand].Equal(t[col]) {
+		for _, cand := range d.buckets[h] {
+			if d.Keys[cand].Equal(t[d.Col]) {
 				ord = cand
 				break
 			}
 		}
 		if ord < 0 {
 			ord = int32(len(d.Keys))
-			d.Keys = append(d.Keys, t[col])
-			buckets[h] = append(buckets[h], ord)
+			d.Keys = append(d.Keys, t[d.Col])
+			d.buckets[h] = append(d.buckets[h], ord)
 		}
-		d.Ords[i] = ord
+		d.Ords = append(d.Ords, ord)
 	}
-	return d
 }
 
 // SortedIndex is an ordering of row numbers by the key columns — the stand-in

@@ -150,6 +150,18 @@ func (r *Relation) IsSortedBy(cols []int) bool {
 	return true
 }
 
+// SameRows reports whether a and b are views over the same tuple rows: equal
+// length and a shared backing array. Executors use it to validate a cached
+// index against a relation header that was re-wrapped (e.g. re-qualified by
+// the SQL resolver) around the same materialization; the length check rejects
+// stale shorter headers left behind by in-place appends.
+func SameRows(a, b *Relation) bool {
+	if a == nil || b == nil || len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	return len(a.Tuples) == 0 || &a.Tuples[0] == &b.Tuples[0]
+}
+
 // Equal reports whether two relations contain the same bag of tuples
 // (order-insensitive, multiplicity-sensitive). Schemas must be
 // union-compatible. Intended for tests and fixpoint checks.

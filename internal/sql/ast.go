@@ -225,6 +225,108 @@ func ReferencedTables(s *SelectStmt) []string {
 	return out
 }
 
+// VisitSelects calls fn on s and every nested SelectStmt — FROM subqueries,
+// IN/EXISTS subqueries anywhere an expression appears, and every arm of the
+// set-operation chain — depth-first.
+func VisitSelects(s *SelectStmt, fn func(*SelectStmt)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	var visitRef func(t *TableRef)
+	visitRef = func(t *TableRef) {
+		if t == nil {
+			return
+		}
+		if t.IsJoin() {
+			visitRef(t.Join)
+			visitRef(t.Right)
+			return
+		}
+		VisitSelects(t.Sub, fn)
+	}
+	visitExpr := func(e Expr) {
+		Walk(e, func(n Expr) {
+			switch x := n.(type) {
+			case *InExpr:
+				VisitSelects(x.Sub, fn)
+			case *ExistsExpr:
+				VisitSelects(x.Sub, fn)
+			}
+		})
+	}
+	for _, f := range s.From {
+		visitRef(f)
+	}
+	for _, it := range s.Items {
+		visitExpr(it.Expr)
+	}
+	visitExpr(s.Where)
+	visitExpr(s.Having)
+	for _, g := range s.GroupBy {
+		visitExpr(g)
+	}
+	for _, o := range s.OrderBy {
+		visitExpr(o.Expr)
+	}
+	VisitSelects(s.Next, fn)
+}
+
+// CountTableRefs counts how many times the named table occurs as a FROM
+// reference anywhere in the statement tree. Unlike ReferencedTables it does
+// not dedup: the linearity test of the semi-naive frontier rewrite needs to
+// tell one occurrence of the recursive relation from two ("from R a, R b").
+func CountTableRefs(s *SelectStmt, name string) int {
+	n := 0
+	VisitSelects(s, func(st *SelectStmt) {
+		var visitRef func(t *TableRef)
+		visitRef = func(t *TableRef) {
+			if t == nil {
+				return
+			}
+			if t.IsJoin() {
+				visitRef(t.Join)
+				visitRef(t.Right)
+				return
+			}
+			if t.Sub == nil && t.Name == name {
+				n++
+			}
+		}
+		for _, f := range st.From {
+			visitRef(f)
+		}
+	})
+	return n
+}
+
+// HasAggregatesDeep reports whether an aggregate call appears anywhere in
+// the statement tree, including FROM/IN/EXISTS subqueries and the set-op
+// chain — the conservative test the frontier rewrite uses (HasAggregates
+// only inspects the top-level select list and HAVING).
+func (s *SelectStmt) HasAggregatesDeep() bool {
+	found := false
+	VisitSelects(s, func(st *SelectStmt) {
+		if st.HasAggregates() {
+			found = true
+		}
+	})
+	return found
+}
+
+// HasLimitDeep reports whether any block in the statement tree carries a
+// LIMIT — a non-monotone construct that disqualifies a recursive branch
+// from reading the Δ frontier.
+func (s *SelectStmt) HasLimitDeep() bool {
+	found := false
+	VisitSelects(s, func(st *SelectStmt) {
+		if st.Limit >= 0 {
+			found = true
+		}
+	})
+	return found
+}
+
 // HasAggregates reports whether any select item or the HAVING clause
 // contains an aggregate call.
 func (s *SelectStmt) HasAggregates() bool {

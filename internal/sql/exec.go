@@ -21,6 +21,12 @@ type Exec struct {
 	Eng      *engine.Engine
 	Override map[string]*relation.Relation
 
+	// Delta marks Override entries that bind a semi-naive Δ frontier in
+	// place of the full recursive relation. It changes nothing about
+	// resolution — only the scan label in analyzed plans, so EXPLAIN
+	// ANALYZE shows which scans read the frontier.
+	Delta map[string]bool
+
 	// analyze makes the executor build an annotated plan tree (actual rows
 	// and per-node wall time) alongside the result — the EXPLAIN ANALYZE
 	// mode. Off (the default) no node is allocated and no clock is read.
@@ -29,7 +35,7 @@ type Exec struct {
 
 // NewExec returns an executor over eng.
 func NewExec(eng *engine.Engine) *Exec {
-	return &Exec{Eng: eng, Override: map[string]*relation.Relation{}}
+	return &Exec{Eng: eng, Override: map[string]*relation.Relation{}, Delta: map[string]bool{}}
 }
 
 // Run evaluates a (possibly compound) statement.
@@ -88,6 +94,7 @@ type source struct {
 	rel      *relation.Relation
 	analyzed bool
 	name     string // display name for qualification
+	table    string // catalog table name when resolved from the catalog ("" otherwise)
 }
 
 func (x *Exec) resolve(name string) (*relation.Relation, bool, error) {
@@ -124,9 +131,13 @@ func (x *Exec) resolveRef(t *TableRef) (source, error) {
 	if err != nil {
 		return source{}, err
 	}
+	table := t.Name
+	if _, ok := x.Override[t.Name]; ok {
+		table = "" // an override is not the catalog table of the same name
+	}
 	// Re-qualify under the alias (ρ) without copying tuples.
 	rel = &relation.Relation{Sch: rel.Sch.Qualify(t.DisplayName()), Tuples: rel.Tuples}
-	return source{rel: rel, analyzed: analyzed, name: t.DisplayName()}, nil
+	return source{rel: rel, analyzed: analyzed, name: t.DisplayName(), table: table}, nil
 }
 
 // evalJoinRef evaluates explicit LEFT/FULL OUTER/INNER JOIN nodes.
@@ -317,12 +328,21 @@ func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, *obs.PlanNode, error) 
 				if observing {
 					sp = &obs.Span{Op: "join", Algo: algo.String(), Note: "sql equi-join", Start: t0}
 				}
-				input = ra.EquiJoin(input, next.rel, ra.EquiJoinSpec{
+				spec := ra.EquiJoinSpec{
 					LeftCols: lCols, RightCols: rCols,
 					Algo: algo,
 					Gov:  x.Eng.Gov(),
 					Span: sp,
-				})
+				}
+				// A plain catalog table on the build side can serve its
+				// cached hash index: built once per table version, extended
+				// in place on appends, so the recursive loop's immutable
+				// build sides never rebuild (RightHash is revalidated
+				// against the probe-time rows inside the join).
+				if algo == ra.HashJoin && next.table != "" {
+					spec.RightHash = x.Eng.BuildSideHash(next.table, rCols)
+				}
+				input = ra.EquiJoin(input, next.rel, spec)
 				x.Eng.CountJoin()
 				if sp != nil {
 					sp.LeftRows, sp.RightRows, sp.OutRows = leftRows, int64(next.rel.Len()), int64(input.Len())
@@ -456,6 +476,9 @@ func (x *Exec) refLabel(t *TableRef) string {
 		return "subquery " + t.DisplayName()
 	default:
 		if _, ok := x.Override[t.Name]; ok {
+			if x.Delta[t.Name] {
+				return fmt.Sprintf("scan %s (Δ frontier, no statistics)", t.DisplayName())
+			}
 			return fmt.Sprintf("scan %s (working table, no statistics)", t.DisplayName())
 		}
 		tab, err := x.Eng.Cat.Get(t.Name)

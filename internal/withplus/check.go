@@ -138,6 +138,46 @@ func refTables(s *sql.SelectStmt, name string) bool {
 	return false
 }
 
+// FrontierReason decides, for one recursive branch, whether semi-naive
+// evaluation may rewrite it to read the Δ frontier instead of the full
+// recursive relation. It returns "" when the rewrite is sound, else the
+// reason for falling back to full evaluation (surfaced in Trace.BranchModes).
+//
+// The rewrite is sound exactly for linear, monotone accumulation: every new
+// row derivable from R_k but not from R_{k-1} must be derivable from some row
+// of Δ_k = R_k − R_{k-1}. A single occurrence of R in a branch free of
+// non-monotone constructs guarantees that — Q(R_{k-1} ∪ Δ_k) = Q(R_{k-1}) ∪
+// Q(Δ_k) for linear Q, and Q(R_{k-1}) was already appended by the previous
+// iteration. Nonlinear branches (two occurrences) can pair an old row with a
+// new one, which Δ alone cannot produce; union-by-update branches rewrite
+// the whole vector each step; negation, aggregation, and LIMIT are not
+// monotone in R.
+func FrontierReason(w *sql.WithStmt, i int) string {
+	rec := w.RecName
+	br := w.Branches[i]
+	if i > 0 && w.Ops[i-1] == sql.WithUnionByUpdate {
+		return "union by update rewrites the whole vector each iteration"
+	}
+	for _, def := range br.Computed {
+		if sql.CountTableRefs(def.Query, rec) > 0 {
+			return fmt.Sprintf("recursion reaches %s through computed-by relation %s", rec, def.Name)
+		}
+	}
+	if n := sql.CountTableRefs(br.Query, rec); n != 1 {
+		return fmt.Sprintf("nonlinear recursion (%d references to %s)", n, rec)
+	}
+	if br.Query.UsesNegation(rec) {
+		return fmt.Sprintf("%s appears under negation", rec)
+	}
+	if br.Query.HasAggregatesDeep() {
+		return "aggregation over the recursive branch is not frontier-distributive"
+	}
+	if br.Query.HasLimitDeep() {
+		return "limit is not monotone"
+	}
+	return ""
+}
+
 // buildDatalog encodes the WITH+ statement as the XY Datalog program of
 // Theorem 5.1's second proof step: per iteration, computed-by relations and
 // the recursive branch results live at stage s(T), while references to the

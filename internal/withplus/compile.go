@@ -25,6 +25,17 @@ type Trace struct {
 	// CYCLE clause warns about (Table 1, category E). The semi-naive
 	// evaluation drops such tuples, so the recursion still terminates.
 	CycleDetected bool
+	// DeltaEnabled reports that at least one recursive branch was rewritten
+	// to read the Δ frontier working table instead of the full recursive
+	// relation (delta-driven semi-naive evaluation).
+	DeltaEnabled bool
+	// BranchModes records, per recursive branch, whether it runs against
+	// the Δ frontier or falls back to full evaluation — and why (e.g.
+	// "Q2: Δ frontier", "Q3: full evaluation (nonlinear recursion ...)").
+	BranchModes []string
+	// DeltaRows is aligned with IterRows: the number of rows each branch
+	// evaluation actually changed (appended or updated) in that step.
+	DeltaRows []int
 }
 
 // Program is a checked, compiled WITH+ statement bound to an engine.
@@ -37,6 +48,21 @@ type Program struct {
 	trace     *Trace
 	changed   bool // did the last iteration change R?
 	recursive []bool
+
+	// Delta-driven semi-naive state. branchDelta marks the recursive
+	// branches statically proven safe to read the Δ frontier (see
+	// FrontierReason); when any branch qualifies, deltaTab names the Δ
+	// working table refreshed once per iteration from pending — the union
+	// of the changed rows every branch produced this iteration. recSet is
+	// the seeded distinct-set over R that makes the append-side Difference
+	// O(Δ) instead of O(|R|) per iteration; deltaSums accumulates per-branch
+	// changed rows for the EXPLAIN ANALYZE plan annotation.
+	branchDelta []bool
+	anyDelta    bool
+	deltaTab    string
+	recSet      *ra.TupleSet
+	pending     *relation.Relation
+	deltaSums   []int64
 
 	// analyze mode (RunAnalyzed): every compiled SELECT runs through
 	// sql.Exec.RunAnalyzed and its annotated plan is merged into the
@@ -75,8 +101,45 @@ func PrepareStmt(eng *engine.Engine, w *sql.WithStmt) (*Program, error) {
 	for i, br := range w.Branches {
 		p.recursive[i] = branchReferencesRec(br, w.RecName)
 	}
+	p.planFrontier()
 	p.Proc = p.buildProc()
 	return p, nil
+}
+
+// planFrontier decides, per recursive branch, whether semi-naive evaluation
+// may read the Δ frontier (FrontierReason) and records the decision — and
+// the fallback reason when not — in Trace.BranchModes.
+func (p *Program) planFrontier() {
+	w := p.With
+	p.branchDelta = make([]bool, len(w.Branches))
+	p.deltaSums = make([]int64, len(w.Branches))
+	deltaTab := w.RecName + "__delta"
+	for i := range w.Branches {
+		if !p.recursive[i] {
+			continue
+		}
+		reason := FrontierReason(w, i)
+		switch {
+		case reason != "":
+			p.trace.BranchModes = append(p.trace.BranchModes,
+				fmt.Sprintf("Q%d: full evaluation (%s)", i+1, reason))
+		case p.eng.DisableDelta:
+			p.trace.BranchModes = append(p.trace.BranchModes,
+				fmt.Sprintf("Q%d: full evaluation (delta evaluation disabled)", i+1))
+		case p.eng.Cat.Has(deltaTab):
+			p.trace.BranchModes = append(p.trace.BranchModes,
+				fmt.Sprintf("Q%d: full evaluation (Δ working table %s collides with an existing table)", i+1, deltaTab))
+		default:
+			p.branchDelta[i] = true
+			p.anyDelta = true
+			p.trace.BranchModes = append(p.trace.BranchModes,
+				fmt.Sprintf("Q%d: Δ frontier", i+1))
+		}
+	}
+	if p.anyDelta {
+		p.deltaTab = deltaTab
+	}
+	p.trace.DeltaEnabled = p.anyDelta
 }
 
 // Run calls the compiled procedure and evaluates the final query.
@@ -163,6 +226,14 @@ func (p *Program) RunAnalyzed() (*relation.Relation, *Analysis, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	for i := range p.With.Branches {
+		if !p.recursive[i] {
+			continue
+		}
+		if plan, ok := p.plans[fmt.Sprintf("recursive subquery Q%d", i+1)]; ok {
+			plan.Extra = fmt.Sprintf("delta_rows=%d", p.deltaSums[i])
+		}
+	}
 	a := &Analysis{Proc: p.Proc, Stats: stats, Trace: p.trace, Dur: time.Since(t0)}
 	for _, k := range p.planOrder {
 		a.Sections = append(a.Sections, AnalysisSection{Title: k, Plan: p.plans[k]})
@@ -174,7 +245,7 @@ func (p *Program) RunAnalyzed() (*relation.Relation, *Analysis, error) {
 // run another statement with the same relation names.
 func (p *Program) Cleanup() {
 	for _, name := range p.eng.Cat.TempNames() {
-		if name == p.With.RecName || isComputedName(p.With, name) {
+		if name == p.With.RecName || name == p.deltaTab || isComputedName(p.With, name) {
 			_ = p.eng.Cat.Drop(name)
 		}
 	}
@@ -231,10 +302,37 @@ func (p *Program) buildProc() *psm.Proc {
 		}
 		i := i
 		br := br
+		marker := ""
+		if p.branchDelta[i] {
+			marker = " (Δ frontier)"
+		}
 		body = append(body, &psm.Do{
-			Label: fmt.Sprintf("evaluate recursive subquery Q%d and %s into %s", i+1, w.Ops[i-1], w.RecName),
+			Label: fmt.Sprintf("evaluate recursive subquery Q%d%s and %s into %s", i+1, marker, w.Ops[i-1], w.RecName),
 			Fn: func(ctx *psm.Ctx) error {
 				return p.stepBranch(ctx, i, br)
+			},
+		})
+	}
+	if p.anyDelta {
+		// Advance the frontier: Δ becomes exactly the rows this iteration
+		// added to R, so next iteration's rewritten branches probe only the
+		// new work. Runs before the exit test — when nothing changed the
+		// (empty) refresh is the loop's last write.
+		body = append(body, &psm.InsertSelect{
+			Table:    p.deltaTab,
+			Truncate: true,
+			Label:    fmt.Sprintf("new rows of %s this iteration (advance Δ frontier)", w.RecName),
+			Query: func(ctx *psm.Ctx) (*relation.Relation, error) {
+				d := p.pending
+				p.pending = nil
+				if d == nil {
+					cur, err := p.eng.Rel(w.RecName)
+					if err != nil {
+						return nil, err
+					}
+					d = &relation.Relation{Sch: cur.Sch}
+				}
+				return d, nil
 			},
 		})
 	}
@@ -310,7 +408,40 @@ func (p *Program) initRec(ctx *psm.Ctx) error {
 	if _, err := p.eng.EnsureTemp(w.RecName, sch); err != nil {
 		return err
 	}
-	return p.eng.StoreInto(w.RecName, acc)
+	if err := p.eng.StoreInto(w.RecName, acc); err != nil {
+		return err
+	}
+	// Seed the semi-naive machinery: the distinct-set over R makes the
+	// append-side Difference O(Δ), and Δ0 = R0 so the first iteration's
+	// rewritten branches see every initial row.
+	p.recSet = nil
+	p.pending = nil
+	for i := range p.deltaSums {
+		p.deltaSums[i] = 0
+	}
+	if !p.eng.DisableDelta && p.hasUnionRecursive() {
+		p.recSet = ra.NewTupleSet(acc)
+	}
+	if p.anyDelta {
+		if _, err := p.eng.EnsureTemp(p.deltaTab, sch); err != nil {
+			return err
+		}
+		if err := p.eng.StoreInto(p.deltaTab, acc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hasUnionRecursive reports whether any recursive branch accumulates by
+// union / union all (the only ops the seeded distinct-set accelerates).
+func (p *Program) hasUnionRecursive() bool {
+	for i := range p.With.Branches {
+		if p.recursive[i] && p.With.Ops[i-1] != sql.WithUnionByUpdate {
+			return true
+		}
+	}
+	return false
 }
 
 // evalComputed evaluates one computed-by definition, applying its declared
@@ -348,6 +479,21 @@ func (p *Program) stepBranch(ctx *psm.Ctx, i int, br sql.WithBranch) error {
 		return err
 	}
 	start := time.Now()
+	if p.branchDelta[i] {
+		// Frontier rewrite: bind the recursive relation's name to the Δ
+		// working table for this evaluation only, so every scan of R in the
+		// branch reads last iteration's new rows instead of all of R.
+		d, err := p.eng.Rel(p.deltaTab)
+		if err != nil {
+			return err
+		}
+		p.exec.Override[w.RecName] = d
+		p.exec.Delta[w.RecName] = true
+		defer func() {
+			delete(p.exec.Override, w.RecName)
+			delete(p.exec.Delta, w.RecName)
+		}()
+	}
 	q, err := p.runQuery(br.Query, fmt.Sprintf("recursive subquery Q%d", i+1))
 	if err != nil {
 		return err
@@ -358,14 +504,15 @@ func (p *Program) stepBranch(ctx *psm.Ctx, i int, br sql.WithBranch) error {
 		return err
 	}
 	changed := false
+	deltaRows := 0
 	switch w.Ops[i-1] {
 	case sql.WithUnionByUpdate:
-		prev := before.Clone()
+		// The engine's UBU reports the changed-row delta directly — no
+		// cloned previous image, no full-vector compare.
+		var ubuDelta *relation.Relation
 		if len(w.UBUCols) == 0 {
 			// Attribute-less form: replace R wholesale (DROP/ALTER).
-			if err := p.eng.UnionByUpdate(w.RecName, retag(q, before.Sch), nil, ra.UBUReplace); err != nil {
-				return err
-			}
+			ubuDelta, err = p.eng.UnionByUpdate(w.RecName, retag(q, before.Sch), nil, ra.UBUReplace)
 		} else {
 			keys := make([]int, len(w.UBUCols))
 			for ki, c := range w.UBUCols {
@@ -375,28 +522,41 @@ func (p *Program) stepBranch(ctx *psm.Ctx, i int, br sql.WithBranch) error {
 				}
 				keys[ki] = idx
 			}
-			if err := p.eng.UnionByUpdate(w.RecName, retag(q, before.Sch), keys, ra.UBUFullOuter); err != nil {
-				return err
-			}
+			ubuDelta, err = p.eng.UnionByUpdate(w.RecName, retag(q, before.Sch), keys, ra.UBUFullOuter)
 		}
-		after, err := p.eng.Rel(w.RecName)
 		if err != nil {
 			return err
 		}
-		changed = !after.Equal(prev)
+		deltaRows = ubuDelta.Len()
+		changed = deltaRows > 0
 	default:
 		// union / union all accumulate; the with+ implementation is
-		// semi-naive (Exp-C): only rows not already in R are appended.
+		// semi-naive (Exp-C): only rows not already in R are appended. The
+		// seeded distinct-set remembers R across iterations, so the
+		// Difference costs O(|dedup|) probes, not O(|R|) rebuild work.
 		dedup := ra.Distinct(retag(q, before.Sch))
-		delta := ra.Difference(dedup, before)
+		var delta *relation.Relation
+		if p.recSet != nil {
+			delta = p.recSet.DiffAdd(dedup)
+		} else {
+			delta = ra.Difference(dedup, before)
+		}
 		if delta.Len() < dedup.Len() {
 			p.trace.CycleDetected = true
 		}
+		deltaRows = delta.Len()
 		if delta.Len() > 0 {
 			if err := p.eng.AppendInto(w.RecName, delta); err != nil {
 				return err
 			}
 			changed = true
+			if p.anyDelta {
+				if p.pending == nil {
+					p.pending = delta
+				} else {
+					p.pending = ra.UnionAll(p.pending, delta)
+				}
+			}
 		}
 	}
 	if changed {
@@ -409,6 +569,8 @@ func (p *Program) stepBranch(ctx *psm.Ctx, i int, br sql.WithBranch) error {
 	p.trace.Iterations++
 	p.trace.IterTimes = append(p.trace.IterTimes, time.Since(start))
 	p.trace.IterRows = append(p.trace.IterRows, cur.Len())
+	p.trace.DeltaRows = append(p.trace.DeltaRows, deltaRows)
+	p.deltaSums[i] += int64(deltaRows)
 	return nil
 }
 

@@ -1,0 +1,375 @@
+package withplus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/algos"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// These tests pin the delta-driven semi-naive evaluation: for every WITH+
+// query in the algorithm library, frontier evaluation (default) and full
+// re-evaluation (DisableDelta) must reach the same fixpoint on all three
+// engine profiles; branches that cannot soundly read the Δ frontier must
+// provably fall back with the reason recorded in the trace.
+
+// multiset renders a relation as a sorted bag of tuple strings, so results
+// can be compared across evaluation modes regardless of row order.
+func multiset(r *relation.Relation) []string {
+	out := make([]string, 0, r.Len())
+	for _, tu := range r.Tuples {
+		var b strings.Builder
+		for i, v := range tu {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			fmt.Fprintf(&b, "%v", v)
+		}
+		out = append(out, b.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalMultiset(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// deltaCase is one algorithm query plus its data loader.
+type deltaCase struct {
+	name  string
+	query string
+	load  func(t *testing.T, eng *engine.Engine)
+}
+
+func deltaCases() []deltaCase {
+	dir := graph.Generate(graph.GenSpec{N: 24, M: 60, Directed: true, Skew: 2.0, Seed: 71, NumLabels: 4})
+	dag := graph.GenerateDAG(24, 70, 72)
+	und := graph.Generate(graph.GenSpec{N: 30, M: 140, Directed: false, Skew: 2.2, Seed: 73})
+	loadDir := func(t *testing.T, eng *engine.Engine) { loadGraphDB(t, eng, dir) }
+	return []deltaCase{
+		{"TC", algos.TCSQL(0), loadDir},
+		{"TC-depth", algos.TCSQL(3), loadDir},
+		{"PR", algos.PageRankSQL(dir.N, 8, 0.85), loadDir},
+		{"PR-fig3", algos.PageRankFig3SQL(dir.N, 8, 0.85), loadDir},
+		{"TopoSort", algos.TopoSortSQL(), func(t *testing.T, eng *engine.Engine) { loadGraphDB(t, eng, dag) }},
+		{"HITS", algos.HITSSQL(6), loadDir},
+		{"SSSP", algos.SSSPSQL(0), loadDir},
+		{"WCC", algos.WCCSQL(), func(t *testing.T, eng *engine.Engine) { loadGraphDB(t, eng, dir.Symmetrize()) }},
+		{"BFS", algos.BFSSQL(0), loadDir},
+		{"LP", algos.LPSQL(8), func(t *testing.T, eng *engine.Engine) {
+			loadGraphDB(t, eng, dir)
+			labels := relation.New(schema.Schema{
+				{Name: "ID", Type: value.KindInt}, {Name: "lbl", Type: value.KindInt},
+			})
+			for i := 0; i < dir.N; i++ {
+				labels.AppendVals(value.Int(int64(i)), value.Int(int64(dir.Labels[i])))
+			}
+			if _, err := eng.LoadBase("VL", labels); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"KCore", algos.KCoreSQL(5), func(t *testing.T, eng *engine.Engine) { loadGraphDB(t, eng, und) }},
+		{"KS", algos.KSSQL(4), func(t *testing.T, eng *engine.Engine) {
+			loadGraphDB(t, eng, dir)
+			initRel := relation.New(schema.Schema{
+				{Name: "ID", Type: value.KindInt},
+				{Name: "b0", Type: value.KindInt},
+				{Name: "b1", Type: value.KindInt},
+				{Name: "b2", Type: value.KindInt},
+			})
+			for i := 0; i < dir.N; i++ {
+				row := relation.Tuple{value.Int(int64(i)), value.Int(0), value.Int(0), value.Int(0)}
+				for qi, q := range []int32{0, 1, 2} {
+					if dir.Labels[i] == q {
+						row[qi+1] = value.Int(1)
+					}
+				}
+				initRel.Append(row)
+			}
+			if _, err := eng.LoadBase("KInit", initRel); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+}
+
+// TestDeltaVsFullAllAlgos runs every algorithm query under frontier
+// evaluation and full re-evaluation on each profile and compares the final
+// relations as multisets. Iteration counts are NOT compared: with several
+// recursive branches, full evaluation sees sibling rows one iteration
+// earlier than delta evaluation, so the two modes may need a different
+// number of loop passes to reach the (identical) fixpoint.
+func TestDeltaVsFullAllAlgos(t *testing.T) {
+	profs := []engine.Profile{engine.OracleLike(), engine.DB2Like(), engine.PostgresLike(true)}
+	for _, c := range deltaCases() {
+		for _, prof := range profs {
+			t.Run(c.name+"/"+prof.Name, func(t *testing.T) {
+				run := func(disable bool) ([]string, *Trace) {
+					eng := engine.New(prof)
+					eng.DisableDelta = disable
+					c.load(t, eng)
+					out, tr, err := Run(eng, c.query)
+					if err != nil {
+						t.Fatalf("disable=%v: %v", disable, err)
+					}
+					return multiset(out), tr
+				}
+				gotDelta, trDelta := run(false)
+				gotFull, trFull := run(true)
+				if trFull.DeltaEnabled {
+					t.Error("DisableDelta run still reports DeltaEnabled")
+				}
+				if !equalMultiset(gotDelta, gotFull) {
+					t.Fatalf("delta (%d rows, enabled=%v) and full (%d rows) fixpoints differ",
+						len(gotDelta), trDelta.DeltaEnabled, len(gotFull))
+				}
+			})
+		}
+	}
+}
+
+// TestFrontierModeTC pins the rewrite actually firing: transitive closure
+// is linear accumulation, so its recursive branch reads the Δ frontier and
+// the trace carries per-iteration delta rows.
+func TestFrontierModeTC(t *testing.T) {
+	g := cycleGraph(12)
+	eng := engine.New(engine.OracleLike())
+	loadGraphDB(t, eng, g)
+	out, tr, err := Run(eng, algos.TCSQL(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("empty closure")
+	}
+	if !tr.DeltaEnabled {
+		t.Fatal("TC should run with the frontier rewrite enabled")
+	}
+	found := false
+	for _, m := range tr.BranchModes {
+		if strings.Contains(m, "Δ frontier") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no Δ-frontier branch in modes %v", tr.BranchModes)
+	}
+	if len(tr.DeltaRows) != tr.Iterations {
+		t.Fatalf("DeltaRows has %d entries for %d iterations", len(tr.DeltaRows), tr.Iterations)
+	}
+	total := 0
+	for _, d := range tr.DeltaRows {
+		total += d
+	}
+	// Every appended row is counted exactly once across the iterations
+	// (the initial rows are seeded, not derived).
+	if got, _ := eng.Rel("E"); total != out.Len()-got.Len() {
+		t.Errorf("delta rows sum to %d, want %d", total, out.Len()-got.Len())
+	}
+}
+
+// TestDisableDeltaReportsMode pins the -nodelta baseline's trace: the
+// branch is rewritable, but the engine knob forces full evaluation.
+func TestDisableDeltaReportsMode(t *testing.T) {
+	eng := engine.New(engine.OracleLike())
+	eng.DisableDelta = true
+	loadGraphDB(t, eng, cycleGraph(8))
+	_, tr, err := Run(eng, algos.TCSQL(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DeltaEnabled {
+		t.Error("DisableDelta run reports DeltaEnabled")
+	}
+	found := false
+	for _, m := range tr.BranchModes {
+		if strings.Contains(m, "delta evaluation disabled") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected disabled-mode reason in %v", tr.BranchModes)
+	}
+}
+
+// TestNonlinearRecursionFallsBack: a branch with two references to the
+// recursive relation cannot read the Δ frontier (an old row may pair with
+// a new one); it must run in full-evaluation mode with the reason traced,
+// and still compute the correct closure.
+func TestNonlinearRecursionFallsBack(t *testing.T) {
+	nonlinear := `
+with TC(F, T) as (
+  (select F, T from E)
+  union all
+  (select a.F, b.T from TC a, TC b where a.T = b.F))
+select F, T from TC`
+	g := cycleGraph(10)
+	eng := engine.New(engine.OracleLike())
+	loadGraphDB(t, eng, g)
+	out, tr, err := Run(eng, nonlinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DeltaEnabled {
+		t.Error("nonlinear recursion must not enable the frontier rewrite")
+	}
+	found := false
+	for _, m := range tr.BranchModes {
+		if strings.Contains(m, "nonlinear recursion (2 references to TC)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected nonlinear fallback reason in %v", tr.BranchModes)
+	}
+	// The nonlinear form computes the same closure as the linear one.
+	eng2 := engine.New(engine.OracleLike())
+	loadGraphDB(t, eng2, g)
+	want, _, err := Run(eng2, algos.TCSQL(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalMultiset(multiset(out), multiset(want)) {
+		t.Fatalf("nonlinear closure has %d rows, linear %d", out.Len(), want.Len())
+	}
+}
+
+// TestComputedByRecursionFallsBack: recursion reached through computed-by
+// relations (TopoSort's mutual-recursion encoding) is not linear in the
+// branch query itself, so it must fall back to full evaluation.
+func TestComputedByRecursionFallsBack(t *testing.T) {
+	eng := engine.New(engine.OracleLike())
+	loadGraphDB(t, eng, graph.GenerateDAG(20, 55, 74))
+	_, tr, err := Run(eng, algos.TopoSortSQL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DeltaEnabled {
+		t.Error("computed-by recursion must not enable the frontier rewrite")
+	}
+	found := false
+	for _, m := range tr.BranchModes {
+		if strings.Contains(m, "through computed-by relation") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected computed-by fallback reason in %v", tr.BranchModes)
+	}
+}
+
+// TestFrontierReasonTable exercises the static classifier directly on the
+// remaining non-monotone constructs (negation, aggregation, limit).
+func TestFrontierReasonTable(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"ubu",
+			"with R(a) as ((select F from E) union by update a (select R.a from R, E where R.a = E.F)) select a from R",
+			"union by update"},
+		{"negation",
+			"with R(a) as ((select F from E) union all (select E.T from E where E.T not in select a from R)) select a from R",
+			"appears under negation"},
+		{"aggregate",
+			"with R(a) as ((select F from E) union all (select max(E.T) from R, E where R.a = E.F)) select a from R",
+			"not frontier-distributive"},
+		{"limit",
+			"with R(a) as ((select F from E) union all (select E.T from R, E where R.a = E.F limit 5)) select a from R",
+			"limit is not monotone"},
+		{"linear",
+			"with R(a) as ((select F from E) union all (select E.T from R, E where R.a = E.F)) select a from R",
+			""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w, err := sql.ParseWith(c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The recursive branch is always the second one in these forms.
+			got := FrontierReason(w, 1)
+			if c.want == "" {
+				if got != "" {
+					t.Fatalf("want rewritable, got reason %q", got)
+				}
+				return
+			}
+			if !strings.Contains(got, c.want) {
+				t.Fatalf("reason %q does not mention %q", got, c.want)
+			}
+		})
+	}
+}
+
+// FuzzDeltaVsFull cross-checks frontier evaluation against full
+// re-evaluation on arbitrary WITH+ texts: whenever both modes execute
+// successfully, they must agree on the final relation.
+func FuzzDeltaVsFull(f *testing.F) {
+	seeds := []string{
+		"with TC(F, T) as ((select F, T from E) union all (select TC.F, E.T from TC, E where TC.T = E.F) maxrecursion 3) select F, T from TC",
+		"with R(a) as ((select F from E) union all (select E.T from R, E where R.a = E.F)) select a from R",
+		"with R(a) as ((select F from E) union all (select a.a from R a, R b where a.a = b.a) maxrecursion 2) select a from R",
+		"with P(ID, W) as ((select ID, 0.0 from V) union by update ID (select E.T, sum(W * ew) from P, E where P.ID = E.F group by E.T) maxrecursion 3) select ID from P",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	g := cycleGraph(6)
+	f.Fuzz(func(t *testing.T, input string) {
+		w, err := sql.ParseWith(input)
+		if err != nil {
+			return
+		}
+		// Clamp runaway recursion so the fuzzer spends time on variety.
+		if w.MaxRec == 0 || w.MaxRec > 6 {
+			w.MaxRec = 6
+		}
+		run := func(disable bool) ([]string, error) {
+			eng := engine.New(engine.OracleLike())
+			eng.DisableDelta = disable
+			if _, err := eng.LoadBase("E", g.EdgeRelation()); err != nil {
+				return nil, err
+			}
+			if _, err := eng.LoadBase("V", g.NodeRelation(nil)); err != nil {
+				return nil, err
+			}
+			p, err := PrepareStmt(eng, w)
+			if err != nil {
+				return nil, err
+			}
+			defer p.Cleanup()
+			out, _, err := p.Run()
+			if err != nil {
+				return nil, err
+			}
+			return multiset(out), nil
+		}
+		gotDelta, errDelta := run(false)
+		gotFull, errFull := run(true)
+		if errDelta != nil || errFull != nil {
+			// Agreement is only required when both modes complete.
+			return
+		}
+		if !equalMultiset(gotDelta, gotFull) {
+			t.Fatalf("delta and full fixpoints differ on %q: %d vs %d rows",
+				input, len(gotDelta), len(gotFull))
+		}
+	})
+}

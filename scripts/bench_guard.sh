@@ -81,3 +81,79 @@ if failures:
 print(f"bench guard: {len(base)} baseline cells within {reg_x}x, "
       f"observer overhead within {ovh_x}x")
 EOF
+
+# -- Delta gate ------------------------------------------------------------
+#
+# Runs the delta experiment twice — semi-naive frontier evaluation on
+# (default) and off (-nodelta) — and checks three invariants:
+#
+#   1. Differential correctness: both modes reach the same fixpoint
+#      (rows_final and iterations identical per cell).
+#   2. Speedup: on the oracle and db2 profiles the frontier evaluation is
+#      at least DELTA_SPEEDUP_X faster end-to-end.
+#   3. Incremental index maintenance: delta-on runs perform zero build-side
+#      index rebuilds during the accumulation iterations (index_builds <= 1
+#      per run), and the deterministic counters match the committed
+#      BENCH_delta_on.json baseline exactly.
+
+DELTA_SPEEDUP_X="${DELTA_SPEEDUP_X:-2.0}"
+
+echo "== bench guard: delta experiment, frontier evaluation on"
+go run ./cmd/bench -exp delta -json > "$tmp/delta_on.json"
+
+echo "== bench guard: delta experiment, -nodelta baseline"
+go run ./cmd/bench -exp delta -nodelta -json > "$tmp/delta_off.json"
+
+python3 - "$tmp/delta_on.json" "$tmp/delta_off.json" BENCH_delta_on.json "$DELTA_SPEEDUP_X" <<'EOF'
+import json, sys
+
+on_path, off_path, base_path, speedup_x = sys.argv[1:5]
+speedup_x = float(speedup_x)
+
+def index(path):
+    with open(path) as f:
+        return {(r["name"], r["profile"]): r for r in json.load(f)}
+
+on, off, base = index(on_path), index(off_path), index(base_path)
+failures = []
+
+for key, o in sorted(on.items()):
+    f = off.get(key)
+    if f is None:
+        failures.append(f"{key}: missing from -nodelta run")
+        continue
+    if not o["delta"] or f["delta"]:
+        failures.append(f"{key}: delta flags wrong (on={o['delta']} off={f['delta']})")
+    # Differential correctness: same fixpoint, same iteration count.
+    for c in ("rows_final", "iterations"):
+        if o[c] != f[c]:
+            failures.append(f"{key}: {c} diverged: delta {o[c]} != full {f[c]}")
+    # Zero build-side index rebuilds during accumulation iterations.
+    if o["index_builds"] > 1:
+        failures.append(f"{key}: delta run rebuilt indexes {o['index_builds']} times, want <= 1")
+    # Speedup on the profiles the acceptance criterion names.
+    if key[1] in ("oracle", "db2") and f["ms"] < o["ms"] * speedup_x:
+        failures.append(
+            f"{key}: frontier speedup {f['ms']:.1f}/{o['ms']:.1f} = "
+            f"{f['ms']/max(o['ms'],1e-9):.2f}x under {speedup_x}x")
+
+for key, b in sorted(base.items()):
+    o = on.get(key)
+    if o is None:
+        failures.append(f"{key}: missing from delta-on run")
+        continue
+    for c in ("joins", "index_builds", "index_cache_hits",
+              "tuples_materialized", "iterations", "rows_final",
+              "delta_rows_total"):
+        if o[c] != b[c]:
+            failures.append(f"{key}: counter {c} drifted from baseline: {o[c]} != {b[c]}")
+
+if failures:
+    print("delta guard FAILED:")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+
+print(f"delta guard: {len(on)} cells, fixpoints identical, "
+      f"oracle/db2 speedup >= {speedup_x}x, zero index rebuilds")
+EOF

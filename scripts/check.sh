@@ -27,10 +27,14 @@ go test ./...
 echo "== go test -race (parallel executor + concurrent-session packages)"
 go test -race ./internal/ra/... ./internal/engine/... ./graphsql
 
+echo "== delta smoke (frontier vs full differential + fallback proofs)"
+go test ./internal/withplus -run 'DeltaVsFull|FallsBack|FrontierMode|FrontierReason' -count=1
+go test ./internal/withplus -run=NONE -fuzz FuzzDeltaVsFull -fuzztime 5s
+
 echo "== chaos gate (fault sweep, recovery, cancellation, fuzz smoke)"
 ./scripts/chaos.sh
 
-echo "== bench guard (perf baseline + observability overhead)"
+echo "== bench guard (perf baseline + observability overhead + delta A/B)"
 ./scripts/bench_guard.sh
 
 echo "check: OK"
