@@ -1,6 +1,6 @@
 # Convenience targets; see README.md.
 
-.PHONY: build test check chaos bench
+.PHONY: build test check chaos soak bench
 
 build:
 	go build ./...
@@ -17,6 +17,11 @@ check:
 # and cancellation tests under -race, plus a short fuzz smoke.
 chaos:
 	./scripts/chaos.sh
+
+# soak runs a time-bounded random concurrent DDL + recursion mix over one
+# shared engine under -race; SOAK_MS sets the budget (default 5000).
+soak:
+	./scripts/soak.sh
 
 bench:
 	go test -bench . -benchtime 1x .

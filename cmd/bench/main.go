@@ -8,7 +8,7 @@
 //	bench -exp fig11 -seed 7
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 fig7 fig8
-// fig10 fig11 fig12 fig13 resources opcounts perf delta.
+// fig10 fig11 fig12 fig13 resources opcounts perf delta concurrent.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment to run (all, table1..table7, fig7, fig8, fig10..fig13, resources, opcounts, perf, delta)")
+		which    = flag.String("exp", "all", "experiment to run (all, table1..table7, fig7, fig8, fig10..fig13, resources, opcounts, perf, delta, concurrent)")
 		nodes    = flag.Int("nodes", 0, "scaled dataset node count (0 = default)")
 		seed     = flag.Int64("seed", 1, "dataset generator seed")
 		iters    = flag.Int("iters", 0, "fixed iterations for PR/HITS/LP (0 = paper's 15)")
@@ -148,6 +148,21 @@ func run(which string, cfg exp.Config) error {
 				return nil
 			}
 			return show(exp.DeltaTable(recs), nil)
+		}},
+		{"concurrent", func() error {
+			recs, err := exp.ConcurrentRecords(cfg)
+			if err != nil {
+				return err
+			}
+			if asJSON {
+				s, err := exp.ConcurrentJSON(recs)
+				if err != nil {
+					return err
+				}
+				fmt.Println(s)
+				return nil
+			}
+			return show(exp.ConcurrentTable(recs), nil)
 		}},
 	}
 	for _, s := range steps {

@@ -1,0 +1,70 @@
+// Command gsqld serves the line protocol over one shared engine: every
+// connection becomes a pool session with snapshot-isolated reads and a
+// private temp namespace, so many clients can run queries, WITH+
+// recursions, and graph algorithms concurrently.
+//
+// Usage:
+//
+//	gsqld -addr :7433 -profile oracle -dataset WV -nodes 1000
+//	gsqld -addr 127.0.0.1:0          # pick a free port, printed on stdout
+//
+// The dataset is generated at startup and loaded as base tables E(F,T,ew)
+// and V(ID,vw); `run <code>` statements execute the named algorithm on the
+// same graph. Protocol: one request per line (`ping`, `query <sql>`,
+// `run <algo>`, `tables`, `stats`, `quit`); responses are `ok <n>` plus n
+// payload lines and a `.` terminator, or a single `err <msg>` line. See
+// internal/server for the grammar and cmd/loadgen for a driver.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/graphsql"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7433", "listen address (host:port; port 0 picks a free port)")
+		profile = flag.String("profile", "oracle", "engine profile: oracle, db2, postgres, postgres-noindex")
+		dsCode  = flag.String("dataset", "WV", "built-in dataset code (YT LJ OK WV TT WG WT GP PC)")
+		nodes   = flag.Int("nodes", 1000, "scaled dataset node count")
+		seed    = flag.Int64("seed", 1, "dataset generator seed")
+		idle    = flag.Duration("idle", 0, "close connections idle longer than this (0 = never)")
+	)
+	flag.Parse()
+	if err := serve(*addr, *profile, *dsCode, *nodes, *seed, *idle); err != nil {
+		fmt.Fprintln(os.Stderr, "gsqld:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr, profile, dsCode string, nodes int, seed int64, idle time.Duration) error {
+	pool, err := graphsql.OpenPool(profile)
+	if err != nil {
+		return err
+	}
+	g, err := graphsql.Generate(dsCode, nodes, seed)
+	if err != nil {
+		return err
+	}
+	if err := pool.DB().LoadEdges("E", g); err != nil {
+		return err
+	}
+	if err := pool.DB().LoadNodes("V", g, nil); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := server.New(pool, g)
+	srv.IdleTimeout = idle
+	fmt.Printf("gsqld: serving %s-%d (seed %d, profile %s) on %s\n",
+		dsCode, nodes, seed, profile, ln.Addr())
+	return srv.Serve(ln)
+}

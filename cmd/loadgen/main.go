@@ -1,0 +1,140 @@
+// Command loadgen drives a running gsqld with M concurrent clients, each
+// issuing K statements over its own connection, and reports aggregate
+// throughput. The statement streams are the same deterministic read-mostly
+// mix as the in-process concurrent experiment (cmd/bench -exp concurrent):
+// point selects on E with a small WITH+ recursion every eighth statement.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:7433 -clients 8 -statements 200
+//	loadgen -addr 127.0.0.1:7433 -clients 4 -think 2ms -nodes 1000
+//
+// -nodes must match the node count the server was started with so the
+// generated point lookups stay on-table.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7433", "gsqld address")
+		clients = flag.Int("clients", 8, "number of concurrent client connections (M)")
+		stmts   = flag.Int("statements", 200, "statements per client (K)")
+		nodes   = flag.Int("nodes", 1000, "node count of the served dataset (bounds generated ids)")
+		think   = flag.Duration("think", 0, "pause between statements per client (closed-loop think time)")
+	)
+	flag.Parse()
+	if err := run(*addr, *clients, *stmts, *nodes, *think); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// statement returns client c's i-th request line — the same LCG stream as
+// internal/exp's concurrent experiment, so server-side results are
+// reproducible run to run.
+func statement(c, i, n int) string {
+	x := uint64(c)*2654435761 + uint64(i)*6364136223846793005 + 1442695040888963407
+	id := (x >> 16) % uint64(n)
+	if i%8 == 7 {
+		return fmt.Sprintf("query with R(T) as ((select T from E where F = %d) union all "+
+			"(select E.T from R, E where R.T = E.F) maxrecursion 2) select T from R", id)
+	}
+	return fmt.Sprintf("query select T, ew from E where F = %d", id)
+}
+
+type clientResult struct {
+	rows int
+	errs int
+}
+
+// drive runs one client's full stream on its own connection.
+func drive(addr string, c, k, n int, think time.Duration) (clientResult, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return clientResult{}, err
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	var res clientResult
+	for i := 0; i < k; i++ {
+		if _, err := fmt.Fprintf(conn, "%s\n", statement(c, i, n)); err != nil {
+			return res, err
+		}
+		status, err := r.ReadString('\n')
+		if err != nil {
+			return res, err
+		}
+		status = strings.TrimSuffix(status, "\n")
+		if strings.HasPrefix(status, "err ") {
+			res.errs++
+			continue
+		}
+		cnt, err := strconv.Atoi(strings.TrimPrefix(status, "ok "))
+		if err != nil {
+			return res, fmt.Errorf("bad status line %q", status)
+		}
+		for j := 0; j < cnt; j++ {
+			if _, err := r.ReadString('\n'); err != nil {
+				return res, err
+			}
+		}
+		term, err := r.ReadString('\n')
+		if err != nil {
+			return res, err
+		}
+		if term != ".\n" {
+			return res, fmt.Errorf("bad terminator %q", term)
+		}
+		res.rows += cnt
+		if think > 0 {
+			time.Sleep(think)
+		}
+	}
+	fmt.Fprintln(conn, "quit")
+	return res, nil
+}
+
+func run(addr string, m, k, n int, think time.Duration) error {
+	results := make([]clientResult, m)
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < m; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c], errs[c] = drive(addr, c, k, n, think)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var rows, statementErrs int
+	for c := 0; c < m; c++ {
+		if errs[c] != nil {
+			return fmt.Errorf("client %d: %w", c, errs[c])
+		}
+		rows += results[c].rows
+		statementErrs += results[c].errs
+	}
+	total := m * k
+	fmt.Printf("loadgen: %d clients x %d statements = %d total, %d rows, %d errors\n",
+		m, k, total, rows, statementErrs)
+	fmt.Printf("loadgen: %.1f ms wall, %.0f stmt/s\n",
+		float64(elapsed.Microseconds())/1000.0, float64(total)/elapsed.Seconds())
+	if statementErrs > 0 {
+		return fmt.Errorf("%d statements answered err", statementErrs)
+	}
+	return nil
+}

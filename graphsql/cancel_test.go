@@ -153,3 +153,82 @@ func TestSetLimitsMemBudget(t *testing.T) {
 		t.Fatalf("want a bytes BudgetError, got %#v", err)
 	}
 }
+
+// TestGovernorIsolationAcrossSessions is the concurrency guarantee for the
+// governor: two sessions of one shared engine run the same statement with
+// different Limits; the starved one dies with ErrBudgetExceeded while the
+// generous one completes, unaffected and uncorrupted.
+func TestGovernorIsolationAcrossSessions(t *testing.T) {
+	pool, err := OpenPool("oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodes = 1000
+	g := MustGenerate("WV", nodes, 1)
+	if err := pool.DB().LoadEdges("E", g); err != nil {
+		t.Fatal(err)
+	}
+	deg := g.OutDegrees()
+	norm := graph.New(g.N, g.Directed)
+	for _, e := range g.Edges {
+		norm.AddEdge(e.F, e.T, 1/float64(deg[e.F]))
+	}
+	if err := pool.DB().LoadRelation("En", norm.EdgeRelation()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DB().LoadNodes("V", g, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	starved, generous := pool.Session(), pool.Session()
+	defer starved.Close()
+	defer generous.Close()
+	starved.SetLimits(Limits{MaxBytes: 1 << 10})
+
+	q := algos.PageRankSQL(nodes, 10, 0.85)
+	type outcome struct {
+		rows int
+		err  error
+	}
+	ch := make(chan outcome, 2)
+	run := func(db *DB) {
+		res, err := db.Query(context.Background(), q)
+		n := 0
+		if err == nil {
+			n = res.Rows.Len()
+		}
+		ch <- outcome{n, err}
+	}
+	go run(starved)
+	go run(generous)
+	a, b := <-ch, <-ch
+	killed, survived := a, b
+	if killed.err == nil {
+		killed, survived = b, a
+	}
+	if !errors.Is(killed.err, ErrBudgetExceeded) {
+		t.Fatalf("starved session: want ErrBudgetExceeded, got %v", killed.err)
+	}
+	var be *govern.BudgetError
+	if !errors.As(killed.err, &be) || be.Resource != "bytes" {
+		t.Fatalf("want a bytes BudgetError, got %#v", killed.err)
+	}
+	if survived.err != nil {
+		t.Fatalf("generous session was collateral damage: %v", survived.err)
+	}
+	if survived.rows != nodes {
+		t.Fatalf("generous session returned %d rows, want %d", survived.rows, nodes)
+	}
+
+	// The budget kill must not poison either session or the shared tables.
+	if tn := starved.TempTables(); len(tn) != 0 {
+		t.Fatalf("starved session leaked temps: %v", tn)
+	}
+	starved.SetLimits(Limits{})
+	for _, db := range []*DB{starved, generous} {
+		out, err := db.Query(context.Background(), "select count(*) from V")
+		if err != nil || out.Rows.Len() != 1 {
+			t.Fatalf("session unusable after neighbor's budget kill: %v", err)
+		}
+	}
+}

@@ -71,13 +71,16 @@ type (
 	CountersSnapshot = engine.CountersSnapshot
 )
 
-// DB is one embedded RDBMS instance. Statements are serialized: one DB
-// runs one statement at a time, so per-statement options (limits,
-// observers) never leak across concurrent callers. Open several DBs for
-// parallel query streams.
+// DB is one embedded RDBMS instance, or one session of a shared Pool.
+// Statements on a single DB are serialized: one DB runs one statement at a
+// time, so per-statement options (limits, observers) never leak across
+// concurrent callers. For parallel query streams over shared data, open a
+// Pool and give each client its own Session; for fully independent
+// databases, Open several DBs.
 type DB struct {
-	mu  sync.Mutex
-	eng *engine.Engine
+	mu     sync.Mutex
+	eng    *engine.Engine
+	closed bool
 }
 
 // Open creates a database with the named profile: "oracle", "db2",
@@ -85,15 +88,24 @@ type DB struct {
 // "postgres-noindex". An unknown name returns an error matching
 // ErrUnknownProfile.
 func Open(profile string) (*DB, error) {
+	eng, err := profileEngine(profile)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// profileEngine maps a profile name to a fresh root engine.
+func profileEngine(profile string) (*engine.Engine, error) {
 	switch strings.ToLower(profile) {
 	case "oracle":
-		return &DB{eng: engine.New(engine.OracleLike())}, nil
+		return engine.New(engine.OracleLike()), nil
 	case "db2":
-		return &DB{eng: engine.New(engine.DB2Like())}, nil
+		return engine.New(engine.DB2Like()), nil
 	case "postgres", "postgresql":
-		return &DB{eng: engine.New(engine.PostgresLike(true))}, nil
+		return engine.New(engine.PostgresLike(true)), nil
 	case "postgres-noindex":
-		return &DB{eng: engine.New(engine.PostgresLike(false))}, nil
+		return engine.New(engine.PostgresLike(false)), nil
 	}
 	return nil, fmt.Errorf("%w: %q (want oracle, db2, postgres, postgres-noindex)", ErrUnknownProfile, profile)
 }
@@ -186,9 +198,11 @@ func (db *DB) Tables() []TableInfo {
 	for _, n := range db.eng.Cat.Names() {
 		t, err := db.eng.Cat.Get(n)
 		if err != nil {
+			// Dropped between listing and lookup by a concurrent session.
 			continue
 		}
-		out = append(out, TableInfo{Name: n, Schema: t.Sch.String(), Rows: t.Rows(), Temp: t.Temp})
+		name, sch, rows, temp := t.Info()
+		out = append(out, TableInfo{Name: name, Schema: sch, Rows: rows, Temp: temp})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -1,0 +1,112 @@
+package graphsql
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSoakConcurrentSessions is the time-bounded soak gate (make soak): N
+// sessions hammer one shared engine with a random mix of temp-table DDL
+// churn, inserts, point reads, and WITH+ recursions until the SOAK_MS
+// deadline. It asserts nothing about timing — only that every statement
+// succeeds and nothing races, panics, or leaks across session namespaces.
+// Skipped unless SOAK_MS is set; scripts/soak.sh runs it under -race.
+func TestSoakConcurrentSessions(t *testing.T) {
+	ms, err := strconv.Atoi(os.Getenv("SOAK_MS"))
+	if err != nil || ms <= 0 {
+		t.Skip("set SOAK_MS (milliseconds) to run the soak; see scripts/soak.sh")
+	}
+	deadline := time.Now().Add(time.Duration(ms) * time.Millisecond)
+
+	pool, err := OpenPool("oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustGenerate("WV", 150, 3)
+	if err := pool.DB().LoadEdges("E", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DB().LoadNodes("V", g, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errCh <- soakWorker(pool, w, deadline)
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// soakWorker runs one session's random statement loop until the deadline.
+// The LCG makes each worker's sequence deterministic, so a soak failure
+// reproduces under the same SOAK_MS budget and worker id.
+func soakWorker(pool *Pool, w int, deadline time.Time) error {
+	s := pool.Session()
+	defer s.Close()
+	ctx := context.Background()
+	rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	run := func(stmt string) error {
+		if _, err := s.Query(ctx, stmt); err != nil {
+			return fmt.Errorf("session %s: %q: %w", s.SessionID(), stmt, err)
+		}
+		return nil
+	}
+	hasTemp := false
+	for i := 0; time.Now().Before(deadline); i++ {
+		var err error
+		switch next(6) {
+		case 0: // DDL churn: drop and recreate this session's temp.
+			if hasTemp {
+				err = run("drop table scratch")
+				hasTemp = false
+			} else {
+				err = run("create temporary table scratch (x int, y int)")
+				hasTemp = true
+			}
+		case 1: // Insert into the temp (create it first if needed).
+			if !hasTemp {
+				if err = run("create temporary table scratch (x int, y int)"); err != nil {
+					break
+				}
+				hasTemp = true
+			}
+			err = run(fmt.Sprintf("insert into scratch values (%d, %d)", next(1000), i))
+		case 2: // Read back through the session overlay.
+			if hasTemp {
+				err = run("select x, y from scratch")
+			} else {
+				err = run(fmt.Sprintf("select T from E where F = %d", next(150)))
+			}
+		case 3, 4: // Shared-table point read under concurrent DDL elsewhere.
+			err = run(fmt.Sprintf("select T, ew from E where F = %d", next(150)))
+		case 5: // WITH+ recursion: per-session working tables under churn.
+			err = run(fmt.Sprintf("with R(T) as ((select T from E where F = %d) union all "+
+				"(select E.T from R, E where R.T = E.F) maxrecursion 2) select T from R", next(150)))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -160,13 +160,12 @@ func tbl(algo, name string) string { return algo + "_" + name }
 // loadEdges loads E(F,T,ew) as a base table (symmetrized when sym is set),
 // reusing the table if the same algorithm already loaded it.
 func loadEdges(e *engine.Engine, g *graph.Graph, name string, sym bool) error {
-	if e.Cat.Has(name) {
-		return nil
-	}
-	src := g
-	if sym {
-		src = g.Symmetrize()
-	}
-	_, err := e.LoadBase(name, src.EdgeRelation())
+	_, err := e.EnsureBase(name, func() *relation.Relation {
+		src := g
+		if sym {
+			src = g.Symmetrize()
+		}
+		return src.EdgeRelation()
+	})
 	return err
 }

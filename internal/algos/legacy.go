@@ -71,7 +71,7 @@ func RunLegacyPageRank(e *engine.Engine, g *graph.Graph, p Params) (*Result, err
 		joined := ra.EquiJoin(working, eRel, ra.EquiJoinSpec{
 			LeftCols: []int{0}, RightCols: []int{0}, Algo: e.Prof.TempJoin,
 		})
-		e.Cnt.Joins++
+		e.CountJoin()
 		// PARTITION BY E.T: every joined row is kept, annotated with the
 		// partition sum — the mechanism that blows up the tuple count.
 		part, err := ra.PartitionBy(joined, []int{4}, ra.Sum(
@@ -178,7 +178,7 @@ func RunLegacyTC(e *engine.Engine, g *graph.Graph, p Params, dedup bool) (*Resul
 		joined := ra.EquiJoin(working, eRel, ra.EquiJoinSpec{
 			LeftCols: []int{1}, RightCols: []int{0}, Algo: e.Prof.TempJoin,
 		})
-		e.Cnt.Joins++
+		e.CountJoin()
 		next := ra.ProjectCols(joined, []int{0, 3})
 		next.Sch = pairSch
 		if dedup {

@@ -15,18 +15,17 @@ import (
 // loadNormalizedEdges loads E with ew = 1/outdeg(F) — the stochastic matrix
 // PageRank-family algorithms multiply by.
 func loadNormalizedEdges(e *engine.Engine, g *graph.Graph, name string) error {
-	if e.Cat.Has(name) {
-		return nil
-	}
-	deg := g.OutDegrees()
-	r := relation.NewWithCap(graph.EdgeSchema(), g.M())
-	for _, ed := range g.Edges {
-		r.Tuples = append(r.Tuples, relation.Tuple{
-			value.Int(int64(ed.F)), value.Int(int64(ed.T)),
-			value.Float(1.0 / float64(deg[ed.F])),
-		})
-	}
-	_, err := e.LoadBase(name, r)
+	_, err := e.EnsureBase(name, func() *relation.Relation {
+		deg := g.OutDegrees()
+		r := relation.NewWithCap(graph.EdgeSchema(), g.M())
+		for _, ed := range g.Edges {
+			r.Tuples = append(r.Tuples, relation.Tuple{
+				value.Int(int64(ed.F)), value.Int(int64(ed.T)),
+				value.Float(1.0 / float64(deg[ed.F])),
+			})
+		}
+		return r
+	})
 	return err
 }
 
@@ -102,16 +101,15 @@ func RunRWR(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 	if err := loadNormalizedEdges(e, g, eTab); err != nil {
 		return nil, err
 	}
-	if !e.Cat.Has(pTab) {
-		restart := g.NodeRelation(func(i int) float64 {
+	if _, err := e.EnsureBase(pTab, func() *relation.Relation {
+		return g.NodeRelation(func(i int) float64 {
 			if int32(i) == p.Source {
 				return 1
 			}
 			return 0
 		})
-		if _, err := e.LoadBase(pTab, restart); err != nil {
-			return nil, err
-		}
+	}); err != nil {
+		return nil, err
 	}
 	pRel, err := e.Rel(pTab)
 	if err != nil {
@@ -326,7 +324,7 @@ func RunSimRank(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 		p.C = 0.2 // SimRank customarily uses a small decay toward I
 	}
 	eTab, kTab := tbl("sr", "E"), tbl("sr", "K")
-	if !e.Cat.Has(eTab) {
+	if _, err := e.EnsureBase(eTab, func() *relation.Relation {
 		indeg := g.InDegrees()
 		r := relation.NewWithCap(graph.EdgeSchema(), g.M())
 		for _, ed := range g.Edges {
@@ -335,9 +333,9 @@ func RunSimRank(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 				value.Float(1.0 / float64(indeg[ed.T])),
 			})
 		}
-		if _, err := e.LoadBase(eTab, r); err != nil {
-			return nil, err
-		}
+		return r
+	}); err != nil {
+		return nil, err
 	}
 	ident := relation.New(graph.EdgeSchema())
 	for i := 0; i < g.N; i++ {

@@ -29,10 +29,10 @@ func RunTopoSort(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 	if err := loadEdges(e, g, eTab, false); err != nil {
 		return nil, err
 	}
-	if !e.Cat.Has(vTab) {
-		if _, err := e.LoadBase(vTab, g.NodeRelation(nil)); err != nil {
-			return nil, err
-		}
+	if _, err := e.EnsureBase(vTab, func() *relation.Relation {
+		return g.NodeRelation(nil)
+	}); err != nil {
+		return nil, err
 	}
 	et, err := e.Cat.Get(eTab)
 	if err != nil {
@@ -503,16 +503,15 @@ func RunMNM(e *engine.Engine, g *graph.Graph, p Params) (*Result, error) {
 	if err := loadEdges(e, g, eTab, true); err != nil {
 		return nil, err
 	}
-	if !e.Cat.Has(wTab) {
-		weights := g.NodeRelation(func(i int) float64 {
+	if _, err := e.EnsureBase(wTab, func() *relation.Relation {
+		return g.NodeRelation(func(i int) float64 {
 			if g.NodeW != nil {
 				return g.NodeW[i]
 			}
 			return float64(i)
 		})
-		if _, err := e.LoadBase(wTab, weights); err != nil {
-			return nil, err
-		}
+	}); err != nil {
+		return nil, err
 	}
 	aliveTab, e1Tab, chTab := tbl("mnm", "A"), tbl("mnm", "E1"), tbl("mnm", "Ch")
 	idSch := schema.Schema{{Name: "ID", Type: value.KindInt}}

@@ -2,12 +2,25 @@
 // substrate, with the per-table statistics whose presence or absence drives
 // plan choice in the engine (the paper attributes PostgreSQL's plans on
 // temporary tables to missing statistics).
+//
+// Concurrency model. A Catalog is safe for concurrent use by many sessions:
+// the name→table map is guarded by a read/write mutex, and every Table
+// guards its storage, caches, and statistics with its own mutex. Session
+// catalogs (see Session) overlay a private temp-table namespace on a shared
+// root, so concurrent recursions never collide on working-table names.
+// Cached materializations are copy-on-write for shared (non-temp) tables:
+// a write bumps the version and drops the caches, while readers holding the
+// old materialization (pinned in a View) keep a consistent image. Temporary
+// tables — private to one session by construction — keep the cheaper
+// in-place append path that incremental index maintenance relies on.
 package catalog
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 	"repro/internal/schema"
@@ -22,7 +35,11 @@ type Stats struct {
 }
 
 // Table is a named relation with physical storage, optional sorted and hash
-// indexes, and statistics.
+// indexes, and statistics. All methods are safe for concurrent use; the
+// exported fields other than Stats are immutable after creation (Name moves
+// only through Catalog.RenameTable, which is restricted to session-private
+// tables in concurrent settings). Read Stats through Analyzed/Info when the
+// table may be shared.
 type Table struct {
 	Name  string
 	Sch   schema.Schema
@@ -31,15 +48,28 @@ type Table struct {
 	Kind  StoreKind
 	Stats Stats
 
+	// mu guards version, the caches below, Stats, and all Store mutations.
+	// Scans run under it too, so a paged store's page walk never interleaves
+	// with a writer reusing the encode scratch buffer.
+	mu sync.Mutex
+
+	// owner is the catalog the table was created in — the root for base
+	// tables, a session overlay for that session's temps. The engine uses it
+	// to decide whether a read needs snapshot pinning (shared table) or can
+	// serve the live cache (session-private).
+	owner *Catalog
+
 	// version counts writes: every write (insert, truncate, rename) bumps
 	// it. Cached access structures are keyed on it, so an index built for
 	// one version is never served after the table changes — the mechanism
 	// behind iteration-aware join execution: a hash index built on an
 	// immutable base table survives every iteration of a WITH+ loop.
-	// Appends are special-cased (noteAppend): the version moves forward
-	// *with* the materialization cache, hash indexes, and column dicts, so
-	// accumulation-only recursion never rebuilds its build sides;
-	// destructive writes drop everything (invalidate).
+	// Appends to temporary tables are special-cased (noteAppend): the
+	// version moves forward *with* the materialization cache, hash indexes,
+	// and column dicts, so accumulation-only recursion never rebuilds its
+	// build sides. Appends to shared base tables and destructive writes
+	// drop everything (invalidate) — copy-on-write from the point of view
+	// of concurrent readers, whose pinned caches survive untouched.
 	version uint64
 
 	indexes     map[string]*relation.SortedIndex
@@ -77,12 +107,97 @@ type Catalog struct {
 	FaultPlan *storage.FaultPlan
 	Retry     storage.RetryPolicy
 
+	mu     sync.RWMutex
 	tables map[string]*Table
+
+	// parent is the shared root for session overlay catalogs (nil on the
+	// root itself). Temp tables live in the overlay; base tables and lookups
+	// that miss locally fall through to the root.
+	parent *Catalog
+
+	// named write locks, kept on the root so every session contends on the
+	// same lock for the same table name (idempotent base loads, union-by-
+	// update read-modify-write cycles).
+	lmu   sync.Mutex
+	locks map[string]*sync.Mutex
+
+	// sessions counts live session overlays (root only, atomic). While it is
+	// zero no snapshot can be pinned anywhere, so appends to shared tables may
+	// extend cached structures in place — the exact single-session fast path;
+	// once a session exists, shared-table appends switch to copy-on-write
+	// invalidation. Session() increments it, Release() decrements.
+	sessions int64
 }
 
 // New returns an empty catalog over the given pool and log.
 func New(pool *storage.BufferPool, wal *storage.WAL) *Catalog {
 	return &Catalog{Pool: pool, WAL: wal, tables: make(map[string]*Table)}
+}
+
+// Session returns a per-session overlay catalog: temp tables created through
+// it are private to the session (shadowing nothing — creation fails on a
+// name the root already holds), while base tables and name lookups fall
+// through to the shared root. The overlay inherits the root's pool, WAL,
+// and fault-injection configuration at call time.
+func (c *Catalog) Session() *Catalog {
+	root := c.root()
+	atomic.AddInt64(&root.sessions, 1)
+	return &Catalog{
+		Pool:      root.Pool,
+		WAL:       root.WAL,
+		FaultPlan: root.FaultPlan,
+		Retry:     root.Retry,
+		tables:    make(map[string]*Table),
+		parent:    root,
+	}
+}
+
+// Release retires a session overlay: the root's live-session count drops,
+// and when it reaches zero shared-table appends regain the in-place
+// extension fast path. Call exactly once per Session(); no-op on the root.
+func (c *Catalog) Release() {
+	if c.parent != nil {
+		atomic.AddInt64(&c.parent.sessions, -1)
+	}
+}
+
+// concurrent reports whether any session overlay is live on this catalog's
+// root — the moment shared-table caches must stop being mutated in place.
+func (c *Catalog) concurrent() bool {
+	return atomic.LoadInt64(&c.root().sessions) > 0
+}
+
+func (c *Catalog) root() *Catalog {
+	if c.parent != nil {
+		return c.parent
+	}
+	return c
+}
+
+// Owns reports whether t was created in this catalog (as opposed to a
+// parent it is shared with). Session engines use it to decide between live
+// reads of their private temps and snapshot-pinned reads of shared tables.
+func (c *Catalog) Owns(t *Table) bool { return t != nil && t.owner == c }
+
+// LockTable acquires a process-wide named lock for the table name, shared
+// across every session of the same root catalog, and returns the unlock
+// func. It serializes multi-step read-modify-write cycles that per-table
+// mutexes cannot make atomic: idempotent base-table loads (check-then-load)
+// and union-by-update rewrites of shared tables.
+func (c *Catalog) LockTable(name string) func() {
+	r := c.root()
+	r.lmu.Lock()
+	if r.locks == nil {
+		r.locks = make(map[string]*sync.Mutex)
+	}
+	m, ok := r.locks[name]
+	if !ok {
+		m = &sync.Mutex{}
+		r.locks[name] = m
+	}
+	r.lmu.Unlock()
+	m.Lock()
+	return m.Unlock
 }
 
 // StoreKind selects the physical storage for a new table.
@@ -100,10 +215,20 @@ const (
 	StorePagedLogged
 )
 
-// Create adds a table. It fails if the name exists.
+// Create adds a table. It fails if the name exists. On a session overlay,
+// non-temp tables are created in the shared root; temp tables are created
+// locally and must not shadow a root name.
 func (c *Catalog) Create(name string, sch schema.Schema, kind StoreKind, temp bool) (*Table, error) {
+	if c.parent != nil && !temp {
+		return c.parent.Create(name, sch, kind, temp)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.tables[name]; ok {
 		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if c.parent != nil && c.parent.Has(name) {
+		return nil, fmt.Errorf("catalog: table %q already exists (shared)", name)
 	}
 	var store storage.TupleStore
 	switch kind {
@@ -125,37 +250,60 @@ func (c *Catalog) Create(name string, sch schema.Schema, kind StoreKind, temp bo
 	if kind == StorePagedLogged && c.WAL != nil {
 		c.WAL.AppendCreate(name, storage.EncodeSchema(nil, sch))
 	}
-	t := &Table{Name: name, Sch: sch, Store: store, Temp: temp, Kind: kind}
+	t := &Table{Name: name, Sch: sch, Store: store, Temp: temp, Kind: kind, owner: c}
 	c.tables[name] = t
 	return t, nil
 }
 
-// Get returns the named table.
+// Get returns the named table, consulting the session overlay first and
+// falling through to the shared root.
 func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
 	t, ok := c.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("catalog: no table %q", name)
+	c.mu.RUnlock()
+	if ok {
+		return t, nil
 	}
-	return t, nil
+	if c.parent != nil {
+		return c.parent.Get(name)
+	}
+	return nil, fmt.Errorf("catalog: no table %q", name)
 }
 
-// Has reports whether the table exists.
+// Has reports whether the table exists in this catalog or its root.
 func (c *Catalog) Has(name string) bool {
+	c.mu.RLock()
 	_, ok := c.tables[name]
-	return ok
+	c.mu.RUnlock()
+	if ok {
+		return true
+	}
+	if c.parent != nil {
+		return c.parent.Has(name)
+	}
+	return false
 }
 
 // Drop removes a table, releasing its storage. The table leaves the catalog
 // even when releasing storage fails — an injected fault mid-procedure must
 // not strand a half-dropped table in the namespace (the chaos sweep asserts
-// no temp-table debris survives a failed run).
+// no temp-table debris survives a failed run). On a session overlay, a name
+// not held locally is dropped from the shared root.
 func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
 	t, ok := c.tables[name]
 	if !ok {
+		c.mu.Unlock()
+		if c.parent != nil {
+			return c.parent.Drop(name)
+		}
 		return fmt.Errorf("catalog: no table %q", name)
 	}
 	delete(c.tables, name)
+	c.mu.Unlock()
+	t.mu.Lock()
 	err := t.Store.Truncate()
+	t.mu.Unlock()
 	if t.Kind == StorePagedLogged && c.WAL != nil {
 		c.WAL.AppendDrop(name)
 	}
@@ -163,56 +311,88 @@ func (c *Catalog) Drop(name string) error {
 }
 
 // RenameTable renames old to new (the ALTER TABLE ... RENAME used by the
-// drop/alter union-by-update implementation). The new name must be free.
-// The rename invalidates the table's caches: the materialization cache holds
-// a schema qualified with the old name, and any column references resolved
-// against it would silently keep resolving post-rename.
+// drop/alter union-by-update implementation). The new name must be free in
+// the catalog holding the table. The rename invalidates the table's caches:
+// the materialization cache holds a schema qualified with the old name, and
+// any column references resolved against it would silently keep resolving
+// post-rename. Renaming a table shared between sessions is not
+// concurrency-safe (readers identify pinned views by name); the engine only
+// renames session-private temps.
 func (c *Catalog) RenameTable(old, new string) error {
+	c.mu.Lock()
 	t, ok := c.tables[old]
 	if !ok {
+		c.mu.Unlock()
+		if c.parent != nil {
+			return c.parent.RenameTable(old, new)
+		}
 		return fmt.Errorf("catalog: no table %q", old)
 	}
 	if _, ok := c.tables[new]; ok {
+		c.mu.Unlock()
 		return fmt.Errorf("catalog: table %q already exists", new)
 	}
 	delete(c.tables, old)
+	t.mu.Lock()
 	t.Name = new
-	t.invalidate()
+	t.invalidateLocked()
+	t.mu.Unlock()
 	c.tables[new] = t
+	c.mu.Unlock()
 	return nil
 }
 
-// Names returns all table names, sorted.
+// Names returns all table names visible to this catalog (overlay plus
+// root), sorted.
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		out = append(out, n)
+	}
+	c.mu.RUnlock()
+	if c.parent != nil {
+		out = append(out, c.parent.Names()...)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// TempNames returns the names of temporary tables, sorted.
+// TempNames returns the names of this catalog's own temporary tables,
+// sorted. On a session overlay that is exactly the session's private temps:
+// cleanup paths iterate it, and must not reach across sessions.
 func (c *Catalog) TempNames() []string {
+	c.mu.RLock()
 	var out []string
 	for n, t := range c.tables {
 		if t.Temp {
 			out = append(out, n)
 		}
 	}
+	c.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
-// TempBytes reports the storage footprint of all temporary tables — the
-// resident-memory figure the resource governor checks against MaxBytes at
-// statement checkpoints.
+// TempBytes reports the storage footprint of this catalog's own temporary
+// tables — the resident-memory figure the resource governor checks against
+// MaxBytes at statement checkpoints. Session overlays account only their
+// private temps, which is what makes the governor's memory budget
+// per-session.
 func (c *Catalog) TempBytes() int64 {
-	var n int64
+	c.mu.RLock()
+	tabs := make([]*Table, 0, len(c.tables))
 	for _, t := range c.tables {
 		if t.Temp {
-			n += t.Store.BytesUsed()
+			tabs = append(tabs, t)
 		}
+	}
+	c.mu.RUnlock()
+	var n int64
+	for _, t := range tabs {
+		t.mu.Lock()
+		n += t.Store.BytesUsed()
+		t.mu.Unlock()
 	}
 	return n
 }
@@ -222,11 +402,13 @@ func (t *Table) Insert(tu relation.Tuple) error {
 	if len(tu) != t.Sch.Arity() {
 		return fmt.Errorf("catalog: insert arity %d into %s%s", len(tu), t.Name, t.Sch)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.Store.Insert(tu); err != nil {
-		t.invalidate()
+		t.invalidateLocked()
 		return err
 	}
-	t.noteAppend([]relation.Tuple{tu})
+	t.noteAppendLocked([]relation.Tuple{tu})
 	t.Stats.Rows++
 	return nil
 }
@@ -236,34 +418,48 @@ func (t *Table) InsertRelation(r *relation.Relation) error {
 	if !r.Sch.UnionCompatible(t.Sch) {
 		return fmt.Errorf("catalog: insert arity %d into %s%s", r.Sch.Arity(), t.Name, t.Sch)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, tu := range r.Tuples {
 		if err := t.Store.Insert(tu.Clone()); err != nil {
 			// The store may hold a prefix of r; drop the caches rather than
 			// leave them diverged from storage.
-			t.invalidate()
+			t.invalidateLocked()
 			return err
 		}
 	}
-	t.noteAppend(r.Tuples)
+	t.noteAppendLocked(r.Tuples)
 	t.Stats.Rows += r.Len()
 	return nil
 }
 
-// noteAppend is the append-aware alternative to invalidate: the version still
-// bumps (appends are writes — statistics go stale, sorted indexes drop), but
-// the materialization cache, hash indexes, and column dictionaries move
-// forward *with* the version instead of being discarded. The cache header is
+// noteAppendLocked is the append-aware alternative to invalidate for
+// session-private temporary tables: the version still bumps (appends are
+// writes — statistics go stale, sorted indexes drop), but the
+// materialization cache, hash indexes, and column dictionaries move forward
+// *with* the version instead of being discarded. The cache header is
 // extended in place so every reader holding it — including cached hash
 // indexes, whose validity the join executor checks by identity against the
 // probe-time materialization — observes the appended rows without a rebuild.
 // This is what keeps build-side indexes alive across the accumulation-only
-// iterations of semi-naive recursion; destructive writes (truncate, rename)
-// keep the full invalidation.
-func (t *Table) noteAppend(tuples []relation.Tuple) {
-	if t.cache == nil {
-		// Nothing materialized since the last write, so no current-version
-		// access structure can exist either.
-		t.invalidate()
+// iterations of semi-naive recursion.
+//
+// Tables reachable by other sessions take the invalidation path instead once
+// any session overlay is live: their cached materialization and indexes may
+// be held by concurrent readers, so they are never mutated in place — the
+// write installs nothing and the next reader rebuilds at the new version,
+// while pinned views keep the old, internally consistent image
+// (copy-on-write). Session-overlay temps are private by construction and
+// always extend in place; with zero live sessions no snapshot can be pinned,
+// so every table does. Destructive writes (truncate, rename) invalidate for
+// every table kind.
+func (t *Table) noteAppendLocked(tuples []relation.Tuple) {
+	private := t.owner != nil && t.owner.parent != nil
+	if t.cache == nil || (!private && t.owner != nil && t.owner.concurrent()) {
+		// Nothing materialized since the last write (so no current-version
+		// access structure can exist), or the table is reachable by live
+		// sessions and in-place extension would race with their readers.
+		t.invalidateLocked()
 		return
 	}
 	t.version++
@@ -296,15 +492,25 @@ func (t *Table) noteAppend(tuples []relation.Tuple) {
 
 // Truncate removes all tuples and invalidates indexes and statistics.
 func (t *Table) Truncate() error {
-	t.invalidate()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.invalidateLocked()
 	t.Stats.Rows = 0
 	return t.Store.Truncate()
 }
 
 // Materialize scans the store into a relation qualified with the table
 // name. The result is cached until the next write; paged tables pay decode
-// cost on every (re)materialization.
+// cost on every (re)materialization. Callers must treat the result as
+// immutable: for shared tables it may be served concurrently to other
+// sessions.
 func (t *Table) Materialize() (*relation.Relation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.materializeLocked()
+}
+
+func (t *Table) materializeLocked() (*relation.Relation, error) {
 	if t.cache != nil {
 		return t.cache, nil
 	}
@@ -321,12 +527,35 @@ func (t *Table) Materialize() (*relation.Relation, error) {
 }
 
 // Rows returns the stored tuple count.
-func (t *Table) Rows() int { return t.Store.Len() }
+func (t *Table) Rows() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Store.Len()
+}
 
 // Analyze marks statistics as current (ANALYZE / RUNSTATS).
 func (t *Table) Analyze() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.Stats.Rows = t.Store.Len()
 	t.Stats.Analyzed = true
+}
+
+// Analyzed reports whether statistics are current, without racing a
+// concurrent Analyze or invalidation.
+func (t *Table) Analyzed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Stats.Analyzed
+}
+
+// Info returns the name, rendered schema, row count, and temp flag in one
+// locked read — the catalog-listing snapshot (e.g. graphsql.DB.Tables)
+// that must not race concurrent loads.
+func (t *Table) Info() (name, sch string, rows int, temp bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Name, t.Sch.String(), t.Store.Len(), t.Temp
 }
 
 func indexKey(cols []int) string {
@@ -342,30 +571,45 @@ func indexKey(cols []int) string {
 
 // EnsureIndex builds (or returns a cached) sorted index on the columns.
 func (t *Table) EnsureIndex(cols []int) (*relation.SortedIndex, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, _, err := t.ensureSortedIndexLocked(cols, t.version)
+	return idx, err
+}
+
+func (t *Table) ensureSortedIndexLocked(cols []int, ver uint64) (*relation.SortedIndex, bool, error) {
 	key := indexKey(cols)
-	if idx, ok := t.indexes[key]; ok {
-		return idx, nil
+	// The sorted-index map is dropped on every write, so presence implies
+	// the current version; the explicit check keeps View serving honest.
+	if idx, ok := t.indexes[key]; ok && t.version == ver {
+		return idx, true, nil
 	}
-	r, err := t.Materialize()
+	r, err := t.materializeLocked()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	idx := relation.BuildSortedIndex(r, cols)
 	if t.indexes == nil {
 		t.indexes = make(map[string]*relation.SortedIndex)
 	}
 	t.indexes[key] = idx
-	return idx, nil
+	return idx, false, nil
 }
 
 // Index returns a previously built index on cols, or nil.
 func (t *Table) Index(cols []int) *relation.SortedIndex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.indexes[indexKey(cols)]
 }
 
 // Version returns the table's write counter. It increases monotonically on
 // every content or identity change (insert, truncate, rename).
-func (t *Table) Version() uint64 { return t.version }
+func (t *Table) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
 
 // EnsureHashIndex returns a build-side hash index on cols, building it only
 // when no index for the current table version is cached. hit reports whether
@@ -374,11 +618,17 @@ func (t *Table) Version() uint64 { return t.version }
 // an iterative algorithm this makes the hash join's build phase run once per
 // table instead of once per iteration.
 func (t *Table) EnsureHashIndex(cols []int) (idx *relation.HashIndex, hit bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ensureHashIndexLocked(cols, t.version)
+}
+
+func (t *Table) ensureHashIndexLocked(cols []int, ver uint64) (*relation.HashIndex, bool, error) {
 	key := indexKey(cols)
-	if e, ok := t.hashIndexes[key]; ok && e.version == t.version {
+	if e, ok := t.hashIndexes[key]; ok && e.version == ver && t.version == ver {
 		return e.idx, true, nil
 	}
-	r, err := t.Materialize()
+	r, err := t.materializeLocked()
 	if err != nil {
 		return nil, false, err
 	}
@@ -393,6 +643,8 @@ func (t *Table) EnsureHashIndex(cols []int) (idx *relation.HashIndex, hit bool, 
 // HashIndex returns a previously built hash index on cols valid for the
 // current table version, or nil.
 func (t *Table) HashIndex(cols []int) *relation.HashIndex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if e, ok := t.hashIndexes[indexKey(cols)]; ok && e.version == t.version {
 		return e.idx
 	}
@@ -405,10 +657,16 @@ func (t *Table) HashIndex(cols []int) *relation.HashIndex {
 // the build side's group column, so like the hash index it is built once per
 // version of an immutable base table and reused by every iteration.
 func (t *Table) EnsureColumnDict(col int) (dict *relation.ColumnDict, hit bool, err error) {
-	if e, ok := t.dicts[col]; ok && e.version == t.version {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ensureColumnDictLocked(col, t.version)
+}
+
+func (t *Table) ensureColumnDictLocked(col int, ver uint64) (*relation.ColumnDict, bool, error) {
+	if e, ok := t.dicts[col]; ok && e.version == ver && t.version == ver {
 		return e.dict, true, nil
 	}
-	r, err := t.Materialize()
+	r, err := t.materializeLocked()
 	if err != nil {
 		return nil, false, err
 	}
@@ -423,13 +681,15 @@ func (t *Table) EnsureColumnDict(col int) (dict *relation.ColumnDict, hit bool, 
 // ColumnDict returns a previously built dictionary on col valid for the
 // current table version, or nil.
 func (t *Table) ColumnDict(col int) *relation.ColumnDict {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if e, ok := t.dicts[col]; ok && e.version == t.version {
 		return e.dict
 	}
 	return nil
 }
 
-func (t *Table) invalidate() {
+func (t *Table) invalidateLocked() {
 	t.version++
 	t.cache = nil
 	t.indexes = nil

@@ -37,6 +37,10 @@ type Counters struct {
 	// (the EquiJoin output feeding GroupBy, plain engine joins). The fused
 	// MV-/MM-join kernels contribute zero here — the point of fusion.
 	TuplesMaterialized int64
+	// Commits counts WAL commit markers requested by this engine. Session
+	// engines carry their own Counters, so the shared log's write traffic
+	// is attributed per session here even though the WAL itself is shared.
+	Commits int64
 }
 
 func (c *Counters) add(field *int64, n int64) { atomic.AddInt64(field, n) }
@@ -54,6 +58,7 @@ type CountersSnapshot struct {
 	IndexBuilds        int64 `json:"index_builds"`
 	IndexCacheHits     int64 `json:"index_cache_hits"`
 	TuplesMaterialized int64 `json:"tuples_materialized"`
+	Commits            int64 `json:"commits"`
 }
 
 // Snapshot reads every counter atomically.
@@ -67,6 +72,7 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		IndexBuilds:        atomic.LoadInt64(&c.IndexBuilds),
 		IndexCacheHits:     atomic.LoadInt64(&c.IndexCacheHits),
 		TuplesMaterialized: atomic.LoadInt64(&c.TuplesMaterialized),
+		Commits:            atomic.LoadInt64(&c.Commits),
 	}
 }
 
@@ -105,6 +111,20 @@ type Engine struct {
 	pool   *storage.BufferPool
 	wal    *storage.WAL
 	frames int
+
+	// session labels a per-session engine created by NewSession ("" on the
+	// root engine). Session engines share the root's catalog (through a
+	// per-session overlay), buffer pool, WAL, and disk, but carry their own
+	// counters, governor, observer, and limits — per-session accounting.
+	session string
+	// snap is the statement snapshot of a session engine's statement in
+	// flight: reads of shared (root-owned) tables pin a view per table at
+	// first touch. nil on root engines and between statements, making the
+	// single-session read path identical to the pre-session engine.
+	snap *catalog.Snapshot
+	// root points at the engine this session was created from (nil on the
+	// root itself).
+	root *Engine
 }
 
 // DefaultBufferFrames sizes the buffer pool; large enough that the working
@@ -152,11 +172,24 @@ func (e *Engine) BeginStatement(ctx context.Context) func() {
 	prev := e.gov
 	g := govern.New(ctx, e.Limits)
 	e.gov = g
+	prevSnap := e.snap
+	if e.session != "" && prevSnap == nil {
+		// Session engines read shared tables through a statement snapshot;
+		// nested statements (the PSM loop driver) share the outer pin so one
+		// top-level statement sees one version per table.
+		e.snap = catalog.NewSnapshot()
+	}
 	obs.Global.Counter("engine.statements").Inc()
+	if e.session != "" {
+		// Per-session label. Cardinality is bounded by the number of
+		// sessions actually opened, so keep labels to long-lived sessions.
+		obs.Global.Counter("engine.statements{session=" + e.session + "}").Inc()
+	}
 	start := time.Now()
 	return func() {
 		g.Close()
 		e.gov = prev
+		e.snap = prevSnap
 		obs.Global.Histogram("engine.statement_us").Observe(time.Since(start).Microseconds())
 	}
 }
@@ -220,8 +253,13 @@ func (e *Engine) CheckStatement() error {
 
 // Commit appends a commit marker delimiting the base-table mutations logged
 // so far — the boundary Recover replays to. Elided when nothing was logged
-// since the last marker, so temp-only statements stay free.
-func (e *Engine) Commit() { e.wal.AppendCommit() }
+// since the last marker, so temp-only statements stay free. The call is
+// charged to this engine's Commits counter, which on a session engine
+// attributes shared-WAL traffic per session.
+func (e *Engine) Commit() {
+	e.Cnt.add(&e.Cnt.Commits, 1)
+	e.wal.AppendCommit()
+}
 
 // CreateBase creates a logged, paged base table.
 func (e *Engine) CreateBase(name string, sch schema.Schema) (*catalog.Table, error) {
@@ -272,13 +310,67 @@ func (e *Engine) LoadBase(name string, r *relation.Relation) (t *catalog.Table, 
 	return t, nil
 }
 
-// Rel materializes the named table.
-func (e *Engine) Rel(name string) (*relation.Relation, error) {
+// view returns the engine's read view of t: on a session engine with a
+// statement in flight, reads of shared (root-owned) tables are pinned in
+// the statement snapshot; the session's own temps — and everything on a
+// root engine — serve the live table, preserving read-your-own-writes for
+// recursion working tables and the exact single-session fast path.
+func (e *Engine) view(t *catalog.Table) (*catalog.View, error) {
+	if e.snap != nil && !e.Cat.Owns(t) {
+		return e.snap.View(t)
+	}
+	return t.NewView()
+}
+
+// viewOf resolves a name to its read view.
+func (e *Engine) viewOf(name string) (*catalog.View, error) {
 	t, err := e.Cat.Get(name)
 	if err != nil {
 		return nil, err
 	}
-	return t.Materialize()
+	return e.view(t)
+}
+
+// snapForget drops the statement snapshot's pinned view of name (if any)
+// after this session wrote the table, so later reads in the same statement
+// see the session's own write.
+func (e *Engine) snapForget(name string) {
+	if e.snap != nil {
+		e.snap.Forget(name)
+	}
+}
+
+// Rel materializes the named table (snapshot-pinned on session engines).
+func (e *Engine) Rel(name string) (*relation.Relation, error) {
+	v, err := e.viewOf(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.Rel, nil
+}
+
+// RelAnalyzed materializes the named table and reports whether its
+// optimizer statistics are current, both from the same read view — the
+// resolution step of the SQL executor's FROM chain.
+func (e *Engine) RelAnalyzed(name string) (*relation.Relation, bool, error) {
+	v, err := e.viewOf(name)
+	if err != nil {
+		return nil, false, err
+	}
+	return v.Rel, v.Analyzed, nil
+}
+
+// EnsureBase returns the named base table, loading it from gen exactly once
+// even when many sessions race on the first use — the check-then-load made
+// atomic under the catalog's named lock. gen is only invoked by the loading
+// session.
+func (e *Engine) EnsureBase(name string, gen func() *relation.Relation) (*catalog.Table, error) {
+	unlock := e.Cat.LockTable(name)
+	defer unlock()
+	if e.Cat.Has(name) {
+		return e.Cat.Get(name)
+	}
+	return e.LoadBase(name, gen())
 }
 
 // StoreInto truncates the table and inserts r (the PSM "truncate + insert
@@ -290,6 +382,7 @@ func (e *Engine) StoreInto(name string, r *relation.Relation) (err error) {
 	if err != nil {
 		return err
 	}
+	e.snapForget(name)
 	if err := t.Truncate(); err != nil {
 		return err
 	}
@@ -309,6 +402,7 @@ func (e *Engine) AppendInto(name string, r *relation.Relation) (err error) {
 	if err != nil {
 		return err
 	}
+	e.snapForget(name)
 	e.Cnt.add(&e.Cnt.Inserts, int64(r.Len()))
 	if err := t.InsertRelation(r); err != nil {
 		return err
@@ -317,10 +411,12 @@ func (e *Engine) AppendInto(name string, r *relation.Relation) (err error) {
 	return nil
 }
 
-// ensureHashIndex serves a table's cached build-side hash index, charging
-// the build or the cache hit to the counters and reporting which happened.
-func (e *Engine) ensureHashIndex(t *catalog.Table, cols []int) (*relation.HashIndex, bool, error) {
-	idx, hit, err := t.EnsureHashIndex(cols)
+// ensureHashIndex serves a view's build-side hash index (the table's shared
+// version-keyed cache while the pinned version is current, a view-private
+// build afterwards), charging the build or the cache hit to the counters
+// and reporting which happened.
+func (e *Engine) ensureHashIndex(v *catalog.View, cols []int) (*relation.HashIndex, bool, error) {
+	idx, hit, err := v.EnsureHashIndex(cols)
 	if err != nil {
 		return nil, false, err
 	}
@@ -342,11 +438,11 @@ func (e *Engine) BuildSideHash(name string, cols []int) *relation.HashIndex {
 	if e.DisableFusion {
 		return nil
 	}
-	t, err := e.Cat.Get(name)
+	v, err := e.viewOf(name)
 	if err != nil {
 		return nil
 	}
-	idx, _, err := e.ensureHashIndex(t, cols)
+	idx, _, err := e.ensureHashIndex(v, cols)
 	if err != nil {
 		return nil
 	}
@@ -359,9 +455,9 @@ func (e *Engine) BuildSideHash(name string, cols []int) *relation.HashIndex {
 // the hash-join profiles (built once per table version, hit thereafter).
 // sp, when non-nil, is attached to the spec so the join loops record their
 // phase timings and index provenance into it.
-func (e *Engine) joinSpec(a, b *catalog.Table, aCols, bCols []int, sp *obs.Span) (ra.EquiJoinSpec, error) {
+func (e *Engine) joinSpec(a, b *catalog.View, aCols, bCols []int, sp *obs.Span) (ra.EquiJoinSpec, error) {
 	spec := ra.EquiJoinSpec{LeftCols: aCols, RightCols: bCols, Gov: e.gov, Span: sp}
-	if a.Stats.Analyzed && b.Stats.Analyzed {
+	if a.Analyzed && b.Analyzed {
 		spec.Algo = e.Prof.BaseJoin
 	} else {
 		spec.Algo = e.Prof.TempJoin
@@ -396,13 +492,17 @@ func (e *Engine) joinSpec(a, b *catalog.Table, aCols, bCols []int, sp *obs.Span)
 
 // ensureSortedIndex mirrors ensureHashIndex for the sorted (B+-tree
 // stand-in) index cache.
-func (e *Engine) ensureSortedIndex(t *catalog.Table, cols []int) (*relation.SortedIndex, error) {
-	if t.Index(cols) != nil {
-		e.Cnt.add(&e.Cnt.IndexCacheHits, 1)
-		return t.Index(cols), nil
+func (e *Engine) ensureSortedIndex(v *catalog.View, cols []int) (*relation.SortedIndex, error) {
+	idx, hit, err := v.EnsureSortedIndex(cols)
+	if err != nil {
+		return nil, err
 	}
-	e.Cnt.add(&e.Cnt.IndexBuilds, 1)
-	return t.EnsureIndex(cols)
+	if hit {
+		e.Cnt.add(&e.Cnt.IndexCacheHits, 1)
+	} else {
+		e.Cnt.add(&e.Cnt.IndexBuilds, 1)
+	}
+	return idx, nil
 }
 
 // Join computes the equi-join of two tables under the profile's plan. With
@@ -410,19 +510,20 @@ func (e *Engine) ensureSortedIndex(t *catalog.Table, cols []int) (*relation.Sort
 // workers over the shared build-side index.
 func (e *Engine) Join(a, b *catalog.Table, aCols, bCols []int) (out *relation.Relation, err error) {
 	defer govern.RecoverTo(&err)
-	ar, err := a.Materialize()
+	av, err := e.view(a)
 	if err != nil {
 		return nil, err
 	}
-	br, err := b.Materialize()
+	bv, err := e.view(b)
 	if err != nil {
 		return nil, err
 	}
+	ar, br := av.Rel, bv.Rel
 	var sp *obs.Span
 	if e.sink != nil {
-		sp = &obs.Span{Op: "join", Note: a.Name + " ⋈ " + b.Name, Start: time.Now()}
+		sp = &obs.Span{Op: "join", Note: av.Name + " ⋈ " + bv.Name, Start: time.Now()}
 	}
-	spec, err := e.joinSpec(a, b, aCols, bCols, sp)
+	spec, err := e.joinSpec(av, bv, aCols, bCols, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -462,29 +563,30 @@ func (e *Engine) ChargeMaterialized(r *relation.Relation) error {
 // straight into the group table without materializing the join.
 func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin, aKeep int, sr semiring.Semiring) (out *relation.Relation, err error) {
 	defer govern.RecoverTo(&err)
-	ar, err := a.Materialize()
+	av, err := e.view(a)
 	if err != nil {
 		return nil, err
 	}
-	cr, err := c.Materialize()
+	cv, err := e.view(c)
 	if err != nil {
 		return nil, err
 	}
+	ar, cr := av.Rel, cv.Rel
 	e.Cnt.add(&e.Cnt.Joins, 1)
 	e.Cnt.add(&e.Cnt.GroupBys, 1)
 	var sp *obs.Span
 	if e.sink != nil {
-		sp = &obs.Span{Op: "mv-join", Note: a.Name + " ⋈ " + c.Name, Start: time.Now()}
+		sp = &obs.Span{Op: "mv-join", Note: av.Name + " ⋈ " + cv.Name, Start: time.Now()}
 	}
-	if e.fusible(a, c) {
-		idx, hit, err := e.ensureHashIndex(a, []int{aJoin})
+	if e.fusible(av, cv) {
+		idx, hit, err := e.ensureHashIndex(av, []int{aJoin})
 		if err != nil {
 			return nil, err
 		}
 		// The group-column dictionary rides the same per-version cache as
 		// the index; it is an executor memo, not a user-visible index, so it
 		// is not charged to the IndexBuilds counter.
-		dict, _, err := a.EnsureColumnDict(aKeep)
+		dict, _, err := av.EnsureColumnDict(aKeep)
 		if err != nil {
 			return nil, err
 		}
@@ -502,7 +604,7 @@ func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin
 		}
 		return out, nil
 	}
-	spec, err := e.joinSpec(a, c, []int{aJoin}, []int{cc.ID}, sp)
+	spec, err := e.joinSpec(av, cv, []int{aJoin}, []int{cc.ID}, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -525,28 +627,29 @@ func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin
 // hash join's build/probe orientation.
 func (e *Engine) MMJoin(a, b *catalog.Table, ac, bc ra.MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring) (out *relation.Relation, err error) {
 	defer govern.RecoverTo(&err)
-	ar, err := a.Materialize()
+	av, err := e.view(a)
 	if err != nil {
 		return nil, err
 	}
-	br, err := b.Materialize()
+	bv, err := e.view(b)
 	if err != nil {
 		return nil, err
 	}
+	ar, br := av.Rel, bv.Rel
 	e.Cnt.add(&e.Cnt.Joins, 1)
 	e.Cnt.add(&e.Cnt.GroupBys, 1)
 	var sp *obs.Span
 	if e.sink != nil {
-		sp = &obs.Span{Op: "mm-join", Note: a.Name + " ⋈ " + b.Name, Start: time.Now()}
+		sp = &obs.Span{Op: "mm-join", Note: av.Name + " ⋈ " + bv.Name, Start: time.Now()}
 	}
-	if e.fusible(a, b) {
-		idxOnLeft := a.Stats.Analyzed && !b.Stats.Analyzed
+	if e.fusible(av, bv) {
+		idxOnLeft := av.Analyzed && !bv.Analyzed
 		var idx *relation.HashIndex
 		var hit bool
 		if idxOnLeft {
-			idx, hit, err = e.ensureHashIndex(a, []int{aJoin})
+			idx, hit, err = e.ensureHashIndex(av, []int{aJoin})
 		} else {
-			idx, hit, err = e.ensureHashIndex(b, []int{bJoin})
+			idx, hit, err = e.ensureHashIndex(bv, []int{bJoin})
 		}
 		if err != nil {
 			return nil, err
@@ -566,7 +669,7 @@ func (e *Engine) MMJoin(a, b *catalog.Table, ac, bc ra.MatCols, aJoin, aKeep, bJ
 		}
 		return out, nil
 	}
-	spec, err := e.joinSpec(a, b, []int{aJoin}, []int{bJoin}, sp)
+	spec, err := e.joinSpec(av, bv, []int{aJoin}, []int{bJoin}, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -586,11 +689,11 @@ func (e *Engine) MMJoin(a, b *catalog.Table, ac, bc ra.MatCols, aJoin, aKeep, bJ
 // join — the only plan the fused kernels implement. The sort-merge plans of
 // the PostgreSQL-like profile keep the materializing path so the paper's
 // plan-choice experiments (Fig. 10) still measure what they measured.
-func (e *Engine) fusible(a, b *catalog.Table) bool {
+func (e *Engine) fusible(a, b *catalog.View) bool {
 	if e.DisableFusion {
 		return false
 	}
-	if a.Stats.Analyzed && b.Stats.Analyzed {
+	if a.Analyzed && b.Analyzed {
 		return e.Prof.BaseJoin == ra.HashJoin
 	}
 	return e.Prof.TempJoin == ra.HashJoin
@@ -600,18 +703,19 @@ func (e *Engine) fusible(a, b *catalog.Table) bool {
 // implementation.
 func (e *Engine) AntiJoin(r, s *catalog.Table, rCols, sCols []int, impl ra.AntiJoinImpl) (out *relation.Relation, err error) {
 	defer govern.RecoverTo(&err)
-	rr, err := r.Materialize()
+	rv, err := e.view(r)
 	if err != nil {
 		return nil, err
 	}
-	sr, err := s.Materialize()
+	sv, err := e.view(s)
 	if err != nil {
 		return nil, err
 	}
+	rr, sr := rv.Rel, sv.Rel
 	e.Cnt.add(&e.Cnt.AntiJoins, 1)
 	var sp *obs.Span
 	if e.sink != nil {
-		sp = &obs.Span{Op: "anti-join", Note: r.Name + " ▷ " + s.Name + " (" + impl.String() + ")", Start: time.Now()}
+		sp = &obs.Span{Op: "anti-join", Note: rv.Name + " ▷ " + sv.Name + " (" + impl.String() + ")", Start: time.Now()}
 	}
 	out = ra.AntiJoin(rr, sr, rCols, sCols, impl, e.gov)
 	if sp != nil {
@@ -640,6 +744,20 @@ func (e *Engine) UnionByUpdate(target string, s *relation.Relation, keyCols []in
 	t, err := e.Cat.Get(target)
 	if err != nil {
 		return nil, err
+	}
+	if !e.Cat.Owns(t) {
+		// UBU is read-modify-write; concurrent sessions updating one shared
+		// table serialize on its named lock so neither works from a stale
+		// image. Session-private temps (the common recursion case) skip the
+		// lock — no other session can reach them.
+		unlock := e.Cat.LockTable(target)
+		defer unlock()
+		if t, err = e.Cat.Get(target); err != nil {
+			return nil, err
+		}
+		// After the write, this statement must read its own result, not the
+		// pre-write pinned image.
+		defer e.snapForget(target)
 	}
 	e.Cnt.add(&e.Cnt.UBUs, 1)
 	var sp *obs.Span

@@ -156,7 +156,15 @@ func TestJoinSpecSelection(t *testing.T) {
 		e := New(c.prof)
 		base1, _ := e.LoadBase("A", edgeRel([][2]int64{{0, 1}}))
 		base2, _ := e.LoadBase("B", edgeRel([][2]int64{{1, 2}}))
-		spec, err := e.joinSpec(base1, base2, []int{1}, []int{0}, nil)
+		bv1, err := base1.NewView()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bv2, err := base2.NewView()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := e.joinSpec(bv1, bv2, []int{1}, []int{0}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,7 +173,11 @@ func TestJoinSpecSelection(t *testing.T) {
 		}
 		tmp, _ := e.CreateTemp("V", nodeRel(1, func(int) float64 { return 0 }).Sch)
 		tmp.InsertRelation(nodeRel(1, func(int) float64 { return 0 }))
-		spec, err = e.joinSpec(base1, tmp, []int{1}, []int{0}, nil)
+		tv, err := tmp.NewView()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err = e.joinSpec(bv1, tv, []int{1}, []int{0}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -155,3 +155,46 @@ func TestMustStepAbortsOnBudget(t *testing.T) {
 		t.Fatalf("want ErrBudgetExceeded, got %v", err)
 	}
 }
+
+// TestGovernorsIndependent: concurrent governors account separately — one
+// blowing its byte budget neither charges nor fails its neighbors. This is
+// the invariant per-session engine governors rely on.
+func TestGovernorsIndependent(t *testing.T) {
+	starved := New(context.Background(), Limits{MaxBytes: 100})
+	generous := New(context.Background(), Limits{MaxBytes: 1 << 20})
+	defer starved.Close()
+	defer generous.Close()
+
+	var wg sync.WaitGroup
+	var starvedErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if err := starved.ChargeBytes(10); err != nil {
+				starvedErr = err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if err := generous.ChargeBytes(10); err != nil {
+				t.Errorf("generous governor failed: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if !errors.Is(starvedErr, ErrBudgetExceeded) {
+		t.Fatalf("starved governor: want ErrBudgetExceeded, got %v", starvedErr)
+	}
+	if err := generous.Err(); err != nil {
+		t.Fatalf("neighbor's budget kill leaked: %v", err)
+	}
+	if got := generous.Bytes(); got != 1000 {
+		t.Fatalf("generous governor charged %d bytes, want 1000", got)
+	}
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzServerProto pins the protocol layer's totality: ParseCommand never
+// panics, accepts only single-line requests, and every accepted command
+// round-trips through its wire rendering; ErrorLine never emits a frame-
+// breaking byte. Mirrors FuzzDeltaVsFull's role for the WITH+ compiler.
+func FuzzServerProto(f *testing.F) {
+	seeds := []string{
+		"ping",
+		"query select F, T from E",
+		"query with TC(F, T) as ((select F, T from E) union all (select TC.F, E.T from TC, E where TC.T = E.F) maxrecursion 3) select F, T from TC",
+		"run PR",
+		"tables",
+		"stats",
+		"quit",
+		"QUERY\tselect 1 from E",
+		"  run  pr  ",
+		"bogus verb",
+		"query " + strings.Repeat("x", 300),
+		"p\x00ng",
+		"err err err",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		cmd, err := ParseCommand(input)
+		if err != nil {
+			// Rejected input: the error must render as one clean line.
+			if line := ErrorLine(err); strings.ContainsAny(line, "\n\r") {
+				t.Fatalf("ErrorLine broke framing: %q", line)
+			}
+			return
+		}
+		wire := cmd.String()
+		if strings.ContainsAny(wire, "\n\r") {
+			t.Fatalf("rendered command spans lines: %q", wire)
+		}
+		again, err := ParseCommand(wire)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", input, wire, err)
+		}
+		if again.Verb != cmd.Verb || again.Arg != cmd.Arg {
+			t.Fatalf("round-trip mismatch: %v != %v (input %q)", again, cmd, input)
+		}
+		switch cmd.Verb {
+		case VerbQuery, VerbRun:
+			if cmd.Arg == "" {
+				t.Fatalf("%v accepted with empty arg (input %q)", cmd.Verb, input)
+			}
+		}
+	})
+}

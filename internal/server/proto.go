@@ -1,0 +1,154 @@
+// Package server implements gsqld's line protocol: a text protocol in the
+// spirit of Redis' inline commands, one request line per statement, so a
+// session is drivable from netcat as well as from cmd/loadgen.
+//
+// Requests are single lines:
+//
+//	ping
+//	query <sql or WITH+ statement>
+//	run <algorithm code>
+//	tables
+//	stats
+//	quit
+//
+// Every response is framed the same way: a status line `ok <n>` followed by
+// n payload lines and a terminating `.` line, or a single `err <message>`
+// line. The framing is fixed so clients never need lookahead, and messages
+// are sanitized to one line so a hostile statement cannot desynchronize the
+// stream.
+package server
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verb is the request type of a parsed command.
+type Verb int
+
+// The protocol verbs.
+const (
+	VerbPing Verb = iota
+	VerbQuery
+	VerbRun
+	VerbTables
+	VerbStats
+	VerbQuit
+)
+
+// String names the verb as it appears on the wire.
+func (v Verb) String() string {
+	switch v {
+	case VerbPing:
+		return "ping"
+	case VerbQuery:
+		return "query"
+	case VerbRun:
+		return "run"
+	case VerbTables:
+		return "tables"
+	case VerbStats:
+		return "stats"
+	case VerbQuit:
+		return "quit"
+	}
+	return fmt.Sprintf("Verb(%d)", int(v))
+}
+
+// Command is one parsed request line.
+type Command struct {
+	Verb Verb
+	// Arg is the statement text for VerbQuery and the algorithm code for
+	// VerbRun; empty otherwise.
+	Arg string
+}
+
+// String renders the command as a request line. ParseCommand(c.String())
+// round-trips for every command ParseCommand accepts.
+func (c Command) String() string {
+	if c.Arg == "" {
+		return c.Verb.String()
+	}
+	return c.Verb.String() + " " + c.Arg
+}
+
+// MaxLine is the longest accepted request line. Longer lines are a protocol
+// error: the connection is answered with err and closed rather than letting
+// a client stream an unbounded statement into memory.
+const MaxLine = 1 << 20
+
+// ParseCommand parses one request line (without its trailing newline). It
+// is total: any input yields a command or an error, never a panic — the
+// contract FuzzServerProto pins.
+func ParseCommand(line string) (Command, error) {
+	if len(line) > MaxLine {
+		return Command{}, fmt.Errorf("server: line exceeds %d bytes", MaxLine)
+	}
+	for i := 0; i < len(line); i++ {
+		// The scanner strips the line terminator; any other control byte in a
+		// request is garbage (binary junk, embedded CR) and is rejected before
+		// it can reach the SQL parser or an echo in an error message.
+		if line[i] < 0x20 && line[i] != '\t' {
+			return Command{}, fmt.Errorf("server: control byte 0x%02x in request", line[i])
+		}
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return Command{}, fmt.Errorf("server: empty request")
+	}
+	verb := line
+	arg := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		verb, arg = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	switch strings.ToLower(verb) {
+	case "ping":
+		return Command{Verb: VerbPing}, nil
+	case "query":
+		if arg == "" {
+			return Command{}, fmt.Errorf("server: query needs a statement")
+		}
+		return Command{Verb: VerbQuery, Arg: arg}, nil
+	case "run":
+		code := strings.ToUpper(arg)
+		if code == "" || strings.ContainsAny(code, " \t") {
+			return Command{}, fmt.Errorf("server: run needs one algorithm code")
+		}
+		return Command{Verb: VerbRun, Arg: code}, nil
+	case "tables":
+		return Command{Verb: VerbTables}, nil
+	case "stats":
+		return Command{Verb: VerbStats}, nil
+	case "quit":
+		return Command{Verb: VerbQuit}, nil
+	}
+	return Command{}, fmt.Errorf("server: unknown verb %q", clipForError(verb))
+}
+
+// clipForError bounds how much of a hostile request is echoed back.
+func clipForError(s string) string {
+	const max = 40
+	if len(s) > max {
+		return s[:max] + "..."
+	}
+	return s
+}
+
+// ErrorLine renders an error as its single-line wire form. Newlines and
+// control bytes in the message are flattened so the response cannot span
+// frames.
+func ErrorLine(err error) string {
+	msg := "unknown error"
+	if err != nil {
+		msg = err.Error()
+	}
+	var b strings.Builder
+	for i := 0; i < len(msg); i++ {
+		c := msg[i]
+		if c < 0x20 {
+			c = ' '
+		}
+		b.WriteByte(c)
+	}
+	return "err " + b.String()
+}

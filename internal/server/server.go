@@ -1,0 +1,225 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/graphsql"
+	"repro/internal/obs"
+)
+
+// Server serves the line protocol over a shared graphsql.Pool: every
+// accepted connection becomes one pool session, so connections get
+// snapshot-isolated reads, private temp namespaces, and per-session
+// accounting for free, and N clients genuinely execute concurrently
+// against one engine.
+type Server struct {
+	pool *graphsql.Pool
+	// g, when set, is the graph `run <code>` executes against — gsqld loads
+	// it at startup alongside the relational tables.
+	g *graphsql.Graph
+	// Params are the algorithm parameters for `run` (zero value = per-graph
+	// defaults).
+	Params graphsql.Params
+	// IdleTimeout closes connections with no complete request for this long
+	// (0 = no timeout).
+	IdleTimeout time.Duration
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New returns a server over the pool. g may be nil; then `run` reports an
+// error and only relational statements are served.
+func New(pool *graphsql.Pool, g *graphsql.Graph) *Server {
+	return &Server{pool: pool, g: g, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after Close;
+// any other accept failure is returned as-is.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for their
+// handlers (and with them their pool sessions) to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) done(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	s.wg.Done()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.done(conn)
+	obs.Global.Counter("server.connections").Inc()
+	sess := s.pool.Session()
+	defer sess.Close()
+	// The read buffer caps the request size: a line that overflows it is a
+	// protocol error, answered and then cut, because the scanner cannot
+	// resynchronize mid-line.
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), MaxLine+1)
+	w := bufio.NewWriter(conn)
+	for {
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil && strings.Contains(err.Error(), "token too long") {
+				fmt.Fprintf(w, "%s\n", ErrorLine(fmt.Errorf("server: line exceeds %d bytes", MaxLine)))
+				w.Flush()
+			}
+			return
+		}
+		cmd, err := ParseCommand(sc.Text())
+		if err != nil {
+			fmt.Fprintf(w, "%s\n", ErrorLine(err))
+			w.Flush()
+			continue
+		}
+		if cmd.Verb == VerbQuit {
+			fmt.Fprintf(w, "ok 0\n.\n")
+			w.Flush()
+			return
+		}
+		obs.Global.Counter("server.requests").Inc()
+		lines, err := s.execute(sess, cmd)
+		if err != nil {
+			fmt.Fprintf(w, "%s\n", ErrorLine(err))
+		} else {
+			fmt.Fprintf(w, "ok %d\n", len(lines))
+			for _, l := range lines {
+				fmt.Fprintf(w, "%s\n", l)
+			}
+			fmt.Fprintf(w, ".\n")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// execute runs one parsed command on the connection's session and returns
+// the response payload lines.
+func (s *Server) execute(sess *graphsql.DB, cmd Command) ([]string, error) {
+	switch cmd.Verb {
+	case VerbPing:
+		return nil, nil
+	case VerbQuery:
+		res, err := sess.Query(context.Background(), cmd.Arg)
+		if err != nil {
+			return nil, err
+		}
+		if res.Rows == nil {
+			return nil, nil
+		}
+		return renderRows(res.Rows), nil
+	case VerbRun:
+		if s.g == nil {
+			return nil, fmt.Errorf("server: no graph loaded for run")
+		}
+		res, err := sess.Run(context.Background(), cmd.Arg, s.g, s.Params)
+		if err != nil {
+			return nil, err
+		}
+		lines := renderRows(res.Rel)
+		return lines, nil
+	case VerbTables:
+		var lines []string
+		for _, t := range sess.Tables() {
+			kind := "base"
+			if t.Temp {
+				kind = "temp"
+			}
+			lines = append(lines, fmt.Sprintf("%s\t%s\t%d\t%s", t.Name, t.Schema, t.Rows, kind))
+		}
+		return lines, nil
+	case VerbStats:
+		b, err := json.Marshal(sess.Stats())
+		if err != nil {
+			return nil, err
+		}
+		return []string{string(b)}, nil
+	}
+	return nil, fmt.Errorf("server: unhandled verb %v", cmd.Verb)
+}
+
+// renderRows renders a relation as tab-separated payload lines.
+func renderRows(r *graphsql.Relation) []string {
+	if r == nil {
+		return nil
+	}
+	lines := make([]string, 0, r.Len())
+	var b strings.Builder
+	for _, tu := range r.Tuples {
+		b.Reset()
+		for i, v := range tu {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(v.String())
+		}
+		lines = append(lines, b.String())
+	}
+	return lines
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/graphsql"
+)
+
+// client is a minimal line-protocol client for tests.
+type client struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+// roundTrip sends one request line and reads one framed response, returning
+// the payload lines on ok and an error string on err.
+func (c *client) roundTrip(req string) ([]string, string) {
+	c.t.Helper()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", req); err != nil {
+		c.t.Fatalf("send: %v", err)
+	}
+	status, err := c.r.ReadString('\n')
+	if err != nil {
+		c.t.Fatalf("read status: %v", err)
+	}
+	status = strings.TrimSuffix(status, "\n")
+	if strings.HasPrefix(status, "err ") {
+		return nil, strings.TrimPrefix(status, "err ")
+	}
+	var n int
+	if _, err := fmt.Sscanf(status, "ok %d", &n); err != nil {
+		c.t.Fatalf("bad status line %q: %v", status, err)
+	}
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := c.r.ReadString('\n')
+		if err != nil {
+			c.t.Fatalf("read payload: %v", err)
+		}
+		lines = append(lines, strings.TrimSuffix(l, "\n"))
+	}
+	term, err := c.r.ReadString('\n')
+	if err != nil || term != ".\n" {
+		c.t.Fatalf("bad terminator %q (err %v)", term, err)
+	}
+	return lines, ""
+}
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	pool, err := graphsql.OpenPool("oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphsql.MustGenerate("WV", 100, 7)
+	if err := pool.DB().LoadEdges("E", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DB().LoadNodes("V", g, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(pool, g)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func TestServerBasics(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+
+	if lines, errMsg := c.roundTrip("ping"); errMsg != "" || len(lines) != 0 {
+		t.Fatalf("ping = %v / %q", lines, errMsg)
+	}
+	lines, errMsg := c.roundTrip("query select F, T from E where F = 0")
+	if errMsg != "" {
+		t.Fatalf("query: %s", errMsg)
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "0\t") {
+			t.Fatalf("row %q should start with F=0", l)
+		}
+	}
+	if _, errMsg := c.roundTrip("query select nope from nothere"); errMsg == "" {
+		t.Fatal("bad query should answer err")
+	}
+	if _, errMsg := c.roundTrip("bogus"); errMsg == "" {
+		t.Fatal("unknown verb should answer err")
+	}
+	// Errors must not desynchronize the stream: the next request still works.
+	if _, errMsg := c.roundTrip("ping"); errMsg != "" {
+		t.Fatalf("ping after errors: %s", errMsg)
+	}
+	lines, errMsg = c.roundTrip("stats")
+	if errMsg != "" || len(lines) != 1 || !strings.Contains(lines[0], "joins") {
+		t.Fatalf("stats = %v / %q", lines, errMsg)
+	}
+	lines, errMsg = c.roundTrip("tables")
+	if errMsg != "" {
+		t.Fatalf("tables: %s", errMsg)
+	}
+	var sawE bool
+	for _, l := range lines {
+		if strings.HasPrefix(l, "E\t") {
+			sawE = true
+		}
+	}
+	if !sawE {
+		t.Fatalf("tables should list E: %v", lines)
+	}
+	if lines, errMsg = c.roundTrip("run PR"); errMsg != "" || len(lines) == 0 {
+		t.Fatalf("run PR = %d lines / %q", len(lines), errMsg)
+	}
+	if _, errMsg = c.roundTrip("quit"); errMsg != "" {
+		t.Fatalf("quit: %s", errMsg)
+	}
+}
+
+// TestServerRecursionIsolation runs the same WITH+ recursion on many
+// connections at once: each session's working tables (R, R__delta) live in
+// its own namespace, so the runs must all succeed and agree.
+func TestServerRecursionIsolation(t *testing.T) {
+	_, addr := startServer(t)
+	const stmt = "query with TC(F, T) as ((select F, T from E) union all (select TC.F, E.T from TC, E where TC.T = E.F) maxrecursion 2) select F, T from TC"
+
+	const clients = 8
+	counts := make([]int, clients)
+	errs := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := dial(t, addr)
+			lines, errMsg := c.roundTrip(stmt)
+			counts[i], errs[i] = len(lines), errMsg
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if errs[i] != "" {
+			t.Fatalf("client %d: %s", i, errs[i])
+		}
+		if counts[i] != counts[0] {
+			t.Fatalf("client %d saw %d rows, client 0 saw %d", i, counts[i], counts[0])
+		}
+	}
+	if counts[0] == 0 {
+		t.Fatal("recursion returned no rows")
+	}
+}
+
+// TestServerTempPrivacy pins the namespace rule: a temp created on one
+// connection is invisible to another, while base tables are shared.
+func TestServerTempPrivacy(t *testing.T) {
+	_, addr := startServer(t)
+	c1, c2 := dial(t, addr), dial(t, addr)
+	if _, errMsg := c1.roundTrip("query create temporary table scratch (x int)"); errMsg != "" {
+		t.Fatalf("create temp: %s", errMsg)
+	}
+	if _, errMsg := c1.roundTrip("query insert into scratch values (42)"); errMsg != "" {
+		t.Fatalf("insert temp: %s", errMsg)
+	}
+	if lines, errMsg := c1.roundTrip("query select x from scratch"); errMsg != "" || len(lines) != 1 {
+		t.Fatalf("own temp read = %v / %q", lines, errMsg)
+	}
+	if _, errMsg := c2.roundTrip("query select x from scratch"); errMsg == "" {
+		t.Fatal("another session's temp must be invisible")
+	}
+	if lines, errMsg := c2.roundTrip("query select F from E where F = 0"); errMsg != "" || len(lines) == 0 {
+		t.Fatalf("shared base read = %v / %q", lines, errMsg)
+	}
+}
+
+func TestParseCommandRoundTrip(t *testing.T) {
+	cases := []string{
+		"ping", "PING", "  query select 1 from E  ", "run pr", "tables",
+		"stats", "quit", "query\tselect F from E",
+	}
+	for _, in := range cases {
+		cmd, err := ParseCommand(in)
+		if err != nil {
+			t.Fatalf("ParseCommand(%q): %v", in, err)
+		}
+		again, err := ParseCommand(cmd.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", cmd.String(), err)
+		}
+		if again != cmd {
+			t.Fatalf("round-trip %q: %v != %v", in, again, cmd)
+		}
+	}
+	bad := []string{"", "   ", "query", "query   ", "run", "run a b", "nope x", "p\x00ng"}
+	for _, in := range bad {
+		if _, err := ParseCommand(in); err == nil {
+			t.Fatalf("ParseCommand(%q) should fail", in)
+		}
+	}
+}

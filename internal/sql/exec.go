@@ -101,15 +101,7 @@ func (x *Exec) resolve(name string) (*relation.Relation, bool, error) {
 	if r, ok := x.Override[name]; ok {
 		return r, false, nil
 	}
-	t, err := x.Eng.Cat.Get(name)
-	if err != nil {
-		return nil, false, err
-	}
-	r, err := t.Materialize()
-	if err != nil {
-		return nil, false, err
-	}
-	return r, t.Stats.Analyzed, nil
+	return x.Eng.RelAnalyzed(name)
 }
 
 func (x *Exec) resolveRef(t *TableRef) (source, error) {
@@ -486,7 +478,7 @@ func (x *Exec) refLabel(t *TableRef) string {
 			return "scan " + t.DisplayName()
 		}
 		stats := "no statistics"
-		if tab.Stats.Analyzed {
+		if tab.Analyzed() {
 			stats = "analyzed"
 		}
 		kind := "base"
@@ -664,7 +656,7 @@ func (x *Exec) runAggregate(s *SelectStmt, input *relation.Relation) (*relation.
 		return nil, err
 	}
 	grouped.Sch = virtual
-	x.Eng.Cnt.GroupBys++
+	x.Eng.CountGroupBy()
 	if having != nil {
 		pred, err := x.compilePred(having, virtual)
 		if err != nil {

@@ -231,8 +231,9 @@ func (x *Exec) describeRef(t *TableRef, depth int) (string, bool, error) {
 		if err != nil {
 			return "", false, err
 		}
+		analyzed := tab.Analyzed()
 		stats := "no statistics"
-		if tab.Stats.Analyzed {
+		if analyzed {
 			stats = "analyzed"
 		}
 		kind := "base"
@@ -241,6 +242,6 @@ func (x *Exec) describeRef(t *TableRef, depth int) (string, bool, error) {
 		}
 		indent(&b, depth)
 		fmt.Fprintf(&b, "scan %s (%s table, %d rows, %s)\n", t.DisplayName(), kind, tab.Rows(), stats)
-		return b.String(), tab.Stats.Analyzed, nil
+		return b.String(), analyzed, nil
 	}
 }

@@ -325,7 +325,7 @@ func (x *Exec) execInsert(s *InsertStmt) error {
 		if !r.Sch.UnionCompatible(t.Sch) {
 			return fmt.Errorf("sql: insert arity %d into %s%s", r.Sch.Arity(), s.Table, t.Sch)
 		}
-		analyzed := t.Stats.Analyzed
+		analyzed := t.Analyzed()
 		if err := t.InsertRelation(r); err != nil {
 			return err
 		}

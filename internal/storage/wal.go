@@ -80,6 +80,15 @@ func (e *CorruptError) Error() string {
 // NewWAL returns an empty log.
 func NewWAL() *WAL { return &WAL{} }
 
+// Counters returns the record/byte/sync/commit counts in one locked read.
+// Use it instead of the exported fields whenever sessions may be appending
+// concurrently; the bare fields are only safe to read quiesced.
+func (w *WAL) Counters() (records, bytes, syncs, commits int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.Records, w.Bytes, w.Syncs, w.Commits
+}
+
 // appendFrame frames and appends one record body.
 func (w *WAL) appendFrame(rec []byte) {
 	w.mu.Lock()

@@ -157,3 +157,70 @@ if failures:
 print(f"delta guard: {len(on)} cells, fixpoints identical, "
       f"oracle/db2 speedup >= {speedup_x}x, zero index rebuilds")
 EOF
+
+# -- Concurrent gate -------------------------------------------------------
+#
+# Runs the concurrent-sessions experiment and checks three invariants
+# against the committed BENCH_concurrent.json baseline:
+#
+#   1. Correctness under concurrency: zero statement errors and zero
+#      checksum mismatches against the serial reference streams, and the
+#      per-cell result checksums match the baseline exactly (the workload
+#      is deterministic per dataset seed).
+#   2. Throughput scaling: aggregate statements/sec grows at least
+#      CONCURRENT_SPEEDUP_X from 1 to 8 sessions on the read-mostly
+#      closed-loop workload.
+
+CONCURRENT_SPEEDUP_X="${CONCURRENT_SPEEDUP_X:-3.0}"
+
+echo "== bench guard: concurrent-sessions experiment"
+go run ./cmd/bench -exp concurrent -json > "$tmp/concurrent.json"
+
+python3 - "$tmp/concurrent.json" BENCH_concurrent.json "$CONCURRENT_SPEEDUP_X" <<'EOF'
+import json, sys
+
+run_path, base_path, speedup_x = sys.argv[1:4]
+speedup_x = float(speedup_x)
+
+def index(path):
+    with open(path) as f:
+        return {r["sessions"]: r for r in json.load(f)}
+
+run, base = index(run_path), index(base_path)
+failures = []
+
+for m, b in sorted(base.items()):
+    r = run.get(m)
+    if r is None:
+        failures.append(f"{m} sessions: missing from run")
+        continue
+    if r["errors"] != 0 or r["mismatches"] != 0:
+        failures.append(
+            f"{m} sessions: {r['errors']} errors, {r['mismatches']} "
+            f"checksum mismatches vs serial reference")
+    if r["checksum"] != b["checksum"]:
+        failures.append(
+            f"{m} sessions: checksum {r['checksum']} != baseline {b['checksum']}")
+    if r["statements"] != b["statements"]:
+        failures.append(
+            f"{m} sessions: statements {r['statements']} != baseline {b['statements']}")
+
+if 1 in run and 8 in run:
+    scale = run[8]["stmt_per_sec"] / max(run[1]["stmt_per_sec"], 1e-9)
+    if scale < speedup_x:
+        failures.append(
+            f"1->8 session throughput scaling {scale:.2f}x under {speedup_x}x "
+            f"({run[1]['stmt_per_sec']:.0f} -> {run[8]['stmt_per_sec']:.0f} stmt/s)")
+else:
+    failures.append("run missing the 1- or 8-session cell")
+
+if failures:
+    print("concurrent guard FAILED:")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+
+scale = run[8]["stmt_per_sec"] / run[1]["stmt_per_sec"]
+print(f"concurrent guard: {len(run)} cells clean, checksums pinned, "
+      f"1->8 scaling {scale:.2f}x >= {speedup_x}x")
+EOF

@@ -25,11 +25,15 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (parallel executor + concurrent-session packages)"
-go test -race ./internal/ra/... ./internal/engine/... ./graphsql
+go test -race ./internal/ra/... ./internal/engine/... ./internal/catalog/... \
+    ./internal/withplus/... ./internal/server/... ./graphsql
 
 echo "== delta smoke (frontier vs full differential + fallback proofs)"
 go test ./internal/withplus -run 'DeltaVsFull|FallsBack|FrontierMode|FrontierReason' -count=1
 go test ./internal/withplus -run=NONE -fuzz FuzzDeltaVsFull -fuzztime 5s
+
+echo "== server protocol fuzz smoke"
+go test ./internal/server -run=NONE -fuzz FuzzServerProto -fuzztime 5s
 
 echo "== chaos gate (fault sweep, recovery, cancellation, fuzz smoke)"
 ./scripts/chaos.sh

@@ -1,0 +1,14 @@
+#!/bin/sh
+# soak.sh — time-bounded concurrency soak (make soak): 8 sessions on one
+# shared engine run a random mix of temp-table DDL, inserts, point reads,
+# and WITH+ recursions under the race detector until the budget expires.
+# SOAK_MS sets the per-run budget in milliseconds (default 5000).
+set -eu
+cd "$(dirname "$0")/.."
+
+SOAK_MS="${SOAK_MS:-5000}"
+
+echo "== soak: ${SOAK_MS}ms of random concurrent DDL + recursion under -race"
+SOAK_MS="$SOAK_MS" go test -race ./graphsql -run TestSoakConcurrentSessions -count=1 -v
+
+echo "soak: OK"
