@@ -8,7 +8,7 @@
 //	bench -exp fig11 -seed 7
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 fig7 fig8
-// fig10 fig11 fig12 fig13 resources opcounts perf delta concurrent.
+// fig10 fig11 fig12 fig13 resources opcounts perf delta csr concurrent.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment to run (all, table1..table7, fig7, fig8, fig10..fig13, resources, opcounts, perf, delta, concurrent)")
+		which    = flag.String("exp", "all", "experiment to run (all, table1..table7, fig7, fig8, fig10..fig13, resources, opcounts, perf, delta, csr, concurrent)")
 		nodes    = flag.Int("nodes", 0, "scaled dataset node count (0 = default)")
 		seed     = flag.Int64("seed", 1, "dataset generator seed")
 		iters    = flag.Int("iters", 0, "fixed iterations for PR/HITS/LP (0 = paper's 15)")
@@ -32,12 +32,13 @@ func main() {
 		workers  = flag.Int("workers", 1, "morsel-parallel probe workers (1 = serial, paper-faithful)")
 		nofusion = flag.Bool("nofusion", false, "disable fused MV-/MM-join kernels and the index cache (A/B baseline)")
 		nodelta  = flag.Bool("nodelta", false, "disable delta-driven semi-naive evaluation in WITH+ (A/B baseline for the delta experiment)")
+		nocsr    = flag.Bool("nocsr", false, "disable the CSR adjacency access path (A/B baseline for the csr experiment)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (perf experiment)")
 		observe  = flag.Bool("observe", false, "attach a span sink to every engine (observability overhead A/B)")
 		metrics  = flag.Bool("metrics", false, "dump the process-wide metrics registry as JSON after the run")
 	)
 	flag.Parse()
-	cfg := exp.Config{Nodes: *nodes, Seed: *seed, Iters: *iters, Workers: *workers, NoFusion: *nofusion, NoDelta: *nodelta, Observe: *observe}
+	cfg := exp.Config{Nodes: *nodes, Seed: *seed, Iters: *iters, Workers: *workers, NoFusion: *nofusion, NoDelta: *nodelta, NoCSR: *nocsr, Observe: *observe}
 	asCSV = *csv
 	asJSON = *jsonOut
 	if err := run(strings.ToLower(*which), cfg); err != nil {
@@ -148,6 +149,21 @@ func run(which string, cfg exp.Config) error {
 				return nil
 			}
 			return show(exp.DeltaTable(recs), nil)
+		}},
+		{"csr", func() error {
+			recs, err := exp.CSRRecords(cfg)
+			if err != nil {
+				return err
+			}
+			if asJSON {
+				s, err := exp.CSRJSON(recs)
+				if err != nil {
+					return err
+				}
+				fmt.Println(s)
+				return nil
+			}
+			return show(exp.CSRTable(recs), nil)
 		}},
 		{"concurrent", func() error {
 			recs, err := exp.ConcurrentRecords(cfg)

@@ -73,7 +73,7 @@ func TestExplainAnalyzeSelect(t *testing.T) {
 	}
 	for _, want := range []string{
 		"hash aggregate (single group) (rows=1 loops=1",
-		"hash join on (E.T = V.ID) (rows=3 loops=1",
+		"hash join on (E.T = V.ID) via csr (rows=3 loops=1",
 		"scan E (base table, analyzed)",
 		"scan V (base table, analyzed)",
 	} {

@@ -170,7 +170,8 @@ func (db *DB) SetParallelism(n int) {
 }
 
 // Stats returns a point-in-time snapshot of the engine's operator counters
-// (joins, group-bys, index builds and cache hits, tuples materialized).
+// (joins, group-bys, index and CSR builds and cache hits, tuples
+// materialized).
 func (db *DB) Stats() CountersSnapshot {
 	db.mu.Lock()
 	defer db.mu.Unlock()

@@ -1,0 +1,77 @@
+package algos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// fp renders a result relation byte-for-byte: tab-separated values, one
+// tuple per line, in engine output order. The CSR access path must be a
+// pure physical swap — identical bytes to the hash path, not just
+// identical sets — because its stable counting sort preserves the hash
+// index's ascending-row probe order.
+func fp(res *Result) string {
+	if res == nil || res.Rel == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, tu := range res.Rel.Tuples {
+		for i, v := range tu {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestCSRVsHashAllAlgos is the differential gate for the CSR access path:
+// the paper's 10 benchmarked algorithms, on every profile, must produce
+// byte-identical output with the CSR path enabled (default) and disabled
+// (DisableCSR forces the cached hash index everywhere). The oracle/db2
+// runs additionally assert that the default engines really did serve
+// joins from CSRs and the disabled engines never touched one, so the
+// test can't degrade into comparing hash against hash.
+func TestCSRVsHashAllAlgos(t *testing.T) {
+	g := testGraph(5)
+	p := Params{Iters: 8, K: 2} // the test graph's 5-core is empty; K=2 keeps KC non-trivial
+	for _, prof := range testProfiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			var onBuilds, offBuilds int64
+			for _, a := range Benchmarked() {
+				run := func(disable bool) (string, *engine.Engine) {
+					e := engine.New(prof)
+					e.DisableCSR = disable
+					res, err := a.Run(e, g, p)
+					if err != nil {
+						t.Fatalf("%s (csr=%v): %v", a.Code, !disable, err)
+					}
+					return fp(res), e
+				}
+				on, eOn := run(false)
+				off, eOff := run(true)
+				if on != off {
+					t.Errorf("%s: CSR path diverged from hash path (%d vs %d bytes)",
+						a.Code, len(on), len(off))
+				}
+				// TopoSort legitimately yields no rows on a cyclic graph.
+				if on == "" && a.Code != "TS" {
+					t.Errorf("%s returned no rows", a.Code)
+				}
+				onBuilds += eOn.Cnt.CSRBuilds
+				offBuilds += eOff.Cnt.CSRBuilds
+			}
+			if prof.Name != "postgres" && onBuilds == 0 {
+				t.Error("no algorithm built a CSR: the differential compared hash against hash")
+			}
+			if offBuilds != 0 {
+				t.Errorf("DisableCSR engines built %d CSRs, want 0", offBuilds)
+			}
+		})
+	}
+}

@@ -75,6 +75,7 @@ type Table struct {
 	indexes     map[string]*relation.SortedIndex
 	hashIndexes map[string]hashIndexEntry
 	dicts       map[int]dictEntry
+	csrs        map[string]csrEntry
 	cache       *relation.Relation // materialization cache, invalidated on write
 }
 
@@ -90,6 +91,14 @@ type hashIndexEntry struct {
 // hash index: dropped on invalidation, version-checked on serve.
 type dictEntry struct {
 	dict    *relation.ColumnDict
+	version uint64
+}
+
+// csrEntry caches a CSR adjacency index under the same rules: dropped on
+// invalidation, version-checked on serve, extended in place (tail chains) on
+// the append fast path.
+type csrEntry struct {
+	csr     *relation.CSR
 	version uint64
 }
 
@@ -485,6 +494,14 @@ func (t *Table) noteAppendLocked(tuples []relation.Tuple) {
 		e.dict.Extend(t.cache)
 		t.dicts[col] = dictEntry{dict: e.dict, version: t.version}
 	}
+	for key, e := range t.csrs {
+		if e.version != t.version-1 {
+			delete(t.csrs, key)
+			continue
+		}
+		e.csr.Extend(t.cache)
+		t.csrs[key] = csrEntry{csr: e.csr, version: t.version}
+	}
 	// Sorted indexes have no cheap extension: appended rows break the order.
 	t.indexes = nil
 	t.Stats.Analyzed = false
@@ -689,11 +706,61 @@ func (t *Table) ColumnDict(col int) *relation.ColumnDict {
 	return nil
 }
 
+// csrKey identifies a CSR by its column triple; dstCol and wCol may be -1.
+func csrKey(srcCol, dstCol, wCol int) string {
+	return fmt.Sprintf("%d,%d,%d", srcCol, dstCol, wCol)
+}
+
+// EnsureCSR returns a CSR adjacency index grouping rows by srcCol (dstCol
+// and wCol optionally dict-encode the target and weight columns; pass -1 to
+// skip), building it only when none is cached for the current table version.
+// hit reports whether the cache served the request — the counter feed for
+// the engine's CSRBuilds/CSRCacheHits statistics. Like the hash-index cache,
+// an immutable edge table inside an iterative algorithm builds its CSR once
+// and serves every iteration's adjacency extends from it; appends to
+// session-private temps extend it in place (noteAppend).
+func (t *Table) EnsureCSR(srcCol, dstCol, wCol int) (csr *relation.CSR, hit bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ensureCSRLocked(srcCol, dstCol, wCol, t.version)
+}
+
+func (t *Table) ensureCSRLocked(srcCol, dstCol, wCol int, ver uint64) (*relation.CSR, bool, error) {
+	key := csrKey(srcCol, dstCol, wCol)
+	if e, ok := t.csrs[key]; ok && e.version == ver && t.version == ver {
+		return e.csr, true, nil
+	}
+	r, err := t.materializeLocked()
+	if err != nil {
+		return nil, false, err
+	}
+	built := relation.BuildCSR(r, srcCol, dstCol, wCol)
+	if t.csrs == nil {
+		t.csrs = make(map[string]csrEntry)
+	}
+	t.csrs[key] = csrEntry{csr: built, version: t.version}
+	return built, false, nil
+}
+
+// CSR returns a previously built CSR on the column triple valid for the
+// current table version, or nil. The engine's kernel chooser peeks with it:
+// a cached CSR makes the access path free even when the table would not
+// justify a fresh build.
+func (t *Table) CSR(srcCol, dstCol, wCol int) *relation.CSR {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.csrs[csrKey(srcCol, dstCol, wCol)]; ok && e.version == t.version {
+		return e.csr
+	}
+	return nil
+}
+
 func (t *Table) invalidateLocked() {
 	t.version++
 	t.cache = nil
 	t.indexes = nil
 	t.hashIndexes = nil
 	t.dicts = nil
+	t.csrs = nil
 	t.Stats.Analyzed = false
 }

@@ -1,0 +1,207 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestEnsureCSRLifecycle pins the CSR cache contract at the Table level,
+// mirroring TestAppendAndInvalidationIndexCacheContract: appends extend the
+// cached CSR in place at the bumped version (same instance, more rows);
+// destructive writes (truncate, rename) drop it.
+func TestEnsureCSRLifecycle(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("t", sch(), StoreMem, true)
+	tab.Insert(tu(1, 2))
+
+	csr, hit, err := tab.EnsureCSR(0, 1, -1)
+	if err != nil || hit || csr == nil {
+		t.Fatalf("first build: csr=%v hit=%v err=%v", csr, hit, err)
+	}
+	if csr.Len() != 1 {
+		t.Fatalf("csr covers %d rows, want 1", csr.Len())
+	}
+	if _, hit, _ := tab.EnsureCSR(0, 1, -1); !hit {
+		t.Error("second request should hit the cache")
+	}
+	if tab.CSR(0, 1, -1) != csr {
+		t.Error("peek should see the cached CSR")
+	}
+	if tab.CSR(1, 0, -1) != nil {
+		t.Error("peek on a different column triple should miss")
+	}
+
+	// In-place append: same CSR instance, extended to the new rows.
+	tab.Insert(tu(1, 3))
+	got, hit, err := tab.EnsureCSR(0, 1, -1)
+	if err != nil || !hit {
+		t.Fatalf("post-append request: hit=%v err=%v", hit, err)
+	}
+	if got != csr {
+		t.Fatal("append rebuilt the CSR instead of extending it")
+	}
+	if got.Len() != 2 {
+		t.Fatalf("extended csr covers %d rows, want 2", got.Len())
+	}
+	r := relation.New(sch())
+	r.Append(tu(2, 1))
+	tab.InsertRelation(r)
+	if got, hit, _ := tab.EnsureCSR(0, 1, -1); !hit || got != csr || got.Len() != 3 {
+		t.Fatalf("InsertRelation: hit=%v same=%v rows=%d, want extended in place to 3",
+			hit, got == csr, got.Len())
+	}
+
+	// Destructive writes drop the CSR.
+	tab.Truncate()
+	if tab.CSR(0, 1, -1) != nil {
+		t.Error("Truncate left a stale CSR")
+	}
+	tab.Insert(tu(4, 5))
+	tab.EnsureCSR(0, 1, -1)
+	if err := c.RenameTable("t", "t2"); err != nil {
+		t.Fatal(err)
+	}
+	if tab.CSR(0, 1, -1) != nil {
+		t.Error("RenameTable left a stale CSR")
+	}
+}
+
+// TestSnapshotPinsCSR is the concurrent-sessions contract for the CSR
+// cache: a snapshot-pinned reader keeps serving the CSR of its pinned
+// version while a writer moves the table past it — the reader never
+// observes the writer's rows through the adjacency index.
+func TestSnapshotPinsCSR(t *testing.T) {
+	root := newCat()
+	tab, err := root.Create("t", sch(), StoreMem, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert(tu(1, 2))
+	tab.Insert(tu(1, 3))
+
+	s := root.Session() // a live session forces writers onto the COW path
+	defer s.Release()
+
+	snap := NewSnapshot()
+	v, err := snap.View(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, hit, err := v.EnsureCSR(0, 1, -1)
+	if err != nil || hit || csr == nil {
+		t.Fatalf("pinned build: csr=%v hit=%v err=%v", csr, hit, err)
+	}
+	if csr.Len() != 2 {
+		t.Fatalf("pinned csr covers %d rows, want 2", csr.Len())
+	}
+	if _, hit, _ := v.EnsureCSR(0, 1, -1); !hit {
+		t.Error("second pinned request should hit")
+	}
+
+	// A writer appends after the pin: the shared cache moves on, the pinned
+	// view must keep (or privately rebuild) a 2-row CSR.
+	tab.Insert(tu(1, 4))
+	pinned, _, err := v.EnsureCSR(0, 1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Len() != 2 {
+		t.Fatalf("pinned reader observed the writer's CSR bump: %d rows, want 2", pinned.Len())
+	}
+	if !pinned.Covers(v.Rel) {
+		t.Error("pinned CSR no longer covers the pinned materialization")
+	}
+	if _, hit, _ := v.EnsureCSR(0, 1, -1); !hit {
+		t.Error("post-bump re-request should hit the view-private cache")
+	}
+	if got := v.CSR(0, 1, -1); got == nil || got.Len() != 2 {
+		t.Errorf("view peek after bump: %v, want the 2-row private CSR", got)
+	}
+
+	// A fresh view sees the writer's rows.
+	fresh, err := tab.NewView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcsr, _, err := fresh.EnsureCSR(0, 1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fcsr.Len() != 3 {
+		t.Errorf("fresh view's csr covers %d rows, want 3", fcsr.Len())
+	}
+}
+
+// TestSnapshotCSRConcurrentWriter races a committing writer against a
+// snapshot-pinned reader that keeps probing its CSR; meaningful under
+// -race. The reader must always see exactly its pinned two rows.
+func TestSnapshotCSRConcurrentWriter(t *testing.T) {
+	root := newCat()
+	tab, err := root.Create("t", sch(), StoreMem, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert(tu(1, 2))
+	tab.Insert(tu(2, 3))
+
+	s := root.Session()
+	defer s.Release()
+
+	snap := NewSnapshot()
+	v, err := snap.View(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writes = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			tab.Insert(tu(int64(i%7), int64(i)))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var buf []int32
+		for i := 0; i < writes; i++ {
+			csr, _, err := v.EnsureCSR(0, 1, -1)
+			if err != nil {
+				t.Errorf("reader: %v", err)
+				return
+			}
+			if csr.Len() != 2 {
+				t.Errorf("pinned reader saw %d rows, want 2", csr.Len())
+				return
+			}
+			rows := 0
+			for ord := int32(0); ord < int32(csr.NumSrc()); ord++ {
+				buf = csr.EdgeRows(ord, buf[:0])
+				rows += len(buf)
+			}
+			if rows != 2 {
+				t.Errorf("pinned CSR enumerates %d edges, want 2", rows)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	fresh, err := tab.NewView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Rel.Len() != 2+writes {
+		t.Fatalf("fresh view has %d rows, want %d", fresh.Rel.Len(), 2+writes)
+	}
+	fcsr, _, err := fresh.EnsureCSR(0, 1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fcsr.Len() != 2+writes {
+		t.Errorf("fresh csr covers %d rows, want %d", fcsr.Len(), 2+writes)
+	}
+}

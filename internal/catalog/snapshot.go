@@ -22,9 +22,11 @@ type View struct {
 	// incremental index maintenance path).
 	Rel *relation.Relation
 	// Name and Analyzed are the table identity and optimizer-statistics
-	// flag at pin time.
+	// flag at pin time; Temp distinguishes session temporaries from base
+	// tables (the kernel chooser's CSR affordability rule reads it).
 	Name     string
 	Analyzed bool
+	Temp     bool
 
 	tab *Table
 	ver uint64
@@ -34,6 +36,7 @@ type View struct {
 	hash   map[string]*relation.HashIndex
 	sorted map[string]*relation.SortedIndex
 	dicts  map[int]*relation.ColumnDict
+	csrs   map[string]*relation.CSR
 }
 
 // NewView captures a read view of the table at its current version.
@@ -44,7 +47,7 @@ func (t *Table) NewView() (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &View{Rel: r, Name: t.Name, Analyzed: t.Stats.Analyzed, tab: t, ver: t.version}, nil
+	return &View{Rel: r, Name: t.Name, Analyzed: t.Stats.Analyzed, Temp: t.Temp, tab: t, ver: t.version}, nil
 }
 
 // Version returns the table version the view is pinned at.
@@ -121,6 +124,53 @@ func (v *View) EnsureColumnDict(col int) (*relation.ColumnDict, bool, error) {
 	}
 	v.dicts[col] = d
 	return d, false, nil
+}
+
+// EnsureCSR mirrors EnsureHashIndex for the CSR adjacency-index cache: a
+// snapshot-pinned reader keeps its own CSR over the pinned materialization
+// once a writer moves the table past the pinned version, so it never
+// observes the writer's extended or rebuilt CSR.
+func (v *View) EnsureCSR(srcCol, dstCol, wCol int) (*relation.CSR, bool, error) {
+	t := v.tab
+	t.mu.Lock()
+	if t.version == v.ver {
+		defer t.mu.Unlock()
+		return t.ensureCSRLocked(srcCol, dstCol, wCol, v.ver)
+	}
+	t.mu.Unlock()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key := csrKey(srcCol, dstCol, wCol)
+	if c, ok := v.csrs[key]; ok {
+		return c, true, nil
+	}
+	c := relation.BuildCSR(v.Rel, srcCol, dstCol, wCol)
+	if v.csrs == nil {
+		v.csrs = make(map[string]*relation.CSR)
+	}
+	v.csrs[key] = c
+	return c, false, nil
+}
+
+// CSR peeks for a CSR on the column triple that is already consistent with
+// the view — the shared cache at the pinned version, or a view-private build
+// — without building one. The kernel chooser uses it to treat an
+// already-paid CSR as free.
+func (v *View) CSR(srcCol, dstCol, wCol int) *relation.CSR {
+	t := v.tab
+	t.mu.Lock()
+	if t.version == v.ver {
+		if e, ok := t.csrs[csrKey(srcCol, dstCol, wCol)]; ok && e.version == v.ver {
+			t.mu.Unlock()
+			return e.csr
+		}
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.csrs[csrKey(srcCol, dstCol, wCol)]
 }
 
 // Snapshot is the per-statement catalog snapshot a session engine arms at

@@ -33,6 +33,12 @@ type Counters struct {
 	// O(1) per table and every further iteration is a hit.
 	IndexBuilds    int64
 	IndexCacheHits int64
+	// CSRBuilds and CSRCacheHits account the CSR adjacency access path the
+	// same way: a build per (table version, column triple), a hit for every
+	// join served from the cached CSR. Joins taken via CSR charge these
+	// counters instead of IndexBuilds/IndexCacheHits.
+	CSRBuilds    int64
+	CSRCacheHits int64
 	// TuplesMaterialized counts tuples allocated for join intermediates
 	// (the EquiJoin output feeding GroupBy, plain engine joins). The fused
 	// MV-/MM-join kernels contribute zero here — the point of fusion.
@@ -57,6 +63,8 @@ type CountersSnapshot struct {
 	Inserts            int64 `json:"inserts"`
 	IndexBuilds        int64 `json:"index_builds"`
 	IndexCacheHits     int64 `json:"index_cache_hits"`
+	CSRBuilds          int64 `json:"csr_builds"`
+	CSRCacheHits       int64 `json:"csr_cache_hits"`
 	TuplesMaterialized int64 `json:"tuples_materialized"`
 	Commits            int64 `json:"commits"`
 }
@@ -71,6 +79,8 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		Inserts:            atomic.LoadInt64(&c.Inserts),
 		IndexBuilds:        atomic.LoadInt64(&c.IndexBuilds),
 		IndexCacheHits:     atomic.LoadInt64(&c.IndexCacheHits),
+		CSRBuilds:          atomic.LoadInt64(&c.CSRBuilds),
+		CSRCacheHits:       atomic.LoadInt64(&c.CSRCacheHits),
 		TuplesMaterialized: atomic.LoadInt64(&c.TuplesMaterialized),
 		Commits:            atomic.LoadInt64(&c.Commits),
 	}
@@ -93,6 +103,12 @@ type Engine struct {
 	// and fresh per-join index builds — the pre-fusion executor — for A/B
 	// measurements (cmd/bench -nofusion).
 	DisableFusion bool
+
+	// DisableCSR turns off the CSR adjacency access path: every join that
+	// would extend over a cached CSR probes the hash index instead — the
+	// A/B baseline for cmd/bench -nocsr. Results are byte-identical either
+	// way; only the access path (and the CSR vs index counters) change.
+	DisableCSR bool
 
 	// DisableDelta turns off delta-driven semi-naive evaluation in the
 	// WITH+ compiler: every recursive branch re-reads the full recursive
@@ -428,6 +444,64 @@ func (e *Engine) ensureHashIndex(v *catalog.View, cols []int) (*relation.HashInd
 	return idx, hit, nil
 }
 
+// ensureCSR serves a view's CSR adjacency index (shared cache at the pinned
+// version, view-private build afterwards — same serving rules as
+// ensureHashIndex), charging the build or the hit to the CSR counters and
+// the process-wide metrics registry.
+func (e *Engine) ensureCSR(v *catalog.View, srcCol, dstCol, wCol int) (*relation.CSR, bool, error) {
+	csr, hit, err := v.EnsureCSR(srcCol, dstCol, wCol)
+	if err != nil {
+		return nil, false, err
+	}
+	if hit {
+		e.Cnt.add(&e.Cnt.CSRCacheHits, 1)
+		obs.Global.Counter("engine.csr_cache_hits").Inc()
+	} else {
+		e.Cnt.add(&e.Cnt.CSRBuilds, 1)
+		obs.Global.Counter("engine.csr_builds").Inc()
+	}
+	return csr, hit, nil
+}
+
+// csrUsable is the kernel chooser's cost rule for the CSR access path: the
+// build side must be an edge-shaped table whose CSR is affordable — a base
+// table or an analyzed one (stable across the recursion, so one build
+// amortizes over every iteration, exactly like the cached hash index) or
+// already carrying a current-version CSR (peeked, never built here — a sunk
+// cost is free). An unanalyzed temp rewritten every iteration (e.g.
+// Floyd-Warshall's working matrix) fails every arm and keeps the hash path:
+// a CSR built per iteration would cost more than the probes it saves.
+func (e *Engine) csrUsable(v *catalog.View, srcCol, dstCol, wCol int) bool {
+	if e.DisableFusion || e.DisableCSR {
+		return false
+	}
+	return !v.Temp || v.Analyzed || v.CSR(srcCol, dstCol, wCol) != nil
+}
+
+// BuildSideCSR serves the named table's cached CSR on the single join
+// column for executors that join over materialized relations (the SQL
+// executor's FROM chain), under the same cost rule as the engine's own
+// joins. Returns nil — callers fall back to BuildSideHash — when the key is
+// not a single column, the CSR is not affordable, or the access path is
+// disabled.
+func (e *Engine) BuildSideCSR(name string, cols []int) *relation.CSR {
+	if len(cols) != 1 {
+		return nil
+	}
+	v, err := e.viewOf(name)
+	if err != nil {
+		return nil
+	}
+	if !e.csrUsable(v, cols[0], -1, -1) {
+		return nil
+	}
+	csr, _, err := e.ensureCSR(v, cols[0], -1, -1)
+	if err != nil {
+		return nil
+	}
+	return csr
+}
+
 // BuildSideHash serves the named table's cached build-side hash index on
 // cols for executors that join over materialized relations rather than
 // catalog tables (the SQL executor's FROM chain). The build or hit is
@@ -475,13 +549,26 @@ func (e *Engine) joinSpec(a, b *catalog.View, aCols, bCols []int, sp *obs.Span) 
 		spec.LeftIdx, spec.RightIdx = li, ri
 	}
 	if spec.Algo == ra.HashJoin && !e.DisableFusion {
-		ri, hit, err := e.ensureHashIndex(b, bCols)
-		if err != nil {
-			return spec, err
-		}
-		spec.RightHash = ri
-		if sp != nil {
-			sp.IndexBuilt, sp.IndexCacheHit = !hit, hit
+		if len(bCols) == 1 && e.csrUsable(b, bCols[0], -1, -1) {
+			// CSR access path: no hash build at all; csrJoin stamps the
+			// span's Algo when it runs.
+			csr, hit, err := e.ensureCSR(b, bCols[0], -1, -1)
+			if err != nil {
+				return spec, err
+			}
+			spec.RightCSR = csr
+			if sp != nil {
+				sp.IndexBuilt, sp.IndexCacheHit = !hit, hit
+			}
+		} else {
+			ri, hit, err := e.ensureHashIndex(b, bCols)
+			if err != nil {
+				return spec, err
+			}
+			spec.RightHash = ri
+			if sp != nil {
+				sp.IndexBuilt, sp.IndexCacheHit = !hit, hit
+			}
 		}
 	}
 	if sp != nil {
@@ -579,24 +666,41 @@ func (e *Engine) MVJoin(a, c *catalog.Table, ac ra.MatCols, cc ra.VecCols, aJoin
 		sp = &obs.Span{Op: "mv-join", Note: av.Name + " ⋈ " + cv.Name, Start: time.Now()}
 	}
 	if e.fusible(av, cv) {
-		idx, hit, err := e.ensureHashIndex(av, []int{aJoin})
-		if err != nil {
-			return nil, err
+		var out *relation.Relation
+		var hit bool
+		var algo string
+		if e.csrUsable(av, aJoin, aKeep, ac.W) {
+			// CSR access path: one structure carries the adjacency, the
+			// group dictionary (Dst), and the weight column.
+			var csr *relation.CSR
+			csr, hit, err = e.ensureCSR(av, aJoin, aKeep, ac.W)
+			if err != nil {
+				return nil, err
+			}
+			out = ra.FusedMVJoinCSR(ar, cr, csr, cc, sr, e.Parallelism, e.gov, sp)
+			algo = "fused-csr"
+		} else {
+			var idx *relation.HashIndex
+			idx, hit, err = e.ensureHashIndex(av, []int{aJoin})
+			if err != nil {
+				return nil, err
+			}
+			// The group-column dictionary rides the same per-version cache as
+			// the index; it is an executor memo, not a user-visible index, so it
+			// is not charged to the IndexBuilds counter.
+			dict, _, err := av.EnsureColumnDict(aKeep)
+			if err != nil {
+				return nil, err
+			}
+			out = ra.FusedMVJoin(ar, cr, idx, dict, ac, cc, aKeep, sr, e.Parallelism, e.gov, sp)
+			algo = "fused-hash"
 		}
-		// The group-column dictionary rides the same per-version cache as
-		// the index; it is an executor memo, not a user-visible index, so it
-		// is not charged to the IndexBuilds counter.
-		dict, _, err := av.EnsureColumnDict(aKeep)
-		if err != nil {
-			return nil, err
-		}
-		out := ra.FusedMVJoin(ar, cr, idx, dict, ac, cc, aKeep, sr, e.Parallelism, e.gov, sp)
 		out.Sch = schema.Schema{
 			{Name: "ID", Type: ar.Sch[aKeep].Type},
 			{Name: "vw"},
 		}
 		if sp != nil {
-			sp.Algo = "fused-hash"
+			sp.Algo = algo
 			sp.IndexBuilt, sp.IndexCacheHit = !hit, hit
 			sp.LeftRows, sp.RightRows, sp.OutRows = int64(ar.Len()), int64(cr.Len()), int64(out.Len())
 			sp.Dur = time.Since(sp.Start)
@@ -644,24 +748,37 @@ func (e *Engine) MMJoin(a, b *catalog.Table, ac, bc ra.MatCols, aJoin, aKeep, bJ
 	}
 	if e.fusible(av, bv) {
 		idxOnLeft := av.Analyzed && !bv.Analyzed
-		var idx *relation.HashIndex
-		var hit bool
+		bldView, bldJoin, bldW := bv, bJoin, bc.W
 		if idxOnLeft {
-			idx, hit, err = e.ensureHashIndex(av, []int{aJoin})
+			bldView, bldJoin, bldW = av, aJoin, ac.W
+		}
+		var out *relation.Relation
+		var hit bool
+		var algo string
+		if e.csrUsable(bldView, bldJoin, -1, bldW) {
+			var csr *relation.CSR
+			csr, hit, err = e.ensureCSR(bldView, bldJoin, -1, bldW)
+			if err != nil {
+				return nil, err
+			}
+			out = ra.FusedMMJoinCSR(ar, br, csr, idxOnLeft, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, e.Parallelism, e.gov, sp)
+			algo = "fused-csr"
 		} else {
-			idx, hit, err = e.ensureHashIndex(bv, []int{bJoin})
+			var idx *relation.HashIndex
+			idx, hit, err = e.ensureHashIndex(bldView, []int{bldJoin})
+			if err != nil {
+				return nil, err
+			}
+			out = ra.FusedMMJoin(ar, br, idx, idxOnLeft, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, e.Parallelism, e.gov, sp)
+			algo = "fused-hash"
 		}
-		if err != nil {
-			return nil, err
-		}
-		out := ra.FusedMMJoin(ar, br, idx, idxOnLeft, ac, bc, aJoin, aKeep, bJoin, bKeep, sr, e.Parallelism, e.gov, sp)
 		out.Sch = schema.Schema{
 			{Name: "F", Type: ar.Sch[aKeep].Type},
 			{Name: "T", Type: br.Sch[bKeep].Type},
 			{Name: "ew"},
 		}
 		if sp != nil {
-			sp.Algo = "fused-hash"
+			sp.Algo = algo
 			sp.IndexBuilt, sp.IndexCacheHit = !hit, hit
 			sp.LeftRows, sp.RightRows, sp.OutRows = int64(ar.Len()), int64(br.Len()), int64(out.Len())
 			sp.Dur = time.Since(sp.Start)

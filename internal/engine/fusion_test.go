@@ -37,9 +37,11 @@ func mmMap(r *relation.Relation) map[[2]int64]float64 {
 }
 
 // TestMVJoinIndexCacheCounters is the tentpole's acceptance shape in miniature:
-// across an iterative MV-join loop the matrix-side hash index is built once
-// (IndexBuilds stays at 1) and every further iteration is a cache hit, even
-// though the vector table is rewritten between iterations.
+// across an iterative MV-join loop the matrix-side CSR is built once
+// (CSRBuilds stays at 1) and every further iteration is a cache hit, even
+// though the vector table is rewritten between iterations. The hash-index
+// counters stay untouched because the CSR access path replaces the index
+// build entirely.
 func TestMVJoinIndexCacheCounters(t *testing.T) {
 	for _, prof := range []Profile{OracleLike(), DB2Like()} {
 		e := New(prof)
@@ -66,18 +68,22 @@ func TestMVJoinIndexCacheCounters(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if e.Cnt.IndexBuilds != 1 {
-			t.Errorf("%s: IndexBuilds = %d over %d iterations, want 1 (O(1) per base table)",
-				prof.Name, e.Cnt.IndexBuilds, iters)
+		if e.Cnt.CSRBuilds != 1 {
+			t.Errorf("%s: CSRBuilds = %d over %d iterations, want 1 (O(1) per base table)",
+				prof.Name, e.Cnt.CSRBuilds, iters)
 		}
-		if e.Cnt.IndexCacheHits != iters-1 {
-			t.Errorf("%s: IndexCacheHits = %d, want %d", prof.Name, e.Cnt.IndexCacheHits, iters-1)
+		if e.Cnt.CSRCacheHits != iters-1 {
+			t.Errorf("%s: CSRCacheHits = %d, want %d", prof.Name, e.Cnt.CSRCacheHits, iters-1)
+		}
+		if e.Cnt.IndexBuilds != 0 {
+			t.Errorf("%s: IndexBuilds = %d, want 0 (CSR path replaces the hash build)",
+				prof.Name, e.Cnt.IndexBuilds)
 		}
 		if e.Cnt.TuplesMaterialized != 0 {
 			t.Errorf("%s: fused loop materialized %d join tuples, want 0",
 				prof.Name, e.Cnt.TuplesMaterialized)
 		}
-		// An append to the base table extends the cached index in place:
+		// An append to the base table extends the cached CSR in place:
 		// no rebuild, and the new edge participates in the join.
 		if err := e.AppendInto("E", edgeRel([][2]int64{{0, 5}})); err != nil {
 			t.Fatal(err)
@@ -85,13 +91,13 @@ func TestMVJoinIndexCacheCounters(t *testing.T) {
 		if _, err := e.MVJoin(et, vt, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes()); err != nil {
 			t.Fatal(err)
 		}
-		if e.Cnt.IndexBuilds != 1 {
-			t.Errorf("%s: IndexBuilds after base append = %d, want 1 (incremental maintenance)",
-				prof.Name, e.Cnt.IndexBuilds)
+		if e.Cnt.CSRBuilds != 1 {
+			t.Errorf("%s: CSRBuilds after base append = %d, want 1 (incremental maintenance)",
+				prof.Name, e.Cnt.CSRBuilds)
 		}
-		if e.Cnt.IndexCacheHits != iters {
-			t.Errorf("%s: IndexCacheHits after base append = %d, want %d",
-				prof.Name, e.Cnt.IndexCacheHits, iters)
+		if e.Cnt.CSRCacheHits != iters {
+			t.Errorf("%s: CSRCacheHits after base append = %d, want %d",
+				prof.Name, e.Cnt.CSRCacheHits, iters)
 		}
 		// A destructive rewrite (truncate + store) must still force a rebuild.
 		er, err := e.Rel("E")
@@ -104,8 +110,29 @@ func TestMVJoinIndexCacheCounters(t *testing.T) {
 		if _, err := e.MVJoin(et, vt, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes()); err != nil {
 			t.Fatal(err)
 		}
-		if e.Cnt.IndexBuilds != 2 {
-			t.Errorf("%s: IndexBuilds after destructive rewrite = %d, want 2", prof.Name, e.Cnt.IndexBuilds)
+		if e.Cnt.CSRBuilds != 2 {
+			t.Errorf("%s: CSRBuilds after destructive rewrite = %d, want 2", prof.Name, e.Cnt.CSRBuilds)
+		}
+		// The A/B switch must restore the hash-index plan with identical output.
+		nocsr := New(prof)
+		nocsr.DisableCSR = true
+		if _, err := nocsr.LoadBase("E", edgeRel(cycleEdges(8))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nocsr.CreateTemp("V", vsch); err != nil {
+			t.Fatal(err)
+		}
+		if err := nocsr.StoreInto("V", nodeRel(8, func(int) float64 { return 1 })); err != nil {
+			t.Fatal(err)
+		}
+		het, _ := nocsr.Cat.Get("E")
+		hvt, _ := nocsr.Cat.Get("V")
+		if _, err := nocsr.MVJoin(het, hvt, ra.EdgeMat(), ra.NodeVec(), 0, 1, semiring.PlusTimes()); err != nil {
+			t.Fatal(err)
+		}
+		if nocsr.Cnt.CSRBuilds != 0 || nocsr.Cnt.IndexBuilds != 1 {
+			t.Errorf("%s: DisableCSR engine: CSRBuilds=%d IndexBuilds=%d, want 0/1",
+				prof.Name, nocsr.Cnt.CSRBuilds, nocsr.Cnt.IndexBuilds)
 		}
 	}
 }

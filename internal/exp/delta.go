@@ -35,6 +35,8 @@ type DeltaRecord struct {
 	Joins              int64   `json:"joins"`
 	IndexBuilds        int64   `json:"index_builds"`
 	IndexCacheHits     int64   `json:"index_cache_hits"`
+	CSRBuilds          int64   `json:"csr_builds"`
+	CSRCacheHits       int64   `json:"csr_cache_hits"`
 	TuplesMaterialized int64   `json:"tuples_materialized"`
 	Inserts            int64   `json:"inserts"`
 }
@@ -149,6 +151,8 @@ func DeltaRecords(cfg Config) ([]DeltaRecord, error) {
 				Joins:              e.Cnt.Joins,
 				IndexBuilds:        e.Cnt.IndexBuilds,
 				IndexCacheHits:     e.Cnt.IndexCacheHits,
+				CSRBuilds:          e.Cnt.CSRBuilds,
+				CSRCacheHits:       e.Cnt.CSRCacheHits,
 				TuplesMaterialized: e.Cnt.TuplesMaterialized,
 				Inserts:            e.Cnt.Inserts,
 			})

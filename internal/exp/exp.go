@@ -78,6 +78,10 @@ type Config struct {
 	// iteration (the naive loop). cmd/bench exposes it as -nodelta, the A/B
 	// baseline for the delta experiment.
 	NoDelta bool
+	// NoCSR disables the CSR adjacency access path: joins keep the cached
+	// hash index. cmd/bench exposes it as -nocsr, the A/B baseline for the
+	// csr experiment; results are byte-identical either way.
+	NoCSR bool
 	// Observe attaches a counting span sink to every experiment engine, so
 	// the observability hooks' overhead can be measured against an
 	// unobserved run of the same experiment. cmd/bench exposes it as
@@ -110,6 +114,7 @@ func newEngine(prof engine.Profile, cfg Config) *engine.Engine {
 	e.Parallelism = cfg.Workers
 	e.DisableFusion = cfg.NoFusion
 	e.DisableDelta = cfg.NoDelta
+	e.DisableCSR = cfg.NoCSR
 	if cfg.Observe {
 		e.SetObserver(&obs.CountingSink{})
 	}

@@ -31,6 +31,8 @@ type PerfRecord struct {
 	GroupBys           int64   `json:"group_bys"`
 	IndexBuilds        int64   `json:"index_builds"`
 	IndexCacheHits     int64   `json:"index_cache_hits"`
+	CSRBuilds          int64   `json:"csr_builds"`
+	CSRCacheHits       int64   `json:"csr_cache_hits"`
 	TuplesMaterialized int64   `json:"tuples_materialized"`
 	// Observed and Spans report the observability A/B: with -observe a
 	// counting sink is attached and Spans counts what it saw. Both are
@@ -116,6 +118,8 @@ func PerfRecords(cfg Config) ([]PerfRecord, error) {
 				GroupBys:           e.Cnt.GroupBys,
 				IndexBuilds:        e.Cnt.IndexBuilds,
 				IndexCacheHits:     e.Cnt.IndexCacheHits,
+				CSRBuilds:          e.Cnt.CSRBuilds,
+				CSRCacheHits:       e.Cnt.CSRCacheHits,
 				TuplesMaterialized: e.Cnt.TuplesMaterialized,
 				Observed:           cfg.Observe,
 				Spans:              spans,

@@ -1,0 +1,160 @@
+package ra
+
+import (
+	"time"
+
+	"repro/internal/govern"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/value"
+)
+
+// This file implements the CSR variants of the fused aggregate-join kernels:
+// the same MV-join (Eq. (4)) and MM-join (Eq. (3)) folds, but driven by a
+// relation.CSR adjacency index instead of a hash index. Each morsel runs two
+// passes: a resolve pass that batch-encodes the frontier's source IDs into
+// ordinals (one dense-array load per tuple on integer node IDs), then an
+// extend pass that folds each tuple's contiguous Offsets[s]:Offsets[s+1]
+// block — sequential int32/Value array reads, no per-match hashing, key
+// comparison, or bucket indirection.
+//
+// The morsel batches are deliberately NOT sorted by source ordinal: fold
+// order must stay probe-row order so group first-touch order — and therefore
+// the output bytes — match the hash-probe kernels exactly. A CSR block
+// enumerates matches in ascending row order, which is precisely the order
+// HashIndex.ProbeEach yields them in, so swapping the access path never
+// reorders the output.
+
+// FusedMVJoinCSR computes the MV-join aggregate of FusedMVJoin with csr as
+// the access path over matrix a. csr must index a on {aJoin} with
+// DstCol = aKeep and WCol = a's weight column, so the fold reads target
+// ordinals and weights straight from the CSR arrays and never touches
+// a.Tuples. The group dictionary is the CSR's own Dst dict — identical
+// ordinal assignment to the catalog's cached ColumnDict on aKeep (both
+// first-seen row order), so the output is byte-identical to FusedMVJoin's
+// dense path. sp is as in FusedMVJoin.
+func FusedMVJoinCSR(a, c *relation.Relation, csr *relation.CSR, cc VecCols, sr semiring.Semiring, workers int, gov *govern.Governor, sp *obs.Span) *relation.Relation {
+	if sp != nil {
+		defer observeFused(sp, c.Len(), workers)(time.Now())
+	}
+	sch := schema.Schema{
+		{Name: "ID", Type: a.Sch[csr.DstCol].Type},
+		{Name: "vw", Type: value.KindFloat},
+	}
+	offsets, targets, weights := csr.Offsets, csr.Targets, csr.Weights
+	dg := runMorselsDense(c.Len(), workers, len(csr.Dst.Keys), sr, gov, func(dg *denseGroups, lo, hi int) {
+		ords := dg.scratchOrds(hi - lo)
+		for i, ct := range c.Tuples[lo:hi] {
+			if ord, ok := csr.SrcOrd(ct[cc.ID]); ok {
+				ords[i] = ord
+			} else {
+				ords[i] = -1
+			}
+		}
+		for i, ct := range c.Tuples[lo:hi] {
+			s := ords[i]
+			if s < 0 {
+				continue
+			}
+			cw := ct[cc.W]
+			if int(s)+1 < len(offsets) {
+				for e := offsets[s]; e < offsets[s+1]; e++ {
+					dg.fold(targets[e], sr.Times(weights[e], cw))
+				}
+			}
+			if int(s) < len(csr.TailHead) {
+				for e := csr.TailHead[s]; e >= 0; e = csr.TailNext[e] {
+					dg.fold(csr.TailTargets[e], sr.Times(csr.TailWeights[e], cw))
+				}
+			}
+		}
+	})
+	return dg.relation(csr.Dst.Keys, sch)
+}
+
+// FusedMMJoinCSR computes the MM-join aggregate of FusedMMJoin with csr as
+// the access path over the build side: with csrOnLeft false, csr indexes b
+// on {bJoin} and the probe scans a; with csrOnLeft true, csr indexes a on
+// {aJoin} and the probe scans b. The ⊙-product argument order is a.W ⊙ b.W
+// either way. Group keys read the build side's tuples through csr.Rows — not
+// the dict-encoded Targets — so key representations (and the output bytes)
+// match the hash kernel exactly even when a key column mixes Int and Float
+// spellings of the same value; weights come from the CSR's sequential
+// Weights array, which copies the column verbatim. sp is as in FusedMVJoin.
+func FusedMMJoinCSR(a, b *relation.Relation, csr *relation.CSR, csrOnLeft bool, ac, bc MatCols, aJoin, aKeep, bJoin, bKeep int, sr semiring.Semiring, workers int, gov *govern.Governor, sp *obs.Span) *relation.Relation {
+	if sp != nil {
+		probeLen := a.Len()
+		if csrOnLeft {
+			probeLen = b.Len()
+		}
+		defer observeFused(sp, probeLen, workers)(time.Now())
+	}
+	offsets, rows, weights := csr.Offsets, csr.Rows, csr.Weights
+	var gt *groupTable
+	if csrOnLeft {
+		gt = runMorsels(b.Len(), workers, sr, gov, func(gt *groupTable, lo, hi int) {
+			ords := gt.scratchOrds(hi - lo)
+			for i, bt := range b.Tuples[lo:hi] {
+				if ord, ok := csr.SrcOrd(bt[bJoin]); ok {
+					ords[i] = ord
+				} else {
+					ords[i] = -1
+				}
+			}
+			for i, bt := range b.Tuples[lo:hi] {
+				s := ords[i]
+				if s < 0 {
+					continue
+				}
+				bw := bt[bc.W]
+				bk := bt[bKeep]
+				if int(s)+1 < len(offsets) {
+					for e := offsets[s]; e < offsets[s+1]; e++ {
+						gt.fold(a.Tuples[rows[e]][aKeep], bk, true, sr.Times(weights[e], bw))
+					}
+				}
+				if int(s) < len(csr.TailHead) {
+					for e := csr.TailHead[s]; e >= 0; e = csr.TailNext[e] {
+						gt.fold(a.Tuples[csr.TailRows[e]][aKeep], bk, true, sr.Times(csr.TailWeights[e], bw))
+					}
+				}
+			}
+		})
+	} else {
+		gt = runMorsels(a.Len(), workers, sr, gov, func(gt *groupTable, lo, hi int) {
+			ords := gt.scratchOrds(hi - lo)
+			for i, at := range a.Tuples[lo:hi] {
+				if ord, ok := csr.SrcOrd(at[aJoin]); ok {
+					ords[i] = ord
+				} else {
+					ords[i] = -1
+				}
+			}
+			for i, at := range a.Tuples[lo:hi] {
+				s := ords[i]
+				if s < 0 {
+					continue
+				}
+				aw := at[ac.W]
+				ak := at[aKeep]
+				if int(s)+1 < len(offsets) {
+					for e := offsets[s]; e < offsets[s+1]; e++ {
+						gt.fold(ak, b.Tuples[rows[e]][bKeep], true, sr.Times(aw, weights[e]))
+					}
+				}
+				if int(s) < len(csr.TailHead) {
+					for e := csr.TailHead[s]; e >= 0; e = csr.TailNext[e] {
+						gt.fold(ak, b.Tuples[csr.TailRows[e]][bKeep], true, sr.Times(aw, csr.TailWeights[e]))
+					}
+				}
+			}
+		})
+	}
+	return gt.relation(schema.Schema{
+		{Name: "F", Type: a.Sch[aKeep].Type},
+		{Name: "T", Type: b.Sch[bKeep].Type},
+		{Name: "ew", Type: value.KindFloat},
+	})
+}

@@ -52,6 +52,44 @@ type groupTable struct {
 	keys    []relation.Tuple
 	vals    []value.Value
 	started []bool
+	// arena is the current backing chunk for group-key tuples: keys are
+	// carved out of it with full slice expressions instead of one
+	// relation.Tuple allocation per new group. Chunks are abandoned (still
+	// referenced by their keys) when full.
+	arena []value.Value
+	// scratch is the per-worker ordinal buffer the CSR kernels batch-encode
+	// a morsel's source IDs into; the table is a per-worker object, so the
+	// buffer is reused across that worker's morsels.
+	scratch []int32
+}
+
+// keyArenaChunk is the group-key arena's chunk capacity in values.
+const keyArenaChunk = 2048
+
+// internKey copies a 1- or 2-column group key into the arena and returns the
+// tuple view over it.
+func (g *groupTable) internKey(k0, k1 value.Value, wide bool) relation.Tuple {
+	n := 1
+	if wide {
+		n = 2
+	}
+	if cap(g.arena)-len(g.arena) < n {
+		g.arena = make([]value.Value, 0, keyArenaChunk)
+	}
+	at := len(g.arena)
+	g.arena = append(g.arena, k0)
+	if wide {
+		g.arena = append(g.arena, k1)
+	}
+	return relation.Tuple(g.arena[at : at+n : at+n])
+}
+
+// scratchOrds returns the worker's ordinal scratch buffer, sized to n.
+func (g *groupTable) scratchOrds(n int) []int32 {
+	if cap(g.scratch) < n {
+		g.scratch = make([]int32, n)
+	}
+	return g.scratch[:n]
 }
 
 func newGroupTable(sr semiring.Semiring, capHint int) *groupTable {
@@ -77,11 +115,7 @@ func (g *groupTable) slot(k0, k1 value.Value, wide bool) int32 {
 		s := g.table[i]
 		if s < 0 {
 			s = int32(len(g.keys))
-			if wide {
-				g.keys = append(g.keys, relation.Tuple{k0, k1})
-			} else {
-				g.keys = append(g.keys, relation.Tuple{k0})
-			}
+			g.keys = append(g.keys, g.internKey(k0, k1, wide))
 			g.hashes = append(g.hashes, h)
 			g.vals = append(g.vals, g.sr.Zero)
 			g.started = append(g.started, false)
@@ -175,6 +209,15 @@ type denseGroups struct {
 	started []bool
 	live    []bool
 	order   []int32 // live ordinals in first-touch order
+	scratch []int32 // per-worker ordinal buffer for the CSR resolve pass
+}
+
+// scratchOrds returns the worker's ordinal scratch buffer, sized to n.
+func (d *denseGroups) scratchOrds(n int) []int32 {
+	if cap(d.scratch) < n {
+		d.scratch = make([]int32, n)
+	}
+	return d.scratch[:n]
 }
 
 func newDenseGroups(sr semiring.Semiring, groups int) *denseGroups {

@@ -53,6 +53,13 @@ type EquiJoinSpec struct {
 	LeftIdx   *relation.SortedIndex // optional, used by IndexMergeJoin
 	RightIdx  *relation.SortedIndex // optional, used by IndexMergeJoin
 	RightHash *relation.HashIndex   // optional, used by HashJoin as the build side
+	// RightCSR, when set and covering the right side on a single-column key,
+	// replaces the hash build entirely: each left tuple resolves its key to a
+	// source ordinal (one dense-array load for integer node IDs) and emits
+	// the contiguous Rows block — the adjacency-extend access path. Match set
+	// and order are identical to a hash probe, so the output bytes do not
+	// change. Ignored when it does not cover the right side.
+	RightCSR *relation.CSR
 
 	// Gov, when set, makes the probe loops cooperative: each probe-side
 	// tuple ticks the governor, so cancellation, deadlines, and row budgets
@@ -93,6 +100,10 @@ func EquiJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
 }
 
 func hashJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
+	if csr := spec.RightCSR; csr != nil && len(spec.RightCols) == 1 &&
+		csr.SrcCol == spec.RightCols[0] && csr.Covers(s) {
+		return csrJoin(r, s, csr, spec)
+	}
 	out := relation.New(r.Sch.Concat(s.Sch))
 	// Build on the right side, probe from the left.
 	var t0 time.Time
@@ -110,6 +121,75 @@ func hashJoin(r, s *relation.Relation, spec EquiJoinSpec) *relation.Relation {
 			out.Tuples = append(out.Tuples, concatTuples(rt, s.Tuples[row]))
 			return true
 		})
+	}
+	if spec.Span != nil {
+		spec.Span.ProbeDur = time.Since(t0)
+	}
+	return out
+}
+
+// csrJoin is the equi-join over a CSR adjacency index on the right side: no
+// build phase at all (the CSR is served from the catalog cache), and each
+// probe reads a contiguous row block instead of scanning a hash bucket. The
+// emitted tuples are byte-identical to hashJoin's — ascending right-row
+// order per probe, left-to-right probe order — because a CSR block is the
+// stable counting-sort image of the same match set a hash probe filters.
+//
+// The whole frontier is extended in two batched passes: a resolve pass maps
+// every probe key to its source ordinal and sums the exact output
+// cardinality from the offset deltas, then the extend pass copies the
+// matched tuples into a single pre-sized value arena — two allocations for
+// the entire join output instead of one per output tuple.
+func csrJoin(r, s *relation.Relation, csr *relation.CSR, spec EquiJoinSpec) *relation.Relation {
+	out := relation.New(r.Sch.Concat(s.Sch))
+	var t0 time.Time
+	if spec.Span != nil {
+		spec.Span.Algo = "csr"
+		t0 = time.Now()
+	}
+	lc := spec.LeftCols[0]
+	offsets, rows := csr.Offsets, csr.Rows
+	ords := make([]int32, r.Len())
+	total := 0
+	for i, rt := range r.Tuples {
+		ord, ok := csr.SrcOrd(rt[lc])
+		if !ok {
+			ords[i] = -1
+			continue
+		}
+		ords[i] = ord
+		total += csr.Degree(ord)
+	}
+	arity := r.Sch.Arity() + s.Sch.Arity()
+	arena := make([]value.Value, 0, total*arity)
+	out.Tuples = make([]relation.Tuple, 0, total)
+	emit := func(rt, st relation.Tuple) {
+		if cap(arena)-len(arena) < len(rt)+len(st) {
+			// Only reachable when tuple arity exceeds the schema arity the
+			// pre-size assumed; start a fresh chunk rather than regrow.
+			arena = make([]value.Value, 0, (len(rt)+len(st))*(total+1))
+		}
+		at := len(arena)
+		arena = append(arena, rt...)
+		arena = append(arena, st...)
+		out.Tuples = append(out.Tuples, relation.Tuple(arena[at:len(arena):len(arena)]))
+	}
+	for i, rt := range r.Tuples {
+		spec.Gov.MustStep(1)
+		ord := ords[i]
+		if ord < 0 {
+			continue
+		}
+		if int(ord)+1 < len(offsets) {
+			for e := offsets[ord]; e < offsets[ord+1]; e++ {
+				emit(rt, s.Tuples[rows[e]])
+			}
+		}
+		if int(ord) < len(csr.TailHead) {
+			for e := csr.TailHead[ord]; e >= 0; e = csr.TailNext[e] {
+				emit(rt, s.Tuples[csr.TailRows[e]])
+			}
+		}
 	}
 	if spec.Span != nil {
 		spec.Span.ProbeDur = time.Since(t0)

@@ -20,9 +20,20 @@ func EquiJoinParallel(r, s *relation.Relation, spec EquiJoinSpec, workers int) *
 		spec.Algo = HashJoin
 		return EquiJoin(r, s, spec)
 	}
-	// The shared read-only build side honors a prebuilt (cached) index the
-	// same way the serial hash join does.
-	idx := buildSide(s, spec)
+	// The shared read-only build side honors a prebuilt (cached) structure
+	// the same way the serial hash join does: a covering CSR replaces the
+	// index entirely, else the prebuilt (or fresh) hash index probes.
+	var csr *relation.CSR
+	var idx *relation.HashIndex
+	if c := spec.RightCSR; c != nil && len(spec.RightCols) == 1 &&
+		c.SrcCol == spec.RightCols[0] && c.Covers(s) {
+		csr = c
+		if spec.Span != nil {
+			spec.Span.Algo = "csr"
+		}
+	} else {
+		idx = buildSide(s, spec)
+	}
 	chunks := make([][]relation.Tuple, workers)
 	var wg sync.WaitGroup
 	per := (r.Len() + workers - 1) / workers
@@ -39,6 +50,12 @@ func EquiJoinParallel(r, s *relation.Relation, spec EquiJoinSpec, workers int) *
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			var out []relation.Tuple
+			emit := func(rt, st relation.Tuple) {
+				nt := make(relation.Tuple, 0, len(rt)+len(st))
+				nt = append(nt, rt...)
+				nt = append(nt, st...)
+				out = append(out, nt)
+			}
 			for _, rt := range r.Tuples[lo:hi] {
 				// Workers never panic: on a governor stop (cancel,
 				// deadline, budget) they drain and exit; the statement
@@ -46,12 +63,25 @@ func EquiJoinParallel(r, s *relation.Relation, spec EquiJoinSpec, workers int) *
 				if spec.Gov.Step(1) != nil {
 					break
 				}
+				if csr != nil {
+					ord, ok := csr.SrcOrd(rt[spec.LeftCols[0]])
+					if !ok {
+						continue
+					}
+					if int(ord)+1 < len(csr.Offsets) {
+						for e := csr.Offsets[ord]; e < csr.Offsets[ord+1]; e++ {
+							emit(rt, s.Tuples[csr.Rows[e]])
+						}
+					}
+					if int(ord) < len(csr.TailHead) {
+						for e := csr.TailHead[ord]; e >= 0; e = csr.TailNext[e] {
+							emit(rt, s.Tuples[csr.TailRows[e]])
+						}
+					}
+					continue
+				}
 				idx.ProbeEach(rt, spec.LeftCols, func(row int) bool {
-					st := s.Tuples[row]
-					nt := make(relation.Tuple, 0, len(rt)+len(st))
-					nt = append(nt, rt...)
-					nt = append(nt, st...)
-					out = append(out, nt)
+					emit(rt, s.Tuples[row])
 					return true
 				})
 			}

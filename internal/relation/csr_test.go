@@ -1,0 +1,240 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func edgeRel(edges [][3]int64) *Relation {
+	r := New(schema.Schema{
+		{Name: "F", Type: value.KindInt},
+		{Name: "T", Type: value.KindInt},
+		{Name: "ew", Type: value.KindFloat},
+	})
+	for _, e := range edges {
+		r.Append(Tuple{value.Int(e[0]), value.Int(e[1]), value.Float(float64(e[2]))})
+	}
+	return r
+}
+
+func randomEdges(rng *rand.Rand, n, maxID int) [][3]int64 {
+	out := make([][3]int64, n)
+	for i := range out {
+		out[i] = [3]int64{int64(rng.Intn(maxID)), int64(rng.Intn(maxID)), int64(rng.Intn(10))}
+	}
+	return out
+}
+
+// probeRows is the hash-path reference: the row numbers matching a probe
+// value through a HashIndex on {col}.
+func probeRows(idx *HashIndex, v value.Value) []int {
+	var rows []int
+	idx.ProbeEach(Tuple{v}, []int{0}, func(row int) bool {
+		rows = append(rows, row)
+		return true
+	})
+	return rows
+}
+
+// assertCSRMatchesHash checks, for every probe value, that the CSR yields
+// the same rows in the same order as a hash-index probe.
+func assertCSRMatchesHash(t *testing.T, rel *Relation, c *CSR, probes []value.Value) {
+	t.Helper()
+	idx := BuildHashIndex(rel, []int{c.SrcCol})
+	for _, p := range probes {
+		want := probeRows(idx, p)
+		var got []int32
+		if ord, ok := c.SrcOrd(p); ok {
+			got = c.EdgeRows(ord, nil)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("probe %v: csr %d rows, hash %d rows", p, len(got), len(want))
+		}
+		for i := range want {
+			if int(got[i]) != want[i] {
+				t.Fatalf("probe %v: row %d: csr %d, hash %d", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func intProbes(maxID int) []value.Value {
+	out := make([]value.Value, 0, maxID+3)
+	for i := -1; i <= maxID+1; i++ {
+		out = append(out, value.Int(int64(i)))
+	}
+	return out
+}
+
+func TestCSRMatchesHashProbe(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rel := edgeRel(randomEdges(rng, 500, 60))
+	c := BuildCSR(rel, 0, 1, 2)
+	if c.Len() != rel.Len() {
+		t.Fatalf("Len = %d, want %d", c.Len(), rel.Len())
+	}
+	if !c.Covers(rel) {
+		t.Fatal("CSR does not cover its own relation")
+	}
+	assertCSRMatchesHash(t, rel, c, intProbes(60))
+}
+
+func TestCSRTargetsAndWeights(t *testing.T) {
+	rel := edgeRel([][3]int64{{0, 1, 5}, {0, 2, 7}, {1, 2, 9}, {0, 1, 3}})
+	c := BuildCSR(rel, 0, 1, 2)
+	ord, ok := c.SrcOrd(value.Int(0))
+	if !ok {
+		t.Fatal("source 0 not found")
+	}
+	if got := c.Degree(ord); got != 3 {
+		t.Fatalf("degree(0) = %d, want 3", got)
+	}
+	for e := c.Offsets[ord]; e < c.Offsets[ord+1]; e++ {
+		row := c.Rows[e]
+		if !c.Dst.Keys[c.Targets[e]].Equal(rel.Tuples[row][1]) {
+			t.Fatalf("edge %d: target mismatch", e)
+		}
+		if !c.Weights[e].Equal(rel.Tuples[row][2]) {
+			t.Fatalf("edge %d: weight mismatch", e)
+		}
+	}
+}
+
+func TestCSRCrossKindNumericEquality(t *testing.T) {
+	// Int(1) and Float(1.0) are the same key under value.Equal; the CSR must
+	// match them interchangeably, exactly like a hash probe.
+	r := New(schema.Schema{{Name: "F", Type: value.KindInt}, {Name: "T", Type: value.KindInt}})
+	r.Append(Tuple{value.Int(1), value.Int(10)})
+	r.Append(Tuple{value.Float(1.0), value.Int(11)})
+	r.Append(Tuple{value.Float(2.5), value.Int(12)})
+	c := BuildCSR(r, 0, 1, -1)
+	probes := []value.Value{
+		value.Int(1), value.Float(1.0), value.Float(2.5), value.Int(2),
+		value.Float(1.5), value.Null, value.Str("1"),
+	}
+	assertCSRMatchesHash(t, r, c, probes)
+}
+
+func TestCSRNullAndStringKeys(t *testing.T) {
+	r := New(schema.Schema{{Name: "F"}, {Name: "T", Type: value.KindInt}})
+	r.Append(Tuple{value.Null, value.Int(1)})
+	r.Append(Tuple{value.Str("a"), value.Int(2)})
+	r.Append(Tuple{value.Null, value.Int(3)})
+	r.Append(Tuple{value.Str("b"), value.Int(4)})
+	c := BuildCSR(r, 0, 1, -1)
+	probes := []value.Value{value.Null, value.Str("a"), value.Str("b"), value.Str("c"), value.Int(0)}
+	assertCSRMatchesHash(t, r, c, probes)
+}
+
+func TestCSRExtendMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	all := randomEdges(rng, 400, 80)
+	rel := edgeRel(all[:250])
+	c := BuildCSR(rel, 0, 1, 2)
+	// Append in two batches, extending after each (the noteAppend shape).
+	for _, cut := range []int{320, 400} {
+		for _, e := range all[rel.Len():cut] {
+			rel.Append(Tuple{value.Int(e[0]), value.Int(e[1]), value.Float(float64(e[2]))})
+		}
+		c.Extend(rel)
+	}
+	if c.Len() != rel.Len() {
+		t.Fatalf("Len = %d after extend, want %d", c.Len(), rel.Len())
+	}
+	assertCSRMatchesHash(t, rel, c, intProbes(80))
+	// And the target/weight streams must agree with a fresh build, edge for
+	// edge (same rows in the same order means same ordinal resolution).
+	fresh := BuildCSR(rel, 0, 1, 2)
+	for s := 0; s < fresh.NumSrc(); s++ {
+		key := fresh.Src.Keys[s]
+		ord, ok := c.SrcOrd(key)
+		if !ok {
+			t.Fatalf("key %v missing after extend", key)
+		}
+		a, b := c.EdgeRows(ord, nil), fresh.EdgeRows(int32(s), nil)
+		if len(a) != len(b) {
+			t.Fatalf("key %v: %d rows extended, %d fresh", key, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("key %v: row order diverged at %d: %d vs %d", key, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestCSRExtendNewSourceKeys(t *testing.T) {
+	rel := edgeRel([][3]int64{{0, 1, 1}, {1, 2, 1}})
+	c := BuildCSR(rel, 0, 1, 2)
+	rel.Append(Tuple{value.Int(5), value.Int(0), value.Float(1)})
+	rel.Append(Tuple{value.Int(5), value.Int(1), value.Float(2)})
+	c.Extend(rel)
+	ord, ok := c.SrcOrd(value.Int(5))
+	if !ok {
+		t.Fatal("new source key 5 not found after extend")
+	}
+	rows := c.EdgeRows(ord, nil)
+	if len(rows) != 2 || rows[0] != 2 || rows[1] != 3 {
+		t.Fatalf("rows for new key = %v, want [2 3]", rows)
+	}
+	assertCSRMatchesHash(t, rel, c, intProbes(6))
+}
+
+func TestCSRDenseFallback(t *testing.T) {
+	// A huge sparse ID disables the dense map; probes must still resolve
+	// through the dictionary buckets.
+	rel := edgeRel([][3]int64{{0, 1, 1}, {1 << 40, 2, 1}, {3, 4, 1}})
+	c := BuildCSR(rel, 0, 1, 2)
+	if c.denseSrc != nil {
+		t.Fatal("dense map should be disabled for sparse IDs")
+	}
+	assertCSRMatchesHash(t, rel, c, []value.Value{
+		value.Int(0), value.Int(3), value.Int(1 << 40), value.Int(7),
+	})
+	// Extending with a sparse ID after a dense build also falls back.
+	rel2 := edgeRel([][3]int64{{0, 1, 1}, {1, 2, 1}})
+	c2 := BuildCSR(rel2, 0, 1, 2)
+	if c2.denseSrc == nil {
+		t.Fatal("dense map should be enabled for small IDs")
+	}
+	rel2.Append(Tuple{value.Int(1 << 40), value.Int(0), value.Float(1)})
+	c2.Extend(rel2)
+	assertCSRMatchesHash(t, rel2, c2, []value.Value{
+		value.Int(0), value.Int(1), value.Int(1 << 40), value.Int(9),
+	})
+}
+
+func TestCSREmptyRelation(t *testing.T) {
+	r := New(schema.Schema{{Name: "F", Type: value.KindInt}, {Name: "T", Type: value.KindInt}})
+	c := BuildCSR(r, 0, 1, -1)
+	if c.Len() != 0 || c.NumSrc() != 0 {
+		t.Fatalf("empty CSR: Len=%d NumSrc=%d", c.Len(), c.NumSrc())
+	}
+	if _, ok := c.SrcOrd(value.Int(0)); ok {
+		t.Fatal("probe of empty CSR matched")
+	}
+	r.Append(Tuple{value.Int(1), value.Int(2)})
+	c.Extend(r)
+	assertCSRMatchesHash(t, r, c, intProbes(3))
+}
+
+func TestColumnDictLookup(t *testing.T) {
+	r := New(schema.Schema{{Name: "X"}})
+	vals := []value.Value{value.Int(3), value.Str("x"), value.Null, value.Float(3.0), value.Int(3)}
+	for _, v := range vals {
+		r.Append(Tuple{v})
+	}
+	d := BuildColumnDict(r, 0)
+	for row, v := range vals {
+		ord, ok := d.Lookup(v)
+		if !ok || ord != d.Ords[row] {
+			t.Fatalf("Lookup(%v) = (%d,%v), want (%d,true)", v, ord, ok, d.Ords[row])
+		}
+	}
+	if _, ok := d.Lookup(value.Str("missing")); ok {
+		t.Fatal("Lookup of absent value matched")
+	}
+}

@@ -163,6 +163,20 @@ func (d *ColumnDict) Extend(rel *Relation) {
 	}
 }
 
+// Lookup resolves a value to its ordinal among the dictionary's distinct
+// keys, with the same equality semantics as the encode path (value.Equal —
+// cross-kind numeric equality, NULL equals NULL). ok is false when the value
+// never occurred in the encoded column.
+func (d *ColumnDict) Lookup(v value.Value) (int32, bool) {
+	h := value.HashCombine(0, v)
+	for _, cand := range d.buckets[h] {
+		if d.Keys[cand].Equal(v) {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
 // SortedIndex is an ordering of row numbers by the key columns — the stand-in
 // for a B+-tree index on a temporary table. A merge join over a SortedIndex
 // reads rows in key order without re-sorting the relation, which is exactly

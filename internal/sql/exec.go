@@ -327,12 +327,21 @@ func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, *obs.PlanNode, error) 
 					Span: sp,
 				}
 				// A plain catalog table on the build side can serve its
-				// cached hash index: built once per table version, extended
-				// in place on appends, so the recursive loop's immutable
-				// build sides never rebuild (RightHash is revalidated
-				// against the probe-time rows inside the join).
+				// cached access structures: a covering CSR adjacency index
+				// replaces the hash build entirely on single-column keys,
+				// else the cached hash index serves. Both are built once per
+				// table version and extended in place on appends, so the
+				// recursive loop's immutable build sides never rebuild
+				// (either structure is revalidated against the probe-time
+				// rows inside the join).
+				viaCSR := false
 				if algo == ra.HashJoin && next.table != "" {
-					spec.RightHash = x.Eng.BuildSideHash(next.table, rCols)
+					if csr := x.Eng.BuildSideCSR(next.table, rCols); csr != nil {
+						spec.RightCSR = csr
+						viaCSR = true
+					} else {
+						spec.RightHash = x.Eng.BuildSideHash(next.table, rCols)
+					}
 				}
 				input = ra.EquiJoin(input, next.rel, spec)
 				x.Eng.CountJoin()
@@ -344,6 +353,9 @@ func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, *obs.PlanNode, error) 
 				}
 				if x.analyze {
 					label := fmt.Sprintf("%s join on %s", algo, strings.Join(keys, " and "))
+					if viaCSR {
+						label += " via csr"
+					}
 					plan = obs.NewPlanNode(label, int64(input.Len()), time.Since(t0), plan, scans[i])
 				}
 			} else {

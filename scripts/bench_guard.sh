@@ -56,6 +56,7 @@ for key, b in sorted(base.items()):
     # The deterministic operator counters must match the baseline exactly:
     # observability must not change what the executor does.
     for c in ("joins", "group_bys", "index_builds", "index_cache_hits",
+              "csr_builds", "csr_cache_hits",
               "tuples_materialized", "iterations"):
         if o[c] != b[c]:
             failures.append(f"{key}: counter {c} drifted: {o[c]} != {b[c]}")
@@ -143,6 +144,7 @@ for key, b in sorted(base.items()):
         failures.append(f"{key}: missing from delta-on run")
         continue
     for c in ("joins", "index_builds", "index_cache_hits",
+              "csr_builds", "csr_cache_hits",
               "tuples_materialized", "iterations", "rows_final",
               "delta_rows_total"):
         if o[c] != b[c]:
@@ -156,6 +158,94 @@ if failures:
 
 print(f"delta guard: {len(on)} cells, fixpoints identical, "
       f"oracle/db2 speedup >= {speedup_x}x, zero index rebuilds")
+EOF
+
+# -- CSR gate --------------------------------------------------------------
+#
+# Runs the csr experiment twice — CSR adjacency access path on (default)
+# and off (-nocsr) — and checks four invariants:
+#
+#   1. Differential correctness: both access paths produce byte-identical
+#      results (checksum, rows_final, and iterations identical per cell).
+#   2. Speedup: at least CSR_MIN_CELLS of the oracle/db2 cells run at
+#      least CSR_SPEEDUP_X faster end-to-end with the CSR path. The fused
+#      vector workloads (BFS, PR) carry this; the SQL-path cells (TC,
+#      REACH) are dominated by join-output materialization and dedup, so
+#      they gate on correctness and build counts, not speed.
+#   3. One build per recursion: csr-on runs build each edge table's CSR at
+#      most once (csr_builds <= 1 per cell — every iteration after the
+#      first is a cache hit), and -nocsr runs build none.
+#   4. Determinism: counters and checksums match the committed
+#      BENCH_csr_on.json baseline exactly.
+
+CSR_SPEEDUP_X="${CSR_SPEEDUP_X:-1.5}"
+CSR_MIN_CELLS="${CSR_MIN_CELLS:-2}"
+
+echo "== bench guard: csr experiment, CSR access path on"
+go run ./cmd/bench -exp csr -json > "$tmp/csr_on.json"
+
+echo "== bench guard: csr experiment, -nocsr baseline"
+go run ./cmd/bench -exp csr -nocsr -json > "$tmp/csr_off.json"
+
+python3 - "$tmp/csr_on.json" "$tmp/csr_off.json" BENCH_csr_on.json "$CSR_SPEEDUP_X" "$CSR_MIN_CELLS" <<'EOF'
+import json, sys
+
+on_path, off_path, base_path, speedup_x, min_cells = sys.argv[1:6]
+speedup_x, min_cells = float(speedup_x), int(min_cells)
+
+def index(path):
+    with open(path) as f:
+        return {(r["name"], r["profile"]): r for r in json.load(f)}
+
+on, off, base = index(on_path), index(off_path), index(base_path)
+failures = []
+fast = []
+
+for key, o in sorted(on.items()):
+    f = off.get(key)
+    if f is None:
+        failures.append(f"{key}: missing from -nocsr run")
+        continue
+    if not o["csr"] or f["csr"]:
+        failures.append(f"{key}: csr flags wrong (on={o['csr']} off={f['csr']})")
+    # Differential correctness: byte-identical results either way.
+    for c in ("checksum", "rows_final", "iterations"):
+        if o[c] != f[c]:
+            failures.append(f"{key}: {c} diverged: csr {o[c]} != hash {f[c]}")
+    # One CSR build per recursion, amortized across iterations; none when
+    # the path is disabled.
+    if o["csr_builds"] > 1:
+        failures.append(f"{key}: csr run built CSRs {o['csr_builds']} times, want <= 1")
+    if f["csr_builds"] != 0 or f["csr_cache_hits"] != 0:
+        failures.append(f"{key}: -nocsr run touched the CSR cache "
+                        f"(builds={f['csr_builds']} hits={f['csr_cache_hits']})")
+    if key[1] in ("oracle", "db2") and f["ms"] >= o["ms"] * speedup_x:
+        fast.append(f"{key[0]}/{key[1]} {f['ms']/max(o['ms'],1e-9):.2f}x")
+
+if len(fast) < min_cells:
+    failures.append(
+        f"only {len(fast)} oracle/db2 cells reached {speedup_x}x "
+        f"(want >= {min_cells}): {fast or 'none'}")
+
+for key, b in sorted(base.items()):
+    o = on.get(key)
+    if o is None:
+        failures.append(f"{key}: missing from csr-on run")
+        continue
+    for c in ("joins", "csr_builds", "csr_cache_hits", "index_builds",
+              "index_cache_hits", "iterations", "rows_final", "checksum"):
+        if o[c] != b[c]:
+            failures.append(f"{key}: counter {c} drifted from baseline: {o[c]} != {b[c]}")
+
+if failures:
+    print("csr guard FAILED:")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+
+print(f"csr guard: {len(on)} cells byte-identical across access paths, "
+      f"{len(fast)} oracle/db2 cells >= {speedup_x}x ({', '.join(fast)}), "
+      f"csr_builds <= 1 per recursion")
 EOF
 
 # -- Concurrent gate -------------------------------------------------------

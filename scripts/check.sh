@@ -25,12 +25,17 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (parallel executor + concurrent-session packages)"
-go test -race ./internal/ra/... ./internal/engine/... ./internal/catalog/... \
-    ./internal/withplus/... ./internal/server/... ./graphsql
+go test -race ./internal/relation/... ./internal/ra/... ./internal/engine/... \
+    ./internal/catalog/... ./internal/withplus/... ./internal/server/... ./graphsql
 
 echo "== delta smoke (frontier vs full differential + fallback proofs)"
 go test ./internal/withplus -run 'DeltaVsFull|FallsBack|FrontierMode|FrontierReason' -count=1
 go test ./internal/withplus -run=NONE -fuzz FuzzDeltaVsFull -fuzztime 5s
+
+echo "== csr smoke (csr vs hash differential + snapshot pinning)"
+go test ./internal/algos -run 'CSRVsHash' -count=1
+go test ./internal/catalog -run 'CSR' -count=1
+go test ./internal/withplus -run=NONE -fuzz FuzzCSRVsHash -fuzztime 5s
 
 echo "== server protocol fuzz smoke"
 go test ./internal/server -run=NONE -fuzz FuzzServerProto -fuzztime 5s
@@ -38,7 +43,7 @@ go test ./internal/server -run=NONE -fuzz FuzzServerProto -fuzztime 5s
 echo "== chaos gate (fault sweep, recovery, cancellation, fuzz smoke)"
 ./scripts/chaos.sh
 
-echo "== bench guard (perf baseline + observability overhead + delta A/B)"
+echo "== bench guard (perf baseline + observability overhead + delta/csr A/B)"
 ./scripts/bench_guard.sh
 
 echo "check: OK"
