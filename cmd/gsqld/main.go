@@ -10,17 +10,30 @@
 //
 // The dataset is generated at startup and loaded as base tables E(F,T,ew)
 // and V(ID,vw); `run <code>` statements execute the named algorithm on the
-// same graph. Protocol: one request per line (`ping`, `query <sql>`,
-// `run <algo>`, `tables`, `stats`, `quit`); responses are `ok <n>` plus n
-// payload lines and a `.` terminator, or a single `err <msg>` line. See
-// internal/server for the grammar and cmd/loadgen for a driver.
+// same graph. Protocol: one request per line (`ping`, `query [ms] <sql>`,
+// `run [ms] <algo>`, `tables`, `stats`, `health`, `quit`); responses are
+// `ok <n>` plus n payload lines and a `.` terminator, or a single
+// `err <code> <msg>` line. See internal/server for the grammar and
+// cmd/loadgen for a driver.
+//
+// The serving tier is production-shaped: requests carry optional deadline
+// tokens (capped by -max-deadline), admission control bounds concurrent
+// execution (-max-inflight/-max-queue, excess load answered with typed
+// `busy` + retry-after), slow peers are cut by -idle/-write-timeout, and
+// SIGTERM/SIGINT triggers a graceful drain: accepted requests finish, idle
+// connections get a drain notice, and only the -drain deadline hard-closes
+// stragglers. `health` (alias `ready`) answers readiness probes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
 	"repro/graphsql"
@@ -34,16 +47,27 @@ func main() {
 		dsCode  = flag.String("dataset", "WV", "built-in dataset code (YT LJ OK WV TT WG WT GP PC)")
 		nodes   = flag.Int("nodes", 1000, "scaled dataset node count")
 		seed    = flag.Int64("seed", 1, "dataset generator seed")
-		idle    = flag.Duration("idle", 0, "close connections idle longer than this (0 = never)")
+		idle    = flag.Duration("idle", 0, "close connections idle longer than this (0 = never); also cuts slow-loris request writers")
+
+		drainTO  = flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGTERM/SIGINT before in-flight work is hard-closed")
+		writeTO  = flag.Duration("write-timeout", 10*time.Second, "per-response write deadline; a stalled reader loses its connection, not a handler (0 = never)")
+		maxDL    = flag.Duration("max-deadline", 30*time.Second, "cap on per-request deadline tokens, and the default deadline for requests without one (0 = uncapped)")
+		inflight = flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0), "admission gate: max concurrently executing query/run requests (0 = unlimited)")
+		queue    = flag.Int("max-queue", 0, "admission gate: max requests waiting for an execution slot before shedding with busy (-1 = no queue); 0 defaults to 4x max-inflight")
 	)
 	flag.Parse()
-	if err := serve(*addr, *profile, *dsCode, *nodes, *seed, *idle); err != nil {
+	if *queue == 0 {
+		*queue = 4 * *inflight
+	}
+	if err := serve(*addr, *profile, *dsCode, *nodes, *seed,
+		*idle, *writeTO, *maxDL, *drainTO, *inflight, *queue); err != nil {
 		fmt.Fprintln(os.Stderr, "gsqld:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr, profile, dsCode string, nodes int, seed int64, idle time.Duration) error {
+func serve(addr, profile, dsCode string, nodes int, seed int64,
+	idle, writeTO, maxDL, drainTO time.Duration, inflight, queue int) error {
 	pool, err := graphsql.OpenPool(profile)
 	if err != nil {
 		return err
@@ -64,7 +88,31 @@ func serve(addr, profile, dsCode string, nodes int, seed int64, idle time.Durati
 	}
 	srv := server.New(pool, g)
 	srv.IdleTimeout = idle
+	srv.WriteTimeout = writeTO
+	srv.MaxDeadline = maxDL
+	srv.MaxInflight = inflight
+	srv.MaxQueue = queue
 	fmt.Printf("gsqld: serving %s-%d (seed %d, profile %s) on %s\n",
 		dsCode, nodes, seed, profile, ln.Addr())
-	return srv.Serve(ln)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		fmt.Printf("gsqld: %v, draining (deadline %s)\n", got, drainTO)
+		signal.Stop(sig)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTO)
+		defer cancel()
+		shutErr := srv.Shutdown(ctx)
+		<-errCh
+		if shutErr != nil {
+			return fmt.Errorf("drain deadline exceeded, in-flight work hard-closed: %w", shutErr)
+		}
+		fmt.Println("gsqld: drained cleanly")
+		return nil
+	}
 }

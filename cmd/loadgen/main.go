@@ -1,28 +1,37 @@
 // Command loadgen drives a running gsqld with M concurrent clients, each
 // issuing K statements over its own connection, and reports aggregate
-// throughput. The statement streams are the same deterministic read-mostly
-// mix as the in-process concurrent experiment (cmd/bench -exp concurrent):
-// point selects on E with a small WITH+ recursion every eighth statement.
+// throughput plus the retry/shed/drain behavior of the hardened client.
+// The statement streams are the same deterministic read-mostly mix as the
+// in-process concurrent experiment (cmd/bench -exp concurrent): point
+// selects on E with a small WITH+ recursion every eighth statement.
 //
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:7433 -clients 8 -statements 200
-//	loadgen -addr 127.0.0.1:7433 -clients 4 -think 2ms -nodes 1000
+//	loadgen -addr 127.0.0.1:7433 -clients 4 -think 2ms -timeout 2s -retries 3
+//	loadgen -addr 127.0.0.1:7433 -clients 8 -statements 5000 -expect-drain
 //
 // -nodes must match the node count the server was started with so the
-// generated point lookups stay on-table.
+// generated point lookups stay on-table. Each statement runs through
+// graphsql/client: per-request deadlines become protocol deadline tokens,
+// busy sheds back off per the server's retry-after hint, and lost
+// connections reconnect. With -expect-drain, a drain notice (or the
+// connection refusals that follow one) ends the client's stream cleanly —
+// the run still fails if any response was truncated mid-frame, which is the
+// zero-dropped-work check scripts/chaos.sh's drain smoke asserts.
 package main
 
 import (
-	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
+
+	"repro/graphsql/client"
 )
 
 func main() {
@@ -32,80 +41,87 @@ func main() {
 		stmts   = flag.Int("statements", 200, "statements per client (K)")
 		nodes   = flag.Int("nodes", 1000, "node count of the served dataset (bounds generated ids)")
 		think   = flag.Duration("think", 0, "pause between statements per client (closed-loop think time)")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-statement deadline, propagated to the server as a deadline token (0 = none)")
+		retries = flag.Int("retries", 3, "max retries per statement (busy/reconnect/idempotent)")
+		drainOK = flag.Bool("expect-drain", false, "tolerate a server drain mid-run: stop the stream on a drain notice instead of failing")
 	)
 	flag.Parse()
-	if err := run(*addr, *clients, *stmts, *nodes, *think); err != nil {
+	if err := run(*addr, *clients, *stmts, *nodes, *think, *timeout, *retries, *drainOK); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-// statement returns client c's i-th request line — the same LCG stream as
-// internal/exp's concurrent experiment, so server-side results are
+// statement returns client c's i-th request statement — the same LCG stream
+// as internal/exp's concurrent experiment, so server-side results are
 // reproducible run to run.
 func statement(c, i, n int) string {
 	x := uint64(c)*2654435761 + uint64(i)*6364136223846793005 + 1442695040888963407
 	id := (x >> 16) % uint64(n)
 	if i%8 == 7 {
-		return fmt.Sprintf("query with R(T) as ((select T from E where F = %d) union all "+
+		return fmt.Sprintf("with R(T) as ((select T from E where F = %d) union all "+
 			"(select E.T from R, E where R.T = E.F) maxrecursion 2) select T from R", id)
 	}
-	return fmt.Sprintf("query select T, ew from E where F = %d", id)
+	return fmt.Sprintf("select T, ew from E where F = %d", id)
 }
 
 type clientResult struct {
-	rows int
-	errs int
+	rows    int
+	errs    int
+	drained int // statements abandoned because the server drained
+	stats   client.Stats
 }
 
-// drive runs one client's full stream on its own connection.
-func drive(addr string, c, k, n int, think time.Duration) (clientResult, error) {
-	conn, err := net.Dial("tcp", addr)
+// drive runs one client's full stream on its own connection. res is a named
+// return so the deferred stats capture lands in the value actually returned.
+func drive(addr string, c, k, n int, think, timeout time.Duration, retries int, drainOK bool) (res clientResult, _ error) {
+	cl, err := client.Dial(client.Config{
+		Addr:           addr,
+		RequestTimeout: timeout,
+		MaxRetries:     retries,
+		Seed:           int64(c) + 1,
+	})
 	if err != nil {
 		return clientResult{}, err
 	}
-	defer conn.Close()
-	r := bufio.NewReader(conn)
-	var res clientResult
+	defer cl.Close()
+	defer func() { res.stats = cl.Stats() }()
 	for i := 0; i < k; i++ {
-		if _, err := fmt.Fprintf(conn, "%s\n", statement(c, i, n)); err != nil {
-			return res, err
-		}
-		status, err := r.ReadString('\n')
+		// The mix is read-only, so every statement is idempotent and safe to
+		// retry across reconnects.
+		lines, err := cl.Query(context.Background(), statement(c, i, n), true)
 		if err != nil {
-			return res, err
-		}
-		status = strings.TrimSuffix(status, "\n")
-		if strings.HasPrefix(status, "err ") {
-			res.errs++
-			continue
-		}
-		cnt, err := strconv.Atoi(strings.TrimPrefix(status, "ok "))
-		if err != nil {
-			return res, fmt.Errorf("bad status line %q", status)
-		}
-		for j := 0; j < cnt; j++ {
-			if _, err := r.ReadString('\n'); err != nil {
-				return res, err
+			if drainOK && drainedAway(err) {
+				res.drained = k - i
+				return res, nil
 			}
-		}
-		term, err := r.ReadString('\n')
-		if err != nil {
+			var ce *client.Error
+			if errors.As(err, &ce) {
+				res.errs++
+				continue
+			}
 			return res, err
 		}
-		if term != ".\n" {
-			return res, fmt.Errorf("bad terminator %q", term)
-		}
-		res.rows += cnt
+		res.rows += len(lines)
 		if think > 0 {
 			time.Sleep(think)
 		}
 	}
-	fmt.Fprintln(conn, "quit")
 	return res, nil
 }
 
-func run(addr string, m, k, n int, think time.Duration) error {
+// drainedAway reports errors that mean "the server is going away on
+// purpose": a drain notice, or the connection/dial failures that follow one
+// during shutdown.
+func drainedAway(err error) bool {
+	if client.IsShutdown(err) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) || errors.Is(err, net.ErrClosed)
+}
+
+func run(addr string, m, k, n int, think, timeout time.Duration, retries int, drainOK bool) error {
 	results := make([]clientResult, m)
 	errs := make([]error, m)
 	var wg sync.WaitGroup
@@ -114,25 +130,37 @@ func run(addr string, m, k, n int, think time.Duration) error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			results[c], errs[c] = drive(addr, c, k, n, think)
+			results[c], errs[c] = drive(addr, c, k, n, think, timeout, retries, drainOK)
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var rows, statementErrs int
+	var rows, statementErrs, drained int
+	var agg client.Stats
 	for c := 0; c < m; c++ {
 		if errs[c] != nil {
 			return fmt.Errorf("client %d: %w", c, errs[c])
 		}
 		rows += results[c].rows
 		statementErrs += results[c].errs
+		drained += results[c].drained
+		agg.Retries += results[c].stats.Retries
+		agg.Reconnects += results[c].stats.Reconnects
+		agg.Busy += results[c].stats.Busy
+		agg.Drained += results[c].stats.Drained
+		agg.Truncated += results[c].stats.Truncated
 	}
 	total := m * k
-	fmt.Printf("loadgen: %d clients x %d statements = %d total, %d rows, %d errors\n",
-		m, k, total, rows, statementErrs)
+	fmt.Printf("loadgen: %d clients x %d statements = %d total, %d rows, %d errors, %d unsent after drain\n",
+		m, k, total, rows, statementErrs, drained)
+	fmt.Printf("loadgen: retries=%d reconnects=%d busy=%d drained=%d truncated=%d\n",
+		agg.Retries, agg.Reconnects, agg.Busy, agg.Drained, agg.Truncated)
 	fmt.Printf("loadgen: %.1f ms wall, %.0f stmt/s\n",
-		float64(elapsed.Microseconds())/1000.0, float64(total)/elapsed.Seconds())
+		float64(elapsed.Microseconds())/1000.0, float64(total-drained)/elapsed.Seconds())
+	if agg.Truncated > 0 {
+		return fmt.Errorf("%d responses truncated mid-frame", agg.Truncated)
+	}
 	if statementErrs > 0 {
 		return fmt.Errorf("%d statements answered err", statementErrs)
 	}

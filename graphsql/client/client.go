@@ -1,0 +1,418 @@
+// Package client is a hardened line-protocol client for gsqld: per-request
+// deadlines propagated to the server as protocol deadline tokens, automatic
+// reconnect, and retry with capped exponential backoff plus jitter.
+//
+// Retries are safety-gated by what the wire error guarantees:
+//
+//   - busy and shutdown replies mean the server did NOT execute the request,
+//     so they are retried for every verb (busy honors the server's
+//     retry-after hint; shutdown reconnects first);
+//   - connect failures happen before anything is sent, so they are always
+//     retried;
+//   - a connection that dies mid-request or mid-response leaves the outcome
+//     unknown — those are retried only when the caller marked the request
+//     idempotent, and are counted as truncated either way;
+//   - typed failures (parse, budget, timeout, cancelled, proto, internal)
+//     are definitive outcomes and are returned immediately.
+//
+// A Client serializes requests on one connection; use one Client per
+// concurrent request stream (as cmd/loadgen does).
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Error is a typed wire error from the server. Code is one of the protocol
+// codes ("busy", "shutdown", "timeout", "parse", ...).
+type Error struct {
+	Code string
+	Msg  string
+	// RetryAfter is the server's backoff hint on busy sheds.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *Error) Error() string { return "gsqld: " + e.Code + ": " + e.Msg }
+
+// Retryable reports whether the error guarantees the request was not
+// executed (busy shed or drain notice), making a retry safe for any verb.
+func (e *Error) Retryable() bool { return server.Retryable(e.Code) }
+
+// IsBusy reports whether err is a typed busy (admission shed) reply.
+func IsBusy(err error) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == server.CodeBusy
+}
+
+// IsShutdown reports whether err is a typed drain notice.
+func IsShutdown(err error) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == server.CodeShutdown
+}
+
+// Config configures a Client. The zero value of every field gets a sane
+// default; only Addr is required.
+type Config struct {
+	// Addr is the gsqld address (host:port).
+	Addr string
+	// DialTimeout bounds each (re)connect attempt (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout is the default per-request deadline, sent to the
+	// server as a deadline token and enforced locally on the connection
+	// (0 = none). Request.Timeout overrides it per call.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a failed request is retried beyond the
+	// first attempt (default 3; negative = no retries).
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between retries (defaults 5ms and 500ms). Each sleep is jittered to
+	// half-to-full of the computed delay, and a server retry-after hint
+	// raises it.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the jitter source (default 1), so tests are reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Stats counts a client's lifetime outcomes; read them with Client.Stats.
+type Stats struct {
+	// Requests is the number of Do calls (not attempts).
+	Requests int64
+	// Retries is the number of re-attempts after a retryable failure.
+	Retries int64
+	// Reconnects is the number of re-dials after losing the connection.
+	Reconnects int64
+	// Busy counts typed busy (admission shed) replies received.
+	Busy int64
+	// Drained counts drain notices received.
+	Drained int64
+	// Truncated counts connections lost mid-request or mid-response —
+	// outcome-unknown failures. Zero across a graceful server drain is the
+	// "no dropped in-flight responses" guarantee.
+	Truncated int64
+}
+
+// Request is one protocol request.
+type Request struct {
+	// Verb is the wire verb: "ping", "query", "run", "tables", "stats",
+	// "health".
+	Verb string
+	// Arg is the statement for query and the algorithm code for run.
+	Arg string
+	// Idempotent marks the request safe to retry even when a lost
+	// connection leaves its outcome unknown.
+	Idempotent bool
+	// Timeout overrides Config.RequestTimeout for this request (0 = use
+	// the config's).
+	Timeout time.Duration
+}
+
+// Client is one line-protocol connection with retry and reconnect. Methods
+// are safe for concurrent use; requests serialize on the one connection.
+type Client struct {
+	cfg Config
+
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	rng    *rand.Rand
+	dialed bool // a connection has succeeded at least once
+
+	requests, retries, reconnects atomic.Int64
+	busy, drained, truncated      atomic.Int64
+}
+
+// Dial returns a client for cfg, connecting eagerly so configuration
+// errors surface immediately.
+func Dial(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	c := &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close sends a best-effort quit and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	c.conn.SetDeadline(time.Now().Add(time.Second))
+	fmt.Fprintf(c.conn, "quit\n")
+	err := c.conn.Close()
+	c.conn, c.r = nil, nil
+	return err
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Requests:   c.requests.Load(),
+		Retries:    c.retries.Load(),
+		Reconnects: c.reconnects.Load(),
+		Busy:       c.busy.Load(),
+		Drained:    c.drained.Load(),
+		Truncated:  c.truncated.Load(),
+	}
+}
+
+// Ping round-trips a ping.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.Do(ctx, Request{Verb: "ping", Idempotent: true})
+	return err
+}
+
+// Query runs a statement and returns its payload lines (tab-separated
+// rows). Mark read-only statements idempotent so they survive mid-response
+// connection loss via retry.
+func (c *Client) Query(ctx context.Context, sql string, idempotent bool) ([]string, error) {
+	return c.Do(ctx, Request{Verb: "query", Arg: sql, Idempotent: idempotent})
+}
+
+// Run executes a built-in algorithm by code. Algorithms only read the
+// loaded graph, so runs are idempotent.
+func (c *Client) Run(ctx context.Context, code string) ([]string, error) {
+	return c.Do(ctx, Request{Verb: "run", Arg: code, Idempotent: true})
+}
+
+// Health probes the server, returning its readiness line
+// ("ready inflight=0 queued=0" / "draining ...").
+func (c *Client) Health(ctx context.Context) (string, error) {
+	lines, err := c.Do(ctx, Request{Verb: "health", Idempotent: true})
+	if err != nil {
+		return "", err
+	}
+	if len(lines) != 1 {
+		return "", fmt.Errorf("gsqld: health returned %d lines", len(lines))
+	}
+	return lines[0], nil
+}
+
+// Do sends one request, retrying per the package retry policy, and returns
+// the response payload lines.
+func (c *Client) Do(ctx context.Context, req Request) ([]string, error) {
+	c.requests.Add(1)
+	var lastErr error
+	var hint time.Duration
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > c.cfg.MaxRetries {
+				return nil, lastErr
+			}
+			c.retries.Add(1)
+			if err := c.backoff(ctx, attempt, hint); err != nil {
+				return nil, lastErr
+			}
+			hint = 0
+		}
+		lines, sent, err := c.once(ctx, req)
+		if err == nil {
+			return lines, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+		var we *Error
+		switch {
+		case errors.As(err, &we):
+			switch we.Code {
+			case server.CodeBusy:
+				// Shed before execution: safe to retry any verb, waiting at
+				// least as long as the server asked.
+				c.busy.Add(1)
+				hint = we.RetryAfter
+			case server.CodeShutdown:
+				// Drain notice: the request was not executed and this
+				// connection is going away.
+				c.drained.Add(1)
+				c.dropConn()
+			default:
+				// Definitive outcome (parse, budget, timeout, ...): no retry.
+				return nil, err
+			}
+		case !sent:
+			// Dial failure: nothing reached the server.
+		default:
+			// Lost mid-request or mid-response: outcome unknown.
+			c.truncated.Add(1)
+			c.dropConn()
+			if !req.Idempotent {
+				return nil, err
+			}
+		}
+	}
+}
+
+// once runs a single attempt. sent reports whether any request bytes may
+// have reached the server (false only for connect failures).
+func (c *Client) once(ctx context.Context, req Request) (lines []string, sent bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		if err := c.connectLocked(); err != nil {
+			return nil, false, err
+		}
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = c.cfg.RequestTimeout
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); timeout <= 0 || rem < timeout {
+			timeout = rem
+		}
+	}
+	if ctx.Err() != nil {
+		return nil, false, ctx.Err()
+	}
+	line, err := wireLine(req, timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	if timeout > 0 {
+		// The local deadline trails the propagated one so the server's own
+		// typed timeout reply usually wins the race.
+		c.conn.SetDeadline(time.Now().Add(timeout + 500*time.Millisecond))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		return nil, true, err
+	}
+	status, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, true, err
+	}
+	status = strings.TrimSuffix(status, "\n")
+	if code, retryAfter, msg, ok := server.ParseErrorLine(status); ok {
+		return nil, true, &Error{Code: code, Msg: msg, RetryAfter: retryAfter}
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(status, "ok "))
+	if err != nil || !strings.HasPrefix(status, "ok ") || n < 0 {
+		return nil, true, fmt.Errorf("gsqld: bad status line %q", status)
+	}
+	lines = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, true, err
+		}
+		lines = append(lines, strings.TrimSuffix(l, "\n"))
+	}
+	term, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, true, err
+	}
+	if term != ".\n" {
+		return nil, true, fmt.Errorf("gsqld: bad terminator %q", term)
+	}
+	return lines, true, nil
+}
+
+// wireLine renders the request line, attaching the deadline token for
+// engine-bound verbs.
+func wireLine(req Request, timeout time.Duration) (string, error) {
+	verb := strings.ToLower(req.Verb)
+	line := verb
+	if timeout > 0 && (verb == "query" || verb == "run") {
+		ms := timeout.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		line += " " + strconv.FormatInt(ms, 10)
+	}
+	if req.Arg != "" {
+		line += " " + req.Arg
+	}
+	// Validate against the server grammar before sending: a malformed
+	// request would otherwise burn a round-trip to learn it is CodeProto.
+	if _, err := server.ParseCommand(line); err != nil {
+		return "", &Error{Code: server.CodeProto, Msg: err.Error()}
+	}
+	return line, nil
+}
+
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	if c.dialed {
+		c.reconnects.Add(1)
+	}
+	c.dialed = true
+	c.conn, c.r = conn, bufio.NewReader(conn)
+	return nil
+}
+
+func (c *Client) dropConn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.r = nil, nil
+	}
+}
+
+// backoff sleeps before retry attempt (1-based): capped exponential with
+// half-to-full jitter, raised to the server's retry-after hint when larger.
+func (c *Client) backoff(ctx context.Context, attempt int, hint time.Duration) error {
+	d := c.cfg.BackoffBase << uint(attempt-1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	c.mu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	if hint > jittered {
+		jittered = hint
+	}
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

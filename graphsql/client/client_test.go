@@ -1,0 +1,388 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/graphsql"
+	"repro/internal/server"
+)
+
+// fakeServer runs handler once per accepted connection (connection index is
+// the second argument) and returns the listen address. Handlers own the
+// connection and must close it.
+func fakeServer(t *testing.T, handler func(conn net.Conn, i int)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for i := 0; ; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go handler(conn, i)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// readLine reads one request line, failing soft on connection teardown.
+func readLine(conn net.Conn) (string, bool) {
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", false
+	}
+	return strings.TrimSuffix(line, "\n"), true
+}
+
+// TestBusyRetryHonorsHint pins the busy path: shed replies are retried for
+// any verb, and the server's retry-after hint raises the backoff.
+func TestBusyRetryHonorsHint(t *testing.T) {
+	var served atomic.Int64
+	addr := fakeServer(t, func(conn net.Conn, i int) {
+		defer conn.Close()
+		for {
+			if _, ok := readLine(conn); !ok {
+				return
+			}
+			if served.Add(1) <= 2 {
+				fmt.Fprintf(conn, "err busy retry-after=30 server: overloaded\n")
+				continue
+			}
+			fmt.Fprintf(conn, "ok 1\nrow\n.\n")
+		}
+	})
+	c, err := Dial(Config{Addr: addr, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	lines, err := c.Query(context.Background(), "select 1 from E", false)
+	if err != nil {
+		t.Fatalf("query after busy: %v", err)
+	}
+	if len(lines) != 1 || lines[0] != "row" {
+		t.Fatalf("payload = %v", lines)
+	}
+	// Two busy replies, each raising the 1-2ms backoff to the 30ms hint.
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("retry-after hint ignored: total wait %v < 50ms", elapsed)
+	}
+	st := c.Stats()
+	if st.Busy != 2 || st.Retries != 2 || st.Truncated != 0 {
+		t.Fatalf("stats = %+v, want Busy=2 Retries=2 Truncated=0", st)
+	}
+}
+
+// TestReconnectAfterDrop pins reconnect: a connection that dies between
+// requests is re-dialed transparently.
+func TestReconnectAfterDrop(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn, i int) {
+		defer conn.Close()
+		if _, ok := readLine(conn); !ok {
+			return
+		}
+		fmt.Fprintf(conn, "ok 0\n.\n")
+		if i == 0 {
+			return // cut the first connection after its first response
+		}
+		for {
+			if _, ok := readLine(conn); !ok {
+				return
+			}
+			fmt.Fprintf(conn, "ok 0\n.\n")
+		}
+	})
+	c, err := Dial(Config{Addr: addr, BackoffBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query(context.Background(), "select 1 from E", true); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if st := c.Stats(); st.Reconnects < 1 {
+		t.Fatalf("stats = %+v, want at least one reconnect", st)
+	}
+}
+
+// TestTruncationRetryPolicy pins the outcome-unknown rule: a response cut
+// mid-frame is retried only for idempotent requests.
+func TestTruncationRetryPolicy(t *testing.T) {
+	newAddr := func() string {
+		return fakeServer(t, func(conn net.Conn, i int) {
+			defer conn.Close()
+			for {
+				if _, ok := readLine(conn); !ok {
+					return
+				}
+				if i == 0 {
+					fmt.Fprintf(conn, "ok 2\nrow1\n") // die mid-frame
+					return
+				}
+				fmt.Fprintf(conn, "ok 2\nrow1\nrow2\n.\n")
+			}
+		})
+	}
+
+	t.Run("non-idempotent fails immediately", func(t *testing.T) {
+		c, err := Dial(Config{Addr: newAddr(), BackoffBase: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Query(context.Background(), "insert ...", false); err == nil {
+			t.Fatal("truncated non-idempotent request must not silently retry")
+		}
+		st := c.Stats()
+		if st.Truncated != 1 || st.Retries != 0 {
+			t.Fatalf("stats = %+v, want Truncated=1 Retries=0", st)
+		}
+	})
+
+	t.Run("idempotent retries to success", func(t *testing.T) {
+		c, err := Dial(Config{Addr: newAddr(), BackoffBase: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		lines, err := c.Query(context.Background(), "select 1 from E", true)
+		if err != nil {
+			t.Fatalf("idempotent retry: %v", err)
+		}
+		if len(lines) != 2 {
+			t.Fatalf("payload = %v", lines)
+		}
+		st := c.Stats()
+		if st.Truncated != 1 || st.Reconnects != 1 {
+			t.Fatalf("stats = %+v, want Truncated=1 Reconnects=1", st)
+		}
+	})
+}
+
+// TestPermanentErrorNoRetry pins typed definitive outcomes: they surface
+// immediately, typed, without burning retries.
+func TestPermanentErrorNoRetry(t *testing.T) {
+	var served atomic.Int64
+	addr := fakeServer(t, func(conn net.Conn, i int) {
+		defer conn.Close()
+		for {
+			if _, ok := readLine(conn); !ok {
+				return
+			}
+			served.Add(1)
+			fmt.Fprintf(conn, "err parse server: syntax error near FROM\n")
+		}
+	})
+	c, err := Dial(Config{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Query(context.Background(), "selec 1", false)
+	var e *Error
+	if !errors.As(err, &e) || e.Code != server.CodeParse {
+		t.Fatalf("err = %v, want typed parse error", err)
+	}
+	if e.Retryable() {
+		t.Fatal("parse errors must not be retryable")
+	}
+	if served.Load() != 1 {
+		t.Fatalf("server saw %d attempts, want 1", served.Load())
+	}
+}
+
+// TestDrainNoticeReconnects pins drain handling: a shutdown reply drops the
+// connection and the retry lands on a fresh one (the replacement instance).
+func TestDrainNoticeReconnects(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn, i int) {
+		defer conn.Close()
+		for {
+			if _, ok := readLine(conn); !ok {
+				return
+			}
+			if i == 0 {
+				fmt.Fprintf(conn, "err shutdown server: draining, retry against another instance\n")
+				return
+			}
+			fmt.Fprintf(conn, "ok 0\n.\n")
+		}
+	})
+	c, err := Dial(Config{Addr: addr, BackoffBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Even a non-idempotent request retries: the notice guarantees
+	// non-execution.
+	if _, err := c.Query(context.Background(), "insert ...", false); err != nil {
+		t.Fatalf("query across drain: %v", err)
+	}
+	st := c.Stats()
+	if st.Drained != 1 || st.Reconnects != 1 {
+		t.Fatalf("stats = %+v, want Drained=1 Reconnects=1", st)
+	}
+}
+
+// TestDeadlineTokenOnWire pins propagation: a request timeout becomes a
+// protocol deadline token the server can parse.
+func TestDeadlineTokenOnWire(t *testing.T) {
+	got := make(chan string, 1)
+	addr := fakeServer(t, func(conn net.Conn, i int) {
+		defer conn.Close()
+		for {
+			line, ok := readLine(conn)
+			if !ok {
+				return
+			}
+			if strings.HasPrefix(line, "query") {
+				select {
+				case got <- line:
+				default:
+				}
+			}
+			fmt.Fprintf(conn, "ok 0\n.\n")
+		}
+	})
+	c, err := Dial(Config{Addr: addr, RequestTimeout: 1500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query(context.Background(), "select 1 from E", true); err != nil {
+		t.Fatal(err)
+	}
+	line := <-got
+	cmd, err := server.ParseCommand(line)
+	if err != nil {
+		t.Fatalf("server rejected client wire line %q: %v", line, err)
+	}
+	if cmd.DeadlineMS <= 0 || cmd.DeadlineMS > 1500 {
+		t.Fatalf("deadline token = %dms from %q, want (0, 1500]", cmd.DeadlineMS, line)
+	}
+	if cmd.Arg != "select 1 from E" {
+		t.Fatalf("arg mangled by token: %q", cmd.Arg)
+	}
+}
+
+// TestMalformedRequestRejectedLocally pins the pre-send grammar check: a
+// request that cannot parse never reaches the wire.
+func TestMalformedRequestRejectedLocally(t *testing.T) {
+	var served atomic.Int64
+	addr := fakeServer(t, func(conn net.Conn, i int) {
+		defer conn.Close()
+		for {
+			if _, ok := readLine(conn); !ok {
+				return
+			}
+			served.Add(1)
+			fmt.Fprintf(conn, "ok 0\n.\n")
+		}
+	})
+	c, err := Dial(Config{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Do(context.Background(), Request{Verb: "query", Arg: "multi\nline"})
+	var e *Error
+	if !errors.As(err, &e) || e.Code != server.CodeProto {
+		t.Fatalf("err = %v, want local proto rejection", err)
+	}
+	if served.Load() != 0 {
+		t.Fatal("malformed request reached the wire")
+	}
+}
+
+// TestAgainstRealServer is the end-to-end pass: dial a live server.New,
+// exercise query, health, ping, and a deadline expiry, and confirm the typed
+// timeout comes back untruncated.
+func TestAgainstRealServer(t *testing.T) {
+	pool, err := graphsql.OpenPool("oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphsql.MustGenerate("WV", 100, 7)
+	if err := pool.DB().LoadEdges("E", g); err != nil {
+		t.Fatal(err)
+	}
+	// A second, much larger edge table gives the tight-deadline probe below a
+	// statement slow enough that a 1ms budget reliably expires.
+	big := graphsql.MustGenerate("WV", 30000, 8)
+	if err := pool.DB().LoadEdges("EBIG", big); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(pool, g)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	c, err := Dial(Config{Addr: ln.Addr().String(), RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	h, err := c.Health(context.Background())
+	if err != nil || !strings.HasPrefix(h, "ready") {
+		t.Fatalf("health = %q, %v", h, err)
+	}
+	lines, err := c.Query(context.Background(), "select T from E where F = 0", true)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("query returned no rows")
+	}
+	// Healthy traffic never loses a frame.
+	if st := c.Stats(); st.Truncated != 0 {
+		t.Fatalf("stats = %+v, want Truncated=0 on the healthy path", st)
+	}
+	// A deadline too tight for a recursive statement has three legal
+	// outcomes: the engine beats the budget (nil), the server's typed
+	// timeout arrives as a complete frame, or — when the engine is slow to
+	// notice cancellation (e.g. under -race) — the client's trailing local
+	// deadline gives up on the connection first. What is NOT legal is a
+	// silent wrong answer or a hung call.
+	_, err = c.Do(context.Background(), Request{
+		Verb: "query",
+		Arg: "with R(T) as ((select T from EBIG where F = 0) union all " +
+			"(select EBIG.T from R, EBIG where R.T = EBIG.F) maxrecursion 64) select T from R",
+		Timeout:    time.Millisecond,
+		Idempotent: true,
+	})
+	var e *Error
+	var ne net.Error
+	switch {
+	case err == nil:
+		t.Log("engine finished full reachability under 1ms; timeout path not exercised")
+	case errors.As(err, &e):
+		if e.Code != server.CodeTimeout && e.Code != server.CodeCancelled {
+			t.Fatalf("tight deadline code = %q", e.Code)
+		}
+	case errors.As(err, &ne) && ne.Timeout():
+		t.Log("local deadline beat the server's typed timeout reply")
+	default:
+		t.Fatalf("tight deadline err = %v, want typed timeout or local deadline", err)
+	}
+}

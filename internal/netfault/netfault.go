@@ -1,0 +1,163 @@
+// Package netfault injects client-side network misbehavior for serving-tier
+// chaos tests: slow-loris request writes, mid-stream disconnects, and
+// stalled response reads. It extends the storage fault plans of the
+// resilience PR to the wire — where storage.FaultPlan proves the engine
+// survives a disk that fails at every operation index, a netfault.Plan
+// proves the server survives a peer that fails at every protocol position.
+//
+// The package also provides PipeListener, a net.Listener over synchronous
+// in-memory pipes: a pipe write blocks until the peer reads, so
+// backpressure tests (write deadlines against a stalled reader) are
+// deterministic instead of depending on kernel socket buffer sizes.
+package netfault
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Plan describes how a wrapped connection misbehaves. The zero value is a
+// faithful connection.
+type Plan struct {
+	// WriteDelay sleeps this long before each written chunk — with a small
+	// WriteChunk this is a slow-loris client trickling its request.
+	WriteDelay time.Duration
+	// WriteChunk splits writes into chunks of at most this many bytes
+	// (0 = write whole buffers).
+	WriteChunk int
+	// CloseAfterWriteBytes closes the connection after this many request
+	// bytes have been written (0 = never): a client dying mid-request.
+	CloseAfterWriteBytes int
+	// CloseAfterReadBytes closes the connection after this many response
+	// bytes have been read (0 = never): a client dying mid-response.
+	CloseAfterReadBytes int
+}
+
+// Conn wraps a net.Conn with a fault plan.
+type Conn struct {
+	net.Conn
+	plan  Plan
+	wrote int
+	read  int
+}
+
+// Wrap applies the plan to an existing connection.
+func Wrap(c net.Conn, p Plan) *Conn { return &Conn{Conn: c, plan: p} }
+
+// Dial connects to addr and applies the plan.
+func Dial(addr string, p Plan) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(c, p), nil
+}
+
+// Write implements net.Conn, applying chunking, per-chunk delay, and the
+// mid-request disconnect.
+func (c *Conn) Write(b []byte) (int, error) {
+	written := 0
+	for written < len(b) {
+		chunk := b[written:]
+		if c.plan.WriteChunk > 0 && len(chunk) > c.plan.WriteChunk {
+			chunk = chunk[:c.plan.WriteChunk]
+		}
+		if lim := c.plan.CloseAfterWriteBytes; lim > 0 && c.wrote+len(chunk) > lim {
+			chunk = chunk[:lim-c.wrote]
+		}
+		if c.plan.WriteDelay > 0 {
+			time.Sleep(c.plan.WriteDelay)
+		}
+		if len(chunk) > 0 {
+			n, err := c.Conn.Write(chunk)
+			written += n
+			c.wrote += n
+			if err != nil {
+				return written, err
+			}
+		}
+		if lim := c.plan.CloseAfterWriteBytes; lim > 0 && c.wrote >= lim {
+			c.Conn.Close()
+			return written, fmt.Errorf("netfault: closed after %d written bytes: %w", c.wrote, io.ErrClosedPipe)
+		}
+	}
+	return written, nil
+}
+
+// Read implements net.Conn, applying the mid-response disconnect.
+func (c *Conn) Read(b []byte) (int, error) {
+	if lim := c.plan.CloseAfterReadBytes; lim > 0 {
+		if c.read >= lim {
+			c.Conn.Close()
+			return 0, fmt.Errorf("netfault: closed after %d read bytes: %w", c.read, io.ErrClosedPipe)
+		}
+		if rem := lim - c.read; len(b) > rem {
+			b = b[:rem]
+		}
+	}
+	n, err := c.Conn.Read(b)
+	c.read += n
+	if lim := c.plan.CloseAfterReadBytes; lim > 0 && c.read >= lim {
+		c.Conn.Close()
+		if err == nil {
+			err = fmt.Errorf("netfault: closed after %d read bytes: %w", c.read, io.ErrClosedPipe)
+		}
+	}
+	return n, err
+}
+
+// PipeListener is a net.Listener whose connections are synchronous
+// in-memory pipes: Dial hands the server side to Accept and returns the
+// client side. Writes block until the peer reads, making backpressure
+// deterministic.
+type PipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+// NewPipeListener returns an open pipe listener.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+// Dial connects a new client to the listener.
+func (l *PipeListener) Dial() (net.Conn, error) {
+	client, srv := net.Pipe()
+	select {
+	case l.conns <- srv:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		srv.Close()
+		return nil, fmt.Errorf("netfault: pipe listener closed")
+	}
+}
+
+// Accept implements net.Listener.
+func (l *PipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("netfault: pipe listener closed: %w", net.ErrClosed)
+	}
+}
+
+// Close implements net.Listener.
+func (l *PipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// pipeAddr is the listener's synthetic address.
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+// Addr implements net.Listener.
+func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }

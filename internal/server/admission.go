@@ -1,0 +1,168 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Admission is the server's overload gate: at most maxInflight requests
+// execute at once, at most maxQueue more wait for a slot, and everything
+// beyond that is shed immediately with a typed busy error carrying a
+// retry-after hint — the server answers fast under overload instead of
+// queueing unboundedly until it falls over.
+//
+// Queueing is deadline-aware twice over: a request whose deadline budget is
+// smaller than the estimated queue wait is shed up front (it would expire
+// in line anyway), and a queued request whose context expires leaves the
+// queue with the context's error. The retry-after hint is an EWMA of recent
+// service times scaled by the queue depth, so clients back off roughly as
+// long as the backlog needs to clear.
+type Admission struct {
+	slots    chan struct{}
+	maxQueue int
+	queued   atomic.Int64
+	// ewmaUS tracks recent request service time in microseconds (alpha 1/8).
+	ewmaUS atomic.Int64
+
+	inflight   *obs.Gauge
+	queueDepth *obs.Gauge
+	admitted   *obs.Counter
+	shed       *obs.Counter
+	queueWait  *obs.Histogram
+	execTime   *obs.Histogram
+}
+
+// NewAdmission returns a gate admitting maxInflight concurrent requests
+// with a wait queue of maxQueue. maxInflight <= 0 disables admission
+// control entirely (nil gate: every Acquire succeeds immediately);
+// maxQueue < 0 means no queue (shed as soon as all slots are busy).
+func NewAdmission(maxInflight, maxQueue int) *Admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{
+		slots:      make(chan struct{}, maxInflight),
+		maxQueue:   maxQueue,
+		inflight:   obs.Global.Gauge("server.inflight"),
+		queueDepth: obs.Global.Gauge("server.queue_depth"),
+		admitted:   obs.Global.Counter("server.admitted"),
+		shed:       obs.Global.Counter("server.shed"),
+		queueWait:  obs.Global.Histogram("server.queue_wait_us"),
+		execTime:   obs.Global.Histogram("server.exec_us"),
+	}
+}
+
+// Acquire admits the request, waiting in the bounded queue if every slot is
+// busy. It returns a release func the caller must invoke when the request
+// finishes, or an error: a CodeBusy *WireError when shed, the context's
+// error when the deadline expires in the queue. Safe on a nil receiver
+// (admission disabled).
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.queueWait.Observe(0)
+		return a.admit(), nil
+	default:
+	}
+	q := a.queued.Add(1)
+	a.queueDepth.Set(q)
+	if int(q) > a.maxQueue {
+		a.leaveQueue()
+		return nil, a.shedErr(q, "overloaded")
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if wait := a.estWait(q); time.Until(dl) < wait {
+			a.leaveQueue()
+			return nil, a.shedErr(q, fmt.Sprintf("deadline shorter than estimated queue wait %s", wait))
+		}
+	}
+	start := time.Now()
+	select {
+	case a.slots <- struct{}{}:
+		a.leaveQueue()
+		a.queueWait.Observe(time.Since(start).Microseconds())
+		return a.admit(), nil
+	case <-ctx.Done():
+		a.leaveQueue()
+		a.queueWait.Observe(time.Since(start).Microseconds())
+		return nil, ctx.Err()
+	}
+}
+
+func (a *Admission) leaveQueue() {
+	a.queueDepth.Set(a.queued.Add(-1))
+}
+
+func (a *Admission) shedErr(q int64, why string) *WireError {
+	a.shed.Inc()
+	return &WireError{
+		Code:       CodeBusy,
+		Msg:        fmt.Sprintf("server: %s (%d executing, %d queued)", why, len(a.slots), q-1),
+		RetryAfter: a.estWait(q),
+	}
+}
+
+// admit records the slot grant and returns its idempotent release func.
+func (a *Admission) admit() func() {
+	a.admitted.Inc()
+	a.inflight.Set(int64(len(a.slots)))
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			us := time.Since(start).Microseconds()
+			a.execTime.Observe(us)
+			// Loose EWMA: concurrent updates may drop a sample, which is fine
+			// for a backoff hint.
+			old := a.ewmaUS.Load()
+			a.ewmaUS.Store(old + (us-old)/8)
+			<-a.slots
+			a.inflight.Set(int64(len(a.slots)))
+		})
+	}
+}
+
+// estWait estimates how long a request arriving at queue position q waits
+// for a slot: recent service time scaled by the backlog per slot, clamped
+// to [1ms, 2s]. Before any request completes it assumes 10ms.
+func (a *Admission) estWait(q int64) time.Duration {
+	base := time.Duration(a.ewmaUS.Load()) * time.Microsecond
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	est := base * time.Duration(q+1) / time.Duration(cap(a.slots))
+	if est < time.Millisecond {
+		est = time.Millisecond
+	}
+	if est > 2*time.Second {
+		est = 2 * time.Second
+	}
+	return est
+}
+
+// Inflight returns the number of currently executing requests (0 for nil).
+func (a *Admission) Inflight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.slots)
+}
+
+// Queued returns the number of requests waiting for a slot (0 for nil).
+func (a *Admission) Queued() int {
+	if a == nil {
+		return 0
+	}
+	return int(a.queued.Load())
+}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestAdmissionUnit pins the gate's semantics in isolation: slots admit,
+// the queue bounds waiters, everything past the queue is shed with a typed
+// busy error carrying a retry-after hint, and a queued waiter leaves with
+// its context's error when the deadline fires.
+func TestAdmissionUnit(t *testing.T) {
+	a := NewAdmission(1, 1)
+	release1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if a.Inflight() != 1 {
+		t.Fatalf("inflight = %d", a.Inflight())
+	}
+
+	// Second request queues; park it in a goroutine.
+	queuedDone := make(chan error, 1)
+	go func() {
+		release, err := a.Acquire(context.Background())
+		if err == nil {
+			release()
+		}
+		queuedDone <- err
+	}()
+	waitFor(t, func() bool { return a.Queued() == 1 })
+
+	// Third request finds slot and queue full: typed busy, retry-after > 0.
+	_, err = a.Acquire(context.Background())
+	var we *WireError
+	if !errors.As(err, &we) || we.Code != CodeBusy {
+		t.Fatalf("overflow acquire = %v, want busy", err)
+	}
+	if we.RetryAfter <= 0 {
+		t.Fatalf("busy without retry-after hint: %+v", we)
+	}
+	if line := ErrorLine(we); !strings.Contains(line, "retry-after=") {
+		t.Fatalf("busy wire line lost hint: %q", line)
+	}
+
+	// A queued waiter with an expired deadline leaves with the ctx error.
+	release1()
+	if err := <-queuedDone; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+
+	release2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("reacquire: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx); err == nil {
+		t.Fatal("queued waiter should fail when its deadline fires")
+	} else if !errors.Is(err, context.DeadlineExceeded) && !IsBusyErr(err) {
+		t.Fatalf("deadline-expired waiter got %v", err)
+	}
+	release2()
+
+	// release is idempotent: double-release must not free two slots.
+	release2()
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("post-double-release acquire: %v", err)
+	}
+	defer r1()
+	if a.Inflight() != 1 {
+		t.Fatalf("double release corrupted slot count: inflight=%d", a.Inflight())
+	}
+}
+
+// IsBusyErr reports a CodeBusy WireError (deadline-aware queueing may shed
+// a doomed request as busy instead of letting it expire in line).
+func IsBusyErr(err error) bool {
+	var we *WireError
+	return errors.As(err, &we) && we.Code == CodeBusy
+}
+
+// TestAdmissionDeadlineAwareShed pins up-front shedding: a request whose
+// deadline cannot survive the estimated queue wait is refused immediately
+// rather than left to die in line.
+func TestAdmissionDeadlineAwareShed(t *testing.T) {
+	a := NewAdmission(1, 8)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	// estWait is at least 1ms; a microsecond deadline can never beat it.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	start := time.Now()
+	_, err = a.Acquire(ctx)
+	if !IsBusyErr(err) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("doomed request got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("doomed request waited instead of shedding")
+	}
+}
+
+// TestAdmissionOverloadSheds is the overload gate end-to-end: with one
+// execution slot and a tiny queue, a burst of concurrent requests yields
+// (a) every response well-formed, (b) typed busy replies for the excess,
+// (c) shed/admitted counters that add up, and (d) bounded queue waits in
+// the obs histogram.
+func TestAdmissionOverloadSheds(t *testing.T) {
+	hold := make(chan struct{})
+	var executing atomic.Int64
+	var peak atomic.Int64
+	srv, addr := startServerCfg(t, func(s *Server) {
+		s.MaxInflight = 1
+		s.MaxQueue = 2
+		s.testExecHook = func(ctx context.Context, cmd Command) {
+			cur := executing.Add(1)
+			defer executing.Add(-1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			select {
+			case <-hold:
+			case <-ctx.Done():
+			case <-time.After(2 * time.Second):
+			}
+		}
+	})
+	_ = srv
+	before := obs.Global.Snapshot()
+
+	const burst = 10
+	results := make([]string, burst) // "ok", or the error code
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := dial(t, addr)
+			lines, errMsg := c.roundTrip("query 2000 select F, T from E where F = 0")
+			if errMsg == "" {
+				results[i] = "ok"
+				_ = lines
+				return
+			}
+			code, retryAfter, _, ok := ParseErrorLine("err " + errMsg)
+			if !ok {
+				results[i] = "unparseable:" + errMsg
+				return
+			}
+			if code == CodeBusy && retryAfter <= 0 {
+				results[i] = "busy-without-hint"
+				return
+			}
+			results[i] = code
+		}(i)
+	}
+	// Give the burst time to stack up, then release all executions.
+	time.Sleep(300 * time.Millisecond)
+	close(hold)
+	wg.Wait()
+
+	var oks, busies int
+	for i, r := range results {
+		switch r {
+		case "ok":
+			oks++
+		case CodeBusy:
+			busies++
+		case CodeTimeout, CodeCancelled:
+			// A queued request may legally time out under its own deadline.
+		default:
+			t.Fatalf("request %d: unexpected outcome %q (all: %v)", i, r, results)
+		}
+	}
+	if oks == 0 {
+		t.Fatalf("no requests succeeded: %v", results)
+	}
+	if busies == 0 {
+		t.Fatalf("overload never shed: %v", results)
+	}
+	if p := peak.Load(); p > 1 {
+		t.Fatalf("admission let %d requests execute concurrently (max 1)", p)
+	}
+
+	after := obs.Global.Snapshot()
+	if shed := after.Counters["server.shed"] - before.Counters["server.shed"]; shed < int64(busies) {
+		t.Fatalf("shed counter moved %d, want >= %d", shed, busies)
+	}
+	if admitted := after.Counters["server.admitted"] - before.Counters["server.admitted"]; admitted < int64(oks) {
+		t.Fatalf("admitted counter moved %d, want >= %d", admitted, oks)
+	}
+	qw := after.Histograms["server.queue_wait_us"]
+	if qw.Count == 0 {
+		t.Fatal("queue wait histogram never observed")
+	}
+	// Deadline-aware queueing bounds every wait by the request deadline
+	// (2s) — the p99 upper bound must stay within one power-of-two of it.
+	if qw.P99 > int64(1)<<22 {
+		t.Fatalf("queue wait p99 unbounded: %d us", qw.P99)
+	}
+	if after.Gauges["server.inflight"] != 0 || after.Gauges["server.queue_depth"] != 0 {
+		t.Fatalf("gauges did not settle: inflight=%d queue=%d",
+			after.Gauges["server.inflight"], after.Gauges["server.queue_depth"])
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionDisabled pins the nil gate: MaxInflight <= 0 admits
+// everything with zero bookkeeping.
+func TestAdmissionDisabled(t *testing.T) {
+	var a *Admission
+	for i := 0; i < 100; i++ {
+		release, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("nil gate refused: %v", err)
+		}
+		release()
+	}
+	if NewAdmission(0, 5) != nil {
+		t.Fatal("MaxInflight=0 should disable the gate")
+	}
+}

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/graphsql"
+)
+
+// stallMarker is the statement tests route through testExecHook to get a
+// deterministically slow request.
+const stallMarker = "select F, T from E where F = 0"
+
+// TestDeadlineTokenPropagates pins end-to-end deadline propagation: a
+// request deadline token becomes a context deadline that reaches execution,
+// the reply is a typed timeout, and the connection stays usable.
+func TestDeadlineTokenPropagates(t *testing.T) {
+	srv, addr := startServerCfg(t, func(s *Server) {
+		s.testExecHook = func(ctx context.Context, cmd Command) {
+			if cmd.Arg == stallMarker {
+				<-ctx.Done() // stall until the request deadline fires
+			}
+		}
+	})
+	_ = srv
+	c := dial(t, addr)
+	start := time.Now()
+	_, errMsg := c.roundTrip("query 40 " + stallMarker)
+	if errMsg == "" {
+		t.Fatal("deadline-expired request should answer err")
+	}
+	if code, _, _, ok := ParseErrorLine("err " + errMsg); !ok || code != CodeTimeout {
+		t.Fatalf("expired request answered %q, want timeout code", errMsg)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	// Mid-stream expiry must not desynchronize: the next request works.
+	if lines, errMsg := c.roundTrip("query select F, T from E where F = 1"); errMsg != "" || len(lines) == 0 {
+		t.Fatalf("follow-up after timeout = %v / %q", lines, errMsg)
+	}
+}
+
+// TestMaxDeadlineCapsTokens pins the server-wide cap: a huge client token
+// is clamped to MaxDeadline.
+func TestMaxDeadlineCapsTokens(t *testing.T) {
+	srv, addr := startServerCfg(t, func(s *Server) {
+		s.MaxDeadline = 50 * time.Millisecond
+		s.testExecHook = func(ctx context.Context, cmd Command) {
+			if cmd.Arg == stallMarker {
+				<-ctx.Done()
+			}
+		}
+	})
+	_ = srv
+	c := dial(t, addr)
+	start := time.Now()
+	_, errMsg := c.roundTrip("query 3600000 " + stallMarker)
+	if errMsg == "" {
+		t.Fatal("capped request should time out")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cap did not bite: %v", elapsed)
+	}
+	// And a request with no token inherits the cap as its default.
+	start = time.Now()
+	if _, errMsg := c.roundTrip("query " + stallMarker); errMsg == "" {
+		t.Fatal("tokenless request should inherit default deadline")
+	} else if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("default deadline did not bite: %v", elapsed)
+	}
+}
+
+// drainPump drives one connection with quick queries until the server
+// drains, counting completed frames and truncated (mid-frame) failures.
+func drainPump(t *testing.T, addr string) (completed int, drained bool, truncated int) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Errorf("dial: %v", err)
+		return 0, false, 1
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for i := 0; i < 10000; i++ {
+		if _, err := fmt.Fprintf(conn, "query select T from E where F = %d\n", i%100); err != nil {
+			// The write raced the close of a drained connection: the request
+			// never reached a handler, nothing was dropped.
+			return completed, true, truncated
+		}
+		status, err := r.ReadString('\n')
+		if err != nil {
+			// EOF at a frame boundary: the drain notice itself can race a
+			// just-sent request; the request was not accepted.
+			return completed, true, truncated
+		}
+		status = strings.TrimSuffix(status, "\n")
+		if code, _, _, ok := ParseErrorLine(status); ok {
+			if code == CodeShutdown {
+				return completed, true, truncated
+			}
+			t.Errorf("unexpected error reply %q", status)
+			return completed, drained, truncated + 1
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(status, "ok "))
+		if err != nil {
+			t.Errorf("bad status %q", status)
+			return completed, drained, truncated + 1
+		}
+		// Once the status line is out, the frame MUST complete: payload and
+		// terminator arriving whole is the zero-dropped-work guarantee.
+		for j := 0; j <= n; j++ {
+			if _, err := r.ReadString('\n'); err != nil {
+				t.Errorf("truncated frame after %d/%d payload lines: %v", j, n, err)
+				return completed, drained, truncated + 1
+			}
+		}
+		completed++
+	}
+	return completed, drained, truncated
+}
+
+// TestShutdownDrainsZeroDropped is the drain gate: SIGTERM-style Shutdown
+// during a multi-client run completes every accepted request — no truncated
+// frames — and every client sees a clean goodbye.
+func TestShutdownDrainsZeroDropped(t *testing.T) {
+	srv, addr := startServerCfg(t, func(s *Server) {
+		s.WriteTimeout = 5 * time.Second
+	})
+	const clients = 8
+	var wg sync.WaitGroup
+	var totalCompleted, totalTruncated atomic.Int64
+	var drainedClients atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			completed, drained, truncated := drainPump(t, addr)
+			totalCompleted.Add(int64(completed))
+			totalTruncated.Add(int64(truncated))
+			if drained {
+				drainedClients.Add(1)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the pumps get going
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	if totalTruncated.Load() != 0 {
+		t.Fatalf("%d truncated frames across drain", totalTruncated.Load())
+	}
+	if drainedClients.Load() != clients {
+		t.Fatalf("only %d/%d clients saw the drain", drainedClients.Load(), clients)
+	}
+	if totalCompleted.Load() == 0 {
+		t.Fatal("no requests completed before drain — test raced")
+	}
+	// After Shutdown returns, new connections must be refused.
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		conn.Close()
+		t.Fatal("dial should fail after shutdown")
+	}
+}
+
+// TestShutdownNoticesIdleConns pins the idle-connection path: a connection
+// parked between requests receives the drain notice as a complete frame.
+func TestShutdownNoticesIdleConns(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dial(t, addr)
+	if _, errMsg := c.roundTrip("ping"); errMsg != "" {
+		t.Fatalf("ping: %s", errMsg)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+	status, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("idle conn read after shutdown: %v", err)
+	}
+	code, _, _, ok := ParseErrorLine(strings.TrimSuffix(status, "\n"))
+	if !ok || code != CodeShutdown {
+		t.Fatalf("idle conn got %q, want shutdown notice", status)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestShutdownHardClosesAtDeadline pins the forced path: a request that
+// will not finish inside the drain deadline is cancelled, the connection is
+// hard-closed, and Shutdown reports ctx.Err().
+func TestShutdownHardClosesAtDeadline(t *testing.T) {
+	released := make(chan struct{})
+	srv, addr := startServerCfg(t, func(s *Server) {
+		s.testExecHook = func(ctx context.Context, cmd Command) {
+			if cmd.Arg == stallMarker {
+				select {
+				case <-ctx.Done(): // hard-stop cancellation reaches us
+				case <-released:
+				}
+			}
+		}
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	defer close(released)
+	if _, err := fmt.Fprintf(conn, "query %s\n", stallMarker); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the request get in flight
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	// The server must be fully stopped regardless.
+	if conn2, err := net.Dial("tcp", addr); err == nil {
+		conn2.Close()
+		t.Fatal("dial should fail after hard shutdown")
+	}
+}
+
+// TestServeShutdownRaces exercises the Serve/Shutdown/Close state machine
+// under the race detector: concurrent shutdowns, shutdown-before-serve, and
+// serve-after-shutdown must all resolve cleanly.
+func TestServeShutdownRaces(t *testing.T) {
+	t.Run("concurrent shutdowns", func(t *testing.T) {
+		srv, addr := startServer(t)
+		c := dial(t, addr)
+		if _, errMsg := c.roundTrip("ping"); errMsg != "" {
+			t.Fatal(errMsg)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				if err := srv.Shutdown(ctx); err != nil {
+					t.Errorf("Shutdown: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+	})
+	t.Run("shutdown immediately after serve", func(t *testing.T) {
+		srv, _ := startServer(t)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	})
+	t.Run("serve after shutdown", func(t *testing.T) {
+		pool, err := graphsql.OpenPool("oracle")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := New(pool, nil)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown before Serve: %v", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Serve(ln); err == nil {
+			t.Fatal("Serve after Shutdown should refuse")
+		}
+	})
+	t.Run("close after shutdown", func(t *testing.T) {
+		srv, _ := startServer(t)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatalf("Close after Shutdown: %v", err)
+		}
+	})
+	t.Run("shutdown during live traffic", func(t *testing.T) {
+		srv, addr := startServer(t)
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				drainPump(t, addr)
+			}()
+		}
+		time.Sleep(10 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		wg.Wait()
+	})
+}
+
+// TestHealthReportsDraining pins the probe transition: the health verb
+// reports ready before Shutdown; once draining, new connections get the
+// drain notice instead of service.
+func TestHealthReportsDraining(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dial(t, addr)
+	lines, errMsg := c.roundTrip("health")
+	if errMsg != "" || len(lines) != 1 || !strings.HasPrefix(lines[0], "ready ") {
+		t.Fatalf("health before drain = %v / %q", lines, errMsg)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		conn.Close()
+		t.Fatal("probe dial should fail once drained")
+	}
+}

@@ -24,6 +24,15 @@ func FuzzServerProto(f *testing.F) {
 		"query " + strings.Repeat("x", 300),
 		"p\x00ng",
 		"err err err",
+		"query 1500 select F, T from E",
+		"run 250 pr",
+		"query 42",
+		"query 007 select 1 from E",
+		"query 99999999999999999999999 select F from E",
+		"health",
+		"ready",
+		"health check",
+		"quit now",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -31,9 +40,15 @@ func FuzzServerProto(f *testing.F) {
 	f.Fuzz(func(t *testing.T, input string) {
 		cmd, err := ParseCommand(input)
 		if err != nil {
-			// Rejected input: the error must render as one clean line.
-			if line := ErrorLine(err); strings.ContainsAny(line, "\n\r") {
+			// Rejected input: the error must render as one clean, decodable
+			// protocol-error line.
+			line := ErrorLine(err)
+			if strings.ContainsAny(line, "\n\r") {
 				t.Fatalf("ErrorLine broke framing: %q", line)
+			}
+			code, _, _, ok := ParseErrorLine(line)
+			if !ok || code != CodeProto {
+				t.Fatalf("rejected input %q rendered undecodable error %q (code %q)", input, line, code)
 			}
 			return
 		}
@@ -45,13 +60,17 @@ func FuzzServerProto(f *testing.F) {
 		if err != nil {
 			t.Fatalf("accepted %q but rejected its rendering %q: %v", input, wire, err)
 		}
-		if again.Verb != cmd.Verb || again.Arg != cmd.Arg {
+		if again.Verb != cmd.Verb || again.Arg != cmd.Arg || again.DeadlineMS != cmd.DeadlineMS {
 			t.Fatalf("round-trip mismatch: %v != %v (input %q)", again, cmd, input)
 		}
 		switch cmd.Verb {
 		case VerbQuery, VerbRun:
 			if cmd.Arg == "" {
 				t.Fatalf("%v accepted with empty arg (input %q)", cmd.Verb, input)
+			}
+		default:
+			if cmd.DeadlineMS != 0 {
+				t.Fatalf("%v carries a deadline token (input %q)", cmd.Verb, input)
 			}
 		}
 	})

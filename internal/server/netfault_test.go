@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/graphsql"
+	"repro/internal/netfault"
+	"repro/internal/obs"
+)
+
+// startPipeServer serves over synchronous in-memory pipes so backpressure
+// is deterministic: a server write blocks until the client reads it, no
+// kernel socket buffering in between.
+func startPipeServer(t *testing.T, cfg func(*Server)) (*Server, *netfault.PipeListener) {
+	t.Helper()
+	pool, err := graphsql.OpenPool("oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphsql.MustGenerate("WV", 100, 7)
+	if err := pool.DB().LoadEdges("E", g); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(pool, g)
+	if cfg != nil {
+		cfg(srv)
+	}
+	ln := netfault.NewPipeListener()
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln
+}
+
+// pipeRoundTrip drives one framed request over a pipe connection.
+func pipeRoundTrip(t *testing.T, conn net.Conn, req string) ([]string, string) {
+	t.Helper()
+	if _, err := fmt.Fprintf(conn, "%s\n", req); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	r := bufio.NewReader(conn)
+	status, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read status: %v", err)
+	}
+	status = strings.TrimSuffix(status, "\n")
+	if strings.HasPrefix(status, "err ") {
+		return nil, strings.TrimPrefix(status, "err ")
+	}
+	var n int
+	if _, err := fmt.Sscanf(status, "ok %d", &n); err != nil {
+		t.Fatalf("bad status %q", status)
+	}
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read payload: %v", err)
+		}
+		lines = append(lines, strings.TrimSuffix(l, "\n"))
+	}
+	if term, err := r.ReadString('\n'); err != nil || term != ".\n" {
+		t.Fatalf("bad terminator %q (%v)", term, err)
+	}
+	return lines, ""
+}
+
+// TestNetFaultSlowLoris pins the slow-loris defense: a client trickling its
+// request one byte at a time never completes a line inside IdleTimeout, so
+// the server cuts it — while a well-behaved connection is served throughout.
+func TestNetFaultSlowLoris(t *testing.T) {
+	_, ln := startPipeServer(t, func(s *Server) {
+		s.IdleTimeout = 80 * time.Millisecond
+	})
+	raw, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loris := netfault.Wrap(raw, netfault.Plan{WriteDelay: 20 * time.Millisecond, WriteChunk: 1})
+	defer loris.Close()
+	done := make(chan error, 1)
+	go func() {
+		// ~25 bytes x 20ms = 500ms >> 80ms idle budget: the line cannot finish.
+		_, err := loris.Write([]byte("query select F, T from E\n"))
+		done <- err
+	}()
+
+	// A faithful client on another connection is unaffected meanwhile.
+	good, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	for i := 0; i < 3; i++ {
+		if lines, errMsg := pipeRoundTrip(t, good, "query select T from E where F = 0"); errMsg != "" || len(lines) == 0 {
+			t.Fatalf("good client starved during slow-loris: %v / %q", lines, errMsg)
+		}
+	}
+
+	if err := <-done; err == nil {
+		// The write may have been fully buffered before the cut; the read
+		// side must still observe the severed connection.
+		loris.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, rerr := loris.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("slow-loris connection was not cut")
+		}
+	}
+}
+
+// TestNetFaultStalledReader pins the write-deadline defense: a client that
+// sends requests but never reads responses would pin its handler goroutine
+// forever on the response write; WriteTimeout frees it and the server
+// stays drainable.
+func TestNetFaultStalledReader(t *testing.T) {
+	srv, ln := startPipeServer(t, func(s *Server) {
+		s.WriteTimeout = 100 * time.Millisecond
+	})
+	before := obs.Global.Snapshot().Counters["server.write_timeouts"]
+	conn, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a request and never read: on a pipe, the server's response flush
+	// blocks immediately until the write deadline trips.
+	if _, err := fmt.Fprintf(conn, "query select F, T from E where F = 0\n"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		return obs.Global.Snapshot().Counters["server.write_timeouts"] > before
+	})
+	// The handler is free again: a full drain completes promptly.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after stalled reader: %v", err)
+	}
+}
+
+// TestNetFaultMidResponseDisconnect pins handler cleanup when a client dies
+// partway through reading a response: the write fails, the handler exits,
+// and other connections are unaffected.
+func TestNetFaultMidResponseDisconnect(t *testing.T) {
+	srv, ln := startPipeServer(t, func(s *Server) {
+		s.WriteTimeout = time.Second
+	})
+	raw, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dying := netfault.Wrap(raw, netfault.Plan{CloseAfterReadBytes: 5})
+	if _, err := fmt.Fprintf(dying, "query select F, T from E where F = 0\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Read until the plan severs the connection mid-response.
+	buf := make([]byte, 64)
+	for {
+		if _, err := dying.Read(buf); err != nil {
+			break
+		}
+	}
+	// The server keeps serving others.
+	good, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if lines, errMsg := pipeRoundTrip(t, good, "query select T from E where F = 1"); errMsg != "" || len(lines) == 0 {
+		t.Fatalf("server wedged after mid-response disconnect: %v / %q", lines, errMsg)
+	}
+	// And remains fully drainable (the dead handler exited).
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestNetFaultMidRequestDisconnect pins the read side: a client dying
+// mid-request line leaves no partial command executed.
+func TestNetFaultMidRequestDisconnect(t *testing.T) {
+	_, ln := startPipeServer(t, nil)
+	before := obs.Global.Snapshot().Counters["server.requests"]
+	raw, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dying := netfault.Wrap(raw, netfault.Plan{CloseAfterWriteBytes: 10})
+	if _, err := fmt.Fprintf(dying, "query select F, T from E where F = 0\n"); err == nil {
+		t.Fatal("write should fail at the disconnect limit")
+	}
+	// The truncated line must never become a request.
+	time.Sleep(50 * time.Millisecond)
+	if got := obs.Global.Snapshot().Counters["server.requests"]; got != before {
+		t.Fatalf("partial request executed: requests %d -> %d", before, got)
+	}
+	good, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if lines, errMsg := pipeRoundTrip(t, good, "query select T from E where F = 1"); errMsg != "" || len(lines) == 0 {
+		t.Fatalf("server wedged after mid-request disconnect: %v / %q", lines, errMsg)
+	}
+}

@@ -5,22 +5,40 @@
 // Requests are single lines:
 //
 //	ping
-//	query <sql or WITH+ statement>
-//	run <algorithm code>
+//	query [deadline-ms] <sql or WITH+ statement>
+//	run [deadline-ms] <algorithm code>
 //	tables
 //	stats
+//	health            (alias: ready — liveness/readiness probe)
 //	quit
 //
+// The optional deadline token on query/run is an integer millisecond
+// budget: the server executes the statement under a context deadline
+// derived from it (capped by the server-wide maximum), so a client's
+// deadline propagates all the way into operator loops.
+//
 // Every response is framed the same way: a status line `ok <n>` followed by
-// n payload lines and a terminating `.` line, or a single `err <message>`
-// line. The framing is fixed so clients never need lookahead, and messages
-// are sanitized to one line so a hostile statement cannot desynchronize the
-// stream.
+// n payload lines and a terminating `.` line, or a single error line
+//
+//	err <code> [retry-after=<ms>] <message>
+//
+// where <code> is one of the Code* constants below. The framing is fixed so
+// clients never need lookahead, and messages are sanitized to one line so a
+// hostile statement cannot desynchronize the stream. Codes let a client
+// distinguish retryable conditions (busy, shutdown — the request was NOT
+// executed) from permanent ones (parse, budget, timeout, cancelled, proto,
+// internal).
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
+
+	"repro/graphsql"
 )
 
 // Verb is the request type of a parsed command.
@@ -33,6 +51,7 @@ const (
 	VerbRun
 	VerbTables
 	VerbStats
+	VerbHealth
 	VerbQuit
 )
 
@@ -49,6 +68,8 @@ func (v Verb) String() string {
 		return "tables"
 	case VerbStats:
 		return "stats"
+	case VerbHealth:
+		return "health"
 	case VerbQuit:
 		return "quit"
 	}
@@ -61,15 +82,24 @@ type Command struct {
 	// Arg is the statement text for VerbQuery and the algorithm code for
 	// VerbRun; empty otherwise.
 	Arg string
+	// DeadlineMS is the request's deadline budget in milliseconds (0 =
+	// none): the server runs the statement under a context deadline derived
+	// from it, capped by the server-wide maximum. Only query and run carry
+	// deadlines.
+	DeadlineMS int
 }
 
 // String renders the command as a request line. ParseCommand(c.String())
 // round-trips for every command ParseCommand accepts.
 func (c Command) String() string {
-	if c.Arg == "" {
-		return c.Verb.String()
+	s := c.Verb.String()
+	if c.DeadlineMS > 0 && (c.Verb == VerbQuery || c.Verb == VerbRun) {
+		s += " " + strconv.Itoa(c.DeadlineMS)
 	}
-	return c.Verb.String() + " " + c.Arg
+	if c.Arg != "" {
+		s += " " + c.Arg
+	}
+	return s
 }
 
 // MaxLine is the longest accepted request line. Longer lines are a protocol
@@ -77,24 +107,77 @@ func (c Command) String() string {
 // a client stream an unbounded statement into memory.
 const MaxLine = 1 << 20
 
+// Wire error codes, the second token of an error line. Busy and shutdown
+// guarantee the request was not executed, so they are safe to retry for any
+// verb; everything else is a definitive outcome for this request.
+const (
+	// CodeProto marks malformed requests: unknown verbs, control bytes,
+	// oversized lines, trailing garbage on no-argument verbs.
+	CodeProto = "proto"
+	// CodeParse marks statements rejected at parse/compile time.
+	CodeParse = "parse"
+	// CodeBudget marks per-statement resource-budget violations.
+	CodeBudget = "budget"
+	// CodeTimeout marks requests that exceeded their deadline mid-execution.
+	CodeTimeout = "timeout"
+	// CodeCancelled marks requests aborted by cancellation.
+	CodeCancelled = "cancelled"
+	// CodeBusy marks requests shed by admission control before execution;
+	// the line carries a retry-after=<ms> hint. Retryable.
+	CodeBusy = "busy"
+	// CodeShutdown is the drain notice: the server is shutting down and did
+	// not execute the request. Retryable (against another instance).
+	CodeShutdown = "shutdown"
+	// CodeInternal marks every other failure.
+	CodeInternal = "internal"
+)
+
+// Retryable reports whether a wire error code guarantees the request was
+// not executed, making a retry safe for any verb.
+func Retryable(code string) bool { return code == CodeBusy || code == CodeShutdown }
+
+var wireCodes = map[string]bool{
+	CodeProto: true, CodeParse: true, CodeBudget: true, CodeTimeout: true,
+	CodeCancelled: true, CodeBusy: true, CodeShutdown: true, CodeInternal: true,
+}
+
+// WireError is a typed protocol-level error: admission sheds, drain
+// notices, and malformed requests are born as WireErrors; engine errors are
+// classified into codes by ErrorLine.
+type WireError struct {
+	Code string
+	Msg  string
+	// RetryAfter is the backoff hint attached to CodeBusy sheds.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *WireError) Error() string { return e.Code + ": " + e.Msg }
+
+// protoErrf builds a CodeProto WireError, the type every ParseCommand
+// rejection carries.
+func protoErrf(format string, args ...any) error {
+	return &WireError{Code: CodeProto, Msg: fmt.Sprintf(format, args...)}
+}
+
 // ParseCommand parses one request line (without its trailing newline). It
 // is total: any input yields a command or an error, never a panic — the
 // contract FuzzServerProto pins.
 func ParseCommand(line string) (Command, error) {
 	if len(line) > MaxLine {
-		return Command{}, fmt.Errorf("server: line exceeds %d bytes", MaxLine)
+		return Command{}, protoErrf("server: line exceeds %d bytes", MaxLine)
 	}
 	for i := 0; i < len(line); i++ {
 		// The scanner strips the line terminator; any other control byte in a
 		// request is garbage (binary junk, embedded CR) and is rejected before
 		// it can reach the SQL parser or an echo in an error message.
 		if line[i] < 0x20 && line[i] != '\t' {
-			return Command{}, fmt.Errorf("server: control byte 0x%02x in request", line[i])
+			return Command{}, protoErrf("server: control byte 0x%02x in request", line[i])
 		}
 	}
 	line = strings.TrimSpace(line)
 	if line == "" {
-		return Command{}, fmt.Errorf("server: empty request")
+		return Command{}, protoErrf("server: empty request")
 	}
 	verb := line
 	arg := ""
@@ -103,26 +186,77 @@ func ParseCommand(line string) (Command, error) {
 	}
 	switch strings.ToLower(verb) {
 	case "ping":
-		return Command{Verb: VerbPing}, nil
+		return noArg(VerbPing, arg)
 	case "query":
-		if arg == "" {
-			return Command{}, fmt.Errorf("server: query needs a statement")
+		dl, rest, err := splitDeadline(arg)
+		if err != nil {
+			return Command{}, err
 		}
-		return Command{Verb: VerbQuery, Arg: arg}, nil
+		if rest == "" {
+			return Command{}, protoErrf("server: query needs a statement")
+		}
+		return Command{Verb: VerbQuery, Arg: rest, DeadlineMS: dl}, nil
 	case "run":
-		code := strings.ToUpper(arg)
-		if code == "" || strings.ContainsAny(code, " \t") {
-			return Command{}, fmt.Errorf("server: run needs one algorithm code")
+		dl, rest, err := splitDeadline(arg)
+		if err != nil {
+			return Command{}, err
 		}
-		return Command{Verb: VerbRun, Arg: code}, nil
+		code := strings.ToUpper(rest)
+		if code == "" || strings.ContainsAny(code, " \t") {
+			return Command{}, protoErrf("server: run needs one algorithm code")
+		}
+		return Command{Verb: VerbRun, Arg: code, DeadlineMS: dl}, nil
 	case "tables":
-		return Command{Verb: VerbTables}, nil
+		return noArg(VerbTables, arg)
 	case "stats":
-		return Command{Verb: VerbStats}, nil
+		return noArg(VerbStats, arg)
+	case "health", "ready":
+		return noArg(VerbHealth, arg)
 	case "quit":
-		return Command{Verb: VerbQuit}, nil
+		return noArg(VerbQuit, arg)
 	}
-	return Command{}, fmt.Errorf("server: unknown verb %q", clipForError(verb))
+	return Command{}, protoErrf("server: unknown verb %q", clipForError(verb))
+}
+
+// noArg accepts a verb that takes no argument, rejecting trailing garbage
+// (which would otherwise be silently dropped and lost on round-trip).
+func noArg(v Verb, arg string) (Command, error) {
+	if arg != "" {
+		return Command{}, protoErrf("server: %s takes no argument (got %q)", v, clipForError(arg))
+	}
+	return Command{Verb: v}, nil
+}
+
+// splitDeadline consumes an optional leading deadline token: an all-digit
+// first token followed by more text is a millisecond budget. A lone number
+// is the argument itself (so `run 1500 PR` carries a deadline while
+// `query 42` stays a statement), keeping String() round-trips exact.
+func splitDeadline(arg string) (ms int, rest string, err error) {
+	i := strings.IndexAny(arg, " \t")
+	if i < 0 {
+		return 0, arg, nil
+	}
+	tok := arg[:i]
+	if !allDigits(tok) {
+		return 0, arg, nil
+	}
+	n, perr := strconv.Atoi(tok)
+	if perr != nil || n < 0 {
+		return 0, "", protoErrf("server: bad deadline %q", clipForError(tok))
+	}
+	return n, strings.TrimSpace(arg[i+1:]), nil
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // clipForError bounds how much of a hostile request is echoed back.
@@ -134,13 +268,39 @@ func clipForError(s string) string {
 	return s
 }
 
-// ErrorLine renders an error as its single-line wire form. Newlines and
-// control bytes in the message are flattened so the response cannot span
-// frames.
+// ErrorLine renders an error as its single-line wire form
+// `err <code> [retry-after=<ms>] <message>`, classifying typed engine
+// errors into distinct codes. Newlines and control bytes in the message are
+// flattened so the response cannot span frames.
 func ErrorLine(err error) string {
+	code, retryAfter := CodeInternal, time.Duration(0)
 	msg := "unknown error"
 	if err != nil {
 		msg = err.Error()
+	}
+	var we *WireError
+	switch {
+	case errors.As(err, &we):
+		code, retryAfter = we.Code, we.RetryAfter
+		if we.Msg != "" {
+			msg = we.Msg
+		}
+	case errors.Is(err, graphsql.ErrParse):
+		code = CodeParse
+	case errors.Is(err, graphsql.ErrBudgetExceeded):
+		code = CodeBudget
+	case errors.Is(err, context.DeadlineExceeded):
+		code = CodeTimeout
+	case errors.Is(err, context.Canceled):
+		code = CodeCancelled
+	}
+	line := "err " + code
+	if code == CodeBusy {
+		ms := retryAfter.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		line += fmt.Sprintf(" retry-after=%d", ms)
 	}
 	var b strings.Builder
 	for i := 0; i < len(msg); i++ {
@@ -150,5 +310,40 @@ func ErrorLine(err error) string {
 		}
 		b.WriteByte(c)
 	}
-	return "err " + b.String()
+	return line + " " + b.String()
+}
+
+// ParseErrorLine decodes a wire error line produced by ErrorLine: the code,
+// the busy retry-after hint, and the message. Lines whose second token is
+// not a known code (older servers, free-form errors) decode as CodeInternal
+// with the whole remainder as the message. ok is false only when the line
+// is not an error line at all.
+func ParseErrorLine(line string) (code string, retryAfter time.Duration, msg string, ok bool) {
+	rest, found := strings.CutPrefix(line, "err ")
+	if !found {
+		return "", 0, "", false
+	}
+	code = rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		code, msg = rest[:i], rest[i+1:]
+	} else {
+		msg = ""
+	}
+	if !wireCodes[code] {
+		return CodeInternal, 0, rest, true
+	}
+	if code == CodeBusy {
+		if after, found := strings.CutPrefix(msg, "retry-after="); found {
+			num := after
+			if i := strings.IndexByte(after, ' '); i >= 0 {
+				num, msg = after[:i], after[i+1:]
+			} else {
+				msg = ""
+			}
+			if n, err := strconv.Atoi(num); err == nil && n >= 0 {
+				retryAfter = time.Duration(n) * time.Millisecond
+			}
+		}
+	}
+	return code, retryAfter, msg, true
 }

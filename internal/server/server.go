@@ -2,10 +2,13 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -19,6 +22,13 @@ import (
 // snapshot-isolated reads, private temp namespaces, and per-session
 // accounting for free, and N clients genuinely execute concurrently
 // against one engine.
+//
+// The serving path is built to survive overload, slow clients, and
+// restarts: request deadlines propagate from the wire into operator loops,
+// an admission gate sheds excess load with typed busy errors instead of
+// queueing unboundedly, read and write deadlines cut stalled peers, and
+// Shutdown drains in-flight work before closing. See DESIGN.md, "Failure
+// model at the wire".
 type Server struct {
 	pool *graphsql.Pool
 	// g, when set, is the graph `run <code>` executes against — gsqld loads
@@ -27,28 +37,66 @@ type Server struct {
 	// Params are the algorithm parameters for `run` (zero value = per-graph
 	// defaults).
 	Params graphsql.Params
-	// IdleTimeout closes connections with no complete request for this long
-	// (0 = no timeout).
+	// IdleTimeout closes connections that do not deliver a complete request
+	// line for this long (0 = no timeout). Because the deadline covers the
+	// whole line, it also cuts slow-loris writers that trickle a request
+	// byte by byte.
 	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one full response (0 = no bound). A
+	// stalled reader that never drains its responses trips it, freeing the
+	// handler goroutine instead of pinning it forever.
+	WriteTimeout time.Duration
+	// MaxDeadline caps per-request deadline tokens and applies as the
+	// default deadline for requests that carry none (0 = uncapped, no
+	// default).
+	MaxDeadline time.Duration
+	// MaxInflight and MaxQueue configure admission control, snapshot at the
+	// first Serve call: at most MaxInflight query/run requests execute
+	// concurrently, at most MaxQueue more wait, the rest are shed with a
+	// typed busy error. MaxInflight <= 0 disables the gate.
+	MaxInflight int
+	MaxQueue    int
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	initOnce sync.Once
+	adm      *Admission
+
+	// baseCtx is the parent of every request context; baseCancel aborts all
+	// in-flight statements when a drain deadline forces a hard stop.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup
+
+	// testExecHook, when set, runs inside execute while the admission slot
+	// is held — tests use it to make service time deterministic.
+	testExecHook func(ctx context.Context, cmd Command)
 }
 
 // New returns a server over the pool. g may be nil; then `run` reports an
 // error and only relational statements are served.
 func New(pool *graphsql.Pool, g *graphsql.Graph) *Server {
-	return &Server{pool: pool, g: g, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{pool: pool, g: g, conns: make(map[net.Conn]struct{}),
+		baseCtx: ctx, baseCancel: cancel}
 }
 
-// Serve accepts connections on ln until Close. It returns nil after Close;
-// any other accept failure is returned as-is.
+// init snapshots admission configuration; called once from Serve so tests
+// can set the exported knobs between New and Serve.
+func (s *Server) init() {
+	s.initOnce.Do(func() { s.adm = NewAdmission(s.MaxInflight, s.MaxQueue) })
+}
+
+// Serve accepts connections on ln until Close or Shutdown. It returns nil
+// after either; any other accept failure is returned as-is.
 func (s *Server) Serve(ln net.Listener) error {
+	s.init()
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		ln.Close()
 		return fmt.Errorf("server: closed")
@@ -59,18 +107,23 @@ func (s *Server) Serve(ln net.Listener) error {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopping := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopping {
 				return nil
 			}
 			return err
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
+			// Lost the race with Shutdown/Close: refuse with a drain notice
+			// so the client knows to go elsewhere rather than seeing a bare
+			// reset.
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			fmt.Fprintf(conn, "%s\n", ErrorLine(drainNotice()))
 			conn.Close()
-			return nil
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
@@ -79,8 +132,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting, closes every live connection, and waits for their
-// handlers (and with them their pool sessions) to finish.
+// Close stops accepting, hard-closes every live connection, cancels
+// in-flight statements, and waits for the handlers (and with them their
+// pool sessions) to finish. For a graceful stop, use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -88,11 +142,13 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.draining = true
 	ln := s.ln
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.baseCancel()
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -101,12 +157,125 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown gracefully drains the server: it stops accepting, nudges idle
+// connections with a drain notice, lets in-flight requests finish, and
+// hard-closes whatever remains when ctx expires (cancelling their
+// statements mid-flight). It returns nil when every connection drained in
+// time and ctx.Err() after a forced stop. Safe to call concurrently with
+// Serve and with itself; after Shutdown the server cannot serve again.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	first := !s.draining
+	s.draining = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if first {
+		obs.Global.Counter("server.drains").Inc()
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	// Wake handlers blocked reading an idle connection: their Scan fails
+	// with a deadline error, they see draining, send the notice, and exit.
+	// Handlers mid-execute are untouched — they finish their request, write
+	// the full response, then drain.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel()
+		s.mu.Lock()
+		for c := range s.conns {
+			obs.Global.Counter("server.hard_closed").Inc()
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Server) drainingNow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 func (s *Server) done(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
 	conn.Close()
 	s.wg.Done()
+}
+
+// scanFullLines is bufio.ScanLines minus its at-EOF partial-token behavior:
+// a request is only a request once its newline arrives, so bytes stranded by
+// a disconnect or a read deadline are dropped, never parsed.
+func scanFullLines(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line := data[:i]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		return i + 1, line, nil
+	}
+	return 0, nil, nil
+}
+
+// drainNotice is the complete one-frame response a draining server sends in
+// place of further service; it guarantees the request (if any) was not
+// executed.
+func drainNotice() *WireError {
+	return &WireError{Code: CodeShutdown, Msg: "server: draining, retry against another instance"}
+}
+
+// armWrite arms the per-response write deadline.
+func (s *Server) armWrite(conn net.Conn) {
+	if s.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+	}
+}
+
+// flush completes one response: it flushes the buffered writer under the
+// armed write deadline and disarms it. A tripped deadline is counted — it
+// means a stalled reader just cost us a connection, not a handler.
+func (s *Server) flush(conn net.Conn, w *bufio.Writer) error {
+	err := w.Flush()
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		obs.Global.Counter("server.write_timeouts").Inc()
+	}
+	if s.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
+func (s *Server) sendDrainNotice(conn net.Conn, w *bufio.Writer) {
+	obs.Global.Counter("server.drain_notices").Inc()
+	s.armWrite(conn)
+	fmt.Fprintf(w, "%s\n", ErrorLine(drainNotice()))
+	s.flush(conn, w)
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -119,31 +288,52 @@ func (s *Server) handle(conn net.Conn) {
 	// resynchronize mid-line.
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 4096), MaxLine+1)
+	// Unlike bufio.ScanLines, never surface a partial line as a token: a
+	// connection cut (or deadline-tripped) mid-request must not have its
+	// truncated bytes executed as a command.
+	sc.Split(scanFullLines)
 	w := bufio.NewWriter(conn)
 	for {
+		if s.drainingNow() {
+			s.sendDrainNotice(conn, w)
+			return
+		}
 		if s.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
 		}
 		if !sc.Scan() {
-			if err := sc.Err(); err != nil && strings.Contains(err.Error(), "token too long") {
-				fmt.Fprintf(w, "%s\n", ErrorLine(fmt.Errorf("server: line exceeds %d bytes", MaxLine)))
-				w.Flush()
+			err := sc.Err()
+			switch {
+			case err != nil && errors.Is(err, bufio.ErrTooLong):
+				s.armWrite(conn)
+				fmt.Fprintf(w, "%s\n", ErrorLine(protoErrf("server: line exceeds %d bytes", MaxLine)))
+				s.flush(conn, w)
+			case err != nil && errors.Is(err, os.ErrDeadlineExceeded) && s.drainingNow():
+				// Shutdown's read-deadline nudge woke us: this idle
+				// connection has no request in flight, so the notice is its
+				// whole goodbye.
+				s.sendDrainNotice(conn, w)
 			}
 			return
 		}
 		cmd, err := ParseCommand(sc.Text())
 		if err != nil {
+			s.armWrite(conn)
 			fmt.Fprintf(w, "%s\n", ErrorLine(err))
-			w.Flush()
+			if s.flush(conn, w) != nil {
+				return
+			}
 			continue
 		}
 		if cmd.Verb == VerbQuit {
+			s.armWrite(conn)
 			fmt.Fprintf(w, "ok 0\n.\n")
-			w.Flush()
+			s.flush(conn, w)
 			return
 		}
 		obs.Global.Counter("server.requests").Inc()
 		lines, err := s.execute(sess, cmd)
+		s.armWrite(conn)
 		if err != nil {
 			fmt.Fprintf(w, "%s\n", ErrorLine(err))
 		} else {
@@ -153,20 +343,74 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			fmt.Fprintf(w, ".\n")
 		}
-		if err := w.Flush(); err != nil {
+		if s.flush(conn, w) != nil {
+			return
+		}
+		if s.drainingNow() {
+			// The in-flight request completed with a full response; now part
+			// cleanly instead of reading further work we would not finish.
+			s.sendDrainNotice(conn, w)
 			return
 		}
 	}
 }
 
+// requestContext derives the execution context for one command: the
+// request's deadline token capped by (or defaulting to) MaxDeadline, rooted
+// in the server's base context so a forced shutdown aborts it.
+func (s *Server) requestContext(cmd Command) (context.Context, context.CancelFunc) {
+	base := s.baseCtx
+	if base == nil {
+		base = context.Background()
+	}
+	d := time.Duration(cmd.DeadlineMS) * time.Millisecond
+	if s.MaxDeadline > 0 && (d <= 0 || d > s.MaxDeadline) {
+		d = s.MaxDeadline
+	}
+	if d > 0 {
+		return context.WithTimeout(base, d)
+	}
+	return context.WithCancel(base)
+}
+
 // execute runs one parsed command on the connection's session and returns
-// the response payload lines.
+// the response payload lines. Engine-bound verbs (query, run) pass the
+// admission gate and run under the request's deadline.
 func (s *Server) execute(sess *graphsql.DB, cmd Command) ([]string, error) {
+	s.init()
 	switch cmd.Verb {
 	case VerbPing:
 		return nil, nil
-	case VerbQuery:
-		res, err := sess.Query(context.Background(), cmd.Arg)
+	case VerbHealth:
+		return []string{s.healthLine()}, nil
+	case VerbQuery, VerbRun:
+		ctx, cancel := s.requestContext(cmd)
+		defer cancel()
+		release, err := s.adm.Acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		if s.testExecHook != nil {
+			s.testExecHook(ctx, cmd)
+		}
+		// A deadline that expired while queued (or a shutdown that began)
+		// must not start execution: small statements can finish before the
+		// engine's cancellation checks notice.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cmd.Verb == VerbRun {
+			if s.g == nil {
+				return nil, fmt.Errorf("server: no graph loaded for run")
+			}
+			res, err := sess.Run(ctx, cmd.Arg, s.g, s.Params)
+			if err != nil {
+				return nil, err
+			}
+			return renderRows(res.Rel), nil
+		}
+		res, err := sess.Query(ctx, cmd.Arg)
 		if err != nil {
 			return nil, err
 		}
@@ -174,16 +418,6 @@ func (s *Server) execute(sess *graphsql.DB, cmd Command) ([]string, error) {
 			return nil, nil
 		}
 		return renderRows(res.Rows), nil
-	case VerbRun:
-		if s.g == nil {
-			return nil, fmt.Errorf("server: no graph loaded for run")
-		}
-		res, err := sess.Run(context.Background(), cmd.Arg, s.g, s.Params)
-		if err != nil {
-			return nil, err
-		}
-		lines := renderRows(res.Rel)
-		return lines, nil
 	case VerbTables:
 		var lines []string
 		for _, t := range sess.Tables() {
@@ -202,6 +436,16 @@ func (s *Server) execute(sess *graphsql.DB, cmd Command) ([]string, error) {
 		return []string{string(b)}, nil
 	}
 	return nil, fmt.Errorf("server: unhandled verb %v", cmd.Verb)
+}
+
+// healthLine renders the probe payload: readiness state plus the admission
+// gate's live occupancy.
+func (s *Server) healthLine() string {
+	state := "ready"
+	if s.drainingNow() {
+		state = "draining"
+	}
+	return fmt.Sprintf("%s inflight=%d queued=%d", state, s.adm.Inflight(), s.adm.Queued())
 }
 
 // renderRows renders a relation as tab-separated payload lines.

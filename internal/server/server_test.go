@@ -2,11 +2,14 @@ package server
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/graphsql"
 )
@@ -64,6 +67,13 @@ func (c *client) roundTrip(req string) ([]string, string) {
 
 func startServer(t *testing.T) (*Server, string) {
 	t.Helper()
+	return startServerCfg(t, nil)
+}
+
+// startServerCfg starts a server over a fresh pool, letting the test tune
+// knobs (timeouts, admission, hooks) between New and Serve.
+func startServerCfg(t *testing.T, cfg func(*Server)) (*Server, string) {
+	t.Helper()
 	pool, err := graphsql.OpenPool("oracle")
 	if err != nil {
 		t.Fatal(err)
@@ -76,6 +86,9 @@ func startServer(t *testing.T) (*Server, string) {
 		t.Fatal(err)
 	}
 	srv := New(pool, g)
+	if cfg != nil {
+		cfg(srv)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -195,7 +208,8 @@ func TestServerTempPrivacy(t *testing.T) {
 func TestParseCommandRoundTrip(t *testing.T) {
 	cases := []string{
 		"ping", "PING", "  query select 1 from E  ", "run pr", "tables",
-		"stats", "quit", "query\tselect F from E",
+		"stats", "quit", "query\tselect F from E", "health", "ready",
+		"query 1500 select F from E", "run 250 pr", "query 42",
 	}
 	for _, in := range cases {
 		cmd, err := ParseCommand(in)
@@ -210,10 +224,144 @@ func TestParseCommandRoundTrip(t *testing.T) {
 			t.Fatalf("round-trip %q: %v != %v", in, again, cmd)
 		}
 	}
-	bad := []string{"", "   ", "query", "query   ", "run", "run a b", "nope x", "p\x00ng"}
+	bad := []string{"", "   ", "query", "query   ", "run", "run a b", "nope x", "p\x00ng",
+		"quit trailing garbage", "ping pong", "health check",
+		"query 99999999999999999999999 select F from E"}
 	for _, in := range bad {
-		if _, err := ParseCommand(in); err == nil {
+		_, err := ParseCommand(in)
+		if err == nil {
 			t.Fatalf("ParseCommand(%q) should fail", in)
+		}
+		var we *WireError
+		if !errors.As(err, &we) || we.Code != CodeProto {
+			t.Fatalf("ParseCommand(%q) error should be CodeProto, got %v", in, err)
+		}
+	}
+}
+
+func TestParseCommandDeadlineToken(t *testing.T) {
+	cmd, err := ParseCommand("query 1500 select F from E")
+	if err != nil || cmd.DeadlineMS != 1500 || cmd.Arg != "select F from E" {
+		t.Fatalf("deadline token parse = %+v, %v", cmd, err)
+	}
+	cmd, err = ParseCommand("run 250 PR")
+	if err != nil || cmd.DeadlineMS != 250 || cmd.Arg != "PR" {
+		t.Fatalf("run deadline parse = %+v, %v", cmd, err)
+	}
+	// A lone number is the argument, not a deadline.
+	cmd, err = ParseCommand("query 42")
+	if err != nil || cmd.DeadlineMS != 0 || cmd.Arg != "42" {
+		t.Fatalf("lone number = %+v, %v", cmd, err)
+	}
+}
+
+func TestErrorLineCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		code string
+	}{
+		{&WireError{Code: CodeBusy, Msg: "overloaded", RetryAfter: 25 * time.Millisecond}, CodeBusy},
+		{&WireError{Code: CodeShutdown, Msg: "draining"}, CodeShutdown},
+		{protoErrf("server: junk"), CodeProto},
+		{fmt.Errorf("wrap: %w", graphsql.ErrParse), CodeParse},
+		{fmt.Errorf("wrap: %w", graphsql.ErrBudgetExceeded), CodeBudget},
+		{context.DeadlineExceeded, CodeTimeout},
+		{context.Canceled, CodeCancelled},
+		{fmt.Errorf("anything\nelse"), CodeInternal},
+		{nil, CodeInternal},
+	}
+	for _, tc := range cases {
+		line := ErrorLine(tc.err)
+		if strings.ContainsAny(line, "\n\r") {
+			t.Fatalf("ErrorLine(%v) spans lines: %q", tc.err, line)
+		}
+		code, retryAfter, _, ok := ParseErrorLine(line)
+		if !ok || code != tc.code {
+			t.Fatalf("ErrorLine(%v) = %q, decoded code %q ok=%v, want %q", tc.err, line, code, ok, tc.code)
+		}
+		if tc.code == CodeBusy && retryAfter != 25*time.Millisecond {
+			t.Fatalf("busy line %q lost retry-after: %v", line, retryAfter)
+		}
+	}
+	// Legacy/free-form error lines still decode (as internal).
+	if code, _, msg, ok := ParseErrorLine("err something went wrong"); !ok || code != CodeInternal || msg != "something went wrong" {
+		t.Fatalf("legacy line decode = %q %q %v", code, msg, ok)
+	}
+	if _, _, _, ok := ParseErrorLine("ok 3"); ok {
+		t.Fatal("ok line decoded as error")
+	}
+}
+
+// TestOversizedLineThenClose pins the oversized-line path: the server
+// answers with a typed proto error and cuts the connection (the scanner
+// cannot resynchronize mid-line); a fresh connection is unaffected.
+func TestOversizedLineThenClose(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	big := make([]byte, MaxLine+16)
+	for i := range big {
+		big[i] = 'x'
+	}
+	big[len(big)-1] = '\n'
+	if _, err := conn.Write(big); err != nil {
+		t.Fatalf("write oversized: %v", err)
+	}
+	r := bufio.NewReader(conn)
+	status, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read status: %v", err)
+	}
+	code, _, _, ok := ParseErrorLine(strings.TrimSuffix(status, "\n"))
+	if !ok || code != CodeProto {
+		t.Fatalf("oversized line answered %q (code %q)", status, code)
+	}
+	// The connection must be closed — no resync is possible mid-line.
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Fatal("connection should be closed after an oversized line")
+	}
+	// A new connection still works.
+	c := dial(t, addr)
+	if _, errMsg := c.roundTrip("ping"); errMsg != "" {
+		t.Fatalf("ping on fresh conn: %s", errMsg)
+	}
+}
+
+// TestQuitTrailingGarbage pins that quit (and other no-arg verbs) reject
+// trailing input instead of silently dropping it — and that the error does
+// not desynchronize the stream.
+func TestQuitTrailingGarbage(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	_, errMsg := c.roundTrip("quit now really")
+	if errMsg == "" {
+		t.Fatal("quit with trailing garbage should answer err")
+	}
+	if code, _, _, ok := ParseErrorLine("err " + errMsg); !ok || code != CodeProto {
+		t.Fatalf("trailing garbage error should be proto, got %q", errMsg)
+	}
+	// Stream still usable; a clean quit then closes it.
+	if _, errMsg := c.roundTrip("ping"); errMsg != "" {
+		t.Fatalf("ping after bad quit: %s", errMsg)
+	}
+	if _, errMsg := c.roundTrip("quit"); errMsg != "" {
+		t.Fatalf("clean quit: %s", errMsg)
+	}
+}
+
+func TestHealthVerb(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	for _, probe := range []string{"health", "ready"} {
+		lines, errMsg := c.roundTrip(probe)
+		if errMsg != "" || len(lines) != 1 {
+			t.Fatalf("%s = %v / %q", probe, lines, errMsg)
+		}
+		if !strings.HasPrefix(lines[0], "ready ") {
+			t.Fatalf("%s payload %q should report ready", probe, lines[0])
 		}
 	}
 }

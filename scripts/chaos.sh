@@ -16,6 +16,13 @@ go test -race -run 'Fault|Recover|Cancel' ./internal/psm/... ./internal/engine/.
 echo "== cancellation & budget enforcement (race)"
 go test -race -run 'Cancel|Context|Limits|Timeout' ./graphsql/... ./internal/withplus/...
 
+echo "== serving-tier faults: drain, admission, deadlines, network (race)"
+go test -race -run 'NetFault|Drain|Shutdown|Admission|Deadline|Oversized|Busy|Truncation|Reconnect' \
+    ./internal/server/... ./graphsql/client/...
+
+echo "== drain smoke (loadgen vs SIGTERM: zero dropped in-flight work)"
+./scripts/drain_smoke.sh
+
 echo "== fuzz smoke (2s per target)"
 go test -run '^$' -fuzz '^FuzzParseStatement$' -fuzztime 2s ./internal/sql/
 go test -run '^$' -fuzz '^FuzzTokenize$' -fuzztime 2s ./internal/sql/

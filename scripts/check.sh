@@ -26,7 +26,8 @@ go test ./...
 
 echo "== go test -race (parallel executor + concurrent-session packages)"
 go test -race ./internal/relation/... ./internal/ra/... ./internal/engine/... \
-    ./internal/catalog/... ./internal/withplus/... ./internal/server/... ./graphsql
+    ./internal/catalog/... ./internal/withplus/... ./internal/server/... \
+    ./graphsql ./graphsql/client
 
 echo "== delta smoke (frontier vs full differential + fallback proofs)"
 go test ./internal/withplus -run 'DeltaVsFull|FallsBack|FrontierMode|FrontierReason' -count=1
