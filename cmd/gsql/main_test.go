@@ -113,6 +113,12 @@ func TestREPL(t *testing.T) {
 	in := strings.NewReader(`select count(*) from E
 
 \tables
+\graphs
+create property graph pg (vertex tables (V key (ID)), edge tables (E source key (F) references V destination key (T) references V))
+
+\graphs
+select * from graph_table(pg match (a)-[e]->(b) columns (a.ID src, b.ID dst)) order by src, dst limit 1
+
 \explain
 select F from E
 
@@ -126,7 +132,7 @@ create table zz (a int)
 		t.Fatal(err)
 	}
 	text := out.String()
-	for _, want := range []string{"(1 rows)", "base E", "explain mode: true", "scan E", "unknown command"} {
+	for _, want := range []string{"(1 rows)", "base E", "(no property graphs)", "  pg", "explain mode: true", "scan E", "unknown command"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("REPL output missing %q:\n%s", want, text)
 		}

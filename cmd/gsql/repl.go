@@ -20,6 +20,7 @@ import (
 // of killing the shell. Meta commands:
 //
 //	\tables        list catalog tables
+//	\graphs        list property graphs
 //	\explain       toggle plan mode for subsequent statements
 //	\analyze       toggle EXPLAIN ANALYZE mode (execute + annotated plan)
 //	\metrics       dump the process-wide metrics registry as JSON
@@ -32,7 +33,7 @@ func repl(r io.Reader, w io.Writer, db *graphsql.DB, limit int) error {
 	explainMode := false
 	analyzeMode := false
 	var timeout time.Duration
-	fmt.Fprintln(w, "gsql> enter statements, submit with an empty line; \\tables, \\explain, \\analyze, \\metrics, \\timeout, \\quit")
+	fmt.Fprintln(w, "gsql> enter statements, submit with an empty line; \\tables, \\graphs, \\explain, \\analyze, \\metrics, \\timeout, \\quit")
 	prompt := func() { fmt.Fprint(w, "gsql> ") }
 	prompt()
 	exec := func(text string) {
@@ -78,6 +79,14 @@ func repl(r io.Reader, w io.Writer, db *graphsql.DB, limit int) error {
 						kind = "temp"
 					}
 					fmt.Fprintf(w, "  %s %s (%d rows)\n", kind, t.Name, t.Rows)
+				}
+			case "\\graphs":
+				gs := db.Graphs()
+				if len(gs) == 0 {
+					fmt.Fprintln(w, "  (no property graphs)")
+				}
+				for _, g := range gs {
+					fmt.Fprintf(w, "  %s\n", g)
 				}
 			case "\\explain":
 				explainMode = !explainMode

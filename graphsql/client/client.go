@@ -129,10 +129,11 @@ type Stats struct {
 
 // Request is one protocol request.
 type Request struct {
-	// Verb is the wire verb: "ping", "query", "run", "tables", "stats",
-	// "health".
+	// Verb is the wire verb: "ping", "query", "run", "match", "tables",
+	// "graphs", "stats", "health".
 	Verb string
-	// Arg is the statement for query and the algorithm code for run.
+	// Arg is the statement for query, the algorithm code for run, and
+	// "<graph> <pattern>" for match.
 	Arg string
 	// Idempotent marks the request safe to retry even when a lost
 	// connection leaves its outcome unknown.
@@ -213,6 +214,18 @@ func (c *Client) Query(ctx context.Context, sql string, idempotent bool) ([]stri
 // loaded graph, so runs are idempotent.
 func (c *Client) Run(ctx context.Context, code string) ([]string, error) {
 	return c.Do(ctx, Request{Verb: "run", Arg: code, Idempotent: true})
+}
+
+// Match runs a SQL/PGQ pattern against a server-side property graph
+// (CREATE PROPERTY GRAPH), returning tab-separated rows. Patterns only
+// read the graph, so matches are idempotent.
+func (c *Client) Match(ctx context.Context, graph, pattern string) ([]string, error) {
+	return c.Do(ctx, Request{Verb: "match", Arg: graph + " " + pattern, Idempotent: true})
+}
+
+// Graphs lists the property graphs defined on the server.
+func (c *Client) Graphs(ctx context.Context) ([]string, error) {
+	return c.Do(ctx, Request{Verb: "graphs", Idempotent: true})
 }
 
 // Health probes the server, returning its readiness line
@@ -354,7 +367,7 @@ func (c *Client) once(ctx context.Context, req Request) (lines []string, sent bo
 func wireLine(req Request, timeout time.Duration) (string, error) {
 	verb := strings.ToLower(req.Verb)
 	line := verb
-	if timeout > 0 && (verb == "query" || verb == "run") {
+	if timeout > 0 && (verb == "query" || verb == "run" || verb == "match") {
 		ms := timeout.Milliseconds()
 		if ms < 1 {
 			ms = 1

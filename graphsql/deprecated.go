@@ -1,10 +1,13 @@
+//go:build graphsql_compat
+
 package graphsql
 
 import "context"
 
 // This file keeps the pre-redesign session methods compiling for existing
-// callers. They are thin wrappers over Query/Run with options; new code
-// should call those directly.
+// callers, behind the graphsql_compat build tag: `go build -tags
+// graphsql_compat` restores them during a migration window. They are thin
+// wrappers over Query/Run with options; new code calls those directly.
 
 // QueryContext answers a statement and returns its result relation.
 //

@@ -1,0 +1,30 @@
+//go:build graphsql_compat
+
+package graphsql
+
+// Compat-mode coverage: `go test -tags graphsql_compat ./graphsql -run
+// DeprecatedWrappers` checks the pre-redesign wrappers still delegate to
+// the option-based API. The default build excludes both the wrappers and
+// this test.
+
+import (
+	"context"
+	"testing"
+)
+
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	db := chainDB(t, "oracle")
+	r, err := db.QueryContext(context.Background(), "select count(*) from E")
+	if err != nil || r.At(0)[0].AsInt() != 3 {
+		t.Fatalf("QueryContext: %v %v", r, err)
+	}
+	_, tr, err := db.QueryWithTrace(tcQuery)
+	if err != nil || tr == nil || tr.Iterations < 1 {
+		t.Fatalf("QueryWithTrace: %v %v", tr, err)
+	}
+	g := NewGraph(3, true)
+	g.AddEdge(0, 1, 1)
+	if _, err := db.RunContext(context.Background(), "WCC", g, Params{}); err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+package graphsql
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// GraphHandle is a graph-first view of one catalog property graph: a
+// lightweight name binding (no validation at construction) whose Match
+// method runs SQL/PGQ patterns without spelling the enclosing
+// GRAPH_TABLE select. It shares the session's single statement path —
+// limits, tracing, observers, and EXPLAIN options behave exactly as in
+// DB.Query.
+type GraphHandle struct {
+	db   *DB
+	name string
+}
+
+// Graph returns a handle to the named property graph (CREATE PROPERTY
+// GRAPH). The name is resolved per statement, so a handle taken before
+// the graph exists works once the DDL has run.
+func (db *DB) Graph(name string) *GraphHandle { return &GraphHandle{db: db, name: name} }
+
+// Name reports the property-graph name the handle is bound to.
+func (h *GraphHandle) Name() string { return h.name }
+
+// Exists reports whether the graph is currently defined in the catalog.
+func (h *GraphHandle) Exists() bool {
+	for _, n := range h.db.Graphs() {
+		if n == h.name {
+			return true
+		}
+	}
+	return false
+}
+
+// Graphs lists the property graphs defined in the catalog, sorted.
+func (db *DB) Graphs() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.Cat.GraphNames()
+}
+
+// Match runs a SQL/PGQ pattern against the graph. The pattern is the
+// body of a GRAPH_TABLE reference — everything after the graph name,
+// with the leading MATCH keyword optional:
+//
+//	res, err := db.Graph("g").Match(ctx,
+//	    "(a)-[e]->{1,4}(b) where a.ID = 1 columns (b.ID dst)")
+//
+// Fixed-length patterns compile to equi-joins; {1,n} quantifiers and ANY
+// SHORTEST compile to WITH+ recursions (see DESIGN.md). Options compose
+// like DB.Query: WithExplain returns the executed plan in QueryResult.Plan,
+// WithTrace the per-iteration trace of variable-length patterns.
+func (h *GraphHandle) Match(ctx context.Context, pattern string, opts ...QueryOption) (*QueryResult, error) {
+	return h.db.Query(ctx, h.matchSQL(pattern), opts...)
+}
+
+// ExplainMatch renders the execution strategy of a pattern without
+// running it, like DB.Explain.
+func (h *GraphHandle) ExplainMatch(pattern string) (string, error) {
+	return h.db.Explain(h.matchSQL(pattern))
+}
+
+// matchSQL wraps a pattern into the canonical GRAPH_TABLE select, the
+// single statement shape both Match and plain Query compile through.
+func (h *GraphHandle) matchSQL(pattern string) string {
+	p := strings.TrimSpace(pattern)
+	switch strings.ToLower(firstWord(p)) {
+	case "match":
+		// Already spelled in full.
+	default:
+		p = "match " + p
+	}
+	return fmt.Sprintf("select * from graph_table(%s %s)", h.name, p)
+}
+
+func firstWord(s string) string {
+	if i := strings.IndexAny(s, " \t\n\r("); i > 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -251,11 +251,28 @@ func (db *DB) Explain(text string) (string, error) {
 		defer p.Cleanup()
 		return p.Proc.String(), nil
 	}
-	stmt, err := sql.ParseSelect(text)
+	stmt, err := sql.ParseStatement(text)
 	if err != nil {
 		return "", parseErr(err)
 	}
-	return sql.NewExec(db.eng).ExplainSelect(stmt)
+	stmt, err = sql.ExpandStatement(db.eng, stmt)
+	if err != nil {
+		return "", parseErr(err)
+	}
+	switch s := stmt.(type) {
+	case *sql.QueryStmt:
+		return sql.NewExec(db.eng).ExplainSelect(s.Select)
+	case *sql.WithQueryStmt:
+		// A variable-length MATCH lifted into a WITH+ recursion explains
+		// like hand-written WITH+: the compiled procedure.
+		p, err := withplus.PrepareStmt(db.eng, s.With)
+		if err != nil {
+			return "", parseErr(err)
+		}
+		defer p.Cleanup()
+		return p.Proc.String(), nil
+	}
+	return "", fmt.Errorf("graphsql: Explain supports SELECT and WITH+ statements only")
 }
 
 func isWith(text string) bool {

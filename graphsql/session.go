@@ -144,10 +144,21 @@ func (db *DB) dispatch(text string, cfg *queryConfig) (*QueryResult, error) {
 	if err != nil {
 		return nil, parseErr(err)
 	}
+	// Compile GRAPH_TABLE references away: fixed-length MATCH becomes
+	// joins inside the statement; variable-length MATCH lifts the whole
+	// statement into a WITH+ recursion, which then takes the same path as
+	// a hand-written WITH+ query.
+	stmt, err = sql.ExpandStatement(db.eng, stmt)
+	if err != nil {
+		return nil, parseErr(err)
+	}
 	if ex, ok := stmt.(*sql.ExplainStmt); ok {
 		if wq, ok := ex.Target.(*sql.WithQueryStmt); ok {
 			return db.explainWith(wq, ex.Analyze)
 		}
+	}
+	if wq, ok := stmt.(*sql.WithQueryStmt); ok {
+		return db.runWith(wq, cfg)
 	}
 	if cfg.explain {
 		q, ok := stmt.(*sql.QueryStmt)
@@ -166,6 +177,38 @@ func (db *DB) dispatch(text string, cfg *queryConfig) (*QueryResult, error) {
 		return nil, err
 	}
 	res.Rows = out
+	return res, nil
+}
+
+// runWith executes an already-parsed WITH+ statement (typically a lifted
+// variable-length MATCH) through the withplus pipeline, honoring the
+// call's explain/trace options exactly like the textual WITH+ path.
+func (db *DB) runWith(wq *sql.WithQueryStmt, cfg *queryConfig) (*QueryResult, error) {
+	p, err := withplus.PrepareStmt(db.eng, wq.With)
+	if err != nil {
+		return nil, parseErr(err)
+	}
+	defer p.Cleanup()
+	res := &QueryResult{}
+	if cfg.explain {
+		out, a, err := p.RunAnalyzed()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows, res.Plan = out, a.Render()
+		if cfg.trace {
+			res.Trace = a.Trace
+		}
+		return res, nil
+	}
+	out, tr, err := p.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = out
+	if cfg.trace {
+		res.Trace = tr
+	}
 	return res, nil
 }
 

@@ -219,23 +219,6 @@ func TestTablesAccessors(t *testing.T) {
 	}
 }
 
-func TestDeprecatedWrappersStillWork(t *testing.T) {
-	db := chainDB(t, "oracle")
-	r, err := db.QueryContext(context.Background(), "select count(*) from E")
-	if err != nil || r.At(0)[0].AsInt() != 3 {
-		t.Fatalf("QueryContext: %v %v", r, err)
-	}
-	_, tr, err := db.QueryWithTrace(tcQuery)
-	if err != nil || tr == nil || tr.Iterations < 1 {
-		t.Fatalf("QueryWithTrace: %v %v", tr, err)
-	}
-	g := NewGraph(3, true)
-	g.AddEdge(0, 1, 1)
-	if _, err := db.RunContext(context.Background(), "WCC", g, Params{}); err != nil {
-		t.Fatalf("RunContext: %v", err)
-	}
-}
-
 func TestQueryTimeoutViaOption(t *testing.T) {
 	db := loadPageRankDB(t, 1000)
 	_, err := db.Query(context.Background(), tcQuery, WithLimits(Limits{Timeout: time.Nanosecond}))

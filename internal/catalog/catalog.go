@@ -136,6 +136,11 @@ type Catalog struct {
 	// once a session exists, shared-table appends switch to copy-on-write
 	// invalidation. Session() increments it, Release() decrements.
 	sessions int64
+
+	// Property-graph definitions (root only, shared like non-temp DDL);
+	// see graph.go.
+	gmu    sync.Mutex
+	graphs map[string]*GraphDef
 }
 
 // New returns an empty catalog over the given pool and log.

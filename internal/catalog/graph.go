@@ -1,0 +1,112 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Property-graph definitions (CREATE PROPERTY GRAPH) are catalog metadata:
+// named views over existing vertex/edge tables. Like non-temp DDL they are
+// shared across sessions — a session overlay stores and resolves them on
+// the root, so a graph created through one session is immediately visible
+// to all. Definitions are immutable once created (drop + recreate to
+// change), which is what makes sharing them a plain map under a mutex
+// safe: readers hold *GraphDef snapshots that no writer mutates.
+
+// GraphVertex is one vertex table of a property graph.
+type GraphVertex struct {
+	Table string
+	Key   string
+}
+
+// GraphEdge is one edge table: SrcKey/DstKey columns reference the keys of
+// SrcTable/DstTable vertex tables.
+type GraphEdge struct {
+	Table    string
+	SrcKey   string
+	SrcTable string
+	DstKey   string
+	DstTable string
+}
+
+// GraphDef is an immutable property-graph definition.
+type GraphDef struct {
+	Name     string
+	Vertices []GraphVertex
+	Edges    []GraphEdge
+}
+
+// Vertex returns the vertex table entry by table name.
+func (d *GraphDef) Vertex(table string) (GraphVertex, bool) {
+	for _, v := range d.Vertices {
+		if v.Table == table {
+			return v, true
+		}
+	}
+	return GraphVertex{}, false
+}
+
+// Edge returns the edge table entry by table name.
+func (d *GraphDef) Edge(table string) (GraphEdge, bool) {
+	for _, e := range d.Edges {
+		if e.Table == table {
+			return e, true
+		}
+	}
+	return GraphEdge{}, false
+}
+
+// CreateGraph registers a property-graph definition. Graph names are a
+// namespace of their own (a graph may share its name with a table). On a
+// session overlay the definition is created in the shared root, mirroring
+// non-temp DDL.
+func (c *Catalog) CreateGraph(d *GraphDef) error {
+	r := c.root()
+	r.gmu.Lock()
+	defer r.gmu.Unlock()
+	if r.graphs == nil {
+		r.graphs = make(map[string]*GraphDef)
+	}
+	if _, ok := r.graphs[d.Name]; ok {
+		return fmt.Errorf("catalog: property graph %q already exists", d.Name)
+	}
+	r.graphs[d.Name] = d
+	return nil
+}
+
+// GetGraph resolves a property-graph definition (shared on the root).
+func (c *Catalog) GetGraph(name string) (*GraphDef, error) {
+	r := c.root()
+	r.gmu.Lock()
+	d, ok := r.graphs[name]
+	r.gmu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("catalog: no property graph %q", name)
+	}
+	return d, nil
+}
+
+// DropGraph removes a property-graph definition.
+func (c *Catalog) DropGraph(name string) error {
+	r := c.root()
+	r.gmu.Lock()
+	defer r.gmu.Unlock()
+	if _, ok := r.graphs[name]; !ok {
+		return fmt.Errorf("catalog: no property graph %q", name)
+	}
+	delete(r.graphs, name)
+	return nil
+}
+
+// GraphNames lists the defined property graphs, sorted.
+func (c *Catalog) GraphNames() []string {
+	r := c.root()
+	r.gmu.Lock()
+	defer r.gmu.Unlock()
+	names := make([]string, 0, len(r.graphs))
+	for n := range r.graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -33,6 +33,14 @@ func FuzzServerProto(f *testing.F) {
 		"ready",
 		"health check",
 		"quit now",
+		"match g (a)-[e]->(b) columns (a.ID aid, b.ID bid)",
+		"match 1500 g (a)-[e]->{1,}(b) where a.ID = 0 columns (b.ID dst)",
+		"match g any shortest (a)-[e]->(b) where a.ID = 1 columns (b.ID d, path_cost() c)",
+		"match g",
+		"match 250 g",
+		"match",
+		"graphs",
+		"graphs now",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -67,6 +75,12 @@ func FuzzServerProto(f *testing.F) {
 		case VerbQuery, VerbRun:
 			if cmd.Arg == "" {
 				t.Fatalf("%v accepted with empty arg (input %q)", cmd.Verb, input)
+			}
+		case VerbMatch:
+			// match's argument is "<graph> <pattern>": both parts present.
+			i := strings.IndexAny(cmd.Arg, " \t")
+			if i <= 0 || strings.TrimSpace(cmd.Arg[i+1:]) == "" {
+				t.Fatalf("match accepted without graph+pattern (input %q, arg %q)", input, cmd.Arg)
 			}
 		default:
 			if cmd.DeadlineMS != 0 {

@@ -7,12 +7,18 @@
 //	ping
 //	query [deadline-ms] <sql or WITH+ statement>
 //	run [deadline-ms] <algorithm code>
+//	match [deadline-ms] <graph> <pattern>
 //	tables
+//	graphs
 //	stats
 //	health            (alias: ready — liveness/readiness probe)
 //	quit
 //
-// The optional deadline token on query/run is an integer millisecond
+// match runs a SQL/PGQ pattern against a catalog property graph (CREATE
+// PROPERTY GRAPH), exactly as the graph-first Graph(name).Match API does;
+// graphs lists the defined property graphs like tables lists tables.
+//
+// The optional deadline token on query/run/match is an integer millisecond
 // budget: the server executes the statement under a context deadline
 // derived from it (capped by the server-wide maximum), so a client's
 // deadline propagates all the way into operator loops.
@@ -49,7 +55,9 @@ const (
 	VerbPing Verb = iota
 	VerbQuery
 	VerbRun
+	VerbMatch
 	VerbTables
+	VerbGraphs
 	VerbStats
 	VerbHealth
 	VerbQuit
@@ -64,8 +72,12 @@ func (v Verb) String() string {
 		return "query"
 	case VerbRun:
 		return "run"
+	case VerbMatch:
+		return "match"
 	case VerbTables:
 		return "tables"
+	case VerbGraphs:
+		return "graphs"
 	case VerbStats:
 		return "stats"
 	case VerbHealth:
@@ -79,13 +91,13 @@ func (v Verb) String() string {
 // Command is one parsed request line.
 type Command struct {
 	Verb Verb
-	// Arg is the statement text for VerbQuery and the algorithm code for
-	// VerbRun; empty otherwise.
+	// Arg is the statement text for VerbQuery, the algorithm code for
+	// VerbRun, and "<graph> <pattern>" for VerbMatch; empty otherwise.
 	Arg string
 	// DeadlineMS is the request's deadline budget in milliseconds (0 =
 	// none): the server runs the statement under a context deadline derived
-	// from it, capped by the server-wide maximum. Only query and run carry
-	// deadlines.
+	// from it, capped by the server-wide maximum. Only query, run, and
+	// match carry deadlines.
 	DeadlineMS int
 }
 
@@ -93,7 +105,7 @@ type Command struct {
 // round-trips for every command ParseCommand accepts.
 func (c Command) String() string {
 	s := c.Verb.String()
-	if c.DeadlineMS > 0 && (c.Verb == VerbQuery || c.Verb == VerbRun) {
+	if c.DeadlineMS > 0 && (c.Verb == VerbQuery || c.Verb == VerbRun || c.Verb == VerbMatch) {
 		s += " " + strconv.Itoa(c.DeadlineMS)
 	}
 	if c.Arg != "" {
@@ -206,8 +218,21 @@ func ParseCommand(line string) (Command, error) {
 			return Command{}, protoErrf("server: run needs one algorithm code")
 		}
 		return Command{Verb: VerbRun, Arg: code, DeadlineMS: dl}, nil
+	case "match":
+		dl, rest, err := splitDeadline(arg)
+		if err != nil {
+			return Command{}, err
+		}
+		// The argument is "<graph> <pattern>": both parts are required, so
+		// a bare `match g` cannot be mistaken for a complete request.
+		if i := strings.IndexAny(rest, " \t"); i < 0 || strings.TrimSpace(rest[i+1:]) == "" {
+			return Command{}, protoErrf("server: match needs a graph name and a pattern")
+		}
+		return Command{Verb: VerbMatch, Arg: rest, DeadlineMS: dl}, nil
 	case "tables":
 		return noArg(VerbTables, arg)
+	case "graphs":
+		return noArg(VerbGraphs, arg)
 	case "stats":
 		return noArg(VerbStats, arg)
 	case "health", "ready":
@@ -230,7 +255,9 @@ func noArg(v Verb, arg string) (Command, error) {
 // splitDeadline consumes an optional leading deadline token: an all-digit
 // first token followed by more text is a millisecond budget. A lone number
 // is the argument itself (so `run 1500 PR` carries a deadline while
-// `query 42` stays a statement), keeping String() round-trips exact.
+// `query 42` stays a statement), and a zero token is no deadline at all —
+// it stays in the argument, since String() only renders positive
+// deadlines. Both rules keep String() round-trips exact.
 func splitDeadline(arg string) (ms int, rest string, err error) {
 	i := strings.IndexAny(arg, " \t")
 	if i < 0 {
@@ -243,6 +270,9 @@ func splitDeadline(arg string) (ms int, rest string, err error) {
 	n, perr := strconv.Atoi(tok)
 	if perr != nil || n < 0 {
 		return 0, "", protoErrf("server: bad deadline %q", clipForError(tok))
+	}
+	if n == 0 {
+		return 0, arg, nil
 	}
 	return n, strings.TrimSpace(arg[i+1:]), nil
 }

@@ -383,7 +383,7 @@ func (s *Server) execute(sess *graphsql.DB, cmd Command) ([]string, error) {
 		return nil, nil
 	case VerbHealth:
 		return []string{s.healthLine()}, nil
-	case VerbQuery, VerbRun:
+	case VerbQuery, VerbRun, VerbMatch:
 		ctx, cancel := s.requestContext(cmd)
 		defer cancel()
 		release, err := s.adm.Acquire(ctx)
@@ -410,6 +410,16 @@ func (s *Server) execute(sess *graphsql.DB, cmd Command) ([]string, error) {
 			}
 			return renderRows(res.Rel), nil
 		}
+		if cmd.Verb == VerbMatch {
+			// ParseCommand guarantees "<graph> <pattern>" with both parts.
+			i := strings.IndexAny(cmd.Arg, " \t")
+			graph, pattern := cmd.Arg[:i], strings.TrimSpace(cmd.Arg[i+1:])
+			res, err := sess.Graph(graph).Match(ctx, pattern)
+			if err != nil {
+				return nil, err
+			}
+			return renderRows(res.Rows), nil
+		}
 		res, err := sess.Query(ctx, cmd.Arg)
 		if err != nil {
 			return nil, err
@@ -418,6 +428,8 @@ func (s *Server) execute(sess *graphsql.DB, cmd Command) ([]string, error) {
 			return nil, nil
 		}
 		return renderRows(res.Rows), nil
+	case VerbGraphs:
+		return sess.Graphs(), nil
 	case VerbTables:
 		var lines []string
 		for _, t := range sess.Tables() {

@@ -95,6 +95,10 @@ type TableRef struct {
 	Alias string
 	Sub   *SelectStmt
 
+	// GraphTable is set for GRAPH_TABLE(...) references until
+	// ExpandStatement compiles them away (into Sub, or a WITH+ recursion).
+	GraphTable *GraphTableRef
+
 	Join  *TableRef // left side when this is a join node
 	Right *TableRef
 	Kind  JoinKind

@@ -105,6 +105,9 @@ func (x *Exec) resolve(name string) (*relation.Relation, bool, error) {
 }
 
 func (x *Exec) resolveRef(t *TableRef) (source, error) {
+	if t.GraphTable != nil {
+		return source{}, fmt.Errorf("sql: unexpanded GRAPH_TABLE reference to graph %q (run ExpandStatement first)", t.GraphTable.Graph)
+	}
 	if t.IsJoin() {
 		rel, err := x.evalJoinRef(t)
 		return source{rel: rel, analyzed: false, name: t.DisplayName()}, err

@@ -61,3 +61,52 @@ func FuzzTokenize(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMatchParser pins the graph surface: parsing never panics, and for
+// every statement the renderer can print, parse → String → reparse →
+// String is a fixed point.
+func FuzzMatchParser(f *testing.F) {
+	seeds := []string{
+		"create property graph g (vertex tables (V key (ID)), edge tables (E source key (F) references V destination key (T) references V))",
+		"create property graph g (vertex tables (V key (ID), W key (K)))",
+		"drop property graph g",
+		"select * from graph_table(g match (a)-[e]->(b) columns (a.ID aid, b.ID bid)) gt",
+		"select * from graph_table(g match (a)-[e1]->(b)<-[e2]-(c) where b.name = 'x' columns (a.ID x, c.ID y))",
+		"select * from graph_table(g match (a)-[e]->{1,4}(b) columns (a.ID s, b.ID d)) gt where s < d",
+		"select * from graph_table(g match (a)-[]->{1,}(b) columns (a.ID s, b.ID d))",
+		"select * from graph_table(g match any shortest (a)-[e]->(b) where a.ID = 1 columns (b.ID d, path_cost() c))",
+		"select * from graph_table(g match walk (a:V)-[e:E]->(b:V) columns (a.ID x))",
+		"select * from graph_table(g match trail (a)-[e]->(b) columns (a.ID x))",
+		"select * from graph_table(g match all shortest (a)-[e]->(b) columns (a.ID x))",
+		"select * from graph_table(g match (a)-[e]->{2,3}(b) columns (a.ID x))",
+		"select * from graph_table(g match (a)-[e]->{1,0}(b) columns (a.ID x))",
+		"select * from graph_table(g match (a) columns (a.ID x))",
+		"select * from graph_table(",
+		"create property graph",
+		"graph_table(g)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := ParseStatement(input)
+		if err != nil {
+			return
+		}
+		r1, ok := StatementString(st)
+		if !ok {
+			return // statement kind the renderer does not cover
+		}
+		st2, err := ParseStatement(r1)
+		if err != nil {
+			t.Fatalf("rendered statement does not reparse: %q: %v", r1, err)
+		}
+		r2, ok := StatementString(st2)
+		if !ok {
+			t.Fatalf("reparse changed statement kind: %q", r1)
+		}
+		if r1 != r2 {
+			t.Fatalf("render not a fixed point:\n 1: %s\n 2: %s", r1, r2)
+		}
+	})
+}

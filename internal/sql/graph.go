@@ -1,0 +1,796 @@
+package sql
+
+// SQL/PGQ-style property graphs: CREATE PROPERTY GRAPH / DROP PROPERTY
+// GRAPH DDL and the GRAPH_TABLE(g MATCH ... COLUMNS (...)) table
+// expression. The pattern language covers what the engine can compile
+// faithfully: fixed-length patterns (equi-join trees), {1,n} walk
+// quantifiers and ANY SHORTEST (WITH+ recursions; see graphexpand.go).
+// Path modes the engine would silently mis-execute as walk semantics —
+// TRAIL, ACYCLIC, SIMPLE — are rejected at parse time with a typed error
+// naming the construct; naming an edge variable under a quantifier is
+// fine, but referencing it (a group variable) is rejected at expansion.
+//
+// None of the graph words (property, graph, vertex, edge, tables, key,
+// source, destination, references, match, columns, any, shortest, walk,
+// graph_table) are lexer keywords: like explain/analyze they are matched
+// context-sensitively, so existing queries using them as identifiers keep
+// parsing.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// UnsupportedGraphError reports a SQL/PGQ construct the compiler refuses
+// by design (TRAIL/ACYCLIC/SIMPLE path modes, group variables, general
+// quantifiers). It is a parse-time error: callers surface it through the
+// same channel as syntax errors.
+type UnsupportedGraphError struct{ Construct string }
+
+func (e *UnsupportedGraphError) Error() string {
+	return fmt.Sprintf("sql: unsupported SQL/PGQ construct: %s", e.Construct)
+}
+
+// GraphVertexDef is one entry of VERTEX TABLES: a table exposed as a
+// vertex set, identified by its key column.
+type GraphVertexDef struct {
+	Table string
+	Key   string
+}
+
+// GraphEdgeDef is one entry of EDGE TABLES: a table exposed as an edge
+// set, with SOURCE/DESTINATION key columns referencing vertex tables.
+type GraphEdgeDef struct {
+	Table    string
+	SrcKey   string
+	SrcTable string
+	DstKey   string
+	DstTable string
+}
+
+// CreateGraphStmt is CREATE PROPERTY GRAPH.
+type CreateGraphStmt struct {
+	Name     string
+	Vertices []GraphVertexDef
+	Edges    []GraphEdgeDef
+}
+
+// DropGraphStmt is DROP PROPERTY GRAPH.
+type DropGraphStmt struct{ Name string }
+
+func (*CreateGraphStmt) stmtNode() {}
+func (*DropGraphStmt) stmtNode()   {}
+
+// GraphNode is one "(v)" or "(v:Table)" pattern element.
+type GraphNode struct {
+	Var   string
+	Label string // vertex table name ("" = the graph's only vertex table)
+}
+
+// GraphEdge is one "-[e]->" / "<-[e]-" pattern element, optionally
+// quantified "{1,n}" / "{1,}".
+type GraphEdge struct {
+	Var        string
+	Label      string // edge table name ("" = the graph's only edge table)
+	Right      bool   // true for -[..]->, false for <-[..]-
+	Quantified bool
+	Lo, Hi     int // Hi == 0 with Quantified set means unbounded
+}
+
+// GraphPattern is a linear path pattern: Nodes joined by Edges
+// (len(Edges) == len(Nodes)-1), optionally under ANY SHORTEST.
+type GraphPattern struct {
+	Shortest bool
+	Nodes    []GraphNode
+	Edges    []GraphEdge
+}
+
+// Variable reports whether the pattern needs recursion: ANY SHORTEST or a
+// quantifier spanning more than one hop.
+func (p *GraphPattern) Variable() bool {
+	if p.Shortest {
+		return true
+	}
+	for _, e := range p.Edges {
+		if e.Quantified && !(e.Lo == 1 && e.Hi == 1) {
+			return true
+		}
+	}
+	return false
+}
+
+// GraphTableRef is a GRAPH_TABLE(...) FROM entry before expansion against
+// the catalog's graph definitions (see ExpandStatement).
+type GraphTableRef struct {
+	Graph   string
+	Pattern *GraphPattern
+	Where   Expr
+	Columns []SelectItem
+}
+
+// ---------------------------------------------------------------------------
+// Parsing. Graph words are context-sensitive: matched case-insensitively
+// against identifier or keyword tokens, never reserved.
+
+func (p *Parser) peekWord(w string) bool {
+	t := p.peek()
+	return (t.Kind == TokIdent || t.Kind == TokKeyword) && strings.ToLower(t.Text) == w
+}
+
+func (p *Parser) acceptWord(w string) bool {
+	if p.peekWord(w) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectWord(w string) error {
+	if !p.acceptWord(w) {
+		return p.errf("expected %q, found %q", w, p.peek().Text)
+	}
+	return nil
+}
+
+// peekAt returns the token i positions ahead (EOF-padded).
+func (p *Parser) peekAt(i int) Token {
+	if p.pos+i < len(p.toks) {
+		return p.toks[p.pos+i]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) ident(what string) (string, error) {
+	t := p.advance()
+	if t.Kind != TokIdent {
+		return "", p.errf("expected %s, found %q", what, t.Text)
+	}
+	return t.Text, nil
+}
+
+// parseCreateGraph parses CREATE PROPERTY GRAPH g (VERTEX TABLES (...),
+// EDGE TABLES (...)). The leading "create" is still pending.
+func (p *Parser) parseCreateGraph() (Statement, error) {
+	p.advance() // create
+	p.advance() // property
+	if err := p.expectWord("graph"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("graph name")
+	if err != nil {
+		return nil, err
+	}
+	st := &CreateGraphStmt{Name: name}
+	if err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptWord("vertex"):
+			if err := p.expectWord("tables"); err != nil {
+				return nil, err
+			}
+			if err := p.parenList(func() error {
+				v, err := p.parseVertexDef()
+				if err != nil {
+					return err
+				}
+				st.Vertices = append(st.Vertices, v)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		case p.acceptWord("edge"):
+			if err := p.expectWord("tables"); err != nil {
+				return nil, err
+			}
+			if err := p.parenList(func() error {
+				e, err := p.parseEdgeDef()
+				if err != nil {
+					return err
+				}
+				st.Edges = append(st.Edges, e)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected VERTEX TABLES or EDGE TABLES, found %q", p.peek().Text)
+		}
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	if len(st.Vertices) == 0 {
+		return nil, p.errf("property graph %q declares no vertex tables", st.Name)
+	}
+	return st, nil
+}
+
+// parenList parses "(" item {"," item} ")".
+func (p *Parser) parenList(item func() error) error {
+	if err := p.expect(TokOp, "("); err != nil {
+		return err
+	}
+	for {
+		if err := item(); err != nil {
+			return err
+		}
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	return p.expect(TokOp, ")")
+}
+
+// parseKeyCol parses KEY (col).
+func (p *Parser) parseKeyCol() (string, error) {
+	if err := p.expectWord("key"); err != nil {
+		return "", err
+	}
+	var col string
+	err := p.parenList(func() error {
+		if col != "" {
+			return &UnsupportedGraphError{Construct: "composite keys"}
+		}
+		c, err := p.ident("key column")
+		if err != nil {
+			return err
+		}
+		col = c
+		return nil
+	})
+	return col, err
+}
+
+func (p *Parser) parseVertexDef() (GraphVertexDef, error) {
+	table, err := p.ident("vertex table name")
+	if err != nil {
+		return GraphVertexDef{}, err
+	}
+	key, err := p.parseKeyCol()
+	if err != nil {
+		return GraphVertexDef{}, err
+	}
+	return GraphVertexDef{Table: table, Key: key}, nil
+}
+
+func (p *Parser) parseEdgeDef() (GraphEdgeDef, error) {
+	var d GraphEdgeDef
+	var err error
+	if d.Table, err = p.ident("edge table name"); err != nil {
+		return d, err
+	}
+	if err = p.expectWord("source"); err != nil {
+		return d, err
+	}
+	if d.SrcKey, err = p.parseKeyCol(); err != nil {
+		return d, err
+	}
+	if err = p.expectWord("references"); err != nil {
+		return d, err
+	}
+	if d.SrcTable, err = p.ident("vertex table name"); err != nil {
+		return d, err
+	}
+	if err = p.expectWord("destination"); err != nil {
+		return d, err
+	}
+	if d.DstKey, err = p.parseKeyCol(); err != nil {
+		return d, err
+	}
+	if err = p.expectWord("references"); err != nil {
+		return d, err
+	}
+	if d.DstTable, err = p.ident("vertex table name"); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// parseGraphTable parses GRAPH_TABLE(g MATCH pattern [WHERE expr] COLUMNS
+// (...)) [alias]. The "graph_table" identifier is still pending; callers
+// have verified a "(" follows it.
+func (p *Parser) parseGraphTable() (*TableRef, error) {
+	p.advance() // graph_table
+	p.advance() // (
+	graph, err := p.ident("graph name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("match"); err != nil {
+		return nil, err
+	}
+	pat, err := p.parseGraphPattern()
+	if err != nil {
+		return nil, err
+	}
+	gt := &GraphTableRef{Graph: graph, Pattern: pat}
+	if p.acceptKw("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		gt.Where = e
+	}
+	if err := p.expectWord("columns"); err != nil {
+		return nil, err
+	}
+	if err := p.parenList(func() error {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return err
+		}
+		if item.Star {
+			return p.errf("COLUMNS (*) is not supported; list expressions explicitly")
+		}
+		gt.Columns = append(gt.Columns, item)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	ref := &TableRef{GraphTable: gt}
+	p.acceptKw("as")
+	if p.peek().Kind == TokIdent {
+		ref.Alias = p.advance().Text
+	}
+	return ref, nil
+}
+
+func (p *Parser) parseGraphPattern() (*GraphPattern, error) {
+	pat := &GraphPattern{}
+	// Path-mode prefix. WALK (the default) is the one mode the join/WITH+
+	// lowering implements; the others would need dedup on edges or nodes
+	// along each path and must not silently execute as walk.
+	switch {
+	case p.peekWord("trail") || p.peekWord("acyclic") || p.peekWord("simple"):
+		return nil, &UnsupportedGraphError{Construct: "path mode " + strings.ToUpper(p.peek().Text)}
+	case p.peekKw("all") && strings.ToLower(p.peekAt(1).Text) == "shortest":
+		return nil, &UnsupportedGraphError{Construct: "path mode ALL SHORTEST (use ANY SHORTEST)"}
+	case p.peekWord("shortest"):
+		return nil, &UnsupportedGraphError{Construct: "bare SHORTEST (use ANY SHORTEST)"}
+	case p.acceptWord("walk"): // explicit default
+	case p.peekWord("any") && strings.ToLower(p.peekAt(1).Text) == "shortest":
+		p.advance()
+		p.advance()
+		pat.Shortest = true
+	}
+	n, err := p.parseGraphNode()
+	if err != nil {
+		return nil, err
+	}
+	pat.Nodes = append(pat.Nodes, n)
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "-" && t.Text != "<") {
+			return pat, nil
+		}
+		e, err := p.parseGraphEdge()
+		if err != nil {
+			return nil, err
+		}
+		n, err := p.parseGraphNode()
+		if err != nil {
+			return nil, err
+		}
+		pat.Edges = append(pat.Edges, e)
+		pat.Nodes = append(pat.Nodes, n)
+	}
+}
+
+func (p *Parser) parseGraphNode() (GraphNode, error) {
+	if err := p.expect(TokOp, "("); err != nil {
+		return GraphNode{}, err
+	}
+	var n GraphNode
+	if p.peek().Kind == TokIdent {
+		n.Var = p.advance().Text
+	}
+	if p.accept(TokOp, ":") {
+		lbl, err := p.ident("vertex table label")
+		if err != nil {
+			return GraphNode{}, err
+		}
+		n.Label = lbl
+	}
+	if err := p.expect(TokOp, ")"); err != nil {
+		return GraphNode{}, err
+	}
+	return n, nil
+}
+
+// parseGraphEdge parses -[e:E]-> or <-[e:E]-, with an optional {1,n}
+// quantifier. Bare arrows without brackets are not accepted ("--" starts a
+// SQL comment).
+func (p *Parser) parseGraphEdge() (GraphEdge, error) {
+	var e GraphEdge
+	left := p.accept(TokOp, "<")
+	if err := p.expect(TokOp, "-"); err != nil {
+		return e, err
+	}
+	if err := p.expect(TokOp, "["); err != nil {
+		return e, err
+	}
+	if p.peek().Kind == TokIdent {
+		e.Var = p.advance().Text
+	}
+	if p.accept(TokOp, ":") {
+		lbl, err := p.ident("edge table label")
+		if err != nil {
+			return e, err
+		}
+		e.Label = lbl
+	}
+	if err := p.expect(TokOp, "]"); err != nil {
+		return e, err
+	}
+	if err := p.expect(TokOp, "-"); err != nil {
+		return e, err
+	}
+	if left {
+		e.Right = false
+	} else {
+		if err := p.expect(TokOp, ">"); err != nil {
+			return e, err
+		}
+		e.Right = true
+	}
+	if p.accept(TokOp, "{") {
+		e.Quantified = true
+		lo := p.advance()
+		if lo.Kind != TokNumber {
+			return e, p.errf("quantifier needs a number, found %q", lo.Text)
+		}
+		n, err := strconv.Atoi(lo.Text)
+		if err != nil {
+			return e, p.errf("bad quantifier bound %q", lo.Text)
+		}
+		e.Lo = n
+		if p.accept(TokOp, ",") {
+			if p.peek().Kind == TokNumber {
+				hi, err := strconv.Atoi(p.advance().Text)
+				if err != nil {
+					return e, p.errf("bad quantifier bound")
+				}
+				e.Hi = hi
+			} // else {1,} = unbounded, Hi stays 0
+		} else {
+			e.Hi = e.Lo
+		}
+		if err := p.expect(TokOp, "}"); err != nil {
+			return e, err
+		}
+		if e.Lo != 1 {
+			return e, &UnsupportedGraphError{
+				Construct: fmt.Sprintf("quantifier {%d,...} (lower bound must be 1)", e.Lo),
+			}
+		}
+		if e.Hi != 0 && e.Hi < e.Lo {
+			return e, p.errf("empty quantifier {%d,%d}", e.Lo, e.Hi)
+		}
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// Rendering. Every renderer emits text the parser accepts back, so
+// parse → String → reparse is a fixed point (FuzzMatchParser pins this).
+
+// String renders the DDL in canonical form (vertex tables before edge
+// tables).
+func (s *CreateGraphStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "create property graph %s (vertex tables (", s.Name)
+	for i, v := range s.Vertices {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s key (%s)", v.Table, v.Key)
+	}
+	b.WriteString(")")
+	if len(s.Edges) > 0 {
+		b.WriteString(", edge tables (")
+		for i, e := range s.Edges {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s source key (%s) references %s destination key (%s) references %s",
+				e.Table, e.SrcKey, e.SrcTable, e.DstKey, e.DstTable)
+		}
+		b.WriteString(")")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// String renders the DDL.
+func (s *DropGraphStmt) String() string { return "drop property graph " + s.Name }
+
+// String renders the node element.
+func (n GraphNode) String() string {
+	if n.Label == "" {
+		return "(" + n.Var + ")"
+	}
+	return "(" + n.Var + ":" + n.Label + ")"
+}
+
+// String renders the edge element with its direction and quantifier.
+func (e GraphEdge) String() string {
+	inner := "[" + e.Var
+	if e.Label != "" {
+		inner += ":" + e.Label
+	}
+	inner += "]"
+	quant := ""
+	if e.Quantified {
+		switch {
+		case e.Hi == 0:
+			quant = fmt.Sprintf("{%d,}", e.Lo)
+		case e.Hi == e.Lo:
+			quant = fmt.Sprintf("{%d}", e.Lo)
+		default:
+			quant = fmt.Sprintf("{%d,%d}", e.Lo, e.Hi)
+		}
+	}
+	if e.Right {
+		return "-" + inner + "->" + quant
+	}
+	return "<-" + inner + "-" + quant
+}
+
+// String renders the pattern.
+func (p *GraphPattern) String() string {
+	var b strings.Builder
+	if p.Shortest {
+		b.WriteString("any shortest ")
+	}
+	for i, n := range p.Nodes {
+		if i > 0 {
+			b.WriteString(p.Edges[i-1].String())
+		}
+		b.WriteString(n.String())
+	}
+	return b.String()
+}
+
+// String renders the full GRAPH_TABLE expression.
+func (g *GraphTableRef) String() string {
+	var b strings.Builder
+	b.WriteString("graph_table(")
+	b.WriteString(g.Graph)
+	b.WriteString(" match ")
+	b.WriteString(g.Pattern.String())
+	if g.Where != nil {
+		b.WriteString(" where ")
+		b.WriteString(exprSQL(g.Where))
+	}
+	b.WriteString(" columns (")
+	for i, it := range g.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(selectItemSQL(it))
+	}
+	b.WriteString("))")
+	return b.String()
+}
+
+// exprSQL renders an expression in reparseable form: unlike ExprString
+// (plan labels, lossy for subqueries) it fully renders IN/EXISTS
+// subqueries and escapes string literals. Nested expressions are
+// parenthesized, so precedence never needs reconstructing.
+func exprSQL(e Expr) string {
+	switch x := e.(type) {
+	case *ColRef:
+		if x.Table != "" {
+			return x.Table + "." + x.Name
+		}
+		return x.Name
+	case *Lit:
+		return litSQL(x.Val)
+	case *Unary:
+		return "(" + x.Op + " " + exprSQL(x.X) + ")"
+	case *Binary:
+		return "(" + exprSQL(x.L) + " " + x.Op + " " + exprSQL(x.R) + ")"
+	case *FuncCall:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprSQL(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *InExpr:
+		neg := ""
+		if x.Negated {
+			neg = " not"
+		}
+		if x.Sub != nil {
+			return "(" + exprSQL(x.X) + neg + " in (" + selectSQL(x.Sub) + "))"
+		}
+		items := make([]string, len(x.List))
+		for i, a := range x.List {
+			items[i] = exprSQL(a)
+		}
+		return "(" + exprSQL(x.X) + neg + " in (" + strings.Join(items, ", ") + "))"
+	case *ExistsExpr:
+		if x.Negated {
+			return "(not exists (" + selectSQL(x.Sub) + "))"
+		}
+		return "(exists (" + selectSQL(x.Sub) + "))"
+	case *IsNullExpr:
+		if x.Negated {
+			return "(" + exprSQL(x.X) + " is not null)"
+		}
+		return "(" + exprSQL(x.X) + " is null)"
+	}
+	return "?"
+}
+
+func litSQL(v value.Value) string {
+	switch v.K {
+	case value.KindNull:
+		return "null"
+	case value.KindBool:
+		if v.AsBool() {
+			return "true"
+		}
+		return "false"
+	case value.KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case value.KindFloat:
+		s := strconv.FormatFloat(v.F, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case value.KindString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+	return "null"
+}
+
+func selectItemSQL(it SelectItem) string {
+	if it.Star {
+		return "*"
+	}
+	s := exprSQL(it.Expr)
+	if it.Alias != "" {
+		s += " as " + it.Alias
+	}
+	return s
+}
+
+// selectSQL renders a (possibly compound) select block chain.
+func selectSQL(s *SelectStmt) string {
+	var b strings.Builder
+	op := ""
+	for blk := s; blk != nil; blk = blk.Next {
+		if op != "" {
+			b.WriteString(" " + op + " ")
+		}
+		b.WriteString(selectBlockSQL(blk))
+		op = blk.SetOp
+	}
+	return b.String()
+}
+
+func selectBlockSQL(s *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("select ")
+	if s.Distinct {
+		b.WriteString("distinct ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(selectItemSQL(it))
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" from ")
+		for i, f := range s.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(tableRefSQL(f))
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" where " + exprSQL(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" group by ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(exprSQL(g))
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" having " + exprSQL(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" order by ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(exprSQL(o.Expr))
+			if o.Desc {
+				b.WriteString(" desc")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" limit " + strconv.Itoa(s.Limit))
+	}
+	return b.String()
+}
+
+func tableRefSQL(t *TableRef) string {
+	switch {
+	case t.IsJoin():
+		kind := map[JoinKind]string{
+			JoinInner: "inner", JoinLeftOuter: "left outer", JoinFullOuter: "full outer",
+		}[t.Kind]
+		s := tableRefSQL(t.Join) + " " + kind + " join " + tableRefSQL(t.Right)
+		if t.On != nil {
+			s += " on " + exprSQL(t.On)
+		}
+		return s
+	case t.GraphTable != nil:
+		s := t.GraphTable.String()
+		if t.Alias != "" {
+			s += " " + t.Alias
+		}
+		return s
+	case t.Sub != nil:
+		s := "(" + selectSQL(t.Sub) + ")"
+		if t.Alias != "" {
+			s += " " + t.Alias
+		}
+		return s
+	default:
+		s := t.Name
+		if t.Alias != "" {
+			s += " " + t.Alias
+		}
+		return s
+	}
+}
+
+// StatementString renders a statement back to parseable SQL text, for the
+// statement kinds round-tripped by FuzzMatchParser. The second result is
+// false for statement kinds without a renderer (INSERT, CREATE TABLE, ...).
+func StatementString(st Statement) (string, bool) {
+	switch s := st.(type) {
+	case *CreateGraphStmt:
+		return s.String(), true
+	case *DropGraphStmt:
+		return s.String(), true
+	case *QueryStmt:
+		return selectSQL(s.Select), true
+	case *ExplainStmt:
+		inner, ok := StatementString(s.Target)
+		if !ok {
+			return "", false
+		}
+		if s.Analyze {
+			return "explain analyze " + inner, true
+		}
+		return "explain " + inner, true
+	}
+	return "", false
+}

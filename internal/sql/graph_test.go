@@ -1,0 +1,262 @@
+package sql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+// graphExec builds an engine with the paper's V/E layout plus a property
+// graph over it.
+func graphExec(t *testing.T) *Exec {
+	t.Helper()
+	x := NewExec(engine.New(engine.OracleLike()))
+	execStmt(t, x, "create table V (ID int, name varchar(16))")
+	execStmt(t, x, "create table E (F int, T int, ew float)")
+	execStmt(t, x, "insert into V values (1, 'a'), (2, 'b'), (3, 'c'), (4, 'd')")
+	execStmt(t, x, "insert into E values (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (1, 3, 5.0)")
+	execStmt(t, x, `create property graph g (
+		vertex tables (V key (ID)),
+		edge tables (E source key (F) references V destination key (T) references V))`)
+	return x
+}
+
+func TestCreateGraphParseRender(t *testing.T) {
+	src := "create property graph g (vertex tables (V key (ID)), edge tables (E source key (F) references V destination key (T) references V))"
+	st, err := ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cg, ok := st.(*CreateGraphStmt)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if got := cg.String(); got != src {
+		t.Fatalf("render mismatch:\n got %s\nwant %s", got, src)
+	}
+	if _, err := ParseStatement(cg.String()); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+}
+
+func TestGraphDDLLifecycle(t *testing.T) {
+	x := graphExec(t)
+	if names := x.Eng.Cat.GraphNames(); len(names) != 1 || names[0] != "g" {
+		t.Fatalf("graph names: %v", names)
+	}
+	// Duplicate name rejected.
+	st, err := ParseStatement("create property graph g (vertex tables (V key (ID)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.ExecStatement(st); err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	execStmt(t, x, "drop property graph g")
+	if names := x.Eng.Cat.GraphNames(); len(names) != 0 {
+		t.Fatalf("after drop: %v", names)
+	}
+	// Validation: missing table, missing column, edge to non-vertex, temp.
+	for _, bad := range []string{
+		"create property graph h (vertex tables (nosuch key (ID)))",
+		"create property graph h (vertex tables (V key (nope)))",
+		"create property graph h (vertex tables (V key (ID)), edge tables (E source key (F) references V destination key (T) references W))",
+	} {
+		st, err := ParseStatement(bad)
+		if err != nil {
+			t.Fatalf("parse %q: %v", bad, err)
+		}
+		if _, err := x.ExecStatement(st); err == nil {
+			t.Fatalf("expected validation error for %q", bad)
+		}
+	}
+	execStmt(t, x, "create temporary table TmpV (ID int)")
+	st, _ = ParseStatement("create property graph h (vertex tables (TmpV key (ID)))")
+	if _, err := x.ExecStatement(st); err == nil || !strings.Contains(err.Error(), "temporary") {
+		t.Fatalf("temp vertex table: %v", err)
+	}
+}
+
+// mustExec runs a full statement (including GRAPH_TABLE expansion)
+// through ExecStatement.
+func mustExec(t *testing.T, x *Exec, q string) *relation.Relation {
+	t.Helper()
+	st, err := ParseStatement(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	r, err := x.ExecStatement(st)
+	if err != nil {
+		t.Fatalf("exec %q: %v", q, err)
+	}
+	return r
+}
+
+func TestMatchFixedLengthJoins(t *testing.T) {
+	x := graphExec(t)
+	// Two-hop pattern over keys only: must match the hand-written join.
+	got := mustExec(t, x, `select * from graph_table(g
+		match (a)-[e1]->(b)-[e2]->(c)
+		columns (a.ID aid, c.ID cid)) order by aid, cid`)
+	want := mustRun(t, x, `select e1.F aid, e2.T cid from E e1, E e2
+		where e1.T = e2.F order by aid, cid`)
+	if got.String() != want.String() {
+		t.Fatalf("fixed 2-hop mismatch:\n got %v\nwant %v", got, want)
+	}
+	// Non-key property forces the vertex join.
+	got = mustExec(t, x, `select * from graph_table(g
+		match (a)-[e]->(b)
+		where b.name = 'c'
+		columns (a.ID aid, b.name bname)) gt order by aid`)
+	if got.Len() != 2 || got.At(0)[1].S != "c" {
+		t.Fatalf("property join: %v", got)
+	}
+	// Left-directed edge flips source/destination.
+	got = mustExec(t, x, `select * from graph_table(g
+		match (a)<-[e]-(b)
+		columns (a.ID aid, b.ID bid)) order by aid, bid`)
+	want = mustRun(t, x, `select E.T aid, E.F bid from E order by aid, bid`)
+	if got.String() != want.String() {
+		t.Fatalf("left edge mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestMatchVarLenLiftsToWith(t *testing.T) {
+	x := graphExec(t)
+	st, err := ParseStatement(`select * from graph_table(g
+		match (a)-[e]->{1,4}(b)
+		columns (a.ID src, b.ID dst)) gt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, err := ExpandStatement(x.Eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wq, ok := expanded.(*WithQueryStmt)
+	if !ok {
+		t.Fatalf("expected WithQueryStmt, got %T", expanded)
+	}
+	w := wq.With
+	if w.RecName != "g__paths" || len(w.Branches) != 2 || w.MaxRec != 3 {
+		t.Fatalf("recursion shape: rec=%q branches=%d maxrec=%d", w.RecName, len(w.Branches), w.MaxRec)
+	}
+	if len(w.Ops) != 1 || w.Ops[0] != WithUnionAll {
+		t.Fatalf("ops: %v", w.Ops)
+	}
+	// Unbounded quantifier → MaxRec 0 (engine default).
+	st, _ = ParseStatement(`select * from graph_table(g match (a)-[e]->{1,}(b) columns (a.ID s, b.ID d)) gt`)
+	expanded, err = ExpandStatement(x.Eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expanded.(*WithQueryStmt).With.MaxRec != 0 {
+		t.Fatal("unbounded quantifier should leave MaxRec 0")
+	}
+	// {1,1} stays a plain join (no recursion).
+	st, _ = ParseStatement(`select * from graph_table(g match (a)-[e]->{1}(b) columns (a.ID s, b.ID d)) gt`)
+	expanded, err = ExpandStatement(x.Eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := expanded.(*QueryStmt); !ok {
+		t.Fatalf("{1} should stay a query, got %T", expanded)
+	}
+}
+
+func TestMatchShortestLiftsToUBU(t *testing.T) {
+	x := graphExec(t)
+	st, err := ParseStatement(`select * from graph_table(g
+		match any shortest (a)-[e]->(b)
+		where a.ID = 1
+		columns (b.ID dst, path_cost() cost)) gt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, err := ExpandStatement(x.Eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := expanded.(*WithQueryStmt).With
+	if w.RecName != "g__dist" || len(w.Branches) != 3 {
+		t.Fatalf("shortest shape: rec=%q branches=%d", w.RecName, len(w.Branches))
+	}
+	if len(w.Ops) != 2 || w.Ops[1] != WithUnionByUpdate || len(w.UBUCols) != 1 || w.UBUCols[0] != "ID" {
+		t.Fatalf("ubu shape: ops=%v ubucols=%v", w.Ops, w.UBUCols)
+	}
+	// Missing source pin is an error.
+	st, _ = ParseStatement(`select * from graph_table(g match any shortest (a)-[e]->(b) columns (b.ID d, path_cost() c)) gt`)
+	if _, err := ExpandStatement(x.Eng, st); err == nil || !strings.Contains(err.Error(), "pinn") {
+		t.Fatalf("unpinned shortest: %v", err)
+	}
+}
+
+func TestGraphUnsupportedConstructs(t *testing.T) {
+	parseErrs := map[string]string{
+		`select * from graph_table(g match trail (a)-[e]->(b) columns (a.ID x)) gt`:        "path mode TRAIL",
+		`select * from graph_table(g match acyclic (a)-[e]->(b) columns (a.ID x)) gt`:      "path mode ACYCLIC",
+		`select * from graph_table(g match simple (a)-[e]->(b) columns (a.ID x)) gt`:       "path mode SIMPLE",
+		`select * from graph_table(g match all shortest (a)-[e]->(b) columns (a.ID x)) gt`: "ALL SHORTEST",
+		`select * from graph_table(g match shortest (a)-[e]->(b) columns (a.ID x)) gt`:     "bare SHORTEST",
+		`create property graph h (vertex tables (V key (ID, name)))`:                       "composite key",
+		`select * from graph_table(g match (a)-[e]->{2,3}(b) columns (a.ID x)) gt`:         "lower bound",
+	}
+	for src, want := range parseErrs {
+		_, err := ParseStatement(src)
+		var ue *UnsupportedGraphError
+		if err == nil || !errors.As(err, &ue) {
+			t.Fatalf("%q: expected UnsupportedGraphError, got %v", src, err)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("%q: error %q lacks %q", src, err, want)
+		}
+	}
+	// Expansion-time rejections.
+	x := graphExec(t)
+	expandErrs := map[string]string{
+		`select * from graph_table(g match (a)-[e]->{1,3}(b) columns (e.ew x)) gt`:                          "group variable",
+		`select * from graph_table(g match (a)-[e1]->(b)-[e2]->{1,3}(c) columns (a.ID x)) gt`:               "multi-edge",
+		`select * from graph_table(g match (a)-[e]->{1,3}(b) where a.name = 'a' columns (a.ID x)) gt`:       "endpoint keys only",
+		`select * from graph_table(g match any shortest (a)-[e]->(b) where a.ID = 1 columns (b.name n)) gt`: "endpoint keys only",
+	}
+	for src, want := range expandErrs {
+		st, err := ParseStatement(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		_, err = ExpandStatement(x.Eng, st)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("%q: expansion error %q lacks %q", src, err, want)
+		}
+	}
+}
+
+func TestGraphTableRenderFixedPoint(t *testing.T) {
+	srcs := []string{
+		`select * from graph_table(g match (a)-[e]->(b) columns (a.ID aid)) gt`,
+		`select * from graph_table(g match (a:V)-[e:E]->{1,4}(b:V) where a.ID = 1 columns (b.ID bid)) gt`,
+		`select * from graph_table(g match any shortest (a)-[e]->(b) where a.ID = 1 columns (b.ID d, path_cost() c)) gt`,
+		`select * from graph_table(g match (a)<-[e]-(b)-[f]->(c) columns (a.ID x, c.ID y)) gt where x < y`,
+	}
+	for _, src := range srcs {
+		st, err := ParseStatement(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		r1, ok := StatementString(st)
+		if !ok {
+			t.Fatalf("StatementString failed for %q", src)
+		}
+		st2, err := ParseStatement(r1)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", r1, err)
+		}
+		r2, _ := StatementString(st2)
+		if r1 != r2 {
+			t.Fatalf("render not a fixed point:\n 1: %s\n 2: %s", r1, r2)
+		}
+	}
+}

@@ -1,0 +1,988 @@
+package sql
+
+// Compilation of GRAPH_TABLE references against catalog property-graph
+// definitions. Fixed-length patterns become equi-join subqueries whose
+// scans stay direct base tables wherever possible — vertex tables are
+// joined only when non-key properties are referenced, so the CSR kernel
+// chooser sees the same build-side shapes as hand-written joins.
+// Variable-length quantifiers ({1,n}, {1,}) and ANY SHORTEST lift the
+// whole statement into a WITH+ recursion shaped exactly like the
+// hand-written Section 6 forms (algos.TCSQL / algos.SSSPSQL), so the
+// delta semi-naive rewrite and the Δ-frontier machinery apply unchanged.
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/value"
+)
+
+// ExpandStatement resolves every GRAPH_TABLE reference in st. Fixed-length
+// patterns are expanded in place (the statement is mutated); a statement
+// containing a variable-length or ANY SHORTEST pattern is lifted into a
+// *WithQueryStmt whose recursion feeds the pattern and whose final query
+// is the original statement. Statements without graph references are
+// returned unchanged.
+func ExpandStatement(eng *engine.Engine, st Statement) (Statement, error) {
+	switch s := st.(type) {
+	case *ExplainStmt:
+		target, err := ExpandStatement(eng, s.Target)
+		if err != nil {
+			return nil, err
+		}
+		if target == s.Target {
+			return s, nil
+		}
+		return &ExplainStmt{Analyze: s.Analyze, Target: target}, nil
+	case *QueryStmt:
+		x := &graphExpander{eng: eng}
+		if err := x.visitSelect(s.Select); err != nil {
+			return nil, err
+		}
+		switch len(x.varlen) {
+		case 0:
+			return s, nil
+		case 1:
+			w, err := x.lift(s.Select, x.varlen[0])
+			if err != nil {
+				return nil, err
+			}
+			return &WithQueryStmt{With: w}, nil
+		default:
+			return nil, fmt.Errorf("sql: at most one variable-length MATCH per statement (found %d)", len(x.varlen))
+		}
+	case *WithQueryStmt:
+		x := &graphExpander{eng: eng}
+		for _, br := range s.With.Branches {
+			if err := x.visitSelect(br.Query); err != nil {
+				return nil, err
+			}
+			for _, cd := range br.Computed {
+				if err := x.visitSelect(cd.Query); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := x.visitSelect(s.With.Final); err != nil {
+			return nil, err
+		}
+		if len(x.varlen) > 0 {
+			return nil, fmt.Errorf("sql: variable-length MATCH cannot appear inside a WITH+ statement")
+		}
+		return s, nil
+	}
+	return st, nil
+}
+
+type graphExpander struct {
+	eng      *engine.Engine
+	varlen   []*TableRef // deferred variable-length / shortest references
+	compiled map[*TableRef]bool
+}
+
+// flattenStar inlines a compiled GRAPH_TABLE subquery into its enclosing
+// block when that block is exactly `select * from (compiled)`: the
+// canonical shape the graph-first Match API emits. The output schema is
+// unchanged (star copies the subquery's aliases), but the plan shows the
+// real join tree instead of an opaque subquery node, and one
+// materialization disappears.
+func (x *graphExpander) flattenStar(blk *SelectStmt) {
+	if len(blk.Items) != 1 || !blk.Items[0].Star || blk.Where != nil ||
+		blk.GroupBy != nil || blk.Having != nil || blk.OrderBy != nil ||
+		blk.Distinct || blk.Next != nil || len(blk.From) != 1 {
+		return
+	}
+	f := blk.From[0]
+	if f.Sub == nil || f.Alias != "" || !x.compiled[f] {
+		return
+	}
+	sub := f.Sub
+	if sub.GroupBy != nil || sub.Having != nil || sub.OrderBy != nil ||
+		sub.Distinct || sub.Next != nil || sub.Limit != -1 {
+		return
+	}
+	blk.Items, blk.From, blk.Where = sub.Items, sub.From, sub.Where
+}
+
+func (x *graphExpander) visitSelect(s *SelectStmt) error {
+	for blk := s; blk != nil; blk = blk.Next {
+		for _, f := range blk.From {
+			if err := x.visitRef(f); err != nil {
+				return err
+			}
+		}
+		x.flattenStar(blk)
+		exprs := make([]Expr, 0, len(blk.Items)+len(blk.GroupBy)+len(blk.OrderBy)+2)
+		for _, it := range blk.Items {
+			exprs = append(exprs, it.Expr)
+		}
+		exprs = append(exprs, blk.Where, blk.Having)
+		exprs = append(exprs, blk.GroupBy...)
+		for _, o := range blk.OrderBy {
+			exprs = append(exprs, o.Expr)
+		}
+		for _, e := range exprs {
+			if err := x.visitExpr(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (x *graphExpander) visitExpr(e Expr) error {
+	var err error
+	Walk(e, func(n Expr) {
+		if err != nil {
+			return
+		}
+		switch v := n.(type) {
+		case *InExpr:
+			if v.Sub != nil {
+				err = x.visitSelect(v.Sub)
+			}
+		case *ExistsExpr:
+			if v.Sub != nil {
+				err = x.visitSelect(v.Sub)
+			}
+		}
+	})
+	return err
+}
+
+func (x *graphExpander) visitRef(t *TableRef) error {
+	if t.IsJoin() {
+		if err := x.visitRef(t.Join); err != nil {
+			return err
+		}
+		return x.visitRef(t.Right)
+	}
+	if t.Sub != nil {
+		return x.visitSelect(t.Sub)
+	}
+	if t.GraphTable == nil {
+		return nil
+	}
+	def, err := x.eng.Cat.GetGraph(t.GraphTable.Graph)
+	if err != nil {
+		return err
+	}
+	if t.GraphTable.Pattern.Variable() {
+		x.varlen = append(x.varlen, t)
+		return nil
+	}
+	sub, err := compileFixed(def, t.GraphTable)
+	if err != nil {
+		return err
+	}
+	t.Sub, t.GraphTable = sub, nil
+	if x.compiled == nil {
+		x.compiled = make(map[*TableRef]bool)
+	}
+	x.compiled[t] = true
+	return nil
+}
+
+// lift compiles the single variable-length reference into a WITH+
+// recursion: the reference becomes a projection over the recursive
+// relation, and the original (mutated) outer select becomes the final
+// query.
+func (x *graphExpander) lift(outer *SelectStmt, ref *TableRef) (*WithStmt, error) {
+	gt := ref.GraphTable
+	def, err := x.eng.Cat.GetGraph(gt.Graph)
+	if err != nil {
+		return nil, err
+	}
+	var w *WithStmt
+	var proj *SelectStmt
+	if gt.Pattern.Shortest {
+		w, proj, err = compileShortest(x.eng, def, gt)
+	} else {
+		w, proj, err = compileVarLen(def, gt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ref.Sub, ref.GraphTable = proj, nil
+	if x.compiled == nil {
+		x.compiled = make(map[*TableRef]bool)
+	}
+	x.compiled[ref] = true
+	if len(outer.From) == 1 && outer.From[0] == ref {
+		x.flattenStar(outer)
+	}
+	w.Final = outer
+	return w, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared resolution helpers.
+
+func resolveVertex(def *catalog.GraphDef, n GraphNode) (catalog.GraphVertex, error) {
+	if n.Label == "" {
+		if len(def.Vertices) == 1 {
+			return def.Vertices[0], nil
+		}
+		return catalog.GraphVertex{}, fmt.Errorf(
+			"sql: graph %q has %d vertex tables; label the node %q", def.Name, len(def.Vertices), n.Var)
+	}
+	v, ok := def.Vertex(n.Label)
+	if !ok {
+		return catalog.GraphVertex{}, fmt.Errorf("sql: graph %q has no vertex table %q", def.Name, n.Label)
+	}
+	return v, nil
+}
+
+func resolveEdge(def *catalog.GraphDef, e GraphEdge) (catalog.GraphEdge, error) {
+	if e.Label == "" {
+		if len(def.Edges) == 1 {
+			return def.Edges[0], nil
+		}
+		return catalog.GraphEdge{}, fmt.Errorf(
+			"sql: graph %q has %d edge tables; label the edge", def.Name, len(def.Edges))
+	}
+	ed, ok := def.Edge(e.Label)
+	if !ok {
+		return catalog.GraphEdge{}, fmt.Errorf("sql: graph %q has no edge table %q", def.Name, e.Label)
+	}
+	return ed, nil
+}
+
+// andChain conjoins non-nil expressions.
+func andChain(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &Binary{Op: "and", L: out, R: e}
+		}
+	}
+	return out
+}
+
+// conjunctsOf flattens an AND tree into conjuncts (nil-safe).
+func conjunctsOf(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	return splitAnd(e)
+}
+
+// rewriteExpr rebuilds e, replacing nodes for which fn returns a non-nil
+// expression. fn may also return an error to abort.
+func rewriteExpr(e Expr, fn func(Expr) (Expr, error)) (Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	if r, err := fn(e); err != nil {
+		return nil, err
+	} else if r != nil {
+		return r, nil
+	}
+	switch x := e.(type) {
+	case *ColRef, *Lit:
+		return e, nil
+	case *Unary:
+		sub, err := rewriteExpr(x.X, fn)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: x.Op, X: sub}, nil
+	case *Binary:
+		l, err := rewriteExpr(x.L, fn)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteExpr(x.R, fn)
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: x.Op, L: l, R: r}, nil
+	case *FuncCall:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			na, err := rewriteExpr(a, fn)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = na
+		}
+		return &FuncCall{Name: x.Name, Args: args, Star: x.Star}, nil
+	case *IsNullExpr:
+		sub, err := rewriteExpr(x.X, fn)
+		if err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: sub, Negated: x.Negated}, nil
+	case *InExpr:
+		sub, err := rewriteExpr(x.X, fn)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]Expr, len(x.List))
+		for i, a := range x.List {
+			na, err := rewriteExpr(a, fn)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = na
+		}
+		return &InExpr{X: sub, Sub: x.Sub, List: list, Negated: x.Negated}, nil
+	case *ExistsExpr:
+		return e, nil
+	}
+	return e, nil
+}
+
+// exprVars collects the pattern-variable qualifiers an expression uses.
+func exprVars(e Expr, out map[string]bool) {
+	Walk(e, func(n Expr) {
+		if c, ok := n.(*ColRef); ok && c.Table != "" {
+			out[c.Table] = true
+		}
+	})
+}
+
+// itemAlias derives the output column name of a COLUMNS item.
+func itemAlias(it SelectItem) (string, error) {
+	if it.Alias != "" {
+		return it.Alias, nil
+	}
+	if c, ok := it.Expr.(*ColRef); ok {
+		return c.Name, nil
+	}
+	return "", fmt.Errorf("sql: GRAPH_TABLE COLUMNS expression %s needs an alias", ExprString(it.Expr))
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-length compilation: pattern → equi-join select.
+
+func compileFixed(def *catalog.GraphDef, gt *GraphTableRef) (*SelectStmt, error) {
+	pat := gt.Pattern
+	type nodeInfo struct {
+		name      string // variable or generated
+		vtx       catalog.GraphVertex
+		endpoints []Expr // edge endpoint columns incident to this node
+		join      bool   // vertex table must be joined
+	}
+	var nodes []*nodeInfo
+	byVar := map[string]*nodeInfo{}
+	names := map[string]bool{}
+
+	nodeAt := make([]*nodeInfo, len(pat.Nodes))
+	for i, n := range pat.Nodes {
+		vtx, err := resolveVertex(def, n)
+		if err != nil {
+			return nil, err
+		}
+		if n.Var != "" {
+			if prev, ok := byVar[n.Var]; ok {
+				if prev.vtx.Table != vtx.Table {
+					return nil, fmt.Errorf("sql: pattern variable %q bound to both %q and %q", n.Var, prev.vtx.Table, vtx.Table)
+				}
+				nodeAt[i] = prev
+				continue
+			}
+		}
+		info := &nodeInfo{name: n.Var, vtx: vtx}
+		if info.name == "" {
+			info.name = fmt.Sprintf("__v%d", i)
+		}
+		if names[info.name] {
+			return nil, fmt.Errorf("sql: duplicate pattern variable %q", info.name)
+		}
+		names[info.name] = true
+		if n.Var != "" {
+			byVar[n.Var] = info
+		}
+		nodes = append(nodes, info)
+		nodeAt[i] = info
+	}
+
+	// Edge tables: one FROM entry per hop, in pattern order.
+	var from []*TableRef
+	edgeVars := map[string]bool{}
+	var conjuncts []Expr
+	for i, e := range pat.Edges {
+		ed, err := resolveEdge(def, e)
+		if err != nil {
+			return nil, err
+		}
+		alias := e.Var
+		if alias == "" {
+			alias = fmt.Sprintf("__e%d", i)
+		}
+		if names[alias] || edgeVars[alias] {
+			return nil, fmt.Errorf("sql: duplicate pattern variable %q", alias)
+		}
+		edgeVars[alias] = true
+		from = append(from, &TableRef{Name: ed.Table, Alias: alias})
+		srcIdx, dstIdx := i, i+1
+		if !e.Right {
+			srcIdx, dstIdx = i+1, i
+		}
+		src, dst := nodeAt[srcIdx], nodeAt[dstIdx]
+		if ed.SrcTable != src.vtx.Table {
+			return nil, fmt.Errorf("sql: edge table %q starts at %q, pattern binds %q", ed.Table, ed.SrcTable, src.vtx.Table)
+		}
+		if ed.DstTable != dst.vtx.Table {
+			return nil, fmt.Errorf("sql: edge table %q ends at %q, pattern binds %q", ed.Table, ed.DstTable, dst.vtx.Table)
+		}
+		src.endpoints = append(src.endpoints, &ColRef{Table: alias, Name: ed.SrcKey})
+		dst.endpoints = append(dst.endpoints, &ColRef{Table: alias, Name: ed.DstKey})
+	}
+
+	// A vertex table is joined only when the query touches a non-key
+	// property (or the node is isolated): key accesses rewrite to edge
+	// endpoint columns, keeping scans CSR-chooser-eligible and matching
+	// what a hand-written join would look like. This leans on the
+	// referential integrity CREATE PROPERTY GRAPH declares: every endpoint
+	// value appears in its vertex table.
+	usesNonKey := map[string]bool{}
+	scan := func(e Expr) {
+		Walk(e, func(n Expr) {
+			if c, ok := n.(*ColRef); ok && c.Table != "" {
+				if info, ok := byVar[c.Table]; ok && c.Name != info.vtx.Key {
+					usesNonKey[c.Table] = true
+				}
+			}
+		})
+	}
+	scan(gt.Where)
+	for _, it := range gt.Columns {
+		scan(it.Expr)
+	}
+	subst := map[string]Expr{}
+	for _, info := range nodes {
+		info.join = usesNonKey[info.name] || len(info.endpoints) == 0
+		if info.join {
+			from = append(from, &TableRef{Name: info.vtx.Table, Alias: info.name})
+			for _, ep := range info.endpoints {
+				conjuncts = append(conjuncts, &Binary{Op: "=", L: &ColRef{Table: info.name, Name: info.vtx.Key}, R: ep})
+			}
+		} else {
+			for j := 0; j+1 < len(info.endpoints); j++ {
+				conjuncts = append(conjuncts, &Binary{Op: "=", L: info.endpoints[j], R: info.endpoints[j+1]})
+			}
+			subst[info.name] = info.endpoints[0]
+		}
+	}
+
+	// Substitute key-only node references; validate every qualifier.
+	rewrite := func(e Expr) (Expr, error) {
+		return rewriteExpr(e, func(n Expr) (Expr, error) {
+			switch v := n.(type) {
+			case *FuncCall:
+				if v.Name == "path_cost" {
+					return nil, fmt.Errorf("sql: path_cost() requires ANY SHORTEST")
+				}
+			case *ColRef:
+				if v.Table == "" {
+					return nil, nil
+				}
+				if rep, ok := subst[v.Table]; ok {
+					info := byVar[v.Table]
+					if v.Name != info.vtx.Key {
+						return nil, fmt.Errorf("sql: %s.%s is not available (node not joined)", v.Table, v.Name)
+					}
+					return rep, nil
+				}
+				if _, ok := byVar[v.Table]; ok {
+					return nil, nil // joined vertex table, resolves by alias
+				}
+				if edgeVars[v.Table] {
+					return nil, nil
+				}
+				return nil, fmt.Errorf("sql: unknown pattern variable %q", v.Table)
+			}
+			return nil, nil
+		})
+	}
+
+	out := &SelectStmt{Limit: -1, From: from}
+	for _, it := range gt.Columns {
+		alias, err := itemAlias(it)
+		if err != nil {
+			return nil, err
+		}
+		e, err := rewrite(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out.Items = append(out.Items, SelectItem{Expr: e, Alias: alias})
+	}
+	where, err := rewrite(gt.Where)
+	if err != nil {
+		return nil, err
+	}
+	out.Where = andChain(append(conjuncts, where)...)
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Variable-length {1,n} compilation: pattern → transitive-closure WITH+,
+// shaped exactly like algos.TCSQL so the delta semi-naive rewrite fires
+// (one linear recursive reference, union all, no aggregates).
+
+func compileVarLen(def *catalog.GraphDef, gt *GraphTableRef) (*WithStmt, *SelectStmt, error) {
+	pat := gt.Pattern
+	if len(pat.Edges) != 1 {
+		return nil, nil, &UnsupportedGraphError{Construct: "quantified edge in a multi-edge pattern"}
+	}
+	e := pat.Edges[0]
+	ed, err := resolveEdge(def, e)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Under a quantifier the edge variable ranges over every hop of the
+	// path — a group variable. Declaring it is harmless; referencing it
+	// needs aggregation semantics the recursion does not carry.
+	if e.Var != "" {
+		used := map[string]bool{}
+		exprVars(gt.Where, used)
+		for _, it := range gt.Columns {
+			exprVars(it.Expr, used)
+		}
+		if used[e.Var] {
+			return nil, nil, &UnsupportedGraphError{
+				Construct: fmt.Sprintf("group variable %q (edge variable under a quantifier)", e.Var),
+			}
+		}
+	}
+	srcIdx, dstIdx := 0, 1
+	if !e.Right {
+		srcIdx, dstIdx = 1, 0
+	}
+	srcNode, dstNode := pat.Nodes[srcIdx], pat.Nodes[dstIdx]
+	if srcNode.Var != "" && srcNode.Var == dstNode.Var {
+		return nil, nil, &UnsupportedGraphError{Construct: "repeated node variable in a variable-length pattern"}
+	}
+	srcVtx, err := resolveVertex(def, srcNode)
+	if err != nil {
+		return nil, nil, err
+	}
+	dstVtx, err := resolveVertex(def, dstNode)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ed.SrcTable != srcVtx.Table || ed.DstTable != dstVtx.Table {
+		return nil, nil, fmt.Errorf("sql: edge table %q connects %q to %q, pattern binds %q to %q",
+			ed.Table, ed.SrcTable, ed.DstTable, srcVtx.Table, dstVtx.Table)
+	}
+
+	rec := def.Name + "__paths"
+	// Classify WHERE conjuncts: source-only filters push into the seed
+	// branch (the BFS-style "from one source" shape), destination-only
+	// filters into the projection; anything else cannot run inside the
+	// recursion faithfully.
+	var initFilter, finalFilter []Expr
+	for _, c := range conjunctsOf(gt.Where) {
+		vars := map[string]bool{}
+		exprVars(c, vars)
+		switch {
+		case len(vars) == 1 && srcNode.Var != "" && vars[srcNode.Var]:
+			e, err := substEndpoint(c, srcNode.Var, srcVtx.Key, &ColRef{Name: ed.SrcKey})
+			if err != nil {
+				return nil, nil, err
+			}
+			initFilter = append(initFilter, e)
+		case len(vars) == 1 && dstNode.Var != "" && vars[dstNode.Var]:
+			e, err := substEndpoint(c, dstNode.Var, dstVtx.Key, &ColRef{Name: "T"})
+			if err != nil {
+				return nil, nil, err
+			}
+			finalFilter = append(finalFilter, e)
+		case len(vars) == 0:
+			finalFilter = append(finalFilter, c)
+		default:
+			return nil, nil, &UnsupportedGraphError{
+				Construct: fmt.Sprintf("WHERE predicate %s in a variable-length pattern (single-endpoint predicates only)", ExprString(c)),
+			}
+		}
+	}
+
+	// Seed: one-hop pairs, mirroring "select F, T from E".
+	init := &SelectStmt{
+		Limit: -1,
+		Items: []SelectItem{{Expr: &ColRef{Name: ed.SrcKey}}, {Expr: &ColRef{Name: ed.DstKey}}},
+		From:  []*TableRef{{Name: ed.Table}},
+		Where: andChain(initFilter...),
+	}
+	// Step: extend the frontier by one hop, mirroring
+	// "select TC.F, E.T from TC, E where TC.T = E.F".
+	step := &SelectStmt{
+		Limit: -1,
+		Items: []SelectItem{
+			{Expr: &ColRef{Table: rec, Name: "F"}},
+			{Expr: &ColRef{Table: ed.Table, Name: ed.DstKey}},
+		},
+		From: []*TableRef{{Name: rec}, {Name: ed.Table}},
+		Where: &Binary{Op: "=",
+			L: &ColRef{Table: rec, Name: "T"},
+			R: &ColRef{Table: ed.Table, Name: ed.SrcKey}},
+	}
+	maxRec := 0
+	if e.Hi > 0 {
+		maxRec = e.Hi - 1
+	}
+	w := &WithStmt{
+		RecName:  rec,
+		RecCols:  []string{"F", "T"},
+		Branches: []WithBranch{{Query: init}, {Query: step}},
+		Ops:      []WithSetOp{WithUnionAll},
+		MaxRec:   maxRec,
+	}
+
+	proj := &SelectStmt{Limit: -1, From: []*TableRef{{Name: rec}}, Where: andChain(finalFilter...)}
+	for _, it := range gt.Columns {
+		alias, err := itemAlias(it)
+		if err != nil {
+			return nil, nil, err
+		}
+		var e2 Expr
+		switch {
+		case srcNode.Var != "" && onlyVar(it.Expr, srcNode.Var):
+			e2, err = substEndpoint(it.Expr, srcNode.Var, srcVtx.Key, &ColRef{Name: "F"})
+		case dstNode.Var != "" && onlyVar(it.Expr, dstNode.Var):
+			e2, err = substEndpoint(it.Expr, dstNode.Var, dstVtx.Key, &ColRef{Name: "T"})
+		default:
+			err = &UnsupportedGraphError{
+				Construct: fmt.Sprintf("COLUMNS expression %s in a variable-length pattern (endpoint keys only)", ExprString(it.Expr)),
+			}
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		proj.Items = append(proj.Items, SelectItem{Expr: e2, Alias: alias})
+	}
+	return w, proj, nil
+}
+
+// onlyVar reports whether every qualified reference in e uses var.
+func onlyVar(e Expr, v string) bool {
+	vars := map[string]bool{}
+	exprVars(e, vars)
+	delete(vars, v)
+	return len(vars) == 0
+}
+
+// substEndpoint replaces v.key with the replacement column; any other
+// reference through v (a non-key property) is rejected — variable-length
+// recursion only carries endpoint keys.
+func substEndpoint(e Expr, v, key string, rep Expr) (Expr, error) {
+	return rewriteExpr(e, func(n Expr) (Expr, error) {
+		if c, ok := n.(*ColRef); ok && c.Table == v {
+			if c.Name != key {
+				return nil, &UnsupportedGraphError{
+					Construct: fmt.Sprintf("property %s.%s in a variable-length pattern (endpoint keys only)", v, c.Name),
+				}
+			}
+			return rep, nil
+		}
+		if f, ok := n.(*FuncCall); ok && f.Name == "path_cost" {
+			return nil, fmt.Errorf("sql: path_cost() requires ANY SHORTEST")
+		}
+		return nil, nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// ANY SHORTEST compilation: single-edge pattern → Bellman-Ford WITH+,
+// shaped exactly like algos.SSSPSQL (union-by-update with least/min
+// relaxation). The recursion carries (vertex key, distance); destinations
+// the fixpoint never reaches keep the 1e18 sentinel — filter with
+// path_cost() < 1e18 for reachable-only results.
+
+func compileShortest(eng *engine.Engine, def *catalog.GraphDef, gt *GraphTableRef) (*WithStmt, *SelectStmt, error) {
+	pat := gt.Pattern
+	if len(pat.Edges) != 1 {
+		return nil, nil, &UnsupportedGraphError{Construct: "ANY SHORTEST over a multi-edge pattern"}
+	}
+	e := pat.Edges[0]
+	if e.Quantified {
+		return nil, nil, &UnsupportedGraphError{Construct: "quantifier combined with ANY SHORTEST"}
+	}
+	ed, err := resolveEdge(def, e)
+	if err != nil {
+		return nil, nil, err
+	}
+	srcIdx, dstIdx := 0, 1
+	if !e.Right {
+		srcIdx, dstIdx = 1, 0
+	}
+	srcNode, dstNode := pat.Nodes[srcIdx], pat.Nodes[dstIdx]
+	srcVtx, err := resolveVertex(def, srcNode)
+	if err != nil {
+		return nil, nil, err
+	}
+	dstVtx, err := resolveVertex(def, dstNode)
+	if err != nil {
+		return nil, nil, err
+	}
+	if srcVtx.Table != dstVtx.Table {
+		return nil, nil, &UnsupportedGraphError{Construct: "ANY SHORTEST across different vertex tables"}
+	}
+	if ed.SrcTable != srcVtx.Table || ed.DstTable != dstVtx.Table {
+		return nil, nil, fmt.Errorf("sql: edge table %q connects %q to %q, pattern binds %q to %q",
+			ed.Table, ed.SrcTable, ed.DstTable, srcVtx.Table, dstVtx.Table)
+	}
+	key := dstVtx.Key
+	if key == "dist" {
+		return nil, nil, fmt.Errorf("sql: vertex key column %q collides with the distance column of ANY SHORTEST", key)
+	}
+
+	// The source must be pinned: find the one "src.key = <constant>"
+	// conjunct; remaining destination-side conjuncts filter the result.
+	var pin Expr
+	var finalFilter []Expr
+	for _, c := range conjunctsOf(gt.Where) {
+		vars := map[string]bool{}
+		exprVars(c, vars)
+		if srcNode.Var != "" && vars[srcNode.Var] && pin == nil {
+			if p := pinLiteral(c, srcNode.Var, srcVtx.Key); p != nil {
+				pin = p
+				continue
+			}
+		}
+		if len(vars) == 0 || (len(vars) == 1 && dstNode.Var != "" && vars[dstNode.Var]) {
+			e2, err := substShortestRef(c, dstNode.Var, key, srcNode.Var, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			finalFilter = append(finalFilter, e2)
+			continue
+		}
+		return nil, nil, &UnsupportedGraphError{
+			Construct: fmt.Sprintf("WHERE predicate %s under ANY SHORTEST", ExprString(c)),
+		}
+	}
+	if pin == nil {
+		return nil, nil, fmt.Errorf("sql: ANY SHORTEST requires the source pinned with %s.%s = <literal>",
+			orAnon(srcNode.Var), srcVtx.Key)
+	}
+
+	// Edge weight: the first edge-table column after the endpoint keys
+	// (the paper's E(F, T, ew) layout); hop count when the table has none.
+	var weight Expr = &Lit{Val: value.Int(1)}
+	if tab, err := eng.Cat.Get(ed.Table); err == nil {
+		for _, col := range tab.Sch {
+			if col.Name != ed.SrcKey && col.Name != ed.DstKey {
+				weight = &ColRef{Table: ed.Table, Name: col.Name}
+				break
+			}
+		}
+	}
+
+	rec := def.Name + "__dist"
+	v := srcVtx.Table
+	// Seeds, mirroring "select ID, 0.0 from V where ID = s" union all
+	// "select ID, 1e18 from V where ID <> s".
+	init1 := &SelectStmt{
+		Limit: -1,
+		Items: []SelectItem{{Expr: &ColRef{Name: key}}, {Expr: &Lit{Val: value.Float(0)}}},
+		From:  []*TableRef{{Name: v}},
+		Where: &Binary{Op: "=", L: &ColRef{Name: key}, R: pin},
+	}
+	init2 := &SelectStmt{
+		Limit: -1,
+		Items: []SelectItem{{Expr: &ColRef{Name: key}}, {Expr: &Lit{Val: value.Float(1e18)}}},
+		From:  []*TableRef{{Name: v}},
+		Where: &Binary{Op: "<>", L: &ColRef{Name: key}, R: pin},
+	}
+	// Relaxation, mirroring "select D.ID, least(D.dist, s.nd) from D,
+	// (select E.T tid, min(dist + ew) nd from D, E where D.ID = E.F
+	//  group by E.T) s where D.ID = s.tid".
+	inner := &SelectStmt{
+		Limit: -1,
+		Items: []SelectItem{
+			{Expr: &ColRef{Table: ed.Table, Name: ed.DstKey}, Alias: "tid"},
+			{Expr: &FuncCall{Name: "min", Args: []Expr{
+				&Binary{Op: "+", L: &ColRef{Table: rec, Name: "dist"}, R: weight},
+			}}, Alias: "nd"},
+		},
+		From: []*TableRef{{Name: rec}, {Name: ed.Table}},
+		Where: &Binary{Op: "=",
+			L: &ColRef{Table: rec, Name: key},
+			R: &ColRef{Table: ed.Table, Name: ed.SrcKey}},
+		GroupBy: []Expr{&ColRef{Table: ed.Table, Name: ed.DstKey}},
+	}
+	step := &SelectStmt{
+		Limit: -1,
+		Items: []SelectItem{
+			{Expr: &ColRef{Table: rec, Name: key}},
+			{Expr: &FuncCall{Name: "least", Args: []Expr{
+				&ColRef{Table: rec, Name: "dist"},
+				&ColRef{Table: "s", Name: "nd"},
+			}}},
+		},
+		From: []*TableRef{{Name: rec}, {Sub: inner, Alias: "s"}},
+		Where: &Binary{Op: "=",
+			L: &ColRef{Table: rec, Name: key},
+			R: &ColRef{Table: "s", Name: "tid"}},
+	}
+	w := &WithStmt{
+		RecName:  rec,
+		RecCols:  []string{key, "dist"},
+		Branches: []WithBranch{{Query: init1}, {Query: init2}, {Query: step}},
+		Ops:      []WithSetOp{WithUnionAll, WithUnionByUpdate},
+		UBUCols:  []string{key},
+	}
+
+	proj := &SelectStmt{Limit: -1, From: []*TableRef{{Name: rec}}, Where: andChain(finalFilter...)}
+	for _, it := range gt.Columns {
+		alias, err := itemAlias(it)
+		if err != nil {
+			return nil, nil, err
+		}
+		e2, err := substShortestRef(it.Expr, dstNode.Var, key, srcNode.Var, pin)
+		if err != nil {
+			return nil, nil, err
+		}
+		proj.Items = append(proj.Items, SelectItem{Expr: e2, Alias: alias})
+	}
+	return w, proj, nil
+}
+
+// pinLiteral matches "v.key = <constant>" (either orientation) and
+// returns the constant expression.
+func pinLiteral(c Expr, v, key string) Expr {
+	b, ok := c.(*Binary)
+	if !ok || b.Op != "=" {
+		return nil
+	}
+	isKey := func(e Expr) bool {
+		cr, ok := e.(*ColRef)
+		return ok && cr.Table == v && cr.Name == key
+	}
+	noRefs := func(e Expr) bool {
+		vars := map[string]bool{}
+		exprVars(e, vars)
+		if len(vars) > 0 {
+			return false
+		}
+		ok := true
+		Walk(e, func(n Expr) {
+			if _, isCol := n.(*ColRef); isCol {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if isKey(b.L) && noRefs(b.R) {
+		return b.R
+	}
+	if isKey(b.R) && noRefs(b.L) {
+		return b.L
+	}
+	return nil
+}
+
+// substShortestRef rewrites destination key references to the recursion's
+// key column, path_cost() to the distance column, and (when pin is
+// non-nil) source key references to the pinned literal.
+func substShortestRef(e Expr, dstVar, key, srcVar string, pin Expr) (Expr, error) {
+	return rewriteExpr(e, func(n Expr) (Expr, error) {
+		switch x := n.(type) {
+		case *FuncCall:
+			if x.Name == "path_cost" {
+				if len(x.Args) != 0 {
+					return nil, fmt.Errorf("sql: path_cost() takes no arguments")
+				}
+				return &ColRef{Name: "dist"}, nil
+			}
+		case *ColRef:
+			if x.Table == "" {
+				return nil, nil
+			}
+			if dstVar != "" && x.Table == dstVar {
+				if x.Name != key {
+					return nil, &UnsupportedGraphError{
+						Construct: fmt.Sprintf("property %s.%s under ANY SHORTEST (endpoint keys only)", x.Table, x.Name),
+					}
+				}
+				return &ColRef{Name: key}, nil
+			}
+			if srcVar != "" && x.Table == srcVar {
+				if pin == nil {
+					return nil, &UnsupportedGraphError{
+						Construct: fmt.Sprintf("source reference %s.%s in a WHERE predicate under ANY SHORTEST", x.Table, x.Name),
+					}
+				}
+				if x.Name != key {
+					return nil, &UnsupportedGraphError{
+						Construct: fmt.Sprintf("property %s.%s under ANY SHORTEST (endpoint keys only)", x.Table, x.Name),
+					}
+				}
+				return pin, nil
+			}
+			return nil, fmt.Errorf("sql: unknown pattern variable %q", x.Table)
+		}
+		return nil, nil
+	})
+}
+
+func orAnon(v string) string {
+	if v == "" {
+		return "<source>"
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// CREATE PROPERTY GRAPH execution.
+
+func (x *Exec) execCreateGraph(s *CreateGraphStmt) error {
+	def := &catalog.GraphDef{Name: s.Name}
+	vertexKeys := map[string]string{}
+	checkCol := func(table, col string) error {
+		t, err := x.Eng.Cat.Get(table)
+		if err != nil {
+			return fmt.Errorf("sql: create property graph %s: %w", s.Name, err)
+		}
+		if t.Temp {
+			return fmt.Errorf("sql: create property graph %s: %q is a temporary table (graphs are shared; define them over base tables)", s.Name, table)
+		}
+		if t.Sch.IndexOf(col) < 0 {
+			return fmt.Errorf("sql: create property graph %s: table %q has no column %q", s.Name, table, col)
+		}
+		return nil
+	}
+	for _, v := range s.Vertices {
+		if _, dup := vertexKeys[v.Table]; dup {
+			return fmt.Errorf("sql: create property graph %s: duplicate vertex table %q", s.Name, v.Table)
+		}
+		if err := checkCol(v.Table, v.Key); err != nil {
+			return err
+		}
+		vertexKeys[v.Table] = v.Key
+		def.Vertices = append(def.Vertices, catalog.GraphVertex{Table: v.Table, Key: v.Key})
+	}
+	seenEdges := map[string]bool{}
+	for _, e := range s.Edges {
+		if seenEdges[e.Table] {
+			return fmt.Errorf("sql: create property graph %s: duplicate edge table %q", s.Name, e.Table)
+		}
+		seenEdges[e.Table] = true
+		if err := checkCol(e.Table, e.SrcKey); err != nil {
+			return err
+		}
+		if err := checkCol(e.Table, e.DstKey); err != nil {
+			return err
+		}
+		for _, ref := range []string{e.SrcTable, e.DstTable} {
+			if _, ok := vertexKeys[ref]; !ok {
+				return fmt.Errorf("sql: create property graph %s: edge table %q references %q, which is not a vertex table of the graph", s.Name, e.Table, ref)
+			}
+		}
+		def.Edges = append(def.Edges, catalog.GraphEdge{
+			Table: e.Table, SrcKey: e.SrcKey, SrcTable: e.SrcTable,
+			DstKey: e.DstKey, DstTable: e.DstTable,
+		})
+	}
+	return x.Eng.Cat.CreateGraph(def)
+}

@@ -150,7 +150,8 @@ scan:
 			return Token{Kind: TokOp, Text: two, Pos: start}, nil
 		}
 		switch c {
-		case '(', ')', ',', '.', ';', '*', '+', '-', '/', '%', '=', '<', '>':
+		case '(', ')', ',', '.', ';', '*', '+', '-', '/', '%', '=', '<', '>',
+			'[', ']', '{', '}', ':':
 			l.pos++
 			return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
 		}

@@ -304,6 +304,10 @@ func (p *Parser) parseTablePrimary() (*TableRef, error) {
 		}
 		return ref, nil
 	}
+	if t := p.peek(); t.Kind == TokIdent && strings.ToLower(t.Text) == "graph_table" &&
+		p.peekAt(1).Kind == TokOp && p.peekAt(1).Text == "(" {
+		return p.parseGraphTable()
+	}
 	t := p.advance()
 	if t.Kind != TokIdent {
 		return nil, p.errf("expected table name, found %q", t.Text)

@@ -97,11 +97,24 @@ func (p *Parser) parseStatement() (Statement, error) {
 		}
 		return &WithQueryStmt{With: w}, nil
 	case p.peekKw("create"):
+		if strings.ToLower(p.peekAt(1).Text) == "property" {
+			return p.parseCreateGraph()
+		}
 		return p.parseCreateTable()
 	case p.peekKw("insert"):
 		return p.parseInsert()
 	case p.peekKw("drop"):
 		p.advance()
+		if p.acceptWord("property") {
+			if err := p.expectWord("graph"); err != nil {
+				return nil, err
+			}
+			n, err := p.ident("graph name")
+			if err != nil {
+				return nil, err
+			}
+			return &DropGraphStmt{Name: n}, nil
+		}
 		if err := p.expect(TokKeyword, "table"); err != nil {
 			return nil, err
 		}
@@ -253,7 +266,19 @@ func (p *Parser) parseInsert() (Statement, error) {
 func (x *Exec) ExecStatement(st Statement) (*relation.Relation, error) {
 	switch s := st.(type) {
 	case *QueryStmt:
-		return x.Run(s.Select)
+		expanded, err := ExpandStatement(x.Eng, s)
+		if err != nil {
+			return nil, err
+		}
+		q, ok := expanded.(*QueryStmt)
+		if !ok {
+			return nil, fmt.Errorf("sql: variable-length MATCH compiles to WITH+ and must run through the withplus pipeline")
+		}
+		return x.Run(q.Select)
+	case *CreateGraphStmt:
+		return nil, x.execCreateGraph(s)
+	case *DropGraphStmt:
+		return nil, x.Eng.Cat.DropGraph(s.Name)
 	case *CreateTableStmt:
 		if s.Temp {
 			_, err := x.Eng.CreateTemp(s.Name, s.Sch)
@@ -279,7 +304,11 @@ func (x *Exec) ExecStatement(st Statement) (*relation.Relation, error) {
 	case *InsertStmt:
 		return nil, x.execInsert(s)
 	case *ExplainStmt:
-		q, ok := s.Target.(*QueryStmt)
+		target, err := ExpandStatement(x.Eng, s.Target)
+		if err != nil {
+			return nil, err
+		}
+		q, ok := target.(*QueryStmt)
 		if !ok {
 			return nil, fmt.Errorf("sql: EXPLAIN of WITH+ statements must run through the withplus pipeline")
 		}

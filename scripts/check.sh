@@ -20,6 +20,17 @@ if grep -rn 'QueryWithTrace\|RunContext\|\.Eng\b' \
   echo "check: deprecated graphsql API (QueryWithTrace/RunContext/.Eng) used outside graphsql/" >&2
   exit 1
 fi
+# The deprecated wrappers themselves live behind the graphsql_compat build
+# tag; any mention in graphsql outside the tagged files is a regression.
+if grep -rln 'QueryWithTrace\|RunContext' graphsql/*.go 2>/dev/null \
+    | while read -r f; do
+        head -1 "$f" | grep -q 'go:build graphsql_compat' || echo "$f"
+      done | grep .; then
+  echo "check: deprecated wrappers outside the graphsql_compat build tag" >&2
+  exit 1
+fi
+# The compat surface must still compile when the tag is on.
+go vet -tags graphsql_compat ./graphsql
 
 echo "== go test ./..."
 go test ./...
@@ -27,7 +38,7 @@ go test ./...
 echo "== go test -race (parallel executor + concurrent-session packages)"
 go test -race ./internal/relation/... ./internal/ra/... ./internal/engine/... \
     ./internal/catalog/... ./internal/withplus/... ./internal/server/... \
-    ./graphsql ./graphsql/client
+    ./internal/sql/... ./graphsql ./graphsql/client
 
 echo "== delta smoke (frontier vs full differential + fallback proofs)"
 go test ./internal/withplus -run 'DeltaVsFull|FallsBack|FrontierMode|FrontierReason' -count=1
@@ -40,6 +51,10 @@ go test ./internal/withplus -run=NONE -fuzz FuzzCSRVsHash -fuzztime 5s
 
 echo "== server protocol fuzz smoke"
 go test ./internal/server -run=NONE -fuzz FuzzServerProto -fuzztime 5s
+
+echo "== match smoke (MATCH differential + explain goldens + parser fuzz)"
+go test ./graphsql -run 'MatchDifferential|MatchExplainAnalyze|GraphHandleMatch' -count=1
+go test ./internal/sql -run=NONE -fuzz FuzzMatchParser -fuzztime 5s
 
 echo "== chaos gate (fault sweep, recovery, cancellation, fuzz smoke)"
 ./scripts/chaos.sh
