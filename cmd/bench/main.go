@@ -8,7 +8,8 @@
 //	bench -exp fig11 -seed 7
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 fig7 fig8
-// fig10 fig11 fig12 fig13 resources opcounts perf delta csr concurrent.
+// fig10 fig11 fig12 fig13 resources opcounts perf delta csr vector
+// concurrent.
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/exp"
@@ -24,33 +27,69 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment to run (all, table1..table7, fig7, fig8, fig10..fig13, resources, opcounts, perf, delta, csr, concurrent)")
-		nodes    = flag.Int("nodes", 0, "scaled dataset node count (0 = default)")
-		seed     = flag.Int64("seed", 1, "dataset generator seed")
-		iters    = flag.Int("iters", 0, "fixed iterations for PR/HITS/LP (0 = paper's 15)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		workers  = flag.Int("workers", 1, "morsel-parallel probe workers (1 = serial, paper-faithful)")
-		nofusion = flag.Bool("nofusion", false, "disable fused MV-/MM-join kernels and the index cache (A/B baseline)")
-		nodelta  = flag.Bool("nodelta", false, "disable delta-driven semi-naive evaluation in WITH+ (A/B baseline for the delta experiment)")
-		nocsr    = flag.Bool("nocsr", false, "disable the CSR adjacency access path (A/B baseline for the csr experiment)")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (perf experiment)")
-		observe  = flag.Bool("observe", false, "attach a span sink to every engine (observability overhead A/B)")
-		metrics  = flag.Bool("metrics", false, "dump the process-wide metrics registry as JSON after the run")
+		which      = flag.String("exp", "all", "experiment to run (all, table1..table7, fig7, fig8, fig10..fig13, resources, opcounts, perf, delta, csr, vector, concurrent)")
+		nodes      = flag.Int("nodes", 0, "scaled dataset node count (0 = default)")
+		seed       = flag.Int64("seed", 1, "dataset generator seed")
+		iters      = flag.Int("iters", 0, "fixed iterations for PR/HITS/LP (0 = paper's 15)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		workers    = flag.Int("workers", 1, "morsel-parallel probe workers (1 = serial, paper-faithful)")
+		nofusion   = flag.Bool("nofusion", false, "disable fused MV-/MM-join kernels and the index cache (A/B baseline)")
+		nodelta    = flag.Bool("nodelta", false, "disable delta-driven semi-naive evaluation in WITH+ (A/B baseline for the delta experiment)")
+		nocsr      = flag.Bool("nocsr", false, "disable the CSR adjacency access path (A/B baseline for the csr experiment)")
+		novector   = flag.Bool("novector", false, "disable the vectorized batch kernels (A/B baseline for the vector experiment)")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (perf experiment)")
+		observe    = flag.Bool("observe", false, "attach a span sink to every engine (observability overhead A/B)")
+		metrics    = flag.Bool("metrics", false, "dump the process-wide metrics registry as JSON after the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
-	cfg := exp.Config{Nodes: *nodes, Seed: *seed, Iters: *iters, Workers: *workers, NoFusion: *nofusion, NoDelta: *nodelta, NoCSR: *nocsr, Observe: *observe}
+	cfg := exp.Config{Nodes: *nodes, Seed: *seed, Iters: *iters, Workers: *workers, NoFusion: *nofusion, NoDelta: *nodelta, NoCSR: *nocsr, NoVector: *novector, Observe: *observe}
 	asCSV = *csv
 	asJSON = *jsonOut
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 	if err := run(strings.ToLower(*which), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if *metrics {
 		if err := dumpMetrics(os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the profile shows live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			exit(1)
+		}
+	}
+}
+
+// exit stops the CPU profile (running deferred handlers) before exiting, so
+// a failed run still leaves a readable profile.
+func exit(code int) {
+	pprof.StopCPUProfile()
+	os.Exit(code)
 }
 
 // dumpMetrics writes the process-wide metrics registry to w (stderr, so
@@ -164,6 +203,21 @@ func run(which string, cfg exp.Config) error {
 				return nil
 			}
 			return show(exp.CSRTable(recs), nil)
+		}},
+		{"vector", func() error {
+			recs, err := exp.VectorRecords(cfg)
+			if err != nil {
+				return err
+			}
+			if asJSON {
+				s, err := exp.VectorJSON(recs)
+				if err != nil {
+					return err
+				}
+				fmt.Println(s)
+				return nil
+			}
+			return show(exp.VectorTable(recs), nil)
 		}},
 		{"concurrent", func() error {
 			recs, err := exp.ConcurrentRecords(cfg)

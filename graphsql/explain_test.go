@@ -72,7 +72,7 @@ func TestExplainAnalyzeSelect(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		"hash aggregate (single group) (rows=1 loops=1",
+		"hash aggregate (single group) (vectorized) (rows=1 loops=1",
 		"hash join on (E.T = V.ID) via csr (rows=3 loops=1",
 		"scan E (base table, analyzed)",
 		"scan V (base table, analyzed)",

@@ -1,0 +1,168 @@
+package algos
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+	"repro/internal/withplus"
+)
+
+// Differential gates for the vectorized batch kernels, mirroring
+// TestCSRVsHashAllAlgos: every algorithm, on every profile, must produce
+// byte-identical output with the kernels enabled (default) and disabled
+// (DisableVectorized forces the row-at-a-time closures everywhere). The
+// suite runs both tiers the algorithms exist at — the native runners
+// (fused MV-/MM-join kernels, which bypass the SQL executor) and the
+// paper's WITH+ query texts (which run every SELECT through it).
+
+// TestVectorVsRowAllAlgos runs the native benchmarked runners. These call
+// the fused engine kernels directly, so the vectorized executor is not on
+// their hot path — the test pins exactly that: identical bytes either way,
+// and no batch dispatched from any native runner under either setting.
+// The SQL-text half below is where the kernels actually engage.
+func TestVectorVsRowAllAlgos(t *testing.T) {
+	g := testGraph(5)
+	p := Params{Iters: 8, K: 2} // the test graph's 5-core is empty; K=2 keeps KC non-trivial
+	for _, prof := range testProfiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			for _, a := range Benchmarked() {
+				run := func(disable bool) (string, *engine.Engine) {
+					e := engine.New(prof)
+					e.DisableVectorized = disable
+					res, err := a.Run(e, g, p)
+					if err != nil {
+						t.Fatalf("%s (vector=%v): %v", a.Code, !disable, err)
+					}
+					return fp(res), e
+				}
+				on, eOn := run(false)
+				off, eOff := run(true)
+				if on != off {
+					t.Errorf("%s: vectorized path diverged from row path (%d vs %d bytes)",
+						a.Code, len(on), len(off))
+				}
+				// TopoSort legitimately yields no rows on a cyclic graph.
+				if on == "" && a.Code != "TS" {
+					t.Errorf("%s returned no rows", a.Code)
+				}
+				if eOff.Cnt.VectorizedBatches != 0 {
+					t.Errorf("%s: DisableVectorized engine dispatched %d batches", a.Code, eOff.Cnt.VectorizedBatches)
+				}
+				if eOn.Cnt.VectorizedBatches != 0 {
+					t.Errorf("%s: native runner dispatched %d batches; it now crosses the SQL tier — move it to the SQL-text half of this suite", a.Code, eOn.Cnt.VectorizedBatches)
+				}
+			}
+		})
+	}
+}
+
+// loadAlgoDB loads E(F,T,ew), the out-degree-normalized En, and V(ID,vw) —
+// the base tables the query-text library runs against.
+func loadAlgoDB(t *testing.T, eng *engine.Engine, g *graph.Graph) {
+	t.Helper()
+	if _, err := eng.LoadBase("E", g.EdgeRelation()); err != nil {
+		t.Fatal(err)
+	}
+	deg := g.OutDegrees()
+	norm := graph.New(g.N, g.Directed)
+	for _, e := range g.Edges {
+		norm.AddEdge(e.F, e.T, 1/float64(deg[e.F]))
+	}
+	if _, err := eng.LoadBase("En", norm.EdgeRelation()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.LoadBase("V", g.NodeRelation(nil)); err != nil {
+		t.Fatal(err)
+	}
+	labels := relation.New(schema.Schema{
+		{Name: "ID", Type: value.KindInt}, {Name: "lbl", Type: value.KindInt},
+	})
+	for i := 0; i < g.N; i++ {
+		labels.AppendVals(value.Int(int64(i)), value.Int(int64(g.Labels[i])))
+	}
+	if _, err := eng.LoadBase("VL", labels); err != nil {
+		t.Fatal(err)
+	}
+	// Keyword indicators for KSSQL: bit k set when the node carries label k.
+	initRel := relation.New(schema.Schema{
+		{Name: "ID", Type: value.KindInt},
+		{Name: "b0", Type: value.KindInt},
+		{Name: "b1", Type: value.KindInt},
+		{Name: "b2", Type: value.KindInt},
+	})
+	for i := 0; i < g.N; i++ {
+		row := relation.Tuple{value.Int(int64(i)), value.Int(0), value.Int(0), value.Int(0)}
+		if g.Labels[i] < 3 {
+			row[g.Labels[i]+1] = value.Int(1)
+		}
+		initRel.Append(row)
+	}
+	if _, err := eng.LoadBase("KInit", initRel); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVectorVsRowSQLAlgos runs the paper's WITH+ query texts through the
+// full withplus pipeline on every profile with the batch kernels on and
+// off. Every SELECT in these programs crosses the SQL executor, so here
+// the counters carry the proof: the default engines must dispatch batches
+// and the disabled engines must not — the differential can't degrade into
+// comparing row against row.
+func TestVectorVsRowSQLAlgos(t *testing.T) {
+	g := testGraph(5)
+	queries := []struct {
+		code string
+		src  string
+	}{
+		{"TC", TCSQL(3)},
+		{"PR", PageRankSQL(g.N, 6, 0.85)},
+		{"HITS", HITSSQL(4)},
+		{"TS", TopoSortSQL()},
+		{"SSSP", SSSPSQL(0)},
+		{"WCC", WCCSQL()},
+		{"BFS", BFSSQL(0)},
+		{"LP", LPSQL(6)},
+		{"KC", KCoreSQL(2)},
+		{"KS", KSSQL(3)},
+	}
+	for _, prof := range testProfiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			var onBatches, offBatches int64
+			for _, q := range queries {
+				run := func(disable bool) (string, *engine.Engine) {
+					e := engine.New(prof)
+					e.DisableVectorized = disable
+					loadAlgoDB(t, e, g)
+					res, _, err := withplus.Run(e, q.src)
+					if err != nil {
+						t.Fatalf("%s (vector=%v): %v", q.code, !disable, err)
+					}
+					return fp(&Result{Rel: res}), e
+				}
+				on, eOn := run(false)
+				off, eOff := run(true)
+				if on != off {
+					t.Errorf("%s: vectorized path diverged from row path (%d vs %d bytes)",
+						q.code, len(on), len(off))
+				}
+				if on == "" {
+					t.Errorf("%s returned no rows", q.code)
+				}
+				onBatches += eOn.Cnt.VectorizedBatches
+				offBatches += eOff.Cnt.VectorizedBatches
+			}
+			if onBatches == 0 {
+				t.Error("no query dispatched a batch: the differential compared row against row")
+			}
+			if offBatches != 0 {
+				t.Errorf("DisableVectorized engines dispatched %d batches, want 0", offBatches)
+			}
+		})
+	}
+}

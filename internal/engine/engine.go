@@ -43,6 +43,14 @@ type Counters struct {
 	// (the EquiJoin output feeding GroupBy, plain engine joins). The fused
 	// MV-/MM-join kernels contribute zero here — the point of fusion.
 	TuplesMaterialized int64
+	// VectorizedBatches counts batches executed by the vectorized operator
+	// kernels (selection-vector filters, batch projections, integer-keyed
+	// group-bys); RowFallbacks counts the batches among them that carried at
+	// least one row-fallback subtree (an expression shape without a
+	// dedicated kernel, run row-at-a-time inside the batch loop). With
+	// DisableVectorized both stay zero.
+	VectorizedBatches int64
+	RowFallbacks      int64
 	// Commits counts WAL commit markers requested by this engine. Session
 	// engines carry their own Counters, so the shared log's write traffic
 	// is attributed per session here even though the WAL itself is shared.
@@ -66,6 +74,8 @@ type CountersSnapshot struct {
 	CSRBuilds          int64 `json:"csr_builds"`
 	CSRCacheHits       int64 `json:"csr_cache_hits"`
 	TuplesMaterialized int64 `json:"tuples_materialized"`
+	VectorizedBatches  int64 `json:"vectorized_batches"`
+	RowFallbacks       int64 `json:"row_fallbacks"`
 	Commits            int64 `json:"commits"`
 }
 
@@ -82,6 +92,8 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		CSRBuilds:          atomic.LoadInt64(&c.CSRBuilds),
 		CSRCacheHits:       atomic.LoadInt64(&c.CSRCacheHits),
 		TuplesMaterialized: atomic.LoadInt64(&c.TuplesMaterialized),
+		VectorizedBatches:  atomic.LoadInt64(&c.VectorizedBatches),
+		RowFallbacks:       atomic.LoadInt64(&c.RowFallbacks),
 		Commits:            atomic.LoadInt64(&c.Commits),
 	}
 }
@@ -116,6 +128,14 @@ type Engine struct {
 	// cmd/bench -nodelta. It does not affect result correctness, only the
 	// amount of work per iteration.
 	DisableDelta bool
+
+	// DisableVectorized turns off the vectorized operator kernels in the
+	// SQL executor (selection-vector filters, batch projections, the
+	// integer-keyed vector group-by): every filter, projection, and
+	// aggregation runs the row-at-a-time closures — the A/B baseline for
+	// cmd/bench -novector. Results are byte-identical either way; only the
+	// execution shape (and the vectorized/row-fallback counters) change.
+	DisableVectorized bool
 
 	// Limits are the per-statement resource budgets; BeginStatement arms a
 	// governor with them. The zero value means ungoverned.
@@ -1042,6 +1062,19 @@ func (e *Engine) CountJoin() { e.Cnt.add(&e.Cnt.Joins, 1) }
 
 // CountGroupBy charges one group-by to the execution counters (atomically).
 func (e *Engine) CountGroupBy() { e.Cnt.add(&e.Cnt.GroupBys, 1) }
+
+// CountVectorizedBatch charges one vectorized operator batch, plus a row
+// fallback when the batch's compiled kernel tree carried a row-at-a-time
+// subtree. Both feed the process-wide metrics registry (MetricsJSON) so
+// operators can see which path served their statements.
+func (e *Engine) CountVectorizedBatch(fellBack bool) {
+	e.Cnt.add(&e.Cnt.VectorizedBatches, 1)
+	obs.Global.Counter("engine.vectorized_batches").Inc()
+	if fellBack {
+		e.Cnt.add(&e.Cnt.RowFallbacks, 1)
+		obs.Global.Counter("engine.row_fallbacks").Inc()
+	}
+}
 
 // String describes the engine.
 func (e *Engine) String() string {

@@ -82,6 +82,11 @@ type Config struct {
 	// hash index. cmd/bench exposes it as -nocsr, the A/B baseline for the
 	// csr experiment; results are byte-identical either way.
 	NoCSR bool
+	// NoVector disables the vectorized batch kernels in the SQL executor:
+	// filters, projections, and group-bys run the row-at-a-time closure
+	// trees. cmd/bench exposes it as -novector, the A/B baseline for the
+	// vector experiment; results are byte-identical either way.
+	NoVector bool
 	// Observe attaches a counting span sink to every experiment engine, so
 	// the observability hooks' overhead can be measured against an
 	// unobserved run of the same experiment. cmd/bench exposes it as
@@ -115,6 +120,7 @@ func newEngine(prof engine.Profile, cfg Config) *engine.Engine {
 	e.DisableFusion = cfg.NoFusion
 	e.DisableDelta = cfg.NoDelta
 	e.DisableCSR = cfg.NoCSR
+	e.DisableVectorized = cfg.NoVector
 	if cfg.Observe {
 		e.SetObserver(&obs.CountingSink{})
 	}

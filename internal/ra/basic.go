@@ -8,6 +8,20 @@
 // Operators are eager: they take materialized relations and produce new
 // materialized relations, mirroring the temp-table-per-step execution of the
 // SQL/PSM procedures the WITH+ compiler emits.
+//
+// # Aliasing contract
+//
+// Operator inputs are immutable snapshots (catalog materializations clone at
+// the storage boundary — Table.InsertRelation and View materialization copy
+// tuples in and out — and no operator mutates a tuple it did not allocate;
+// the one in-place fold, the parallel group-by merge, clones its accumulator
+// rows first, see parallel.go). Operators may therefore SHARE surviving
+// input tuples in their outputs instead of cloning them — Select, Limit, and
+// the vectorized kernels do — but must never share the Tuples slice itself
+// (Rename excepted: ρ is explicitly a shallow relabeling view): the output's
+// row slice is always freshly allocated, so reordering or appending to a
+// result cannot disturb its source. Operators that compute new values
+// (Project, GroupBy, joins) allocate fresh tuples as before.
 package ra
 
 import (
@@ -34,7 +48,9 @@ func ConstExpr(v value.Value) Expr {
 	return func(relation.Tuple) (value.Value, error) { return v, nil }
 }
 
-// Select returns σ_pred(r).
+// Select returns σ_pred(r). Surviving tuples are shared with r, not cloned:
+// inputs are immutable snapshots (see the aliasing contract in the package
+// comment), so selection only costs the predicate and the output row slice.
 func Select(r *relation.Relation, pred Pred) (*relation.Relation, error) {
 	out := relation.New(r.Sch)
 	for _, t := range r.Tuples {
@@ -43,7 +59,7 @@ func Select(r *relation.Relation, pred Pred) (*relation.Relation, error) {
 			return nil, err
 		}
 		if ok {
-			out.Append(t.Clone())
+			out.Append(t)
 		}
 	}
 	return out, nil
@@ -198,15 +214,13 @@ func Product(r, s *relation.Relation) *relation.Relation {
 	return out
 }
 
-// Limit returns the first n tuples of r.
+// Limit returns the first n tuples of r, shared per the aliasing contract.
 func Limit(r *relation.Relation, n int) *relation.Relation {
 	if n > r.Len() {
 		n = r.Len()
 	}
 	out := relation.NewWithCap(r.Sch, n)
-	for _, t := range r.Tuples[:n] {
-		out.Tuples = append(out.Tuples, t.Clone())
-	}
+	out.Tuples = append(out.Tuples, r.Tuples[:n]...)
 	return out
 }
 

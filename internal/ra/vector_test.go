@@ -1,0 +1,392 @@
+package ra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// randomRel builds a relation with a mix of dense-int, float, and messy
+// (NULL/string-bearing) columns to exercise both the typed kernels and the
+// boxed fallbacks.
+func randomRel(rng *rand.Rand, n int) *relation.Relation {
+	r := relation.New(schema.Schema{
+		{Name: "a", Type: value.KindInt},
+		{Name: "b", Type: value.KindInt},
+		{Name: "f", Type: value.KindFloat},
+		{Name: "m", Type: value.KindInt},
+	})
+	for i := 0; i < n; i++ {
+		var m value.Value
+		switch rng.Intn(4) {
+		case 0:
+			m = value.Null
+		case 1:
+			m = value.Float(rng.Float64() * 10)
+		case 2:
+			m = value.Str(fmt.Sprintf("s%d", rng.Intn(5)))
+		default:
+			m = value.Int(int64(rng.Intn(10)))
+		}
+		r.Append(relation.Tuple{
+			value.Int(int64(rng.Intn(20))),
+			value.Int(int64(rng.Intn(20))),
+			value.Float(rng.Float64() * 20),
+			m,
+		})
+	}
+	return r
+}
+
+// selectParity runs the row predicate and the vector kernel over r and
+// requires identical surviving rows in order.
+func selectParity(t *testing.T, r *relation.Relation, rowPred Pred, vecPred VecPred, label string) {
+	t.Helper()
+	want, rerr := Select(r, rowPred)
+	got, verr := SelectVec(r, vecPred)
+	if rerr != nil {
+		// The vector path may legitimately skip errors on refined-away rows,
+		// but these tests only use total predicates.
+		t.Fatalf("%s: row path error: %v", label, rerr)
+	}
+	if verr != nil {
+		t.Fatalf("%s: vector path error: %v", label, verr)
+	}
+	if want.Len() != got.Len() {
+		t.Fatalf("%s: row kept %d rows, vector kept %d", label, want.Len(), got.Len())
+	}
+	for i := range want.Tuples {
+		if !want.Tuples[i].Equal(got.Tuples[i]) {
+			t.Fatalf("%s: row %d differs: row=%v vector=%v", label, i, want.Tuples[i], got.Tuples[i])
+		}
+	}
+}
+
+func TestSelCompareColConstParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := randomRel(rng, 300)
+	for _, tc := range []struct {
+		col int
+		op  CmpOp
+		k   value.Value
+	}{
+		{0, CmpLt, value.Int(10)},      // dense int vs int
+		{0, CmpGe, value.Float(9.5)},   // dense int vs float
+		{2, CmpGt, value.Int(10)},      // dense float vs int
+		{2, CmpLe, value.Float(12.25)}, // dense float vs float
+		{3, CmpEq, value.Int(3)},       // messy column, boxed fallback
+		{3, CmpNe, value.Str("s1")},    // messy column vs string
+		{0, CmpEq, value.Null},         // NULL constant keeps nothing
+	} {
+		col, op, k := tc.col, tc.op, tc.k
+		rowPred := func(tu relation.Tuple) (bool, error) {
+			v := tu[col]
+			return !v.IsNull() && !k.IsNull() && op.holds(v.Compare(k)), nil
+		}
+		selectParity(t, r, rowPred, SelCompareColConst(col, op, k),
+			fmt.Sprintf("col%d op%d", col, op))
+	}
+}
+
+func TestSelCompareColColParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := randomRel(rng, 300)
+	for _, tc := range []struct{ l, rcol int }{
+		{0, 1}, // int vs int
+		{0, 2}, // int vs float (mixed dense)
+		{2, 3}, // float vs messy (boxed)
+	} {
+		l, rc := tc.l, tc.rcol
+		for _, op := range []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe} {
+			op := op
+			rowPred := func(tu relation.Tuple) (bool, error) {
+				a, b := tu[l], tu[rc]
+				return !a.IsNull() && !b.IsNull() && op.holds(a.Compare(b)), nil
+			}
+			selectParity(t, r, rowPred, SelCompareColCol(l, rc, op),
+				fmt.Sprintf("col%d vs col%d op%d", l, rc, op))
+		}
+	}
+}
+
+func TestAndSelRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := randomRel(rng, 300)
+	vec := AndSel(
+		SelCompareColConst(0, CmpGe, value.Int(5)),
+		SelCompareColCol(0, 1, CmpLt),
+		SelCompareColConst(2, CmpGt, value.Float(3)),
+	)
+	rowPred := func(tu relation.Tuple) (bool, error) {
+		return tu[0].AsInt() >= 5 && tu[0].Compare(tu[1]) < 0 && tu[2].AsFloat() > 3, nil
+	}
+	selectParity(t, r, rowPred, vec, "three-conjunct refinement")
+
+	// An early empty selection short-circuits the remaining conjuncts.
+	boom := func(ch *relation.Chunk) ([]int32, error) {
+		return nil, fmt.Errorf("must not run")
+	}
+	empty := AndSel(SelCompareColConst(0, CmpLt, value.Int(-1)), VecPred(boom))
+	out, err := SelectVec(r, empty)
+	if err != nil || out.Len() != 0 {
+		t.Fatalf("empty refinement: len=%v err=%v", out, err)
+	}
+}
+
+func TestSelFromExprAndFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	r := randomRel(rng, 200)
+	// (a < b or m is null): OR forces the boolean-buffer adapter.
+	vec := SelFromExpr(VecOr(
+		VecCompareExpr(CmpLt, VecColExpr(0), VecColExpr(1)),
+		VecIsNull(VecColExpr(3), false),
+	))
+	rowPred := func(tu relation.Tuple) (bool, error) {
+		return tu[0].Compare(tu[1]) < 0 || tu[3].IsNull(), nil
+	}
+	selectParity(t, r, rowPred, vec, "or adapter")
+	selectParity(t, r, rowPred, SelFallback(rowPred), "row fallback kernel")
+}
+
+func TestVecExprKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := randomRel(rng, 200)
+	ch := relation.FromRelation(r)
+	// (a + f) * 2 through the arithmetic kernels vs direct evaluation.
+	e := VecArith("*", VecArith("+", VecColExpr(0), VecColExpr(2)), VecConstExpr(value.Int(2)))
+	out := make([]value.Value, ch.Len())
+	if err := e(ch, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, tu := range r.Tuples {
+		s, _ := value.Add(tu[0], tu[2])
+		want, _ := value.Mul(s, value.Int(2))
+		if !out[i].Equal(want) {
+			t.Fatalf("row %d: got %v want %v", i, out[i], want)
+		}
+	}
+	// Division by zero is NULL, not an error.
+	dz := VecArith("/", VecColExpr(0), VecConstExpr(value.Int(0)))
+	if err := dz(ch, out); err != nil {
+		t.Fatalf("div by zero: %v", err)
+	}
+	if !out[0].IsNull() {
+		t.Errorf("div by zero = %v, want NULL", out[0])
+	}
+	// Arithmetic on a string operand is an error, same as the row path.
+	bad := VecArith("+", VecConstExpr(value.Str("x")), VecColExpr(0))
+	if err := bad(ch, out); err == nil {
+		t.Error("string arithmetic did not error")
+	}
+}
+
+func TestProjectVecParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	r := randomRel(rng, 150)
+	cols := []schema.Column{
+		{Name: "a", Type: value.KindInt},
+		{Name: "sum", Type: value.KindInt},
+	}
+	want, err := Project(r, []OutCol{
+		{Col: cols[0], Expr: ColExpr(0)},
+		{Col: cols[1], Expr: func(tu relation.Tuple) (value.Value, error) { return value.Add(tu[0], tu[1]) }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ProjectVec(r, []VecOutCol{
+		{Col: cols[0], Expr: VecColExpr(0)},
+		{Col: cols[1], Expr: VecArith("+", VecColExpr(0), VecColExpr(1))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("projection mismatch\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// groupParity compares GroupByVec against the row GroupBy, requiring
+// identical rows in identical (first-appearance) order.
+func groupParity(t *testing.T, r *relation.Relation, groupCols []int, label string) {
+	t.Helper()
+	col := func(name string) schema.Column { return schema.Column{Name: name, Type: value.KindFloat} }
+	rowSpecs := []AggSpec{
+		Sum(col("s"), ColExpr(3)),
+		MinAgg(col("mn"), ColExpr(2)),
+		MaxAgg(col("mx"), ColExpr(2)),
+		Count(schema.Column{Name: "c", Type: value.KindInt}, ColExpr(3)),
+		Count(schema.Column{Name: "n", Type: value.KindInt}, nil),
+		Avg(col("av"), ColExpr(2)),
+	}
+	vecSpecs := []VecAggSpec{
+		{Col: col("s"), Kind: VecSum, Arg: VecColExpr(3)},
+		{Col: col("mn"), Kind: VecMin, Arg: VecColExpr(2)},
+		{Col: col("mx"), Kind: VecMax, Arg: VecColExpr(2)},
+		{Col: schema.Column{Name: "c", Type: value.KindInt}, Kind: VecCount, Arg: VecColExpr(3)},
+		{Col: schema.Column{Name: "n", Type: value.KindInt}, Kind: VecCountStar},
+		{Col: col("av"), Kind: VecAvg, Arg: VecColExpr(2)},
+	}
+	want, err := GroupBy(r, groupCols, rowSpecs)
+	if err != nil {
+		t.Fatalf("%s: row group-by: %v", label, err)
+	}
+	got, handled, err := GroupByVec(r, groupCols, vecSpecs)
+	if err != nil {
+		t.Fatalf("%s: vector group-by: %v", label, err)
+	}
+	if !handled {
+		t.Fatalf("%s: vector group-by did not handle an int-keyed grouping", label)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d groups vs %d", label, got.Len(), want.Len())
+	}
+	for i := range want.Tuples {
+		if !want.Tuples[i].Equal(got.Tuples[i]) {
+			t.Fatalf("%s: group row %d differs:\nrow:    %v\nvector: %v", label, i, want.Tuples[i], got.Tuples[i])
+		}
+	}
+}
+
+func TestGroupByVecParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	t.Run("dense keys", func(t *testing.T) {
+		groupParity(t, randomRel(rng, 400), []int{0}, "dense")
+	})
+	t.Run("sparse keys", func(t *testing.T) {
+		// Scatter the keys so the span blows past the dense-array budget.
+		r := randomRel(rng, 400)
+		for _, tu := range r.Tuples {
+			tu[0] = value.Int(tu[0].AsInt() * 1_000_000)
+		}
+		groupParity(t, r, []int{0}, "sparse")
+	})
+	t.Run("keyless", func(t *testing.T) {
+		groupParity(t, randomRel(rng, 400), nil, "keyless")
+	})
+	t.Run("keyless empty input yields identity row", func(t *testing.T) {
+		groupParity(t, randomRel(rng, 0), nil, "keyless empty")
+	})
+	t.Run("keyed empty input yields no rows", func(t *testing.T) {
+		groupParity(t, randomRel(rng, 0), []int{0}, "keyed empty")
+	})
+}
+
+func TestGroupByVecUnhandledShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	r := randomRel(rng, 50)
+	specs := []VecAggSpec{{Col: schema.Column{Name: "n", Type: value.KindInt}, Kind: VecCountStar}}
+	if _, handled, _ := GroupByVec(r, []int{0, 1}, specs); handled {
+		t.Error("multi-column keys must not be handled")
+	}
+	if _, handled, _ := GroupByVec(r, []int{2}, specs); handled {
+		t.Error("float keys must not be handled")
+	}
+	if _, handled, _ := GroupByVec(r, []int{3}, specs); handled {
+		t.Error("mixed/NULL-bearing keys must not be handled")
+	}
+}
+
+func TestSelectVecSharesTuples(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	r := randomRel(rng, 50)
+	out, err := SelectVec(r, SelCompareColConst(0, CmpGe, value.Int(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != r.Len() {
+		t.Fatalf("kept %d of %d", out.Len(), r.Len())
+	}
+	if &out.Tuples[0][0] != &r.Tuples[0][0] {
+		t.Error("SelectVec cloned surviving tuples; contract says share")
+	}
+}
+
+func benchRel(n int) *relation.Relation {
+	rng := rand.New(rand.NewSource(42))
+	r := relation.New(schema.Schema{
+		{Name: "a", Type: value.KindInt},
+		{Name: "b", Type: value.KindInt},
+		{Name: "w", Type: value.KindFloat},
+	})
+	for i := 0; i < n; i++ {
+		r.Append(relation.Tuple{
+			value.Int(int64(rng.Intn(1000))),
+			value.Int(int64(rng.Intn(1000))),
+			value.Float(rng.Float64()),
+		})
+	}
+	return r
+}
+
+// BenchmarkSelectVectorized pits the typed selection kernels against the
+// row-at-a-time closure tree on the canonical hot filter
+// (w > 0.5 and a <> b). check.sh runs it as a smoke; compare with
+// -bench 'SelectVectorized|SelectRow'.
+func BenchmarkSelectVectorized(b *testing.B) {
+	r := benchRel(1 << 16)
+	pred := AndSel(
+		SelCompareColConst(2, CmpGt, value.Float(0.5)),
+		SelCompareColCol(0, 1, CmpNe),
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := SelectVec(r, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+func BenchmarkSelectRow(b *testing.B) {
+	r := benchRel(1 << 16)
+	pred := func(tu relation.Tuple) (bool, error) {
+		return tu[2].AsFloat() > 0.5 && tu[0].AsInt() != tu[1].AsInt(), nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Select(r, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+func BenchmarkGroupByVectorized(b *testing.B) {
+	r := benchRel(1 << 16)
+	specs := []VecAggSpec{
+		{Col: schema.Column{Name: "s", Type: value.KindFloat}, Kind: VecSum, Arg: VecColExpr(2)},
+		{Col: schema.Column{Name: "n", Type: value.KindInt}, Kind: VecCountStar},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, handled, err := GroupByVec(r, []int{0}, specs)
+		if err != nil || !handled {
+			b.Fatalf("handled=%v err=%v", handled, err)
+		}
+	}
+}
+
+func BenchmarkGroupByRow(b *testing.B) {
+	r := benchRel(1 << 16)
+	specs := []AggSpec{
+		Sum(schema.Column{Name: "s", Type: value.KindFloat}, ColExpr(2)),
+		Count(schema.Column{Name: "n", Type: value.KindInt}, nil),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GroupBy(r, []int{0}, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

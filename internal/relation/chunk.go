@@ -1,0 +1,133 @@
+package relation
+
+import (
+	"repro/internal/value"
+)
+
+// Chunk is the columnar batch view the vectorized operators work on: a
+// window over a materialized Relation plus an optional selection vector.
+// Building a Chunk copies nothing — it borrows the relation's tuples — and
+// converting back to a Relation at a materialization boundary shares the
+// surviving tuples rather than cloning them (see the aliasing contract in
+// package ra). Selection composes by refinement: each predicate kernel
+// narrows Sel without touching the underlying rows, so a conjunction of
+// filters costs selection-vector passes instead of per-row tuple copies.
+type Chunk struct {
+	Rel *Relation
+	// Sel lists the physical row indexes (into Rel.Tuples) that are live in
+	// this chunk, in ascending order. nil means every row is live.
+	Sel []int32
+
+	// cols caches typed column extractions keyed by column index, so a
+	// conjunction of kernels touching the same column pays the extraction
+	// pass once per batch.
+	cols []ColVec
+	have []bool
+}
+
+// FromRelation wraps r as a chunk with all rows selected. Zero-copy.
+func FromRelation(r *Relation) *Chunk { return &Chunk{Rel: r} }
+
+// Len returns the number of live rows.
+func (c *Chunk) Len() int {
+	if c.Sel != nil {
+		return len(c.Sel)
+	}
+	return len(c.Rel.Tuples)
+}
+
+// RowIndex maps the i-th live row to its physical row index in Rel.
+func (c *Chunk) RowIndex(i int) int32 {
+	if c.Sel != nil {
+		return c.Sel[i]
+	}
+	return int32(i)
+}
+
+// Row returns the i-th live row (borrowed, never cloned).
+func (c *Chunk) Row(i int) Tuple { return c.Rel.Tuples[c.RowIndex(i)] }
+
+// Narrow returns a chunk over the same relation restricted to sel, which
+// must list physical row indexes that are live in c. The typed-column cache
+// carries over: extractions are per physical column, not per selection.
+func (c *Chunk) Narrow(sel []int32) *Chunk {
+	return &Chunk{Rel: c.Rel, Sel: sel, cols: c.cols, have: c.have}
+}
+
+// ToRelation materializes the chunk back into a relation. Surviving tuples
+// are shared with the source (the vectorized Select's replacement for the
+// per-row Clone); the tuple slice itself is always fresh, so callers that
+// reorder or append to the result never disturb the source.
+func (c *Chunk) ToRelation() *Relation {
+	out := NewWithCap(c.Rel.Sch, c.Len())
+	if c.Sel == nil {
+		out.Tuples = append(out.Tuples, c.Rel.Tuples...)
+		return out
+	}
+	for _, row := range c.Sel {
+		out.Tuples = append(out.Tuples, c.Rel.Tuples[row])
+	}
+	return out
+}
+
+// ColVec is one typed column vector extracted from a chunk's relation. When
+// every value in the column is a non-NULL int (resp. float) the Kind is
+// KindInt (resp. KindFloat) and Ints (resp. Floats) holds the dense data,
+// indexed by physical row; mixed, NULL-bearing, or non-numeric columns keep
+// Kind == KindNull and the kernels read the boxed tuples directly.
+type ColVec struct {
+	Kind   value.Kind
+	Ints   []int64
+	Floats []float64
+}
+
+// Dense reports whether the column extracted into a typed dense vector.
+func (v ColVec) Dense() bool { return v.Kind != value.KindNull }
+
+// ColVec extracts (and caches) the typed vector of column col over all
+// physical rows of the chunk's relation. The extraction is one pass; kernels
+// that miss the typed representation fall back to the boxed rows.
+func (c *Chunk) ColVec(col int) ColVec {
+	if c.have == nil {
+		n := c.Rel.Sch.Arity()
+		c.cols = make([]ColVec, n)
+		c.have = make([]bool, n)
+	}
+	if c.have[col] {
+		return c.cols[col]
+	}
+	v := extractCol(c.Rel, col)
+	c.cols[col] = v
+	c.have[col] = true
+	return v
+}
+
+func extractCol(r *Relation, col int) ColVec {
+	n := len(r.Tuples)
+	if n == 0 {
+		return ColVec{}
+	}
+	switch r.Tuples[0][col].K {
+	case value.KindInt:
+		ints := make([]int64, n)
+		for i, t := range r.Tuples {
+			v := t[col]
+			if v.K != value.KindInt {
+				return ColVec{}
+			}
+			ints[i] = v.I
+		}
+		return ColVec{Kind: value.KindInt, Ints: ints}
+	case value.KindFloat:
+		floats := make([]float64, n)
+		for i, t := range r.Tuples {
+			v := t[col]
+			if v.K != value.KindFloat {
+				return ColVec{}
+			}
+			floats[i] = v.F
+		}
+		return ColVec{Kind: value.KindFloat, Floats: floats}
+	}
+	return ColVec{}
+}

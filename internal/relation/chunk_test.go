@@ -1,0 +1,99 @@
+package relation
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func chunkRel() *Relation {
+	r := New(schema.Cols(value.KindInt, "a", "b"))
+	for i := int64(0); i < 6; i++ {
+		r.Append(Tuple{value.Int(i), value.Int(i * 10)})
+	}
+	return r
+}
+
+func TestChunkLenRowNarrow(t *testing.T) {
+	r := chunkRel()
+	ch := FromRelation(r)
+	if ch.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", ch.Len())
+	}
+	if ch.RowIndex(4) != 4 || ch.Row(4)[0].AsInt() != 4 {
+		t.Errorf("full chunk row 4 = %v", ch.Row(4))
+	}
+	nr := ch.Narrow([]int32{1, 3, 5})
+	if nr.Len() != 3 || nr.RowIndex(1) != 3 || nr.Row(2)[1].AsInt() != 50 {
+		t.Errorf("narrowed chunk rows wrong: len=%d", nr.Len())
+	}
+	// The parent chunk is untouched by narrowing.
+	if ch.Len() != 6 || ch.Sel != nil {
+		t.Error("Narrow mutated the parent chunk")
+	}
+}
+
+func TestChunkToRelationSharesTuplesFreshSlice(t *testing.T) {
+	r := chunkRel()
+	out := FromRelation(r).Narrow([]int32{0, 2}).ToRelation()
+	if out.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", out.Len())
+	}
+	// Tuples are shared (zero-copy) ...
+	if &out.Tuples[1][0] != &r.Tuples[2][0] {
+		t.Error("ToRelation cloned tuples; contract says share")
+	}
+	// ... but the row slice is fresh: growing it cannot disturb the source.
+	out.Tuples = append(out.Tuples, out.Tuples[0])
+	if r.Len() != 6 {
+		t.Error("ToRelation shared the Tuples slice")
+	}
+	// The no-selection path shares rows too.
+	full := FromRelation(r).ToRelation()
+	if full.Len() != 6 || &full.Tuples[0][0] != &r.Tuples[0][0] {
+		t.Error("full ToRelation did not share rows")
+	}
+}
+
+func TestColVecExtraction(t *testing.T) {
+	r := New(schema.Schema{
+		{Name: "i", Type: value.KindInt},
+		{Name: "f", Type: value.KindFloat},
+		{Name: "s", Type: value.KindString},
+		{Name: "mixed", Type: value.KindInt},
+		{Name: "withnull", Type: value.KindInt},
+	})
+	r.Append(Tuple{value.Int(1), value.Float(1.5), value.Str("x"), value.Int(1), value.Int(1)})
+	r.Append(Tuple{value.Int(2), value.Float(2.5), value.Str("y"), value.Float(2), value.Null})
+	ch := FromRelation(r)
+
+	iv := ch.ColVec(0)
+	if iv.Kind != value.KindInt || iv.Ints[1] != 2 {
+		t.Errorf("int col: %+v", iv)
+	}
+	fv := ch.ColVec(1)
+	if fv.Kind != value.KindFloat || fv.Floats[0] != 1.5 {
+		t.Errorf("float col: %+v", fv)
+	}
+	for col, name := range map[int]string{2: "string", 3: "mixed", 4: "null-bearing"} {
+		if v := ch.ColVec(col); v.Dense() {
+			t.Errorf("%s column extracted dense: %+v", name, v)
+		}
+	}
+	// The cache serves repeat requests and survives Narrow.
+	if got := ch.ColVec(0); &got.Ints[0] != &iv.Ints[0] {
+		t.Error("ColVec did not cache")
+	}
+	nr := ch.Narrow([]int32{1})
+	if got := nr.ColVec(0); &got.Ints[0] != &iv.Ints[0] {
+		t.Error("Narrow dropped the column cache")
+	}
+}
+
+func TestColVecEmptyRelation(t *testing.T) {
+	r := New(schema.Cols(value.KindInt, "a"))
+	if v := FromRelation(r).ColVec(0); v.Dense() {
+		t.Errorf("empty column extracted dense: %+v", v)
+	}
+}

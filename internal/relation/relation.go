@@ -14,8 +14,11 @@ import (
 	"repro/internal/value"
 )
 
-// Tuple is one row. Tuples are value slices; operators never alias the
-// backing arrays of tuples they hand out across relations.
+// Tuple is one row. Tuples are value slices; relations produced by the ra
+// operators may share tuples with their (immutable-snapshot) inputs, but no
+// operator mutates a tuple after handing it out, and the Tuples slice of
+// every operator output is freshly allocated — see the aliasing contract in
+// package ra.
 type Tuple []value.Value
 
 // Clone returns a deep copy of the tuple.

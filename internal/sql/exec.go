@@ -169,11 +169,18 @@ func (x *Exec) evalJoinRef(t *TableRef) (*relation.Relation, error) {
 		return nil, err
 	}
 	if residual != nil {
-		pred, err := x.compilePred(residual, combined)
+		if x.Eng.DisableVectorized {
+			pred, err := x.compilePred(residual, combined)
+			if err != nil {
+				return nil, err
+			}
+			return ra.Select(out, pred)
+		}
+		pred, fellBack, err := x.compileVecPred(residual, combined)
 		if err != nil {
 			return nil, err
 		}
-		return ra.Select(out, pred)
+		return x.selectVec(out, pred, fellBack)
 	}
 	return out, nil
 }
@@ -379,21 +386,35 @@ func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, *obs.PlanNode, error) 
 			}
 		}
 		if residual != nil {
-			pred, err := x.compilePred(residual, input.Sch)
-			if err != nil {
-				return nil, nil, err
-			}
 			var t0 time.Time
 			if x.analyze {
 				t0 = time.Now()
 			}
-			var serr error
-			input, serr = ra.Select(input, pred)
-			if serr != nil {
-				return nil, nil, serr
+			label := "filter " + ExprString(residual)
+			if x.Eng.DisableVectorized {
+				pred, err := x.compilePred(residual, input.Sch)
+				if err != nil {
+					return nil, nil, err
+				}
+				var serr error
+				input, serr = ra.Select(input, pred)
+				if serr != nil {
+					return nil, nil, serr
+				}
+			} else {
+				pred, fellBack, err := x.compileVecPred(residual, input.Sch)
+				if err != nil {
+					return nil, nil, err
+				}
+				var serr error
+				input, serr = x.selectVec(input, pred, fellBack)
+				if serr != nil {
+					return nil, nil, serr
+				}
+				label += vecPathNote(fellBack)
 			}
 			if x.analyze {
-				plan = obs.NewPlanNode("filter "+ExprString(residual), int64(input.Len()), time.Since(t0), plan)
+				plan = obs.NewPlanNode(label, int64(input.Len()), time.Since(t0), plan)
 			}
 		}
 	}
@@ -405,7 +426,8 @@ func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, *obs.PlanNode, error) 
 		t0 = time.Now()
 	}
 	if len(s.GroupBy) > 0 || s.HasAggregates() {
-		out, err = x.runAggregate(s, input)
+		var aggNote string
+		out, aggNote, err = x.runAggregate(s, input)
 		if err == nil && x.analyze {
 			keys := make([]string, len(s.GroupBy))
 			for i, g := range s.GroupBy {
@@ -415,7 +437,7 @@ func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, *obs.PlanNode, error) 
 			if len(keys) > 0 {
 				label = "hash aggregate on (" + strings.Join(keys, ", ") + ")"
 			}
-			plan = obs.NewPlanNode(label, int64(out.Len()), time.Since(t0), plan)
+			plan = obs.NewPlanNode(label+aggNote, int64(out.Len()), time.Since(t0), plan)
 		}
 	} else {
 		out, err = x.project(s, input)
@@ -506,6 +528,25 @@ func (x *Exec) refLabel(t *TableRef) string {
 
 // project evaluates the select list without aggregation.
 func (x *Exec) project(s *SelectStmt, input *relation.Relation) (*relation.Relation, error) {
+	if !x.Eng.DisableVectorized {
+		var outs []ra.VecOutCol
+		fellBack := false
+		for i, it := range s.Items {
+			if it.Star {
+				for ci := range input.Sch {
+					outs = append(outs, ra.VecOutCol{Col: input.Sch[ci], Expr: ra.VecColExpr(ci)})
+				}
+				continue
+			}
+			ex, fb, err := x.compileVecExpr(it.Expr, input.Sch)
+			if err != nil {
+				return nil, err
+			}
+			fellBack = fellBack || fb
+			outs = append(outs, ra.VecOutCol{Col: outColName(it, i, input.Sch), Expr: ex})
+		}
+		return x.projectVecOuts(input, outs, fellBack)
+	}
 	var outs []ra.OutCol
 	for i, it := range s.Items {
 		if it.Star {
@@ -549,8 +590,10 @@ func outColName(it SelectItem, i int, sch schema.Schema) schema.Column {
 
 // runAggregate handles GROUP BY / global aggregates: aggregates inside the
 // select list are computed per group, then the outer expressions are
-// evaluated over (group keys ++ aggregate results).
-func (x *Exec) runAggregate(s *SelectStmt, input *relation.Relation) (*relation.Relation, error) {
+// evaluated over (group keys ++ aggregate results). pathNote reports which
+// aggregation path ran, for the analyzed plan label: the vectorized
+// group-by when its key shape qualifies, else the row hash aggregate.
+func (x *Exec) runAggregate(s *SelectStmt, input *relation.Relation) (*relation.Relation, string, error) {
 	groupCols := make([]int, len(s.GroupBy))
 	virtual := schema.Schema{}
 	// Group-by expressions that are not plain column references are
@@ -560,7 +603,7 @@ func (x *Exec) runAggregate(s *SelectStmt, input *relation.Relation) (*relation.
 		if cr, ok := g.(*ColRef); ok {
 			idx, err := input.Sch.Resolve(cr.Table, cr.Name)
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			groupCols[i] = idx
 			virtual = append(virtual, input.Sch[idx])
@@ -568,7 +611,7 @@ func (x *Exec) runAggregate(s *SelectStmt, input *relation.Relation) (*relation.
 		}
 		ex, err := x.compileExpr(g, input.Sch)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		col := schema.Column{Name: fmt.Sprintf("__key%d", i)}
 		groupCols[i] = input.Sch.Arity() + len(extended)
@@ -584,7 +627,7 @@ func (x *Exec) runAggregate(s *SelectStmt, input *relation.Relation) (*relation.
 		var err error
 		input, err = ra.Project(input, outs)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 	}
 	// Collect aggregate calls across select items and having.
@@ -619,7 +662,7 @@ func (x *Exec) runAggregate(s *SelectStmt, input *relation.Relation) (*relation.
 	items := make([]SelectItem, len(s.Items))
 	for i, it := range s.Items {
 		if it.Star {
-			return nil, fmt.Errorf("sql: select * cannot be combined with aggregation")
+			return nil, "", fmt.Errorf("sql: select * cannot be combined with aggregation")
 		}
 		alias := it.Alias
 		if alias == "" {
@@ -634,19 +677,44 @@ func (x *Exec) runAggregate(s *SelectStmt, input *relation.Relation) (*relation.
 	if s.Having != nil {
 		having = replaceKeys(collect(s.Having))
 	}
-	// Build the aggregate specs against the input schema.
+	// The vectorized group-by runs when its key shape qualifies (zero or
+	// one dense integer key column); otherwise the row hash aggregate runs.
+	var grouped *relation.Relation
+	var pathNote string
+	if !x.Eng.DisableVectorized {
+		vspecs, vfb, ok, err := x.compileVecAggs(aggCalls, input.Sch)
+		if err != nil {
+			return nil, "", err
+		}
+		if ok {
+			g, handled, err := ra.GroupByVec(input, groupCols, vspecs)
+			if err != nil {
+				return nil, "", err
+			}
+			if handled {
+				grouped = g
+				pathNote = vecPathNote(vfb)
+				x.Eng.CountVectorizedBatch(vfb)
+				if err := x.Eng.Gov().ChargeBytes(int64(g.Len()) * int64(g.Sch.Arity()) * 16); err != nil {
+					return nil, "", err
+				}
+			}
+		}
+	}
+	// Build the row aggregate specs against the input schema (the names and
+	// types also complete the virtual schema both paths project from).
 	specs := make([]ra.AggSpec, len(aggCalls))
 	for i, f := range aggCalls {
 		col := schema.Column{Name: aggName(i), Type: value.KindFloat}
 		var argExpr ra.Expr
 		if !f.Star {
 			if len(f.Args) != 1 {
-				return nil, fmt.Errorf("sql: aggregate %s takes one argument", f.Name)
+				return nil, "", fmt.Errorf("sql: aggregate %s takes one argument", f.Name)
 			}
 			var err error
 			argExpr, err = x.compileExpr(f.Args[0], input.Sch)
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 		}
 		switch strings.ToLower(f.Name) {
@@ -662,35 +730,67 @@ func (x *Exec) runAggregate(s *SelectStmt, input *relation.Relation) (*relation.
 			col.Type = value.KindInt
 			specs[i] = ra.Count(col, argExpr)
 		default:
-			return nil, fmt.Errorf("sql: unknown aggregate %q", f.Name)
+			return nil, "", fmt.Errorf("sql: unknown aggregate %q", f.Name)
 		}
 		virtual = append(virtual, col)
 	}
-	grouped, err := ra.GroupBy(input, groupCols, specs)
-	if err != nil {
-		return nil, err
+	if grouped == nil {
+		var err error
+		grouped, err = ra.GroupBy(input, groupCols, specs)
+		if err != nil {
+			return nil, "", err
+		}
+		if !x.Eng.DisableVectorized {
+			pathNote = " (row path)"
+		}
 	}
 	grouped.Sch = virtual
 	x.Eng.CountGroupBy()
 	if having != nil {
-		pred, err := x.compilePred(having, virtual)
-		if err != nil {
-			return nil, err
+		if x.Eng.DisableVectorized {
+			pred, err := x.compilePred(having, virtual)
+			if err != nil {
+				return nil, "", err
+			}
+			grouped, err = ra.Select(grouped, pred)
+			if err != nil {
+				return nil, "", err
+			}
+		} else {
+			pred, fellBack, err := x.compileVecPred(having, virtual)
+			if err != nil {
+				return nil, "", err
+			}
+			grouped, err = x.selectVec(grouped, pred, fellBack)
+			if err != nil {
+				return nil, "", err
+			}
 		}
-		grouped, err = ra.Select(grouped, pred)
-		if err != nil {
-			return nil, err
+	}
+	if !x.Eng.DisableVectorized {
+		var outs []ra.VecOutCol
+		fellBack := false
+		for i, it := range items {
+			ex, fb, err := x.compileVecExpr(it.Expr, virtual)
+			if err != nil {
+				return nil, "", err
+			}
+			fellBack = fellBack || fb
+			outs = append(outs, ra.VecOutCol{Col: outColName(it, i, virtual), Expr: ex})
 		}
+		out, err := x.projectVecOuts(grouped, outs, fellBack)
+		return out, pathNote, err
 	}
 	var outs []ra.OutCol
 	for i, it := range items {
 		ex, err := x.compileExpr(it.Expr, virtual)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		outs = append(outs, ra.OutCol{Col: outColName(it, i, virtual), Expr: ex})
 	}
-	return ra.Project(grouped, outs)
+	out, err := ra.Project(grouped, outs)
+	return out, pathNote, err
 }
 
 func aggName(i int) string { return fmt.Sprintf("__agg%d", i) }

@@ -248,6 +248,97 @@ print(f"csr guard: {len(on)} cells byte-identical across access paths, "
       f"csr_builds <= 1 per recursion")
 EOF
 
+# -- Vector gate -----------------------------------------------------------
+#
+# Runs the vector experiment twice — vectorized batch kernels on (default)
+# and off (-novector) — and checks four invariants:
+#
+#   1. Differential correctness: both paths produce byte-identical results
+#      (checksum and rows_final identical per cell). The kernels are a pure
+#      physical swap of the row-at-a-time closures.
+#   2. Speedup: at least VECTOR_MIN_CELLS of the oracle/db2 cells run at
+#      least VECTOR_SPEEDUP_X faster end-to-end with the kernels. The
+#      selection (FILTER) and aggregation (AGG) workloads carry this;
+#      PROJECT is bound by output materialization (the boxed tuple build
+#      dominates either way) and REACH by join/dedup work, so those cells
+#      gate on correctness and counters, not speed.
+#   3. Path proof: vectorized runs dispatch batches (vectorized_batches > 0,
+#      row_fallbacks == 0 — these workloads compile fully to kernels) and
+#      -novector runs dispatch none, so the differential can't degrade into
+#      comparing row against row.
+#   4. Determinism: counters and checksums match the committed
+#      BENCH_vector_on.json baseline exactly.
+
+VECTOR_SPEEDUP_X="${VECTOR_SPEEDUP_X:-1.5}"
+VECTOR_MIN_CELLS="${VECTOR_MIN_CELLS:-2}"
+
+echo "== bench guard: vector experiment, batch kernels on"
+go run ./cmd/bench -exp vector -json > "$tmp/vector_on.json"
+
+echo "== bench guard: vector experiment, -novector baseline"
+go run ./cmd/bench -exp vector -novector -json > "$tmp/vector_off.json"
+
+python3 - "$tmp/vector_on.json" "$tmp/vector_off.json" BENCH_vector_on.json "$VECTOR_SPEEDUP_X" "$VECTOR_MIN_CELLS" <<'EOF'
+import json, sys
+
+on_path, off_path, base_path, speedup_x, min_cells = sys.argv[1:6]
+speedup_x, min_cells = float(speedup_x), int(min_cells)
+
+def index(path):
+    with open(path) as f:
+        return {(r["name"], r["profile"]): r for r in json.load(f)}
+
+on, off, base = index(on_path), index(off_path), index(base_path)
+failures = []
+fast = []
+
+for key, o in sorted(on.items()):
+    f = off.get(key)
+    if f is None:
+        failures.append(f"{key}: missing from -novector run")
+        continue
+    if not o["vector"] or f["vector"]:
+        failures.append(f"{key}: vector flags wrong (on={o['vector']} off={f['vector']})")
+    # Differential correctness: byte-identical results either way.
+    for c in ("checksum", "rows_final"):
+        if o[c] != f[c]:
+            failures.append(f"{key}: {c} diverged: vector {o[c]} != row {f[c]}")
+    # Path proof: batches dispatched when on, none when off, no fallbacks.
+    if o["vectorized_batches"] <= 0:
+        failures.append(f"{key}: vectorized run dispatched no batches")
+    if o["row_fallbacks"] != 0:
+        failures.append(f"{key}: vectorized run fell back {o['row_fallbacks']} times")
+    if f["vectorized_batches"] != 0:
+        failures.append(f"{key}: -novector run dispatched "
+                        f"{f['vectorized_batches']} batches")
+    if key[1] in ("oracle", "db2") and f["ms"] >= o["ms"] * speedup_x:
+        fast.append(f"{key[0]}/{key[1]} {f['ms']/max(o['ms'],1e-9):.2f}x")
+
+if len(fast) < min_cells:
+    failures.append(
+        f"only {len(fast)} oracle/db2 cells reached {speedup_x}x "
+        f"(want >= {min_cells}): {fast or 'none'}")
+
+for key, b in sorted(base.items()):
+    o = on.get(key)
+    if o is None:
+        failures.append(f"{key}: missing from vector-on run")
+        continue
+    for c in ("rows_final", "checksum", "vectorized_batches", "row_fallbacks"):
+        if o[c] != b[c]:
+            failures.append(f"{key}: {c} drifted from baseline: {o[c]} != {b[c]}")
+
+if failures:
+    print("vector guard FAILED:")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+
+print(f"vector guard: {len(on)} cells byte-identical across paths, "
+      f"{len(fast)} oracle/db2 cells >= {speedup_x}x ({', '.join(fast)}), "
+      f"batch counters pinned")
+EOF
+
 # -- Concurrent gate -------------------------------------------------------
 #
 # Runs the concurrent-sessions experiment and checks three invariants

@@ -49,6 +49,15 @@ go test ./internal/algos -run 'CSRVsHash' -count=1
 go test ./internal/catalog -run 'CSR' -count=1
 go test ./internal/withplus -run=NONE -fuzz FuzzCSRVsHash -fuzztime 5s
 
+echo "== vector smoke (vector vs row differentials + kernel bench + tiny A/B)"
+go test ./internal/sql -run 'VecRowStatementParity|VecCompileAggs' -count=1
+go test ./internal/algos -run 'VectorVsRow' -count=1
+go test ./internal/sql -run=NONE -fuzz FuzzVectorVsRow -fuzztime 5s
+go test ./internal/ra -run=NONE -bench 'BenchmarkSelectVectorized|BenchmarkGroupByVectorized' -benchtime 1x
+# One end-to-end run of the experiment CLI; the full on/off A/B with
+# checksum and speedup gating happens in bench_guard.sh below.
+go run ./cmd/bench -exp vector > /dev/null
+
 echo "== server protocol fuzz smoke"
 go test ./internal/server -run=NONE -fuzz FuzzServerProto -fuzztime 5s
 
