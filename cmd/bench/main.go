@@ -9,7 +9,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 fig7 fig8
 // fig10 fig11 fig12 fig13 resources opcounts perf delta csr vector
-// concurrent.
+// motif concurrent.
 package main
 
 import (
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		which      = flag.String("exp", "all", "experiment to run (all, table1..table7, fig7, fig8, fig10..fig13, resources, opcounts, perf, delta, csr, vector, concurrent)")
+		which      = flag.String("exp", "all", "experiment to run (all, table1..table7, fig7, fig8, fig10..fig13, resources, opcounts, perf, delta, csr, vector, motif, concurrent)")
 		nodes      = flag.Int("nodes", 0, "scaled dataset node count (0 = default)")
 		seed       = flag.Int64("seed", 1, "dataset generator seed")
 		iters      = flag.Int("iters", 0, "fixed iterations for PR/HITS/LP (0 = paper's 15)")
@@ -37,6 +37,7 @@ func main() {
 		nodelta    = flag.Bool("nodelta", false, "disable delta-driven semi-naive evaluation in WITH+ (A/B baseline for the delta experiment)")
 		nocsr      = flag.Bool("nocsr", false, "disable the CSR adjacency access path (A/B baseline for the csr experiment)")
 		novector   = flag.Bool("novector", false, "disable the vectorized batch kernels (A/B baseline for the vector experiment)")
+		nowcoj     = flag.Bool("nowcoj", false, "disable the worst-case-optimal multiway join lowering (A/B baseline for the motif experiment)")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (perf experiment)")
 		observe    = flag.Bool("observe", false, "attach a span sink to every engine (observability overhead A/B)")
 		metrics    = flag.Bool("metrics", false, "dump the process-wide metrics registry as JSON after the run")
@@ -44,7 +45,7 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
-	cfg := exp.Config{Nodes: *nodes, Seed: *seed, Iters: *iters, Workers: *workers, NoFusion: *nofusion, NoDelta: *nodelta, NoCSR: *nocsr, NoVector: *novector, Observe: *observe}
+	cfg := exp.Config{Nodes: *nodes, Seed: *seed, Iters: *iters, Workers: *workers, NoFusion: *nofusion, NoDelta: *nodelta, NoCSR: *nocsr, NoVector: *novector, NoWCOJ: *nowcoj, Observe: *observe}
 	asCSV = *csv
 	asJSON = *jsonOut
 	if *cpuprofile != "" {
@@ -218,6 +219,21 @@ func run(which string, cfg exp.Config) error {
 				return nil
 			}
 			return show(exp.VectorTable(recs), nil)
+		}},
+		{"motif", func() error {
+			recs, err := exp.MotifRecords(cfg)
+			if err != nil {
+				return err
+			}
+			if asJSON {
+				s, err := exp.MotifJSON(recs)
+				if err != nil {
+					return err
+				}
+				fmt.Println(s)
+				return nil
+			}
+			return show(exp.MotifTable(recs), nil)
 		}},
 		{"concurrent", func() error {
 			recs, err := exp.ConcurrentRecords(cfg)

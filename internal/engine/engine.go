@@ -51,6 +51,13 @@ type Counters struct {
 	// DisableVectorized both stay zero.
 	VectorizedBatches int64
 	RowFallbacks      int64
+	// WCOJBuilds counts per-execution hash-trie builds inside the
+	// worst-case-optimal multiway join (atoms served from a cached CSR
+	// contribute to CSRBuilds/CSRCacheHits instead); WCOJProbes counts its
+	// candidate-intersection probes. Both stay zero with DisableWCOJ, which
+	// is how the differential tests prove which path ran.
+	WCOJBuilds int64
+	WCOJProbes int64
 	// Commits counts WAL commit markers requested by this engine. Session
 	// engines carry their own Counters, so the shared log's write traffic
 	// is attributed per session here even though the WAL itself is shared.
@@ -76,6 +83,8 @@ type CountersSnapshot struct {
 	TuplesMaterialized int64 `json:"tuples_materialized"`
 	VectorizedBatches  int64 `json:"vectorized_batches"`
 	RowFallbacks       int64 `json:"row_fallbacks"`
+	WCOJBuilds         int64 `json:"wcoj_builds"`
+	WCOJProbes         int64 `json:"wcoj_probes"`
 	Commits            int64 `json:"commits"`
 }
 
@@ -94,6 +103,8 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		TuplesMaterialized: atomic.LoadInt64(&c.TuplesMaterialized),
 		VectorizedBatches:  atomic.LoadInt64(&c.VectorizedBatches),
 		RowFallbacks:       atomic.LoadInt64(&c.RowFallbacks),
+		WCOJBuilds:         atomic.LoadInt64(&c.WCOJBuilds),
+		WCOJProbes:         atomic.LoadInt64(&c.WCOJProbes),
 		Commits:            atomic.LoadInt64(&c.Commits),
 	}
 }
@@ -136,6 +147,13 @@ type Engine struct {
 	// cmd/bench -novector. Results are byte-identical either way; only the
 	// execution shape (and the vectorized/row-fallback counters) change.
 	DisableVectorized bool
+
+	// DisableWCOJ turns off the worst-case-optimal multiway join: cyclic
+	// equi-join cores that would lower to the generic-join operator run the
+	// left-deep binary join chain instead — the A/B baseline for cmd/bench
+	// -nowcoj and the differential suite. Results are bag-identical either
+	// way; only the intermediate sizes (and the WCOJ counters) change.
+	DisableWCOJ bool
 
 	// Limits are the per-statement resource budgets; BeginStatement arms a
 	// governor with them. The zero value means ungoverned.
@@ -1074,6 +1092,41 @@ func (e *Engine) CountVectorizedBatch(fellBack bool) {
 		e.Cnt.add(&e.Cnt.RowFallbacks, 1)
 		obs.Global.Counter("engine.row_fallbacks").Inc()
 	}
+}
+
+// CountWCOJ charges one worst-case-optimal multiway join: the join itself
+// (so Joins counts physical join operators regardless of arity), its trie
+// builds, and its intersection probes — all feeding the process-wide
+// metrics registry like the other access-path counters.
+func (e *Engine) CountWCOJ(builds, probes int64) {
+	e.Cnt.add(&e.Cnt.Joins, 1)
+	e.Cnt.add(&e.Cnt.WCOJBuilds, builds)
+	e.Cnt.add(&e.Cnt.WCOJProbes, probes)
+	obs.Global.Counter("engine.wcoj_joins").Inc()
+	obs.Global.Counter("engine.wcoj_builds").Add(builds)
+	obs.Global.Counter("engine.wcoj_probes").Add(probes)
+}
+
+// WCOJEdgeCSR serves the named table's cached (srcCol, dstCol) CSR as the
+// sorted backing for a binary atom of the worst-case-optimal join, under
+// the same cost rule as the binary joins' build-side CSR (csrUsable) and
+// the same version-keyed serving rules (shared cache at the pinned
+// snapshot version, view-private build afterwards). Returns nil — the
+// operator falls back to a per-execution trie build — when the CSR is not
+// affordable or the access path is disabled.
+func (e *Engine) WCOJEdgeCSR(name string, srcCol, dstCol int) *relation.CSR {
+	v, err := e.viewOf(name)
+	if err != nil {
+		return nil
+	}
+	if !e.csrUsable(v, srcCol, dstCol, -1) {
+		return nil
+	}
+	csr, _, err := e.ensureCSR(v, srcCol, dstCol, -1)
+	if err != nil {
+		return nil
+	}
+	return csr
 }
 
 // String describes the engine.

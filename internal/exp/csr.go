@@ -3,7 +3,6 @@ package exp
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"repro/internal/algos"
@@ -92,24 +91,6 @@ func csrTCGraph(cfg Config) *graph.Graph {
 	return graph.GenerateDAG(n, n*csrTCDegree, cfg.Seed)
 }
 
-// relChecksum folds the relation's rows order-independently (XOR of FNV-64a
-// row hashes, the concurrent experiment's scheme): morsel-parallel row
-// orderings hash equal, any value difference does not.
-func relChecksum(r *relation.Relation) string {
-	var sum uint64
-	for _, tu := range r.Tuples {
-		h := fnv.New64a()
-		for j, v := range tu {
-			if j > 0 {
-				h.Write([]byte{'\t'})
-			}
-			h.Write([]byte(v.String()))
-		}
-		sum ^= h.Sum64()
-	}
-	return fmt.Sprintf("%016x", sum)
-}
-
 // runWithPlus loads the graph and executes a WITH+ statement (the SQL
 // equi-join frontier path).
 func runWithPlus(query string) func(e *engine.Engine, g *graph.Graph) (*relation.Relation, int, error) {
@@ -195,7 +176,7 @@ func CSRRecords(cfg Config) ([]CSRRecord, error) {
 				NsOp:           elapsed.Nanoseconds(),
 				Millis:         float64(elapsed.Microseconds()) / 1000.0,
 				RowsFinal:      rel.Len(),
-				Checksum:       relChecksum(rel),
+				Checksum:       RelChecksum(rel),
 				Joins:          e.Cnt.Joins,
 				CSRBuilds:      e.Cnt.CSRBuilds,
 				CSRCacheHits:   e.Cnt.CSRCacheHits,

@@ -87,6 +87,11 @@ type Config struct {
 	// trees. cmd/bench exposes it as -novector, the A/B baseline for the
 	// vector experiment; results are byte-identical either way.
 	NoVector bool
+	// NoWCOJ disables lowering cyclic equi-join cores to the multiway
+	// generic join: cyclic patterns run the binary hash-join chain.
+	// cmd/bench exposes it as -nowcoj, the A/B baseline for the motif
+	// experiment; results are byte-identical either way.
+	NoWCOJ bool
 	// Observe attaches a counting span sink to every experiment engine, so
 	// the observability hooks' overhead can be measured against an
 	// unobserved run of the same experiment. cmd/bench exposes it as
@@ -121,6 +126,7 @@ func newEngine(prof engine.Profile, cfg Config) *engine.Engine {
 	e.DisableDelta = cfg.NoDelta
 	e.DisableCSR = cfg.NoCSR
 	e.DisableVectorized = cfg.NoVector
+	e.DisableWCOJ = cfg.NoWCOJ
 	if cfg.Observe {
 		e.SetObserver(&obs.CountingSink{})
 	}

@@ -181,7 +181,7 @@ func VectorRecords(cfg Config) ([]VectorRecord, error) {
 				NsOp:              elapsed.Nanoseconds() / int64(w.queries),
 				Millis:            float64(elapsed.Microseconds()) / 1000.0,
 				RowsFinal:         rel.Len(),
-				Checksum:          relChecksum(rel),
+				Checksum:          RelChecksum(rel),
 				VectorizedBatches: e.Cnt.VectorizedBatches,
 				RowFallbacks:      e.Cnt.RowFallbacks,
 			})

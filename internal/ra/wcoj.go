@@ -1,0 +1,475 @@
+package ra
+
+import (
+	"fmt"
+
+	"repro/internal/govern"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// This file implements the worst-case-optimal multiway join (generic join):
+// instead of folding a cyclic pattern through binary joins — whose
+// intermediates can exceed the final result by the AGM gap (the 2-path
+// blowup of triangle counting) — the operator fixes a variable elimination
+// order and extends one variable at a time, intersecting the candidate sets
+// of every atom that constrains the variable. Each level iterates the
+// smallest candidate set and probes the rest, which is exactly the
+// leapfrog/generic-join intersection and achieves the AGM worst-case bound.
+//
+// The per-atom candidate sets reuse the engine's existing dict-encoded
+// access paths: a binary atom whose two join variables line up with a cached
+// relation.CSR walks the CSR's ColumnDict codes and per-source edge blocks
+// directly (no per-query build at all); every other atom gets a view-private
+// hash trie built once per execution, keyed level by level in elimination
+// order. Match semantics are value.Equal throughout — NULL equals NULL,
+// numerics compare across int/float — identical to the engine's hash joins,
+// so the operator is a drop-in replacement for a binary join tree over the
+// same atoms: it emits, for every full variable binding, the cross product
+// of each atom's matching rows, preserving exact bag multiplicities.
+
+// WCOJVarCol binds one atom column to a join variable. A variable may appear
+// on several columns of the same atom (transitively-implied same-relation
+// equalities); such rows match only when all its columns agree.
+type WCOJVarCol struct {
+	Var int // variable id, in [0, WCOJSpec.NumVars)
+	Col int // column index into the atom's relation
+}
+
+// WCOJAtom is one relation of the cyclic join core with its variable
+// bindings. CSR optionally carries a cached adjacency index whose
+// (SrcCol, DstCol) matches the atom's two variables in elimination order;
+// when it covers the relation it replaces the trie build entirely.
+type WCOJAtom struct {
+	Rel     *relation.Relation
+	VarCols []WCOJVarCol
+	CSR     *relation.CSR
+}
+
+// WCOJSpec is a full multiway-join instance: the atoms, the number of
+// variables, and the elimination order (a permutation of [0, NumVars)).
+// Every variable must be bound by at least one atom.
+type WCOJSpec struct {
+	Atoms   []WCOJAtom
+	NumVars int
+	Order   []int
+	Gov     *govern.Governor
+}
+
+// WCOJStats reports the work done by one execution: Builds counts hash
+// tries constructed (CSR-backed atoms contribute zero — their sorted backing
+// is the cached CSR, charged through the engine's CSR counters), Probes
+// counts candidate-value intersection probes across all levels.
+type WCOJStats struct {
+	Builds int64
+	Probes int64
+}
+
+// wcojLevel is one trie level of an atom: the columns carrying the level's
+// variable (usually one).
+type wcojLevel struct {
+	vr   int
+	cols []int
+}
+
+// trieNode is one node of an atom's hash trie. keys holds the distinct
+// child values in first-seen row order (the deterministic iteration order);
+// bucket maps a value hash to candidate key positions; kids parallels keys
+// on interior levels; leafRows parallels keys on the last level, holding the
+// matching relation rows per key.
+type trieNode struct {
+	keys     []value.Value
+	bucket   map[uint64][]int32
+	kids     []*trieNode
+	leafRows [][]int32
+}
+
+func newTrieNode() *trieNode {
+	return &trieNode{bucket: make(map[uint64][]int32)}
+}
+
+// child returns the position of v among the node's keys, or -1.
+func (n *trieNode) child(v value.Value) int32 {
+	h := value.HashCombine(0, v)
+	for _, cand := range n.bucket[h] {
+		if n.keys[cand].Equal(v) {
+			return cand
+		}
+	}
+	return -1
+}
+
+// put returns the position of v, inserting it if absent.
+func (n *trieNode) put(v value.Value) int32 {
+	if pos := n.child(v); pos >= 0 {
+		return pos
+	}
+	pos := int32(len(n.keys))
+	n.keys = append(n.keys, v)
+	h := value.HashCombine(0, v)
+	n.bucket[h] = append(n.bucket[h], pos)
+	return pos
+}
+
+// atomState is the per-atom execution state: its levels in elimination
+// order, and either a trie with a descent path or a CSR with the bound
+// source ordinal and its lazily grouped edge block.
+type atomState struct {
+	rel    *relation.Relation
+	levels []wcojLevel
+
+	// trie path: path[d] is the node after binding d levels (path[0] = root).
+	root *trieNode
+	path []*trieNode
+
+	// CSR fast path (binary atoms only).
+	csr    *relation.CSR
+	ord    int32 // bound source ordinal after level 0
+	block  *csrBlock
+	blocks []*csrBlock // memoized per source ordinal
+	dstPos int32       // bound position in block.dsts after level 1
+}
+
+// csrBlock is one source ordinal's edges grouped by target ordinal: dsts in
+// first-seen edge order, rows[k] the relation rows whose target is dsts[k].
+type csrBlock struct {
+	dsts []int32
+	rows [][]int32
+	pos  map[int32]int32 // target ordinal -> index into dsts
+}
+
+// levelsFor groups an atom's VarCols into per-variable levels ordered by the
+// variables' positions in the elimination order.
+func levelsFor(a WCOJAtom, pos []int) []wcojLevel {
+	byVar := make(map[int][]int)
+	var vars []int
+	for _, vc := range a.VarCols {
+		if _, seen := byVar[vc.Var]; !seen {
+			vars = append(vars, vc.Var)
+		}
+		byVar[vc.Var] = append(byVar[vc.Var], vc.Col)
+	}
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && pos[vars[j]] < pos[vars[j-1]]; j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+	levels := make([]wcojLevel, len(vars))
+	for i, vr := range vars {
+		levels[i] = wcojLevel{vr: vr, cols: byVar[vr]}
+	}
+	return levels
+}
+
+// usableCSR reports whether the atom's CSR can serve as its sorted backing:
+// a two-level single-column-per-level atom whose (SrcCol, DstCol) are the
+// level columns in elimination order, covering the relation, with the
+// target dictionary present.
+func usableCSR(a WCOJAtom, levels []wcojLevel) bool {
+	return a.CSR != nil && len(levels) == 2 &&
+		len(levels[0].cols) == 1 && len(levels[1].cols) == 1 &&
+		a.CSR.SrcCol == levels[0].cols[0] && a.CSR.DstCol == levels[1].cols[0] &&
+		a.CSR.Dst != nil && a.CSR.Covers(a.Rel)
+}
+
+// buildTrie constructs the atom's hash trie. Rows whose columns disagree
+// within a level (a variable on two columns with different values) can never
+// match and are dropped at build time.
+func buildTrie(rel *relation.Relation, levels []wcojLevel) *trieNode {
+	root := newTrieNode()
+rows:
+	for row, tu := range rel.Tuples {
+		n := root
+		for d, lv := range levels {
+			v := tu[lv.cols[0]]
+			for _, c := range lv.cols[1:] {
+				if !tu[c].Equal(v) {
+					continue rows
+				}
+			}
+			pos := n.put(v)
+			if d == len(levels)-1 {
+				for int(pos) >= len(n.leafRows) {
+					n.leafRows = append(n.leafRows, nil)
+				}
+				n.leafRows[pos] = append(n.leafRows[pos], int32(row))
+				break
+			}
+			for int(pos) >= len(n.kids) {
+				n.kids = append(n.kids, nil)
+			}
+			if n.kids[pos] == nil {
+				n.kids[pos] = newTrieNode()
+			}
+			n = n.kids[pos]
+		}
+	}
+	return root
+}
+
+// blockFor lazily groups one source ordinal's edges by target ordinal,
+// walking the CSR main block then the tail chain (ascending row order, the
+// same order a trie build over the rows would see them).
+func (a *atomState) blockFor(ord int32) *csrBlock {
+	if int(ord) < len(a.blocks) && a.blocks[ord] != nil {
+		return a.blocks[ord]
+	}
+	b := &csrBlock{pos: make(map[int32]int32)}
+	c := a.csr
+	add := func(dst, row int32) {
+		k, ok := b.pos[dst]
+		if !ok {
+			k = int32(len(b.dsts))
+			b.pos[dst] = k
+			b.dsts = append(b.dsts, dst)
+			b.rows = append(b.rows, nil)
+		}
+		b.rows[k] = append(b.rows[k], row)
+	}
+	if int(ord)+1 < len(c.Offsets) {
+		for e := c.Offsets[ord]; e < c.Offsets[ord+1]; e++ {
+			add(c.Targets[e], c.Rows[e])
+		}
+	}
+	if int(ord) < len(c.TailHead) {
+		for e := c.TailHead[ord]; e >= 0; e = c.TailNext[e] {
+			add(c.TailTargets[e], c.TailRows[e])
+		}
+	}
+	if int(ord) >= len(a.blocks) {
+		grown := make([]*csrBlock, ord+1)
+		copy(grown, a.blocks)
+		a.blocks = grown
+	}
+	a.blocks[ord] = b
+	return b
+}
+
+// count returns the number of distinct candidate values the atom offers at
+// its depth-th level (all earlier levels bound).
+func (a *atomState) count(depth int) int {
+	if a.csr != nil {
+		if depth == 0 {
+			return a.csr.NumSrc()
+		}
+		return len(a.block.dsts)
+	}
+	return len(a.path[depth].keys)
+}
+
+// iterate calls f for each distinct candidate value at the atom's depth-th
+// level, in deterministic first-seen order; f returning false stops early.
+func (a *atomState) iterate(depth int, f func(v value.Value) bool) {
+	if a.csr != nil {
+		if depth == 0 {
+			for _, k := range a.csr.Src.Keys {
+				if !f(k) {
+					return
+				}
+			}
+			return
+		}
+		for _, d := range a.block.dsts {
+			if !f(a.csr.Dst.Keys[d]) {
+				return
+			}
+		}
+		return
+	}
+	for _, k := range a.path[depth].keys {
+		if !f(k) {
+			return
+		}
+	}
+}
+
+// descend binds the atom's depth-th level to v, reporting whether any row
+// matches. A successful descend must be undone with ascend.
+func (a *atomState) descend(depth int, v value.Value) bool {
+	if a.csr != nil {
+		if depth == 0 {
+			ord, ok := a.csr.SrcOrd(v)
+			if !ok {
+				return false
+			}
+			a.ord = ord
+			a.block = a.blockFor(ord)
+			return len(a.block.dsts) > 0
+		}
+		dst, ok := a.csr.Dst.Lookup(v)
+		if !ok {
+			return false
+		}
+		k, ok := a.block.pos[dst]
+		if !ok {
+			return false
+		}
+		a.dstPos = k
+		return true
+	}
+	n := a.path[depth]
+	pos := n.child(v)
+	if pos < 0 {
+		return false
+	}
+	if depth == len(a.levels)-1 {
+		a.path = append(a.path, n) // leaf: stay, rows() reads n.rows via child pos
+		a.dstPos = pos
+		return true
+	}
+	a.path = append(a.path, n.kids[pos])
+	return true
+}
+
+// ascend undoes the most recent successful descend.
+func (a *atomState) ascend(depth int) {
+	if a.csr != nil {
+		if depth == 0 {
+			a.block = nil
+		}
+		return
+	}
+	a.path = a.path[:len(a.path)-1]
+}
+
+// matchRows returns the atom's matching relation rows once all its levels
+// are bound.
+func (a *atomState) matchRows() []int32 {
+	if a.csr != nil {
+		return a.block.rows[a.dstPos]
+	}
+	leaf := a.path[len(a.path)-1]
+	// The leaf descend parked the node itself with dstPos = key position;
+	// interior tries store per-key row lists only at the last level, so the
+	// rows live on the child-key granularity: rebuild via kids when present.
+	return leaf.rowsAt(a.dstPos)
+}
+
+// rowsAt returns the rows recorded under key position pos of a leaf-level
+// node.
+func (n *trieNode) rowsAt(pos int32) []int32 {
+	return n.leafRows[pos]
+}
+
+// WCOJ executes the generic-join multiway intersection and returns the
+// joined relation — schema and bag contents identical to the equivalent
+// binary join tree over the same atoms — plus the work counters. The spec
+// must be well-formed (every variable bound by an atom, Order a permutation
+// of the variables); malformed specs panic, as they indicate a planner bug.
+func WCOJ(spec WCOJSpec) (*relation.Relation, WCOJStats) {
+	var stats WCOJStats
+	if len(spec.Atoms) == 0 {
+		panic("ra: WCOJ with no atoms")
+	}
+	pos := make([]int, spec.NumVars)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range spec.Order {
+		if v < 0 || v >= spec.NumVars || pos[v] >= 0 {
+			panic(fmt.Sprintf("ra: WCOJ order is not a permutation: %v", spec.Order))
+		}
+		pos[v] = i
+	}
+	if len(spec.Order) != spec.NumVars {
+		panic(fmt.Sprintf("ra: WCOJ order %v does not cover %d vars", spec.Order, spec.NumVars))
+	}
+
+	sch := spec.Atoms[0].Rel.Sch
+	for _, a := range spec.Atoms[1:] {
+		sch = sch.Concat(a.Rel.Sch)
+	}
+	out := relation.New(sch)
+
+	atoms := make([]*atomState, len(spec.Atoms))
+	// atomsAt[v] lists (atom, level) pairs whose level binds variable v; by
+	// ordering each atom's levels along the elimination order, every earlier
+	// level of the atom is already bound when the driver reaches v.
+	type lvlRef struct {
+		atom  int
+		level int
+	}
+	atomsAt := make([][]lvlRef, spec.NumVars)
+	for i, a := range spec.Atoms {
+		st := &atomState{rel: a.Rel, levels: levelsFor(a, pos)}
+		if usableCSR(a, st.levels) {
+			st.csr = a.CSR
+		} else {
+			st.root = buildTrie(a.Rel, st.levels)
+			st.path = []*trieNode{st.root}
+			stats.Builds++
+		}
+		atoms[i] = st
+		for d, lv := range st.levels {
+			atomsAt[lv.vr] = append(atomsAt[lv.vr], lvlRef{atom: i, level: d})
+		}
+	}
+	for v := 0; v < spec.NumVars; v++ {
+		if len(atomsAt[v]) == 0 {
+			panic(fmt.Sprintf("ra: WCOJ variable %d bound by no atom", v))
+		}
+	}
+
+	arity := sch.Arity()
+	scratch := make(relation.Tuple, arity)
+	starts := make([]int, len(spec.Atoms)+1)
+	for i, a := range spec.Atoms {
+		starts[i+1] = starts[i] + a.Rel.Sch.Arity()
+	}
+
+	// emit walks the per-atom match lists, appending the cross product.
+	var emit func(atom int)
+	emit = func(atom int) {
+		if atom == len(atoms) {
+			spec.Gov.MustStep(1)
+			out.Tuples = append(out.Tuples, append(relation.Tuple(nil), scratch...))
+			return
+		}
+		a := atoms[atom]
+		seg := scratch[starts[atom]:starts[atom+1]]
+		for _, row := range a.matchRows() {
+			copy(seg, a.rel.Tuples[row])
+			emit(atom + 1)
+		}
+	}
+
+	var solve func(depth int)
+	solve = func(depth int) {
+		if depth == len(spec.Order) {
+			emit(0)
+			return
+		}
+		v := spec.Order[depth]
+		refs := atomsAt[v]
+		// Generic join: iterate the smallest candidate set, probe the rest.
+		it := refs[0]
+		best := atoms[it.atom].count(it.level)
+		for _, r := range refs[1:] {
+			if c := atoms[r.atom].count(r.level); c < best {
+				best, it = c, r
+			}
+		}
+		atoms[it.atom].iterate(it.level, func(cand value.Value) bool {
+			spec.Gov.MustStep(1)
+			bound := 0
+			ok := true
+			for _, r := range refs {
+				stats.Probes++
+				if !atoms[r.atom].descend(r.level, cand) {
+					ok = false
+					break
+				}
+				bound++
+			}
+			if ok {
+				solve(depth + 1)
+			}
+			for k := 0; k < bound; k++ {
+				atoms[refs[k].atom].ascend(refs[k].level)
+			}
+			return true
+		})
+	}
+	solve(0)
+	return out, stats
+}

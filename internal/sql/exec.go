@@ -282,11 +282,81 @@ func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, *obs.PlanNode, error) 
 			conjuncts = splitAnd(s.Where)
 		}
 		used := make([]bool, len(conjuncts))
-		input = srcs[0].rel
-		if x.analyze {
-			plan = scans[0]
+		// A cyclic equi-join core lowers to the worst-case-optimal multiway
+		// join; the remaining (tail) sources fold onto its result through
+		// the ordinary binary loop below.
+		var wplan *wcojPlan
+		if !x.Eng.DisableWCOJ {
+			schemas := make([]schema.Schema, len(srcs))
+			for i := range srcs {
+				schemas[i] = srcs[i].rel.Sch
+			}
+			wplan = chooseWCOJ(schemas, conjuncts, used)
 		}
-		for i := 1; i < len(srcs); i++ {
+		var remaining []int
+		if wplan != nil {
+			for _, ci := range wplan.Conjuncts {
+				used[ci] = true
+			}
+			var t0 time.Time
+			observing := x.Eng.Observing()
+			if x.analyze || observing {
+				t0 = time.Now()
+			}
+			atoms := make([]ra.WCOJAtom, len(wplan.Core))
+			for k, si := range wplan.Core {
+				atoms[k] = ra.WCOJAtom{Rel: srcs[si].rel, VarCols: wplan.Atoms[k].VarCols}
+				// A table-backed binary atom reuses the cached (src, dst)
+				// CSR as its sorted backing instead of building a trie.
+				if srcs[si].table != "" {
+					if sc, dc, ok := wplan.Atoms[k].csrShape(); ok {
+						atoms[k].CSR = x.Eng.WCOJEdgeCSR(srcs[si].table, sc, dc)
+					}
+				}
+			}
+			var stats ra.WCOJStats
+			input, stats = ra.WCOJ(ra.WCOJSpec{
+				Atoms:   atoms,
+				NumVars: wplan.NumVars,
+				Order:   wplan.Order,
+				Gov:     x.Eng.Gov(),
+			})
+			x.Eng.CountWCOJ(stats.Builds, stats.Probes)
+			if observing {
+				sp := obs.Span{Op: "join", Algo: "wcoj", Note: "sql multiway generic join", Start: t0, OutRows: int64(input.Len()), Dur: time.Since(t0)}
+				sp.BytesMaterialized = int64(input.Len()) * int64(input.Sch.Arity()) * 16
+				x.Eng.Emit(sp)
+			}
+			if x.analyze {
+				label := fmt.Sprintf("multiway generic join on %s via wcoj", strings.Join(wplan.Keys, " and "))
+				children := make([]*obs.PlanNode, len(wplan.Core))
+				for k, si := range wplan.Core {
+					children[k] = scans[si]
+				}
+				plan = obs.NewPlanNode(label, int64(input.Len()), time.Since(t0), children...)
+			}
+			if err := x.Eng.ChargeMaterialized(input); err != nil {
+				return nil, nil, err
+			}
+			inCore := make([]bool, len(srcs))
+			for _, si := range wplan.Core {
+				inCore[si] = true
+			}
+			for i := range srcs {
+				if !inCore[i] {
+					remaining = append(remaining, i)
+				}
+			}
+		} else {
+			input = srcs[0].rel
+			if x.analyze {
+				plan = scans[0]
+			}
+			for i := 1; i < len(srcs); i++ {
+				remaining = append(remaining, i)
+			}
+		}
+		for _, i := range remaining {
 			next := srcs[i]
 			var lCols, rCols []int
 			var keys []string
@@ -377,6 +447,13 @@ func (x *Exec) runOne(s *SelectStmt) (*relation.Relation, *obs.PlanNode, error) 
 			if err := x.Eng.ChargeMaterialized(input); err != nil {
 				return nil, nil, err
 			}
+		}
+		// The WCOJ lowering joins core sources first, so when a tail source
+		// precedes a core source in FROM order the concatenated columns are
+		// permuted relative to the binary plan. Restore FROM order so
+		// "select *" output stays byte-identical across the two paths.
+		if wplan != nil {
+			input = restoreFromOrder(input, srcs, append(append([]int{}, wplan.Core...), remaining...))
 		}
 		// Residual WHERE conjuncts.
 		var residual Expr

@@ -159,7 +159,23 @@ func (x *Exec) explainOne(b *strings.Builder, s *SelectStmt, depth int) error {
 	}
 	// Which conjuncts would drive equi-joins vs become residual filters.
 	used := make([]bool, len(conjuncts))
-	for i := 1; i < len(srcs); i++ {
+	joinSteps := len(srcs) - 1
+	// Mirror runOne's WCOJ lowering: a cyclic core collapses into one
+	// multiway join line, leaving only the tail sources as binary steps.
+	// Resolvable schemas are required, so the chooser runs only when every
+	// FROM item is a plain named reference.
+	if !x.Eng.DisableWCOJ {
+		if schemas, ok := x.planSchemas(s.From); ok {
+			if wp := chooseWCOJ(schemas, conjuncts, used); wp != nil {
+				for _, ci := range wp.Conjuncts {
+					used[ci] = true
+				}
+				line("multiway generic join on %s via wcoj", strings.Join(wp.Keys, " and "))
+				joinSteps = len(srcs) - len(wp.Core)
+			}
+		}
+	}
+	for i := 0; i < joinSteps; i++ {
 		var keys []string
 		for ci, c := range conjuncts {
 			if used[ci] {

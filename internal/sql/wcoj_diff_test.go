@@ -1,0 +1,188 @@
+package sql
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// graphDB loads a random directed graph into E(F,T) and its node list into
+// V(ID) on a fresh engine of the given profile, with statistics gathered so
+// base-table access paths (CSR, analyzed-join choices) are live.
+func graphDB(t *testing.T, prof engine.Profile, n, m int, seed int64) *engine.Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	eRel := relation.New(schema.Cols(value.KindInt, "F", "T"))
+	for i := 0; i < m; i++ {
+		eRel.AppendVals(value.Int(rng.Int63n(int64(n))), value.Int(rng.Int63n(int64(n))))
+	}
+	vRel := relation.New(schema.Cols(value.KindInt, "ID"))
+	for i := 0; i < n; i++ {
+		vRel.AppendVals(value.Int(int64(i)))
+	}
+	e := engine.New(prof)
+	if _, err := e.LoadBase("E", eRel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.LoadBase("V", vRel); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// sortedRows renders a relation as sorted tab-separated lines — the
+// byte-identical comparison form (the two paths may enumerate in different
+// orders; ORDER BY is not part of the queries under test).
+func sortedRows(r *relation.Relation) string {
+	lines := make([]string, r.Len())
+	for i, tu := range r.Tuples {
+		parts := make([]string, len(tu))
+		for j, v := range tu {
+			parts[j] = v.String()
+		}
+		lines[i] = strings.Join(parts, "\t")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// cyclicQueries is the differential corpus: every query has a cyclic
+// equi-join core, several also carry tail joins, residual filters, or a
+// FROM order that forces the post-WCOJ column restore.
+var cyclicQueries = []struct {
+	name string
+	q    string
+}{
+	{"triangle_star", "select * from E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F"},
+	{"triangle_count", "select count(*) from E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F"},
+	{"triangle_proj", "select e1.F, e2.T from E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F"},
+	{"triangle_residual", "select * from E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F and e1.F < e2.F"},
+	{"diamond_count", "select count(*) from E e1, E e2, E e3, E e4 where e1.T = e2.F and e2.T = e3.F and e3.T = e4.F and e4.T = e1.F"},
+	{"clique4_count", "select count(*) from E e1, E e2, E e3, E e4, E e5, E e6 where e1.F = e2.F and e2.F = e3.F and e1.T = e4.F and e4.F = e5.F and e2.T = e4.T and e4.T = e6.F and e3.T = e5.T and e5.T = e6.T"},
+	{"triangle_tail", "select * from E e1, E e2, E e3, V v where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F and v.ID = e1.F"},
+	{"tail_before_core", "select * from V v, E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F and v.ID = e1.F"},
+	{"triangle_group", "select e1.F, count(*) from E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F group by e1.F"},
+}
+
+// TestWCOJDifferential runs every cyclic-pattern query through the WCOJ and
+// binary paths (DisableWCOJ A/B) on all three profiles and requires
+// byte-identical sorted output, with the counters proving the fast side
+// actually took the WCOJ path and the baseline did not.
+func TestWCOJDifferential(t *testing.T) {
+	for _, prof := range engine.Profiles() {
+		t.Run(prof.Name, func(t *testing.T) {
+			e := graphDB(t, prof, 40, 160, 11)
+			x := NewExec(e)
+			for _, tc := range cyclicQueries {
+				t.Run(tc.name, func(t *testing.T) {
+					s, err := ParseSelect(tc.q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					e.DisableWCOJ = false
+					before := e.Cnt.Snapshot()
+					fast, err := x.Run(s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mid := e.Cnt.Snapshot()
+					if mid.WCOJProbes == before.WCOJProbes {
+						t.Fatalf("WCOJ path did not run (probes %d -> %d)", before.WCOJProbes, mid.WCOJProbes)
+					}
+					e.DisableWCOJ = true
+					s2, err := ParseSelect(tc.q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					slow, err := x.Run(s2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					after := e.Cnt.Snapshot()
+					if after.WCOJProbes != mid.WCOJProbes {
+						t.Fatalf("disabled run still probed WCOJ (%d -> %d)", mid.WCOJProbes, after.WCOJProbes)
+					}
+					e.DisableWCOJ = false
+					if fast.Sch.String() != slow.Sch.String() {
+						t.Fatalf("schema diverged:\nwcoj:   %s\nbinary: %s", fast.Sch, slow.Sch)
+					}
+					if got, want := sortedRows(fast), sortedRows(slow); got != want {
+						t.Fatalf("output diverged (%d vs %d rows)", fast.Len(), slow.Len())
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestWCOJDifferentialNulls repeats the A/B on a relation containing NULL
+// endpoints: value.Equal matches NULL to NULL in the engine's joins, and
+// the WCOJ dictionaries must agree.
+func TestWCOJDifferentialNulls(t *testing.T) {
+	e := engine.New(engine.OracleLike())
+	eRel := relation.New(schema.Cols(value.KindInt, "F", "T"))
+	vals := []value.Value{value.Int(1), value.Int(2), value.Int(3), value.Null}
+	for _, f := range vals {
+		for _, to := range vals {
+			eRel.AppendVals(f, to)
+		}
+	}
+	if _, err := e.LoadBase("E", eRel); err != nil {
+		t.Fatal(err)
+	}
+	x := NewExec(e)
+	q := "select * from E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F"
+	s, _ := ParseSelect(q)
+	fast, err := x.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.DisableWCOJ = true
+	s2, _ := ParseSelect(q)
+	slow, err := x.Run(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sortedRows(fast), sortedRows(slow); got != want {
+		t.Fatalf("NULL handling diverged (%d vs %d rows)", fast.Len(), slow.Len())
+	}
+	if fast.Len() == 0 {
+		t.Fatal("expected NULL-cycle matches")
+	}
+}
+
+// TestWCOJExplainAnalyzeLabel pins the plan label: the executed plan of a
+// cyclic query must carry the multiway node with its "via wcoj" marker and
+// the core scans as children, and the disabled run must not.
+func TestWCOJExplainAnalyzeLabel(t *testing.T) {
+	e := graphDB(t, engine.OracleLike(), 20, 60, 3)
+	x := NewExec(e)
+	q := "select count(*) from E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F"
+	s, _ := ParseSelect(q)
+	_, plan, err := x.RunAnalyzed(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := plan.Render()
+	if !strings.Contains(report, "via wcoj") {
+		t.Fatalf("plan missing wcoj label:\n%s", report)
+	}
+	if !strings.Contains(report, "multiway generic join on") {
+		t.Fatalf("plan missing multiway node:\n%s", report)
+	}
+	e.DisableWCOJ = true
+	s2, _ := ParseSelect(q)
+	_, plan, err = x.RunAnalyzed(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report := plan.Render(); strings.Contains(report, "via wcoj") {
+		t.Fatalf("disabled plan still shows wcoj:\n%s", report)
+	}
+}

@@ -1,0 +1,188 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// planFor parses a full SELECT and runs the chooser over the given
+// qualified schemas and its WHERE conjuncts.
+func planFor(t *testing.T, schemas []schema.Schema, query string) *wcojPlan {
+	t.Helper()
+	s, err := ParseSelect(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	var conjuncts []Expr
+	if s.Where != nil {
+		conjuncts = splitAnd(s.Where)
+	}
+	return chooseWCOJ(schemas, conjuncts, make([]bool, len(conjuncts)))
+}
+
+func edgeSchemas(aliases ...string) []schema.Schema {
+	out := make([]schema.Schema, len(aliases))
+	for i, a := range aliases {
+		out[i] = schema.Cols(value.KindInt, "F", "T").Qualify(a)
+	}
+	return out
+}
+
+// TestChooseWCOJ is the table-driven chooser contract: acyclic patterns
+// stay on binary joins (nil plan), cyclic cores lower with the right
+// sources, and mixed queries split core from dangling tails.
+func TestChooseWCOJ(t *testing.T) {
+	vSchema := schema.Cols(value.KindInt, "ID").Qualify("v")
+	cases := []struct {
+		name     string
+		schemas  []schema.Schema
+		query    string
+		wantCore []int // nil = keep binary
+		wantVars int
+		wantKeys int // consumed conjuncts
+	}{
+		{
+			name:    "two_sources_never_lower",
+			schemas: edgeSchemas("e1", "e2"),
+			query:   "select * from E e1, E e2 where e1.T = e2.F and e1.F = e2.T",
+		},
+		{
+			name:    "chain_is_acyclic",
+			schemas: edgeSchemas("e1", "e2", "e3"),
+			query:   "select * from E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F",
+		},
+		{
+			name:    "star_is_acyclic",
+			schemas: edgeSchemas("e1", "e2", "e3", "e4"),
+			query:   "select * from E e1, E e2, E e3, E e4 where e1.F = e2.F and e1.F = e3.F and e1.F = e4.F",
+		},
+		{
+			name:     "triangle_lowers",
+			schemas:  edgeSchemas("e1", "e2", "e3"),
+			query:    "select * from E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F",
+			wantCore: []int{0, 1, 2},
+			wantVars: 3,
+			wantKeys: 3,
+		},
+		{
+			name:     "four_cycle_lowers",
+			schemas:  edgeSchemas("e1", "e2", "e3", "e4"),
+			query:    "select * from E e1, E e2, E e3, E e4 where e1.T = e2.F and e2.T = e3.F and e3.T = e4.F and e4.T = e1.F",
+			wantCore: []int{0, 1, 2, 3},
+			wantVars: 4,
+			wantKeys: 4,
+		},
+		{
+			name:    "clique4_lowers",
+			schemas: edgeSchemas("e1", "e2", "e3", "e4", "e5", "e6"),
+			// Directed 4-clique on (a,b,c,d): e1=(a,b) e2=(a,c) e3=(a,d)
+			// e4=(b,c) e5=(b,d) e6=(c,d).
+			query: "select * from E e1, E e2, E e3, E e4, E e5, E e6 where " +
+				"e1.F = e2.F and e2.F = e3.F and e1.T = e4.F and e4.F = e5.F and " +
+				"e2.T = e4.T and e4.T = e6.F and e3.T = e5.T and e5.T = e6.T",
+			wantCore: []int{0, 1, 2, 3, 4, 5},
+			wantVars: 4,
+			wantKeys: 8,
+		},
+		{
+			name:     "triangle_with_tail_splits",
+			schemas:  append(edgeSchemas("e1", "e2", "e3"), vSchema),
+			query:    "select * from E e1, E e2, E e3, V v where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F and v.ID = e1.F",
+			wantCore: []int{0, 1, 2},
+			wantVars: 3,
+			wantKeys: 3,
+		},
+		{
+			name:     "tail_before_core_splits",
+			schemas:  append([]schema.Schema{vSchema}, edgeSchemas("e1", "e2", "e3")...),
+			query:    "select * from V v, E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F and v.ID = e1.F",
+			wantCore: []int{1, 2, 3},
+			wantVars: 3,
+			wantKeys: 3,
+		},
+		{
+			name:     "same_source_equality_stays_residual",
+			schemas:  edgeSchemas("e1", "e2", "e3"),
+			query:    "select * from E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F and e1.F = e1.T",
+			wantCore: []int{0, 1, 2},
+			wantVars: 3,
+			wantKeys: 3,
+		},
+		{
+			name:    "literal_keys_do_not_count",
+			schemas: edgeSchemas("e1", "e2", "e3"),
+			query:   "select * from E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = 1",
+		},
+		{
+			name:    "two_disjoint_pairs_are_acyclic",
+			schemas: edgeSchemas("e1", "e2", "e3", "e4"),
+			query:   "select * from E e1, E e2, E e3, E e4 where e1.T = e2.F and e1.F = e2.T and e3.T = e4.F and e3.F = e4.T",
+		},
+		{
+			name:    "ambiguous_reference_bails",
+			schemas: edgeSchemas("e1", "e2", "e3"),
+			query:   "select * from E e1, E e2, E e3 where e1.T = F and e2.T = e3.F and e3.T = e1.F",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := planFor(t, tc.schemas, tc.query)
+			if tc.wantCore == nil {
+				if p != nil {
+					t.Fatalf("expected binary plan, got core %v", p.Core)
+				}
+				return
+			}
+			if p == nil {
+				t.Fatal("expected a WCOJ lowering, chooser kept binary")
+			}
+			if !reflect.DeepEqual(p.Core, tc.wantCore) {
+				t.Fatalf("core = %v, want %v", p.Core, tc.wantCore)
+			}
+			if p.NumVars != tc.wantVars {
+				t.Fatalf("NumVars = %d, want %d", p.NumVars, tc.wantVars)
+			}
+			if len(p.Conjuncts) != tc.wantKeys {
+				t.Fatalf("consumed %d conjuncts, want %d", len(p.Conjuncts), tc.wantKeys)
+			}
+			// Every atom must bind at least two variables — GYO would have
+			// trimmed it otherwise — and ids must be in range.
+			for _, a := range p.Atoms {
+				if len(a.VarCols) < 2 {
+					t.Fatalf("atom %d binds %d vars", a.Src, len(a.VarCols))
+				}
+				for _, vc := range a.VarCols {
+					if vc.Var < 0 || vc.Var >= p.NumVars {
+						t.Fatalf("atom %d has out-of-range var %d", a.Src, vc.Var)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChooseWCOJCSRShape pins the CSR-backing shape rule: a two-variable
+// binary atom exposes (srcCol, dstCol) in elimination order; anything else
+// declines.
+func TestChooseWCOJCSRShape(t *testing.T) {
+	p := planFor(t, edgeSchemas("e1", "e2", "e3"),
+		"select * from E e1, E e2, E e3 where e1.T = e2.F and e2.T = e3.F and e3.T = e1.F")
+	if p == nil {
+		t.Fatal("triangle must lower")
+	}
+	for i, a := range p.Atoms {
+		sc, dc, ok := a.csrShape()
+		if !ok {
+			t.Fatalf("atom %d should be CSR-shaped", i)
+		}
+		if sc == dc || sc < 0 || sc > 1 || dc < 0 || dc > 1 {
+			t.Fatalf("atom %d shape (%d,%d) out of range", i, sc, dc)
+		}
+	}
+	if _, _, ok := (wcojAtomPlan{}).csrShape(); ok {
+		t.Fatal("empty atom must not be CSR-shaped")
+	}
+}

@@ -405,3 +405,92 @@ scale = run[8]["stmt_per_sec"] / run[1]["stmt_per_sec"]
 print(f"concurrent guard: {len(run)} cells clean, checksums pinned, "
       f"1->8 scaling {scale:.2f}x >= {speedup_x}x")
 EOF
+
+# -- Motif (WCOJ) gate -----------------------------------------------------
+#
+# Runs the motif experiment twice — worst-case-optimal multiway join on
+# (default) and off (-nowcoj) — and checks four invariants:
+#
+#   1. Differential correctness: both join strategies produce identical
+#      motif counts and checksums per cell. The generic join is a pure
+#      physical swap of the binary hash-join chain over the cyclic core.
+#   2. Speedup: the TRIANGLE cells on oracle/db2 run at least
+#      WCOJ_SPEEDUP_X faster with the multiway join — the skewed triangle
+#      graph is where the binary chain materializes every wedge before
+#      closing the cycle. DIAMOND/CLIQUE4 run on milder graphs and gate on
+#      correctness and path proof, not speed.
+#   3. Path proof: wcoj-on runs intersect through the multiway operator
+#      (wcoj_probes > 0, exactly one join span) and -nowcoj runs never
+#      touch it (wcoj_probes == 0), so the differential can't degrade into
+#      comparing binary against binary.
+#   4. Determinism: counts, checksums, and counters match the committed
+#      BENCH_motif_on.json baseline exactly.
+
+WCOJ_SPEEDUP_X="${WCOJ_SPEEDUP_X:-2.0}"
+
+echo "== bench guard: motif experiment, multiway join on"
+go run ./cmd/bench -exp motif -json > "$tmp/motif_on.json"
+
+echo "== bench guard: motif experiment, -nowcoj baseline"
+go run ./cmd/bench -exp motif -nowcoj -json > "$tmp/motif_off.json"
+
+python3 - "$tmp/motif_on.json" "$tmp/motif_off.json" BENCH_motif_on.json "$WCOJ_SPEEDUP_X" <<'EOF'
+import json, sys
+
+on_path, off_path, base_path, speedup_x = sys.argv[1:5]
+speedup_x = float(speedup_x)
+
+def index(path):
+    with open(path) as f:
+        return {(r["name"], r["profile"]): r for r in json.load(f)}
+
+on, off, base = index(on_path), index(off_path), index(base_path)
+failures = []
+fast = []
+
+for key, o in sorted(on.items()):
+    f = off.get(key)
+    if f is None:
+        failures.append(f"{key}: missing from -nowcoj run")
+        continue
+    if not o["wcoj"] or f["wcoj"]:
+        failures.append(f"{key}: wcoj flags wrong (on={o['wcoj']} off={f['wcoj']})")
+    # Differential correctness: identical counts either way.
+    for c in ("count", "checksum"):
+        if o[c] != f[c]:
+            failures.append(f"{key}: {c} diverged: wcoj {o[c]} != binary {f[c]}")
+    # Path proof: the multiway operator ran when on, never when off.
+    if o["wcoj_probes"] <= 0:
+        failures.append(f"{key}: wcoj run performed no multiway probes")
+    if f["wcoj_probes"] != 0 or f["wcoj_builds"] != 0:
+        failures.append(f"{key}: -nowcoj run touched the multiway path "
+                        f"(probes={f['wcoj_probes']} builds={f['wcoj_builds']})")
+    if o["name"] == "TRIANGLE":
+        ratio = f["ms"] / max(o["ms"], 1e-9)
+        if ratio < speedup_x:
+            failures.append(
+                f"{key}: triangle speedup {f['ms']:.1f}/{o['ms']:.1f} = "
+                f"{ratio:.2f}x under {speedup_x}x")
+        else:
+            fast.append(f"{key[0]}/{key[1]} {ratio:.2f}x")
+
+for key, b in sorted(base.items()):
+    o = on.get(key)
+    if o is None:
+        failures.append(f"{key}: missing from wcoj-on run")
+        continue
+    for c in ("count", "checksum", "joins", "wcoj_builds", "wcoj_probes",
+              "nodes", "edges"):
+        if o[c] != b[c]:
+            failures.append(f"{key}: {c} drifted from baseline: {o[c]} != {b[c]}")
+
+if failures:
+    print("motif guard FAILED:")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+
+print(f"motif guard: {len(on)} cells count-identical across join strategies, "
+      f"triangle speedup {', '.join(fast)} >= {speedup_x}x, "
+      f"wcoj counters pinned")
+EOF

@@ -58,6 +58,14 @@ go test ./internal/ra -run=NONE -bench 'BenchmarkSelectVectorized|BenchmarkGroup
 # checksum and speedup gating happens in bench_guard.sh below.
 go run ./cmd/bench -exp vector > /dev/null
 
+echo "== wcoj smoke (multiway vs binary differentials + chooser + operator)"
+go test ./internal/ra -run 'WCOJ' -count=1
+go test ./internal/sql -run 'WCOJDifferential|WCOJExplainAnalyze|ChooseWCOJ' -count=1
+go test ./internal/sql -run=NONE -fuzz FuzzWCOJVsBinary -fuzztime 5s
+# One end-to-end run of the experiment CLI; the full on/off A/B with
+# count, checksum, and speedup gating happens in bench_guard.sh below.
+go run ./cmd/bench -exp motif > /dev/null
+
 echo "== server protocol fuzz smoke"
 go test ./internal/server -run=NONE -fuzz FuzzServerProto -fuzztime 5s
 
@@ -68,7 +76,7 @@ go test ./internal/sql -run=NONE -fuzz FuzzMatchParser -fuzztime 5s
 echo "== chaos gate (fault sweep, recovery, cancellation, fuzz smoke)"
 ./scripts/chaos.sh
 
-echo "== bench guard (perf baseline + observability overhead + delta/csr A/B)"
+echo "== bench guard (perf baseline + observability overhead + delta/csr/vector/motif A/B)"
 ./scripts/bench_guard.sh
 
 echo "check: OK"
